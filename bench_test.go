@@ -1,0 +1,350 @@
+// Package napel_bench benchmarks every table and figure of the paper's
+// evaluation section (run with `go test -bench=. -benchmem`), plus the
+// hot components underneath them. Each BenchmarkTableN/BenchmarkFigN
+// regenerates the corresponding artifact at reduced (Quick) settings and
+// reports its headline quantities as custom metrics; the full-fidelity
+// versions are produced by `go run ./cmd/napel-exp`.
+package napel_bench
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"napel/internal/exp"
+	"napel/internal/napel"
+	"napel/internal/pisa"
+	"napel/internal/trace"
+	"napel/internal/workload"
+)
+
+// sharedCtx lazily runs the Quick DoE collection once for all benches.
+var (
+	ctxOnce   sync.Once
+	sharedCtx *exp.Context
+)
+
+func benchCtx(b *testing.B) *exp.Context {
+	b.Helper()
+	return sharedQuickCtx(b)
+}
+
+// sharedQuickCtx lazily builds one Quick-scale experiment context shared
+// by the benchmarks and the shape regression tests.
+func sharedQuickCtx(tb testing.TB) *exp.Context {
+	tb.Helper()
+	ctxOnce.Do(func() {
+		sharedCtx = exp.NewContext(exp.Quick())
+		if _, err := sharedCtx.TrainingData(); err != nil {
+			tb.Fatal(err)
+		}
+	})
+	return sharedCtx
+}
+
+// BenchmarkTable2_DoELevels regenerates Table 2's CCD designs: the
+// 11/19/31 training configurations per application.
+func BenchmarkTable2_DoELevels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, k := range workload.All() {
+			total += len(napel.CCDInputs(k))
+		}
+		if total != 256 {
+			b.Fatalf("CCD inputs across Table 2 = %d, want 256", total)
+		}
+	}
+	b.ReportMetric(256, "doe_configs")
+}
+
+// BenchmarkTable3_Systems validates and instantiates the Table 3 host
+// and NMC configurations.
+func BenchmarkTable3_Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table3(io.Discard)
+	}
+}
+
+// BenchmarkTable4_TrainPredict reproduces Table 4: per-application DoE
+// simulation cost, train+tune cost, and single-prediction cost.
+func BenchmarkTable4_TrainPredict(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Table4(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var train, pred float64
+		for _, r := range res.Rows {
+			train += r.TrainTune.Seconds()
+			pred += r.Pred.Seconds()
+		}
+		b.ReportMetric(train/float64(len(res.Rows)), "train_s/app")
+		b.ReportMetric(pred/float64(len(res.Rows)), "pred_s/app")
+	}
+}
+
+// BenchmarkTable5_RelatedWork renders the static comparison table.
+func BenchmarkTable5_RelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		exp.Table5(io.Discard)
+	}
+}
+
+// BenchmarkFig4_Speedup reproduces Figure 4: NAPEL's prediction speedup
+// over the simulator on an architecture design-space sweep.
+func BenchmarkFig4_Speedup(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Fig4(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Avg, "avg_speedup_x")
+		b.ReportMetric(res.Min, "min_speedup_x")
+		b.ReportMetric(res.Max, "max_speedup_x")
+	}
+}
+
+// BenchmarkFig5_Accuracy reproduces Figure 5: leave-one-application-out
+// MRE of NAPEL vs the ANN and model-tree baselines, both targets.
+func BenchmarkFig5_Accuracy(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Fig5(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Mean[napel.TargetIPC]["rf"]*100, "perf_mre_rf_%")
+		b.ReportMetric(res.Mean[napel.TargetIPC]["ann"]*100, "perf_mre_ann_%")
+		b.ReportMetric(res.Mean[napel.TargetIPC]["mtree"]*100, "perf_mre_tree_%")
+		b.ReportMetric(res.Mean[napel.TargetEPI]["rf"]*100, "energy_mre_rf_%")
+	}
+}
+
+// BenchmarkFig6_Host reproduces Figure 6: host execution time and energy
+// at the Table 2 test inputs.
+func BenchmarkFig6_Host(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Fig6(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var e float64
+		for _, r := range res.Rows {
+			e += r.EnergyJ
+		}
+		b.ReportMetric(e, "total_host_J")
+	}
+}
+
+// BenchmarkFig7_EDP reproduces Figure 7: EDP-reduction suitability
+// analysis, NAPEL vs the simulator.
+func BenchmarkFig7_EDP(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Fig7(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Agreements)/float64(len(res.Rows)), "verdict_agreement")
+		b.ReportMetric(res.MeanEDPError*100, "edp_mre_%")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Component micro-benchmarks: the substrates' raw throughput.
+
+// BenchmarkNMCSimulator measures simulated instructions per second of
+// the cycle-level NMC model on a representative kernel.
+func BenchmarkNMCSimulator(b *testing.B) {
+	k, err := workload.ByName("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workload.Input{"dim": 256, "threads": 8}
+	cfg := napel.DefaultOptions().RefArch
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := napel.SimulateKernel(k, in, cfg, 500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.SimInstrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkPISAProfiler measures profiled instructions per second of the
+// 395-feature characterization pass.
+func BenchmarkPISAProfiler(b *testing.B) {
+	k, err := workload.ByName("atax")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workload.Input{"dim": 256, "threads": 8}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		prof, err := napel.ProfileKernel(k, in, 500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += prof.SimInstrs()
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkHostModel measures the trace-driven host model's throughput.
+func BenchmarkHostModel(b *testing.B) {
+	k, err := workload.ByName("mvt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workload.Input{"dim": 256, "threads": 8, "iters": 1}
+	cfg := napel.DefaultOptions().Host
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := napel.HostRun(k, in, cfg, 500_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFTraining measures forest training on the collected Quick
+// dataset (the Table 4 "train" cost at benchmark scale).
+func BenchmarkRFTraining(b *testing.B) {
+	ctx := benchCtx(b)
+	td, err := ctx.TrainingData()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := td.Dataset(napel.TargetIPC)
+	tr := napel.DefaultRFTrainer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Train(d, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRFInference measures single-point model evaluation — the
+// per-configuration cost of a NAPEL design-space sweep.
+func BenchmarkRFInference(b *testing.B) {
+	ctx := benchCtx(b)
+	td, err := ctx.TrainingData()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := napel.Train(td, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := td.Samples[0].Features
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred.PredictVector(x, 32)
+	}
+}
+
+// BenchmarkReuseDistance measures the exact stack-distance tracker via a
+// full profiler pass over a pointer-chasing access pattern.
+func BenchmarkReuseDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := pisa.NewProfiler()
+		tr := trace.NewTracer(0, p)
+		x := uint64(12345)
+		for j := 0; j < 200_000; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			tr.Load(0, (x>>16)%(1<<24), 8, 1, 2)
+		}
+		_ = p.Profile()
+	}
+	b.ReportMetric(200_000*float64(b.N)/b.Elapsed().Seconds()/1e6, "Macc/s")
+}
+
+// BenchmarkTraceGeneration measures raw kernel trace emission without
+// any consumer work.
+func BenchmarkTraceGeneration(b *testing.B) {
+	k, err := workload.ByName("gesu")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := workload.Input{"dim": 256, "threads": 8, "iters": 1}
+	sink := trace.ConsumerFunc(func(trace.Inst) {})
+	b.ResetTimer()
+	var n uint64
+	for i := 0; i < b.N; i++ {
+		tr := trace.NewTracer(500_000, sink)
+		k.Trace(in, 0, 1, tr)
+		n += tr.Count()
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkAblation_DesignChoices measures the ablation study: CCD vs
+// random sampling, log/PE-normalized vs raw targets, and tuning.
+func BenchmarkAblation_DesignChoices(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Ablation(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Baseline*100, "baseline_mre_%")
+		b.ReportMetric(res.RandomDoE*100, "random_doe_mre_%")
+		b.ReportMetric(res.RawTarget*100, "raw_target_mre_%")
+	}
+}
+
+// BenchmarkGeneralization measures the beyond-the-paper experiment:
+// Table-2-trained models predicting extension kernels from unseen
+// domains.
+func BenchmarkGeneralization(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Generalization(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MeanIPC*100, "ipc_mre_%")
+		b.ReportMetric(res.MeanEPI*100, "epi_mre_%")
+	}
+}
+
+// BenchmarkScratchpadStudy measures the Section 3.4 follow-up: EDP
+// reduction of the thrash-prone kernel as the NMC-side cache grows.
+func BenchmarkScratchpadStudy(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Scratchpad(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := res.Points[0].Reduct
+		best := base
+		for _, p := range res.Points {
+			if p.Reduct > best {
+				best = p.Reduct
+			}
+		}
+		b.ReportMetric(base, "baseline_edp_reduction_x")
+		b.ReportMetric(best, "best_edp_reduction_x")
+	}
+}
+
+// BenchmarkSensitivity measures the PE-axis trend agreement between the
+// model and the simulator.
+func BenchmarkSensitivity(b *testing.B) {
+	ctx := benchCtx(b)
+	for i := 0; i < b.N; i++ {
+		res, err := ctx.Sensitivity(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Correlation, "pearson_r")
+	}
+}

@@ -1,0 +1,115 @@
+// Command napel-exp regenerates the tables and figures of the paper's
+// evaluation section. With no arguments it runs the full suite; pass
+// experiment names (table2 table3 table4 table5 fig4 fig5 fig6 fig7,
+// plus the extra "ablation" study) to run a subset.
+//
+// The full suite at default settings takes on the order of ten minutes;
+// -quick runs a reduced configuration (four applications, scaled inputs)
+// in well under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"napel/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced settings: 4 apps, scaled inputs, small budgets")
+	seed := flag.Uint64("seed", 42, "random seed for the whole pipeline")
+	scale := flag.Int("scale", 0, "override DoE input scale factor (1 = Table 2 levels verbatim)")
+	simBudget := flag.Uint64("sim-budget", 0, "override instructions per NMC simulation")
+	profBudget := flag.Uint64("profile-budget", 0, "override instructions per profiling pass")
+	jsonOut := flag.String("json", "", "also run the full suite and write a machine-readable report to this path")
+	flag.Parse()
+
+	s := exp.Default()
+	if *quick {
+		s = exp.Quick()
+	}
+	s.Seed = *seed
+	if *scale > 0 {
+		s.Opts.ScaleFactor = *scale
+	}
+	if *simBudget > 0 {
+		s.Opts.SimBudget = *simBudget
+	}
+	if *profBudget > 0 {
+		s.Opts.ProfileBudget = *profBudget
+	}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"table1", "table2", "table3", "table4", "table5", "fig4", "fig5", "fig6", "fig7"}
+	}
+
+	ctx := exp.NewContext(s)
+	w := os.Stdout
+	if *jsonOut != "" {
+		rep, err := ctx.RunReport(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-exp: report: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-exp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "napel-exp: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(w, "wrote JSON report to %s\n", *jsonOut)
+		return
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		t0 := time.Now()
+		var err error
+		switch strings.ToLower(name) {
+		case "table1":
+			exp.Table1(w)
+		case "table2":
+			exp.Table2(w)
+		case "table3":
+			exp.Table3(w)
+		case "table5":
+			exp.Table5(w)
+		case "table4":
+			_, err = ctx.Table4(w)
+		case "fig4":
+			_, err = ctx.Fig4(w)
+		case "fig5":
+			_, err = ctx.Fig5(w)
+		case "fig6":
+			_, err = ctx.Fig6(w)
+		case "fig7":
+			_, err = ctx.Fig7(w)
+		case "ablation":
+			_, err = ctx.Ablation(w)
+		case "importance":
+			_, err = ctx.Importance(w)
+		case "generalization":
+			_, err = ctx.Generalization(w)
+		case "sensitivity":
+			_, err = ctx.Sensitivity(w)
+		case "scratchpad":
+			_, err = ctx.Scratchpad(w)
+		default:
+			err = fmt.Errorf("unknown experiment %q (want table1|table2|table3|table4|table5|fig4|fig5|fig6|fig7|ablation|importance|generalization|sensitivity|scratchpad)", name)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[%s completed in %.1fs]\n", name, time.Since(t0).Seconds())
+	}
+}

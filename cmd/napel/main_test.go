@@ -1,0 +1,59 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParamListParsing(t *testing.T) {
+	p := paramList{}
+	if err := p.Set("dim=128"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("threads=8"); err != nil {
+		t.Fatal(err)
+	}
+	if p["dim"] != 128 || p["threads"] != 8 {
+		t.Fatalf("parsed %v", p)
+	}
+	if err := p.Set("noequals"); err == nil {
+		t.Error("missing '=' accepted")
+	}
+	if err := p.Set("dim=abc"); err == nil {
+		t.Error("non-numeric value accepted")
+	}
+	if p.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestKernelFlagsResolve(t *testing.T) {
+	kf := newKernelFlags("test", 1000)
+	k, in, err := kf.resolve([]string{"-kernel", "atax", "-p", "dim=256", "-scale", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name() != "atax" {
+		t.Fatalf("kernel %s", k.Name())
+	}
+	if in["dim"] != 128 { // 256 scaled by 2
+		t.Fatalf("dim = %d, want 128", in["dim"])
+	}
+	if in["threads"] != 32 { // test default preserved
+		t.Fatalf("threads = %d", in["threads"])
+	}
+}
+
+func TestKernelFlagsErrors(t *testing.T) {
+	kf := newKernelFlags("test", 0)
+	if _, _, err := kf.resolve([]string{}); err == nil {
+		t.Error("missing -kernel accepted")
+	}
+	kf = newKernelFlags("test", 0)
+	if _, _, err := kf.resolve([]string{"-kernel", "bogus"}); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	kf = newKernelFlags("test", 0)
+	if _, _, err := kf.resolve([]string{"-kernel", "atax", "-p", "bogusparam=1"}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}

@@ -1,0 +1,140 @@
+// Custom kernel: extending NAPEL beyond the bundled benchmark suite.
+//
+// Defines a new workload — a 2D 5-point Jacobi stencil, a staple of
+// scientific computing that is not in Table 2 — as an implementation of
+// the workload.Kernel interface, then profiles it, simulates it, and
+// asks a NAPEL model trained ONLY on the bundled PolyBench/Rodinia
+// kernels to predict it. This is exactly the "previously-unseen
+// application" scenario of Section 3.3.
+//
+//	go run ./examples/customkernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"napel/internal/napel"
+	"napel/internal/stats"
+	"napel/internal/trace"
+	"napel/internal/workload"
+)
+
+// Stencil is a 5-point Jacobi iteration over an n x n grid.
+type Stencil struct{}
+
+// Name implements workload.Kernel.
+func (*Stencil) Name() string { return "stencil" }
+
+// Description implements workload.Kernel.
+func (*Stencil) Description() string { return "2D 5-point Jacobi stencil" }
+
+// Params implements workload.Kernel: levels chosen like a Table 2 row.
+func (*Stencil) Params() []workload.Param {
+	return []workload.Param{
+		{Name: "dim", Kind: workload.KindDim, Levels: [5]int{128, 256, 512, 1024, 1536}, Test: 2000},
+		{Name: "threads", Kind: workload.KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: workload.KindIters, Levels: [5]int{2, 4, 8, 16, 32}, Test: 8},
+	}
+}
+
+// Virtual registers used by the stencil's dataflow.
+const (
+	rC = int16(iota) // centre value
+	rN               // neighbours
+	rS
+	rE
+	rW
+	rAcc
+	rIdx
+)
+
+// Trace implements workload.Kernel: grid rows are sharded blockwise
+// across threads; each output point reads its four neighbours and the
+// centre, accumulates, scales and stores — two row-streams of reads
+// (rows i-1, i, i+1 overlap heavily) and one of writes.
+func (*Stencil) Trace(in workload.Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	const base, out = uint64(1) << 24, uint64(1) << 30
+	lo := shard * (n - 2) / nshards
+	hi := (shard + 1) * (n - 2) / nshards
+	rows := hi - lo
+	total := iters * rows
+	done := 0
+	defer func() { t.SetCoverage(done, total) }()
+
+	idx := func(i, j int) uint64 { return uint64(i*n+j) * 8 }
+	for it := 0; it < iters; it++ {
+		for i := 1 + lo; i < 1+hi; i++ {
+			for j := 1; j < n-1; j++ {
+				t.Load(0, base+idx(i, j), 8, rC, rIdx)
+				t.Load(1, base+idx(i-1, j), 8, rN, rIdx)
+				t.Load(2, base+idx(i+1, j), 8, rS, rIdx)
+				t.Load(3, base+idx(i, j-1), 8, rW, rIdx)
+				t.Load(4, base+idx(i, j+1), 8, rE, rIdx)
+				t.FP(5, rAcc, rN, rS)
+				t.FP(6, rAcc, rAcc, rE)
+				t.FP(7, rAcc, rAcc, rW)
+				t.FP(8, rAcc, rAcc, rC)
+				t.FPMul(9, rAcc, rAcc, rC) // x 0.2
+				t.Store(10, out+idx(i, j), 8, rAcc)
+				t.Branch(11, j+2 < n, rIdx)
+			}
+			done++
+			if t.Stop() {
+				return
+			}
+		}
+	}
+}
+
+func main() {
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 8
+	opts.MaxIters = 1
+	opts.ProfileBudget = 200_000
+	opts.SimBudget = 200_000
+
+	// Train strictly on bundled kernels — the stencil stays unseen.
+	var train []workload.Kernel
+	for _, name := range []string{"mvt", "gesu", "atax", "trmm"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, k)
+	}
+	fmt.Println("training NAPEL on the bundled kernels...")
+	td, err := napel.Collect(train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := napel.Train(td, opts.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := &Stencil{}
+	in := workload.Scale(st, workload.TestInput(st), opts.ScaleFactor, opts.MaxIters)
+	if err := workload.Validate(st, in); err != nil {
+		log.Fatal(err)
+	}
+
+	prof, err := napel.ProfileKernel(st, in, opts.ProfileBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstencil profile at %s:\n", in)
+	fmt.Printf("  memory fraction %.1f%%, footprint %.3g MB, est. hit at tiny L1 %.2f\n",
+		prof.MemFraction()*100, prof.FootprintBytes()/1e6, prof.EstHitFraction(2))
+
+	est := pred.Predict(prof, opts.RefArch, in.Threads())
+	actual, err := napel.SimulateKernel(st, in, opts.RefArch, opts.SimBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprediction vs simulation on the Table 3 NMC system:\n")
+	fmt.Printf("  IPC     %8.3f vs %8.3f (err %.1f%%)\n", est.IPC, actual.IPC, 100*stats.RelErr(est.IPC, actual.IPC))
+	fmt.Printf("  energy  %8.4g vs %8.4g J (err %.1f%%)\n", est.EnergyJ, actual.EnergyJ, 100*stats.RelErr(est.EnergyJ, actual.EnergyJ))
+	fmt.Printf("  time    %8.4g vs %8.4g s (err %.1f%%)\n", est.TimeSec, actual.TimeSec, 100*stats.RelErr(est.TimeSec, actual.TimeSec))
+}

@@ -1,0 +1,122 @@
+// Design-space exploration: the workflow NAPEL exists to accelerate.
+//
+// A trained NAPEL model sweeps hundreds of NMC architecture
+// configurations for one application in milliseconds each, where the
+// simulator would need seconds per point. The sweep varies PE count,
+// core frequency and L1 capacity, then reports the best-EDP designs.
+//
+//	go run ./examples/dse
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+func main() {
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 8
+	opts.MaxIters = 1
+	opts.ProfileBudget = 200_000
+	opts.SimBudget = 200_000
+
+	// Train on a few applications that are NOT the one we explore.
+	var train []workload.Kernel
+	for _, name := range []string{"mvt", "gesu", "atax", "syrk"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, k)
+	}
+	fmt.Println("training NAPEL...")
+	td, err := napel.Collect(train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := napel.Train(td, opts.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The application under exploration: kmeans (unseen in training).
+	kme, err := workload.ByName("kme")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := workload.Scale(kme, workload.CentralInput(kme), opts.ScaleFactor, opts.MaxIters)
+	prof, err := napel.ProfileKernel(kme, in, opts.ProfileBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type design struct {
+		pes    int
+		freq   float64
+		lines  int
+		ipc    float64
+		unc    float64 // multiplicative uncertainty factor on IPC
+		time   float64
+		energy float64
+		edp    float64
+	}
+	var designs []design
+
+	t0 := time.Now()
+	base := prof.Vector()
+	for _, pes := range []int{8, 16, 32, 64, 128} {
+		for _, freq := range []float64{0.8, 1.25, 2.0} {
+			for _, lines := range []int{2, 8, 32, 128} {
+				cfg := opts.RefArch
+				cfg.PEs = pes
+				cfg.FreqGHz = freq
+				cfg.L1.Lines = lines
+				if cfg.L1.Assoc > lines {
+					cfg.L1.Assoc = lines
+				}
+				feat := append(append([]float64(nil), base...), napel.ArchVector(cfg, prof, in.Threads())...)
+				ipc, ipcUnc, epi, _ := pred.PredictVectorWithUncertainty(feat, napel.ActivePEs(in.Threads(), cfg.PEs))
+				instrs := prof.TotalInstrs()
+				tsec := instrs / (ipc * cfg.FreqGHz * 1e9)
+				energy := epi * instrs
+				designs = append(designs, design{
+					pes: pes, freq: freq, lines: lines,
+					ipc: ipc, unc: ipcUnc, time: tsec, energy: energy, edp: energy * tsec,
+				})
+			}
+		}
+	}
+	sweepDur := time.Since(t0)
+
+	sort.Slice(designs, func(i, j int) bool { return designs[i].edp < designs[j].edp })
+	fmt.Printf("\nswept %d architectures for kmeans in %.0f ms (one profile + %d model evaluations)\n",
+		len(designs), sweepDur.Seconds()*1000, 2*len(designs))
+	fmt.Printf("\nbest designs by predicted EDP:\n")
+	fmt.Printf("%4s %6s %8s %8s %8s %10s %10s %12s\n", "PEs", "GHz", "L1 lines", "IPC", "+/-", "time (s)", "energy (J)", "EDP (J*s)")
+	for _, d := range designs[:8] {
+		fmt.Printf("%4d %6.2f %8d %8.2f %7.2fx %10.3g %10.3g %12.3g\n",
+			d.pes, d.freq, d.lines, d.ipc, d.unc, d.time, d.energy, d.edp)
+	}
+	fmt.Println("(+/- is the forest's multiplicative spread: wide = extrapolating, trust less)")
+
+	// Validate the winner against the simulator.
+	best := designs[0]
+	cfg := opts.RefArch
+	cfg.PEs = best.pes
+	cfg.FreqGHz = best.freq
+	cfg.L1.Lines = best.lines
+	if cfg.L1.Assoc > best.lines {
+		cfg.L1.Assoc = best.lines
+	}
+	actual, err := napel.SimulateKernel(kme, in, cfg, opts.SimBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulator check of the winning design: IPC %.2f (predicted %.2f), EDP %.3g (predicted %.3g)\n",
+		actual.IPC, best.ipc, actual.EDP, best.edp)
+}

@@ -1,0 +1,77 @@
+// Quickstart: the NAPEL loop in miniature.
+//
+// Trains NAPEL's random-forest models on DoE-selected simulations of
+// three applications, then predicts the performance and energy of a
+// fourth application it has never seen — the paper's core capability —
+// and checks the prediction against the simulator.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"napel/internal/napel"
+	"napel/internal/stats"
+	"napel/internal/workload"
+)
+
+func main() {
+	// Configure a scaled-down pipeline so this example runs in seconds.
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 8 // divide Table 2 dimensions by 8
+	opts.MaxIters = 1    // cap iteration-style parameters
+	opts.ProfileBudget = 200_000
+	opts.SimBudget = 200_000
+
+	// Phase 1+2: profile and simulate the training applications at
+	// their CCD-selected input configurations.
+	var train []workload.Kernel
+	for _, name := range []string{"mvt", "gesu", "syrk"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, k)
+	}
+	fmt.Println("collecting DoE training data (CCD inputs x architectures)...")
+	td, err := napel.Collect(train, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d training samples, %d features each\n", len(td.Samples), len(td.Names))
+
+	// Phase 3: train the ensemble models.
+	pred, err := napel.Train(td, opts.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  trained %s in %.1fs\n", pred.Chosen[napel.TargetIPC], pred.TrainTime.Seconds())
+
+	// Predict a previously-unseen application: atax was not in the
+	// training set.
+	atax, err := workload.ByName("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := workload.Scale(atax, workload.TestInput(atax), opts.ScaleFactor, opts.MaxIters)
+	prof, err := napel.ProfileKernel(atax, in, opts.ProfileBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := pred.Predict(prof, opts.RefArch, in.Threads())
+
+	// Ground truth from the simulator, for comparison.
+	actual, err := napel.SimulateKernel(atax, in, opts.RefArch, opts.SimBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nunseen application atax at %s on the Table 3 NMC system:\n", in)
+	fmt.Printf("  %-22s %12s %12s %9s\n", "", "NAPEL", "simulator", "rel.err")
+	fmt.Printf("  %-22s %12.3f %12.3f %8.1f%%\n", "IPC (aggregate)", est.IPC, actual.IPC, 100*stats.RelErr(est.IPC, actual.IPC))
+	fmt.Printf("  %-22s %12.4g %12.4g %8.1f%%\n", "execution time (s)", est.TimeSec, actual.TimeSec, 100*stats.RelErr(est.TimeSec, actual.TimeSec))
+	fmt.Printf("  %-22s %12.4g %12.4g %8.1f%%\n", "energy (J)", est.EnergyJ, actual.EnergyJ, 100*stats.RelErr(est.EnergyJ, actual.EnergyJ))
+	fmt.Printf("  %-22s %12.4g %12.4g %8.1f%%\n", "EDP (J*s)", est.EDP, actual.EDP, 100*stats.RelErr(est.EDP, actual.EDP))
+}

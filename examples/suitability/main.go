@@ -1,0 +1,69 @@
+// NMC-suitability analysis: the Section 3.4 use case.
+//
+// For a handful of applications, compares the energy-delay product of
+// offloading to the NMC system (NAPEL's prediction, checked against the
+// simulator) with execution on the POWER9-class host — answering the
+// architect's question "is this workload worth offloading?" without a
+// full simulation campaign.
+//
+//	go run ./examples/suitability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+func main() {
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 8
+	opts.MaxIters = 1
+	opts.TestScaleFactor = 2 // keep test footprints large enough to stress the host caches
+	opts.TestMaxIters = 1
+	opts.ProfileBudget = 300_000
+	opts.SimBudget = 400_000
+	opts.HostBudget = 800_000
+
+	// One memory-intensive irregular candidate (bfs), one cache-friendly
+	// streaming candidate (gesummv), one borderline (atax).
+	var kernels []workload.Kernel
+	for _, name := range []string{"bfs", "gesu", "atax", "kme"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernels = append(kernels, k)
+	}
+
+	fmt.Println("collecting training data...")
+	td, err := napel.Collect(kernels, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running suitability analysis (leave-one-application-out predictions)...")
+	rows, err := napel.SuitabilityAnalysis(kernels, td, opts, opts.Seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-6s %14s %14s %12s %12s %10s\n",
+		"app", "host time (s)", "host E (J)", "actual EDPx", "NAPEL EDPx", "offload?")
+	for _, r := range rows {
+		verdict := "keep on host"
+		if r.Suitable() {
+			verdict = "offload"
+		}
+		marker := " "
+		if !r.Agreement() {
+			marker = "!" // NAPEL disagrees with the simulator
+		}
+		fmt.Printf("%-6s %14.4g %14.4g %11.2fx %11.2fx %10s %s\n",
+			r.App, r.HostTimeSec, r.HostEnergyJ, r.ActualReduct, r.PredReduct, verdict, marker)
+	}
+	fmt.Println("\nEDPx = host EDP / NMC EDP; > 1 means the NMC system wins.")
+	fmt.Println("'!' marks applications where NAPEL's verdict differs from the simulator's.")
+}

@@ -1,0 +1,87 @@
+// Trace artifacts: the capture/replay boundary of the pipeline.
+//
+// The paper's toolchain separates trace collection (Pin) from
+// consumption (Ramulator); this repository mirrors that boundary with
+// binary trace files. The example captures a kernel's dynamic trace,
+// replays it through the PISA profiler, and verifies the replayed
+// characterization matches a live profiling run feature for feature.
+//
+//	go run ./examples/traces
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"napel/internal/napel"
+	"napel/internal/pisa"
+	"napel/internal/trace"
+	"napel/internal/workload"
+)
+
+func main() {
+	k, err := workload.ByName("spmv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in := workload.Scale(k, workload.TestInput(k), 8, 1)
+	const budget = 300_000
+
+	// Capture the trace to a file.
+	path := filepath.Join(os.TempDir(), "napel-spmv.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count, cov, err := trace.WriteTrace(f, budget, func(tr *trace.Tracer) {
+		k.Trace(in, 0, 1, tr)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(path)
+	fmt.Printf("captured %d instructions of %s (coverage %.4g) to %s (%d KiB)\n",
+		count, k.Name(), cov, path, info.Size()>>10)
+
+	// Replay the file through the profiler.
+	rf, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rf.Close()
+	fr, err := trace.OpenTrace(rf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replayProf := pisa.NewProfiler()
+	if _, err := fr.Replay(replayProf); err != nil {
+		log.Fatal(err)
+	}
+	replayProf.SetCoverage(fr.Coverage)
+	replayed := replayProf.Profile()
+
+	// Profile the same kernel live.
+	live, err := napel.ProfileKernel(k, in, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The two characterizations must be identical: the trace file is a
+	// faithful record of the kernel's execution.
+	lv, rv := live.Vector(), replayed.Vector()
+	mismatches := 0
+	for i := range lv {
+		if lv[i] != rv[i] {
+			mismatches++
+		}
+	}
+	fmt.Printf("replayed profile vs live profile: %d features, %d mismatches\n", len(lv), mismatches)
+	fmt.Printf("memory fraction %.3f, footprint %.3g MB, est. hit at 2-line L1 %.3f\n",
+		replayed.MemFraction(), replayed.FootprintBytes()/1e6, replayed.EstHitFraction(2))
+	os.Remove(path)
+}

@@ -1,0 +1,3 @@
+module napel
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package cache implements a set-associative, write-back/write-allocate
+// cache model with true-LRU replacement. It is used both for the tiny
+// private L1 of the NMC processing elements (Table 3: 2-way, 2 cache
+// lines of 64 B) and for the three-level hierarchy of the host CPU model.
+//
+// The model is functional + counting: it tracks tag state exactly and
+// reports hits, misses, evictions and write-backs, which downstream
+// models convert into latency and energy.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	LineSize int // bytes per line, power of two
+	Lines    int // total number of lines
+	Assoc    int // ways per set; Lines/Assoc sets, power of two
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineSize)
+	}
+	if c.Lines <= 0 {
+		return fmt.Errorf("cache: line count %d must be positive", c.Lines)
+	}
+	if c.Assoc <= 0 || c.Assoc > c.Lines {
+		return fmt.Errorf("cache: associativity %d must be in [1, %d]", c.Assoc, c.Lines)
+	}
+	if c.Lines%c.Assoc != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", c.Lines, c.Assoc)
+	}
+	sets := c.Lines / c.Assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity in bytes.
+func (c Config) SizeBytes() int { return c.LineSize * c.Lines }
+
+// Stats accumulates access counters.
+type Stats struct {
+	ReadHits    uint64
+	ReadMisses  uint64
+	WriteHits   uint64
+	WriteMisses uint64
+	Evictions   uint64
+	WriteBacks  uint64
+}
+
+// Accesses returns the total number of accesses.
+func (s Stats) Accesses() uint64 {
+	return s.ReadHits + s.ReadMisses + s.WriteHits + s.WriteMisses
+}
+
+// Misses returns the total number of misses.
+func (s Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// HitRate returns hits/accesses, or 0 when the cache was never accessed.
+func (s Stats) HitRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(a-s.Misses()) / float64(a)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a single cache level. Not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	sets      [][]way
+	setMask   uint64
+	setShift  uint
+	lineShift uint
+	stamp     uint64
+	Stats     Stats
+	// WriteBack, when non-nil, is invoked with the line-aligned address
+	// of every dirty eviction (used to propagate write-backs to the next
+	// level in a hierarchy).
+	WriteBack func(lineAddr uint64)
+}
+
+// New builds a cache from cfg; it panics if cfg is invalid (configuration
+// errors are programmer errors at this layer — user-facing validation
+// happens in the simulator front-ends).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Lines / cfg.Assoc
+	sets := make([][]way, nsets)
+	backing := make([]way, cfg.Lines)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineSize {
+		shift++
+	}
+	setShift := uint(0)
+	for 1<<setShift < nsets {
+		setShift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		sets:      sets,
+		setMask:   uint64(nsets - 1),
+		setShift:  setShift,
+		lineShift: shift,
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr &^ (uint64(c.cfg.LineSize) - 1) }
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit        bool
+	Evicted    bool   // a valid line was displaced
+	WroteBack  bool   // the displaced line was dirty
+	VictimAddr uint64 // line address of the displaced line, if Evicted
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr, allocating on miss and updating LRU state.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.stamp++
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	tag := line >> c.setShift
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.lru = c.stamp
+			if write {
+				w.dirty = true
+				c.Stats.WriteHits++
+			} else {
+				c.Stats.ReadHits++
+			}
+			return Result{Hit: true}
+		}
+	}
+	if write {
+		c.Stats.WriteMisses++
+	} else {
+		c.Stats.ReadMisses++
+	}
+	// Miss: pick invalid way, else LRU victim.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+fill:
+	res := Result{}
+	w := &set[victim]
+	if w.valid {
+		res.Evicted = true
+		res.VictimAddr = ((w.tag << c.setShift) | (line & c.setMask)) << c.lineShift
+		if w.dirty {
+			res.WroteBack = true
+			c.Stats.WriteBacks++
+			if c.WriteBack != nil {
+				c.WriteBack(res.VictimAddr)
+			}
+		}
+		c.Stats.Evictions++
+	}
+	w.valid = true
+	w.dirty = write
+	w.tag = tag
+	w.lru = c.stamp
+	return res
+}
+
+// Contains reports whether the line holding addr is resident (no LRU
+// update; used by tests).
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := c.sets[line&c.setMask]
+	tag := line >> c.setShift
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates all lines, reporting how many dirty lines would have
+// been written back (and invoking WriteBack for each).
+func (c *Cache) Flush() (writeBacks int) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			if w.valid && w.dirty {
+				writeBacks++
+				c.Stats.WriteBacks++
+				if c.WriteBack != nil {
+					addr := ((w.tag << c.setShift) | uint64(si)) << c.lineShift
+					c.WriteBack(addr)
+				}
+			}
+			*w = way{}
+		}
+	}
+	return writeBacks
+}

@@ -1,0 +1,216 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"napel/internal/xrand"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{LineSize: 64, Lines: 8, Assoc: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{LineSize: 0, Lines: 8, Assoc: 2},
+		{LineSize: 48, Lines: 8, Assoc: 2}, // not power of two
+		{LineSize: 64, Lines: 0, Assoc: 1},
+		{LineSize: 64, Lines: 8, Assoc: 0},
+		{LineSize: 64, Lines: 8, Assoc: 16}, // assoc > lines
+		{LineSize: 64, Lines: 9, Assoc: 3},  // 3 sets: not power of two
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+	if good.SizeBytes() != 512 {
+		t.Errorf("SizeBytes = %d", good.SizeBytes())
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(Config{LineSize: 64, Lines: 4, Assoc: 4})
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(63, false); !r.Hit {
+		t.Fatal("same-line access missed")
+	}
+	if r := c.Access(64, false); r.Hit {
+		t.Fatal("next-line access hit")
+	}
+	if c.Stats.ReadHits != 1 || c.Stats.ReadMisses != 2 {
+		t.Fatalf("stats: %+v", c.Stats)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Fully associative, 2 lines: A, B, touch A, insert C -> B evicted.
+	c := New(Config{LineSize: 64, Lines: 2, Assoc: 2})
+	c.Access(0x000, false)      // A
+	c.Access(0x100, false)      // B
+	c.Access(0x000, false)      // touch A
+	r := c.Access(0x200, false) // C evicts B
+	if !r.Evicted || r.VictimAddr != 0x100 {
+		t.Fatalf("victim = %#x, evicted=%v, want 0x100", r.VictimAddr, r.Evicted)
+	}
+	if !c.Contains(0x000) || c.Contains(0x100) || !c.Contains(0x200) {
+		t.Fatal("contents wrong after eviction")
+	}
+}
+
+func TestWriteBackOnlyDirty(t *testing.T) {
+	var wbs []uint64
+	c := New(Config{LineSize: 64, Lines: 1, Assoc: 1})
+	c.WriteBack = func(a uint64) { wbs = append(wbs, a) }
+	c.Access(0x000, false) // clean
+	c.Access(0x100, false) // evicts clean: no write-back
+	if len(wbs) != 0 {
+		t.Fatal("clean eviction wrote back")
+	}
+	c.Access(0x200, true)  // dirty
+	c.Access(0x300, false) // evicts dirty
+	if len(wbs) != 1 || wbs[0] != 0x200 {
+		t.Fatalf("write-backs = %v, want [0x200]", wbs)
+	}
+	if c.Stats.WriteBacks != 1 {
+		t.Fatalf("stats.WriteBacks = %d", c.Stats.WriteBacks)
+	}
+}
+
+func TestSetIndexing(t *testing.T) {
+	// 2 sets, direct mapped: lines 0 and 2 map to set 0, line 1 to set 1.
+	c := New(Config{LineSize: 64, Lines: 2, Assoc: 1})
+	c.Access(0*64, false)
+	c.Access(1*64, false)
+	if !c.Contains(0) || !c.Contains(64) {
+		t.Fatal("two sets should hold both lines")
+	}
+	c.Access(2*64, false) // conflicts with line 0
+	if c.Contains(0) {
+		t.Fatal("conflict did not evict")
+	}
+	if !c.Contains(64) {
+		t.Fatal("other set was disturbed")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	var wbs []uint64
+	c := New(Config{LineSize: 64, Lines: 4, Assoc: 2})
+	c.WriteBack = func(a uint64) { wbs = append(wbs, a) }
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	if n := c.Flush(); n != 2 {
+		t.Fatalf("Flush wrote back %d, want 2", n)
+	}
+	if len(wbs) != 2 {
+		t.Fatalf("write-back callbacks: %v", wbs)
+	}
+	if c.Contains(0) || c.Contains(64) {
+		t.Fatal("flush did not invalidate")
+	}
+}
+
+// referenceCache is a straightforward fully-keyed model: per set, a slice
+// ordered by recency.
+type referenceCache struct {
+	cfg  Config
+	sets map[uint64][]refLine
+}
+
+type refLine struct {
+	tag   uint64
+	dirty bool
+}
+
+func newReference(cfg Config) *referenceCache {
+	return &referenceCache{cfg: cfg, sets: map[uint64][]refLine{}}
+}
+
+// access returns hit.
+func (r *referenceCache) access(addr uint64, write bool) bool {
+	line := addr / uint64(r.cfg.LineSize)
+	nsets := uint64(r.cfg.Lines / r.cfg.Assoc)
+	set := line % nsets
+	tag := line / nsets
+	s := r.sets[set]
+	for i, l := range s {
+		if l.tag == tag {
+			// Move to front (MRU).
+			l.dirty = l.dirty || write
+			s = append(s[:i], s[i+1:]...)
+			r.sets[set] = append([]refLine{l}, s...)
+			return true
+		}
+	}
+	s = append([]refLine{{tag: tag, dirty: write}}, s...)
+	if len(s) > r.cfg.Assoc {
+		s = s[:r.cfg.Assoc]
+	}
+	r.sets[set] = s
+	return false
+}
+
+// TestAgainstReferenceModel drives random access streams through the
+// real cache and the reference model and requires identical hit/miss
+// sequences.
+func TestAgainstReferenceModel(t *testing.T) {
+	cfgs := []Config{
+		{LineSize: 64, Lines: 2, Assoc: 2}, // the NMC L1
+		{LineSize: 64, Lines: 8, Assoc: 2},
+		{LineSize: 32, Lines: 16, Assoc: 4},
+		{LineSize: 64, Lines: 16, Assoc: 1},  // direct mapped
+		{LineSize: 64, Lines: 16, Assoc: 16}, // fully associative
+	}
+	rng := xrand.New(2024)
+	for _, cfg := range cfgs {
+		c := New(cfg)
+		ref := newReference(cfg)
+		for i := 0; i < 20000; i++ {
+			addr := uint64(rng.Intn(cfg.SizeBytes() * 4))
+			write := rng.Intn(4) == 0
+			got := c.Access(addr, write).Hit
+			want := ref.access(addr, write)
+			if got != want {
+				t.Fatalf("cfg %+v access %d (addr %#x write %v): hit=%v want %v", cfg, i, addr, write, got, want)
+			}
+		}
+	}
+}
+
+func TestHitRateProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		c := New(Config{LineSize: 64, Lines: 8, Assoc: 2})
+		for i := 0; i < 500; i++ {
+			c.Access(uint64(rng.Intn(4096)), rng.Intn(2) == 0)
+		}
+		hr := c.Stats.HitRate()
+		return hr >= 0 && hr <= 1 && c.Stats.Accesses() == 500
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedAccessAlwaysHits(t *testing.T) {
+	c := New(Config{LineSize: 64, Lines: 2, Assoc: 2})
+	c.Access(0, false)
+	for i := 0; i < 100; i++ {
+		if !c.Access(0, false).Hit {
+			t.Fatal("resident line missed")
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{LineSize: 3, Lines: 1, Assoc: 1})
+}

@@ -1,0 +1,28 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"napel/internal/cache"
+)
+
+// Example_nmcL1 exercises the Table 3 NMC L1 — two 64-byte lines,
+// 2-way — on a short access pattern, showing why three interleaved
+// streams thrash it.
+func Example_nmcL1() {
+	c := cache.New(cache.Config{LineSize: 64, Lines: 2, Assoc: 2})
+	addrs := []uint64{0, 4096, 0, 4096, 8192, 0}
+	for _, a := range addrs {
+		r := c.Access(a, false)
+		fmt.Printf("addr %5d hit=%v\n", a, r.Hit)
+	}
+	fmt.Printf("hit rate %.2f\n", c.Stats.HitRate())
+	// Output:
+	// addr     0 hit=false
+	// addr  4096 hit=false
+	// addr     0 hit=true
+	// addr  4096 hit=true
+	// addr  8192 hit=false
+	// addr     0 hit=false
+	// hit rate 0.33
+}

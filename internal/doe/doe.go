@@ -1,0 +1,256 @@
+// Package doe implements the design-of-experiments machinery of NAPEL's
+// second phase: the Box–Wilson central composite design (CCD) that
+// selects a small set of application-input configurations to simulate
+// for training data, plus the full-factorial grids used for prediction
+// sweeps (Figure 4's 256-configuration workload).
+//
+// Each DoE factor takes one of five levels — minimum, low, central,
+// high, maximum — exactly as in Table 2 of the paper. A CCD over k
+// factors consists of:
+//
+//   - 2^k factorial corners at the {low, high} levels,
+//   - 2k axial (star) points pairing one factor's {minimum, maximum}
+//     with every other factor central,
+//   - 2k−1 replicated central runs.
+//
+// The 2k−1 centre replicates reproduce the run counts of Table 4
+// (11/19/31 configurations for k = 2/3/4).
+package doe
+
+import "fmt"
+
+// Level is a CCD level index into a factor's five levels.
+type Level int
+
+// The five CCD levels.
+const (
+	Min Level = iota
+	Low
+	Central
+	High
+	Max
+)
+
+// NumLevels is the number of CCD levels per factor.
+const NumLevels = 5
+
+// Point assigns a level to each factor (index-aligned with the factor
+// list the caller holds).
+type Point []Level
+
+// clone copies a point.
+func (p Point) clone() Point {
+	q := make(Point, len(p))
+	copy(q, p)
+	return q
+}
+
+// CenterReplicates returns the number of replicated central runs used
+// for k factors (2k−1, matching Table 4's configuration counts).
+func CenterReplicates(k int) int { return 2*k - 1 }
+
+// NumRuns returns the total number of CCD runs for k factors:
+// 2^k + 2k + (2k−1).
+func NumRuns(k int) int { return (1 << k) + 2*k + CenterReplicates(k) }
+
+// CCD generates the central composite design for k factors. The result
+// has NumRuns(k) points: corners first, then axial points, then centre
+// replicates (identical points, which the pipeline runs with different
+// simulation seeds). It panics if k is not in [1, 16].
+func CCD(k int) []Point {
+	if k < 1 || k > 16 {
+		panic(fmt.Sprintf("doe: CCD factor count %d out of range [1,16]", k))
+	}
+	points := make([]Point, 0, NumRuns(k))
+	// Factorial corners over {Low, High}.
+	for mask := 0; mask < 1<<k; mask++ {
+		p := make(Point, k)
+		for f := 0; f < k; f++ {
+			if mask&(1<<f) != 0 {
+				p[f] = High
+			} else {
+				p[f] = Low
+			}
+		}
+		points = append(points, p)
+	}
+	// Axial (star) points on the circumscribed sphere.
+	center := make(Point, k)
+	for f := range center {
+		center[f] = Central
+	}
+	for f := 0; f < k; f++ {
+		lo := center.clone()
+		lo[f] = Min
+		hi := center.clone()
+		hi[f] = Max
+		points = append(points, lo, hi)
+	}
+	// Centre replicates.
+	for r := 0; r < CenterReplicates(k); r++ {
+		points = append(points, center.clone())
+	}
+	return points
+}
+
+// Distinct returns the unique points of a design (centre replicates
+// collapse to one).
+func Distinct(points []Point) []Point {
+	seen := map[string]bool{}
+	out := make([]Point, 0, len(points))
+	for _, p := range points {
+		key := fmt.Sprint(p)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Grid enumerates a full-factorial grid with sizes[f] values for factor
+// f; each returned row holds one index per factor in [0, sizes[f]).
+// The total row count is the product of sizes. It panics on non-positive
+// sizes.
+func Grid(sizes []int) [][]int {
+	total := 1
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("doe: grid size %d must be positive", s))
+		}
+		total *= s
+	}
+	rows := make([][]int, 0, total)
+	row := make([]int, len(sizes))
+	for {
+		rows = append(rows, append([]int(nil), row...))
+		f := len(sizes) - 1
+		for f >= 0 {
+			row[f]++
+			if row[f] < sizes[f] {
+				break
+			}
+			row[f] = 0
+			f--
+		}
+		if f < 0 {
+			break
+		}
+	}
+	return rows
+}
+
+// GridTargets chooses per-factor grid sizes so the full factorial has at
+// least target rows (used for Figure 4's 256-configuration prediction
+// sweep: 16×16 for two factors, 7×7×7 for three, 4×4×4×4 for four).
+func GridTargets(k, target int) []int {
+	if k <= 0 {
+		panic("doe: GridTargets needs at least one factor")
+	}
+	sizes := make([]int, k)
+	n := 1
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	for n < target {
+		// Grow the smallest factor first to keep the grid balanced.
+		minIdx := 0
+		for i, s := range sizes {
+			if s < sizes[minIdx] {
+				minIdx = i
+			}
+		}
+		n = n / sizes[minIdx] * (sizes[minIdx] + 1)
+		sizes[minIdx]++
+	}
+	return sizes
+}
+
+// Interpolate maps a grid index in [0, size) onto the closed numeric
+// range [minV, maxV], evenly spaced and rounded to int.
+func Interpolate(minV, maxV, idx, size int) int {
+	if size <= 1 {
+		return (minV + maxV) / 2
+	}
+	span := float64(maxV - minV)
+	v := float64(minV) + span*float64(idx)/float64(size-1)
+	return int(v + 0.5)
+}
+
+// LatinHypercube draws n points over k factors with Latin hypercube
+// structure: each factor's n draws occupy n distinct equal-probability
+// strata (here mapped onto the five CCD levels). It is the sampling
+// strategy of the SemiBoost row in Table 5 and a useful middle ground
+// between CCD and uniform random sampling for ablations. The sampler is
+// deterministic in seed.
+func LatinHypercube(k, n int, seed uint64) [][]Level {
+	if k < 1 || n < 1 {
+		panic("doe: LatinHypercube needs positive k and n")
+	}
+	// Simple deterministic PRNG (splitmix64) to avoid importing xrand
+	// into this leaf package.
+	state := seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	points := make([][]Level, n)
+	for i := range points {
+		points[i] = make([]Level, k)
+	}
+	perm := make([]int, n)
+	for f := 0; f < k; f++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := int(next() % uint64(i+1))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		for i := 0; i < n; i++ {
+			// Stratum perm[i] of n maps onto the five levels.
+			points[i][f] = Level(perm[i] * NumLevels / n)
+		}
+	}
+	return points
+}
+
+// BoxBehnken generates the Box-Behnken design for k >= 3 factors: the
+// midpoints of the factorial hypercube's edges (every pair of factors at
+// {low, high} with the rest central) plus centre replicates. It needs no
+// min/max axial runs, making it the cheaper alternative to CCD when the
+// parameter extremes are expensive to simulate.
+func BoxBehnken(k int, centerReps int) []Point {
+	if k < 3 || k > 16 {
+		panic(fmt.Sprintf("doe: BoxBehnken factor count %d out of range [3,16]", k))
+	}
+	if centerReps < 1 {
+		centerReps = 1
+	}
+	var points []Point
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			for _, li := range []Level{Low, High} {
+				for _, lj := range []Level{Low, High} {
+					p := make(Point, k)
+					for f := range p {
+						p[f] = Central
+					}
+					p[i], p[j] = li, lj
+					points = append(points, p)
+				}
+			}
+		}
+	}
+	center := make(Point, k)
+	for f := range center {
+		center[f] = Central
+	}
+	for r := 0; r < centerReps; r++ {
+		points = append(points, center.clone())
+	}
+	return points
+}

@@ -1,0 +1,247 @@
+package doe
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNumRunsMatchesPaper(t *testing.T) {
+	// Table 4 of the paper: 11 runs for 2-parameter apps, 19 for 3, 31
+	// for 4.
+	cases := map[int]int{1: 5, 2: 11, 3: 19, 4: 31}
+	for k, want := range cases {
+		if got := NumRuns(k); got != want {
+			t.Errorf("NumRuns(%d) = %d, want %d", k, got, want)
+		}
+		if got := len(CCD(k)); got != want {
+			t.Errorf("len(CCD(%d)) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestCCDStructure(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		points := CCD(k)
+		// Corners use only Low/High; axial points have exactly one
+		// Min/Max with the rest Central; centre replicates are all
+		// Central.
+		corners, axial, centre := 0, 0, 0
+		for _, p := range points {
+			if len(p) != k {
+				t.Fatalf("k=%d: point size %d", k, len(p))
+			}
+			nLowHigh, nMinMax, nCentral := 0, 0, 0
+			for _, l := range p {
+				switch l {
+				case Low, High:
+					nLowHigh++
+				case Min, Max:
+					nMinMax++
+				case Central:
+					nCentral++
+				}
+			}
+			switch {
+			case nLowHigh == k:
+				corners++
+			case nMinMax == 1 && nCentral == k-1:
+				axial++
+			case nCentral == k:
+				centre++
+			default:
+				t.Fatalf("k=%d: malformed point %v", k, p)
+			}
+		}
+		if corners != 1<<k {
+			t.Errorf("k=%d: %d corners, want %d", k, corners, 1<<k)
+		}
+		if axial != 2*k {
+			t.Errorf("k=%d: %d axial, want %d", k, axial, 2*k)
+		}
+		if centre != CenterReplicates(k) {
+			t.Errorf("k=%d: %d centre, want %d", k, centre, CenterReplicates(k))
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	for k := 1; k <= 5; k++ {
+		d := Distinct(CCD(k))
+		want := 1<<k + 2*k + 1 // replicates collapse to one centre
+		if len(d) != want {
+			t.Errorf("k=%d: %d distinct points, want %d", k, len(d), want)
+		}
+	}
+}
+
+func TestCCDPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CCD(%d) did not panic", k)
+				}
+			}()
+			CCD(k)
+		}()
+	}
+}
+
+func TestGrid(t *testing.T) {
+	rows := Grid([]int{2, 3})
+	if len(rows) != 6 {
+		t.Fatalf("grid size %d, want 6", len(rows))
+	}
+	seen := map[[2]int]bool{}
+	for _, r := range rows {
+		if r[0] < 0 || r[0] >= 2 || r[1] < 0 || r[1] >= 3 {
+			t.Fatalf("grid row out of range: %v", r)
+		}
+		key := [2]int{r[0], r[1]}
+		if seen[key] {
+			t.Fatalf("duplicate grid row %v", r)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGridSizeProperty(t *testing.T) {
+	if err := quick.Check(func(a, b, c uint8) bool {
+		sizes := []int{int(a%4) + 1, int(b%4) + 1, int(c%4) + 1}
+		want := sizes[0] * sizes[1] * sizes[2]
+		return len(Grid(sizes)) == want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridTargets(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		sizes := GridTargets(k, 256)
+		product := 1
+		for _, s := range sizes {
+			product *= s
+		}
+		if product < 256 {
+			t.Errorf("k=%d: grid product %d < 256", k, product)
+		}
+		// Balanced: max and min sizes differ by at most 1 growth step.
+		minS, maxS := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		if maxS > 2*minS+1 {
+			t.Errorf("k=%d: unbalanced grid %v", k, sizes)
+		}
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	if Interpolate(0, 100, 0, 5) != 0 {
+		t.Error("first grid point not at min")
+	}
+	if Interpolate(0, 100, 4, 5) != 100 {
+		t.Error("last grid point not at max")
+	}
+	if got := Interpolate(0, 100, 2, 5); got != 50 {
+		t.Errorf("midpoint = %d", got)
+	}
+	if got := Interpolate(10, 20, 0, 1); got != 15 {
+		t.Errorf("single-point grid = %d, want midpoint 15", got)
+	}
+}
+
+func TestInterpolateBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(lo, span uint16, idx, size uint8) bool {
+		minV := int(lo)
+		maxV := minV + int(span)
+		n := int(size%16) + 1
+		i := int(idx) % n
+		v := Interpolate(minV, maxV, i, n)
+		return v >= minV && v <= maxV
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatinHypercube(t *testing.T) {
+	const k, n = 3, 10
+	pts := LatinHypercube(k, n, 7)
+	if len(pts) != n {
+		t.Fatalf("%d points, want %d", len(pts), n)
+	}
+	// Latin property: for each factor, each of the five levels appears
+	// n/5 times (n divisible by 5 here).
+	for f := 0; f < k; f++ {
+		counts := map[Level]int{}
+		for _, p := range pts {
+			if p[f] < Min || p[f] > Max {
+				t.Fatalf("level out of range: %v", p[f])
+			}
+			counts[p[f]]++
+		}
+		for l := Min; l <= Max; l++ {
+			if counts[l] != n/NumLevels {
+				t.Errorf("factor %d level %d appears %d times, want %d", f, l, counts[l], n/NumLevels)
+			}
+		}
+	}
+	// Deterministic in seed.
+	again := LatinHypercube(k, n, 7)
+	for i := range pts {
+		for f := range pts[i] {
+			if pts[i][f] != again[i][f] {
+				t.Fatal("LHS not deterministic")
+			}
+		}
+	}
+}
+
+func TestLatinHypercubePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on zero n")
+		}
+	}()
+	LatinHypercube(1, 0, 1)
+}
+
+func TestBoxBehnken(t *testing.T) {
+	for k := 3; k <= 5; k++ {
+		pts := BoxBehnken(k, 3)
+		// 4 * C(k,2) edge midpoints + 3 centre runs.
+		want := 4*k*(k-1)/2 + 3
+		if len(pts) != want {
+			t.Fatalf("k=%d: %d points, want %d", k, len(pts), want)
+		}
+		for _, p := range pts {
+			nonCentral := 0
+			for _, l := range p {
+				switch l {
+				case Low, High:
+					nonCentral++
+				case Central:
+				default:
+					t.Fatalf("k=%d: Box-Behnken uses level %v", k, l)
+				}
+			}
+			if nonCentral != 0 && nonCentral != 2 {
+				t.Fatalf("k=%d: point %v has %d non-central factors", k, p, nonCentral)
+			}
+		}
+	}
+}
+
+func TestBoxBehnkenPanicsBelow3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=2 accepted")
+		}
+	}()
+	BoxBehnken(2, 1)
+}

@@ -1,0 +1,43 @@
+package doe_test
+
+import (
+	"fmt"
+
+	"napel/internal/doe"
+)
+
+// ExampleCCD reproduces the two-parameter design of the paper's
+// Figure 3: four corners at the low/high levels, four axial points
+// pairing min/max with the centre, and the replicated centre runs.
+func ExampleCCD() {
+	points := doe.CCD(2)
+	fmt.Println("runs:", len(points))
+	for _, p := range points[:4] {
+		fmt.Println("corner:", p)
+	}
+	for _, p := range points[4:8] {
+		fmt.Println("axial: ", p)
+	}
+	fmt.Println("centre replicates:", len(points)-8)
+	// Output:
+	// runs: 11
+	// corner: [1 1]
+	// corner: [3 1]
+	// corner: [1 3]
+	// corner: [3 3]
+	// axial:  [0 2]
+	// axial:  [4 2]
+	// axial:  [2 0]
+	// axial:  [2 4]
+	// centre replicates: 3
+}
+
+// ExampleGridTargets shows how Figure 4's 256-point sweeps are shaped
+// for different factor counts.
+func ExampleGridTargets() {
+	fmt.Println(doe.GridTargets(2, 256))
+	fmt.Println(doe.GridTargets(4, 256))
+	// Output:
+	// [16 16]
+	// [4 4 4 4]
+}

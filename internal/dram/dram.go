@@ -1,0 +1,338 @@
+// Package dram models the 3D-stacked DRAM of the NMC subsystem: an
+// HMC-like memory cube divided into vertical vaults, each with its own
+// controller in the logic layer, several stacked DRAM layers contributing
+// banks, a small row buffer and a closed-row default policy (Table 3 of
+// the paper: 32 vaults, 8 layers, 256 B row buffer, 4 GB, closed-row).
+//
+// The model is request-level and event-driven: each access is resolved to
+// (vault, bank, row) and assigned a completion time from the JEDEC-style
+// bank timing state machine (tRCD/tCL/tWL/tRP/tRAS/tWR plus burst
+// occupancy on the vault data bus and periodic refresh blackouts). Times
+// are tracked in integer picoseconds, which keeps the simulation
+// deterministic across platforms.
+package dram
+
+import "fmt"
+
+// Timing holds DRAM timing parameters in nanoseconds. Defaults follow
+// published HMC/3D-stacked characterizations used by ramulator-pim.
+type Timing struct {
+	TRCD   float64 // activate to column command
+	TCL    float64 // read column command to first data
+	TWL    float64 // write column command to first data
+	TRP    float64 // precharge
+	TRAS   float64 // activate to precharge minimum
+	TWR    float64 // write recovery
+	TBurst float64 // data burst occupancy per column access
+	TREFI  float64 // refresh interval (0 disables refresh)
+	TRFC   float64 // refresh cycle time
+}
+
+// DefaultTiming returns HMC-like timing (tCK ~0.8 ns class device).
+func DefaultTiming() Timing {
+	return Timing{
+		TRCD:   13.75,
+		TCL:    13.75,
+		TWL:    10.0,
+		TRP:    13.75,
+		TRAS:   27.5,
+		TWR:    15.0,
+		TBurst: 3.2,
+		TREFI:  3900,
+		TRFC:   260,
+	}
+}
+
+// RowPolicy selects the row-buffer management policy.
+type RowPolicy uint8
+
+const (
+	// ClosedRow precharges immediately after each access (Table 3).
+	ClosedRow RowPolicy = iota
+	// OpenRow leaves the row open, paying precharge only on conflicts.
+	OpenRow
+)
+
+func (p RowPolicy) String() string {
+	if p == OpenRow {
+		return "open-row"
+	}
+	return "closed-row"
+}
+
+// Config describes the stacked-memory organization.
+type Config struct {
+	Vaults        int    // vertical partitions, each with own controller
+	Layers        int    // stacked DRAM layers
+	BanksPerLayer int    // banks contributed by each layer to a vault
+	RowBytes      int    // row buffer size in bytes
+	SizeBytes     uint64 // total capacity
+	Policy        RowPolicy
+	Timing        Timing
+}
+
+// DefaultConfig returns the Table 3 NMC DRAM: 32 vaults, 8 layers, 256 B
+// row buffer, 4 GB, closed-row.
+func DefaultConfig() Config {
+	return Config{
+		Vaults:        32,
+		Layers:        8,
+		BanksPerLayer: 2,
+		RowBytes:      256,
+		SizeBytes:     4 << 30,
+		Policy:        ClosedRow,
+		Timing:        DefaultTiming(),
+	}
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.Vaults <= 0 || c.Vaults&(c.Vaults-1) != 0 {
+		return fmt.Errorf("dram: vault count %d must be a positive power of two", c.Vaults)
+	}
+	if c.Layers <= 0 {
+		return fmt.Errorf("dram: layer count %d must be positive", c.Layers)
+	}
+	if c.BanksPerLayer <= 0 {
+		return fmt.Errorf("dram: banks per layer %d must be positive", c.BanksPerLayer)
+	}
+	if c.RowBytes <= 0 || c.RowBytes&(c.RowBytes-1) != 0 {
+		return fmt.Errorf("dram: row buffer %d bytes must be a positive power of two", c.RowBytes)
+	}
+	if c.SizeBytes == 0 {
+		return fmt.Errorf("dram: size must be positive")
+	}
+	t := c.Timing
+	if t.TRCD <= 0 || t.TCL <= 0 || t.TRP <= 0 || t.TBurst <= 0 {
+		return fmt.Errorf("dram: core timing parameters must be positive")
+	}
+	return nil
+}
+
+// BanksPerVault returns the number of banks each vault controller owns.
+func (c Config) BanksPerVault() int { return c.Layers * c.BanksPerLayer }
+
+// Stats counts DRAM command activity, the raw material of the energy
+// model.
+type Stats struct {
+	Activations uint64
+	Reads       uint64
+	Writes      uint64
+	RowHits     uint64
+	RowConfs    uint64 // row conflicts (open-row policy only)
+	Refreshes   uint64
+	BytesRead   uint64
+	BytesWrite  uint64
+	BusyPs      uint64 // total bank busy time, picoseconds
+}
+
+type bank struct {
+	readyPs uint64 // earliest time a new activate may start
+	openRow int64  // open-row policy: currently open row, -1 none
+	// Closed-row burst coalescing: real controllers batch queued
+	// requests to the same row before the auto-precharge, so
+	// back-to-back accesses to a hot row (e.g. every PE reading the same
+	// shared line) pay one activation, not one each.
+	lastRow      int64
+	lastBurstEnd uint64 // completion of the last burst to lastRow
+}
+
+type vault struct {
+	banks     []bank
+	busFreePs uint64 // vault data bus availability
+}
+
+// Memory is one stacked-memory cube. Not safe for concurrent use.
+type Memory struct {
+	cfg    Config
+	vaults []vault
+	ps     timingPs
+	Stats  Stats
+}
+
+// timingPs is Timing converted to integer picoseconds.
+type timingPs struct {
+	rcd, cl, wl, rp, ras, wr, burst, refi, rfc uint64
+	coalesce                                   uint64 // same-row batching window after a burst
+}
+
+func toPs(ns float64) uint64 { return uint64(ns * 1000) }
+
+// New builds a memory cube; the config must be valid.
+func New(cfg Config) (*Memory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		cfg: cfg,
+		ps: timingPs{
+			rcd:      toPs(cfg.Timing.TRCD),
+			cl:       toPs(cfg.Timing.TCL),
+			wl:       toPs(cfg.Timing.TWL),
+			rp:       toPs(cfg.Timing.TRP),
+			ras:      toPs(cfg.Timing.TRAS),
+			wr:       toPs(cfg.Timing.TWR),
+			burst:    toPs(cfg.Timing.TBurst),
+			refi:     toPs(cfg.Timing.TREFI),
+			rfc:      toPs(cfg.Timing.TRFC),
+			coalesce: toPs(cfg.Timing.TRAS),
+		},
+		vaults: make([]vault, cfg.Vaults),
+	}
+	for i := range m.vaults {
+		banks := make([]bank, cfg.BanksPerVault())
+		for b := range banks {
+			banks[b].openRow = -1
+		}
+		m.vaults[i].banks = banks
+	}
+	return m, nil
+}
+
+// Config returns the memory organization.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Location is the decoded target of an address.
+type Location struct {
+	Vault, Bank int
+	Row         int64
+}
+
+// Decode maps a byte address to its vault, bank and row. Row-buffer-sized
+// blocks interleave across vaults first (maximizing vault-level
+// parallelism for streaming, as in HMC), then across banks.
+func (m *Memory) Decode(addr uint64) Location {
+	addr %= m.cfg.SizeBytes
+	block := addr / uint64(m.cfg.RowBytes)
+	v := int(block % uint64(m.cfg.Vaults))
+	block /= uint64(m.cfg.Vaults)
+	nb := uint64(m.cfg.BanksPerVault())
+	b := int(block % nb)
+	return Location{Vault: v, Bank: b, Row: int64(block / nb)}
+}
+
+// Access services a read or write of bytes (<= RowBytes) at addr arriving
+// at time nowPs, returning the time at which the data transfer completes.
+// Timing honors bank availability, the vault data bus, refresh blackouts
+// and the configured row policy. Under the closed-row policy,
+// back-to-back requests to the same row are coalesced into the open
+// activation window (CAS-only service), modeling the request batching
+// every real controller performs before the auto-precharge; without it,
+// a line shared by many PEs would pay one full ACT-PRE cycle per reader.
+func (m *Memory) Access(addr uint64, write bool, bytes int, nowPs uint64) (donePs uint64) {
+	loc := m.Decode(addr)
+	v := &m.vaults[loc.Vault]
+	bk := &v.banks[loc.Bank]
+
+	arrival := m.afterRefresh(loc.Vault, nowPs)
+
+	var dataAt, busyUntil uint64
+	switch m.cfg.Policy {
+	case OpenRow:
+		start := max64(arrival, bk.readyPs)
+		switch {
+		case bk.openRow == loc.Row:
+			m.Stats.RowHits++
+			dataAt = start + m.colLatency(write)
+		case bk.openRow >= 0:
+			m.Stats.RowConfs++
+			m.Stats.Activations++
+			dataAt = start + m.ps.rp + m.ps.rcd + m.colLatency(write)
+		default:
+			m.Stats.Activations++
+			dataAt = start + m.ps.rcd + m.colLatency(write)
+		}
+		bk.openRow = loc.Row
+		busyUntil = dataAt + m.ps.burst
+		if write {
+			busyUntil += m.ps.wr
+		}
+		m.Stats.BusyPs += busyUntil - start
+	default: // ClosedRow
+		if bk.lastRow == loc.Row && bk.lastBurstEnd > 0 && arrival <= bk.lastBurstEnd+m.ps.coalesce {
+			// Coalesce into the open activation window: CAS only, queued
+			// behind the window's previous burst.
+			m.Stats.RowHits++
+			start := max64(arrival, bk.lastBurstEnd)
+			dataAt = start + m.colLatency(write)
+			burstEnd := dataAt + m.ps.burst
+			if write {
+				burstEnd += m.ps.wr
+			}
+			bk.lastBurstEnd = burstEnd
+			bk.readyPs = max64(bk.readyPs, burstEnd+m.ps.rp)
+			m.Stats.BusyPs += burstEnd - start
+		} else {
+			start := max64(arrival, bk.readyPs)
+			m.Stats.Activations++
+			dataAt = start + m.ps.rcd + m.colLatency(write)
+			// The bank must satisfy tRAS before the auto-precharge and
+			// then pay tRP before the next activate.
+			actDone := dataAt + m.ps.burst
+			if write {
+				actDone += m.ps.wr
+			}
+			bk.lastRow = loc.Row
+			bk.lastBurstEnd = actDone
+			bk.readyPs = max64(start+m.ps.ras, actDone) + m.ps.rp
+			m.Stats.BusyPs += bk.readyPs - start
+		}
+	}
+
+	// Serialize the data burst on the vault's data bus.
+	xfer := max64(dataAt, v.busFreePs)
+	done := xfer + m.ps.burst
+	v.busFreePs = done
+	if m.cfg.Policy == OpenRow {
+		if busyUntil < done {
+			busyUntil = done
+		}
+		bk.readyPs = max64(bk.readyPs, busyUntil)
+	}
+
+	if write {
+		m.Stats.Writes++
+		m.Stats.BytesWrite += uint64(bytes)
+	} else {
+		m.Stats.Reads++
+		m.Stats.BytesRead += uint64(bytes)
+	}
+	return done
+}
+
+// colLatency is the column command-to-data latency.
+func (m *Memory) colLatency(write bool) uint64 {
+	if write {
+		return m.ps.wl
+	}
+	return m.ps.cl
+}
+
+// afterRefresh pushes start out of any refresh blackout window. Vaults
+// refresh on a staggered schedule so the whole cube never blacks out at
+// once.
+func (m *Memory) afterRefresh(vaultID int, start uint64) uint64 {
+	if m.ps.refi == 0 {
+		return start
+	}
+	offset := uint64(vaultID) * (m.ps.refi / uint64(m.cfg.Vaults))
+	phase := (start + m.ps.refi - offset%m.ps.refi) % m.ps.refi
+	if phase < m.ps.rfc {
+		m.Stats.Refreshes++
+		return start + (m.ps.rfc - phase)
+	}
+	return start
+}
+
+// UnloadedReadLatencyPs returns the no-contention read latency, used by
+// the energy/latency reports and in tests as a lower bound.
+func (m *Memory) UnloadedReadLatencyPs() uint64 {
+	return m.ps.rcd + m.ps.cl + m.ps.burst
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

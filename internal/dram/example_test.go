@@ -1,0 +1,28 @@
+package dram_test
+
+import (
+	"fmt"
+
+	"napel/internal/dram"
+)
+
+// Example_vaultParallelism shows the defining property of the stacked
+// memory: requests to different vaults proceed in parallel, requests to
+// the same bank serialize.
+func Example_vaultParallelism() {
+	cfg := dram.DefaultConfig()
+	cfg.Timing.TREFI = 0 // no refresh, deterministic latencies
+	m, err := dram.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	sameVault := uint64(cfg.RowBytes * cfg.Vaults * cfg.BanksPerVault() * 16)
+	d1 := m.Access(0, false, 64, 0)                    // vault 0, bank 0
+	d2 := m.Access(uint64(cfg.RowBytes), false, 64, 0) // vault 1: parallel
+	d3 := m.Access(sameVault, false, 64, 0)            // vault 0, bank 0 again: waits
+	fmt.Println("other vault finishes with the first:", d2 == d1)
+	fmt.Println("same bank must wait:", d3 > d1)
+	// Output:
+	// other vault finishes with the first: true
+	// same bank must wait: true
+}

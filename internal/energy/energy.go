@@ -1,0 +1,85 @@
+// Package energy holds the energy/power parameter tables used to convert
+// event counts from the NMC and host simulators into Joules.
+//
+// The paper measures host energy with on-board POWER9 sensors (AMESTER)
+// and NMC energy with the simulator's integrated model. Neither source is
+// available here, so this package substitutes per-event energies and
+// static powers drawn from published characterizations of HMC-class
+// stacked memories, simple in-order cores and server-class OoO cores.
+// Absolute Joules are therefore approximate; the NMC-vs-host *ratios*
+// that decide the paper's EDP conclusions are governed by the same
+// first-order effects (off-chip DDR traffic vs. in-stack access, big-core
+// vs. little-core per-instruction cost) that the constants encode.
+package energy
+
+import "napel/internal/trace"
+
+// NMCParams parameterizes the NMC subsystem energy model. Energies are in
+// picojoules per event, powers in watts.
+type NMCParams struct {
+	// Per-instruction PE energies by op class (execute + fetch/decode).
+	PEInstPJ [trace.NumOps]float64
+	// L1AccessPJ is the energy of one access to the tiny PE-private L1.
+	L1AccessPJ float64
+	// DRAM per-command energies.
+	ActPJ     float64 // one activation (256 B row in the stack)
+	ReadPJ    float64 // one 64 B read burst, including TSV transfer
+	WritePJ   float64 // one 64 B write burst
+	RefreshPJ float64 // one per-vault refresh cycle
+	// Static power.
+	PEStaticW    float64 // leakage + clock per PE
+	DRAMStaticW  float64 // cube background power
+	LinkStaticW  float64 // SerDes idle power (it stays up during offload)
+	LinkPJPerBit float64 // off-chip transfer energy (offload/result copy)
+}
+
+// DefaultNMCParams returns the default NMC energy table.
+func DefaultNMCParams() NMCParams {
+	p := NMCParams{
+		L1AccessPJ:   1.0,
+		ActPJ:        900,
+		ReadPJ:       1900, // ≈3.7 pJ/bit × 512 bit, HMC-class
+		WritePJ:      2000,
+		RefreshPJ:    5000,
+		PEStaticW:    0.020,
+		DRAMStaticW:  1.2,
+		LinkStaticW:  0.5,
+		LinkPJPerBit: 2.0,
+	}
+	p.PEInstPJ[trace.OpIntALU] = 4
+	p.PEInstPJ[trace.OpIntMul] = 7
+	p.PEInstPJ[trace.OpIntDiv] = 18
+	p.PEInstPJ[trace.OpFPALU] = 8
+	p.PEInstPJ[trace.OpFPMul] = 10
+	p.PEInstPJ[trace.OpFPDiv] = 25
+	p.PEInstPJ[trace.OpLoad] = 5
+	p.PEInstPJ[trace.OpStore] = 5
+	p.PEInstPJ[trace.OpBranch] = 3
+	p.PEInstPJ[trace.OpCall] = 4
+	p.PEInstPJ[trace.OpMove] = 2
+	return p
+}
+
+// HostParams parameterizes the host (POWER9-class) energy model.
+type HostParams struct {
+	InstPJ        float64 // average per-instruction core energy (OoO overheads)
+	L1PJ          float64 // per L1 access
+	L2PJ          float64 // per L2 access
+	L3PJ          float64 // per L3 access
+	DRAMPJPerByte float64 // DDR4 channel energy per byte transferred
+	CoreStaticW   float64 // per active core
+	UncoreStaticW float64 // chip uncore + DIMM background
+}
+
+// DefaultHostParams returns the default host energy table.
+func DefaultHostParams() HostParams {
+	return HostParams{
+		InstPJ:        60,
+		L1PJ:          15,
+		L2PJ:          40,
+		L3PJ:          180,
+		DRAMPJPerByte: 160, // ≈20 pJ/bit DDR4 incl. I/O and termination
+		CoreStaticW:   3.5,
+		UncoreStaticW: 40,
+	}
+}

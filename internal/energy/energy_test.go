@@ -1,0 +1,49 @@
+package energy
+
+import (
+	"testing"
+
+	"napel/internal/trace"
+)
+
+func TestDefaultNMCParamsComplete(t *testing.T) {
+	p := DefaultNMCParams()
+	for op := trace.Op(0); op < trace.NumOps; op++ {
+		if p.PEInstPJ[op] <= 0 {
+			t.Errorf("op %s has no per-instruction energy", op)
+		}
+	}
+	if p.ActPJ <= 0 || p.ReadPJ <= 0 || p.WritePJ <= 0 || p.RefreshPJ <= 0 {
+		t.Error("DRAM energies must be positive")
+	}
+	if p.PEStaticW <= 0 || p.DRAMStaticW <= 0 || p.LinkStaticW <= 0 {
+		t.Error("static powers must be positive")
+	}
+}
+
+func TestNMCEnergyOrdering(t *testing.T) {
+	p := DefaultNMCParams()
+	// A DRAM access must dwarf an ALU op; divides cost more than adds.
+	if p.ReadPJ < 100*p.PEInstPJ[trace.OpIntALU] {
+		t.Error("DRAM read suspiciously cheap relative to ALU")
+	}
+	if p.PEInstPJ[trace.OpFPDiv] <= p.PEInstPJ[trace.OpFPALU] {
+		t.Error("FP divide not more expensive than FP add")
+	}
+}
+
+func TestHostEnergyOrdering(t *testing.T) {
+	h := DefaultHostParams()
+	if !(h.L1PJ < h.L2PJ && h.L2PJ < h.L3PJ) {
+		t.Error("cache energies not increasing outward")
+	}
+	if h.DRAMPJPerByte <= 0 || h.InstPJ <= 0 {
+		t.Error("host energies must be positive")
+	}
+	// The host's big OoO core spends more per instruction than the NMC
+	// PE — the fundamental energy asymmetry behind Figure 7.
+	n := DefaultNMCParams()
+	if h.InstPJ <= n.PEInstPJ[trace.OpIntALU] {
+		t.Error("host per-instruction energy should exceed the simple PE's")
+	}
+}

@@ -1,0 +1,162 @@
+package exp
+
+import (
+	"io"
+
+	"napel/internal/doe"
+	"napel/internal/ml"
+	"napel/internal/ml/rf"
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// AblationResult quantifies the design choices DESIGN.md calls out by
+// switching each off in isolation and measuring leave-one-application-out
+// accuracy on the performance target.
+type AblationResult struct {
+	// Baseline is the full configuration: CCD training inputs,
+	// log-target learning, per-PE normalization.
+	Baseline float64
+	// RandomDoE replaces the central composite design with uniform
+	// random sampling of the same run budget (the paper's motivation for
+	// DoE, Section 2.4).
+	RandomDoE float64
+	// LatinDoE replaces CCD with Latin hypercube sampling of the same
+	// budget (the SemiBoost strategy of Table 5).
+	LatinDoE float64
+	// RawTarget disables the log transform and the per-PE normalization
+	// (learning aggregate IPC directly).
+	RawTarget float64
+	// Tuned applies the Section 2.5 hyper-parameter grid search on the
+	// baseline configuration.
+	Tuned float64
+}
+
+// rawTrainer trains the forest on raw, unnormalized aggregate IPC.
+type rawTrainer struct{ inner rf.Trainer }
+
+func (t rawTrainer) Train(d *ml.Dataset, seed uint64) (ml.Model, error) {
+	return t.inner.Train(d, seed)
+}
+func (t rawTrainer) Name() string { return "raw-" + t.inner.Name() }
+
+// rawDataset rebuilds the performance dataset without per-PE
+// normalization.
+func rawDataset(td *napel.TrainingData) *ml.Dataset {
+	d := &ml.Dataset{
+		X:      make([][]float64, len(td.Samples)),
+		Y:      make([]float64, len(td.Samples)),
+		Names:  td.Names,
+		Groups: make([]string, len(td.Samples)),
+	}
+	for i, s := range td.Samples {
+		d.X[i] = s.Features
+		d.Y[i] = s.IPC
+		d.Groups[i] = s.App
+	}
+	return d
+}
+
+// loocvMRE runs leave-one-group-out with an arbitrary dataset/trainer.
+func loocvMRE(d *ml.Dataset, trainer ml.Trainer, seed uint64) (float64, error) {
+	folds := ml.LeaveOneGroupOut(d)
+	sum, n := 0.0, 0
+	for _, fold := range folds {
+		if len(fold.Train) == 0 || len(fold.Test) == 0 {
+			continue
+		}
+		m, err := trainer.Train(d.Subset(fold.Train), seed)
+		if err != nil {
+			return 0, err
+		}
+		sum += ml.MRE(m, d.Subset(fold.Test))
+		n++
+	}
+	return sum / float64(n), nil
+}
+
+// Ablation runs the four configurations and renders the comparison.
+func (c *Context) Ablation(w io.Writer) (*AblationResult, error) {
+	td, err := c.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{}
+
+	// Baseline: the shipped configuration.
+	rows, err := napel.EvaluateLOOCV(td, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = napel.MeanMRE(rows)
+
+	// Random sampling instead of CCD, same run counts and budgets.
+	randTD, err := napel.CollectWithInputs(c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
+		return napel.RandomInputs(k, c.S.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	randRows, err := napel.EvaluateLOOCV(randTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.RandomDoE = napel.MeanMRE(randRows)
+
+	// Latin hypercube sampling of the same budget.
+	lhsTD, err := napel.CollectWithInputs(c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
+		params := k.Params()
+		pts := doe.LatinHypercube(len(params), doe.NumRuns(len(params)), c.S.Seed)
+		inputs := make([]workload.Input, len(pts))
+		for i, pt := range pts {
+			in := workload.Input{}
+			for f, p := range params {
+				in[p.Name] = p.Levels[int(pt[f])]
+			}
+			inputs[i] = in
+		}
+		return inputs
+	})
+	if err != nil {
+		return nil, err
+	}
+	lhsRows, err := napel.EvaluateLOOCV(lhsTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.LatinDoE = napel.MeanMRE(lhsRows)
+
+	// Raw aggregate-IPC target (no log transform, no PE normalization).
+	raw, err := loocvMRE(rawDataset(td), rawTrainer{inner: rf.Trainer{Params: rf.Params{Trees: 80, MinLeaf: 2}}}, c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.RawTarget = raw
+
+	// Hyper-parameter tuning on top of the baseline.
+	d := td.Dataset(napel.TargetIPC)
+	grid := napel.RFTuneGrid(d.NumFeatures())
+	if c.S.TuneGrid > 0 && c.S.TuneGrid < len(grid) {
+		grid = grid[:c.S.TuneGrid]
+	}
+	folds := ml.LeaveOneGroupOut(d)
+	sum, n := 0.0, 0
+	for _, fold := range folds {
+		model, _, _, err := ml.Tune(grid, d.Subset(fold.Train), 3, c.S.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sum += ml.MRE(model, d.Subset(fold.Test))
+		n++
+	}
+	res.Tuned = sum / float64(n)
+
+	line(w, "Ablation: leave-one-application-out performance MRE under design variations")
+	line(w, "%-44s %10s", "configuration", "mean MRE")
+	line(w, "%-44s %9.1f%%", "baseline (CCD + log target + PE-normalized)", res.Baseline*100)
+	line(w, "%-44s %9.1f%%", "random input sampling instead of CCD", res.RandomDoE*100)
+	line(w, "%-44s %9.1f%%", "Latin hypercube sampling instead of CCD", res.LatinDoE*100)
+	line(w, "%-44s %9.1f%%", "raw aggregate-IPC target", res.RawTarget*100)
+	line(w, "%-44s %9.1f%%", "baseline + hyper-parameter tuning", res.Tuned*100)
+	return res, nil
+}

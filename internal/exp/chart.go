@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart — the textual stand-in
+// for the paper's figures. Values must be non-negative; the scale is
+// linear unless logScale is set (useful for EDP reductions spanning
+// decades). A reference line value (e.g. the suitability crossover at 1)
+// is marked on each bar when refLine > 0.
+type barChart struct {
+	Title    string
+	Unit     string
+	Width    int     // bar field width in characters (default 40)
+	LogScale bool    // log10 axis for values spanning decades
+	RefLine  float64 // draw a '|' marker at this value (0 = none)
+}
+
+// barRow is one labeled value.
+type barRow struct {
+	Label string
+	Value float64
+}
+
+// render writes the chart.
+func (c barChart) render(w io.Writer, rows []barRow) {
+	if len(rows) == 0 {
+		return
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	minV := math.Inf(1)
+	for _, r := range rows {
+		if r.Value > maxV {
+			maxV = r.Value
+		}
+		if r.Value < minV {
+			minV = r.Value
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+
+	// Position maps a value onto [0, width].
+	position := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		var frac float64
+		if c.LogScale {
+			lo := math.Log10(math.Max(minV, maxV/1e4)) - 0.5
+			hi := math.Log10(maxV)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			frac = (math.Log10(v) - lo) / (hi - lo)
+		} else {
+			frac = v / maxV
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return int(frac * float64(width))
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	refPos := -1
+	if c.RefLine > 0 && c.RefLine <= maxV {
+		refPos = position(c.RefLine)
+	}
+	for _, r := range rows {
+		n := position(r.Value)
+		bar := []byte(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if refPos >= 0 && refPos < len(bar) {
+			if bar[refPos] == ' ' {
+				bar[refPos] = '|'
+			} else {
+				bar[refPos] = '+'
+			}
+		}
+		fmt.Fprintf(w, "  %-6s %s %10.3g%s\n", r.Label, string(bar), r.Value, c.Unit)
+	}
+}

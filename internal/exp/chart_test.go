@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartLinear(t *testing.T) {
+	var b strings.Builder
+	barChart{Title: "test", Unit: "x", Width: 20}.render(&b, []barRow{
+		{Label: "big", Value: 10},
+		{Label: "half", Value: 5},
+		{Label: "zero", Value: 0},
+	})
+	out := b.String()
+	if !strings.Contains(out, "test") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[1]) != 20 {
+		t.Errorf("max bar has %d marks, want 20", count(lines[1]))
+	}
+	if c := count(lines[2]); c < 9 || c > 11 {
+		t.Errorf("half bar has %d marks, want ~10", c)
+	}
+	if count(lines[3]) != 0 {
+		t.Errorf("zero bar has marks")
+	}
+}
+
+func TestBarChartLogWithRefLine(t *testing.T) {
+	var b strings.Builder
+	barChart{LogScale: true, RefLine: 1, Width: 30}.render(&b, []barRow{
+		{Label: "win", Value: 10},
+		{Label: "lose", Value: 0.1},
+	})
+	out := b.String()
+	if !strings.Contains(out, "|") && !strings.Contains(out, "+") {
+		t.Fatal("missing crossover marker")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Fatal("log bars not ordered by value")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	var b strings.Builder
+	barChart{}.render(&b, nil)
+	if b.Len() != 0 {
+		t.Fatal("empty chart rendered output")
+	}
+}

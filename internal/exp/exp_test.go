@@ -1,0 +1,356 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+
+	"napel/internal/napel"
+)
+
+// The exp drivers are integration-tested at Quick settings; each test
+// shares one context so the DoE collection runs once.
+
+var sharedCtx *Context
+
+func ctxForTest(t *testing.T) *Context {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment drivers skipped in -short mode")
+	}
+	if sharedCtx == nil {
+		sharedCtx = NewContext(Quick())
+	}
+	return sharedCtx
+}
+
+func TestStaticTables(t *testing.T) {
+	var b strings.Builder
+	Table2(&b)
+	out := b.String()
+	for _, app := range []string{"atax", "bfs", "trmm"} {
+		if !strings.Contains(out, app) {
+			t.Errorf("Table 2 missing %s", app)
+		}
+	}
+	if !strings.Contains(out, "CCD runs: 11") || !strings.Contains(out, "CCD runs: 31") {
+		t.Error("Table 2 missing CCD run counts")
+	}
+
+	b.Reset()
+	Table3(&b)
+	if !strings.Contains(b.String(), "32x single-issue") {
+		t.Error("Table 3 missing NMC core line")
+	}
+
+	b.Reset()
+	Table5(&b)
+	if !strings.Contains(b.String(), "Random Forest") || !strings.Contains(b.String(), "internal/ml/rf") {
+		t.Error("Table 5 incomplete")
+	}
+}
+
+func TestQuickSettingsValid(t *testing.T) {
+	s := Quick()
+	if err := s.Opts.Validate(); err != nil {
+		t.Fatalf("quick settings invalid: %v", err)
+	}
+	if len(s.Kernels) == 0 {
+		t.Fatal("quick settings have no kernels")
+	}
+	d := Default()
+	if err := d.Opts.Validate(); err != nil {
+		t.Fatalf("default settings invalid: %v", err)
+	}
+	if len(d.Kernels) != 12 {
+		t.Fatalf("default settings have %d kernels", len(d.Kernels))
+	}
+}
+
+func TestTable4Driver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Table4(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ctx.S.Kernels) {
+		t.Fatalf("%d rows, want %d", len(res.Rows), len(ctx.S.Kernels))
+	}
+	for _, r := range res.Rows {
+		if r.DoEConfigs <= 0 || r.DoERun <= 0 || r.TrainTune <= 0 || r.Pred <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+		// Prediction must be much cheaper than training.
+		if r.Pred >= r.TrainTune {
+			t.Errorf("%s: prediction (%v) not cheaper than training (%v)", r.App, r.Pred, r.TrainTune)
+		}
+	}
+	if !strings.Contains(b.String(), "Table 4") {
+		t.Error("missing table header")
+	}
+}
+
+func TestFig4Driver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Fig4(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ctx.S.Kernels) {
+		t.Fatal("missing rows")
+	}
+	for i, r := range res.Rows {
+		if r.Speedup <= 0 {
+			t.Fatalf("non-positive speedup: %+v", r)
+		}
+		if i > 0 && r.Speedup < res.Rows[i-1].Speedup {
+			t.Fatal("rows not sorted by speedup")
+		}
+	}
+	if res.Min > res.Avg || res.Avg > res.Max {
+		t.Fatalf("summary ordering wrong: %v %v %v", res.Min, res.Avg, res.Max)
+	}
+	// The central claim: prediction beats simulation on a sweep.
+	if res.Avg < 1 {
+		t.Errorf("average speedup %v < 1: prediction slower than simulation", res.Avg)
+	}
+}
+
+func TestFig5Driver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Fig5(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+		for _, model := range fig5Models {
+			rows := res.PerModel[target][model]
+			if len(rows) != len(ctx.S.Kernels) {
+				t.Fatalf("%s/%s: %d rows", target, model, len(rows))
+			}
+			if res.Mean[target][model] <= 0 {
+				t.Fatalf("%s/%s: zero mean MRE", target, model)
+			}
+		}
+	}
+}
+
+func TestFig6Driver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Fig6(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.TimeSec <= 0 || r.EnergyJ <= 0 {
+			t.Fatalf("degenerate host row: %+v", r)
+		}
+	}
+}
+
+func TestFig7Driver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Fig7(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ctx.S.Kernels) {
+		t.Fatal("missing rows")
+	}
+	if res.Agreements < 0 || res.Agreements > len(res.Rows) {
+		t.Fatalf("agreement count %d", res.Agreements)
+	}
+	if res.MeanEDPError < 0 {
+		t.Fatal("negative EDP error")
+	}
+}
+
+func TestSweepInputsHelpers(t *testing.T) {
+	cfgs := archSweep(16)
+	if len(cfgs) != 16 {
+		t.Fatalf("%d arch configs, want 16", len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("swept config invalid: %v (%+v)", err, cfg)
+		}
+	}
+}
+
+func TestAblationDriver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Ablation(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"baseline": res.Baseline, "random": res.RandomDoE,
+		"latin": res.LatinDoE, "raw": res.RawTarget, "tuned": res.Tuned,
+	} {
+		if v <= 0 {
+			t.Errorf("%s MRE = %v", name, v)
+		}
+	}
+	if !strings.Contains(b.String(), "Ablation") {
+		t.Error("missing header")
+	}
+}
+
+func TestImportanceDriver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Importance(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+		entries := res.PerTarget[target]
+		if len(entries) == 0 {
+			t.Fatalf("%s: no features with importance", target)
+		}
+		sum := 0.0
+		for i, e := range entries {
+			if e.Share <= 0 {
+				t.Fatalf("%s: non-positive share for %s", target, e.Name)
+			}
+			if i > 0 && e.Share > entries[i-1].Share {
+				t.Fatalf("%s: not sorted", target)
+			}
+			sum += e.Share
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("%s: importance sums to %v", target, sum)
+		}
+	}
+}
+
+func TestRunReportJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("report test skipped in -short mode")
+	}
+	// A micro configuration keeps the full-suite report affordable.
+	s := Quick()
+	s.Kernels = s.Kernels[:2]
+	s.Fig4Configs = 8
+	s.Fig4Sample = 1
+	ctx := NewContext(s)
+	rep, err := ctx.RunReport(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Table4) != 2 || len(rep.Fig4.Rows) != 2 || len(rep.Fig6) != 2 || len(rep.Fig7.Rows) != 2 {
+		t.Fatalf("report row counts wrong: %+v", rep)
+	}
+	if rep.Fig5.Mean["performance"]["rf"] <= 0 {
+		t.Fatal("missing fig5 means")
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Fig4.Avg != rep.Fig4.Avg || len(back.Table4) != len(rep.Table4) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestGeneralizationDriver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Generalization(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d extension rows, want 3", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.ActualIPC <= 0 || r.PredIPC <= 0 || r.ActualEPI <= 0 || r.PredEPI <= 0 {
+			t.Fatalf("degenerate generalization row: %+v", r)
+		}
+	}
+	if res.MeanIPC <= 0 || res.MeanEPI <= 0 {
+		t.Fatal("missing means")
+	}
+}
+
+func TestTable1Driver(t *testing.T) {
+	var b strings.Builder
+	fams := Table1(&b)
+	total := 0
+	for _, f := range fams {
+		if f.Count <= 0 {
+			t.Fatalf("family %s has count %d", f.Name, f.Count)
+		}
+		if f.Name == "other" {
+			t.Fatalf("unclassified features slipped into %q", f.Name)
+		}
+		total += f.Count
+	}
+	if total != 395+napel.NumArchFeatures {
+		t.Fatalf("Table 1 families total %d, want %d", total, 395+napel.NumArchFeatures)
+	}
+	sorted := Table1Sorted(fams)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Count > sorted[i-1].Count {
+			t.Fatal("Table1Sorted not descending")
+		}
+	}
+	if !strings.Contains(b.String(), "data reuse distance") {
+		t.Fatal("missing reuse-distance family")
+	}
+}
+
+func TestSensitivityDriver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Sensitivity(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(sensitivityPEs) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.ActualIPC <= 0 || p.PredIPC <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+	}
+	// The model must at least rank designs in the simulator's direction.
+	if res.Correlation < 0 {
+		t.Errorf("negative prediction-simulation correlation %.3f", res.Correlation)
+	}
+}
+
+func TestScratchpadDriver(t *testing.T) {
+	ctx := ctxForTest(t)
+	var b strings.Builder
+	res, err := ctx.Scratchpad(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(scratchpadSizes) {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	if res.Points[0].L2Hit != 0 {
+		t.Fatal("baseline point has L2 hits")
+	}
+	// The largest scratchpad must improve EDP over the Table 3 baseline
+	// for the thrash-prone kernel (the paper's suggestion).
+	base := res.Points[0]
+	biggest := res.Points[len(res.Points)-1]
+	if biggest.Reduct <= base.Reduct {
+		t.Errorf("scratchpad did not improve EDP reduction: %.3f -> %.3f", base.Reduct, biggest.Reduct)
+	}
+}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"napel/internal/doe"
+	"napel/internal/napel"
+	"napel/internal/nmcsim"
+	"napel/internal/stats"
+	"napel/internal/workload"
+)
+
+// Fig4Row is one application's prediction-vs-simulation speedup.
+type Fig4Row struct {
+	App      string
+	Configs  int
+	SimTime  time.Duration // simulator time for the whole sweep
+	PredTime time.Duration // NAPEL time: one profile + per-config inference
+	Speedup  float64
+}
+
+// Fig4Result is the speedup series of Figure 4.
+type Fig4Result struct {
+	Rows          []Fig4Row
+	Avg, Min, Max float64
+}
+
+// archSweep builds n NMC architecture configurations on a balanced grid
+// over the Table 1 architectural axes: PE count, core frequency, cache
+// lines and stacked layers — the design space an architect explores.
+func archSweep(n int) []nmcsim.Config {
+	pes := []int{4, 8, 16, 32, 48, 64, 96, 128}
+	freqs := []float64{0.6, 0.8, 1.0, 1.25, 1.6, 2.0, 2.4, 3.0}
+	lines := []int{2, 4, 8, 16, 32, 64, 128, 256}
+	layers := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	sizes := doe.GridTargets(4, n)
+	rows := doe.Grid(sizes)
+	if len(rows) > n {
+		rows = rows[:n]
+	}
+	ref := nmcsim.DefaultConfig()
+	cfgs := make([]nmcsim.Config, len(rows))
+	for i, row := range rows {
+		cfg := ref
+		cfg.PEs = pes[row[0]*len(pes)/sizes[0]]
+		cfg.FreqGHz = freqs[row[1]*len(freqs)/sizes[1]]
+		cfg.L1.Lines = lines[row[2]*len(lines)/sizes[2]]
+		if cfg.L1.Assoc > cfg.L1.Lines {
+			cfg.L1.Assoc = cfg.L1.Lines
+		}
+		cfg.DRAM.Layers = layers[row[3]*len(layers)/sizes[3]]
+		cfgs[i] = cfg
+	}
+	return cfgs
+}
+
+// Fig4 measures, for every application, how much faster NAPEL answers a
+// Fig4Configs-point architecture design-space sweep than the simulator —
+// the paper's headline use case ("fast early-stage design space
+// exploration"). The simulator must run every configuration; NAPEL runs
+// the phase-1 kernel analysis once and then evaluates its trained model
+// per configuration. Simulator cost is measured on Fig4Sample
+// configurations and extrapolated linearly.
+func (c *Context) Fig4(w io.Writer) (*Fig4Result, error) {
+	td, err := c.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := napel.Train(td, c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sweep := archSweep(c.S.Fig4Configs)
+
+	res := &Fig4Result{}
+	for _, k := range c.S.Kernels {
+		in := workload.Scale(k, workload.CentralInput(k), c.S.Opts.ScaleFactor, c.S.Opts.MaxIters)
+
+		// Simulator path: run a sample of the sweep, extrapolate.
+		sample := c.S.Fig4Sample
+		if sample > len(sweep) {
+			sample = len(sweep)
+		}
+		stride := len(sweep) / sample
+		var simDur time.Duration
+		for s := 0; s < sample; s++ {
+			t0 := time.Now()
+			if _, err := napel.SimulateKernel(k, in, sweep[s*stride], c.S.Opts.SimBudget); err != nil {
+				return nil, err
+			}
+			simDur += time.Since(t0)
+		}
+
+		// NAPEL path: one profile, then one prediction per configuration.
+		t1 := time.Now()
+		prof, err := napel.ProfileKernel(k, in, c.S.PredictProfileBudget)
+		if err != nil {
+			return nil, err
+		}
+		base := prof.Vector()
+		threads := in.Threads()
+		for _, cfg := range sweep {
+			feat := make([]float64, 0, len(base)+napel.NumArchFeatures)
+			feat = append(feat, base...)
+			feat = append(feat, napel.ArchVector(cfg, prof, threads)...)
+			_, _ = pred.PredictVector(feat, napel.ActivePEs(threads, cfg.PEs))
+		}
+		predDur := time.Since(t1)
+
+		row := Fig4Row{
+			App:      k.Name(),
+			Configs:  len(sweep),
+			SimTime:  time.Duration(float64(simDur) * float64(len(sweep)) / float64(sample)),
+			PredTime: predDur,
+		}
+		if row.PredTime > 0 {
+			row.Speedup = float64(row.SimTime) / float64(row.PredTime)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Speedup < res.Rows[j].Speedup })
+
+	speedups := make([]float64, len(res.Rows))
+	for i, r := range res.Rows {
+		speedups[i] = r.Speedup
+	}
+	res.Avg = stats.Mean(speedups)
+	res.Min = stats.Min(speedups)
+	res.Max = stats.Max(speedups)
+
+	line(w, "Figure 4: NAPEL prediction speedup over the simulator for a %d-configuration", c.S.Fig4Configs)
+	line(w, "architecture design-space sweep per application")
+	line(w, "(in increasing order, as in the paper; paper reports avg 220x, min 33x, max 1039x)")
+	line(w, "%-5s %12s %14s %10s", "app", "sim time", "NAPEL time", "speedup")
+	for _, r := range res.Rows {
+		line(w, "%-5s %12.2fs %13.2fs %9.1fx", r.App, r.SimTime.Seconds(), r.PredTime.Seconds(), r.Speedup)
+	}
+	line(w, "average %.1fx, min %.1fx, max %.1fx", res.Avg, res.Min, res.Max)
+	bars := make([]barRow, len(res.Rows))
+	for i, r := range res.Rows {
+		bars[i] = barRow{Label: r.App, Value: r.Speedup}
+	}
+	barChart{Title: "speedup over simulation (x)", Unit: "x"}.render(w, bars)
+	return res, nil
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"io"
+
+	"napel/internal/ml"
+	"napel/internal/napel"
+)
+
+// Fig5Cell is one model's accuracy for one application and target.
+type Fig5Cell struct {
+	App string
+	MRE float64
+}
+
+// Fig5Result is the accuracy comparison of Figure 5: mean relative error
+// per application for NAPEL's random forest and the two baselines, for
+// performance (a) and energy (b) predictions under the paper's
+// leave-one-application-out protocol.
+type Fig5Result struct {
+	// PerModel[target][model] -> per-app rows; model keys: rf, ann, mtree.
+	PerModel map[napel.Target]map[string][]napel.AccuracyRow
+	// Mean[target][model] -> mean MRE.
+	Mean map[napel.Target]map[string]float64
+}
+
+// fig5Models are the compared learners, in rendering order.
+var fig5Models = []string{"rf", "ann", "mtree"}
+
+func fig5Trainer(model string) ml.Trainer {
+	switch model {
+	case "ann":
+		return napel.DefaultANNTrainer()
+	case "mtree":
+		return napel.DefaultMTreeTrainer()
+	default:
+		return napel.DefaultRFTrainer()
+	}
+}
+
+// Fig5 runs the leave-one-application-out accuracy evaluation for NAPEL
+// (random forest) against the ANN (Ipek et al.) and linear model tree
+// (Guo et al.) baselines, for both prediction targets.
+func (c *Context) Fig5(w io.Writer) (*Fig5Result, error) {
+	td, err := c.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{
+		PerModel: map[napel.Target]map[string][]napel.AccuracyRow{},
+		Mean:     map[napel.Target]map[string]float64{},
+	}
+	for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+		res.PerModel[target] = map[string][]napel.AccuracyRow{}
+		res.Mean[target] = map[string]float64{}
+		for _, model := range fig5Models {
+			rows, err := napel.EvaluateLOOCV(td, target, fig5Trainer(model), c.S.Seed)
+			if err != nil {
+				return nil, err
+			}
+			res.PerModel[target][model] = rows
+			res.Mean[target][model] = napel.MeanMRE(rows)
+		}
+	}
+
+	for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+		label := "(a) performance"
+		paper := "paper: NAPEL 8.5%, NAPEL 1.7x better than ANN, 3.2x better than tree"
+		if target == napel.TargetEPI {
+			label = "(b) energy"
+			paper = "paper: NAPEL 11.6%, NAPEL 1.4x better than ANN, 3.5x better than tree"
+		}
+		line(w, "Figure 5%s: leave-one-application-out MRE", label)
+		line(w, "  %s", paper)
+		line(w, "%-5s %10s %10s %10s", "app", "NAPEL(rf)", "ANN", "model tree")
+		rf := res.PerModel[target]["rf"]
+		ann := res.PerModel[target]["ann"]
+		mt := res.PerModel[target]["mtree"]
+		for i := range rf {
+			line(w, "%-5s %9.1f%% %9.1f%% %9.1f%%", rf[i].App, rf[i].MRE*100, ann[i].MRE*100, mt[i].MRE*100)
+		}
+		mrf, mann, mmt := res.Mean[target]["rf"], res.Mean[target]["ann"], res.Mean[target]["mtree"]
+		line(w, "%-5s %9.1f%% %9.1f%% %9.1f%%", "mean", mrf*100, mann*100, mmt*100)
+		if mrf > 0 {
+			line(w, "NAPEL is %.1fx more accurate than the ANN and %.1fx more accurate than the model tree", mann/mrf, mmt/mrf)
+		}
+		barChart{Title: "mean MRE by model (%)", Unit: "%"}.render(w, []barRow{
+			{Label: "rf", Value: mrf * 100},
+			{Label: "ann", Value: mann * 100},
+			{Label: "mtree", Value: mmt * 100},
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"io"
+	"sort"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// Fig6Row is one application's host execution estimate (Figure 6).
+type Fig6Row struct {
+	App     string
+	TimeSec float64
+	EnergyJ float64
+}
+
+// Fig6Result is the host time/energy series of Figure 6.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 estimates execution time and energy of every application on the
+// host model at its Table 2 test input — the POWER9 measurements of
+// Figure 6 in the paper, produced here by the trace-driven host model.
+func (c *Context) Fig6(w io.Writer) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	opts := c.testOpts()
+	for _, k := range c.S.Kernels {
+		in := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+		host, err := napel.HostRun(k, in, opts.Host, opts.HostBudget)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig6Row{App: k.Name(), TimeSec: host.TimeSec, EnergyJ: host.EnergyJ})
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].App < res.Rows[j].App })
+
+	line(w, "Figure 6: execution time and energy on the host (POWER9 model, test inputs)")
+	line(w, "%-5s %14s %14s", "app", "time (s)", "energy (J)")
+	for _, r := range res.Rows {
+		line(w, "%-5s %14.4g %14.4g", r.App, r.TimeSec, r.EnergyJ)
+	}
+	return res, nil
+}
+
+// Fig7Result is the NMC-suitability analysis of Figure 7.
+type Fig7Result struct {
+	Rows []napel.SuitabilityRow
+	// MeanEDPError is NAPEL's mean relative EDP error vs the simulator
+	// (paper: 14.1% average, 1.3%-26.3% range).
+	MeanEDPError float64
+	// Agreements counts applications where NAPEL and the simulator reach
+	// the same suitability verdict (paper: all).
+	Agreements int
+}
+
+// Fig7 runs the use case of Section 3.4: estimated EDP reduction of
+// offloading each application to the NMC system versus host execution,
+// comparing NAPEL's leave-one-application-out prediction against the
+// simulator's ground truth.
+func (c *Context) Fig7(w io.Writer) (*Fig7Result, error) {
+	td, err := c.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := napel.SuitabilityAnalysis(c.S.Kernels, td, c.testOpts(), c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Rows: rows}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.EDPError
+		if r.Agreement() {
+			res.Agreements++
+		}
+	}
+	if len(rows) > 0 {
+		res.MeanEDPError = sum / float64(len(rows))
+	}
+
+	line(w, "Figure 7: estimated EDP reduction of NMC offload vs host execution")
+	line(w, "(reduction > 1 means NMC-suitable; paper: bfs, bp, chol, gram, kme suitable,")
+	line(w, " gemv, gesu, lu, mvt, syrk, trmm not, atax borderline; EDP MRE 1.3%%-26.3%%, avg 14.1%%)")
+	line(w, "%-5s %12s %12s %10s %10s %8s", "app", "actual", "NAPEL", "suitable", "agree", "EDP err")
+	for _, r := range rows {
+		line(w, "%-5s %11.2fx %11.2fx %10v %10v %7.1f%%",
+			r.App, r.ActualReduct, r.PredReduct, r.Suitable(), r.Agreement(), r.EDPError*100)
+	}
+	line(w, "verdict agreement %d/%d, mean EDP relative error %.1f%%", res.Agreements, len(rows), res.MeanEDPError*100)
+	bars := make([]barRow, len(rows))
+	for i, r := range rows {
+		bars[i] = barRow{Label: r.App, Value: r.ActualReduct}
+	}
+	barChart{
+		Title:    "actual EDP reduction (log scale; '|' marks the suitability crossover at 1)",
+		Unit:     "x",
+		LogScale: true,
+		RefLine:  1,
+	}.render(w, bars)
+	return res, nil
+}

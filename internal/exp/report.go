@@ -1,0 +1,159 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+
+	"napel/internal/napel"
+)
+
+// Report is the machine-readable form of a full experiment suite run —
+// the artifact a CI job or plotting script consumes instead of the text
+// tables.
+type Report struct {
+	GeneratedWith string        `json:"generated_with"`
+	Settings      ReportSetting `json:"settings"`
+	CollectTime   float64       `json:"collect_time_s"`
+	Table4        []Table4JSON  `json:"table4"`
+	Fig4          Fig4JSON      `json:"fig4"`
+	Fig5          Fig5JSON      `json:"fig5"`
+	Fig6          []Fig6Row     `json:"fig6"`
+	Fig7          Fig7JSON      `json:"fig7"`
+}
+
+// ReportSetting records the knobs that shaped the run.
+type ReportSetting struct {
+	Seed          uint64 `json:"seed"`
+	ScaleFactor   int    `json:"scale_factor"`
+	SimBudget     uint64 `json:"sim_budget"`
+	ProfileBudget uint64 `json:"profile_budget"`
+	Apps          int    `json:"apps"`
+	Fig4Configs   int    `json:"fig4_configs"`
+}
+
+// Table4JSON is one Table 4 row with durations in seconds.
+type Table4JSON struct {
+	App        string  `json:"app"`
+	DoEConfigs int     `json:"doe_configs"`
+	DoERunS    float64 `json:"doe_run_s"`
+	TrainTuneS float64 `json:"train_tune_s"`
+	PredS      float64 `json:"pred_s"`
+}
+
+// Fig4JSON is the speedup series.
+type Fig4JSON struct {
+	Rows []Fig4RowJSON `json:"rows"`
+	Avg  float64       `json:"avg_speedup"`
+	Min  float64       `json:"min_speedup"`
+	Max  float64       `json:"max_speedup"`
+}
+
+// Fig4RowJSON is one application's sweep cost.
+type Fig4RowJSON struct {
+	App     string  `json:"app"`
+	SimS    float64 `json:"sim_s"`
+	PredS   float64 `json:"pred_s"`
+	Speedup float64 `json:"speedup"`
+	Configs int     `json:"configs"`
+}
+
+// Fig5JSON carries per-model, per-target MRE.
+type Fig5JSON struct {
+	// PerApp[target][model][app] = MRE. Targets: "performance",
+	// "energy"; models: rf, ann, mtree.
+	PerApp map[string]map[string]map[string]float64 `json:"per_app"`
+	Mean   map[string]map[string]float64            `json:"mean"`
+}
+
+// Fig7JSON is the suitability analysis.
+type Fig7JSON struct {
+	Rows         []napel.SuitabilityRow `json:"rows"`
+	MeanEDPError float64                `json:"mean_edp_error"`
+	Agreements   int                    `json:"agreements"`
+}
+
+// RunReport executes Table 4 and Figures 4-7 and assembles the JSON
+// report, writing the text renderings to textOut as it goes (pass
+// io.Discard to suppress them).
+func (c *Context) RunReport(textOut io.Writer) (*Report, error) {
+	t4, err := c.Table4(textOut)
+	if err != nil {
+		return nil, err
+	}
+	f4, err := c.Fig4(textOut)
+	if err != nil {
+		return nil, err
+	}
+	f5, err := c.Fig5(textOut)
+	if err != nil {
+		return nil, err
+	}
+	f6, err := c.Fig6(textOut)
+	if err != nil {
+		return nil, err
+	}
+	f7, err := c.Fig7(textOut)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		GeneratedWith: "napel-exp (NAPEL DAC'19 reproduction)",
+		Settings: ReportSetting{
+			Seed:          c.S.Seed,
+			ScaleFactor:   c.S.Opts.ScaleFactor,
+			SimBudget:     c.S.Opts.SimBudget,
+			ProfileBudget: c.S.Opts.ProfileBudget,
+			Apps:          len(c.S.Kernels),
+			Fig4Configs:   c.S.Fig4Configs,
+		},
+		CollectTime: c.CollectTime.Seconds(),
+		Fig6:        f6.Rows,
+		Fig7: Fig7JSON{
+			Rows:         f7.Rows,
+			MeanEDPError: f7.MeanEDPError,
+			Agreements:   f7.Agreements,
+		},
+	}
+	for _, r := range t4.Rows {
+		rep.Table4 = append(rep.Table4, Table4JSON{
+			App:        r.App,
+			DoEConfigs: r.DoEConfigs,
+			DoERunS:    r.DoERun.Seconds(),
+			TrainTuneS: r.TrainTune.Seconds(),
+			PredS:      r.Pred.Seconds(),
+		})
+	}
+	rep.Fig4 = Fig4JSON{Avg: f4.Avg, Min: f4.Min, Max: f4.Max}
+	for _, r := range f4.Rows {
+		rep.Fig4.Rows = append(rep.Fig4.Rows, Fig4RowJSON{
+			App: r.App, SimS: r.SimTime.Seconds(), PredS: r.PredTime.Seconds(),
+			Speedup: r.Speedup, Configs: r.Configs,
+		})
+	}
+	rep.Fig5 = Fig5JSON{
+		PerApp: map[string]map[string]map[string]float64{},
+		Mean:   map[string]map[string]float64{},
+	}
+	for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+		tn := target.String()
+		rep.Fig5.PerApp[tn] = map[string]map[string]float64{}
+		rep.Fig5.Mean[tn] = map[string]float64{}
+		for _, model := range fig5Models {
+			perApp := map[string]float64{}
+			for _, row := range f5.PerModel[target][model] {
+				perApp[row.App] = row.MRE
+			}
+			rep.Fig5.PerApp[tn][model] = perApp
+			rep.Fig5.Mean[tn][model] = f5.Mean[target][model]
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON encodes the report with indentation.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"io"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// ScratchpadPoint is one NMC cache size in the study.
+type ScratchpadPoint struct {
+	Bytes  int // 0 = the Table 3 baseline (128 B L1 only)
+	NMCEDP float64
+	Reduct float64 // host EDP / NMC EDP
+	L1Hit  float64
+	L2Hit  float64
+	IPC    float64
+}
+
+// ScratchpadResult is the Section 3.4 follow-up study: the paper's fifth
+// observation on Figure 7 suggests that "for atax-like workloads, the
+// introduction of a small cache or scratchpad memory in the NMC compute
+// units (larger than the 128B L1 cache in Table 3) can be beneficial".
+// This driver tests that suggestion directly by sweeping a per-PE
+// second-level cache and watching atax's EDP reduction.
+type ScratchpadResult struct {
+	App     string
+	HostEDP float64
+	Points  []ScratchpadPoint
+}
+
+// scratchpadSizes is the swept capacity axis (bytes; 0 = baseline).
+var scratchpadSizes = []int{0, 1 << 10, 8 << 10, 64 << 10, 512 << 10}
+
+// Scratchpad runs the study for atax (falling back to the context's
+// first kernel when atax is not in the set).
+func (c *Context) Scratchpad(w io.Writer) (*ScratchpadResult, error) {
+	k, ok := c.kernelByName("atax")
+	if !ok {
+		k = c.S.Kernels[0]
+	}
+	opts := c.testOpts()
+	in := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+
+	host, err := napel.HostRun(k, in, opts.Host, opts.HostBudget)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScratchpadResult{App: k.Name(), HostEDP: host.EDP}
+	for _, bytes := range scratchpadSizes {
+		cfg := opts.RefArch
+		if bytes > 0 {
+			cfg = cfg.WithScratchpad(bytes)
+		}
+		r, err := napel.SimulateKernel(k, in, cfg, opts.SimBudget)
+		if err != nil {
+			return nil, err
+		}
+		pt := ScratchpadPoint{
+			Bytes:  bytes,
+			NMCEDP: r.EDP,
+			L1Hit:  r.L1.HitRate(),
+			L2Hit:  r.L2.HitRate(),
+			IPC:    r.IPC,
+		}
+		if r.EDP > 0 {
+			pt.Reduct = host.EDP / r.EDP
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	line(w, "Scratchpad study (%s): the paper's Section 3.4 suggestion that atax-like", res.App)
+	line(w, "workloads benefit from a larger NMC-side cache")
+	line(w, "%10s %10s %8s %8s %12s %12s", "NMC cache", "IPC", "L1 hit", "L2 hit", "EDP (J*s)", "reduction")
+	for _, p := range res.Points {
+		label := "128B L1"
+		if p.Bytes > 0 {
+			label = byteLabel(p.Bytes)
+		}
+		line(w, "%10s %10.3f %8.3f %8.3f %12.4g %11.2fx", label, p.IPC, p.L1Hit, p.L2Hit, p.NMCEDP, p.Reduct)
+	}
+	return res, nil
+}
+
+// byteLabel renders a capacity compactly.
+func byteLabel(b int) string {
+	switch {
+	case b >= 1<<20:
+		return itoa(b>>20) + "MiB"
+	case b >= 1<<10:
+		return itoa(b>>10) + "KiB"
+	default:
+		return itoa(b) + "B"
+	}
+}
+
+// itoa avoids strconv for two call sites.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"io"
+
+	"napel/internal/napel"
+	"napel/internal/stats"
+	"napel/internal/workload"
+)
+
+// SensitivityPoint is one design point of the sweep.
+type SensitivityPoint struct {
+	PEs       int
+	ActualIPC float64
+	PredIPC   float64
+}
+
+// SensitivityResult checks that NAPEL's predictions track the
+// simulator's response along one architectural axis — the property a
+// design-space explorer actually relies on (getting the *trend* right
+// matters more than absolute accuracy for picking a design).
+type SensitivityResult struct {
+	App         string
+	Points      []SensitivityPoint
+	Correlation float64 // Pearson r between predicted and simulated IPC
+}
+
+// sensitivityPEs is the swept axis.
+var sensitivityPEs = []int{4, 8, 16, 32, 64, 128}
+
+// Sensitivity sweeps the PE count for one application (the first in the
+// context's kernel set), comparing predicted and simulated IPC point by
+// point and reporting their correlation.
+func (c *Context) Sensitivity(w io.Writer) (*SensitivityResult, error) {
+	td, err := c.TrainingData()
+	if err != nil {
+		return nil, err
+	}
+	pred, err := napel.Train(td, c.S.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := c.S.Kernels[0]
+	in := workload.Scale(k, workload.CentralInput(k), c.S.Opts.ScaleFactor, c.S.Opts.MaxIters)
+	prof, err := napel.ProfileKernel(k, in, c.S.Opts.ProfileBudget)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SensitivityResult{App: k.Name()}
+	var actuals, preds []float64
+	for _, pes := range sensitivityPEs {
+		cfg := c.S.Opts.RefArch
+		cfg.PEs = pes
+		actual, err := napel.SimulateKernel(k, in, cfg, c.S.Opts.SimBudget)
+		if err != nil {
+			return nil, err
+		}
+		est := pred.Predict(prof, cfg, in.Threads())
+		res.Points = append(res.Points, SensitivityPoint{
+			PEs:       pes,
+			ActualIPC: actual.IPC,
+			PredIPC:   est.IPC,
+		})
+		actuals = append(actuals, actual.IPC)
+		preds = append(preds, est.IPC)
+	}
+	res.Correlation = stats.Pearson(preds, actuals)
+
+	line(w, "Architecture sensitivity (%s): predicted vs simulated IPC along the PE axis", res.App)
+	line(w, "%6s %14s %14s", "PEs", "simulated IPC", "NAPEL IPC")
+	for _, p := range res.Points {
+		line(w, "%6d %14.3f %14.3f", p.PEs, p.ActualIPC, p.PredIPC)
+	}
+	line(w, "Pearson correlation %.3f (1 = the model ranks designs exactly like the simulator)", res.Correlation)
+	return res, nil
+}

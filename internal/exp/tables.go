@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"io"
+
+	"napel/internal/doe"
+	"napel/internal/hostsim"
+	"napel/internal/nmcsim"
+	"napel/internal/workload"
+)
+
+// Table2 renders the evaluated applications and their DoE parameter
+// levels (Table 2 of the paper) as encoded in internal/workload,
+// together with the CCD run count each parameterization implies.
+func Table2(w io.Writer) {
+	line(w, "Table 2: evaluated applications and their DoE parameters")
+	line(w, "%-5s %-36s %-10s %8s %8s %8s %8s %8s %8s", "name", "description", "param", "min", "low", "central", "high", "max", "test")
+	for _, k := range workload.All() {
+		params := k.Params()
+		for i, p := range params {
+			name, desc := "", ""
+			if i == 0 {
+				name, desc = k.Name(), k.Description()
+			}
+			line(w, "%-5s %-36s %-10s %8d %8d %8d %8d %8d %8d", name, desc, p.Name,
+				p.Levels[0], p.Levels[1], p.Levels[2], p.Levels[3], p.Levels[4], p.Test)
+		}
+		line(w, "%-5s %-36s -> CCD runs: %d (2^%d + 2*%d + %d centre replicates)", "", "",
+			doe.NumRuns(len(params)), len(params), len(params), doe.CenterReplicates(len(params)))
+	}
+}
+
+// Table3 renders the host and NMC system configurations (Table 3).
+func Table3(w io.Writer) {
+	h := hostsim.DefaultConfig()
+	n := nmcsim.DefaultConfig()
+	line(w, "Table 3: system parameters and configuration")
+	line(w, "Host CPU system (POWER9 AC922 model)")
+	line(w, "  cores            %d x %d-way SMT @ %.1f GHz, issue width %.0f", h.Cores, h.SMT, h.FreqGHz, h.IssueWidth)
+	line(w, "  L1               %d KiB (%d lines x %dB, %d-way)", h.L1.SizeBytes()/1024, h.L1.Lines, h.L1.LineSize, h.L1.Assoc)
+	line(w, "  L2               %d KiB (%d-way)", h.L2.SizeBytes()/1024, h.L2.Assoc)
+	line(w, "  L3               %d MiB (%d-way)", h.L3.SizeBytes()/(1<<20), h.L3.Assoc)
+	line(w, "  DRAM             DDR4 model, %.0f ns load-to-use, %.0f GB/s", h.MemNs, h.MemBWGBs)
+	line(w, "NMC system")
+	line(w, "  cores            %dx single-issue in-order @ %.2f GHz", n.PEs, n.FreqGHz)
+	line(w, "  L1-I/D           %d-way, %d cache lines, %dB per line", n.L1.Assoc, n.L1.Lines, n.L1.LineSize)
+	line(w, "  DRAM module      %d vaults, %d stacked layers, %dB row buffer, %d GB, %s",
+		n.DRAM.Vaults, n.DRAM.Layers, n.DRAM.RowBytes, n.DRAM.SizeBytes>>30, n.DRAM.Policy)
+	line(w, "  off-chip link    %.0f Gbps SerDes (offload control traffic)", n.LinkGbps)
+}
+
+// Table5 renders the related-work comparison (Table 5) — static content
+// reproduced for completeness, with the rows this repository implements
+// marked.
+func Table5(w io.Writer) {
+	line(w, "Table 5: ML-based performance prediction in different domains")
+	line(w, "%-22s %-28s %-6s %-26s %s", "name", "approach", "arch", "DoE", "in this repo")
+	rows := [][4]string{
+		{"Joseph et al. [18]", "Linear Regression", "CPU", "D-optimal Design"},
+		{"Ipek et al. [17]", "ANN", "CPU", "Variance Based Sampling"},
+		{"Wu et al. [36]", "ANN", "GPU", "None"},
+		{"Guo et al. [13]", "Model Tree", "CPU", "None"},
+		{"Mariani et al. [25]", "Random Forest, GA", "HPC", "D-optimal Design, CCD"},
+		{"SemiBoost [24]", "ANN", "CPU", "Latin Hypercube Sampling"},
+		{"NAPEL", "Random Forest", "NMC", "CCD"},
+	}
+	impl := map[string]string{
+		"Joseph et al. [18]": "internal/ml/linreg",
+		"Ipek et al. [17]":   "internal/ml/ann",
+		"Guo et al. [13]":    "internal/ml/mtree",
+		"NAPEL":              "internal/ml/rf + internal/napel",
+	}
+	for _, r := range rows {
+		line(w, "%-22s %-28s %-6s %-26s %s", r[0], r[1], r[2], r[3], impl[r[0]])
+	}
+}

@@ -1,0 +1,401 @@
+// Package hostsim models the host CPU of the paper's evaluation — an IBM
+// POWER9 AC922 (Table 3: 16 cores, 4-way SMT, 2.3 GHz, 32 KiB L1,
+// 256 KiB L2, 10 MiB L3, DDR4-2666) — to produce the host execution time
+// and energy of Figure 6 and the denominator of the EDP-reduction
+// analysis of Figure 7.
+//
+// The paper measures a real machine with on-board power sensors; this
+// package substitutes a trace-driven model: the kernel's dynamic
+// instruction trace streams through an exact L1/L2/L3 cache hierarchy,
+// and a first-order out-of-order core model converts the per-level
+// access counts into cycles (issue-width-limited compute plus
+// MLP-discounted miss stalls). Thread-level parallelism is applied as a
+// speedup bounded by core count, SMT efficiency and DRAM bandwidth.
+// What Figures 6 and 7 need from this model is the *contrast* between
+// cache-resident and memory-bound workloads, which the exact hierarchy
+// provides.
+package hostsim
+
+import (
+	"fmt"
+
+	"napel/internal/cache"
+	"napel/internal/energy"
+	"napel/internal/trace"
+)
+
+// Config describes the host system.
+type Config struct {
+	Cores      int     // physical cores
+	SMT        int     // hardware threads per core
+	FreqGHz    float64 // core frequency
+	IssueWidth float64 // sustained issue width of the OoO core
+	L1         cache.Config
+	L2         cache.Config
+	L3         cache.Config
+	L2Cycles   float64 // L1-miss/L2-hit penalty, cycles
+	L3Cycles   float64 // L2-miss/L3-hit penalty, cycles
+	MemNs      float64 // L3-miss latency, ns
+	MLP        float64 // overlapped misses for cache-level and streaming penalties
+	// MLPIrregular is the (much lower) overlap achieved on irregular,
+	// dependent miss chains — pointer chasing exposes nearly the full
+	// memory latency on real machines.
+	MLPIrregular float64
+	MemBWGBs     float64 // aggregate DRAM bandwidth ceiling, GB/s
+	SMTEff       float64 // marginal throughput of each extra SMT thread
+	// PrefetchEff is the fraction of the miss penalty hidden for
+	// streaming (unit/short-stride) accesses by the hardware prefetchers.
+	// Server-class cores hide most of a regular stream's latency, which
+	// is precisely why the paper finds the cache-friendly PolyBench
+	// kernels unsuitable for NMC while irregular kernels benefit.
+	PrefetchEff float64
+	// PrefetchStride is the largest per-site stride (bytes) treated as
+	// prefetchable.
+	PrefetchStride uint64
+	// TLB models the two-level data TLB: entries at each level (4 KiB
+	// pages) and the page-walk latency charged to L2-TLB misses.
+	TLBEntries  int
+	TLB2Entries int
+	PageWalkNs  float64
+	// CoherenceNs is the cost of one coherence transaction (remote snoop
+	// + invalidation) charged to stores that hit thread-shared lines.
+	// Shared-write kernels (graph frontiers, shared accumulators) scale
+	// poorly on real multiprocessors; this term reproduces that.
+	CoherenceNs float64
+	// ContentionPerThread degrades the thread speedup in proportion to
+	// the shared-write fraction (serialization at the directory).
+	ContentionPerThread float64
+	Energy              energy.HostParams
+}
+
+// DefaultConfig returns the Table 3 POWER9 host.
+func DefaultConfig() Config {
+	return Config{
+		Cores:               16,
+		SMT:                 4,
+		FreqGHz:             2.3,
+		IssueWidth:          4,
+		L1:                  cache.Config{LineSize: 64, Lines: 512, Assoc: 8},     // 32 KiB
+		L2:                  cache.Config{LineSize: 64, Lines: 4096, Assoc: 8},    // 256 KiB
+		L3:                  cache.Config{LineSize: 64, Lines: 163840, Assoc: 20}, // 10 MiB
+		L2Cycles:            12,
+		L3Cycles:            40,
+		MemNs:               110,
+		MLP:                 4,
+		MLPIrregular:        1.5,
+		MemBWGBs:            120,
+		SMTEff:              0.35,
+		PrefetchEff:         0.75,
+		PrefetchStride:      256,
+		TLBEntries:          64,
+		TLB2Entries:         1024,
+		PageWalkNs:          30,
+		CoherenceNs:         60,
+		ContentionPerThread: 0.04,
+		Energy:              energy.DefaultHostParams(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.SMT <= 0 {
+		return fmt.Errorf("hostsim: cores and SMT must be positive")
+	}
+	if c.FreqGHz <= 0 || c.IssueWidth <= 0 {
+		return fmt.Errorf("hostsim: frequency and issue width must be positive")
+	}
+	if c.MLP < 1 || c.MLPIrregular < 1 {
+		return fmt.Errorf("hostsim: MLP factors must be >= 1")
+	}
+	if c.MemBWGBs <= 0 {
+		return fmt.Errorf("hostsim: memory bandwidth must be positive")
+	}
+	if c.PrefetchEff < 0 || c.PrefetchEff > 1 {
+		return fmt.Errorf("hostsim: prefetch efficiency must be in [0,1]")
+	}
+	if c.TLBEntries < 0 || c.TLB2Entries < 0 || c.PageWalkNs < 0 {
+		return fmt.Errorf("hostsim: TLB parameters must be non-negative")
+	}
+	for _, cc := range []cache.Config{c.L1, c.L2, c.L3} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is the host execution estimate.
+type Result struct {
+	SimInstrs   uint64
+	Coverage    float64
+	TotalInstrs float64
+	CyclesOne   float64 // single-thread cycles (extrapolated)
+	TimeSec     float64 // parallel execution time
+	EnergyJ     float64
+	EDP         float64
+	L1, L2, L3  cache.Stats
+	DRAMBytes   float64 // extrapolated off-chip traffic
+	Speedup     float64 // applied thread speedup
+	// StreamMisses/IrregMisses classify L3 misses by the regularity of
+	// the missing site's stride (streaming misses are largely hidden by
+	// the prefetchers).
+	StreamMisses uint64
+	IrregMisses  uint64
+	// SharedWriteFrac is the probed fraction of stores that touch lines
+	// accessed by other threads (coherence traffic).
+	SharedWriteFrac float64
+	// TLBWalks counts L2-TLB misses (page walks).
+	TLBWalks uint64
+	// Energy is the per-component breakdown; the fields sum to EnergyJ.
+	Energy EnergyBreakdown
+}
+
+// EnergyBreakdown attributes host energy to its components.
+type EnergyBreakdown struct {
+	CoreJ   float64 // per-instruction dynamic energy
+	CacheJ  float64 // L1+L2+L3 access energy
+	DRAMJ   float64 // off-chip transfer energy
+	StaticJ float64 // active cores + uncore over the runtime
+}
+
+// Generator produces the dynamic trace of one hardware thread (shard) of
+// the kernel; the host model uses the sequential trace (shard 0 of 1)
+// for its cache/cycle accounting and two single-shard traces to probe
+// cross-thread write sharing.
+type Generator func(shard, nshards int, t *trace.Tracer)
+
+// Run estimates host time and energy for the kernel traced by gen,
+// executed with the given thread count. budget caps the simulated
+// instructions (0 = unlimited).
+func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("hostsim: thread count %d must be positive", threads)
+	}
+
+	l1 := cache.New(cfg.L1)
+	l2 := cache.New(cfg.L2)
+	l3 := cache.New(cfg.L3)
+	// Two-level data TLB over 4 KiB pages (disabled when entries are 0).
+	var tlb1, tlb2 *cache.Cache
+	if cfg.TLBEntries > 0 {
+		tlb1 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLBEntries, Assoc: 4})
+	}
+	if cfg.TLB2Entries > 0 {
+		tlb2 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLB2Entries, Assoc: 8})
+	}
+	var tlbWalks uint64
+	var counter trace.Counter
+	var dramBytes uint64
+	var streamMiss, irregMiss uint64
+	siteLast := make(map[uint32]uint64)
+	lineBytes := uint64(cfg.L3.LineSize)
+
+	// Write-backs ripple outward level by level.
+	l1.WriteBack = func(addr uint64) { l2.Access(addr, true) }
+	l2.WriteBack = func(addr uint64) { l3.Access(addr, true) }
+	l3.WriteBack = func(addr uint64) { dramBytes += lineBytes }
+
+	consumer := trace.ConsumerFunc(func(i trace.Inst) {
+		counter.OnInst(i)
+		if !i.Op.IsMem() {
+			return
+		}
+		// Per-site stride classification for the prefetcher model.
+		streaming := false
+		if last, ok := siteLast[i.PC]; ok {
+			delta := i.Addr - last
+			if last > i.Addr {
+				delta = last - i.Addr
+			}
+			streaming = delta <= cfg.PrefetchStride
+		}
+		siteLast[i.PC] = i.Addr
+		// Address translation precedes the cache lookup.
+		if tlb1 != nil && !tlb1.Access(i.Addr, false).Hit {
+			if tlb2 == nil || !tlb2.Access(i.Addr, false).Hit {
+				tlbWalks++
+			}
+		}
+		write := i.Op == trace.OpStore
+		if l1.Access(i.Addr, write).Hit {
+			return
+		}
+		if l2.Access(i.Addr, false).Hit {
+			return
+		}
+		if l3.Access(i.Addr, false).Hit {
+			return
+		}
+		dramBytes += lineBytes
+		if streaming {
+			streamMiss++
+		} else {
+			irregMiss++
+		}
+	})
+
+	// Probe cross-thread write sharing before the main pass so shared
+	// stores can be classified on the fly.
+	shared := probeSharing(gen, threads, budget)
+	var sharedStores, totalStores uint64
+
+	mainConsumer := trace.ConsumerFunc(func(i trace.Inst) {
+		consumer(i)
+		if i.Op == trace.OpStore {
+			totalStores++
+			if shared != nil {
+				if _, ok := shared[i.Addr>>6]; ok {
+					sharedStores++
+				}
+			}
+		}
+	})
+	tr := trace.NewTracer(budget, mainConsumer)
+	gen(0, 1, tr)
+
+	res := &Result{
+		SimInstrs: counter.Total,
+		Coverage:  tr.Coverage(),
+		L1:        l1.Stats,
+		L2:        l2.Stats,
+		L3:        l3.Stats,
+	}
+	if res.Coverage <= 0 || res.Coverage > 1 {
+		res.Coverage = 1
+	}
+	res.TotalInstrs = float64(counter.Total) / res.Coverage
+	res.DRAMBytes = float64(dramBytes) / res.Coverage
+	res.StreamMisses = streamMiss
+	res.IrregMisses = irregMiss
+	res.TLBWalks = tlbWalks
+
+	// Single-thread cycle model: issue-width-bound compute plus
+	// MLP-discounted miss penalties at each level.
+	l2acc := float64(l1.Stats.Misses())
+	l3acc := float64(l2.Stats.ReadMisses)
+	memCycles := cfg.MemNs * cfg.FreqGHz
+	// Streaming misses are mostly covered by the prefetchers and overlap
+	// well (MLP); irregular misses form dependent chains with little
+	// overlap (MLPIrregular).
+	memStall := float64(irregMiss)*memCycles/cfg.MLPIrregular +
+		float64(streamMiss)*(1-cfg.PrefetchEff)*memCycles/cfg.MLP
+	// Coherence: each shared store costs a snoop/invalidate round when
+	// other threads exist.
+	if totalStores > 0 {
+		res.SharedWriteFrac = float64(sharedStores) / float64(totalStores)
+	}
+	cohCycles := 0.0
+	if threads > 1 {
+		cohCycles = float64(sharedStores) * cfg.CoherenceNs * cfg.FreqGHz / cfg.MLP
+	}
+	// Page walks overlap like other memory-level parallelism.
+	walkCycles := float64(tlbWalks) * cfg.PageWalkNs * cfg.FreqGHz / cfg.MLP
+	cycles := float64(counter.Total)/cfg.IssueWidth +
+		(l2acc*cfg.L2Cycles+l3acc*cfg.L3Cycles)/cfg.MLP + memStall + cohCycles + walkCycles
+	res.CyclesOne = cycles / res.Coverage
+
+	// Thread speedup: full cores first, then diminishing SMT returns,
+	// degraded by directory serialization on shared writes.
+	res.Speedup = threadSpeedup(threads, cfg.Cores, cfg.SMT, cfg.SMTEff)
+	if threads > 1 && res.SharedWriteFrac > 0 {
+		res.Speedup /= 1 + res.SharedWriteFrac*float64(threads-1)*cfg.ContentionPerThread
+		if res.Speedup < 1 {
+			res.Speedup = 1
+		}
+	}
+	timeCompute := res.CyclesOne / (cfg.FreqGHz * 1e9) / res.Speedup
+	timeBW := res.DRAMBytes / (cfg.MemBWGBs * 1e9)
+	res.TimeSec = timeCompute
+	if timeBW > res.TimeSec {
+		res.TimeSec = timeBW
+	}
+
+	res.EnergyJ = hostEnergy(cfg, res, threads)
+	res.EDP = res.EnergyJ * res.TimeSec
+	return res, nil
+}
+
+// probeSharing traces two shards of a threads-way execution and returns
+// the set of cache lines written by one shard and touched by the other
+// (nil when the run is single-threaded). The probe is capped well below
+// the main budget; sharing patterns show up immediately.
+func probeSharing(gen Generator, threads int, budget uint64) map[uint64]struct{} {
+	if threads < 2 {
+		return nil
+	}
+	probeBudget := budget / 4
+	if probeBudget == 0 || probeBudget > 400_000 {
+		probeBudget = 400_000
+	}
+	const lineShift = 6
+	collect := func(shard int) (writes, touches map[uint64]struct{}) {
+		writes = make(map[uint64]struct{})
+		touches = make(map[uint64]struct{})
+		tr := trace.NewTracer(probeBudget, trace.ConsumerFunc(func(i trace.Inst) {
+			if !i.Op.IsMem() {
+				return
+			}
+			line := i.Addr >> lineShift
+			touches[line] = struct{}{}
+			if i.Op == trace.OpStore {
+				writes[line] = struct{}{}
+			}
+		}))
+		gen(shard, threads, tr)
+		return writes, touches
+	}
+	w0, t0 := collect(0)
+	w1, t1 := collect(1)
+	shared := make(map[uint64]struct{})
+	for l := range w0 {
+		if _, ok := t1[l]; ok {
+			shared[l] = struct{}{}
+		}
+	}
+	for l := range w1 {
+		if _, ok := t0[l]; ok {
+			shared[l] = struct{}{}
+		}
+	}
+	if len(shared) == 0 {
+		return nil
+	}
+	return shared
+}
+
+// threadSpeedup models thread scaling: linear across physical cores,
+// then smtEff marginal gain per extra SMT thread.
+func threadSpeedup(threads, cores, smt int, smtEff float64) float64 {
+	if threads <= cores {
+		return float64(threads)
+	}
+	extra := threads - cores
+	maxExtra := cores * (smt - 1)
+	if extra > maxExtra {
+		extra = maxExtra
+	}
+	return float64(cores) + float64(extra)*smtEff
+}
+
+// hostEnergy converts counts into Joules (extrapolated by coverage) and
+// records the component breakdown.
+func hostEnergy(cfg Config, r *Result, threads int) float64 {
+	e := cfg.Energy
+	inv := 1e-12 / r.Coverage
+	r.Energy.CoreJ = e.InstPJ * float64(r.SimInstrs) * inv
+	r.Energy.CacheJ = (e.L1PJ*float64(r.L1.Accesses()) +
+		e.L2PJ*float64(r.L2.Accesses()) +
+		e.L3PJ*float64(r.L3.Accesses())) * inv
+	r.Energy.DRAMJ = e.DRAMPJPerByte * r.DRAMBytes * 1e-12
+
+	active := threads
+	if active > cfg.Cores {
+		active = cfg.Cores
+	}
+	staticW := float64(active)*e.CoreStaticW + e.UncoreStaticW
+	r.Energy.StaticJ = staticW * r.TimeSec
+	return r.Energy.CoreJ + r.Energy.CacheJ + r.Energy.DRAMJ + r.Energy.StaticJ
+}

@@ -1,0 +1,321 @@
+package hostsim
+
+import (
+	"math"
+	"testing"
+
+	"napel/internal/trace"
+)
+
+// seqGen walks memory sequentially with a private region per shard.
+func seqGen(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		base := uint64(1<<28) + uint64(shard)<<24
+		for i := 0; i < n; i++ {
+			t.Load(0, base+uint64(i)*8, 8, 1, 2)
+			t.FP(1, 2, 1, 3)
+		}
+	}
+}
+
+// randGen issues loads over a large region (irregular pattern).
+func randGen(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		x := uint64(shard)*0x9e3779b9 + 7
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			t.Load(0, (x>>16)%(1<<30), 8, 1, 2)
+			t.Int(1, 2, 1, 3)
+		}
+	}
+}
+
+// sharedWriterGen has every shard write the same small region (true
+// sharing) while reading a private stream.
+func sharedWriterGen(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		priv := uint64(1<<28) + uint64(shard)<<24
+		for i := 0; i < n; i++ {
+			t.Load(0, priv+uint64(i)*8, 8, 1, 2)
+			t.Store(1, uint64(i%64)*8, 8, 1) // shared 512-byte region
+		}
+	}
+}
+
+// privateWriterGen writes only shard-private regions.
+func privateWriterGen(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		priv := uint64(1<<28) + uint64(shard)<<24
+		for i := 0; i < n; i++ {
+			t.Load(0, priv+uint64(i)*8, 8, 1, 2)
+			t.Store(1, priv+uint64(i)*8+8<<20, 8, 1)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	muts := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.FreqGHz = 0 },
+		func(c *Config) { c.MLP = 0.5 },
+		func(c *Config) { c.MLPIrregular = 0 },
+		func(c *Config) { c.MemBWGBs = 0 },
+		func(c *Config) { c.PrefetchEff = 2 },
+		func(c *Config) { c.L1.LineSize = 3 },
+	}
+	for i, mut := range muts {
+		c := DefaultConfig()
+		mut(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := Run(DefaultConfig(), seqGen(10), 0, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestCacheHierarchyFiltersTraffic(t *testing.T) {
+	res, err := Run(DefaultConfig(), seqGen(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential 8B loads: 7/8 hit L1.
+	if res.L1.HitRate() < 0.8 {
+		t.Errorf("L1 hit rate %v", res.L1.HitRate())
+	}
+	// L2 sees only L1 misses.
+	if res.L2.Accesses() >= res.L1.Accesses() {
+		t.Error("L2 saw more traffic than L1")
+	}
+	if res.DRAMBytes <= 0 {
+		t.Error("no DRAM traffic for a streaming kernel")
+	}
+}
+
+func TestStreamingVsIrregularClassification(t *testing.T) {
+	stream, err := Run(DefaultConfig(), seqGen(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.IrregMisses > stream.StreamMisses/10 {
+		t.Errorf("streaming kernel classified irregular: %d stream, %d irreg",
+			stream.StreamMisses, stream.IrregMisses)
+	}
+	random, err := Run(DefaultConfig(), randGen(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.StreamMisses > random.IrregMisses/10 {
+		t.Errorf("random kernel classified streaming: %d stream, %d irreg",
+			random.StreamMisses, random.IrregMisses)
+	}
+}
+
+func TestIrregularSlowerThanStreaming(t *testing.T) {
+	stream, _ := Run(DefaultConfig(), seqGen(100000), 1, 0)
+	random, _ := Run(DefaultConfig(), randGen(100000), 1, 0)
+	// Same instruction count; the prefetcher hides the stream's misses.
+	if random.TimeSec <= 2*stream.TimeSec {
+		t.Fatalf("irregular %v not clearly slower than streaming %v", random.TimeSec, stream.TimeSec)
+	}
+}
+
+func TestThreadSpeedup(t *testing.T) {
+	if got := threadSpeedup(1, 16, 4, 0.35); got != 1 {
+		t.Errorf("1 thread speedup %v", got)
+	}
+	if got := threadSpeedup(16, 16, 4, 0.35); got != 16 {
+		t.Errorf("16 threads speedup %v", got)
+	}
+	if got := threadSpeedup(32, 16, 4, 0.35); math.Abs(got-(16+16*0.35)) > 1e-9 {
+		t.Errorf("32 threads speedup %v", got)
+	}
+	// Beyond total SMT capacity the speedup saturates.
+	if threadSpeedup(1000, 16, 4, 0.35) != threadSpeedup(64, 16, 4, 0.35) {
+		t.Error("speedup did not saturate")
+	}
+}
+
+func TestMoreThreadsFaster(t *testing.T) {
+	r1, _ := Run(DefaultConfig(), seqGen(100000), 1, 0)
+	r16, _ := Run(DefaultConfig(), seqGen(100000), 16, 0)
+	if r16.TimeSec >= r1.TimeSec {
+		t.Fatalf("16 threads (%v) not faster than 1 (%v)", r16.TimeSec, r1.TimeSec)
+	}
+}
+
+func TestCoherenceDetection(t *testing.T) {
+	shared, err := Run(DefaultConfig(), sharedWriterGen(50000), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := Run(DefaultConfig(), privateWriterGen(50000), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.SharedWriteFrac < 0.3 {
+		t.Errorf("shared-writer kernel probed at %v shared", shared.SharedWriteFrac)
+	}
+	if private.SharedWriteFrac > 0.05 {
+		t.Errorf("private-writer kernel probed at %v shared", private.SharedWriteFrac)
+	}
+	if shared.Speedup >= private.Speedup {
+		t.Errorf("contention did not reduce speedup: %v vs %v", shared.Speedup, private.Speedup)
+	}
+}
+
+func TestCoherenceIgnoredSingleThread(t *testing.T) {
+	res, err := Run(DefaultConfig(), sharedWriterGen(20000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SharedWriteFrac != 0 {
+		t.Errorf("single-thread run probed sharing: %v", res.SharedWriteFrac)
+	}
+}
+
+func TestBudgetAndCoverage(t *testing.T) {
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		const total = 50000
+		done := 0
+		for i := 0; i < total; i++ {
+			if tr.Stop() {
+				break
+			}
+			tr.Load(0, uint64(i)*64, 8, 1, 2)
+			done++
+		}
+		tr.SetCoverage(done, total)
+	}
+	res, err := Run(DefaultConfig(), gen, 1, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage >= 1 {
+		t.Fatal("cut run reports full coverage")
+	}
+	if math.Abs(res.TotalInstrs-50000) > 2000 {
+		t.Fatalf("extrapolated %v, want ~50000", res.TotalInstrs)
+	}
+}
+
+func TestEnergyPositiveAndScales(t *testing.T) {
+	small, _ := Run(DefaultConfig(), seqGen(10000), 4, 0)
+	big, _ := Run(DefaultConfig(), seqGen(100000), 4, 0)
+	if small.EnergyJ <= 0 || big.EnergyJ <= small.EnergyJ {
+		t.Fatalf("energy not scaling: %v -> %v", small.EnergyJ, big.EnergyJ)
+	}
+	if small.EDP <= 0 {
+		t.Fatal("non-positive EDP")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := Run(DefaultConfig(), randGen(30000), 8, 0)
+	b, _ := Run(DefaultConfig(), randGen(30000), 8, 0)
+	if a.TimeSec != b.TimeSec || a.EnergyJ != b.EnergyJ {
+		t.Fatal("host model not deterministic")
+	}
+}
+
+func TestBandwidthCeiling(t *testing.T) {
+	// A kernel that misses every access at high thread count should be
+	// bandwidth-limited: time >= bytes/BW.
+	res, err := Run(DefaultConfig(), randGen(200000), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwTime := res.DRAMBytes / (DefaultConfig().MemBWGBs * 1e9)
+	if res.TimeSec < bwTime-1e-12 {
+		t.Fatalf("time %v below bandwidth floor %v", res.TimeSec, bwTime)
+	}
+}
+
+func TestWriteBackPropagation(t *testing.T) {
+	// Dirty L1 evictions must travel outward: a write-heavy streaming
+	// kernel generates write-backs at every level and off-chip write
+	// traffic.
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		// One store per line over ~14 MiB: overflows even the 10 MiB L3
+		// so dirty lines must spill off-chip.
+		for i := 0; i < 220000; i++ {
+			tr.Store(0, uint64(1<<28)+uint64(i)*64, 8, 1)
+		}
+	}
+	res, err := Run(DefaultConfig(), gen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1.WriteBacks == 0 || res.L2.WriteBacks == 0 || res.L3.WriteBacks == 0 {
+		t.Fatalf("write-backs did not propagate: L1=%d L2=%d L3=%d",
+			res.L1.WriteBacks, res.L2.WriteBacks, res.L3.WriteBacks)
+	}
+	if res.DRAMBytes == 0 {
+		t.Fatal("no off-chip write traffic")
+	}
+}
+
+func TestUnlimitedBudgetFullCoverage(t *testing.T) {
+	res, err := Run(DefaultConfig(), seqGen(5000), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("unlimited run coverage %v", res.Coverage)
+	}
+	if res.TotalInstrs != float64(res.SimInstrs) {
+		t.Fatal("extrapolation changed an unbudgeted run")
+	}
+}
+
+func TestTLBWalks(t *testing.T) {
+	// A gather spanning far more pages than the TLB covers must walk;
+	// a small-footprint stream must not.
+	big, err := Run(DefaultConfig(), randGen(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TLBWalks == 0 {
+		t.Fatal("huge random gather produced no page walks")
+	}
+	small, err := Run(DefaultConfig(), func(shard, nshards int, tr *trace.Tracer) {
+		for i := 0; i < 100000; i++ {
+			tr.Load(0, uint64(1<<28)+uint64(i%512)*8, 8, 1, 2) // one page
+		}
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.TLBWalks > 2 {
+		t.Fatalf("single-page stream walked %d times", small.TLBWalks)
+	}
+	// Walks must cost time.
+	cfg := DefaultConfig()
+	cfg.TLBEntries = 0
+	cfg.TLB2Entries = 0
+	noTLB, err := Run(cfg, randGen(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TimeSec <= noTLB.TimeSec {
+		t.Fatalf("page walks free: with TLB model %v, without %v", big.TimeSec, noTLB.TimeSec)
+	}
+}
+
+func TestHostEnergyBreakdownSums(t *testing.T) {
+	res, err := Run(DefaultConfig(), randGen(50000), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Energy.CoreJ + res.Energy.CacheJ + res.Energy.DRAMJ + res.Energy.StaticJ
+	if math.Abs(sum-res.EnergyJ)/res.EnergyJ > 1e-12 {
+		t.Fatalf("breakdown %v != total %v", sum, res.EnergyJ)
+	}
+	if res.Energy.DRAMJ <= 0 || res.Energy.CoreJ <= 0 || res.Energy.StaticJ <= 0 {
+		t.Fatalf("missing components: %+v", res.Energy)
+	}
+}

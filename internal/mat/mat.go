@@ -1,0 +1,271 @@
+// Package mat implements the small amount of dense linear algebra the
+// NAPEL baselines need: matrix/vector arithmetic, Cholesky and
+// Gaussian-elimination solvers, and ridge least squares. It is written
+// for clarity and determinism rather than BLAS-level performance; the
+// systems in this repository only ever solve systems with a few hundred
+// unknowns.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewDense allocates a zeroed r×c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Dense{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Dense {
+	if len(rows) == 0 {
+		return NewDense(0, 0)
+	}
+	c := len(rows[0])
+	m := NewDense(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("mat: ragged rows")
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	n := NewDense(m.Rows, m.Cols)
+	copy(n.Data, m.Data)
+	return n
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns a*b. Panics on dimension mismatch.
+func Mul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := NewDense(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns a·x as a new vector. Panics on dimension mismatch.
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.Cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// ErrSingular is returned when a solve encounters a (numerically)
+// singular system.
+var ErrSingular = errors.New("mat: singular matrix")
+
+// SolveGauss solves A·x = b by Gaussian elimination with partial
+// pivoting. A and b are not modified.
+func SolveGauss(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("mat: SolveGauss needs square A and matching b")
+	}
+	// Augmented working copy.
+	w := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		p := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				best, p = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if p != col {
+			wp, wc := w.Row(p), w.Row(col)
+			for j := range wp {
+				wp[j], wc[j] = wc[j], wp[j]
+			}
+			x[p], x[col] = x[col], x[p]
+		}
+		piv := w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) / piv
+			if f == 0 {
+				continue
+			}
+			wr, wc := w.Row(r), w.Row(col)
+			for j := col; j < n; j++ {
+				wr[j] -= f * wc[j]
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := w.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite A. Returns ErrSingular if A is not SPD.
+func Cholesky(a *Dense) (*Dense, error) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("mat: Cholesky needs a square matrix")
+	}
+	l := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Dense, b []float64) []float64 {
+	n := l.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// RidgeLS solves the ridge least-squares problem
+// min ‖X·w − y‖² + λ‖w‖² via the normal equations
+// (XᵀX + λI)·w = Xᵀy. λ must be >= 0; λ > 0 guarantees a solution.
+func RidgeLS(x *Dense, y []float64, lambda float64) ([]float64, error) {
+	if x.Rows != len(y) {
+		panic("mat: RidgeLS dimension mismatch")
+	}
+	p := x.Cols
+	xtx := NewDense(p, p)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		for i := 0; i < p; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			xi := row[i]
+			base := xtx.Row(i)
+			for j := i; j < p; j++ {
+				base[j] += xi * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for i := 0; i < p; i++ {
+		xtx.Data[i*p+i] += lambda
+		for j := i + 1; j < p; j++ {
+			xtx.Set(j, i, xtx.At(i, j))
+		}
+	}
+	xty := make([]float64, p)
+	for r := 0; r < x.Rows; r++ {
+		row := x.Row(r)
+		yr := y[r]
+		for j := 0; j < p; j++ {
+			xty[j] += row[j] * yr
+		}
+	}
+	if l, err := Cholesky(xtx); err == nil {
+		return SolveCholesky(l, xty), nil
+	}
+	return SolveGauss(xtx, xty)
+}

@@ -1,0 +1,278 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"napel/internal/xrand"
+)
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows broken: %+v", m)
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Fatal("Set/At broken")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Fatalf("transpose broken: %+v", tr)
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := Mul(a, b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulVecAndDot(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := MulVec(a, []float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot broken")
+	}
+}
+
+func TestSolveGaussKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := SolveGauss(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-0.8) > 1e-12 || math.Abs(x[1]-1.4) > 1e-12 {
+		t.Fatalf("x = %v, want [0.8 1.4]", x)
+	}
+}
+
+func TestSolveGaussSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveGauss(a, []float64{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveGaussNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := SolveGauss(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+}
+
+// TestSolveGaussProperty: A·x == b for random well-conditioned systems.
+func TestSolveGaussProperty(t *testing.T) {
+	rng := xrand.New(77)
+	if err := quick.Check(func(sz uint8) bool {
+		n := int(sz%6) + 2
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveGauss(a, b)
+		if err != nil {
+			return false
+		}
+		ax := MulVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 2}, {2, 5}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L should be [[2,0],[1,2]].
+	if math.Abs(l.At(0, 0)-2) > 1e-12 || math.Abs(l.At(1, 0)-1) > 1e-12 || math.Abs(l.At(1, 1)-2) > 1e-12 {
+		t.Fatalf("L = %v", l.Data)
+	}
+}
+
+func TestCholeskyNotSPD(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveCholeskyProperty(t *testing.T) {
+	rng := xrand.New(88)
+	if err := quick.Check(func(sz uint8) bool {
+		n := int(sz%5) + 2
+		// Build SPD A = M·Mᵀ + n·I.
+		m := NewDense(n, n)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		a := Mul(m, m.T())
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := SolveCholesky(l, b)
+		ax := MulVec(a, x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeLSRecoversLinear(t *testing.T) {
+	// y = 3*x0 - 2*x1, plenty of samples, tiny ridge.
+	rng := xrand.New(99)
+	n := 200
+	x := NewDense(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y[i] = 3*a - 2*b
+	}
+	w, err := RidgeLS(x, y, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w[0]-3) > 1e-4 || math.Abs(w[1]+2) > 1e-4 {
+		t.Fatalf("w = %v, want [3 -2]", w)
+	}
+}
+
+func TestRidgeLSShrinks(t *testing.T) {
+	// With a huge ridge, weights shrink toward zero.
+	x := FromRows([][]float64{{1}, {2}, {3}})
+	y := []float64{1, 2, 3}
+	small, _ := RidgeLS(x, y, 1e-9)
+	big, _ := RidgeLS(x, y, 1e6)
+	if math.Abs(big[0]) >= math.Abs(small[0]) {
+		t.Fatalf("ridge did not shrink: small=%v big=%v", small, big)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	r[0] = 7
+	if m.At(1, 0) != 7 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestMulPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Mul(NewDense(2, 3), NewDense(2, 3))
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := xrand.New(123)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		mk := func() *Dense {
+			m := NewDense(n, n)
+			for i := range m.Data {
+				m.Data[i] = rng.NormFloat64()
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		ab_c := Mul(Mul(a, b), c)
+		a_bc := Mul(a, Mul(b, c))
+		for i := range ab_c.Data {
+			if math.Abs(ab_c.Data[i]-a_bc.Data[i]) > 1e-9 {
+				t.Fatalf("associativity violated at %d", i)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r, c := 1+rng.Intn(5), 1+rng.Intn(5)
+		m := NewDense(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.NormFloat64()
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

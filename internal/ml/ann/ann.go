@@ -1,0 +1,225 @@
+// Package ann implements the artificial-neural-network baseline the
+// paper compares against (Ipek et al., ASPLOS 2006): a fully-connected
+// multilayer perceptron with one hidden layer, trained by mini-batch
+// stochastic gradient descent with momentum on standardized inputs and
+// targets. Figure 5 of the paper shows this model is less accurate than
+// NAPEL's random forest on the small DoE training sets, and Section 3.3
+// notes it needs up to 5× more training time — both behaviours this
+// implementation reproduces.
+package ann
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"napel/internal/ml"
+	"napel/internal/xrand"
+)
+
+// Params are the MLP hyper-parameters.
+type Params struct {
+	Hidden   int     // hidden units (default 16)
+	Epochs   int     // training epochs (default 200)
+	LR       float64 // learning rate (default 0.01)
+	Momentum float64 // momentum coefficient (default 0.9)
+	L2       float64 // weight decay (default 1e-4)
+	Batch    int     // mini-batch size (default 8)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Hidden <= 0 {
+		p.Hidden = 32
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = 100
+	}
+	if p.LR <= 0 {
+		p.LR = 0.005
+	}
+	if p.Momentum < 0 || p.Momentum >= 1 {
+		p.Momentum = 0.9
+	}
+	if p.L2 < 0 {
+		p.L2 = 1e-4
+	}
+	if p.Batch <= 0 {
+		p.Batch = 16
+	}
+	return p
+}
+
+// String names the configuration.
+func (p Params) String() string {
+	return fmt.Sprintf("ann(h=%d,epochs=%d,lr=%g)", p.Hidden, p.Epochs, p.LR)
+}
+
+// Net is a trained one-hidden-layer MLP.
+type Net struct {
+	p     Params
+	w1    [][]float64 // [hidden][in+1], last column is the bias
+	w2    []float64   // [hidden+1], last entry is the bias
+	xstd  *ml.Standardizer
+	yMean float64
+	yStd  float64
+}
+
+// Predict implements ml.Model.
+func (n *Net) Predict(x []float64) float64 {
+	xs := n.xstd.Apply(x)
+	return n.forward(xs)*n.yStd + n.yMean
+}
+
+func (n *Net) forward(xs []float64) float64 {
+	out := n.w2[len(n.w2)-1]
+	for h, wrow := range n.w1 {
+		a := wrow[len(wrow)-1]
+		for j, v := range xs {
+			a += wrow[j] * v
+		}
+		out += n.w2[h] * math.Tanh(a)
+	}
+	return out
+}
+
+// Train fits the MLP on d.
+func Train(d *ml.Dataset, p Params, seed uint64) (*Net, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	rng := xrand.New(seed)
+	numF := d.NumFeatures()
+
+	xstd := ml.FitStandardizer(d.X)
+	X := xstd.ApplyAll(d.X)
+	yMean, yStd := meanStd(d.Y)
+	if yStd == 0 {
+		yStd = 1
+	}
+	Y := make([]float64, len(d.Y))
+	for i, y := range d.Y {
+		Y[i] = (y - yMean) / yStd
+	}
+
+	n := &Net{p: p, xstd: xstd, yMean: yMean, yStd: yStd}
+	// Xavier-style initialization.
+	scale1 := math.Sqrt(2.0 / float64(numF+1))
+	n.w1 = make([][]float64, p.Hidden)
+	for h := range n.w1 {
+		row := make([]float64, numF+1)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale1
+		}
+		n.w1[h] = row
+	}
+	n.w2 = make([]float64, p.Hidden+1)
+	scale2 := math.Sqrt(2.0 / float64(p.Hidden+1))
+	for j := range n.w2 {
+		n.w2[j] = rng.NormFloat64() * scale2
+	}
+
+	// Momentum buffers.
+	v1 := make([][]float64, p.Hidden)
+	for h := range v1 {
+		v1[h] = make([]float64, numF+1)
+	}
+	v2 := make([]float64, p.Hidden+1)
+	hidden := make([]float64, p.Hidden)
+
+	rows := len(X)
+	for epoch := 0; epoch < p.Epochs; epoch++ {
+		perm := rng.Perm(rows)
+		for start := 0; start < rows; start += p.Batch {
+			end := start + p.Batch
+			if end > rows {
+				end = rows
+			}
+			batch := perm[start:end]
+			lr := p.LR / float64(len(batch))
+			for _, r := range batch {
+				x := X[r]
+				// Forward with cached activations.
+				out := n.w2[p.Hidden]
+				for h, wrow := range n.w1 {
+					a := wrow[numF]
+					for j, v := range x {
+						a += wrow[j] * v
+					}
+					hidden[h] = math.Tanh(a)
+					out += n.w2[h] * hidden[h]
+				}
+				errv := out - Y[r]
+				// Backward.
+				for h := 0; h < p.Hidden; h++ {
+					gradW2 := errv*hidden[h] + p.L2*n.w2[h]
+					v2[h] = p.Momentum*v2[h] - lr*gradW2
+					deltaH := errv * n.w2[h] * (1 - hidden[h]*hidden[h])
+					wrow := n.w1[h]
+					vrow := v1[h]
+					for j, xv := range x {
+						g := deltaH*xv + p.L2*wrow[j]
+						vrow[j] = p.Momentum*vrow[j] - lr*g
+						wrow[j] += vrow[j]
+					}
+					vrow[numF] = p.Momentum*vrow[numF] - lr*deltaH
+					wrow[numF] += vrow[numF]
+					n.w2[h] += v2[h]
+				}
+				v2[p.Hidden] = p.Momentum*v2[p.Hidden] - lr*errv
+				n.w2[p.Hidden] += v2[p.Hidden]
+			}
+		}
+	}
+	// Guard against divergence: a net with non-finite weights predicts
+	// the training mean.
+	if !n.finite() {
+		return nil, errors.New("ann: training diverged to non-finite weights")
+	}
+	return n, nil
+}
+
+func (n *Net) finite() bool {
+	for _, row := range n.w1 {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	for _, v := range n.w2 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func meanStd(y []float64) (mean, std float64) {
+	n := float64(len(y))
+	if n == 0 {
+		return 0, 0
+	}
+	for _, v := range y {
+		mean += v
+	}
+	mean /= n
+	for _, v := range y {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / n)
+}
+
+// Trainer adapts Params to ml.Trainer.
+type Trainer struct {
+	Params Params
+}
+
+// Train implements ml.Trainer.
+func (t Trainer) Train(d *ml.Dataset, seed uint64) (ml.Model, error) {
+	return Train(d, t.Params, seed)
+}
+
+// Name implements ml.Trainer.
+func (t Trainer) Name() string { return t.Params.String() }

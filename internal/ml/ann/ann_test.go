@@ -1,0 +1,120 @@
+package ann
+
+import (
+	"math"
+	"testing"
+
+	"napel/internal/ml"
+	"napel/internal/xrand"
+)
+
+func synth(n int, f func([]float64) float64, seed uint64) *ml.Dataset {
+	rng := xrand.New(seed)
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.X[i] = x
+		d.Y[i] = f(x)
+	}
+	return d
+}
+
+func TestLearnsLinearFunction(t *testing.T) {
+	d := synth(300, func(x []float64) float64 { return 2*x[0] - x[1] + 5 }, 1)
+	net, err := Train(d, Params{Hidden: 8, Epochs: 150, LR: 0.01}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i, x := range d.X {
+		mae += math.Abs(net.Predict(x) - d.Y[i])
+	}
+	mae /= float64(len(d.X))
+	if mae > 0.3 {
+		t.Fatalf("training MAE %v, want < 0.3", mae)
+	}
+}
+
+func TestLearnsMildNonlinearity(t *testing.T) {
+	d := synth(400, func(x []float64) float64 { return x[0] * x[1] }, 3)
+	net, err := Train(d, Params{Hidden: 16, Epochs: 300, LR: 0.005}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Should beat the constant-mean predictor decisively.
+	mean := 0.0
+	for _, y := range d.Y {
+		mean += y
+	}
+	mean /= float64(len(d.Y))
+	var netErr, meanErr float64
+	for i, x := range d.X {
+		netErr += math.Abs(net.Predict(x) - d.Y[i])
+		meanErr += math.Abs(mean - d.Y[i])
+	}
+	if netErr >= meanErr*0.7 {
+		t.Fatalf("net err %v vs mean err %v", netErr, meanErr)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	d := synth(100, func(x []float64) float64 { return x[0] }, 5)
+	n1, _ := Train(d, Params{Epochs: 10}, 7)
+	n2, _ := Train(d, Params{Epochs: 10}, 7)
+	probe := []float64{0.5, -0.5}
+	if n1.Predict(probe) != n2.Predict(probe) {
+		t.Fatal("same seed produced different nets")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	d := synth(50, func([]float64) float64 { return 42 }, 8)
+	net, err := Train(d, Params{Epochs: 30}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Predict([]float64{0, 0}); math.Abs(got-42) > 1 {
+		t.Fatalf("constant prediction %v", got)
+	}
+}
+
+func TestRejectsInvalidDataset(t *testing.T) {
+	if _, err := Train(&ml.Dataset{}, Params{}, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestTrainerInterface(t *testing.T) {
+	tr := Trainer{Params: Params{Epochs: 5}}
+	if tr.Name() == "" {
+		t.Fatal("empty name")
+	}
+	d := synth(20, func(x []float64) float64 { return x[0] }, 10)
+	if _, err := tr.Train(d, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictFinite(t *testing.T) {
+	d := synth(100, func(x []float64) float64 { return 100 * x[0] }, 11)
+	net, err := Train(d, Params{Epochs: 50}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(13)
+	for i := 0; i < 100; i++ {
+		p := net.Predict([]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("non-finite prediction")
+		}
+	}
+}
+
+func TestDivergenceGuard(t *testing.T) {
+	// An absurd learning rate explodes the weights; Train must report it
+	// rather than return a NaN-spewing model.
+	d := synth(100, func(x []float64) float64 { return 1000 * x[0] }, 20)
+	if _, err := Train(d, Params{LR: 1e12, Epochs: 30}, 21); err == nil {
+		t.Fatal("diverged net accepted")
+	}
+}

@@ -1,0 +1,27 @@
+package ann_test
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+	"napel/internal/ml/ann"
+)
+
+// Example_mlp trains the Ipek-style baseline on a smooth function and
+// checks it interpolates sensibly.
+func Example_mlp() {
+	d := &ml.Dataset{}
+	for i := 0; i < 100; i++ {
+		x := float64(i) / 10
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 5+2*x)
+	}
+	net, err := ann.Train(d, ann.Params{Hidden: 8, Epochs: 200, LR: 0.01}, 1)
+	if err != nil {
+		panic(err)
+	}
+	p := net.Predict([]float64{5})
+	fmt.Println("prediction near 15:", p > 14 && p < 16)
+	// Output:
+	// prediction near 15: true
+}

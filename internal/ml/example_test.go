@@ -1,0 +1,50 @@
+package ml_test
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+	"napel/internal/ml/rf"
+)
+
+// Example_leaveOneGroupOut shows the paper's evaluation protocol: when
+// predicting an application, none of its rows are in the training set.
+func Example_leaveOneGroupOut() {
+	d := &ml.Dataset{
+		X:      [][]float64{{1}, {2}, {3}, {4}, {5}, {6}},
+		Y:      []float64{1, 2, 3, 4, 5, 6},
+		Groups: []string{"atax", "atax", "bfs", "bfs", "kme", "kme"},
+	}
+	folds := ml.LeaveOneGroupOut(d)
+	fold := folds["bfs"]
+	fmt.Println("test rows:", len(fold.Test), "train rows:", len(fold.Train))
+	for _, i := range fold.Train {
+		if d.Groups[i] == "bfs" {
+			fmt.Println("leak!")
+		}
+	}
+	fmt.Println("no leakage")
+	// Output:
+	// test rows: 2 train rows: 4
+	// no leakage
+}
+
+// Example_logTrainer shows the log-target wrapper NAPEL trains its
+// forests through.
+func Example_logTrainer() {
+	d := &ml.Dataset{}
+	for i := 1; i <= 64; i++ {
+		d.X = append(d.X, []float64{float64(i)})
+		d.Y = append(d.Y, float64(i*i)) // spans 1..4096
+	}
+	trainer := ml.LogTrainer{Inner: rf.Trainer{Params: rf.Params{Trees: 20}}}
+	m, err := trainer.Train(d, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trainer:", trainer.Name())
+	fmt.Println("prediction positive and finite:", m.Predict([]float64{10}) > 0)
+	// Output:
+	// trainer: log-rf(trees=20,depth=0,minleaf=0,mtry=0)
+	// prediction positive and finite: true
+}

@@ -1,0 +1,26 @@
+package linreg_test
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+	"napel/internal/ml/linreg"
+)
+
+// Example_ridge recovers a linear relationship — and is structurally
+// unable to capture a nonlinear one, which is the Figure 5 story.
+func Example_ridge() {
+	d := &ml.Dataset{}
+	for i := -10; i <= 10; i++ {
+		x := float64(i)
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 3*x+7)
+	}
+	m, err := linreg.Train(d, linreg.Params{Lambda: 1e-9}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("linear fit at x=4: %.1f (want 19.0)\n", m.Predict([]float64{4}))
+	// Output:
+	// linear fit at x=4: 19.0 (want 19.0)
+}

@@ -1,0 +1,88 @@
+// Package linreg implements ridge linear regression on standardized
+// features — the "linear regression" class of baselines in the paper's
+// related work (Joseph et al., HPCA 2006) and the leaf model of the
+// model-tree baseline. As Figure 5 argues, purely linear models cannot
+// capture the nonlinearity of NMC performance/energy responses; this
+// package exists to reproduce that contrast.
+package linreg
+
+import (
+	"fmt"
+
+	"napel/internal/mat"
+	"napel/internal/ml"
+)
+
+// Params are the ridge hyper-parameters.
+type Params struct {
+	Lambda float64 // ridge penalty (default 1.0)
+}
+
+func (p Params) withDefaults() Params {
+	if p.Lambda <= 0 {
+		p.Lambda = 1.0
+	}
+	return p
+}
+
+// String names the configuration.
+func (p Params) String() string { return fmt.Sprintf("ridge(lambda=%g)", p.Lambda) }
+
+// Model is a fitted ridge regression.
+type Model struct {
+	w    []float64 // weights over standardized features
+	bias float64
+	xstd *ml.Standardizer
+}
+
+// Predict implements ml.Model.
+func (m *Model) Predict(x []float64) float64 {
+	xs := m.xstd.Apply(x)
+	out := m.bias
+	for j, v := range xs {
+		out += m.w[j] * v
+	}
+	return out
+}
+
+// Weights returns the learned weights over standardized features (shared
+// storage).
+func (m *Model) Weights() []float64 { return m.w }
+
+// Train fits the ridge model on d.
+func Train(d *ml.Dataset, p Params, _ uint64) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	xstd := ml.FitStandardizer(d.X)
+	X := xstd.ApplyAll(d.X)
+	// Centre the target; the bias absorbs its mean.
+	yMean := 0.0
+	for _, y := range d.Y {
+		yMean += y
+	}
+	yMean /= float64(len(d.Y))
+	yc := make([]float64, len(d.Y))
+	for i, y := range d.Y {
+		yc[i] = y - yMean
+	}
+	w, err := mat.RidgeLS(mat.FromRows(X), yc, p.Lambda)
+	if err != nil {
+		return nil, fmt.Errorf("linreg: %w", err)
+	}
+	return &Model{w: w, bias: yMean, xstd: xstd}, nil
+}
+
+// Trainer adapts Params to ml.Trainer.
+type Trainer struct {
+	Params Params
+}
+
+// Train implements ml.Trainer.
+func (t Trainer) Train(d *ml.Dataset, seed uint64) (ml.Model, error) {
+	return Train(d, t.Params, seed)
+}
+
+// Name implements ml.Trainer.
+func (t Trainer) Name() string { return t.Params.String() }

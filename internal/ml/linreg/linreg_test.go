@@ -1,0 +1,91 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"napel/internal/ml"
+	"napel/internal/xrand"
+)
+
+func TestRecoversLinearFunction(t *testing.T) {
+	rng := xrand.New(1)
+	n := 200
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		d.X[i] = x
+		d.Y[i] = 4*x[0] - 3*x[1] + 10
+	}
+	m, err := Train(d, Params{Lambda: 1e-8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{1, 2}
+	want := 4.0 - 6.0 + 10.0
+	if got := m.Predict(probe); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("predict = %v, want %v", got, want)
+	}
+}
+
+func TestCannotFitNonlinear(t *testing.T) {
+	// The motivating contrast of Figure 5: a linear model cannot capture
+	// y = x0² even approximately over a symmetric domain.
+	rng := xrand.New(2)
+	n := 300
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.NormFloat64()}
+		d.X[i] = x
+		d.Y[i] = x[0] * x[0]
+	}
+	m, err := Train(d, Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction at x=2 and x=-2 should be ~equal (linear term ~0), both
+	// far from the true value of 4.
+	p1, p2 := m.Predict([]float64{2}), m.Predict([]float64{-2})
+	if math.Abs(p1-4) < 0.5 && math.Abs(p2-4) < 0.5 {
+		t.Fatal("linear model implausibly fit a parabola")
+	}
+}
+
+func TestConstantFeaturesHandled(t *testing.T) {
+	d := &ml.Dataset{
+		X: [][]float64{{1, 5}, {2, 5}, {3, 5}},
+		Y: []float64{2, 4, 6},
+	}
+	m, err := Train(d, Params{Lambda: 1e-8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{4, 5}); math.Abs(got-8) > 1e-6 {
+		t.Fatalf("predict = %v, want 8", got)
+	}
+}
+
+func TestWeightsExposed(t *testing.T) {
+	d := &ml.Dataset{X: [][]float64{{1}, {2}, {3}}, Y: []float64{1, 2, 3}}
+	m, err := Train(d, Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Weights()) != 1 {
+		t.Fatal("weights not exposed")
+	}
+}
+
+func TestTrainerInterface(t *testing.T) {
+	tr := Trainer{}
+	if tr.Name() == "" {
+		t.Fatal("empty name")
+	}
+	d := &ml.Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 2}}
+	if _, err := tr.Train(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Train(&ml.Dataset{}, 0); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

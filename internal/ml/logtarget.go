@@ -1,0 +1,82 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// LogTrainer wraps another trainer so that it learns log(y) instead of
+// y, with predictions mapped back through exp. NAPEL's targets — IPC
+// and energy-per-instruction — are positive rates spanning orders of
+// magnitude across (application, architecture) points, and the paper's
+// accuracy metric is *relative* error (Equation 1); learning in log
+// space makes the squared-error objective of the underlying learners
+// align with that metric.
+type LogTrainer struct {
+	Inner Trainer
+}
+
+// rangeMargin is how far (multiplicatively) a prediction may leave the
+// training-label range before it is clamped. Physical rates like IPC and
+// EPI cannot meaningfully exceed the observed response range by orders
+// of magnitude, so the clamp suppresses catastrophic extrapolation
+// without affecting in-range accuracy.
+const rangeMargin = 4.0
+
+// Train implements Trainer.
+func (t LogTrainer) Train(d *Dataset, seed uint64) (Model, error) {
+	logged := &Dataset{X: d.X, Names: d.Names, Groups: d.Groups, Y: make([]float64, len(d.Y))}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, y := range d.Y {
+		if y <= 0 {
+			return nil, errors.New("ml: LogTrainer requires positive targets")
+		}
+		logged.Y[i] = math.Log(y)
+		lo = math.Min(lo, logged.Y[i])
+		hi = math.Max(hi, logged.Y[i])
+	}
+	inner, err := t.Inner.Train(logged, seed)
+	if err != nil {
+		return nil, err
+	}
+	m := math.Log(rangeMargin)
+	return expModel{inner: inner, lo: lo - m, hi: hi + m}, nil
+}
+
+// Name implements Trainer.
+func (t LogTrainer) Name() string { return "log-" + t.Inner.Name() }
+
+type expModel struct {
+	inner  Model
+	lo, hi float64 // allowed log-space prediction range
+}
+
+// Predict maps the inner model's log-space estimate back to the target
+// scale, clamped to the (margin-widened) training-label range.
+func (m expModel) Predict(x []float64) float64 {
+	v := m.inner.Predict(x)
+	if v < m.lo {
+		v = m.lo
+	}
+	if v > m.hi {
+		v = m.hi
+	}
+	return math.Exp(v)
+}
+
+// WrapLogModel reconstructs the exp-of-inner model from its serialized
+// parts (see UnwrapLogModel).
+func WrapLogModel(inner Model, lo, hi float64) Model {
+	return expModel{inner: inner, lo: lo, hi: hi}
+}
+
+// UnwrapLogModel decomposes a model produced by LogTrainer into its
+// inner log-space model and clamp range, for serialization. ok is false
+// if m is not a log-target model.
+func UnwrapLogModel(m Model) (inner Model, lo, hi float64, ok bool) {
+	em, isExp := m.(expModel)
+	if !isExp {
+		return nil, 0, 0, false
+	}
+	return em.inner, em.lo, em.hi, true
+}

@@ -1,0 +1,263 @@
+// Package ml provides the machine-learning substrate NAPEL trains its
+// predictors on: datasets with group labels (one group per application,
+// enabling the paper's leave-one-application-out evaluation), feature
+// standardization, k-fold and leave-one-group-out cross-validation,
+// grid-based hyper-parameter tuning and the mean-relative-error metric
+// (Equation 1). The concrete learners live in the subpackages rf
+// (random forest — NAPEL itself), ann (the Ipek et al. baseline), mtree
+// (the Guo et al. model-tree baseline) and linreg (ridge regression).
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"napel/internal/stats"
+)
+
+// Dataset is a supervised regression dataset. Groups carries the
+// application name of each row, used for leave-one-application-out
+// cross-validation; it may be nil when group structure is irrelevant.
+type Dataset struct {
+	X      [][]float64
+	Y      []float64
+	Names  []string // feature names, optional
+	Groups []string // per-row group label, optional
+}
+
+// NumRows returns the number of examples.
+func (d *Dataset) NumRows() int { return len(d.X) }
+
+// NumFeatures returns the feature dimensionality (0 if empty).
+func (d *Dataset) NumFeatures() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks structural consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d labels", len(d.X), len(d.Y))
+	}
+	if len(d.X) == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	p := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != p {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	if d.Groups != nil && len(d.Groups) != len(d.X) {
+		return fmt.Errorf("ml: %d group labels for %d rows", len(d.Groups), len(d.X))
+	}
+	for i, row := range d.X {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: non-finite feature at row %d col %d", i, j)
+			}
+		}
+		if math.IsNaN(d.Y[i]) || math.IsInf(d.Y[i], 0) {
+			return fmt.Errorf("ml: non-finite label at row %d", i)
+		}
+	}
+	return nil
+}
+
+// Subset returns the dataset restricted to the given row indices
+// (sharing row storage).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{
+		X:     make([][]float64, len(idx)),
+		Y:     make([]float64, len(idx)),
+		Names: d.Names,
+	}
+	if d.Groups != nil {
+		sub.Groups = make([]string, len(idx))
+	}
+	for i, r := range idx {
+		sub.X[i] = d.X[r]
+		sub.Y[i] = d.Y[r]
+		if d.Groups != nil {
+			sub.Groups[i] = d.Groups[r]
+		}
+	}
+	return sub
+}
+
+// GroupNames returns the distinct group labels in first-appearance order.
+func (d *Dataset) GroupNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, g := range d.Groups {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Model predicts a scalar target from a feature vector.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// Trainer builds a model from a dataset; seed makes training
+// deterministic.
+type Trainer interface {
+	Train(d *Dataset, seed uint64) (Model, error)
+	Name() string
+}
+
+// PredictAll applies m to every row of X.
+func PredictAll(m Model, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// MRE evaluates model m on d with the paper's mean-relative-error metric.
+func MRE(m Model, d *Dataset) float64 {
+	return stats.MRE(PredictAll(m, d.X), d.Y)
+}
+
+// Standardizer maps features to zero mean and unit variance; constant
+// features map to zero.
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer learns per-feature statistics from X.
+func FitStandardizer(X [][]float64) *Standardizer {
+	if len(X) == 0 {
+		return &Standardizer{}
+	}
+	p := len(X[0])
+	s := &Standardizer{Mean: make([]float64, p), Std: make([]float64, p)}
+	n := float64(len(X))
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+	}
+	return s
+}
+
+// Apply returns the standardized copy of x.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j < len(s.Std) && s.Std[j] > 0 {
+			out[j] = (v - s.Mean[j]) / s.Std[j]
+		}
+	}
+	return out
+}
+
+// ApplyAll standardizes every row of X.
+func (s *Standardizer) ApplyAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Apply(row)
+	}
+	return out
+}
+
+// Fold is one cross-validation split (row indices).
+type Fold struct {
+	Train, Test []int
+}
+
+// KFold builds k deterministic folds with a seed-driven shuffle.
+func KFold(n, k int, seed uint64) []Fold {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	perm := permute(n, seed)
+	folds := make([]Fold, k)
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		test := append([]int(nil), perm[lo:hi]...)
+		train := make([]int, 0, n-len(test))
+		train = append(train, perm[:lo]...)
+		train = append(train, perm[hi:]...)
+		sort.Ints(test)
+		sort.Ints(train)
+		folds[f] = Fold{Train: train, Test: test}
+	}
+	return folds
+}
+
+// LeaveOneGroupOut builds one fold per distinct group label: the fold's
+// test set is that group's rows, the train set everything else. This is
+// the paper's evaluation protocol (Section 3.3): when predicting an
+// application, no data from that application is in the training set.
+func LeaveOneGroupOut(d *Dataset) map[string]Fold {
+	folds := map[string]Fold{}
+	for i, g := range d.Groups {
+		f := folds[g]
+		f.Test = append(f.Test, i)
+		folds[g] = f
+	}
+	for g, f := range folds {
+		train := make([]int, 0, len(d.Groups)-len(f.Test))
+		for i, gi := range d.Groups {
+			if gi != g {
+				train = append(train, i)
+			}
+		}
+		f.Train = train
+		folds[g] = f
+	}
+	return folds
+}
+
+// permute returns a deterministic permutation of [0, n) derived from
+// seed via a splitmix-style hash sort (avoids importing xrand here).
+func permute(n int, seed uint64) []int {
+	type hi struct {
+		h uint64
+		i int
+	}
+	hs := make([]hi, n)
+	for i := range hs {
+		x := uint64(i) ^ (seed * 0x9e3779b97f4a7c15)
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		hs[i] = hi{h: x ^ (x >> 31), i: i}
+	}
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].h != hs[b].h {
+			return hs[a].h < hs[b].h
+		}
+		return hs[a].i < hs[b].i
+	})
+	out := make([]int, n)
+	for i, h := range hs {
+		out[i] = h.i
+	}
+	return out
+}

@@ -1,0 +1,419 @@
+package ml
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"napel/internal/xrand"
+)
+
+func synthDataset(n, p int, f func([]float64) float64, seed uint64) *Dataset {
+	rng := xrand.New(seed)
+	d := &Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := make([]float64, p)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		d.X[i] = row
+		d.Y[i] = f(row)
+	}
+	return d
+}
+
+func TestDatasetValidate(t *testing.T) {
+	d := synthDataset(10, 3, func(x []float64) float64 { return x[0] }, 1)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+	bad := &Dataset{X: [][]float64{{1}}, Y: []float64{1, 2}}
+	if bad.Validate() == nil {
+		t.Error("length mismatch accepted")
+	}
+	empty := &Dataset{}
+	if empty.Validate() == nil {
+		t.Error("empty dataset accepted")
+	}
+	ragged := &Dataset{X: [][]float64{{1, 2}, {3}}, Y: []float64{1, 2}}
+	if ragged.Validate() == nil {
+		t.Error("ragged rows accepted")
+	}
+	nan := &Dataset{X: [][]float64{{math.NaN()}}, Y: []float64{1}}
+	if nan.Validate() == nil {
+		t.Error("NaN feature accepted")
+	}
+	badGroups := &Dataset{X: [][]float64{{1}}, Y: []float64{1}, Groups: []string{"a", "b"}}
+	if badGroups.Validate() == nil {
+		t.Error("mismatched groups accepted")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := synthDataset(10, 2, func(x []float64) float64 { return x[0] }, 2)
+	d.Groups = make([]string, 10)
+	for i := range d.Groups {
+		d.Groups[i] = string(rune('a' + i%2))
+	}
+	s := d.Subset([]int{1, 3, 5})
+	if s.NumRows() != 3 || s.Y[0] != d.Y[1] || s.Groups[2] != d.Groups[5] {
+		t.Fatal("Subset broken")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	X := [][]float64{{1, 10, 5}, {3, 10, 7}, {5, 10, 9}}
+	s := FitStandardizer(X)
+	out := s.ApplyAll(X)
+	// Column 0: mean 3, std sqrt(8/3); column 1 constant -> all zeros.
+	for i := range out {
+		if out[i][1] != 0 {
+			t.Error("constant feature not zeroed")
+		}
+	}
+	var mean0, var0 float64
+	for i := range out {
+		mean0 += out[i][0]
+	}
+	mean0 /= 3
+	for i := range out {
+		d := out[i][0] - mean0
+		var0 += d * d
+	}
+	var0 /= 3
+	if math.Abs(mean0) > 1e-12 || math.Abs(var0-1) > 1e-12 {
+		t.Fatalf("standardized mean/var = %v/%v", mean0, var0)
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	if err := quick.Check(func(nn, kk, seed uint8) bool {
+		n := int(nn)%50 + 4
+		k := int(kk)%5 + 2
+		folds := KFold(n, k, uint64(seed))
+		seen := map[int]int{}
+		for _, f := range folds {
+			for _, i := range f.Test {
+				seen[i]++
+			}
+			// Train and test are disjoint and cover everything.
+			all := map[int]bool{}
+			for _, i := range f.Train {
+				all[i] = true
+			}
+			for _, i := range f.Test {
+				if all[i] {
+					return false // overlap
+				}
+				all[i] = true
+			}
+			if len(all) != n {
+				return false
+			}
+		}
+		// Every row appears in exactly one test fold.
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	a := KFold(20, 4, 7)
+	b := KFold(20, 4, 7)
+	for i := range a {
+		if len(a[i].Test) != len(b[i].Test) {
+			t.Fatal("KFold not deterministic")
+		}
+		for j := range a[i].Test {
+			if a[i].Test[j] != b[i].Test[j] {
+				t.Fatal("KFold not deterministic")
+			}
+		}
+	}
+}
+
+func TestLeaveOneGroupOut(t *testing.T) {
+	d := &Dataset{
+		X:      [][]float64{{1}, {2}, {3}, {4}},
+		Y:      []float64{1, 2, 3, 4},
+		Groups: []string{"a", "b", "a", "c"},
+	}
+	folds := LeaveOneGroupOut(d)
+	if len(folds) != 3 {
+		t.Fatalf("%d folds, want 3", len(folds))
+	}
+	fa := folds["a"]
+	sort.Ints(fa.Test)
+	if len(fa.Test) != 2 || fa.Test[0] != 0 || fa.Test[1] != 2 {
+		t.Fatalf("fold a test = %v", fa.Test)
+	}
+	for _, i := range fa.Train {
+		if d.Groups[i] == "a" {
+			t.Fatal("train fold contains held-out group")
+		}
+	}
+	names := d.GroupNames()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("GroupNames = %v", names)
+	}
+}
+
+// meanTrainer always predicts the training mean.
+type meanTrainer struct{}
+
+type meanModel float64
+
+func (m meanModel) Predict([]float64) float64 { return float64(m) }
+
+func (meanTrainer) Train(d *Dataset, _ uint64) (Model, error) {
+	s := 0.0
+	for _, y := range d.Y {
+		s += y
+	}
+	return meanModel(s / float64(len(d.Y))), nil
+}
+
+func (meanTrainer) Name() string { return "mean" }
+
+// firstFeatureTrainer predicts the first feature (perfect when y = x0).
+type firstFeatureTrainer struct{}
+
+type firstFeatureModel struct{}
+
+func (firstFeatureModel) Predict(x []float64) float64 { return x[0] }
+
+func (firstFeatureTrainer) Train(*Dataset, uint64) (Model, error) {
+	return firstFeatureModel{}, nil
+}
+
+func (firstFeatureTrainer) Name() string { return "first-feature" }
+
+func TestTunePicksBetterCandidate(t *testing.T) {
+	d := synthDataset(60, 2, func(x []float64) float64 { return x[0] + 5 }, 3)
+	for i := range d.Y {
+		d.Y[i] = d.X[i][0] + 5 // strictly a function of x0
+	}
+	// Shift so targets are away from zero (stable MRE).
+	model, chosen, report, err := Tune([]Trainer{meanTrainer{}, offsetTrainer{}}, d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Name() != "offset" {
+		t.Fatalf("chose %s over the exact model (report %v)", chosen.Name(), report)
+	}
+	if MRE(model, d) > 1e-9 {
+		t.Fatal("winning model inaccurate on training data")
+	}
+}
+
+// offsetTrainer learns y = x0 + c exactly.
+type offsetTrainer struct{}
+
+type offsetModel float64
+
+func (m offsetModel) Predict(x []float64) float64 { return x[0] + float64(m) }
+
+func (offsetTrainer) Train(d *Dataset, _ uint64) (Model, error) {
+	s := 0.0
+	for i := range d.Y {
+		s += d.Y[i] - d.X[i][0]
+	}
+	return offsetModel(s / float64(len(d.Y))), nil
+}
+
+func (offsetTrainer) Name() string { return "offset" }
+
+func TestTuneNoCandidates(t *testing.T) {
+	d := synthDataset(10, 1, func(x []float64) float64 { return 1 }, 4)
+	if _, _, _, err := Tune(nil, d, 3, 1); err == nil {
+		t.Fatal("no candidates accepted")
+	}
+}
+
+func TestLogTrainer(t *testing.T) {
+	// Exponential relationship: log-space learner nails it.
+	d := synthDataset(50, 1, func(x []float64) float64 { return math.Exp(2 * x[0]) }, 5)
+	m, err := LogTrainer{Inner: logLinearTrainer{}}.Train(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mre := MRE(m, d); mre > 0.01 {
+		t.Fatalf("log trainer MRE %v", mre)
+	}
+	// Negative targets are rejected.
+	d.Y[0] = -1
+	if _, err := (LogTrainer{Inner: logLinearTrainer{}}).Train(d, 1); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestLogTrainerClampsExtrapolation(t *testing.T) {
+	d := &Dataset{X: [][]float64{{0}, {1}}, Y: []float64{1, 2}}
+	m, err := LogTrainer{Inner: wildTrainer{}}.Train(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The inner model predicts e^1000; the clamp bounds it near the
+	// training range [1, 2] times the margin.
+	if got := m.Predict([]float64{5}); got > 2*rangeMargin+1e-9 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+}
+
+// logLinearTrainer fits y' = a*x0 + b by least squares (exact for the
+// test's single feature).
+type logLinearTrainer struct{}
+
+type logLinearModel struct{ a, b float64 }
+
+func (m logLinearModel) Predict(x []float64) float64 { return m.a*x[0] + m.b }
+
+func (logLinearTrainer) Train(d *Dataset, _ uint64) (Model, error) {
+	var sx, sy, sxx, sxy float64
+	n := float64(len(d.Y))
+	for i := range d.Y {
+		x := d.X[i][0]
+		sx += x
+		sy += d.Y[i]
+		sxx += x * x
+		sxy += x * d.Y[i]
+	}
+	a := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	return logLinearModel{a: a, b: (sy - a*sx) / n}, nil
+}
+
+func (logLinearTrainer) Name() string { return "loglinear" }
+
+type wildTrainer struct{}
+
+type wildModel struct{}
+
+func (wildModel) Predict([]float64) float64 { return 1000 }
+
+func (wildTrainer) Train(*Dataset, uint64) (Model, error) { return wildModel{}, nil }
+
+func (wildTrainer) Name() string { return "wild" }
+
+func TestPredictAllAndMRE(t *testing.T) {
+	d := &Dataset{X: [][]float64{{1}, {2}}, Y: []float64{1, 2}}
+	preds := PredictAll(firstFeatureModel{}, d.X)
+	if preds[0] != 1 || preds[1] != 2 {
+		t.Fatal("PredictAll broken")
+	}
+	if MRE(firstFeatureModel{}, d) != 0 {
+		t.Fatal("perfect model has nonzero MRE")
+	}
+}
+
+// failingTrainer always errors, exercising Tune's skip path.
+type failingTrainer struct{}
+
+func (failingTrainer) Train(*Dataset, uint64) (Model, error) {
+	return nil, errTrainFail
+}
+
+func (failingTrainer) Name() string { return "failing" }
+
+var errTrainFail = errFail{}
+
+type errFail struct{}
+
+func (errFail) Error() string { return "synthetic training failure" }
+
+func TestTuneSkipsFailingCandidates(t *testing.T) {
+	d := synthDataset(40, 2, func(x []float64) float64 { return x[0] + 3 }, 9)
+	model, chosen, report, err := Tune([]Trainer{failingTrainer{}, offsetTrainer{}}, d, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chosen.Name() != "offset" {
+		t.Fatalf("chose %s", chosen.Name())
+	}
+	if model == nil {
+		t.Fatal("no model")
+	}
+	// The failing candidate is reported with an infinite score.
+	found := false
+	for _, r := range report {
+		if r.Name == "failing" && r.Score > 1e300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failing candidate not reported: %v", report)
+	}
+}
+
+func TestTuneAllCandidatesFail(t *testing.T) {
+	d := synthDataset(20, 1, func(x []float64) float64 { return 1 }, 10)
+	if _, _, _, err := Tune([]Trainer{failingTrainer{}}, d, 3, 1); err == nil {
+		t.Fatal("all-failing grid accepted")
+	}
+}
+
+func TestLogTrainerNameAndWrap(t *testing.T) {
+	lt := LogTrainer{Inner: offsetTrainer{}}
+	if lt.Name() != "log-offset" {
+		t.Fatalf("Name = %q", lt.Name())
+	}
+	// Wrap/Unwrap round trip.
+	m := WrapLogModel(offsetModel(0), 0, 1)
+	inner, lo, hi, ok := UnwrapLogModel(m)
+	if !ok || lo != 0 || hi != 1 || inner == nil {
+		t.Fatal("Wrap/Unwrap round trip broken")
+	}
+	// Non-log models unwrap as not-ok.
+	if _, _, _, ok := UnwrapLogModel(offsetModel(0)); ok {
+		t.Fatal("plain model unwrapped as log model")
+	}
+	// Predict applies exp within the clamp range: inner returns x0, so
+	// exp(0.5) for x=[0.5].
+	if got := m.Predict([]float64{0.5}); math.Abs(got-math.Exp(0.5)) > 1e-12 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestNumFeaturesAndEmpty(t *testing.T) {
+	d := &Dataset{}
+	if d.NumFeatures() != 0 || d.NumRows() != 0 {
+		t.Fatal("empty dataset dimensions wrong")
+	}
+	d2 := synthDataset(3, 5, func(x []float64) float64 { return 0 }, 1)
+	if d2.NumFeatures() != 5 {
+		t.Fatal("NumFeatures wrong")
+	}
+}
+
+func TestKFoldClampsK(t *testing.T) {
+	// k below 2 clamps to 2; k above n clamps to n.
+	if len(KFold(10, 1, 0)) != 2 {
+		t.Fatal("k<2 not clamped")
+	}
+	if len(KFold(3, 99, 0)) != 3 {
+		t.Fatal("k>n not clamped")
+	}
+}
+
+func TestStandardizerShortVector(t *testing.T) {
+	s := FitStandardizer([][]float64{{1, 2}, {3, 4}})
+	// Applying to a vector wider than the fitted stats zeroes the
+	// unknown tail rather than panicking.
+	out := s.Apply([]float64{2, 3, 99})
+	if len(out) != 3 || out[2] != 0 {
+		t.Fatalf("wide apply = %v", out)
+	}
+	empty := FitStandardizer(nil)
+	if len(empty.Apply([]float64{})) != 0 {
+		t.Fatal("empty standardizer broken")
+	}
+}

@@ -1,0 +1,33 @@
+package mtree_test
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+	"napel/internal/ml/mtree"
+)
+
+// Example_piecewiseLinear fits the model tree on its ideal target — two
+// linear regimes — and shows the linear leaves extrapolating within
+// their clip range.
+func Example_piecewiseLinear() {
+	d := &ml.Dataset{}
+	for i := 0; i < 200; i++ {
+		x := float64(i % 20)
+		y := 2 * x // low regime
+		if x >= 10 {
+			y = 100 + 3*x // high regime
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	tree, err := mtree.Train(d, mtree.Params{MaxDepth: 2, MinLeaf: 10}, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("low regime:  %.0f (want 6)\n", tree.Predict([]float64{3}))
+	fmt.Printf("high regime: %.0f (want 145)\n", tree.Predict([]float64{15}))
+	// Output:
+	// low regime:  6 (want 6)
+	// high regime: 145 (want 145)
+}

@@ -1,0 +1,328 @@
+// Package mtree implements an M5-style linear model tree — the "linear
+// decision tree" baseline of Guo et al. that the paper compares against
+// in Figure 5. A regression tree is grown by variance reduction; each
+// leaf fits a ridge linear model over the features most correlated with
+// the target among the leaf's rows. The paper observes this model is
+// "very inaccurate" for NMC responses because the leaf models are
+// linear; this package reproduces that qualitative behaviour while still
+// being a faithful, reasonable implementation of the technique.
+package mtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"napel/internal/mat"
+	"napel/internal/ml"
+)
+
+// Params are the model-tree hyper-parameters.
+type Params struct {
+	MaxDepth   int     // maximum tree depth (default 4)
+	MinLeaf    int     // minimum rows per leaf (default 8)
+	LeafFeats  int     // features per leaf linear model (default 8)
+	Lambda     float64 // ridge penalty of leaf models (default 1.0)
+	SmoothClip bool    // clip predictions to the leaf's training range (default true via withDefaults)
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxDepth <= 0 {
+		p.MaxDepth = 4
+	}
+	if p.MinLeaf <= 0 {
+		p.MinLeaf = 8
+	}
+	if p.LeafFeats <= 0 {
+		p.LeafFeats = 8
+	}
+	if p.Lambda <= 0 {
+		p.Lambda = 1.0
+	}
+	return p
+}
+
+// String names the configuration.
+func (p Params) String() string {
+	return fmt.Sprintf("mtree(depth=%d,minleaf=%d,leaffeats=%d)", p.MaxDepth, p.MinLeaf, p.LeafFeats)
+}
+
+type node struct {
+	feature int // -1 for leaf
+	thresh  float64
+	left    int32
+	right   int32
+	leaf    *leafModel
+}
+
+type leafModel struct {
+	feats    []int
+	w        []float64
+	bias     float64
+	yLo, yHi float64
+	clip     bool
+}
+
+func (l *leafModel) predict(x []float64) float64 {
+	out := l.bias
+	for i, f := range l.feats {
+		out += l.w[i] * x[f]
+	}
+	if l.clip {
+		if out < l.yLo {
+			out = l.yLo
+		}
+		if out > l.yHi {
+			out = l.yHi
+		}
+	}
+	return out
+}
+
+// Tree is a trained linear model tree.
+type Tree struct {
+	nodes []node
+}
+
+// Predict implements ml.Model.
+func (t *Tree) Predict(x []float64) float64 {
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.leaf.predict(x)
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Train grows a model tree on d.
+func Train(d *ml.Dataset, p Params, _ uint64) (*Tree, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	p.SmoothClip = true
+	t := &Tree{}
+	idx := make([]int, d.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &builder{d: d, p: p, t: t}
+	b.build(idx, 0)
+	return t, nil
+}
+
+type builder struct {
+	d *ml.Dataset
+	p Params
+	t *Tree
+}
+
+func (b *builder) build(idx []int, depth int) int32 {
+	me := int32(len(b.t.nodes))
+	b.t.nodes = append(b.t.nodes, node{feature: -1})
+
+	mean, sse := meanSSE(b.d, idx)
+	if len(idx) >= 2*b.p.MinLeaf && sse > 1e-12 && depth < b.p.MaxDepth {
+		if feat, thresh, ok := b.bestSplit(idx, sse); ok {
+			var left, right []int
+			for _, r := range idx {
+				if b.d.X[r][feat] <= thresh {
+					left = append(left, r)
+				} else {
+					right = append(right, r)
+				}
+			}
+			if len(left) >= b.p.MinLeaf && len(right) >= b.p.MinLeaf {
+				b.t.nodes[me].feature = feat
+				b.t.nodes[me].thresh = thresh
+				l := b.build(left, depth+1)
+				r := b.build(right, depth+1)
+				b.t.nodes[me].left = l
+				b.t.nodes[me].right = r
+				return me
+			}
+		}
+	}
+	b.t.nodes[me].leaf = b.fitLeaf(idx, mean)
+	return me
+}
+
+// bestSplit scans every feature for the best variance-reducing split.
+func (b *builder) bestSplit(idx []int, parentSSE float64) (feat int, thresh float64, ok bool) {
+	bestGain := 0.0
+	order := make([]struct{ v, y float64 }, len(idx))
+	for f := 0; f < b.d.NumFeatures(); f++ {
+		for i, r := range idx {
+			order[i].v = b.d.X[r][f]
+			order[i].y = b.d.Y[r]
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].v < order[j].v })
+		n := len(order)
+		if order[0].v == order[n-1].v {
+			continue
+		}
+		var sumL, sqL, sumR, sqR float64
+		for _, o := range order {
+			sumR += o.y
+			sqR += o.y * o.y
+		}
+		for i := 0; i < n-1; i++ {
+			y := order[i].y
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			nl, nr := i+1, n-i-1
+			if order[i].v == order[i+1].v || nl < b.p.MinLeaf || nr < b.p.MinLeaf {
+				continue
+			}
+			g := parentSSE - (sqL - sumL*sumL/float64(nl)) - (sqR - sumR*sumR/float64(nr))
+			if g > bestGain {
+				bestGain = g
+				feat = f
+				thresh = (order[i].v + order[i+1].v) / 2
+			}
+		}
+	}
+	return feat, thresh, bestGain > 0
+}
+
+// fitLeaf fits a ridge linear model over the LeafFeats features most
+// correlated with the target among the leaf's rows; it falls back to a
+// constant model when the fit is degenerate.
+func (b *builder) fitLeaf(idx []int, mean float64) *leafModel {
+	lm := &leafModel{bias: mean, clip: b.p.SmoothClip, yLo: math.Inf(1), yHi: math.Inf(-1)}
+	for _, r := range idx {
+		y := b.d.Y[r]
+		if y < lm.yLo {
+			lm.yLo = y
+		}
+		if y > lm.yHi {
+			lm.yHi = y
+		}
+	}
+	feats := b.topCorrelated(idx)
+	if len(feats) == 0 || len(idx) < len(feats)+2 {
+		return lm
+	}
+	// Design matrix with an intercept column.
+	rows := make([][]float64, len(idx))
+	y := make([]float64, len(idx))
+	for i, r := range idx {
+		row := make([]float64, len(feats)+1)
+		for j, f := range feats {
+			row[j] = b.d.X[r][f]
+		}
+		row[len(feats)] = 1
+		rows[i] = row
+		y[i] = b.d.Y[r]
+	}
+	w, err := mat.RidgeLS(mat.FromRows(rows), y, b.p.Lambda)
+	if err != nil {
+		return lm
+	}
+	for _, v := range w {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return lm
+		}
+	}
+	lm.feats = feats
+	lm.w = w[:len(feats)]
+	lm.bias = w[len(feats)]
+	return lm
+}
+
+// topCorrelated ranks features by |corr(feature, y)| over idx.
+func (b *builder) topCorrelated(idx []int) []int {
+	numF := b.d.NumFeatures()
+	type fc struct {
+		f int
+		c float64
+	}
+	n := float64(len(idx))
+	if n < 3 {
+		return nil
+	}
+	var my float64
+	for _, r := range idx {
+		my += b.d.Y[r]
+	}
+	my /= n
+	var vy float64
+	for _, r := range idx {
+		d := b.d.Y[r] - my
+		vy += d * d
+	}
+	if vy == 0 {
+		return nil
+	}
+	cors := make([]fc, 0, numF)
+	for f := 0; f < numF; f++ {
+		var mx float64
+		for _, r := range idx {
+			mx += b.d.X[r][f]
+		}
+		mx /= n
+		var vx, cov float64
+		for _, r := range idx {
+			dx := b.d.X[r][f] - mx
+			dy := b.d.Y[r] - my
+			vx += dx * dx
+			cov += dx * dy
+		}
+		if vx == 0 {
+			continue
+		}
+		cors = append(cors, fc{f: f, c: math.Abs(cov) / math.Sqrt(vx*vy)})
+	}
+	sort.Slice(cors, func(i, j int) bool {
+		if cors[i].c != cors[j].c {
+			return cors[i].c > cors[j].c
+		}
+		return cors[i].f < cors[j].f
+	})
+	k := b.p.LeafFeats
+	if k > len(cors) {
+		k = len(cors)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cors[i].f
+	}
+	sort.Ints(out)
+	return out
+}
+
+func meanSSE(d *ml.Dataset, idx []int) (mean, sse float64) {
+	if len(idx) == 0 {
+		return 0, 0
+	}
+	for _, r := range idx {
+		mean += d.Y[r]
+	}
+	mean /= float64(len(idx))
+	for _, r := range idx {
+		dv := d.Y[r] - mean
+		sse += dv * dv
+	}
+	return mean, sse
+}
+
+// Trainer adapts Params to ml.Trainer.
+type Trainer struct {
+	Params Params
+}
+
+// Train implements ml.Trainer.
+func (t Trainer) Train(d *ml.Dataset, seed uint64) (ml.Model, error) {
+	return Train(d, t.Params, seed)
+}
+
+// Name implements ml.Trainer.
+func (t Trainer) Name() string { return t.Params.String() }

@@ -1,0 +1,118 @@
+package mtree
+
+import (
+	"math"
+	"testing"
+
+	"napel/internal/ml"
+	"napel/internal/xrand"
+)
+
+func synth(n int, f func([]float64) float64, seed uint64) *ml.Dataset {
+	rng := xrand.New(seed)
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10}
+		d.X[i] = x
+		d.Y[i] = f(x)
+	}
+	return d
+}
+
+func TestLearnsPiecewiseLinear(t *testing.T) {
+	// Two linear regimes split on x0 — the model tree's ideal target.
+	f := func(x []float64) float64 {
+		if x[0] > 5 {
+			return 3*x[1] + 100
+		}
+		return -2*x[1] + 10
+	}
+	d := synth(400, f, 1)
+	tree, err := Train(d, Params{MaxDepth: 3, MinLeaf: 10}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for i, x := range d.X {
+		mae += math.Abs(tree.Predict(x) - d.Y[i])
+	}
+	mae /= float64(len(d.X))
+	if mae > 2 {
+		t.Fatalf("training MAE %v on piecewise-linear target", mae)
+	}
+}
+
+func TestLinearLeavesExtrapolateWithinClip(t *testing.T) {
+	d := synth(100, func(x []float64) float64 { return x[0] }, 2)
+	tree, err := Train(d, Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predictions are clipped to the per-leaf label range: far outside
+	// the training domain they must stay within the global label hull.
+	p := tree.Predict([]float64{1e6, 0})
+	if p < -1 || p > 11 {
+		t.Fatalf("clipped prediction escaped: %v", p)
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	d := synth(60, func([]float64) float64 { return 5 }, 3)
+	tree, err := Train(d, Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{3, 3}); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("constant prediction %v", got)
+	}
+}
+
+func TestTinyDatasetFallsBackToLeaf(t *testing.T) {
+	d := &ml.Dataset{X: [][]float64{{1, 1}, {2, 2}}, Y: []float64{1, 2}}
+	tree, err := Train(d, Params{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tree.Predict([]float64{1.5, 1.5})
+	if p < 1 || p > 2 {
+		t.Fatalf("tiny dataset prediction %v", p)
+	}
+}
+
+func TestStrugglesWithMultiplicativeNonlinearity(t *testing.T) {
+	// The paper's observation: linear leaves cannot capture strongly
+	// nonlinear responses. Verify the tree is much worse on x0*x1 than
+	// on a linear target of the same magnitude.
+	fNl := func(x []float64) float64 { return x[0] * x[1] }
+	fLin := func(x []float64) float64 { return 5*x[0] + 5*x[1] }
+	mae := func(f func([]float64) float64, seed uint64) float64 {
+		train := synth(300, f, seed)
+		test := synth(100, f, seed+1)
+		tree, err := Train(train, Params{MaxDepth: 2, MinLeaf: 20}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for i, x := range test.X {
+			e += math.Abs(tree.Predict(x) - test.Y[i])
+		}
+		return e / float64(len(test.X))
+	}
+	if nl, lin := mae(fNl, 10), mae(fLin, 20); nl < 2*lin {
+		t.Fatalf("model tree suspiciously good on nonlinear target: %v vs linear %v", nl, lin)
+	}
+}
+
+func TestTrainerInterface(t *testing.T) {
+	tr := Trainer{}
+	if tr.Name() == "" {
+		t.Fatal("empty name")
+	}
+	d := synth(30, func(x []float64) float64 { return x[0] }, 4)
+	if _, err := tr.Train(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Train(&ml.Dataset{}, 0); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

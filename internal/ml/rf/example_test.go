@@ -1,0 +1,34 @@
+package rf_test
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+	"napel/internal/ml/rf"
+)
+
+// Example_train fits a small forest on a step function and reads the
+// out-of-bag error — the forest's built-in validation signal.
+func Example_train() {
+	d := &ml.Dataset{}
+	for i := 0; i < 200; i++ {
+		x := float64(i % 20)
+		y := 1.0
+		if x >= 10 {
+			y = 100.0
+		}
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, y)
+	}
+	f, err := rf.Train(d, rf.Params{Trees: 25}, 7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("low side:  %.0f\n", f.Predict([]float64{3}))
+	fmt.Printf("high side: %.0f\n", f.Predict([]float64{17}))
+	fmt.Println("OOB error sane:", f.OOBMRE() >= 0 && f.OOBMRE() < 0.2)
+	// Output:
+	// low side:  1
+	// high side: 100
+	// OOB error sane: true
+}

@@ -1,0 +1,262 @@
+package rf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"napel/internal/ml"
+	"napel/internal/xrand"
+)
+
+func synth(n int, f func([]float64) float64, seed uint64) *ml.Dataset {
+	rng := xrand.New(seed)
+	d := &ml.Dataset{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		row := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		d.X[i] = row
+		d.Y[i] = f(row)
+	}
+	return d
+}
+
+func TestConstantTarget(t *testing.T) {
+	d := synth(50, func([]float64) float64 { return 7 }, 1)
+	f, err := Train(d, Params{Trees: 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict([]float64{1, 2, 3}); got != 7 {
+		t.Fatalf("constant prediction = %v", got)
+	}
+}
+
+func TestLearnsStepFunction(t *testing.T) {
+	// A step function is trees' home turf.
+	f := func(x []float64) float64 {
+		if x[0] > 5 {
+			return 10
+		}
+		return 1
+	}
+	d := synth(400, f, 2)
+	forest, err := Train(d, Params{Trees: 30, MTry: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := forest.Predict([]float64{9, 0, 0}); math.Abs(got-10) > 1 {
+		t.Errorf("high side = %v, want ~10", got)
+	}
+	if got := forest.Predict([]float64{1, 0, 0}); math.Abs(got-1) > 1 {
+		t.Errorf("low side = %v, want ~1", got)
+	}
+}
+
+func TestBeatsMeanOnNonlinear(t *testing.T) {
+	f := func(x []float64) float64 { return x[0]*x[1] + 3 }
+	train := synth(500, f, 4)
+	test := synth(100, f, 5)
+	forest, err := Train(train, Params{Trees: 50}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := 0.0
+	for _, y := range train.Y {
+		mean += y
+	}
+	mean /= float64(len(train.Y))
+	var rfErr, meanErr float64
+	for i, x := range test.X {
+		rfErr += math.Abs(forest.Predict(x) - test.Y[i])
+		meanErr += math.Abs(mean - test.Y[i])
+	}
+	if rfErr >= meanErr/2 {
+		t.Fatalf("forest abs err %v not clearly better than mean %v", rfErr, meanErr)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	d := synth(100, func(x []float64) float64 { return x[0] + x[1] }, 7)
+	f1, _ := Train(d, Params{Trees: 10}, 42)
+	f2, _ := Train(d, Params{Trees: 10}, 42)
+	f3, _ := Train(d, Params{Trees: 10}, 43)
+	probe := []float64{3, 4, 5}
+	if f1.Predict(probe) != f2.Predict(probe) {
+		t.Fatal("same seed, different forest")
+	}
+	if f1.Predict(probe) == f3.Predict(probe) {
+		t.Log("different seeds produced identical predictions (possible but unlikely)")
+	}
+}
+
+func TestPredictionWithinLabelHull(t *testing.T) {
+	// Tree means can never leave the label range.
+	if err := quick.Check(func(seed uint64) bool {
+		d := synth(80, func(x []float64) float64 { return x[0] * x[2] }, seed)
+		lo, hi := d.Y[0], d.Y[0]
+		for _, y := range d.Y {
+			lo = math.Min(lo, y)
+			hi = math.Max(hi, y)
+		}
+		f, err := Train(d, Params{Trees: 5}, seed)
+		if err != nil {
+			return false
+		}
+		rng := xrand.New(seed ^ 1)
+		for i := 0; i < 20; i++ {
+			p := f.Predict([]float64{rng.Float64() * 20, rng.Float64() * 20, rng.Float64() * 20})
+			if p < lo-1e-9 || p > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportanceIdentifiesSignal(t *testing.T) {
+	// Only feature 1 carries signal.
+	d := synth(300, func(x []float64) float64 { return 5 * x[1] }, 9)
+	f, err := Train(d, Params{Trees: 30, MTry: 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.Importance()
+	total := 0.0
+	for _, v := range imp {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("importance sums to %v", total)
+	}
+	if imp[1] < 0.8 {
+		t.Fatalf("signal feature importance %v, want dominant: %v", imp[1], imp)
+	}
+}
+
+func TestMinLeaf(t *testing.T) {
+	d := synth(50, func(x []float64) float64 { return x[0] }, 11)
+	// With MinLeaf = n the tree cannot split: predictions are the mean.
+	f, err := Train(d, Params{Trees: 3, MinLeaf: 50}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := f.Predict([]float64{0, 0, 0})
+	p2 := f.Predict([]float64{10, 10, 10})
+	if p1 != p2 {
+		t.Fatal("MinLeaf = n still split")
+	}
+}
+
+func TestMaxDepthLimitsTree(t *testing.T) {
+	d := synth(200, func(x []float64) float64 { return x[0] }, 13)
+	shallow, _ := Train(d, Params{Trees: 10, MaxDepth: 1}, 14)
+	deep, _ := Train(d, Params{Trees: 10}, 14)
+	var errS, errD float64
+	test := synth(50, func(x []float64) float64 { return x[0] }, 15)
+	for i, x := range test.X {
+		errS += math.Abs(shallow.Predict(x) - test.Y[i])
+		errD += math.Abs(deep.Predict(x) - test.Y[i])
+	}
+	if errD >= errS {
+		t.Fatalf("deeper forest not better: %v vs %v", errD, errS)
+	}
+}
+
+func TestTrainRejectsInvalidDataset(t *testing.T) {
+	if _, err := Train(&ml.Dataset{}, Params{}, 1); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestTrainerInterface(t *testing.T) {
+	d := synth(30, func(x []float64) float64 { return 1 }, 16)
+	tr := Trainer{Params: Params{Trees: 2}}
+	if tr.Name() == "" {
+		t.Fatal("empty trainer name")
+	}
+	m, err := tr.Train(d, 1)
+	if err != nil || m == nil {
+		t.Fatalf("Trainer.Train: %v", err)
+	}
+	if _, err := tr.Train(nil, 1); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestSingleRowDataset(t *testing.T) {
+	d := &ml.Dataset{X: [][]float64{{1, 2}}, Y: []float64{5}}
+	f, err := Train(d, Params{Trees: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Predict([]float64{9, 9}) != 5 {
+		t.Fatal("single-row forest broken")
+	}
+}
+
+func TestPredictWithSpread(t *testing.T) {
+	d := synth(200, func(x []float64) float64 { return x[0] }, 30)
+	f, err := Train(d, Params{Trees: 20}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-domain: mean matches Predict, spread modest.
+	in := []float64{5, 5, 5}
+	mean, std := f.PredictWithSpread(in)
+	if mean != f.Predict(in) {
+		t.Fatal("spread mean differs from Predict")
+	}
+	if std < 0 {
+		t.Fatal("negative spread")
+	}
+	// Far out of domain the trees saturate at different leaves near the
+	// data boundary; spread stays finite and non-negative.
+	_, stdOut := f.PredictWithSpread([]float64{1e9, -1e9, 0})
+	if stdOut < 0 {
+		t.Fatal("negative out-of-domain spread")
+	}
+}
+
+func TestOOBMRE(t *testing.T) {
+	d := synth(300, func(x []float64) float64 { return 10 + x[0]*x[1] }, 40)
+	f, err := Train(d, Params{Trees: 40}, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oob := f.OOBMRE()
+	if oob <= 0 || oob > 1 {
+		t.Fatalf("implausible OOB MRE %v", oob)
+	}
+	// OOB must be worse than resubstitution error (the forest has seen
+	// the training rows) but in the same ballpark.
+	var resub float64
+	for i, x := range d.X {
+		resub += math.Abs(f.Predict(x)-d.Y[i]) / math.Abs(d.Y[i])
+	}
+	resub /= float64(len(d.X))
+	if oob <= resub {
+		t.Fatalf("OOB %v not above resubstitution %v", oob, resub)
+	}
+}
+
+func TestPermutationImportance(t *testing.T) {
+	// Feature 0 carries all the signal; permuting it must hurt, while
+	// permuting the noise features must not.
+	d := synth(300, func(x []float64) float64 { return 10 + 5*x[0] }, 50)
+	f, err := Train(d, Params{Trees: 30, MTry: 3}, 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.PermutationImportance(d.X, d.Y)
+	if len(imp) != 3 {
+		t.Fatalf("%d importances", len(imp))
+	}
+	if imp[0] <= 5*imp[1] || imp[0] <= 5*imp[2] {
+		t.Fatalf("signal feature not dominant: %v", imp)
+	}
+	if f.PermutationImportance(nil, nil) != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}

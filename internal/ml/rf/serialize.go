@@ -1,0 +1,90 @@
+package rf
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// forestJSON is the stable on-disk representation of a Forest. Node
+// arrays are stored flat per tree, exactly mirroring the in-memory
+// layout, so round-trips are lossless and predictions bit-identical.
+type forestJSON struct {
+	Params     Params     `json:"params"`
+	Importance []float64  `json:"importance"`
+	Trees      []treeJSON `json:"trees"`
+}
+
+type treeJSON struct {
+	Feature []int     `json:"feature"`
+	Thresh  []float64 `json:"thresh"`
+	Left    []int32   `json:"left"`
+	Right   []int32   `json:"right"`
+	Value   []float64 `json:"value"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (f *Forest) MarshalJSON() ([]byte, error) {
+	out := forestJSON{
+		Params:     f.params,
+		Importance: f.importance,
+		Trees:      make([]treeJSON, len(f.trees)),
+	}
+	for ti := range f.trees {
+		nodes := f.trees[ti].nodes
+		tj := treeJSON{
+			Feature: make([]int, len(nodes)),
+			Thresh:  make([]float64, len(nodes)),
+			Left:    make([]int32, len(nodes)),
+			Right:   make([]int32, len(nodes)),
+			Value:   make([]float64, len(nodes)),
+		}
+		for ni, n := range nodes {
+			tj.Feature[ni] = n.feature
+			tj.Thresh[ni] = n.thresh
+			tj.Left[ni] = n.left
+			tj.Right[ni] = n.right
+			tj.Value[ni] = n.value
+		}
+		out.Trees[ti] = tj
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Forest) UnmarshalJSON(data []byte) error {
+	var in forestJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Trees) == 0 {
+		return fmt.Errorf("rf: serialized forest has no trees")
+	}
+	f.params = in.Params
+	f.importance = in.Importance
+	f.trees = make([]tree, len(in.Trees))
+	for ti, tj := range in.Trees {
+		n := len(tj.Feature)
+		if len(tj.Thresh) != n || len(tj.Left) != n || len(tj.Right) != n || len(tj.Value) != n {
+			return fmt.Errorf("rf: tree %d has inconsistent node arrays", ti)
+		}
+		if n == 0 {
+			return fmt.Errorf("rf: tree %d is empty", ti)
+		}
+		nodes := make([]node, n)
+		for ni := range nodes {
+			l, r := tj.Left[ni], tj.Right[ni]
+			if tj.Feature[ni] >= 0 && (l < 0 || int(l) >= n || r < 0 || int(r) >= n) {
+				return fmt.Errorf("rf: tree %d node %d has out-of-range children", ti, ni)
+			}
+			nodes[ni] = node{
+				feature: tj.Feature[ni],
+				thresh:  tj.Thresh[ni],
+				left:    l,
+				right:   r,
+				value:   tj.Value[ni],
+			}
+		}
+		f.trees[ti].nodes = nodes
+	}
+	return nil
+}

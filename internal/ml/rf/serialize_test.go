@@ -1,0 +1,52 @@
+package rf
+
+import (
+	"encoding/json"
+	"testing"
+
+	"napel/internal/xrand"
+)
+
+func TestForestJSONRoundTrip(t *testing.T) {
+	d := synth(150, func(x []float64) float64 { return x[0]*x[1] + x[2] }, 21)
+	f, err := Train(d, Params{Trees: 12}, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Forest
+	if err := json.Unmarshal(data, &g); err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(23)
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		if f.Predict(x) != g.Predict(x) {
+			t.Fatalf("round trip changed prediction at %v", x)
+		}
+	}
+	gi, fi := g.Importance(), f.Importance()
+	for i := range fi {
+		if fi[i] != gi[i] {
+			t.Fatal("importance lost in round trip")
+		}
+	}
+}
+
+func TestForestUnmarshalRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{}`, // no trees
+		`{"trees":[{"feature":[0],"thresh":[1],"left":[5],"right":[0],"value":[0]}]}`,          // child out of range
+		`{"trees":[{"feature":[0,-1],"thresh":[1],"left":[1,0],"right":[1,0],"value":[0,1]}]}`, // ragged arrays
+		`{"trees":[{"feature":[],"thresh":[],"left":[],"right":[],"value":[]}]}`,               // empty tree
+	}
+	for i, c := range cases {
+		var f Forest
+		if err := json.Unmarshal([]byte(c), &f); err == nil {
+			t.Errorf("malformed case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// TuneResult reports one hyper-parameter candidate's cross-validated
+// score.
+type TuneResult struct {
+	Name  string
+	Score float64 // mean MRE across folds (lower is better)
+}
+
+// Tune performs the paper's hyper-parameter search (Section 2.5): one
+// cross-validation pass per candidate configuration, selecting the
+// configuration with the lowest mean relative error, then retraining it
+// on the full dataset. Candidates that fail to train on some fold are
+// skipped.
+func Tune(candidates []Trainer, d *Dataset, folds int, seed uint64) (Model, Trainer, []TuneResult, error) {
+	if len(candidates) == 0 {
+		return nil, nil, nil, errors.New("ml: no tuning candidates")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	cv := KFold(d.NumRows(), folds, seed)
+	report := make([]TuneResult, 0, len(candidates))
+	bestIdx, bestScore := -1, math.Inf(1)
+	for ci, cand := range candidates {
+		score, n := 0.0, 0
+		failed := false
+		for fi, fold := range cv {
+			if len(fold.Train) == 0 || len(fold.Test) == 0 {
+				continue
+			}
+			m, err := cand.Train(d.Subset(fold.Train), seed+uint64(fi)*7919)
+			if err != nil {
+				failed = true
+				break
+			}
+			score += MRE(m, d.Subset(fold.Test))
+			n++
+		}
+		if failed || n == 0 {
+			report = append(report, TuneResult{Name: cand.Name(), Score: math.Inf(1)})
+			continue
+		}
+		score /= float64(n)
+		report = append(report, TuneResult{Name: cand.Name(), Score: score})
+		if score < bestScore {
+			bestScore, bestIdx = score, ci
+		}
+	}
+	if bestIdx < 0 {
+		return nil, nil, report, errors.New("ml: every tuning candidate failed")
+	}
+	best := candidates[bestIdx]
+	model, err := best.Train(d, seed)
+	if err != nil {
+		return nil, nil, report, err
+	}
+	return model, best, report, nil
+}

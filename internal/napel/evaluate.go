@@ -1,0 +1,156 @@
+package napel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"napel/internal/ml"
+	"napel/internal/stats"
+	"napel/internal/workload"
+)
+
+// AccuracyRow is one application's leave-one-application-out accuracy
+// (one bar of Figure 5).
+type AccuracyRow struct {
+	App       string
+	MRE       float64
+	TrainTime time.Duration
+}
+
+// EvaluateLOOCV reproduces the paper's accuracy protocol (Section 3.3):
+// for every application, a model is trained on all *other* applications'
+// samples and evaluated on the held-out application's samples with the
+// mean relative error of Equation 1. trainer builds the model (NAPEL's
+// random forest or one of the Figure 5 baselines).
+func EvaluateLOOCV(td *TrainingData, target Target, trainer ml.Trainer, seed uint64) ([]AccuracyRow, error) {
+	d := td.Dataset(target)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	folds := ml.LeaveOneGroupOut(d)
+	apps := d.GroupNames()
+	sort.Strings(apps)
+	rows := make([]AccuracyRow, 0, len(apps))
+	for _, app := range apps {
+		fold := folds[app]
+		if len(fold.Train) == 0 || len(fold.Test) == 0 {
+			continue
+		}
+		t0 := time.Now()
+		model, err := trainer.Train(d.Subset(fold.Train), seed)
+		if err != nil {
+			return nil, fmt.Errorf("napel: LOOCV training for %s: %w", app, err)
+		}
+		rows = append(rows, AccuracyRow{
+			App:       app,
+			MRE:       ml.MRE(model, d.Subset(fold.Test)),
+			TrainTime: time.Since(t0),
+		})
+	}
+	return rows, nil
+}
+
+// MeanMRE averages the per-application errors.
+func MeanMRE(rows []AccuracyRow) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range rows {
+		s += r.MRE
+	}
+	return s / float64(len(rows))
+}
+
+// SuitabilityRow is one application of the Figure 7 use case: estimated
+// EDP reduction of offloading to NMC versus host execution, from NAPEL's
+// prediction and from the simulator ("Actual").
+type SuitabilityRow struct {
+	App          string
+	HostTimeSec  float64
+	HostEnergyJ  float64
+	HostEDP      float64
+	PredEDP      float64 // NAPEL-estimated NMC EDP
+	ActualEDP    float64 // simulator NMC EDP
+	PredReduct   float64 // HostEDP / PredEDP
+	ActualReduct float64 // HostEDP / ActualEDP
+	EDPError     float64 // |PredEDP − ActualEDP| / ActualEDP
+}
+
+// Suitable reports whether the simulator deems NMC offload beneficial
+// (EDP reduction > 1), the paper's suitability criterion.
+func (r SuitabilityRow) Suitable() bool { return r.ActualReduct > 1 }
+
+// Agreement reports whether NAPEL's estimate reaches the same
+// suitability verdict as the simulator (the paper's first observation on
+// Figure 7).
+func (r SuitabilityRow) Agreement() bool { return (r.PredReduct > 1) == (r.ActualReduct > 1) }
+
+// SuitabilityAnalysis reproduces the Figure 7 use case for the given
+// kernels at their Table 2 test inputs: the host EDP comes from the host
+// model, the "Actual" NMC EDP from the simulator at the reference
+// architecture, and the NAPEL estimate from a model trained on the
+// *other* applications (leave-one-application-out, as in Section 3.3).
+func SuitabilityAnalysis(kernels []workload.Kernel, td *TrainingData, opts Options, seed uint64) ([]SuitabilityRow, error) {
+	ipcData := td.Dataset(TargetIPC)
+	epiData := td.Dataset(TargetEPI)
+	if err := ipcData.Validate(); err != nil {
+		return nil, err
+	}
+	ipcFolds := ml.LeaveOneGroupOut(ipcData)
+	trainer := DefaultRFTrainer()
+
+	rows := make([]SuitabilityRow, 0, len(kernels))
+	for _, k := range kernels {
+		app := k.Name()
+		testIn := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+
+		host, err := HostRun(k, testIn, opts.Host, opts.HostBudget)
+		if err != nil {
+			return nil, fmt.Errorf("napel: host run for %s: %w", app, err)
+		}
+		actual, err := SimulateKernel(k, testIn, opts.RefArch, opts.SimBudget)
+		if err != nil {
+			return nil, fmt.Errorf("napel: NMC simulation for %s: %w", app, err)
+		}
+
+		fold, ok := ipcFolds[app]
+		if !ok || len(fold.Train) == 0 {
+			return nil, fmt.Errorf("napel: no training data excluding %s", app)
+		}
+		ipcModel, err := trainer.Train(ipcData.Subset(fold.Train), seed)
+		if err != nil {
+			return nil, err
+		}
+		epiModel, err := trainer.Train(epiData.Subset(fold.Train), seed)
+		if err != nil {
+			return nil, err
+		}
+		pred := Predictor{IPC: ipcModel, EPI: epiModel, Names: td.Names}
+
+		prof, err := ProfileKernel(k, testIn, opts.ProfileBudget)
+		if err != nil {
+			return nil, err
+		}
+		est := pred.Predict(prof, opts.RefArch, testIn.Threads())
+
+		row := SuitabilityRow{
+			App:         app,
+			HostTimeSec: host.TimeSec,
+			HostEnergyJ: host.EnergyJ,
+			HostEDP:     host.EDP,
+			PredEDP:     est.EDP,
+			ActualEDP:   actual.EDP,
+		}
+		if row.PredEDP > 0 {
+			row.PredReduct = row.HostEDP / row.PredEDP
+		}
+		if row.ActualEDP > 0 {
+			row.ActualReduct = row.HostEDP / row.ActualEDP
+			row.EDPError = stats.RelErr(row.PredEDP, row.ActualEDP)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

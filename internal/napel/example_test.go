@@ -1,0 +1,47 @@
+package napel_test
+
+import (
+	"fmt"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// ExampleCCDInputs shows the central composite design expanding atax's
+// two Table 2 parameters into the 11 training configurations of Table 4.
+func ExampleCCDInputs() {
+	k, _ := workload.ByName("atax")
+	inputs := napel.CCDInputs(k)
+	fmt.Println("configurations:", len(inputs))
+	fmt.Println("first corner:  ", inputs[0])
+	fmt.Println("centre point:  ", inputs[len(inputs)-1])
+	// Output:
+	// configurations: 11
+	// first corner:   dim=1250 threads=8
+	// centre point:   dim=1500 threads=16
+}
+
+// ExampleProfileKernel runs the phase-1 characterization of a kernel and
+// reads a few headline statistics from the 395-feature profile.
+func ExampleProfileKernel() {
+	k, _ := workload.ByName("mvt")
+	in := workload.Input{"dim": 64, "threads": 4, "iters": 1}
+	prof, err := napel.ProfileKernel(k, in, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("features:", len(prof.Vector()))
+	fmt.Printf("memory fraction: %.2f\n", prof.MemFraction())
+	fmt.Println("footprint bytes:", int(prof.FootprintBytes()))
+	// Output:
+	// features: 395
+	// memory fraction: 0.42
+	// footprint bytes: 34816
+}
+
+// ExampleActivePEs shows the thread-to-PE mapping used to normalize the
+// IPC training target.
+func ExampleActivePEs() {
+	fmt.Println(napel.ActivePEs(8, 32), napel.ActivePEs(64, 32))
+	// Output: 8 32
+}

@@ -1,0 +1,482 @@
+package napel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"napel/internal/nmcsim"
+	"napel/internal/workload"
+)
+
+// quickOptions returns options small enough for unit tests.
+func quickOptions() Options {
+	opts := DefaultOptions()
+	opts.ScaleFactor = 32
+	opts.MaxIters = 1
+	opts.TestScaleFactor = 16
+	opts.TestMaxIters = 1
+	opts.ProfileBudget = 30_000
+	opts.SimBudget = 30_000
+	opts.HostBudget = 60_000
+	opts.TrainArchs = opts.TrainArchs[:2]
+	return opts
+}
+
+func quickKernels(t *testing.T, names ...string) []workload.Kernel {
+	t.Helper()
+	ks := make([]workload.Kernel, 0, len(names))
+	for _, n := range names {
+		k, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestOptionsValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("default options invalid: %v", err)
+	}
+	bad := DefaultOptions()
+	bad.ScaleFactor = 0
+	if bad.Validate() == nil {
+		t.Error("scale 0 accepted")
+	}
+	bad = DefaultOptions()
+	bad.TrainArchs = nil
+	if bad.Validate() == nil {
+		t.Error("no training archs accepted")
+	}
+	bad = DefaultOptions()
+	bad.RefArch.PEs = 0
+	if bad.Validate() == nil {
+		t.Error("invalid ref arch accepted")
+	}
+}
+
+func TestCCDInputsCounts(t *testing.T) {
+	// Table 4 counts: atax 11 (2 params), mvt 19 (3), bfs 31 (4).
+	want := map[string]int{"atax": 11, "mvt": 19, "bfs": 31}
+	for name, n := range want {
+		k, _ := workload.ByName(name)
+		inputs := CCDInputs(k)
+		if len(inputs) != n {
+			t.Errorf("%s: %d CCD inputs, want %d", name, len(inputs), n)
+		}
+		for _, in := range inputs {
+			if err := workload.Validate(k, in); err != nil {
+				t.Errorf("%s: invalid CCD input %s: %v", name, in, err)
+			}
+		}
+	}
+}
+
+func TestArchVector(t *testing.T) {
+	k, _ := workload.ByName("atax")
+	prof, err := ProfileKernel(k, workload.Input{"dim": 64, "threads": 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nmcsim.DefaultConfig()
+	vec := ArchVector(cfg, prof, 8)
+	if len(vec) != NumArchFeatures {
+		t.Fatalf("arch vector has %d entries, want %d", len(vec), NumArchFeatures)
+	}
+	if len(ArchFeatureNames()) != NumArchFeatures {
+		t.Fatal("arch feature names misaligned")
+	}
+	if vec[1] != float64(cfg.PEs) || vec[2] != cfg.FreqGHz {
+		t.Fatalf("arch features wrong: %v", vec)
+	}
+	hit, miss := vec[7], vec[8]
+	if hit < 0 || hit > 1 || math.Abs(hit+miss-1) > 1e-9 {
+		t.Fatalf("hit/miss fractions inconsistent: %v %v", hit, miss)
+	}
+	if vec[9] != 8 {
+		t.Fatalf("threads feature = %v", vec[9])
+	}
+}
+
+func TestActivePEs(t *testing.T) {
+	if ActivePEs(8, 32) != 8 || ActivePEs(64, 32) != 32 {
+		t.Fatal("ActivePEs wrong")
+	}
+}
+
+func TestProfileKernelValidatesInput(t *testing.T) {
+	k, _ := workload.ByName("atax")
+	if _, err := ProfileKernel(k, workload.Input{"dim": 64}, 0); err == nil {
+		t.Fatal("missing threads accepted")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	opts := quickOptions()
+	kernels := quickKernels(t, "atax", "mvt", "gesu")
+	td, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := (11 + 19 + 19) * len(opts.TrainArchs)
+	if len(td.Samples) != wantSamples {
+		t.Fatalf("%d samples, want %d", len(td.Samples), wantSamples)
+	}
+	if len(td.Names) != 395+NumArchFeatures {
+		t.Fatalf("%d feature names", len(td.Names))
+	}
+	for _, s := range td.Samples {
+		if len(s.Features) != len(td.Names) {
+			t.Fatalf("sample feature width %d", len(s.Features))
+		}
+		if s.IPC <= 0 || s.EPI <= 0 {
+			t.Fatalf("non-positive labels: %+v", s)
+		}
+		if s.ActivePEs <= 0 {
+			t.Fatal("ActivePEs not recorded")
+		}
+	}
+	if td.DoEConfigs["atax"] != 11 {
+		t.Fatalf("atax DoE count %d", td.DoEConfigs["atax"])
+	}
+	if td.SimTime["atax"] <= 0 || td.ProfileTime["atax"] <= 0 {
+		t.Fatal("timings not recorded")
+	}
+
+	// Training and prediction.
+	pred, err := Train(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels[0]
+	in := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+	prof, err := ProfileKernel(k, in, opts.ProfileBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := pred.Predict(prof, opts.RefArch, in.Threads())
+	if est.IPC <= 0 || est.EPI <= 0 || est.TimeSec <= 0 || est.EnergyJ <= 0 || est.EDP <= 0 {
+		t.Fatalf("degenerate prediction: %+v", est)
+	}
+	// The predicted IPC cannot exceed the PE count (clamped, normalized
+	// per PE, at most margin above the per-PE label range which is <= 1).
+	if est.IPC > float64(opts.RefArch.PEs)*8 {
+		t.Fatalf("absurd IPC prediction: %v", est.IPC)
+	}
+}
+
+func TestDatasetNormalization(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := td.Dataset(TargetIPC)
+	for i, s := range td.Samples {
+		want := s.IPC / float64(s.ActivePEs)
+		if math.Abs(d.Y[i]-want) > 1e-12 {
+			t.Fatalf("row %d: normalized label %v, want %v", i, d.Y[i], want)
+		}
+	}
+	e := td.Dataset(TargetEPI)
+	if e.Y[0] != td.Samples[0].EPI {
+		t.Fatal("EPI label altered")
+	}
+}
+
+func TestLOOCVExcludesHeldOutApp(t *testing.T) {
+	opts := quickOptions()
+	kernels := quickKernels(t, "atax", "mvt")
+	td, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := EvaluateLOOCV(td, TargetIPC, DefaultRFTrainer(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d LOOCV rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.MRE < 0 || math.IsNaN(r.MRE) {
+			t.Fatalf("bad MRE for %s: %v", r.App, r.MRE)
+		}
+		if r.TrainTime <= 0 {
+			t.Fatal("train time not recorded")
+		}
+	}
+	if m := MeanMRE(rows); m != (rows[0].MRE+rows[1].MRE)/2 {
+		t.Fatalf("MeanMRE = %v", m)
+	}
+}
+
+func TestTrainTunedSelectsCandidate(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax", "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trim the dataset grid for speed: tuning exercises the code path.
+	pred, err := TrainTuned(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Chosen[TargetIPC] == "" || pred.Chosen[TargetEPI] == "" {
+		t.Fatal("no chosen hyper-parameters recorded")
+	}
+	if len(pred.TuneReport[TargetIPC]) == 0 {
+		t.Fatal("no tuning report")
+	}
+}
+
+func TestSuitabilityAnalysis(t *testing.T) {
+	opts := quickOptions()
+	kernels := quickKernels(t, "atax", "mvt")
+	td, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SuitabilityAnalysis(kernels, td, opts, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d suitability rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.HostEDP <= 0 || r.ActualEDP <= 0 || r.PredEDP <= 0 {
+			t.Fatalf("degenerate EDPs: %+v", r)
+		}
+		if r.ActualReduct <= 0 || r.PredReduct <= 0 {
+			t.Fatalf("degenerate reductions: %+v", r)
+		}
+		_ = r.Suitable()
+		_ = r.Agreement()
+	}
+}
+
+func TestCollectRejectsInvalidOptions(t *testing.T) {
+	opts := quickOptions()
+	opts.ScaleFactor = 0
+	if _, err := Collect(quickKernels(t, "atax"), opts); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
+
+func TestTrainRejectsEmptyData(t *testing.T) {
+	if _, err := Train(&TrainingData{}, 1); err == nil {
+		t.Fatal("empty training data accepted")
+	}
+}
+
+func TestRFTuneGridNonEmpty(t *testing.T) {
+	grid := RFTuneGrid(405)
+	if len(grid) < 4 {
+		t.Fatalf("tune grid too small: %d", len(grid))
+	}
+	names := map[string]bool{}
+	for _, tr := range grid {
+		if names[tr.Name()] {
+			t.Fatalf("duplicate candidate %s", tr.Name())
+		}
+		names[tr.Name()] = true
+	}
+}
+
+func TestProfileHitEstimateMatchesSimulator(t *testing.T) {
+	// The profile's architecture-independent reuse CDF, evaluated at the
+	// L1 capacity, should track the simulator's measured L1 hit rate —
+	// the cross-model consistency that makes the "cache access fraction"
+	// feature informative.
+	for _, name := range []string{"atax", "mvt", "kme"} {
+		k, _ := workload.ByName(name)
+		in := workload.Scale(k, workload.CentralInput(k), 16, 1)
+		prof, err := ProfileKernel(k, in, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := nmcsim.DefaultConfig()
+		res, err := SimulateKernel(k, in, cfg, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := prof.EstHitFraction(cfg.L1.SizeBytes() / 64)
+		got := res.L1.HitRate()
+		if diff := est - got; diff > 0.25 || diff < -0.25 {
+			t.Errorf("%s: estimated hit %.3f vs simulated %.3f", name, est, got)
+		}
+	}
+}
+
+func TestOoOArchFeature(t *testing.T) {
+	k, _ := workload.ByName("atax")
+	prof, err := ProfileKernel(k, workload.Input{"dim": 64, "threads": 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inorder := ArchVector(nmcsim.DefaultConfig(), prof, 4)
+	ooo := ArchVector(nmcsim.OoOConfig(), prof, 4)
+	if inorder[0] != 1 || ooo[0] != 0 {
+		t.Fatalf("core-type feature wrong: in-order %v, OoO %v", inorder[0], ooo[0])
+	}
+}
+
+func TestRandomInputsMatchCCDBudget(t *testing.T) {
+	for _, name := range []string{"atax", "mvt", "bfs"} {
+		k, _ := workload.ByName(name)
+		ccd := CCDInputs(k)
+		rnd := RandomInputs(k, 7)
+		if len(rnd) != len(ccd) {
+			t.Errorf("%s: random sampling budget %d != CCD %d", name, len(rnd), len(ccd))
+		}
+		for _, in := range rnd {
+			if err := workload.Validate(k, in); err != nil {
+				t.Errorf("%s: invalid random input: %v", name, err)
+			}
+		}
+		// Deterministic in seed.
+		again := RandomInputs(k, 7)
+		for i := range rnd {
+			if rnd[i].String() != again[i].String() {
+				t.Errorf("%s: RandomInputs not deterministic", name)
+			}
+		}
+	}
+}
+
+func TestArchCCDConfigs(t *testing.T) {
+	cfgs := ArchCCDConfigs()
+	// Three-factor CCD: 2^3 corners + 6 axial + 1 centre = 15 distinct.
+	if len(cfgs) != 15 {
+		t.Fatalf("%d arch configs, want 15", len(cfgs))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("invalid arch config: %v", err)
+		}
+		key := fmt.Sprintf("%d/%.2f/%d", cfg.PEs, cfg.FreqGHz, cfg.L1.Lines)
+		if seen[key] {
+			t.Fatalf("duplicate arch config %s", key)
+		}
+		seen[key] = true
+	}
+	// The centre point is the Table 3 reference.
+	ref := nmcsim.DefaultConfig()
+	found := false
+	for _, cfg := range cfgs {
+		if cfg.PEs == ref.PEs && cfg.FreqGHz == ref.FreqGHz {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("reference system missing from the arch CCD")
+	}
+}
+
+func TestPredictWithUncertainty(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax", "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Train(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := td.Samples[0].Features
+	ipc, ipcF, epi, epiF := pred.PredictVectorWithUncertainty(feat, 8)
+	if ipc <= 0 || epi <= 0 {
+		t.Fatalf("degenerate predictions: %v %v", ipc, epi)
+	}
+	if ipcF < 1 || epiF < 1 {
+		t.Fatalf("uncertainty factors below 1: %v %v", ipcF, epiF)
+	}
+	// Consistency with the plain path (same clamping, same trees).
+	plainIPC, plainEPI := pred.PredictVector(feat, 8)
+	if math.Abs(ipc-plainIPC)/plainIPC > 1e-9 || math.Abs(epi-plainEPI)/plainEPI > 1e-9 {
+		t.Fatalf("uncertainty path diverges from plain path: %v vs %v", ipc, plainIPC)
+	}
+}
+
+func TestMergeTrainingData(t *testing.T) {
+	opts := quickOptions()
+	a, err := Collect(quickKernels(t, "atax"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(quickKernels(t, "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Samples) != len(a.Samples)+len(b.Samples) {
+		t.Fatalf("merged %d samples, want %d", len(m.Samples), len(a.Samples)+len(b.Samples))
+	}
+	if m.DoEConfigs["atax"] != 11 || m.DoEConfigs["mvt"] != 19 {
+		t.Fatalf("DoE counts lost: %v", m.DoEConfigs)
+	}
+	// The merged set trains like a directly collected one.
+	if _, err := Train(m, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Incompatible layouts are rejected.
+	bad := &TrainingData{Names: []string{"x"}}
+	if _, err := Merge(a, bad); err == nil {
+		t.Fatal("incompatible merge accepted")
+	}
+}
+
+func TestTrainingDataSummary(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax", "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := td.Summary()
+	if len(rows) != 2 {
+		t.Fatalf("%d summary rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Rows != td.DoEConfigs[r.App]*len(opts.TrainArchs) {
+			t.Fatalf("%s: %d rows, want %d", r.App, r.Rows, td.DoEConfigs[r.App]*len(opts.TrainArchs))
+		}
+		if r.MinIPC <= 0 || r.MaxIPC < r.MinIPC || r.MinEPI <= 0 || r.MaxEPI < r.MinEPI {
+			t.Fatalf("%s: implausible ranges %+v", r.App, r)
+		}
+	}
+}
+
+func TestPredictorOOB(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax", "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Train(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipc, epi := pred.OOB()
+	if ipc < 0 || epi < 0 {
+		t.Fatalf("OOB unavailable: %v %v", ipc, epi)
+	}
+	if ipc > 10 || epi > 10 {
+		t.Fatalf("implausible OOB errors: %v %v", ipc, epi)
+	}
+	// A predictor with foreign models reports -1.
+	foreign := &Predictor{IPC: fakeModel{}, EPI: fakeModel{}}
+	if a, b := foreign.OOB(); a != -1 || b != -1 {
+		t.Fatal("foreign models should report -1")
+	}
+}
+
+type fakeModel struct{}
+
+func (fakeModel) Predict([]float64) float64 { return 1 }

@@ -1,0 +1,103 @@
+package napel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"napel/internal/ml"
+	"napel/internal/ml/rf"
+)
+
+// savedPredictor is the on-disk form of a trained Predictor: the two
+// random forests with their log-space clamp ranges, plus the feature
+// names for sanity checking at load time. Only the shipped NAPEL
+// configuration (log-target random forests) is serializable; the
+// Figure 5 baselines are evaluation-only.
+type savedPredictor struct {
+	Version   int               `json:"version"`
+	Names     []string          `json:"feature_names"`
+	Chosen    map[string]string `json:"chosen,omitempty"`
+	TrainTime time.Duration     `json:"train_time_ns"`
+	IPC       savedModel        `json:"ipc"`
+	EPI       savedModel        `json:"epi"`
+}
+
+type savedModel struct {
+	Lo     float64    `json:"log_lo"`
+	Hi     float64    `json:"log_hi"`
+	Forest *rf.Forest `json:"forest"`
+}
+
+// savedVersion is bumped on incompatible format changes.
+const savedVersion = 1
+
+// Save serializes the predictor as JSON. It fails if the models are not
+// log-target random forests (the only configuration Train produces).
+func (p *Predictor) Save(w io.Writer) error {
+	ipc, err := saveModel(p.IPC)
+	if err != nil {
+		return fmt.Errorf("napel: saving IPC model: %w", err)
+	}
+	epi, err := saveModel(p.EPI)
+	if err != nil {
+		return fmt.Errorf("napel: saving energy model: %w", err)
+	}
+	chosen := map[string]string{}
+	for t, name := range p.Chosen {
+		chosen[t.String()] = name
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(savedPredictor{
+		Version:   savedVersion,
+		Names:     p.Names,
+		Chosen:    chosen,
+		TrainTime: p.TrainTime,
+		IPC:       ipc,
+		EPI:       epi,
+	})
+}
+
+func saveModel(m ml.Model) (savedModel, error) {
+	inner, lo, hi, ok := ml.UnwrapLogModel(m)
+	if !ok {
+		return savedModel{}, fmt.Errorf("model is not a log-target model")
+	}
+	forest, ok := inner.(*rf.Forest)
+	if !ok {
+		return savedModel{}, fmt.Errorf("inner model is %T, want *rf.Forest", inner)
+	}
+	return savedModel{Lo: lo, Hi: hi, Forest: forest}, nil
+}
+
+// LoadPredictor reads a predictor previously written by Save.
+func LoadPredictor(r io.Reader) (*Predictor, error) {
+	var in savedPredictor
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("napel: decoding predictor: %w", err)
+	}
+	if in.Version != savedVersion {
+		return nil, fmt.Errorf("napel: predictor format version %d, want %d", in.Version, savedVersion)
+	}
+	if in.IPC.Forest == nil || in.EPI.Forest == nil {
+		return nil, fmt.Errorf("napel: predictor file is missing a model")
+	}
+	wantFeatures := 395 + NumArchFeatures
+	if len(in.Names) != wantFeatures {
+		return nil, fmt.Errorf("napel: predictor has %d feature names, want %d", len(in.Names), wantFeatures)
+	}
+	p := &Predictor{
+		IPC:       ml.WrapLogModel(in.IPC.Forest, in.IPC.Lo, in.IPC.Hi),
+		EPI:       ml.WrapLogModel(in.EPI.Forest, in.EPI.Lo, in.EPI.Hi),
+		Names:     in.Names,
+		TrainTime: in.TrainTime,
+		Chosen:    map[Target]string{},
+	}
+	for _, t := range []Target{TargetIPC, TargetEPI} {
+		if name, ok := in.Chosen[t.String()]; ok {
+			p.Chosen[t] = name
+		}
+	}
+	return p, nil
+}

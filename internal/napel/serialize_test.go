@@ -1,0 +1,70 @@
+package napel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"napel/internal/workload"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	opts := quickOptions()
+	kernels := quickKernels(t, "atax", "mvt")
+	td, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Train(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := pred.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Predictions must be bit-identical after the round trip.
+	k := kernels[0]
+	in := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+	prof, err := ProfileKernel(k, in, opts.ProfileBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pred.Predict(prof, opts.RefArch, in.Threads())
+	b := loaded.Predict(prof, opts.RefArch, in.Threads())
+	if a != b {
+		t.Fatalf("round trip changed predictions:\n%+v\n%+v", a, b)
+	}
+	if loaded.Chosen[TargetIPC] != pred.Chosen[TargetIPC] {
+		t.Fatal("chosen hyper-parameters lost")
+	}
+	if len(loaded.Names) != len(pred.Names) {
+		t.Fatal("feature names lost")
+	}
+}
+
+func TestLoadPredictorRejectsGarbage(t *testing.T) {
+	if _, err := LoadPredictor(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"feature_names":[]}`)); err == nil {
+		t.Fatal("missing models accepted")
+	}
+}
+
+func TestSaveRejectsForeignModels(t *testing.T) {
+	p := &Predictor{IPC: nil, EPI: nil}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err == nil {
+		t.Fatal("nil models accepted")
+	}
+}

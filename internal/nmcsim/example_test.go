@@ -1,0 +1,38 @@
+package nmcsim_test
+
+import (
+	"fmt"
+
+	"napel/internal/nmcsim"
+	"napel/internal/trace"
+)
+
+// Example_run simulates a tiny synthetic kernel on the Table 3 NMC
+// system: a compute phase at IPC 1 followed by a memory-bound phase.
+func Example_run() {
+	gen := func(shard, nshards int, t *trace.Tracer) {
+		for i := 0; i < 1000; i++ {
+			t.Int(0, int16(i%32), trace.NoReg, trace.NoReg)
+		}
+	}
+	res, err := nmcsim.Run(nmcsim.DefaultConfig(), gen, 1, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("instructions:", res.SimInstrs)
+	fmt.Printf("IPC: %.2f\n", res.IPC)
+	// Output:
+	// instructions: 1000
+	// IPC: 1.00
+}
+
+// ExampleConfig_WithScratchpad shows the Section 3.4 enhancement: adding
+// a per-PE second-level cache to the reference system.
+func ExampleConfig_WithScratchpad() {
+	cfg := nmcsim.DefaultConfig().WithScratchpad(64 << 10)
+	fmt.Println("has L2:", cfg.HasL2())
+	fmt.Println("capacity:", cfg.L2.SizeBytes(), "bytes")
+	// Output:
+	// has L2: true
+	// capacity: 65536 bytes
+}

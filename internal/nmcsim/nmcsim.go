@@ -1,0 +1,626 @@
+// Package nmcsim simulates the NMC system of the paper: processing
+// elements (in-order, single-issue cores with a tiny private L1)
+// embedded in the logic layer of a 3D-stacked memory, one DRAM
+// controller per vault (internal/dram), and an off-chip SerDes link to
+// the host used only for offload control traffic.
+//
+// It plays the role of Ramulator extended with the ramulator-pim
+// 3D-stacked model (references [20] and [32] of the paper): it consumes
+// dynamic instruction traces from the workload kernels and produces the
+// IPC and energy labels that train NAPEL, as well as the "Actual" results
+// of Figure 7.
+//
+// The core model is a scoreboarded in-order pipeline: one instruction
+// issues per cycle, stalling on register read-after-write hazards and on
+// memory misses (a single outstanding miss, i.e. a blocking cache, which
+// matches the simple PEs the paper assumes). Multiple hardware threads
+// beyond the PE count execute as sequential rounds on their PE. All PEs
+// share the stacked DRAM; request arrival order across PEs is preserved
+// exactly by an event queue ordered on arrival time.
+package nmcsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"napel/internal/cache"
+	"napel/internal/dram"
+	"napel/internal/energy"
+	"napel/internal/trace"
+)
+
+// CoreType selects the PE microarchitecture. The paper models in-order
+// single-issue PEs (Table 3) and notes NAPEL "can be extended to support
+// other types of general-purpose cores ... by selecting the appropriate
+// architectural features"; OutOfOrder implements that extension: a
+// width-limited, non-blocking core with a bounded number of outstanding
+// misses.
+type CoreType uint8
+
+const (
+	// InOrder is the Table 3 PE: single-issue, blocking cache.
+	InOrder CoreType = iota
+	// OutOfOrder issues OoOWidth instructions per cycle and overlaps up
+	// to MSHRs cache misses.
+	OutOfOrder
+)
+
+// String returns the core-type name (the Table 1 "core type" feature).
+func (c CoreType) String() string {
+	if c == OutOfOrder {
+		return "out-of-order"
+	}
+	return "in-order"
+}
+
+// Config describes one NMC architecture configuration — the architectural
+// half of NAPEL's feature space (Table 1, bottom).
+type Config struct {
+	PEs      int     // number of near-memory processing elements
+	FreqGHz  float64 // PE core frequency
+	Core     CoreType
+	OoOWidth int // issue width when Core == OutOfOrder (default 2)
+	MSHRs    int // outstanding misses when Core == OutOfOrder (default 8)
+	L1       cache.Config
+	// L2 optionally adds a per-PE second-level cache/scratchpad — the
+	// enhancement Section 3.4 of the paper proposes for atax-like
+	// workloads ("the introduction of a small cache or scratchpad memory
+	// in the NMC compute units can be beneficial"). Zero value disables
+	// it (the Table 3 baseline).
+	L2         cache.Config
+	L2Cycles   int // L1-miss/L2-hit latency in core cycles (default 4)
+	DRAM       dram.Config
+	XbarCycles int     // logic-layer crossbar latency, each way, in core cycles
+	LinkGbps   float64 // off-chip SerDes link (offload control traffic)
+	// Prefetch enables a next-line prefetcher on L1 misses: the
+	// following line is fetched alongside the demand line (posted — the
+	// PE does not wait for it). Streaming kernels gain; with the tiny
+	// Table 3 L1 the extra allocation can also thrash, which is exactly
+	// the trade-off a design-space exploration should expose.
+	Prefetch bool
+	Energy   energy.NMCParams
+}
+
+// OoOConfig returns an out-of-order variant of the reference system —
+// the "other core type" extension hook.
+func OoOConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Core = OutOfOrder
+	cfg.OoOWidth = 2
+	cfg.MSHRs = 8
+	return cfg
+}
+
+// DefaultConfig returns the Table 3 NMC system: 32 in-order PEs at
+// 1.25 GHz, 2-way L1 with 2 lines of 64 B, and the default 4 GB cube.
+func DefaultConfig() Config {
+	return Config{
+		PEs:        32,
+		FreqGHz:    1.25,
+		L1:         cache.Config{LineSize: 64, Lines: 2, Assoc: 2},
+		DRAM:       dram.DefaultConfig(),
+		XbarCycles: 4,
+		LinkGbps:   15 * 16, // 16-bit full-duplex SerDes at 15 Gbps
+		Energy:     energy.DefaultNMCParams(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PEs <= 0 {
+		return fmt.Errorf("nmcsim: PE count %d must be positive", c.PEs)
+	}
+	if c.FreqGHz <= 0 {
+		return fmt.Errorf("nmcsim: frequency %.3f GHz must be positive", c.FreqGHz)
+	}
+	if c.XbarCycles < 0 {
+		return fmt.Errorf("nmcsim: crossbar latency must be non-negative")
+	}
+	if c.Core == OutOfOrder {
+		if c.OoOWidth < 1 {
+			return fmt.Errorf("nmcsim: out-of-order width %d must be >= 1", c.OoOWidth)
+		}
+		if c.MSHRs < 1 {
+			return fmt.Errorf("nmcsim: MSHR count %d must be >= 1", c.MSHRs)
+		}
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if c.HasL2() {
+		if err := c.L2.Validate(); err != nil {
+			return err
+		}
+		if c.L2Cycles < 1 {
+			return fmt.Errorf("nmcsim: L2 latency must be >= 1 cycle")
+		}
+	}
+	return c.DRAM.Validate()
+}
+
+// HasL2 reports whether the optional per-PE second-level cache is
+// configured.
+func (c Config) HasL2() bool { return c.L2.Lines > 0 }
+
+// WithScratchpad returns a copy of c with a per-PE second-level cache of
+// the given capacity in bytes (64 B lines, 8-way) — the Section 3.4
+// enhancement in one call.
+func (c Config) WithScratchpad(bytes int) Config {
+	lines := bytes / 64
+	if lines < 8 {
+		lines = 8
+	}
+	// Round down to a power-of-two set count with 8 ways.
+	assoc := 8
+	if lines < assoc {
+		assoc = lines
+	}
+	sets := 1
+	for sets*2*assoc <= lines {
+		sets *= 2
+	}
+	c.L2 = cache.Config{LineSize: 64, Lines: sets * assoc, Assoc: assoc}
+	if c.L2Cycles == 0 {
+		c.L2Cycles = 4
+	}
+	return c
+}
+
+// opLatency returns the execution latency of op in core cycles for the
+// in-order PE pipeline.
+func opLatency(op trace.Op) uint64 {
+	switch op {
+	case trace.OpIntMul:
+		return 3
+	case trace.OpIntDiv:
+		return 12
+	case trace.OpFPALU:
+		return 3
+	case trace.OpFPMul:
+		return 4
+	case trace.OpFPDiv:
+		return 16
+	default:
+		return 1
+	}
+}
+
+// Result is the simulator's architectural response for one run — the
+// training label source for NAPEL.
+type Result struct {
+	// Simulated quantities (over the traced, possibly sampled, stream).
+	SimInstrs uint64  // instructions actually simulated
+	SimCycles uint64  // makespan in core cycles
+	Coverage  float64 // fraction of the full execution that was traced
+	// Extrapolated quantities for the full execution.
+	TotalInstrs float64 // I_offload
+	IPC         float64 // aggregate instructions per cycle (all PEs)
+	TimeSec     float64 // Π_NMC = I_offload / (IPC · f_core)
+	EnergyJ     float64 // total NMC energy for the full execution
+	EPI         float64 // energy per instruction, J
+	EDP         float64 // energy-delay product, J·s
+	// Component stats.
+	L1         cache.Stats
+	L2         cache.Stats // zero when no L2 is configured
+	L2Hits     uint64
+	Prefetches uint64 // next-line prefetches issued (Prefetch option)
+	DRAM       dram.Stats
+	ByOp       [trace.NumOps]uint64
+	Stall      struct {
+		MemPs uint64 // PE-time spent blocked on memory
+	}
+	// Energy breakdown (Joules, extrapolated to the full execution).
+	Energy EnergyBreakdown
+}
+
+// EnergyBreakdown attributes the NMC energy to its components; the
+// fields sum to Result.EnergyJ.
+type EnergyBreakdown struct {
+	PEJ     float64 // processing-element dynamic energy
+	CacheJ  float64 // L1 access energy
+	DRAMJ   float64 // activations, bursts and refresh in the stack
+	LinkJ   float64 // off-chip offload control traffic
+	StaticJ float64 // leakage and background power over the runtime
+}
+
+// Generator produces the dynamic trace of one hardware thread (shard) of
+// the kernel. Implementations must honor tracer.Stop.
+type Generator func(shard, nshards int, t *trace.Tracer)
+
+const psPerSec = 1e12
+
+// Run simulates gen with threads hardware threads on the architecture
+// cfg. budget caps the total number of simulated instructions across all
+// threads (0 = unlimited); when a kernel is cut short the totals are
+// extrapolated by the recorded coverage.
+func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("nmcsim: thread count %d must be positive", threads)
+	}
+	mem, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+
+	psPerCycle := uint64(1000 / cfg.FreqGHz)
+	if psPerCycle == 0 {
+		psPerCycle = 1
+	}
+	perThreadBudget := uint64(0)
+	if budget > 0 {
+		perThreadBudget = budget / uint64(threads)
+		if perThreadBudget == 0 {
+			perThreadBudget = 1
+		}
+	}
+
+	res := &Result{}
+	npes := cfg.PEs
+	if threads < npes {
+		npes = threads
+	}
+	pes := make([]*pe, npes)
+	for i := range pes {
+		p := &pe{
+			id:         i,
+			cfg:        &cfg,
+			mem:        mem,
+			res:        res,
+			l1:         cache.New(cfg.L1),
+			psPerCycle: psPerCycle,
+			xbarPs:     uint64(cfg.XbarCycles) * psPerCycle,
+		}
+		if cfg.HasL2() {
+			p.l2 = cache.New(cfg.L2)
+		}
+		pes[i] = p
+	}
+	// Round-robin thread (shard) assignment; each PE runs its shards as
+	// sequential rounds.
+	for t := 0; t < threads; t++ {
+		p := pes[t%npes]
+		p.shards = append(p.shards, t)
+	}
+
+	// Event loop ordered on DRAM-request arrival time: each PE runs ahead
+	// privately (cache hits, ALU) until it must touch DRAM; the queue
+	// services requests in global arrival order.
+	eq := &eventQueue{}
+	for _, p := range pes {
+		if p.runUntilPending(gen, threads, perThreadBudget) {
+			heap.Push(eq, p)
+		}
+	}
+	for eq.Len() > 0 {
+		p := heap.Pop(eq).(*pe)
+		p.service()
+		if p.runUntilPending(gen, threads, perThreadBudget) {
+			heap.Push(eq, p)
+		}
+	}
+
+	makespan := uint64(0)
+	for _, p := range pes {
+		if p.nowPs > makespan {
+			makespan = p.nowPs
+		}
+		res.L1.ReadHits += p.l1.Stats.ReadHits
+		res.L1.ReadMisses += p.l1.Stats.ReadMisses
+		res.L1.WriteHits += p.l1.Stats.WriteHits
+		res.L1.WriteMisses += p.l1.Stats.WriteMisses
+		res.L1.Evictions += p.l1.Stats.Evictions
+		res.L1.WriteBacks += p.l1.Stats.WriteBacks
+		if p.l2 != nil {
+			res.L2.ReadHits += p.l2.Stats.ReadHits
+			res.L2.ReadMisses += p.l2.Stats.ReadMisses
+			res.L2.WriteHits += p.l2.Stats.WriteHits
+			res.L2.WriteMisses += p.l2.Stats.WriteMisses
+			res.L2.Evictions += p.l2.Stats.Evictions
+			res.L2.WriteBacks += p.l2.Stats.WriteBacks
+		}
+	}
+	res.DRAM = mem.Stats
+	// Extrapolate the full-execution instruction count shard by shard:
+	// shards can differ wildly in both size and traced fraction (e.g.
+	// blocked triangular loop nests), so the correct total is
+	// Σ count_s / coverage_s, not count / mean(coverage).
+	var extrap float64
+	for _, p := range pes {
+		extrap += p.extrapInstrs
+	}
+	if extrap < float64(res.SimInstrs) {
+		extrap = float64(res.SimInstrs)
+	}
+	res.TotalInstrs = extrap
+	res.Coverage = float64(res.SimInstrs) / extrap
+	res.SimCycles = makespan / psPerCycle
+	if res.SimCycles == 0 {
+		res.SimCycles = 1
+	}
+	res.IPC = float64(res.SimInstrs) / float64(res.SimCycles)
+	if res.IPC > 0 {
+		res.TimeSec = res.TotalInstrs / (res.IPC * cfg.FreqGHz * 1e9)
+	}
+	res.EnergyJ = totalEnergy(cfg, res)
+	if res.TotalInstrs > 0 {
+		res.EPI = res.EnergyJ / res.TotalInstrs
+	}
+	res.EDP = res.EnergyJ * res.TimeSec
+	return res, nil
+}
+
+// totalEnergy converts event counts into Joules, extrapolates to the
+// full execution and records the per-component breakdown.
+func totalEnergy(cfg Config, r *Result) float64 {
+	e := cfg.Energy
+	inv := 1e-12 / r.Coverage
+	var peJ float64
+	for op, n := range r.ByOp {
+		peJ += e.PEInstPJ[op] * float64(n)
+	}
+	r.Energy.PEJ = peJ * inv
+	r.Energy.CacheJ = e.L1AccessPJ * float64(r.L1.Accesses()) * inv
+	r.Energy.DRAMJ = (e.ActPJ*float64(r.DRAM.Activations) +
+		e.ReadPJ*float64(r.DRAM.Reads) +
+		e.WritePJ*float64(r.DRAM.Writes) +
+		e.RefreshPJ*float64(r.DRAM.Refreshes)) * inv
+	// Offload control traffic across the SerDes link: launch command and
+	// completion signal, a few cache lines each (not scaled by coverage —
+	// it happens once per offload).
+	const offloadBits = 2 * 64 * 8
+	r.Energy.LinkJ = e.LinkPJPerBit * offloadBits * 1e-12
+
+	staticW := float64(cfg.PEs)*e.PEStaticW + e.DRAMStaticW + e.LinkStaticW
+	r.Energy.StaticJ = staticW * r.TimeSec
+	return r.Energy.PEJ + r.Energy.CacheJ + r.Energy.DRAMJ + r.Energy.LinkJ + r.Energy.StaticJ
+}
+
+// pe is one processing element's simulation state.
+type pe struct {
+	id         int
+	cfg        *Config
+	mem        *dram.Memory
+	res        *Result
+	l1         *cache.Cache
+	l2         *cache.Cache // optional (nil when not configured)
+	psPerCycle uint64
+	xbarPs     uint64
+
+	shards       []int // hardware threads assigned to this PE
+	shardIdx     int
+	stream       *trace.Stream
+	extrapInstrs float64 // Σ per-shard count/coverage
+
+	nowPs    uint64 // issue-pointer time
+	regReady [256]uint64
+	// Out-of-order state: sub-cycle issue slot counter and outstanding
+	// miss completion times (MSHR occupancy).
+	issueSlot   int
+	outstanding []uint64
+
+	// Pending DRAM request (set by advance, consumed by service).
+	pending struct {
+		addr    uint64
+		write   bool
+		size    int
+		arrival uint64
+		loadDst int16
+		wbAddr  uint64 // dirty victim to write back, 0 if none
+		issuePs uint64
+	}
+	lastPrefetch uint64 // last line injected by the prefetcher
+}
+
+// runUntilPending drives the PE forward — opening shard streams as needed
+// — until it has a DRAM request pending (true) or all its shards are
+// exhausted (false).
+func (p *pe) runUntilPending(gen Generator, nshards int, budget uint64) bool {
+	for {
+		if p.stream == nil && !p.startNext(gen, nshards, budget) {
+			return false
+		}
+		if p.advance() {
+			return true
+		}
+		// Current shard finished; record its coverage and move on.
+		if !p.startNext(gen, nshards, budget) {
+			return false
+		}
+	}
+}
+
+// startNext opens the next assigned shard's trace stream; it returns
+// false when the PE has no shards left.
+func (p *pe) startNext(gen Generator, nshards int, budget uint64) bool {
+	if p.stream != nil {
+		cov := p.stream.Coverage()
+		if cov <= 0 || cov > 1 {
+			cov = 1
+		}
+		p.extrapInstrs += float64(p.stream.Count()) / cov
+		p.stream = nil
+	}
+	if p.shardIdx >= len(p.shards) {
+		return false
+	}
+	shard := p.shards[p.shardIdx]
+	p.shardIdx++
+	p.stream = trace.NewStream(budget, func(t *trace.Tracer) {
+		gen(shard, nshards, t)
+	})
+	return true
+}
+
+// advance executes instructions until the PE needs DRAM; it returns true
+// if a request is pending and false when the current shard's stream is
+// exhausted.
+func (p *pe) advance() bool {
+	for {
+		inst, ok := p.stream.Next()
+		if !ok {
+			return false
+		}
+		p.res.SimInstrs++
+		p.res.ByOp[inst.Op]++
+
+		issue := p.nowPs
+		if inst.Src1 >= 0 && p.regReady[inst.Src1] > issue {
+			issue = p.regReady[inst.Src1]
+		}
+		if inst.Src2 >= 0 && p.regReady[inst.Src2] > issue {
+			issue = p.regReady[inst.Src2]
+		}
+
+		if !inst.Op.IsMem() {
+			lat := opLatency(inst.Op) * p.psPerCycle
+			if inst.Dst >= 0 {
+				p.regReady[inst.Dst] = issue + lat
+			}
+			p.advanceIssue(issue)
+			continue
+		}
+
+		write := inst.Op == trace.OpStore
+		r := p.l1.Access(inst.Addr, write)
+		if r.Hit {
+			if inst.Dst >= 0 {
+				p.regReady[inst.Dst] = issue + p.psPerCycle
+			}
+			p.advanceIssue(issue)
+			continue
+		}
+		if p.l2 != nil {
+			// Dirty L1 victims land in the L2.
+			if r.WroteBack {
+				p.l2.Access(r.VictimAddr, true)
+				r.WroteBack = false
+			}
+			if p.l2.Access(inst.Addr, false).Hit {
+				lat := issue + uint64(p.cfg.L2Cycles)*p.psPerCycle
+				if inst.Dst >= 0 {
+					p.regReady[inst.Dst] = lat
+				}
+				p.res.L2Hits++
+				p.advanceIssue(issue)
+				continue
+			}
+		}
+		if p.cfg.Core == OutOfOrder {
+			// A full MSHR file stalls the issue of this miss until the
+			// oldest outstanding miss returns.
+			issue = p.mshrAdmit(issue)
+		}
+		// Miss: block the PE on a DRAM line fetch (write-allocate).
+		p.pending.addr = p.l1.LineAddr(inst.Addr)
+		p.pending.write = write
+		p.pending.size = p.l1.Config().LineSize
+		p.pending.arrival = issue + p.psPerCycle + p.xbarPs
+		p.pending.loadDst = inst.Dst
+		p.pending.issuePs = issue
+		p.pending.wbAddr = 0
+		if r.WroteBack {
+			p.pending.wbAddr = r.VictimAddr
+		}
+		return true
+	}
+}
+
+// service resolves the pending DRAM request and unblocks the PE. The
+// in-order core blocks until the line returns; the out-of-order core
+// records the completion in an MSHR and keeps issuing.
+func (p *pe) service() {
+	pd := &p.pending
+	// Dirty victim write-back is posted: it occupies DRAM but the PE does
+	// not wait for it.
+	if pd.wbAddr != 0 {
+		p.mem.Access(pd.wbAddr, true, pd.size, pd.arrival)
+	}
+	// The line fetch itself is a DRAM read regardless of whether the
+	// missing access was a load or a store (write-allocate).
+	done := p.mem.Access(pd.addr, false, pd.size, pd.arrival)
+	if p.cfg.Prefetch {
+		next := pd.addr + uint64(p.cfg.L1.LineSize)
+		if next != p.lastPrefetch {
+			// Posted next-line fetch: occupies a bank and lands in the
+			// cache, but the PE does not wait for it.
+			p.mem.Access(next, false, pd.size, pd.arrival)
+			p.l1.Access(next, false)
+			p.res.Prefetches++
+			p.lastPrefetch = next
+		}
+	}
+	ready := done + p.xbarPs
+	if pd.loadDst >= 0 {
+		p.regReady[pd.loadDst] = ready
+	}
+	if p.cfg.Core == OutOfOrder {
+		p.outstanding = append(p.outstanding, ready)
+		if ready > pd.issuePs {
+			p.res.Stall.MemPs += (ready - pd.issuePs) / uint64(p.cfg.MSHRs)
+		}
+		p.advanceIssue(pd.issuePs)
+		return
+	}
+	p.res.Stall.MemPs += ready - pd.issuePs
+	p.nowPs = ready
+}
+
+// advanceIssue moves the issue pointer past one issued instruction:
+// one full cycle on the in-order core, a width-wide slot on the OoO
+// core.
+func (p *pe) advanceIssue(issue uint64) {
+	if p.cfg.Core != OutOfOrder {
+		p.nowPs = issue + p.psPerCycle
+		return
+	}
+	if issue > p.nowPs {
+		p.nowPs = issue
+		p.issueSlot = 0
+	}
+	p.issueSlot++
+	if p.issueSlot >= p.cfg.OoOWidth {
+		p.issueSlot = 0
+		p.nowPs += p.psPerCycle
+	}
+}
+
+// mshrAdmit returns the earliest time a new miss may issue given the
+// MSHR occupancy at the tentative issue time.
+func (p *pe) mshrAdmit(issue uint64) uint64 {
+	// Drop completed misses.
+	live := p.outstanding[:0]
+	var earliest uint64
+	for _, done := range p.outstanding {
+		if done > issue {
+			live = append(live, done)
+			if earliest == 0 || done < earliest {
+				earliest = done
+			}
+		}
+	}
+	p.outstanding = live
+	if len(live) >= p.cfg.MSHRs {
+		return earliest
+	}
+	return issue
+}
+
+// eventQueue orders PEs by pending-request arrival time.
+type eventQueue []*pe
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	return q[i].pending.arrival < q[j].pending.arrival
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*pe)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

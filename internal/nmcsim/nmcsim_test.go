@@ -1,0 +1,501 @@
+package nmcsim
+
+import (
+	"math"
+	"testing"
+
+	"napel/internal/trace"
+)
+
+// aluKernel emits n independent integer ops per shard.
+func aluKernel(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		for i := 0; i < n; i++ {
+			t.Int(0, int16(i%64), trace.NoReg, trace.NoReg)
+		}
+	}
+}
+
+// chainKernel emits n dependent 3-cycle FP ops (serial chain).
+func chainKernel(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		for i := 0; i < n; i++ {
+			t.FP(0, 1, 1, trace.NoReg)
+		}
+	}
+}
+
+// streamKernel walks memory sequentially (one load per 64B line region,
+// 8 loads per line).
+func streamKernel(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		base := uint64(1<<24) + uint64(shard)<<20
+		for i := 0; i < n; i++ {
+			t.Load(0, base+uint64(i)*8, 8, 1, 2)
+		}
+	}
+}
+
+// randomKernel issues loads that miss the tiny L1 almost always.
+func randomKernel(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		x := uint64(shard)*0x9e3779b9 + 12345
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			t.Load(0, (x>>16)%(1<<28), 8, 1, 2)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.PEs = 0
+	if bad.Validate() == nil {
+		t.Error("PEs=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.FreqGHz = 0
+	if bad.Validate() == nil {
+		t.Error("freq=0 accepted")
+	}
+	if _, err := Run(DefaultConfig(), aluKernel(10), 0, 0); err == nil {
+		t.Error("threads=0 accepted")
+	}
+}
+
+func TestSingleIssueALUBound(t *testing.T) {
+	// One thread of independent ALU ops: IPC approaches 1 (single issue).
+	res, err := Run(DefaultConfig(), aluKernel(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.IPC-1) > 0.01 {
+		t.Fatalf("ALU-bound single-thread IPC = %v, want ~1", res.IPC)
+	}
+	if res.SimInstrs != 100000 {
+		t.Fatalf("SimInstrs = %d", res.SimInstrs)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("full run coverage = %v", res.Coverage)
+	}
+}
+
+func TestDependencyChainSlowsPipeline(t *testing.T) {
+	// 3-cycle FP latency on a serial chain: IPC ~ 1/3.
+	res, err := Run(DefaultConfig(), chainKernel(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.IPC-1.0/3) > 0.02 {
+		t.Fatalf("serial FP chain IPC = %v, want ~0.33", res.IPC)
+	}
+}
+
+func TestMultiThreadScalesThroughput(t *testing.T) {
+	r1, err := Run(DefaultConfig(), aluKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(DefaultConfig(), aluKernel(50000), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.IPC < 7.5*r1.IPC {
+		t.Fatalf("8 threads IPC %v vs 1 thread %v: no scaling", r8.IPC, r1.IPC)
+	}
+}
+
+func TestThreadsBeyondPEsRoundRobin(t *testing.T) {
+	// 64 threads on 32 PEs: each PE runs two shards sequentially;
+	// aggregate IPC still tops out near the PE count.
+	res, err := Run(DefaultConfig(), aluKernel(5000), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > float64(DefaultConfig().PEs)+1 {
+		t.Fatalf("IPC %v exceeds PE count", res.IPC)
+	}
+	if res.SimInstrs != 64*5000 {
+		t.Fatalf("not all shards executed: %d", res.SimInstrs)
+	}
+}
+
+func TestMemoryBoundIsSlow(t *testing.T) {
+	cfg := DefaultConfig()
+	stream, err := Run(cfg, streamKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := Run(cfg, randomKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Streaming hits 7 of 8 accesses in L1; random misses nearly always.
+	if stream.L1.HitRate() < 0.8 {
+		t.Errorf("streaming hit rate %v", stream.L1.HitRate())
+	}
+	if random.L1.HitRate() > 0.1 {
+		t.Errorf("random hit rate %v", random.L1.HitRate())
+	}
+	if random.IPC >= stream.IPC {
+		t.Errorf("random IPC %v >= streaming %v", random.IPC, stream.IPC)
+	}
+	if random.Stall.MemPs == 0 {
+		t.Error("no memory stall recorded for random kernel")
+	}
+}
+
+func TestBudgetCoverageExtrapolation(t *testing.T) {
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		const total = 100000
+		done := 0
+		for i := 0; i < total; i++ {
+			if tr.Stop() {
+				break
+			}
+			tr.Int(0, 1, 2, 3)
+			done++
+		}
+		tr.SetCoverage(done, total)
+	}
+	res, err := Run(DefaultConfig(), gen, 1, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimInstrs > 11000 {
+		t.Fatalf("budget ignored: %d", res.SimInstrs)
+	}
+	if math.Abs(res.TotalInstrs-100000) > 2000 {
+		t.Fatalf("extrapolated total %v, want ~100000", res.TotalInstrs)
+	}
+	if res.Coverage >= 1 {
+		t.Fatal("cut run reports full coverage")
+	}
+}
+
+func TestPerShardExtrapolation(t *testing.T) {
+	// Shards of very different sizes: total must be the sum of per-shard
+	// extrapolations, not count/mean(coverage).
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		total := 1000
+		if shard == 1 {
+			total = 100000
+		}
+		done := 0
+		for i := 0; i < total; i++ {
+			if tr.Stop() {
+				break
+			}
+			tr.Int(0, 1, 2, 3)
+			done++
+		}
+		tr.SetCoverage(done, total)
+	}
+	res, err := Run(DefaultConfig(), gen, 2, 4000) // 2000 per shard
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True total = 1000 + 100000.
+	if math.Abs(res.TotalInstrs-101000) > 5000 {
+		t.Fatalf("extrapolated %v, want ~101000", res.TotalInstrs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		r, err := Run(DefaultConfig(), randomKernel(20000), 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.SimCycles != b.SimCycles || a.EnergyJ != b.EnergyJ || a.DRAM.Activations != b.DRAM.Activations {
+		t.Fatalf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEnergyComponentsPositive(t *testing.T) {
+	res, err := Run(DefaultConfig(), randomKernel(20000), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EnergyJ <= 0 || res.EPI <= 0 || res.EDP <= 0 {
+		t.Fatalf("non-positive energy results: %+v", res)
+	}
+	if res.TimeSec <= 0 {
+		t.Fatal("non-positive time")
+	}
+}
+
+func TestFrequencyScalesComputeTime(t *testing.T) {
+	slow := DefaultConfig()
+	slow.FreqGHz = 0.625
+	fast := DefaultConfig()
+	fast.FreqGHz = 2.5
+	rs, err := Run(slow, aluKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rfst, err := Run(fast, aluKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rs.TimeSec / rfst.TimeSec
+	if math.Abs(ratio-4) > 0.2 {
+		t.Fatalf("compute-bound time ratio %v, want ~4 (freq 4x)", ratio)
+	}
+}
+
+func TestLargerCacheHelpsThrashingWorkload(t *testing.T) {
+	// Three interleaved streams thrash a 2-line L1 but fit in 64 lines.
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		a, b, c := uint64(1<<24), uint64(2<<24), uint64(3<<24)
+		for i := 0; i < 30000; i++ {
+			off := uint64(i) * 8
+			tr.Load(0, a+off, 8, 1, 0)
+			tr.Load(1, b+off, 8, 2, 0)
+			tr.Load(2, c+off, 8, 3, 0)
+		}
+	}
+	small := DefaultConfig()
+	big := DefaultConfig()
+	big.L1.Lines = 64
+	big.L1.Assoc = 4
+	rs, err := Run(small, gen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big, gen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.L1.HitRate() <= rs.L1.HitRate()+0.2 {
+		t.Fatalf("bigger L1 did not help: %v vs %v", rb.L1.HitRate(), rs.L1.HitRate())
+	}
+	if rb.IPC <= rs.IPC {
+		t.Fatalf("bigger L1 IPC %v <= small %v", rb.IPC, rs.IPC)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	res, err := Run(DefaultConfig(), func(int, int, *trace.Tracer) {}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimInstrs != 0 {
+		t.Fatalf("phantom instructions: %d", res.SimInstrs)
+	}
+}
+
+func TestOoOValidate(t *testing.T) {
+	cfg := OoOConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("OoO config invalid: %v", err)
+	}
+	cfg.OoOWidth = 0
+	if cfg.Validate() == nil {
+		t.Error("zero width accepted")
+	}
+	cfg = OoOConfig()
+	cfg.MSHRs = 0
+	if cfg.Validate() == nil {
+		t.Error("zero MSHRs accepted")
+	}
+	if InOrder.String() != "in-order" || OutOfOrder.String() != "out-of-order" {
+		t.Error("core type names wrong")
+	}
+}
+
+func TestOoOWidthRaisesALUIPC(t *testing.T) {
+	cfg := OoOConfig()
+	cfg.OoOWidth = 2
+	res, err := Run(cfg, aluKernel(100000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC < 1.8 || res.IPC > 2.2 {
+		t.Fatalf("width-2 OoO ALU IPC = %v, want ~2", res.IPC)
+	}
+}
+
+func TestOoOOverlapsMisses(t *testing.T) {
+	// Independent random loads: the in-order core serializes misses, the
+	// OoO core overlaps up to MSHRs of them.
+	inorder, err := Run(DefaultConfig(), randomKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ooo, err := Run(OoOConfig(), randomKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ooo.IPC < 2*inorder.IPC {
+		t.Fatalf("OoO IPC %v not clearly above in-order %v on miss-bound code", ooo.IPC, inorder.IPC)
+	}
+}
+
+func TestOoODependentChainStillSerial(t *testing.T) {
+	// A serial FP chain cannot benefit from width: latency binds.
+	res, err := Run(OoOConfig(), chainKernel(50000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC > 0.4 {
+		t.Fatalf("serial chain IPC %v on OoO core, want ~1/3", res.IPC)
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	res, err := Run(DefaultConfig(), randomKernel(20000), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Energy.PEJ + res.Energy.CacheJ + res.Energy.DRAMJ + res.Energy.LinkJ + res.Energy.StaticJ
+	if math.Abs(sum-res.EnergyJ)/res.EnergyJ > 1e-12 {
+		t.Fatalf("breakdown sums to %v, total %v", sum, res.EnergyJ)
+	}
+	if res.Energy.DRAMJ <= 0 || res.Energy.PEJ <= 0 || res.Energy.StaticJ <= 0 {
+		t.Fatalf("missing components: %+v", res.Energy)
+	}
+	// A miss-heavy kernel spends more in DRAM than in the tiny cache.
+	if res.Energy.DRAMJ <= res.Energy.CacheJ {
+		t.Fatalf("DRAM energy %v not above cache %v for random kernel", res.Energy.DRAMJ, res.Energy.CacheJ)
+	}
+}
+
+func TestMorePEsHelpMemoryParallelWorkload(t *testing.T) {
+	// A parallel random-access workload should gain from more PEs (more
+	// misses in flight against the banked stack).
+	small := DefaultConfig()
+	small.PEs = 4
+	big := DefaultConfig()
+	big.PEs = 32
+	rs, err := Run(small, randomKernel(4000), 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(big, randomKernel(4000), 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.IPC <= 2*rs.IPC {
+		t.Fatalf("8x PEs gave %.2f -> %.2f IPC (want > 2x)", rs.IPC, rb.IPC)
+	}
+}
+
+func TestMoreLayersReduceBankConflicts(t *testing.T) {
+	// Same-vault accesses with a bank-advancing stride: with one DRAM
+	// layer every other access collides in the same bank; with eight
+	// layers sixteen banks absorb the misses. A blocking in-order PE
+	// cannot exploit bank parallelism, so the out-of-order core (which
+	// keeps several misses in flight) is the right observer.
+	conflictGen := func(shard, nshards int, tr *trace.Tracer) {
+		cfg := DefaultConfig()
+		stride := uint64(cfg.DRAM.RowBytes * cfg.DRAM.Vaults) // next bank, same vault
+		for i := 0; i < 20000; i++ {
+			tr.Load(0, uint64(i)*stride, 8, 1, 2)
+		}
+	}
+	thin := OoOConfig()
+	thin.DRAM.Layers = 1
+	thick := OoOConfig()
+	thick.DRAM.Layers = 8
+	rthin, err := Run(thin, conflictGen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rthick, err := Run(thick, conflictGen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rthick.SimCycles >= rthin.SimCycles {
+		t.Fatalf("more layers did not help: %d vs %d cycles", rthick.SimCycles, rthin.SimCycles)
+	}
+}
+
+func TestScratchpadHelpsThrashingKernel(t *testing.T) {
+	// Section 3.4's proposal: atax-like workloads thrash the 2-line L1
+	// but fit a small scratchpad. Three interleaved streams reproduce
+	// that pattern.
+	gen := func(shard, nshards int, tr *trace.Tracer) {
+		a, b, c := uint64(1<<24), uint64(2<<24), uint64(3<<24)
+		for i := 0; i < 30000; i++ {
+			off := uint64(i%2048) * 8 // 16 KiB working set per stream
+			tr.Load(0, a+off, 8, 1, 0)
+			tr.Load(1, b+off, 8, 2, 0)
+			tr.Load(2, c+off, 8, 3, 0)
+		}
+	}
+	base := DefaultConfig()
+	padded := DefaultConfig().WithScratchpad(64 << 10)
+	if err := padded.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Run(base, gen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(padded, gen, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.L2Hits == 0 {
+		t.Fatal("scratchpad never hit")
+	}
+	if rp.IPC <= rb.IPC {
+		t.Fatalf("scratchpad did not help: IPC %v vs %v", rp.IPC, rb.IPC)
+	}
+	if rp.EDP >= rb.EDP {
+		t.Fatalf("scratchpad did not improve EDP: %v vs %v", rp.EDP, rb.EDP)
+	}
+	// Baseline result must not report phantom L2 activity.
+	if rb.L2.Accesses() != 0 || rb.L2Hits != 0 {
+		t.Fatal("baseline has L2 stats")
+	}
+}
+
+func TestWithScratchpadGeometry(t *testing.T) {
+	for _, bytes := range []int{512, 4096, 64 << 10, 1 << 20} {
+		cfg := DefaultConfig().WithScratchpad(bytes)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("scratchpad %dB invalid: %v", bytes, err)
+		}
+		if cfg.L2.SizeBytes() > bytes && bytes >= 512 {
+			t.Fatalf("scratchpad exceeds requested %dB: %d", bytes, cfg.L2.SizeBytes())
+		}
+	}
+}
+
+func TestNextLinePrefetcher(t *testing.T) {
+	// Streaming through memory with a larger L1: the prefetcher should
+	// raise the hit rate and IPC.
+	cfg := DefaultConfig()
+	cfg.L1.Lines = 16
+	cfg.L1.Assoc = 4
+	pf := cfg
+	pf.Prefetch = true
+	base, err := Run(cfg, streamKernel(60000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Run(pf, streamKernel(60000), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Prefetches == 0 {
+		t.Fatal("prefetcher idle")
+	}
+	if base.Prefetches != 0 {
+		t.Fatal("baseline issued prefetches")
+	}
+	if with.IPC <= base.IPC {
+		t.Fatalf("prefetcher did not help streaming: %v vs %v", with.IPC, base.IPC)
+	}
+	if with.L1.HitRate() <= base.L1.HitRate() {
+		t.Fatalf("prefetcher did not raise hit rate: %v vs %v", with.L1.HitRate(), base.L1.HitRate())
+	}
+}

@@ -1,0 +1,100 @@
+package pisa
+
+import "napel/internal/trace"
+
+// ilpWindows are the instruction-window sizes for which dataflow ILP is
+// evaluated, mirroring PISA's ILP-vs-window characterization. 0 means an
+// unbounded window (pure dataflow limit).
+var ilpWindows = [...]int{4, 8, 16, 32, 64, 128, 256, 0}
+
+// numWindows is len(ilpWindows).
+const numWindows = 8
+
+// ilpTracker schedules the instruction stream on an ideal machine
+// (unlimited functional units, unit latency) under each window size: an
+// instruction may issue one cycle after all of its producers — register
+// RAW dependencies and store→load forwarding through memory — and, for a
+// finite window W, no earlier than instruction i−W issued (a W-entry
+// scheduling window).
+type ilpTracker struct {
+	count    uint64
+	maxCyc   [numWindows]uint64
+	regReady [numWindows][256]uint64
+	rings    [numWindows][]uint64 // issue cycles of the last W instructions
+	memDep   map[uint64]*[numWindows]uint64
+}
+
+func newILPTracker() *ilpTracker {
+	t := &ilpTracker{memDep: make(map[uint64]*[numWindows]uint64)}
+	for w, size := range ilpWindows {
+		if size > 0 {
+			t.rings[w] = make([]uint64, size)
+		}
+	}
+	return t
+}
+
+// lineShift aligns memory dependencies to 8-byte words.
+const memDepShift = 3
+
+// OnInst schedules one instruction under every window.
+func (t *ilpTracker) OnInst(i trace.Inst) {
+	var memCell uint64
+	var memDeps *[numWindows]uint64
+	isLoad := i.Op == trace.OpLoad
+	isStore := i.Op == trace.OpStore
+	if isLoad || isStore {
+		memCell = i.Addr >> memDepShift
+		memDeps = t.memDep[memCell]
+	}
+	var storeCycles [numWindows]uint64
+	for w := range ilpWindows {
+		dep := uint64(0)
+		if i.Src1 >= 0 && t.regReady[w][i.Src1] > dep {
+			dep = t.regReady[w][i.Src1]
+		}
+		if i.Src2 >= 0 && t.regReady[w][i.Src2] > dep {
+			dep = t.regReady[w][i.Src2]
+		}
+		if isLoad && memDeps != nil && memDeps[w] > dep {
+			dep = memDeps[w]
+		}
+		cyc := dep + 1
+		if ring := t.rings[w]; ring != nil {
+			slot := t.count % uint64(len(ring))
+			// Instruction i may issue only after instruction i-W has
+			// completed (unit latency: its issue cycle + 1), freeing a
+			// window slot.
+			if t.count >= uint64(len(ring)) && ring[slot]+1 > cyc {
+				cyc = ring[slot] + 1
+			}
+			ring[slot] = cyc
+		}
+		if i.Dst >= 0 {
+			t.regReady[w][i.Dst] = cyc
+		}
+		if isStore {
+			storeCycles[w] = cyc
+		}
+		if cyc > t.maxCyc[w] {
+			t.maxCyc[w] = cyc
+		}
+	}
+	if isStore {
+		if memDeps != nil {
+			*memDeps = storeCycles
+		} else {
+			cp := storeCycles
+			t.memDep[memCell] = &cp
+		}
+	}
+	t.count++
+}
+
+// ILP returns instructions/critical-path-cycles for window index w.
+func (t *ilpTracker) ILP(w int) float64 {
+	if t.maxCyc[w] == 0 {
+		return 0
+	}
+	return float64(t.count) / float64(t.maxCyc[w])
+}

@@ -1,0 +1,282 @@
+// Package pisa implements the microarchitecture-independent workload
+// characterization of NAPEL's first phase. It stands in for the
+// LLVM-based PISA analysis tool (Anghel et al., reference [3] of the
+// paper): a single streaming pass over a kernel's dynamic instruction
+// trace produces an application profile p(k, d) with exactly 395
+// features — instruction mix, ideal-machine ILP at several window sizes,
+// data and instruction reuse-distance distributions, memory traffic at
+// cache-size thresholds, register traffic, strides, branch behaviour and
+// memory footprint (Table 1).
+//
+// All features are hardware-independent: they are properties of the
+// dataflow and the address stream, not of any cache or core
+// configuration. Reuse distances are exact LRU stack distances computed
+// at a fixed 64-byte line granularity.
+package pisa
+
+import (
+	"math"
+
+	"napel/internal/stats"
+	"napel/internal/trace"
+)
+
+// LineGranularity is the fixed block size at which data reuse distances
+// are measured.
+const LineGranularity = 64
+
+// PageGranularity is the block size for page-footprint accounting.
+const PageGranularity = 4096
+
+// reuseBuckets is the number of log2 buckets in reuse-distance
+// histograms (distances saturate at 2^31 distinct lines).
+const reuseBuckets = 32
+
+// strideBuckets is the number of log2 buckets in stride histograms.
+const strideBuckets = 32
+
+// instReuseBuckets is the number of log2 buckets for instruction reuse.
+const instReuseBuckets = 24
+
+// Profiler consumes a trace and accumulates the raw statistics behind
+// the 395-feature application profile.
+type Profiler struct {
+	counter trace.Counter
+	ilp     *ilpTracker
+
+	dataReuse  *reuseTracker
+	instReuse  *mtfTracker
+	pages      *u64set
+	bytesRead  uint64
+	bytesWrite uint64
+
+	dataHist  *stats.Histogram // all accesses
+	readHist  *stats.Histogram
+	writeHist *stats.Histogram
+	instHist  *stats.Histogram
+	coldData  uint64
+	coldInst  uint64
+
+	localLast   map[uint32]uint64 // per-site previous address
+	localHist   *stats.Histogram
+	localZero   uint64
+	localUnit   uint64
+	globalLast  uint64
+	globalValid bool
+	globalHist  *stats.Histogram
+	globalZero  uint64
+	globalUnit  uint64
+
+	branchSites map[uint32]*branchSite
+	branchTaken uint64
+
+	srcOps  uint64
+	dstOps  uint64
+	regSeen [256]bool
+
+	coverage float64
+}
+
+type branchSite struct {
+	taken, total uint64
+}
+
+// NewProfiler returns an empty profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{
+		ilp:         newILPTracker(),
+		dataReuse:   newReuseTracker(0xda7a),
+		instReuse:   newMTFTracker(),
+		pages:       newU64Set(1 << 8),
+		dataHist:    stats.NewHistogram(reuseBuckets),
+		readHist:    stats.NewHistogram(reuseBuckets),
+		writeHist:   stats.NewHistogram(reuseBuckets),
+		instHist:    stats.NewHistogram(instReuseBuckets),
+		localLast:   make(map[uint32]uint64),
+		localHist:   stats.NewHistogram(strideBuckets),
+		globalHist:  stats.NewHistogram(strideBuckets),
+		branchSites: make(map[uint32]*branchSite),
+		coverage:    1,
+	}
+}
+
+// OnInst implements trace.Consumer.
+func (p *Profiler) OnInst(i trace.Inst) {
+	p.counter.OnInst(i)
+	p.ilp.OnInst(i)
+
+	// Instruction reuse distance over static instruction ids.
+	if d := p.instReuse.Access(uint64(i.PC)); d == coldDistance {
+		p.coldInst++
+	} else {
+		p.instHist.Add(d)
+	}
+
+	// Register traffic.
+	if i.Src1 >= 0 {
+		p.srcOps++
+		p.regSeen[i.Src1] = true
+	}
+	if i.Src2 >= 0 {
+		p.srcOps++
+		p.regSeen[i.Src2] = true
+	}
+	if i.Dst >= 0 {
+		p.dstOps++
+		p.regSeen[i.Dst] = true
+	}
+
+	switch i.Op {
+	case trace.OpLoad, trace.OpStore:
+		p.onMem(i)
+	case trace.OpBranch:
+		s := p.branchSites[i.PC]
+		if s == nil {
+			s = &branchSite{}
+			p.branchSites[i.PC] = s
+		}
+		s.total++
+		if i.Taken {
+			s.taken++
+			p.branchTaken++
+		}
+	}
+}
+
+func (p *Profiler) onMem(i trace.Inst) {
+	write := i.Op == trace.OpStore
+	line := i.Addr / LineGranularity
+	if d := p.dataReuse.Access(line); d == coldDistance {
+		p.coldData++
+	} else {
+		p.dataHist.Add(d)
+		if write {
+			p.writeHist.Add(d)
+		} else {
+			p.readHist.Add(d)
+		}
+	}
+	p.pages.add(i.Addr / PageGranularity)
+	if write {
+		p.bytesWrite += uint64(i.Size)
+	} else {
+		p.bytesRead += uint64(i.Size)
+	}
+
+	// Per-site (local) stride.
+	if last, ok := p.localLast[i.PC]; ok {
+		p.addStride(p.localHist, &p.localZero, &p.localUnit, last, i.Addr, i.Size)
+	}
+	p.localLast[i.PC] = i.Addr
+	// Global stride.
+	if p.globalValid {
+		p.addStride(p.globalHist, &p.globalZero, &p.globalUnit, p.globalLast, i.Addr, i.Size)
+	}
+	p.globalLast = i.Addr
+	p.globalValid = true
+}
+
+func (p *Profiler) addStride(h *stats.Histogram, zero, unit *uint64, last, cur uint64, size uint8) {
+	var delta uint64
+	if cur >= last {
+		delta = cur - last
+	} else {
+		delta = last - cur
+	}
+	switch delta {
+	case 0:
+		*zero++
+	case uint64(size):
+		*unit++
+	}
+	h.Add(delta)
+}
+
+// SetCoverage records the traced fraction used to extrapolate totals.
+func (p *Profiler) SetCoverage(c float64) {
+	if c > 0 && c <= 1 {
+		p.coverage = c
+	}
+}
+
+// Profile freezes the accumulated statistics into an application
+// profile. The profiler must not receive further instructions afterward.
+func (p *Profiler) Profile() *Profile {
+	return &Profile{pr: p}
+}
+
+// Profile is the finished application profile p(k, d). Vector yields the
+// 395 hardware-independent features NAPEL trains on (see features.go).
+type Profile struct {
+	pr *Profiler
+}
+
+// TotalInstrs returns the instruction count extrapolated to the full
+// execution via the recorded coverage.
+func (p *Profile) TotalInstrs() float64 {
+	return float64(p.pr.counter.Total) / p.pr.coverage
+}
+
+// SimInstrs returns the number of instructions actually profiled.
+func (p *Profile) SimInstrs() uint64 { return p.pr.counter.Total }
+
+// Coverage returns the traced fraction of the execution.
+func (p *Profile) Coverage() float64 { return p.pr.coverage }
+
+// FootprintBytes returns the memory footprint at line granularity.
+func (p *Profile) FootprintBytes() float64 {
+	return float64(p.pr.dataReuse.Distinct()) * LineGranularity / p.pr.coverage
+}
+
+// MemFraction returns the fraction of instructions accessing memory.
+func (p *Profile) MemFraction() float64 {
+	if p.pr.counter.Total == 0 {
+		return 0
+	}
+	return float64(p.pr.counter.Mem()) / float64(p.pr.counter.Total)
+}
+
+// EstHitFraction estimates, from the architecture-independent reuse
+// distance CDF, the hit ratio of a fully-associative LRU cache holding
+// the given number of 64-byte-granularity lines. This is how NAPEL's
+// "cache access fraction" architectural feature (Table 1) is derived
+// without running a simulation.
+func (p *Profile) EstHitFraction(lines int) float64 {
+	total := p.pr.dataHist.Total + p.pr.coldData
+	if total == 0 {
+		return 0
+	}
+	// Accesses with stack distance < lines hit; cold misses never do.
+	// Bucket i of the histogram covers distances [2^i, 2^(i+1)), so the
+	// largest bucket guaranteed to lie fully below `lines` is
+	// Log2Bucket(lines)-1 (a slightly conservative floor for non-power
+	// capacities).
+	bucket := stats.Log2Bucket(uint64(lines)) - 1
+	if bucket < 0 {
+		return 0
+	}
+	if bucket >= reuseBuckets {
+		bucket = reuseBuckets - 1
+	}
+	cdf := p.pr.dataHist.CDF()
+	hitFrac := cdf[bucket] * float64(p.pr.dataHist.Total) / float64(total)
+	return clamp01(hitFrac)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// log2p1 is a monotone, finite transform for count-valued features.
+func log2p1(x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	return math.Log2(1 + x)
+}

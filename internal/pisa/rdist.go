@@ -1,0 +1,227 @@
+package pisa
+
+import "napel/internal/xrand"
+
+// reuseTracker computes exact LRU stack distances (Mattson et al.) in
+// O(log F) per access, where F is the footprint in distinct keys. It is
+// the workhorse behind the data/instruction reuse-distance features of
+// Table 1.
+//
+// Implementation: every key's most recent access is a node in an
+// order-statistic treap ordered by access sequence number. On a reaccess
+// the stack distance equals the number of nodes with a larger sequence
+// number (distinct keys touched since), after which the key's node moves
+// to the top of the recency order. Nodes live in a flat slice and are
+// addressed by index, which keeps the structure compact and
+// garbage-free; deleted nodes go on a free list and are recycled.
+type reuseTracker struct {
+	nodes []rnode
+	free  []int32
+	root  int32
+	last  *u64map // key -> treap node index (the node stores the sequence)
+	seq   uint64
+	rng   *xrand.Rand
+}
+
+type rnode struct {
+	left, right int32
+	size        uint32
+	prio        uint32
+	key         uint64 // access sequence number
+}
+
+const nilNode = int32(-1)
+
+// newReuseTracker returns an empty tracker with a deterministic priority
+// stream.
+func newReuseTracker(seed uint64) *reuseTracker {
+	return &reuseTracker{
+		root: nilNode,
+		last: newU64Map(1 << 12),
+		rng:  xrand.New(seed),
+	}
+}
+
+// Distinct returns the number of distinct keys seen (the footprint).
+func (t *reuseTracker) Distinct() int { return t.last.len() }
+
+// coldDistance marks a first-touch access.
+const coldDistance = ^uint64(0)
+
+// Access records an access to key and returns its LRU stack distance:
+// 0 for an immediate reuse, coldDistance for a first touch.
+func (t *reuseTracker) Access(key uint64) uint64 {
+	t.seq++
+	dist := coldDistance
+	if oldIdx, ok := t.last.get(key); ok {
+		oldSeq := t.nodes[oldIdx].key
+		dist = t.countGreater(oldSeq)
+		t.remove(oldSeq)
+		t.free = append(t.free, oldIdx)
+	}
+	idx := t.newNode(t.seq)
+	t.root = t.insertMax(t.root, idx)
+	t.last.put(key, idx)
+	return dist
+}
+
+func (t *reuseTracker) newNode(key uint64) int32 {
+	var idx int32
+	if n := len(t.free); n > 0 {
+		idx = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.nodes = append(t.nodes, rnode{})
+		idx = int32(len(t.nodes) - 1)
+	}
+	t.nodes[idx] = rnode{left: nilNode, right: nilNode, size: 1, prio: uint32(t.rng.Uint64()), key: key}
+	return idx
+}
+
+func (t *reuseTracker) size(n int32) uint32 {
+	if n == nilNode {
+		return 0
+	}
+	return t.nodes[n].size
+}
+
+func (t *reuseTracker) update(n int32) {
+	nd := &t.nodes[n]
+	nd.size = 1 + t.size(nd.left) + t.size(nd.right)
+}
+
+// countGreater returns the number of nodes whose key exceeds key.
+func (t *reuseTracker) countGreater(key uint64) uint64 {
+	var cnt uint64
+	n := t.root
+	for n != nilNode {
+		nd := &t.nodes[n]
+		if nd.key > key {
+			cnt += uint64(t.size(nd.right)) + 1
+			n = nd.left
+		} else {
+			n = nd.right
+		}
+	}
+	return cnt
+}
+
+// insertMax inserts node idx, whose key is larger than every key in the
+// tree (sequence numbers are monotonic), and returns the new root.
+func (t *reuseTracker) insertMax(root, idx int32) int32 {
+	if root == nilNode {
+		return idx
+	}
+	if t.nodes[idx].prio > t.nodes[root].prio {
+		// idx becomes the root; the whole old tree is its left subtree.
+		t.nodes[idx].left = root
+		t.update(idx)
+		return idx
+	}
+	// Descend the right spine until the priority order admits idx.
+	n := root
+	for {
+		nd := &t.nodes[n]
+		r := nd.right
+		if r == nilNode {
+			nd.right = idx
+			break
+		}
+		if t.nodes[idx].prio > t.nodes[r].prio {
+			t.nodes[idx].left = r
+			t.update(idx)
+			nd.right = idx
+			break
+		}
+		n = r
+	}
+	// Fix sizes along the right spine.
+	t.fixRightSpine(root, idx)
+	return root
+}
+
+// fixRightSpine re-derives subtree sizes on the path from root down to
+// the freshly linked node.
+func (t *reuseTracker) fixRightSpine(root, stop int32) {
+	// The path is root.right.right...; recompute bottom-up by walking
+	// down twice (path length is O(log n) expected).
+	var path []int32
+	n := root
+	for n != nilNode && n != stop {
+		path = append(path, n)
+		n = t.nodes[n].right
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		t.update(path[i])
+	}
+}
+
+// remove deletes the node with the given key and returns nothing; the
+// caller recycles the index.
+func (t *reuseTracker) remove(key uint64) {
+	t.root = t.removeRec(t.root, key)
+}
+
+func (t *reuseTracker) removeRec(n int32, key uint64) int32 {
+	if n == nilNode {
+		return nilNode
+	}
+	nd := &t.nodes[n]
+	switch {
+	case key < nd.key:
+		nd.left = t.removeRec(nd.left, key)
+	case key > nd.key:
+		nd.right = t.removeRec(nd.right, key)
+	default:
+		return t.merge(nd.left, nd.right)
+	}
+	t.update(n)
+	return n
+}
+
+// merge joins trees a (all keys smaller) and b (all keys larger).
+func (t *reuseTracker) merge(a, b int32) int32 {
+	if a == nilNode {
+		return b
+	}
+	if b == nilNode {
+		return a
+	}
+	if t.nodes[a].prio > t.nodes[b].prio {
+		t.nodes[a].right = t.merge(t.nodes[a].right, b)
+		t.update(a)
+		return a
+	}
+	t.nodes[b].left = t.merge(a, t.nodes[b].left)
+	t.update(b)
+	return b
+}
+
+// mtfTracker computes exact LRU stack distances with a simple
+// move-to-front list — O(distinct keys) per access, which beats the
+// treap handily for the tiny key sets it is used on (static instruction
+// ids: a few dozen per kernel).
+type mtfTracker struct {
+	order []uint64
+}
+
+func newMTFTracker() *mtfTracker { return &mtfTracker{} }
+
+// Distinct returns the number of distinct keys seen.
+func (t *mtfTracker) Distinct() int { return len(t.order) }
+
+// Access records an access to key and returns its stack distance
+// (coldDistance on first touch).
+func (t *mtfTracker) Access(key uint64) uint64 {
+	for i, k := range t.order {
+		if k == key {
+			copy(t.order[1:i+1], t.order[:i])
+			t.order[0] = key
+			return uint64(i)
+		}
+	}
+	t.order = append(t.order, 0)
+	copy(t.order[1:], t.order)
+	t.order[0] = key
+	return coldDistance
+}

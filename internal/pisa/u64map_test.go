@@ -1,0 +1,67 @@
+package pisa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"napel/internal/xrand"
+)
+
+func TestU64MapAgainstBuiltin(t *testing.T) {
+	rng := xrand.New(51)
+	m := newU64Map(4)
+	ref := map[uint64]int32{}
+	for i := 0; i < 50000; i++ {
+		key := rng.Uint64() % 5000
+		switch rng.Intn(3) {
+		case 0, 1:
+			val := int32(rng.Intn(1 << 30))
+			m.put(key, val)
+			ref[key] = val
+		default:
+			got, ok := m.get(key)
+			want, wok := ref[key]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("get(%d) = %d,%v want %d,%v", key, got, ok, want, wok)
+			}
+		}
+	}
+	if m.len() != len(ref) {
+		t.Fatalf("len %d want %d", m.len(), len(ref))
+	}
+}
+
+func TestU64MapZeroAndHugeKeys(t *testing.T) {
+	m := newU64Map(2)
+	m.put(0, 7)
+	if v, ok := m.get(0); !ok || v != 7 {
+		t.Fatal("key 0 broken")
+	}
+	huge := ^uint64(0) - 1
+	m.put(huge, 9)
+	if v, ok := m.get(huge); !ok || v != 9 {
+		t.Fatal("huge key broken")
+	}
+	if _, ok := m.get(12345); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestU64SetProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		s := newU64Set(2)
+		ref := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(200))
+			fresh := s.add(key)
+			if fresh == ref[key] { // fresh must equal !present
+				return false
+			}
+			ref[key] = true
+		}
+		return s.len() == len(ref)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

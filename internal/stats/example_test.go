@@ -1,0 +1,29 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"napel/internal/stats"
+)
+
+// ExampleMRE computes the paper's Equation 1 accuracy metric.
+func ExampleMRE() {
+	predicted := []float64{1.1, 2.2, 2.7}
+	actual := []float64{1.0, 2.0, 3.0}
+	fmt.Printf("MRE = %.1f%%\n", stats.MRE(predicted, actual)*100)
+	// Output:
+	// MRE = 10.0%
+}
+
+// ExampleHistogram buckets reuse distances the way the PISA features do.
+func ExampleHistogram() {
+	h := stats.NewHistogram(6)
+	for _, d := range []uint64{0, 1, 2, 3, 8, 9, 31} {
+		h.Add(d)
+	}
+	fmt.Println("counts:", h.Counts)
+	fmt.Printf("CDF[3] = %.2f\n", h.CDF()[3])
+	// Output:
+	// counts: [2 2 0 2 1 0]
+	// CDF[3] = 0.86
+}

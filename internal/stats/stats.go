@@ -1,0 +1,211 @@
+// Package stats provides the small set of descriptive statistics used by
+// the NAPEL pipeline: means, variances, quantiles, histograms and the
+// mean-relative-error metric the paper reports (Equation 1).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (denominator n), or 0
+// for fewer than one element.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs; it panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs; it panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values are skipped (matching how speedup series are
+// usually aggregated when a degenerate point appears).
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// RelErr returns |pred-actual|/|actual|. A zero actual with a nonzero
+// prediction yields +Inf; zero/zero yields 0.
+func RelErr(pred, actual float64) float64 {
+	if actual == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-actual) / math.Abs(actual)
+}
+
+// MRE computes the mean relative error between predictions and actuals
+// (Equation 1 of the paper). The slices must have equal, nonzero length.
+func MRE(pred, actual []float64) float64 {
+	if len(pred) != len(actual) || len(pred) == 0 {
+		panic("stats: MRE slices must have equal nonzero length")
+	}
+	s := 0.0
+	for i := range pred {
+		s += RelErr(pred[i], actual[i])
+	}
+	return s / float64(len(pred))
+}
+
+// Histogram accumulates counts in log2-spaced buckets, used for reuse
+// distance and stride distributions. Bucket i covers [2^i, 2^(i+1)) with
+// bucket 0 covering [0, 2).
+type Histogram struct {
+	Counts []uint64
+	Total  uint64
+}
+
+// NewHistogram returns a histogram with nbuckets log2 buckets. Values
+// beyond the last bucket saturate into it.
+func NewHistogram(nbuckets int) *Histogram {
+	return &Histogram{Counts: make([]uint64, nbuckets)}
+}
+
+// Add records a non-negative value.
+func (h *Histogram) Add(v uint64) {
+	b := Log2Bucket(v)
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.Total++
+}
+
+// Fractions returns each bucket's share of the total (zeros if empty).
+func (h *Histogram) Fractions() []float64 {
+	f := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return f
+	}
+	inv := 1 / float64(h.Total)
+	for i, c := range h.Counts {
+		f[i] = float64(c) * inv
+	}
+	return f
+}
+
+// CDF returns the cumulative fractions bucket by bucket.
+func (h *Histogram) CDF() []float64 {
+	f := h.Fractions()
+	for i := 1; i < len(f); i++ {
+		f[i] += f[i-1]
+	}
+	return f
+}
+
+// Log2Bucket returns floor(log2(v)) for v >= 1 and 0 for v == 0 — the
+// index of the log2-spaced bucket that contains v, where bucket i covers
+// [2^i, 2^(i+1)) and bucket 0 additionally holds 0.
+func Log2Bucket(v uint64) int {
+	b := 0
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Pearson returns the Pearson correlation coefficient of two
+// equal-length series (0 when either side is constant).
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		panic("stats: Pearson needs equal nonzero lengths")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

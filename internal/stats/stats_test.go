@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almost(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almost(got, 4) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(xs); !almost(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if Variance(nil) != 0 {
+		t.Error("Variance(nil) != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); !almost(got, 10) {
+		t.Errorf("GeoMean(1,100) = %v, want 10", got)
+	}
+	// Non-positive values are skipped.
+	if got := GeoMean([]float64{0, 10, -5, 10}); !almost(got, 10) {
+		t.Errorf("GeoMean with non-positives = %v, want 10", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(raw []float64, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q = math.Abs(math.Mod(q, 1))
+		v := Quantile(xs, q)
+		return v >= Min(xs) && v <= Max(xs)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if !almost(RelErr(11, 10), 0.1) {
+		t.Error("RelErr(11,10) != 0.1")
+	}
+	if RelErr(0, 0) != 0 {
+		t.Error("RelErr(0,0) != 0")
+	}
+	if !math.IsInf(RelErr(1, 0), 1) {
+		t.Error("RelErr(1,0) not +Inf")
+	}
+	// Symmetric in error magnitude around the actual value.
+	if !almost(RelErr(9, 10), RelErr(11, 10)) {
+		t.Error("RelErr not symmetric")
+	}
+}
+
+func TestMRE(t *testing.T) {
+	pred := []float64{11, 9, 10}
+	act := []float64{10, 10, 10}
+	if got := MRE(pred, act); !almost(got, 0.2/3) {
+		t.Errorf("MRE = %v", got)
+	}
+}
+
+func TestMREPerfectPrediction(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return MRE(xs, xs) == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMREPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MRE length mismatch did not panic")
+		}
+	}()
+	MRE([]float64{1}, []float64{1, 2})
+}
+
+func TestLog2Bucket(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 20, 20}, {1<<20 + 5, 20},
+	}
+	for _, c := range cases {
+		if got := Log2Bucket(c.v); got != c.want {
+			t.Errorf("Log2Bucket(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLog2BucketMatchesMathLog2(t *testing.T) {
+	if err := quick.Check(func(v uint64) bool {
+		if v == 0 {
+			return Log2Bucket(0) == 0
+		}
+		return Log2Bucket(v) == int(math.Floor(math.Log2(float64(v))))
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []uint64{0, 1, 2, 3, 4, 100} { // buckets 0,0,1,1,2,3(saturated)
+		h.Add(v)
+	}
+	want := []uint64{2, 2, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	f := h.Fractions()
+	if !almost(f[0], 2.0/6) {
+		t.Errorf("fraction[0] = %v", f[0])
+	}
+	cdf := h.CDF()
+	if !almost(cdf[len(cdf)-1], 1) {
+		t.Errorf("CDF tail = %v, want 1", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Error("CDF not monotone")
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(3)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram has nonzero fraction")
+		}
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almost(Pearson(xs, []float64{2, 4, 6, 8}), 1) {
+		t.Error("perfect positive correlation != 1")
+	}
+	if !almost(Pearson(xs, []float64{8, 6, 4, 2}), -1) {
+		t.Error("perfect negative correlation != -1")
+	}
+	if Pearson(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Error("constant series should give 0")
+	}
+}
+
+func TestPearsonPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}

@@ -1,0 +1,57 @@
+package trace_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"napel/internal/trace"
+)
+
+// Example_budgetAndCoverage shows the mechanism that makes the Table 2
+// test inputs tractable: a generator is cut off by its op budget and
+// records how much of its work the traced prefix covered, from which
+// consumers extrapolate totals.
+func Example_budgetAndCoverage() {
+	var c trace.Counter
+	tr := trace.NewTracer(250, &c)
+	const totalWork = 1000
+	done := 0
+	for i := 0; i < totalWork && !tr.Stop(); i++ {
+		tr.Int(0, 1, 2, 3)
+		done++
+	}
+	tr.SetCoverage(done, totalWork)
+	fmt.Println("traced:", c.Total)
+	fmt.Printf("coverage: %.2f\n", tr.Coverage())
+	fmt.Printf("extrapolated total: %.0f\n", float64(c.Total)/tr.Coverage())
+	// Output:
+	// traced: 250
+	// coverage: 0.25
+	// extrapolated total: 1000
+}
+
+// Example_traceFile captures a trace to the binary file format and
+// replays it.
+func Example_traceFile() {
+	var buf bytes.Buffer
+	count, _, err := trace.WriteTrace(&buf, 0, func(tr *trace.Tracer) {
+		for i := 0; i < 3; i++ {
+			tr.Load(0, uint64(i)*64, 8, 1, 2)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fr, err := trace.OpenTrace(&buf)
+	if err != nil {
+		panic(err)
+	}
+	var replayed trace.Counter
+	n, err := fr.Replay(&replayed)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("captured:", count, "replayed:", n, "loads:", replayed.ByOp[trace.OpLoad])
+	// Output:
+	// captured: 3 replayed: 3 loads: 3
+}

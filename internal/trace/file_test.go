@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func genSample(n int) func(*Tracer) {
+	return func(tr *Tracer) {
+		for i := 0; i < n; i++ {
+			switch i % 4 {
+			case 0:
+				tr.Load(i%11, uint64(i)*64, 8, int16(i%8), int16((i+3)%8))
+			case 1:
+				tr.Store(i%11, uint64(i)*32, 4, int16(i%8))
+			case 2:
+				tr.FPMul(i%11, int16(i%8), 1, 2)
+			default:
+				tr.Branch(i%11, i%3 == 0, 4)
+			}
+		}
+		tr.SetCoverage(n, n*2) // pretend half the work was traced
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	const n = 5000
+	var buf bytes.Buffer
+	count, cov, err := WriteTrace(&buf, 0, genSample(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n || cov != 0.5 {
+		t.Fatalf("wrote count=%d cov=%v", count, cov)
+	}
+
+	// Collect the original stream for comparison.
+	var direct []Inst
+	genSample(n)(NewTracer(0, ConsumerFunc(func(i Inst) { direct = append(direct, i) })))
+
+	fr, err := OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Count != n || fr.Coverage != 0.5 {
+		t.Fatalf("header count=%d cov=%v", fr.Count, fr.Coverage)
+	}
+	var replayed []Inst
+	got, err := fr.Replay(ConsumerFunc(func(i Inst) { replayed = append(replayed, i) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n || len(replayed) != n {
+		t.Fatalf("replayed %d", got)
+	}
+	for i := range direct {
+		if direct[i] != replayed[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, direct[i], replayed[i])
+		}
+	}
+	// Reading past the end is a clean stop, not an error.
+	if _, ok, err := fr.Next(); ok || err != nil {
+		t.Fatalf("read past end: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTraceFileBudget(t *testing.T) {
+	var buf bytes.Buffer
+	count, _, err := WriteTrace(&buf, 100, func(tr *Tracer) {
+		for i := 0; i < 10000 && !tr.Stop(); i++ {
+			tr.Int(0, 1, 2, 3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("budgeted capture wrote %d", count)
+	}
+}
+
+func TestOpenTraceRejectsGarbage(t *testing.T) {
+	if _, err := OpenTrace(strings.NewReader("this is not a trace file at all....")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := OpenTrace(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid header, truncated payload.
+	var buf bytes.Buffer
+	if _, _, err := WriteTrace(&buf, 0, genSample(10)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-5]
+	fr, err := OpenTrace(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fr.Replay(ConsumerFunc(func(Inst) {})); err == nil {
+		t.Fatal("truncated payload replayed without error")
+	}
+}
+
+func TestTraceFileNegativeRegisters(t *testing.T) {
+	// NoReg (-1) must survive the uint16 round trip.
+	var buf bytes.Buffer
+	_, _, err := WriteTrace(&buf, 0, func(tr *Tracer) {
+		tr.Emit(Inst{Op: OpLoad, Addr: 1, Dst: NoReg, Src1: NoReg, Src2: NoReg, Size: 8})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := OpenTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, ok, err := fr.Next()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if inst.Dst != NoReg || inst.Src1 != NoReg || inst.Src2 != NoReg {
+		t.Fatalf("NoReg corrupted: %+v", inst)
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+// Stream converts a push-style trace generator into a pull-style iterator
+// so that the multi-PE simulator can interleave several hardware threads
+// by simulated time. The generator runs in its own goroutine and hands
+// over batches of instructions through a channel; batching keeps the
+// synchronization overhead negligible relative to simulation work.
+type Stream struct {
+	ch      chan []Inst
+	cur     []Inst
+	pos     int
+	done    bool
+	stop    chan struct{}
+	stopped bool
+	tracer  *Tracer
+}
+
+// batchSize is the number of instructions exchanged per channel transfer.
+const batchSize = 4096
+
+// NewStream starts generator in a goroutine with a tracer that feeds this
+// stream. budget caps the emitted instructions (0 = unlimited). The
+// generator receives the tracer and must return when tracer.Stop()
+// becomes true. Call Close when abandoning the stream early.
+func NewStream(budget uint64, generator func(*Tracer)) *Stream {
+	s := &Stream{
+		ch:   make(chan []Inst, 4),
+		stop: make(chan struct{}),
+	}
+	buf := make([]Inst, 0, batchSize)
+	sink := ConsumerFunc(func(i Inst) {
+		buf = append(buf, i)
+		if len(buf) == batchSize {
+			select {
+			case s.ch <- buf:
+			case <-s.stop:
+				panic(errStreamClosed)
+			}
+			buf = make([]Inst, 0, batchSize)
+		}
+	})
+	t := NewTracer(budget, sink)
+	s.tracer = t
+	go func() {
+		defer func() {
+			if r := recover(); r != nil && r != errStreamClosed {
+				panic(r)
+			}
+			if len(buf) > 0 {
+				select {
+				case s.ch <- buf:
+				case <-s.stop:
+				}
+			}
+			close(s.ch)
+		}()
+		generator(t)
+	}()
+	return s
+}
+
+// errStreamClosed aborts the generator goroutine when the stream's
+// consumer walks away early; it never escapes NewStream's deferred
+// recover.
+var errStreamClosed = &streamClosed{}
+
+type streamClosed struct{}
+
+func (*streamClosed) Error() string { return "trace: stream closed" }
+
+// Next returns the next instruction in program order. ok is false once
+// the generator has finished and all buffered instructions are drained.
+func (s *Stream) Next() (inst Inst, ok bool) {
+	if s.pos < len(s.cur) {
+		inst = s.cur[s.pos]
+		s.pos++
+		return inst, true
+	}
+	if s.done {
+		return Inst{}, false
+	}
+	batch, open := <-s.ch
+	if !open {
+		s.done = true
+		return Inst{}, false
+	}
+	s.cur = batch
+	s.pos = 1
+	return batch[0], true
+}
+
+// Coverage reports the generator's traced fraction; meaningful once the
+// stream is exhausted.
+func (s *Stream) Coverage() float64 { return s.tracer.Coverage() }
+
+// Count reports how many instructions the generator emitted so far.
+func (s *Stream) Count() uint64 { return s.tracer.Count() }
+
+// Close releases the generator goroutine if the stream is abandoned
+// before being fully drained. It is safe to call multiple times and
+// after exhaustion.
+func (s *Stream) Close() {
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	close(s.stop)
+	// Drain so a generator blocked on send observes the stop channel.
+	for range s.ch {
+	}
+	s.done = true
+}

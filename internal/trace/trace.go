@@ -1,0 +1,256 @@
+// Package trace defines the dynamic instruction trace model that connects
+// the workload kernels to every consumer in the pipeline: the PISA-style
+// microarchitecture-independent profiler (internal/pisa), the NMC system
+// simulator (internal/nmcsim) and the host model (internal/hostsim).
+//
+// The paper collects dynamic execution traces of instrumented kernels
+// with a Pin tool and feeds them to Ramulator. Here the kernels are
+// re-implemented in Go and *stream* their trace through a Tracer; traces
+// are never materialized, so arbitrarily long executions run in O(1)
+// memory. A trace can be replayed as many times as needed (kernels are
+// deterministic), or fanned out to several consumers in a single pass.
+package trace
+
+// Op classifies a dynamic instruction. The set mirrors the instruction
+// mix categories PISA reports (integer/floating point arithmetic,
+// multiplies and divides, memory reads and writes, branches and other
+// control).
+type Op uint8
+
+const (
+	// OpIntALU is simple integer arithmetic/logic (add, sub, shift, cmp).
+	OpIntALU Op = iota
+	// OpIntMul is integer multiplication.
+	OpIntMul
+	// OpIntDiv is integer division/modulo.
+	OpIntDiv
+	// OpFPALU is floating-point add/sub/compare.
+	OpFPALU
+	// OpFPMul is floating-point multiplication.
+	OpFPMul
+	// OpFPDiv is floating-point division or square root.
+	OpFPDiv
+	// OpLoad reads Size bytes from Addr.
+	OpLoad
+	// OpStore writes Size bytes to Addr.
+	OpStore
+	// OpBranch is a conditional branch; Taken records its direction.
+	OpBranch
+	// OpCall is a call/return or unconditional control transfer.
+	OpCall
+	// OpMove is a register move or other cheap bookkeeping instruction.
+	OpMove
+	// NumOps is the number of distinct Op values.
+	NumOps
+)
+
+// String returns the mnemonic for the op class.
+func (o Op) String() string {
+	switch o {
+	case OpIntALU:
+		return "int_alu"
+	case OpIntMul:
+		return "int_mul"
+	case OpIntDiv:
+		return "int_div"
+	case OpFPALU:
+		return "fp_alu"
+	case OpFPMul:
+		return "fp_mul"
+	case OpFPDiv:
+		return "fp_div"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpBranch:
+		return "branch"
+	case OpCall:
+		return "call"
+	case OpMove:
+		return "move"
+	default:
+		return "unknown"
+	}
+}
+
+// IsMem reports whether the op accesses memory.
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsFP reports whether the op uses the floating-point pipeline.
+func (o Op) IsFP() bool { return o == OpFPALU || o == OpFPMul || o == OpFPDiv }
+
+// NoReg marks an unused register operand slot.
+const NoReg int16 = -1
+
+// Inst is one dynamic instruction. PC identifies the static instruction
+// (synthesized from the kernel's site numbering), which drives the
+// instruction-reuse-distance and per-site stride statistics. Dst/Src1/
+// Src2 are virtual register numbers used for dataflow (ILP) analysis;
+// NoReg marks unused slots.
+type Inst struct {
+	Addr  uint64 // byte address for loads/stores, 0 otherwise
+	PC    uint32 // static instruction id
+	Dst   int16  // destination register or NoReg
+	Src1  int16  // first source register or NoReg
+	Src2  int16  // second source register or NoReg
+	Op    Op
+	Size  uint8 // access size in bytes for loads/stores
+	Taken bool  // branch direction for OpBranch
+}
+
+// Consumer receives a trace instruction stream. OnInst is called once per
+// dynamic instruction in program order.
+type Consumer interface {
+	OnInst(Inst)
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(Inst)
+
+// OnInst implements Consumer.
+func (f ConsumerFunc) OnInst(i Inst) { f(i) }
+
+// Tracer is the emission side handed to kernels. It forwards every
+// instruction to its consumers, enforces an optional op budget and tracks
+// coverage so that consumers can extrapolate totals when a kernel was cut
+// short (see Budget and Coverage).
+//
+// Kernels are expected to check Stop() in their outer loops and, when it
+// returns true, record how much of the total work they completed via
+// SetCoverage before returning.
+type Tracer struct {
+	consumers []Consumer
+	count     uint64
+	budget    uint64  // 0 = unlimited
+	coverage  float64 // fraction of the full execution that was traced
+	pcBase    uint32
+}
+
+// NewTracer returns a tracer feeding the given consumers. budget caps the
+// number of emitted instructions (0 means unlimited).
+func NewTracer(budget uint64, consumers ...Consumer) *Tracer {
+	return &Tracer{consumers: consumers, budget: budget, coverage: 1}
+}
+
+// SetPCBase offsets all site ids emitted through the helper methods,
+// letting several kernels or kernel phases share one PC namespace.
+func (t *Tracer) SetPCBase(base uint32) { t.pcBase = base }
+
+// Count returns the number of instructions emitted so far.
+func (t *Tracer) Count() uint64 { return t.count }
+
+// Stop reports whether the op budget is exhausted; kernels should bail
+// out of their outer loops when it returns true.
+func (t *Tracer) Stop() bool { return t.budget != 0 && t.count >= t.budget }
+
+// SetCoverage records the fraction (0, 1] of the full execution that was
+// actually traced, used by consumers to extrapolate instruction totals.
+func (t *Tracer) SetCoverage(done, total int) {
+	if total <= 0 || done >= total {
+		t.coverage = 1
+		return
+	}
+	if done <= 0 {
+		done = 1
+	}
+	t.coverage = float64(done) / float64(total)
+}
+
+// Coverage returns the recorded traced fraction (1 if the kernel ran to
+// completion).
+func (t *Tracer) Coverage() float64 { return t.coverage }
+
+// Emit forwards one instruction to all consumers.
+func (t *Tracer) Emit(i Inst) {
+	t.count++
+	for _, c := range t.consumers {
+		c.OnInst(i)
+	}
+}
+
+// The helper methods below keep kernel code terse. site is a small
+// integer unique to the static instruction within the kernel.
+
+// Load emits a load of size bytes at addr into register dst.
+func (t *Tracer) Load(site int, addr uint64, size uint8, dst, src int16) {
+	t.Emit(Inst{Op: OpLoad, PC: t.pcBase + uint32(site), Addr: addr, Size: size, Dst: dst, Src1: src, Src2: NoReg})
+}
+
+// Store emits a store of size bytes at addr from register src.
+func (t *Tracer) Store(site int, addr uint64, size uint8, src int16) {
+	t.Emit(Inst{Op: OpStore, PC: t.pcBase + uint32(site), Addr: addr, Size: size, Dst: NoReg, Src1: src, Src2: NoReg})
+}
+
+// Int emits a simple integer ALU op dst <- src1 op src2.
+func (t *Tracer) Int(site int, dst, src1, src2 int16) {
+	t.Emit(Inst{Op: OpIntALU, PC: t.pcBase + uint32(site), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// IntMul emits an integer multiply.
+func (t *Tracer) IntMul(site int, dst, src1, src2 int16) {
+	t.Emit(Inst{Op: OpIntMul, PC: t.pcBase + uint32(site), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FP emits a floating-point add/sub/compare.
+func (t *Tracer) FP(site int, dst, src1, src2 int16) {
+	t.Emit(Inst{Op: OpFPALU, PC: t.pcBase + uint32(site), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FPMul emits a floating-point multiply.
+func (t *Tracer) FPMul(site int, dst, src1, src2 int16) {
+	t.Emit(Inst{Op: OpFPMul, PC: t.pcBase + uint32(site), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// FPDiv emits a floating-point divide/sqrt.
+func (t *Tracer) FPDiv(site int, dst, src1, src2 int16) {
+	t.Emit(Inst{Op: OpFPDiv, PC: t.pcBase + uint32(site), Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Branch emits a conditional branch reading register src.
+func (t *Tracer) Branch(site int, taken bool, src int16) {
+	t.Emit(Inst{Op: OpBranch, PC: t.pcBase + uint32(site), Taken: taken, Dst: NoReg, Src1: src, Src2: NoReg})
+}
+
+// Move emits a register move dst <- src.
+func (t *Tracer) Move(site int, dst, src int16) {
+	t.Emit(Inst{Op: OpMove, PC: t.pcBase + uint32(site), Dst: dst, Src1: src, Src2: NoReg})
+}
+
+// Counter is a trivial consumer that counts instructions by op class;
+// several tests and the simulators embed it.
+type Counter struct {
+	ByOp  [NumOps]uint64
+	Total uint64
+}
+
+// OnInst implements Consumer.
+func (c *Counter) OnInst(i Inst) {
+	c.ByOp[i.Op]++
+	c.Total++
+}
+
+// Mem returns the number of memory instructions counted.
+func (c *Counter) Mem() uint64 { return c.ByOp[OpLoad] + c.ByOp[OpStore] }
+
+// Tee returns a consumer that forwards every instruction to all of the
+// given consumers — the fan-out combinator for running, say, a profiler
+// and a counter over one kernel execution.
+func Tee(consumers ...Consumer) Consumer {
+	cs := append([]Consumer(nil), consumers...)
+	return ConsumerFunc(func(i Inst) {
+		for _, c := range cs {
+			c.OnInst(i)
+		}
+	})
+}
+
+// Filter returns a consumer that forwards only the instructions for
+// which keep returns true (e.g. memory accesses only).
+func Filter(keep func(Inst) bool, next Consumer) Consumer {
+	return ConsumerFunc(func(i Inst) {
+		if keep(i) {
+			next.OnInst(i)
+		}
+	})
+}

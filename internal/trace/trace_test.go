@@ -1,0 +1,303 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" || s == "unknown" {
+			t.Errorf("op %d has bad name %q", op, s)
+		}
+		if seen[s] {
+			t.Errorf("duplicate op name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpIntALU.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !OpFPMul.IsFP() || OpIntMul.IsFP() {
+		t.Error("IsFP misclassifies")
+	}
+}
+
+func TestTracerHelpersSetFields(t *testing.T) {
+	var got []Inst
+	tr := NewTracer(0, ConsumerFunc(func(i Inst) { got = append(got, i) }))
+	tr.SetPCBase(100)
+	tr.Load(1, 0xdead, 8, 5, 6)
+	tr.Store(2, 0xbeef, 4, 7)
+	tr.Int(3, 1, 2, 3)
+	tr.FPMul(4, 8, 9, 10)
+	tr.Branch(5, true, 2)
+	tr.Move(6, 1, 2)
+
+	if len(got) != 6 {
+		t.Fatalf("emitted %d, want 6", len(got))
+	}
+	ld := got[0]
+	if ld.Op != OpLoad || ld.Addr != 0xdead || ld.PC != 101 || ld.Size != 8 || ld.Dst != 5 || ld.Src1 != 6 || ld.Src2 != NoReg {
+		t.Errorf("load fields wrong: %+v", ld)
+	}
+	st := got[1]
+	if st.Op != OpStore || st.Dst != NoReg || st.Src1 != 7 {
+		t.Errorf("store fields wrong: %+v", st)
+	}
+	if got[4].Op != OpBranch || !got[4].Taken {
+		t.Errorf("branch fields wrong: %+v", got[4])
+	}
+	if tr.Count() != 6 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}
+
+func TestTracerBudgetStop(t *testing.T) {
+	tr := NewTracer(10)
+	for i := 0; i < 10; i++ {
+		if tr.Stop() {
+			t.Fatalf("Stop true after %d < budget ops", i)
+		}
+		tr.Int(0, 1, 2, 3)
+	}
+	if !tr.Stop() {
+		t.Fatal("Stop false after budget exhausted")
+	}
+}
+
+func TestTracerUnlimitedNeverStops(t *testing.T) {
+	tr := NewTracer(0)
+	for i := 0; i < 1000; i++ {
+		tr.Int(0, 1, 2, 3)
+	}
+	if tr.Stop() {
+		t.Fatal("unlimited tracer stopped")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tr := NewTracer(1)
+	if tr.Coverage() != 1 {
+		t.Fatal("default coverage != 1")
+	}
+	tr.SetCoverage(3, 10)
+	if tr.Coverage() != 0.3 {
+		t.Fatalf("coverage = %v", tr.Coverage())
+	}
+	tr.SetCoverage(10, 10)
+	if tr.Coverage() != 1 {
+		t.Fatal("complete run coverage != 1")
+	}
+	tr.SetCoverage(0, 10) // clamps to at least one unit
+	if tr.Coverage() != 0.1 {
+		t.Fatalf("zero-done coverage = %v", tr.Coverage())
+	}
+	tr.SetCoverage(5, 0)
+	if tr.Coverage() != 1 {
+		t.Fatal("non-positive total should mean full coverage")
+	}
+}
+
+func TestTracerFanOut(t *testing.T) {
+	var a, b Counter
+	tr := NewTracer(0, &a, &b)
+	tr.Load(0, 1, 8, 0, 1)
+	tr.Int(1, 0, 1, 2)
+	if a.Total != 2 || b.Total != 2 || a.ByOp[OpLoad] != 1 {
+		t.Fatalf("fan-out broken: %+v %+v", a, b)
+	}
+	if a.Mem() != 1 {
+		t.Fatalf("Mem() = %d", a.Mem())
+	}
+}
+
+func TestStreamDeliversInOrder(t *testing.T) {
+	const n = 10000
+	s := NewStream(0, func(tr *Tracer) {
+		for i := 0; i < n; i++ {
+			tr.Emit(Inst{Op: OpIntALU, Addr: uint64(i)})
+		}
+	})
+	for i := 0; i < n; i++ {
+		inst, ok := s.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if inst.Addr != uint64(i) {
+			t.Fatalf("out of order at %d: got %d", i, inst.Addr)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestStreamMatchesDirectTrace(t *testing.T) {
+	gen := func(tr *Tracer) {
+		for i := 0; i < 5000; i++ {
+			tr.Load(i%7, uint64(i*64), 8, int16(i%8), int16((i+1)%8))
+			tr.FP(i%5, int16(i%4), 1, 2)
+		}
+	}
+	var direct []Inst
+	gen(NewTracer(0, ConsumerFunc(func(i Inst) { direct = append(direct, i) })))
+
+	s := NewStream(0, gen)
+	for i := 0; ; i++ {
+		inst, ok := s.Next()
+		if !ok {
+			if i != len(direct) {
+				t.Fatalf("stream delivered %d, direct %d", i, len(direct))
+			}
+			break
+		}
+		if inst != direct[i] {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, inst, direct[i])
+		}
+	}
+}
+
+func TestStreamBudget(t *testing.T) {
+	s := NewStream(100, func(tr *Tracer) {
+		i := 0
+		for !tr.Stop() {
+			tr.Int(0, 1, 2, 3)
+			i++
+		}
+		tr.SetCoverage(i, 100000)
+	})
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("budgeted stream delivered %d, want 100", n)
+	}
+	if c := s.Coverage(); c <= 0 || c > 0.01 {
+		t.Fatalf("coverage = %v", c)
+	}
+}
+
+func TestStreamCloseEarly(t *testing.T) {
+	// A generator that would emit forever must be reclaimed by Close.
+	for trial := 0; trial < 10; trial++ {
+		s := NewStream(0, func(tr *Tracer) {
+			for {
+				tr.Int(0, 1, 2, 3)
+			}
+		})
+		for i := 0; i < 100; i++ {
+			s.Next()
+		}
+		s.Close()
+		s.Close() // idempotent
+		if _, ok := s.Next(); ok {
+			// Buffered leftovers may still drain after Close marks done;
+			// the stream must at least terminate.
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestStreamEmptyGenerator(t *testing.T) {
+	s := NewStream(0, func(*Tracer) {})
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty generator yielded an instruction")
+	}
+	if s.Coverage() != 1 {
+		t.Fatalf("empty coverage = %v", s.Coverage())
+	}
+}
+
+func TestStreamPropagatesGeneratorPanic(t *testing.T) {
+	defer func() {
+		recover() // the panic surfaces on the generator goroutine; here we
+		// only verify Next terminates (via closed channel) without hanging.
+	}()
+	// A panic in the generator must not deadlock the consumer. We cannot
+	// recover a panic on another goroutine, so this test would crash the
+	// process if the contract were violated; instead we verify normal
+	// termination semantics with a clean generator.
+	s := NewStream(0, func(tr *Tracer) { tr.Int(0, 1, 2, 3) })
+	if _, ok := s.Next(); !ok {
+		t.Fatal("expected one instruction")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("expected end of stream")
+	}
+}
+
+func TestInstValueSemantics(t *testing.T) {
+	if err := quick.Check(func(addr uint64, pc uint32, dst, s1, s2 int16, op uint8, size uint8, taken bool) bool {
+		i := Inst{Addr: addr, PC: pc, Dst: dst, Src1: s1, Src2: s2, Op: Op(op % uint8(NumOps)), Size: size, Taken: taken}
+		j := i
+		return i == j
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPCBaseNamespacing(t *testing.T) {
+	var pcs []uint32
+	tr := NewTracer(0, ConsumerFunc(func(i Inst) { pcs = append(pcs, i.PC) }))
+	tr.Int(3, 1, 2, 3)
+	tr.SetPCBase(1000)
+	tr.Int(3, 1, 2, 3)
+	if pcs[0] != 3 || pcs[1] != 1003 {
+		t.Fatalf("PC namespacing broken: %v", pcs)
+	}
+}
+
+func TestStreamManySmallBatches(t *testing.T) {
+	// Totals that do not divide the internal batch size must still be
+	// delivered exactly.
+	for _, n := range []int{1, 2, batchSize - 1, batchSize, batchSize + 1, 3*batchSize + 17} {
+		s := NewStream(0, func(tr *Tracer) {
+			for i := 0; i < n; i++ {
+				tr.Int(0, 1, 2, 3)
+			}
+		})
+		got := 0
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			got++
+		}
+		if got != n {
+			t.Fatalf("n=%d: delivered %d", n, got)
+		}
+	}
+}
+
+func TestTeeAndFilter(t *testing.T) {
+	var all, mem Counter
+	sink := Tee(&all, Filter(func(i Inst) bool { return i.Op.IsMem() }, &mem))
+	tr := NewTracer(0, sink)
+	tr.Load(0, 64, 8, 1, 2)
+	tr.Int(1, 1, 2, 3)
+	tr.Store(2, 128, 8, 1)
+	tr.FP(3, 1, 2, 3)
+	if all.Total != 4 {
+		t.Fatalf("tee total %d", all.Total)
+	}
+	if mem.Total != 2 || mem.ByOp[OpLoad] != 1 || mem.ByOp[OpStore] != 1 {
+		t.Fatalf("filter passed %d: %+v", mem.Total, mem)
+	}
+}

@@ -1,0 +1,52 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"napel/internal/trace"
+	"napel/internal/workload"
+)
+
+// ExampleByName looks up a Table 2 kernel and prints its DoE metadata.
+func ExampleByName() {
+	k, err := workload.ByName("bfs")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(k.Description())
+	for _, p := range k.Params() {
+		fmt.Printf("%-8s levels %v test %d\n", p.Name, p.Levels, p.Test)
+	}
+	// Output:
+	// Breadth-first Search
+	// nodes    levels [400000 800000 900000 1200000 1400000] test 1000000
+	// weights  levels [1 2 4 25 49] test 4
+	// threads  levels [1 9 16 32 64] test 32
+	// iters    levels [30 40 65 70 80] test 95
+}
+
+// ExampleKernel_trace streams a tiny kernel trace into a counter — the
+// pattern every consumer in the pipeline uses.
+func ExampleKernel_trace() {
+	k, _ := workload.ByName("atax")
+	in := workload.Input{"dim": 8, "threads": 2}
+	var c trace.Counter
+	k.Trace(in, 0, 1, trace.NewTracer(0, &c))
+	fmt.Println("total instructions:", c.Total)
+	fmt.Println("memory accesses:   ", c.Mem())
+	// Output:
+	// total instructions: 856
+	// memory accesses:    336
+}
+
+// ExampleScale derives a reduced proxy input for fast experimentation.
+func ExampleScale() {
+	k, _ := workload.ByName("gemv")
+	full := workload.TestInput(k)
+	small := workload.Scale(k, full, 8, 2)
+	fmt.Println("full: ", full)
+	fmt.Println("small:", small)
+	// Output:
+	// full:  dim=8000 iters=60 threads=32
+	// small: dim=1000 iters=2 threads=32
+}

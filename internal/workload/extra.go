@@ -1,0 +1,243 @@
+package workload
+
+import "napel/internal/trace"
+
+// This file adds three extension kernels beyond the paper's Table 2
+// suite, covering the application domains the paper's introduction
+// motivates but its evaluation does not include: bioinformatics
+// (Needleman-Wunsch sequence alignment), physical simulation (the
+// Rodinia HotSpot thermal stencil) and sparse linear algebra (SpMV, the
+// backbone of graph analytics). They are registered separately — All()
+// remains exactly the Table 2 suite so every paper experiment is
+// unchanged — and serve as ready-made "previously-unseen applications"
+// for prediction demos and tests.
+
+// Extensions returns the kernels that go beyond the paper's Table 2.
+func Extensions() []Kernel {
+	return []Kernel{NewNW(), NewHotspot(), NewSpMV()}
+}
+
+// AllExtended returns the Table 2 suite plus the extension kernels.
+func AllExtended() []Kernel {
+	return append(All(), Extensions()...)
+}
+
+// ------------------------------------------------------------------ nw
+
+// NW is Needleman-Wunsch sequence alignment: a 2D dynamic program over
+// the score matrix with a 3-point dependency stencil — the GRIM-Filter
+// class of bioinformatics workloads cited in the paper's introduction.
+type NW struct{}
+
+// NewNW returns the nw kernel.
+func NewNW() *NW { return &NW{} }
+
+// Name implements Kernel.
+func (*NW) Name() string { return "nw" }
+
+// Description implements Kernel.
+func (*NW) Description() string { return "Needleman-Wunsch Alignment" }
+
+// Params implements Kernel.
+func (*NW) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{256, 512, 1024, 2048, 3072}, Test: 4096},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+	}
+}
+
+// Trace implements Kernel. The DP fills anti-diagonals; cells on one
+// anti-diagonal are independent and sharded across threads, which is the
+// standard parallelization (and gives the kernel its block-synchronous
+// irregular write pattern).
+func (*NW) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n := in["dim"]
+	ar := newArena()
+	score := ar.alloc(uint64(n+1) * uint64(n+1) * 4) // int32 scores
+	ref := ar.alloc(uint64(n))                       // sequence bytes
+	query := ar.alloc(uint64(n))
+
+	cell := func(i, j int) uint64 { return score + (uint64(i)*uint64(n+1)+uint64(j))*4 }
+
+	// Total owned cells across all anti-diagonals.
+	total := 0
+	for d := 2; d <= 2*n; d++ {
+		lo := d - n
+		if lo < 1 {
+			lo = 1
+		}
+		hi := d - 1
+		if hi > n {
+			hi = n
+		}
+		if hi >= lo {
+			total += shardRows(hi-lo+1, shard, nshards)
+		}
+	}
+	p := newProgress(t, total)
+	defer p.finish()
+
+	for d := 2; d <= 2*n; d++ {
+		lo := d - n
+		if lo < 1 {
+			lo = 1
+		}
+		hi := d - 1
+		if hi > n {
+			hi = n
+		}
+		if hi < lo {
+			continue
+		}
+		slo, shi := shardRange(hi-lo+1, shard, nshards)
+		for idx := slo; idx < shi; idx++ {
+			if p.step() {
+				return
+			}
+			i := lo + idx
+			j := d - i
+			// score[i][j] = max(diag+sub, up+gap, left+gap)
+			t.Load(0, ref+uint64(i-1), 1, rF0, rAddr)
+			t.Load(1, query+uint64(j-1), 1, rF1, rAddr)
+			t.Int(2, rTmp, rF0, rF1) // substitution score
+			t.Load(3, cell(i-1, j-1), 4, rVal, rAddr)
+			t.Int(4, rVal, rVal, rTmp)
+			t.Load(5, cell(i-1, j), 4, rF2, rAddr)
+			t.Int(6, rF2, rF2, rK)
+			t.Branch(7, (i+j)&1 == 0, rF2) // max select
+			t.Load(8, cell(i, j-1), 4, rF3, rAddr)
+			t.Int(9, rF3, rF3, rK)
+			t.Branch(10, (i*7+j)&1 == 0, rF3)
+			t.Store(11, cell(i, j), 4, rVal)
+		}
+	}
+}
+
+// ------------------------------------------------------------- hotspot
+
+// Hotspot is the Rodinia HotSpot thermal simulation: an iterated
+// 5-point stencil over temperature and power grids.
+type Hotspot struct{}
+
+// NewHotspot returns the hotspot kernel.
+func NewHotspot() *Hotspot { return &Hotspot{} }
+
+// Name implements Kernel.
+func (*Hotspot) Name() string { return "hotspot" }
+
+// Description implements Kernel.
+func (*Hotspot) Description() string { return "HotSpot Thermal Simulation" }
+
+// Params implements Kernel.
+func (*Hotspot) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{128, 256, 512, 1024, 1536}, Test: 2048},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{2, 4, 8, 16, 32}, Test: 16},
+	}
+}
+
+// Trace implements Kernel: rows are sharded blockwise; each cell reads
+// its four neighbours, the centre and the power map.
+func (*Hotspot) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	temp := ar.alloc(uint64(n) * uint64(n) * 8)
+	power := ar.alloc(uint64(n) * uint64(n) * 8)
+	out := ar.alloc(uint64(n) * uint64(n) * 8)
+
+	idx := func(i, j int) uint64 { return (uint64(i)*uint64(n) + uint64(j)) * 8 }
+	lo, hi := shardRange(n-2, shard, nshards)
+	p := newProgress(t, iters*(hi-lo))
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for i := 1 + lo; i < 1+hi; i++ {
+			if p.step() {
+				return
+			}
+			for j := 1; j < n-1; j++ {
+				t.Load(0, temp+idx(i, j), 8, rF0, rAddr)
+				t.Load(1, temp+idx(i-1, j), 8, rF1, rAddr)
+				t.Load(2, temp+idx(i+1, j), 8, rF2, rAddr)
+				t.Load(3, temp+idx(i, j-1), 8, rF3, rAddr)
+				t.Load(4, temp+idx(i, j+1), 8, rVal, rAddr)
+				t.FP(5, rAcc, rF1, rF2)
+				t.FP(6, rAcc, rAcc, rF3)
+				t.FP(7, rAcc, rAcc, rVal)
+				t.FPMul(8, rAcc, rAcc, rF0)
+				t.Load(9, power+idx(i, j), 8, rF1, rAddr)
+				t.FP(10, rAcc, rAcc, rF1)
+				t.Store(11, out+idx(i, j), 8, rAcc)
+				t.Branch(12, j+2 < n, rJ)
+			}
+		}
+		temp, out = out, temp // ping-pong buffers
+	}
+}
+
+// ---------------------------------------------------------------- spmv
+
+// SpMV is sparse matrix-vector multiplication in CSR form over a
+// synthetic power-law matrix — the irregular-gather workload underlying
+// graph analytics.
+type SpMV struct{}
+
+// NewSpMV returns the spmv kernel.
+func NewSpMV() *SpMV { return &SpMV{} }
+
+// Name implements Kernel.
+func (*SpMV) Name() string { return "spmv" }
+
+// Description implements Kernel.
+func (*SpMV) Description() string { return "Sparse Matrix-Vector Multiply" }
+
+// Params implements Kernel.
+func (*SpMV) Params() []Param {
+	return []Param{
+		{Name: "rows", Kind: KindSize, Levels: [5]int{100_000, 300_000, 500_000, 800_000, 1_000_000}, Test: 700_000},
+		{Name: "nnz_per_row", Kind: KindOther, Levels: [5]int{4, 8, 12, 20, 32}, Test: 12},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{2, 4, 8, 12, 16}, Test: 8},
+	}
+}
+
+// Trace implements Kernel: rows are sharded blockwise; column indices
+// come from a deterministic hash, giving the gather of x its random
+// pattern.
+func (*SpMV) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, nnz, iters := in["rows"], in["nnz_per_row"], in["iters"]
+	ar := newArena()
+	rowPtr := ar.alloc(uint64(n+1) * 4)
+	colIdx := ar.alloc(uint64(n) * uint64(nnz) * 4)
+	vals := ar.alloc(uint64(n) * uint64(nnz) * 8)
+	x := ar.alloc(uint64(n) * 8)
+	y := ar.alloc(uint64(n) * 8)
+
+	lo, hi := shardRange(n, shard, nshards)
+	p := newProgress(t, iters*(hi-lo))
+	defer p.finish()
+
+	const seed = 0x59a12
+	for it := 0; it < iters; it++ {
+		for i := lo; i < hi; i++ {
+			if p.step() {
+				return
+			}
+			t.Load(0, rowPtr+uint64(i)*4, 4, rI, rAddr)
+			t.Load(1, rowPtr+uint64(i+1)*4, 4, rJ, rAddr)
+			t.Move(2, rAcc, rF3)
+			base := uint64(i) * uint64(nnz)
+			for e := 0; e < nnz; e++ {
+				col := mix64(uint64(i)*31+uint64(e)^seed) % uint64(n)
+				t.Load(3, colIdx+(base+uint64(e))*4, 4, rK, rI)
+				t.Load(4, vals+(base+uint64(e))*8, 8, rF0, rI)
+				t.Load(5, x+col*8, 8, rF1, rK) // the irregular gather
+				t.FPMul(6, rF2, rF0, rF1)
+				t.FP(7, rAcc, rAcc, rF2)
+				t.Branch(8, e+1 < nnz, rK)
+			}
+			t.Store(9, y+uint64(i)*8, 8, rAcc)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"napel/internal/trace"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 3 {
+		t.Fatalf("%d extension kernels, want 3", len(exts))
+	}
+	if len(AllExtended()) != 15 {
+		t.Fatalf("AllExtended = %d kernels, want 15", len(AllExtended()))
+	}
+	// Table 2 suite must stay untouched.
+	if len(All()) != 12 {
+		t.Fatal("All() grew beyond Table 2")
+	}
+	names := map[string]bool{}
+	for _, k := range AllExtended() {
+		if names[k.Name()] {
+			t.Fatalf("duplicate kernel %s", k.Name())
+		}
+		names[k.Name()] = true
+	}
+}
+
+func TestExtensionKernelsEmit(t *testing.T) {
+	for _, k := range Extensions() {
+		in := tinyInput(k)
+		var c trace.Counter
+		tr := trace.NewTracer(80_000, &c)
+		k.Trace(in, 0, 1, tr)
+		if c.Total == 0 || c.Mem() == 0 {
+			t.Errorf("%s emitted nothing useful: %+v", k.Name(), c)
+		}
+		if cov := tr.Coverage(); cov <= 0 || cov > 1 {
+			t.Errorf("%s coverage %v", k.Name(), cov)
+		}
+		// Validate Table-2-style metadata.
+		if err := Validate(k, TestInput(k)); err != nil {
+			t.Errorf("%s test input invalid: %v", k.Name(), err)
+		}
+		for _, p := range k.Params() {
+			for i := 1; i < 5; i++ {
+				if p.Levels[i] < p.Levels[i-1] {
+					t.Errorf("%s.%s levels not sorted", k.Name(), p.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestExtensionDeterminismAndSharding(t *testing.T) {
+	for _, k := range Extensions() {
+		in := tinyInput(k)
+		hash := func(shard, nshards int) uint64 {
+			var h uint64 = 14695981039346656037
+			tr := trace.NewTracer(30_000, trace.ConsumerFunc(func(i trace.Inst) {
+				h ^= i.Addr ^ uint64(i.PC)
+				h *= 1099511628211
+			}))
+			k.Trace(in, shard, nshards, tr)
+			return h
+		}
+		if hash(0, 1) != hash(0, 1) {
+			t.Errorf("%s not deterministic", k.Name())
+		}
+		if hash(0, 4) == hash(1, 4) {
+			t.Errorf("%s shards not disjoint", k.Name())
+		}
+	}
+}
+
+func TestNWAntiDiagonalCoverage(t *testing.T) {
+	// Every interior DP cell must be written exactly once.
+	k := NewNW()
+	n := 24
+	writes := map[uint64]int{}
+	tr := trace.NewTracer(0, trace.ConsumerFunc(func(i trace.Inst) {
+		if i.Op == trace.OpStore {
+			writes[i.Addr]++
+		}
+	}))
+	k.Trace(Input{"dim": n, "threads": 1}, 0, 1, tr)
+	if len(writes) != n*n {
+		t.Fatalf("NW wrote %d distinct cells, want %d", len(writes), n*n)
+	}
+	for addr, c := range writes {
+		if c != 1 {
+			t.Fatalf("cell %#x written %d times", addr, c)
+		}
+	}
+}
+
+func TestSpMVGatherIsIrregular(t *testing.T) {
+	// The x-gather addresses must span a wide range (power-law columns),
+	// unlike a streaming kernel.
+	k := NewSpMV()
+	in := Input{"rows": 4096, "nnz_per_row": 8, "threads": 1, "iters": 1}
+	distinct := map[uint64]struct{}{}
+	tr := trace.NewTracer(100_000, trace.ConsumerFunc(func(i trace.Inst) {
+		if i.Op == trace.OpLoad && i.Size == 8 {
+			distinct[i.Addr>>6] = struct{}{}
+		}
+	}))
+	k.Trace(in, 0, 1, tr)
+	if len(distinct) < 1000 {
+		t.Fatalf("spmv touched only %d distinct lines", len(distinct))
+	}
+}
+
+func TestExtensionPredictable(t *testing.T) {
+	// Extensions must flow through the profiler-facing interface like
+	// any Table 2 kernel (smoke via the registry contract).
+	for _, k := range Extensions() {
+		in := Scale(k, TestInput(k), 16, 1)
+		if err := Validate(k, in); err != nil {
+			t.Errorf("%s: scaled test input invalid: %v", k.Name(), err)
+		}
+	}
+}

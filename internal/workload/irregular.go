@@ -1,0 +1,336 @@
+package workload
+
+import "napel/internal/trace"
+
+// This file implements the three Rodinia kernels of Table 2 — bfs,
+// backprop and kmeans. Their defining property relative to the PolyBench
+// kernels is data-dependent, irregular memory behaviour: bfs chases
+// graph edges, kmeans gathers feature vectors and scatters cluster
+// updates. Graph topology and cluster assignment are derived from a
+// deterministic hash so traces are reproducible without storing data
+// values; the structures that must persist across the traversal (CSR
+// offsets, the visited set, the frontier) are modeled faithfully.
+
+// mix64 is a splitmix64 finalizer used to derive deterministic
+// pseudo-random structure (edge targets, degrees, assignments).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ----------------------------------------------------------------- bfs
+
+// BFS is Rodinia bfs: level-synchronous breadth-first search over a
+// synthetic graph in CSR form.
+type BFS struct{}
+
+// NewBFS returns the bfs kernel.
+func NewBFS() *BFS { return &BFS{} }
+
+// Name implements Kernel.
+func (*BFS) Name() string { return "bfs" }
+
+// Description implements Kernel.
+func (*BFS) Description() string { return "Breadth-first Search" }
+
+// Params implements Kernel (Table 2). "weights" bounds the per-node edge
+// weight range, which in the Rodinia generator also sets the expected
+// out-degree of the synthetic graph.
+func (*BFS) Params() []Param {
+	return []Param{
+		{Name: "nodes", Kind: KindSize, Levels: [5]int{400_000, 800_000, 900_000, 1_200_000, 1_400_000}, Test: 1_000_000},
+		{Name: "weights", Kind: KindOther, Levels: [5]int{1, 2, 4, 25, 49}, Test: 4},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{1, 9, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{30, 40, 65, 70, 80}, Test: 95},
+	}
+}
+
+// degree returns the synthetic out-degree of node u: uniform in
+// [1, 2·w+1] so the mean tracks the weights parameter.
+func bfsDegree(u int, w int, seed uint64) int {
+	return 1 + int(mix64(uint64(u)^seed)%uint64(2*w+1))
+}
+
+// Trace implements Kernel.
+func (*BFS) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, w, iters := in["nodes"], in["weights"], in["iters"]
+	ar := newArena()
+	// CSR arrays: offsets (u32), edge targets (u32), edge weights (u32),
+	// visited bytes, frontier queue (u32), cost (u32).
+	offBase := ar.alloc(uint64(n+1) * 4)
+	// Total edge count from the deterministic degree function.
+	const seed = 0x5eed_bf5
+	m := 0
+	offsets := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		offsets[u] = m
+		m += bfsDegree(u, w, seed)
+	}
+	offsets[n] = m
+	edgeBase := ar.alloc(uint64(m) * 4)
+	weightBase := ar.alloc(uint64(m) * 4)
+	visBase := ar.alloc(uint64(n))
+	queueBase := ar.alloc(uint64(n) * 4)
+	costBase := ar.alloc(uint64(n) * 4)
+
+	visited := make([]bool, n)
+	frontier := make([]int32, 0, 1024)
+	next := make([]int32, 0, 1024)
+
+	// Progress is tracked per owned frontier node (a BFS sweep visits
+	// nearly every reachable node once), so coverage stays accurate when
+	// the op budget cuts the trace inside a single sweep.
+	p := newProgress(t, iters*shardRows(n, shard, nshards))
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for i := range visited {
+			visited[i] = false
+		}
+		src := int(mix64(uint64(it)) % uint64(n))
+		visited[src] = true
+		frontier = append(frontier[:0], int32(src))
+		qHead := 0
+
+		for len(frontier) > 0 {
+			next = next[:0]
+			qTail := qHead + len(frontier)
+			// The traversal is maintained globally (all shards'
+			// discoveries update visited and the next frontier), but the
+			// trace covers only this shard's expansion work — the level-
+			// synchronous OpenMP partitioning of the Rodinia original.
+			for fi := 0; fi < len(frontier); fi++ {
+				u := int(frontier[fi])
+				mine := fi%nshards == shard
+				if mine {
+					if p.step() {
+						return
+					}
+					// Dequeue: load node id and its CSR offsets.
+					t.Load(0, queueBase+uint64(qHead+fi)*4, 4, rI, rAddr)
+					t.Load(1, offBase+uint64(u)*4, 4, rJ, rI)
+					t.Load(2, offBase+uint64(u+1)*4, 4, rK, rI)
+					t.Int(3, rTmp, rJ, rK)
+				}
+				start, end := offsets[u], offsets[u+1]
+				for e := start; e < end; e++ {
+					v := int(mix64(uint64(e)^seed) % uint64(n))
+					already := visited[v]
+					if mine {
+						t.Load(4, edgeBase+uint64(e)*4, 4, rPtr, rJ)
+						t.Load(5, weightBase+uint64(e)*4, 4, rVal, rJ)
+						t.Load(6, visBase+uint64(v), 1, rTmp, rPtr)
+						t.Branch(7, already, rTmp)
+						if !already {
+							t.Store(8, visBase+uint64(v), 1, rTmp)
+							t.Load(9, costBase+uint64(u)*4, 4, rF0, rI)
+							t.Int(10, rF0, rF0, rVal)
+							t.Store(11, costBase+uint64(v)*4, 4, rF0)
+							t.Store(12, queueBase+uint64(qTail+len(next))*4, 4, rPtr)
+						}
+						t.Int(13, rJ, rJ, rJ)
+						t.Branch(14, e+1 < end, rJ)
+					}
+					if !already {
+						visited[v] = true
+						next = append(next, int32(v))
+					}
+				}
+			}
+			frontier, next = next, frontier
+			qHead = qTail
+		}
+	}
+}
+
+// ------------------------------------------------------------ backprop
+
+// Backprop is Rodinia backprop: one hidden-layer neural network trained
+// with back-propagation; the layer-size parameter is the input-layer
+// width.
+type Backprop struct{}
+
+// NewBackprop returns the bp kernel.
+func NewBackprop() *Backprop { return &Backprop{} }
+
+// Name implements Kernel.
+func (*Backprop) Name() string { return "bp" }
+
+// Description implements Kernel.
+func (*Backprop) Description() string { return "Back-propagation" }
+
+// Params implements Kernel (Table 2).
+func (*Backprop) Params() []Param {
+	return []Param{
+		{Name: "layer", Kind: KindSize, Levels: [5]int{800_000, 1_000_000, 2_000_000, 3_500_000, 4_000_000}, Test: 1_100_000},
+		{Name: "seed", Kind: KindOther, Levels: [5]int{2, 4, 5, 10, 12}, Test: 5},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{1, 3, 9, 16, 25}, Test: 9},
+	}
+}
+
+// hiddenUnits is the hidden-layer width of the Rodinia network.
+const hiddenUnits = 16
+
+// Trace implements Kernel.
+func (*Backprop) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["layer"], in["iters"]
+	ar := newArena()
+	input := ar.alloc(uint64(n) * 8)
+	w1 := ar.alloc(uint64(n) * hiddenUnits * 8) // input→hidden weights
+	hidden := ar.alloc(hiddenUnits * 8)
+	w2 := ar.alloc(hiddenUnits * 8) // hidden→output weights
+	deltaH := ar.alloc(hiddenUnits * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	rows := shardRows(n, shard, nshards)
+	p := newProgress(t, iters*2*rows)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		// Forward: hidden[j] += w1[i][j]·input[i], sharded over i.
+		for i := shardLo; i < shardHi; i++ {
+			t.Load(0, input+uint64(i)*8, 8, rF3, rAddr)
+			row := w1 + uint64(i)*hiddenUnits*8
+			for j := 0; j < hiddenUnits; j++ {
+				t.Load(1, row+uint64(j)*8, 8, rF0, rAddr)
+				t.FPMul(2, rF1, rF0, rF3)
+				t.Load(3, hidden+uint64(j)*8, 8, rF2, rAddr)
+				t.FP(4, rF2, rF2, rF1)
+				t.Store(5, hidden+uint64(j)*8, 8, rF2)
+				t.Branch(6, j+1 < hiddenUnits, rJ)
+			}
+			if p.step() {
+				return
+			}
+		}
+		// Output pass + hidden deltas (small, traced once per iteration
+		// by shard 0 as in the OpenMP original's serial section).
+		if shard == 0 {
+			for j := 0; j < hiddenUnits; j++ {
+				t.Load(7, hidden+uint64(j)*8, 8, rF0, rAddr)
+				t.Load(8, w2+uint64(j)*8, 8, rF1, rAddr)
+				t.FPMul(9, rF2, rF0, rF1)
+				t.FP(10, rAcc, rAcc, rF2)
+				t.FPDiv(11, rF0, rF0, rF0) // squash derivative
+				t.Store(12, deltaH+uint64(j)*8, 8, rF0)
+			}
+		}
+		// Backward: w1[i][j] += η·deltaH[j]·input[i], sharded over i.
+		for i := shardLo; i < shardHi; i++ {
+			t.Load(13, input+uint64(i)*8, 8, rF3, rAddr)
+			row := w1 + uint64(i)*hiddenUnits*8
+			for j := 0; j < hiddenUnits; j++ {
+				t.Load(14, deltaH+uint64(j)*8, 8, rF0, rAddr)
+				t.FPMul(15, rF1, rF0, rF3)
+				t.Load(16, row+uint64(j)*8, 8, rF2, rAddr)
+				t.FP(17, rF2, rF2, rF1)
+				t.Store(18, row+uint64(j)*8, 8, rF2)
+				t.Branch(19, j+1 < hiddenUnits, rJ)
+			}
+			if p.step() {
+				return
+			}
+		}
+	}
+}
+
+// -------------------------------------------------------------- kmeans
+
+// KMeans is Rodinia kmeans: Lloyd iterations over synthetic points.
+type KMeans struct{}
+
+// NewKMeans returns the kme kernel.
+func NewKMeans() *KMeans { return &KMeans{} }
+
+// Name implements Kernel.
+func (*KMeans) Name() string { return "kme" }
+
+// Description implements Kernel.
+func (*KMeans) Description() string { return "K-Means Clustering" }
+
+// Params implements Kernel (Table 2; the threads column is printed
+// corrupted in the PDF — encoded as (1,9,16,32,64) by analogy with bfs).
+func (*KMeans) Params() []Param {
+	return []Param{
+		{Name: "points", Kind: KindSize, Levels: [5]int{100_000, 300_000, 700_000, 900_000, 1_200_000}, Test: 819_000},
+		{Name: "clusters", Kind: KindOther, Levels: [5]int{3, 5, 6, 7, 8}, Test: 5},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{1, 9, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{10, 20, 30, 40, 50}, Test: 30},
+	}
+}
+
+// kmeansFeatures is the per-point feature dimensionality, matching the
+// 34-feature kdd_cup data of the Rodinia original (rounded to a line
+// multiple).
+const kmeansFeatures = 32
+
+// Trace implements Kernel.
+func (*KMeans) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, k, iters := in["points"], in["clusters"], in["iters"]
+	ar := newArena()
+	pts := ar.alloc(uint64(n) * kmeansFeatures * 8)
+	centroids := ar.alloc(uint64(k) * kmeansFeatures * 8)
+	membership := ar.alloc(uint64(n) * 4)
+	newCent := ar.alloc(uint64(k) * kmeansFeatures * 8)
+	counts := ar.alloc(uint64(k) * 4)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	rows := shardRows(n, shard, nshards)
+	p := newProgress(t, iters*rows)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for i := shardLo; i < shardHi; i++ {
+			ptBase := pts + uint64(i)*kmeansFeatures*8
+			// Distance to every centroid.
+			for c := 0; c < k; c++ {
+				t.Move(0, rAcc, rF3)
+				cBase := centroids + uint64(c)*kmeansFeatures*8
+				for f := 0; f < kmeansFeatures; f++ {
+					t.Load(1, ptBase+uint64(f)*8, 8, rF0, rAddr)
+					t.Load(2, cBase+uint64(f)*8, 8, rF1, rAddr)
+					t.FP(3, rF2, rF0, rF1)    // diff
+					t.FPMul(4, rF2, rF2, rF2) // square
+					t.FP(5, rAcc, rAcc, rF2)  // accumulate
+					t.Branch(6, f+1 < kmeansFeatures, rK)
+				}
+				t.FP(7, rVal, rAcc, rVal) // compare with best
+				t.Branch(8, c&1 == 0, rVal)
+			}
+			// Deterministic surrogate assignment (values are synthetic;
+			// the trace shape does not depend on which cluster wins).
+			best := int(mix64(uint64(i)*31+uint64(it)) % uint64(k))
+			t.Store(9, membership+uint64(i)*4, 4, rVal)
+			// Scatter into the winning cluster's accumulators.
+			ncBase := newCent + uint64(best)*kmeansFeatures*8
+			for f := 0; f < kmeansFeatures; f++ {
+				t.Load(10, ptBase+uint64(f)*8, 8, rF0, rAddr)
+				t.Load(11, ncBase+uint64(f)*8, 8, rF1, rAddr)
+				t.FP(12, rF1, rF1, rF0)
+				t.Store(13, ncBase+uint64(f)*8, 8, rF1)
+				t.Branch(14, f+1 < kmeansFeatures, rK)
+			}
+			t.Load(15, counts+uint64(best)*4, 4, rTmp, rAddr)
+			t.Int(16, rTmp, rTmp, rTmp)
+			t.Store(17, counts+uint64(best)*4, 4, rTmp)
+			if p.step() {
+				return
+			}
+		}
+		// Centroid recomputation (small; shard 0 traces it, as in the
+		// serial reduction of the Rodinia original).
+		if shard == 0 {
+			for c := 0; c < k; c++ {
+				t.Load(18, counts+uint64(c)*4, 4, rTmp, rAddr)
+				for f := 0; f < kmeansFeatures; f++ {
+					t.Load(19, newCent+(uint64(c)*kmeansFeatures+uint64(f))*8, 8, rF0, rAddr)
+					t.FPDiv(20, rF0, rF0, rF1)
+					t.Store(21, centroids+(uint64(c)*kmeansFeatures+uint64(f))*8, 8, rF0)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package workload
+
+import (
+	"testing"
+
+	"napel/internal/trace"
+)
+
+// traceStats summarizes a kernel run for structural assertions.
+type traceStats struct {
+	counter trace.Counter
+	lines   map[uint64]struct{}
+	minAddr uint64
+	maxAddr uint64
+}
+
+func collectStats(k Kernel, in Input, budget uint64) *traceStats {
+	s := &traceStats{lines: map[uint64]struct{}{}, minAddr: ^uint64(0)}
+	tr := trace.NewTracer(budget, trace.ConsumerFunc(func(i trace.Inst) {
+		s.counter.OnInst(i)
+		if i.Op.IsMem() {
+			s.lines[i.Addr>>6] = struct{}{}
+			if i.Addr < s.minAddr {
+				s.minAddr = i.Addr
+			}
+			if i.Addr > s.maxAddr {
+				s.maxAddr = i.Addr
+			}
+		}
+	}))
+	k.Trace(in, 0, 1, tr)
+	return s
+}
+
+// TestKernelInstructionMixes checks each kernel's structural signature:
+// the numeric kernels are FP-heavy, the graph kernel is not.
+func TestKernelInstructionMixes(t *testing.T) {
+	fpKernels := []string{"atax", "gemv", "gesu", "mvt", "syrk", "trmm", "lu", "chol", "gram", "bp", "kme"}
+	for _, name := range fpKernels {
+		k, _ := ByName(name)
+		s := collectStats(k, tinyInput(k), 50000)
+		fp := s.counter.ByOp[trace.OpFPALU] + s.counter.ByOp[trace.OpFPMul] + s.counter.ByOp[trace.OpFPDiv]
+		if fp == 0 {
+			t.Errorf("%s emitted no floating-point work", name)
+		}
+	}
+	bfs, _ := ByName("bfs")
+	s := collectStats(bfs, tinyInput(bfs), 50000)
+	fp := s.counter.ByOp[trace.OpFPALU] + s.counter.ByOp[trace.OpFPMul] + s.counter.ByOp[trace.OpFPDiv]
+	if fp != 0 {
+		t.Errorf("bfs emitted %d floating-point ops; graph traversal should be integer-only", fp)
+	}
+	if s.counter.ByOp[trace.OpBranch] == 0 {
+		t.Error("bfs emitted no branches")
+	}
+}
+
+// TestFootprintGrowsWithInput verifies the defining property behind the
+// DoE: bigger inputs touch more memory.
+func TestFootprintGrowsWithInput(t *testing.T) {
+	for _, k := range All() {
+		small := tinyInput(k)
+		big := small.Clone()
+		for _, p := range k.Params() {
+			if p.Kind == KindDim || p.Kind == KindSize {
+				big[p.Name] *= 2
+			}
+		}
+		fpSmall := len(collectStats(k, small, 400_000).lines)
+		fpBig := len(collectStats(k, big, 400_000).lines)
+		if fpBig <= fpSmall {
+			t.Errorf("%s: footprint did not grow with input (%d -> %d lines)", k.Name(), fpSmall, fpBig)
+		}
+	}
+}
+
+// TestMemFractionRanges sanity-checks each kernel's memory intensity:
+// every kernel sits between pure-compute and pure-memory extremes.
+func TestMemFractionRanges(t *testing.T) {
+	for _, k := range All() {
+		s := collectStats(k, tinyInput(k), 100_000)
+		frac := float64(s.counter.Mem()) / float64(s.counter.Total)
+		if frac < 0.15 || frac > 0.85 {
+			t.Errorf("%s: memory fraction %.2f outside plausible [0.15, 0.85]", k.Name(), frac)
+		}
+	}
+}
+
+// TestThreadsParameterDoesNotChangeSequentialTrace checks that the
+// thread-count DoE parameter only matters for sharded execution: the
+// sequential (1-of-1) trace is identical across thread settings, which
+// is what lets one profile serve all thread counts.
+func TestThreadsParameterDoesNotChangeSequentialTrace(t *testing.T) {
+	for _, k := range All() {
+		a := tinyInput(k)
+		b := a.Clone()
+		b["threads"] = a["threads"] * 2
+		ca := collectStats(k, a, 20000)
+		cb := collectStats(k, b, 20000)
+		if ca.counter.Total != cb.counter.Total {
+			t.Errorf("%s: sequential trace depends on the threads parameter (%d vs %d ops)",
+				k.Name(), ca.counter.Total, cb.counter.Total)
+		}
+	}
+}
+
+// TestShardTracesAreDisjointWork verifies sharding actually partitions
+// the bulk work: two different shards must not emit identical traces (on
+// kernels with more work than serial sections).
+func TestShardTracesAreDisjointWork(t *testing.T) {
+	for _, k := range All() {
+		in := tinyInput(k)
+		hash := func(shard int) uint64 {
+			var h uint64 = 14695981039346656037
+			tr := trace.NewTracer(20000, trace.ConsumerFunc(func(i trace.Inst) {
+				h ^= i.Addr
+				h *= 1099511628211
+			}))
+			k.Trace(in, shard, 4, tr)
+			return h
+		}
+		if hash(0) == hash(1) {
+			t.Errorf("%s: shards 0 and 1 of 4 emitted identical address streams", k.Name())
+		}
+	}
+}
+
+// TestBFSVisitsMostNodes checks the synthetic graph is connected enough
+// for a BFS sweep to be a meaningful workload.
+func TestBFSVisitsMostNodes(t *testing.T) {
+	k, _ := ByName("bfs")
+	in := Input{"nodes": 2000, "weights": 4, "threads": 1, "iters": 1}
+	visited := map[uint64]struct{}{}
+	visBase := uint64(0)
+	tr := trace.NewTracer(0, trace.ConsumerFunc(func(i trace.Inst) {
+		if i.Op == trace.OpStore && i.Size == 1 {
+			if visBase == 0 || i.Addr < visBase {
+				visBase = i.Addr
+			}
+			visited[i.Addr] = struct{}{}
+		}
+	}))
+	k.Trace(in, 0, 1, tr)
+	// Mean degree 2*4+1... expected giant component covers most nodes.
+	if len(visited) < 1000 {
+		t.Fatalf("BFS discovered only %d of 2000 nodes", len(visited))
+	}
+}
+
+// TestHostAccessSignatures pins each kernel's qualitative memory
+// signature as the host model sees it: the streaming PolyBench kernels
+// must be dominated by prefetchable misses, while the irregular Rodinia
+// kernels (and spmv) must show a large irregular share — the distinction
+// that drives the Figure 7 suitability split.
+func TestHostAccessSignatures(t *testing.T) {
+	classify := func(k Kernel, in Input) (stream, irreg int) {
+		siteLast := map[uint32]uint64{}
+		tr := trace.NewTracer(60_000, trace.ConsumerFunc(func(i trace.Inst) {
+			if !i.Op.IsMem() {
+				return
+			}
+			if last, ok := siteLast[i.PC]; ok {
+				delta := i.Addr - last
+				if last > i.Addr {
+					delta = last - i.Addr
+				}
+				if delta <= 256 {
+					stream++
+				} else {
+					irreg++
+				}
+			}
+			siteLast[i.PC] = i.Addr
+		}))
+		k.Trace(in, 0, 1, tr)
+		return stream, irreg
+	}
+	streaming := []string{"gesu", "mvt", "gemv", "syrk", "trmm"}
+	for _, name := range streaming {
+		k, _ := ByName(name)
+		s, i := classify(k, tinyInput(k))
+		if s <= 3*i {
+			t.Errorf("%s: expected streaming signature, got %d stream / %d irregular", name, s, i)
+		}
+	}
+	// Irregular kernels need footprints large enough that their gathers
+	// actually spread (tiny proxies collapse into a few lines).
+	irregular := map[string]Input{
+		"bfs":  {"nodes": 20000, "weights": 4, "threads": 1, "iters": 1},
+		"spmv": {"rows": 20000, "nnz_per_row": 8, "threads": 1, "iters": 1},
+	}
+	for name, in := range irregular {
+		k, _ := ByName(name)
+		s, i := classify(k, in)
+		if i <= s/3 {
+			t.Errorf("%s: expected irregular signature, got %d stream / %d irregular", name, s, i)
+		}
+	}
+}

@@ -1,0 +1,733 @@
+package workload
+
+import "napel/internal/trace"
+
+// This file implements the nine PolyBench kernels of Table 2. Each
+// kernel executes the original loop nest while emitting its dynamic
+// instruction trace; matrices are row-major arrays of float64 laid out in
+// a deterministic arena. Work is sharded across hardware threads by
+// cyclic distribution of the outermost parallel loop, matching how the
+// OpenMP versions of these kernels partition rows.
+//
+// Two Table 2 columns (chol and gram dimension levels) are printed out of
+// order in the paper PDF; they are encoded here sorted ascending, which
+// is the only ordering consistent with CCD level semantics
+// (min<low<central<high<max).
+
+// progress tracks loop completion so a budget-cut trace records the
+// fraction of work it covered. Units may carry weights so that
+// triangular loop nests (whose iterations grow with the index) still
+// extrapolate correctly.
+type progress struct {
+	t           *trace.Tracer
+	done, total int
+}
+
+func newProgress(t *trace.Tracer, total int) *progress {
+	return &progress{t: t, total: total}
+}
+
+// step records one completed unit of weight 1 and reports whether the
+// kernel should stop early.
+func (p *progress) step() bool { return p.stepN(1) }
+
+// stepN records a completed unit of weight w.
+func (p *progress) stepN(w int) bool {
+	p.done += w
+	return p.t.Stop()
+}
+
+// finish records the final coverage.
+func (p *progress) finish() { p.t.SetCoverage(p.done, p.total) }
+
+// shardRows counts the rows in [0, n) assigned to shard under the
+// blocked distribution of shardRange.
+func shardRows(n, shard, nshards int) int {
+	lo, hi := shardRange(n, shard, nshards)
+	return hi - lo
+}
+
+// shardRange returns the contiguous index range [lo, hi) that shard owns
+// under OpenMP-style static scheduling. Blocked (rather than cyclic)
+// distribution matters for fidelity: it avoids false sharing of output
+// vectors between adjacent threads, exactly as the parallelized
+// originals do.
+func shardRange(n, shard, nshards int) (lo, hi int) {
+	lo = shard * n / nshards
+	hi = (shard + 1) * n / nshards
+	return lo, hi
+}
+
+// dotRowLoop emits acc += M[row][j] * v[j] for j in [0, n): the
+// fundamental matrix-vector inner loop. site uses 6 consecutive ids.
+func dotRowLoop(t *trace.Tracer, site int, rowBase, vBase uint64, n int) {
+	for j := 0; j < n; j++ {
+		t.Load(site+0, rowBase+uint64(j)*8, 8, rF0, rAddr)
+		t.Load(site+1, vBase+uint64(j)*8, 8, rF1, rAddr)
+		t.FPMul(site+2, rF2, rF0, rF1)
+		t.FP(site+3, rAcc, rAcc, rF2)
+		t.Int(site+4, rJ, rJ, rJ)
+		t.Branch(site+5, j+1 < n, rJ)
+	}
+}
+
+// axpyRowLoop emits y[j] += M[row][j] * s for j in [0, n): the rank-1
+// update inner loop. site uses 7 consecutive ids.
+func axpyRowLoop(t *trace.Tracer, site int, rowBase, yBase uint64, n int) {
+	for j := 0; j < n; j++ {
+		t.Load(site+0, rowBase+uint64(j)*8, 8, rF0, rAddr)
+		t.Load(site+1, yBase+uint64(j)*8, 8, rF1, rAddr)
+		t.FPMul(site+2, rF2, rF0, rF3)
+		t.FP(site+3, rF1, rF1, rF2)
+		t.Store(site+4, yBase+uint64(j)*8, 8, rF1)
+		t.Int(site+5, rJ, rJ, rJ)
+		t.Branch(site+6, j+1 < n, rJ)
+	}
+}
+
+// ---------------------------------------------------------------- atax
+
+// Atax is PolyBench atax: y = Aᵀ·(A·x) — matrix transpose and vector
+// multiplication.
+type Atax struct{}
+
+// NewAtax returns the atax kernel.
+func NewAtax() *Atax { return &Atax{} }
+
+// Name implements Kernel.
+func (*Atax) Name() string { return "atax" }
+
+// Description implements Kernel.
+func (*Atax) Description() string { return "Matrix Transpose and Vector Mult." }
+
+// Params implements Kernel (Table 2).
+func (*Atax) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{500, 1250, 1500, 2000, 2300}, Test: 8000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+	}
+}
+
+// Trace implements Kernel.
+func (*Atax) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n := in["dim"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+	x := ar.alloc(uint64(n) * 8)
+	tmp := ar.alloc(uint64(n) * 8)
+	y := ar.alloc(uint64(n) * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	p := newProgress(t, 2*shardRows(n, shard, nshards))
+	defer p.finish()
+
+	// tmp[i] = Σ_j A[i][j]·x[j]
+	for i := shardLo; i < shardHi; i++ {
+		t.Move(0, rAcc, rF3) // tmp = 0
+		dotRowLoop(t, 1, a+uint64(i)*uint64(n)*8, x, n)
+		t.Store(7, tmp+uint64(i)*8, 8, rAcc)
+		if p.step() {
+			return
+		}
+	}
+	// y[j] += A[i][j]·tmp[i]  (the Aᵀ pass: rows of A update all of y)
+	for i := shardLo; i < shardHi; i++ {
+		t.Load(8, tmp+uint64(i)*8, 8, rF3, rAddr)
+		axpyRowLoop(t, 9, a+uint64(i)*uint64(n)*8, y, n)
+		if p.step() {
+			return
+		}
+	}
+}
+
+// -------------------------------------------------------------- gemver
+
+// Gemver is PolyBench gemver: vector multiplication and matrix addition
+// (A += u1·v1ᵀ + u2·v2ᵀ; x = βAᵀy + z; w = αAx).
+type Gemver struct{}
+
+// NewGemver returns the gemver kernel (short name "gemv" in Table 2).
+func NewGemver() *Gemver { return &Gemver{} }
+
+// Name implements Kernel.
+func (*Gemver) Name() string { return "gemv" }
+
+// Description implements Kernel.
+func (*Gemver) Description() string { return "Vector Multiply and Matrix Addition" }
+
+// Params implements Kernel (Table 2).
+func (*Gemver) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{500, 750, 1250, 2000, 2250}, Test: 8000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{50, 60, 80, 100, 150}, Test: 60},
+	}
+}
+
+// Trace implements Kernel.
+func (*Gemver) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+	u1 := ar.alloc(uint64(n) * 8)
+	v1 := ar.alloc(uint64(n) * 8)
+	u2 := ar.alloc(uint64(n) * 8)
+	v2 := ar.alloc(uint64(n) * 8)
+	xv := ar.alloc(uint64(n) * 8)
+	yv := ar.alloc(uint64(n) * 8)
+	zv := ar.alloc(uint64(n) * 8)
+	wv := ar.alloc(uint64(n) * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	rows := shardRows(n, shard, nshards)
+	p := newProgress(t, iters*3*rows)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		// A[i][j] += u1[i]·v1[j] + u2[i]·v2[j]
+		for i := shardLo; i < shardHi; i++ {
+			t.Load(0, u1+uint64(i)*8, 8, rF0, rAddr)
+			t.Load(1, u2+uint64(i)*8, 8, rF1, rAddr)
+			row := a + uint64(i)*uint64(n)*8
+			for j := 0; j < n; j++ {
+				t.Load(2, row+uint64(j)*8, 8, rF2, rAddr)
+				t.Load(3, v1+uint64(j)*8, 8, rF3, rAddr)
+				t.FPMul(4, rVal, rF0, rF3)
+				t.FP(5, rF2, rF2, rVal)
+				t.Load(6, v2+uint64(j)*8, 8, rF3, rAddr)
+				t.FPMul(7, rVal, rF1, rF3)
+				t.FP(8, rF2, rF2, rVal)
+				t.Store(9, row+uint64(j)*8, 8, rF2)
+				t.Branch(10, j+1 < n, rJ)
+			}
+			if p.step() {
+				return
+			}
+		}
+		// x += β·Aᵀ·y + z, in the j-outer row-streaming form the
+		// optimizing compiler produces for the transpose product: each
+		// thread accumulates x over its block of rows of A.
+		for j := shardLo; j < shardHi; j++ {
+			t.Load(11, yv+uint64(j)*8, 8, rF3, rAddr)
+			t.FPMul(12, rF3, rF3, rF3) // β·y[j]
+			row := a + uint64(j)*uint64(n)*8
+			for i := 0; i < n; i++ {
+				t.Load(13, row+uint64(i)*8, 8, rF0, rAddr)
+				t.FPMul(14, rF1, rF0, rF3)
+				t.Load(15, xv+uint64(i)*8, 8, rF2, rAddr)
+				t.FP(16, rF2, rF2, rF1)
+				t.Store(17, xv+uint64(i)*8, 8, rF2)
+				t.Branch(18, i+1 < n, rI)
+			}
+			t.Load(19, zv+uint64(j)*8, 8, rF1, rAddr)
+			if p.step() {
+				return
+			}
+		}
+		// w = α·A·x
+		for i := shardLo; i < shardHi; i++ {
+			t.Move(20, rAcc, rF3)
+			dotRowLoop(t, 21, a+uint64(i)*uint64(n)*8, xv, n)
+			t.FPMul(27, rAcc, rAcc, rF3)
+			t.Store(28, wv+uint64(i)*8, 8, rAcc)
+			if p.step() {
+				return
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------- gesummv
+
+// Gesummv is PolyBench gesummv: y = α·A·x + β·B·x — scalar, vector and
+// matrix multiplication.
+type Gesummv struct{}
+
+// NewGesummv returns the gesummv kernel (short name "gesu" in Table 2).
+func NewGesummv() *Gesummv { return &Gesummv{} }
+
+// Name implements Kernel.
+func (*Gesummv) Name() string { return "gesu" }
+
+// Description implements Kernel.
+func (*Gesummv) Description() string { return "Scalar, Vector, and Matrix Mult." }
+
+// Params implements Kernel (Table 2).
+func (*Gesummv) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{500, 750, 1250, 2000, 2250}, Test: 8000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{10, 20, 40, 50, 60}, Test: 50},
+	}
+}
+
+// Trace implements Kernel.
+func (*Gesummv) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+	b := ar.alloc(uint64(n) * uint64(n) * 8)
+	x := ar.alloc(uint64(n) * 8)
+	y := ar.alloc(uint64(n) * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	rows := shardRows(n, shard, nshards)
+	p := newProgress(t, iters*rows)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for i := shardLo; i < shardHi; i++ {
+			t.Move(0, rAcc, rF3) // tmp = 0 (A part)
+			dotRowLoop(t, 1, a+uint64(i)*uint64(n)*8, x, n)
+			t.Move(7, rVal, rAcc)
+			t.Move(8, rAcc, rF3) // y part (B)
+			dotRowLoop(t, 9, b+uint64(i)*uint64(n)*8, x, n)
+			t.FPMul(15, rVal, rVal, rF3) // α·tmp
+			t.FPMul(16, rAcc, rAcc, rF3) // β·y
+			t.FP(17, rAcc, rAcc, rVal)
+			t.Store(18, y+uint64(i)*8, 8, rAcc)
+			if p.step() {
+				return
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------- mvt
+
+// MVT is PolyBench mvt: x1 += A·y1; x2 += Aᵀ·y2 — matrix-vector product
+// and transpose.
+type MVT struct{}
+
+// NewMVT returns the mvt kernel.
+func NewMVT() *MVT { return &MVT{} }
+
+// Name implements Kernel.
+func (*MVT) Name() string { return "mvt" }
+
+// Description implements Kernel.
+func (*MVT) Description() string { return "Matrix Vector Product" }
+
+// Params implements Kernel (Table 2).
+func (*MVT) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{500, 750, 1250, 2000, 2250}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{10, 20, 30, 50, 60}, Test: 40},
+	}
+}
+
+// Trace implements Kernel.
+func (*MVT) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+	x1 := ar.alloc(uint64(n) * 8)
+	y1 := ar.alloc(uint64(n) * 8)
+	x2 := ar.alloc(uint64(n) * 8)
+	y2 := ar.alloc(uint64(n) * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	rows := shardRows(n, shard, nshards)
+	p := newProgress(t, iters*2*rows)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for i := shardLo; i < shardHi; i++ {
+			t.Load(0, x1+uint64(i)*8, 8, rAcc, rAddr)
+			dotRowLoop(t, 1, a+uint64(i)*uint64(n)*8, y1, n)
+			t.Store(7, x1+uint64(i)*8, 8, rAcc)
+			if p.step() {
+				return
+			}
+		}
+		// x2 += Aᵀ·y2 in the j-outer row-streaming form (each thread
+		// owns a block of rows of A and accumulates into all of x2 —
+		// the compiler-optimized layout of the transpose product).
+		for j := shardLo; j < shardHi; j++ {
+			t.Load(8, y2+uint64(j)*8, 8, rF3, rAddr)
+			row := a + uint64(j)*uint64(n)*8
+			for i := 0; i < n; i++ {
+				t.Load(9, row+uint64(i)*8, 8, rF0, rAddr)
+				t.FPMul(10, rF1, rF0, rF3)
+				t.Load(11, x2+uint64(i)*8, 8, rF2, rAddr)
+				t.FP(12, rF2, rF2, rF1)
+				t.Store(13, x2+uint64(i)*8, 8, rF2)
+				t.Branch(14, i+1 < n, rI)
+			}
+			if p.step() {
+				return
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- syrk
+
+// Syrk is PolyBench syrk: C = α·A·Aᵀ + β·C — symmetric rank-k update.
+type Syrk struct{}
+
+// NewSyrk returns the syrk kernel.
+func NewSyrk() *Syrk { return &Syrk{} }
+
+// Name implements Kernel.
+func (*Syrk) Name() string { return "syrk" }
+
+// Description implements Kernel.
+func (*Syrk) Description() string { return "Symmetric Rank-k Operations" }
+
+// Params implements Kernel (Table 2).
+func (*Syrk) Params() []Param {
+	return []Param{
+		{Name: "dim_i", Kind: KindDim, Levels: [5]int{64, 128, 320, 512, 640}, Test: 2000},
+		{Name: "dim_j", Kind: KindDim, Levels: [5]int{64, 128, 320, 512, 640}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+	}
+}
+
+// Trace implements Kernel.
+func (*Syrk) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, m := in["dim_i"], in["dim_j"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(m) * 8)
+	c := ar.alloc(uint64(n) * uint64(n) * 8)
+
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	// Progress counts (i, j) pairs so the budget check runs inside the
+	// triangular loop, not once per multi-million-op row.
+	total := 0
+	for i := shardLo; i < shardHi; i++ {
+		total += i + 1
+	}
+	p := newProgress(t, total)
+	defer p.finish()
+
+	for i := shardLo; i < shardHi; i++ {
+		for j := 0; j <= i; j++ {
+			if p.step() {
+				return
+			}
+			cAddr := c + (uint64(i)*uint64(n)+uint64(j))*8
+			t.Load(0, cAddr, 8, rAcc, rAddr)
+			t.FPMul(1, rAcc, rAcc, rF3) // β·C[i][j]
+			for k := 0; k < m; k++ {
+				t.Load(2, a+(uint64(i)*uint64(m)+uint64(k))*8, 8, rF0, rAddr)
+				t.Load(3, a+(uint64(j)*uint64(m)+uint64(k))*8, 8, rF1, rAddr)
+				t.FPMul(4, rF2, rF0, rF1)
+				t.FP(5, rAcc, rAcc, rF2)
+				t.Branch(6, k+1 < m, rK)
+			}
+			t.Store(7, cAddr, 8, rAcc)
+		}
+	}
+}
+
+// ---------------------------------------------------------------- trmm
+
+// Trmm is PolyBench trmm: B = α·A·B with lower-triangular A.
+type Trmm struct{}
+
+// NewTrmm returns the trmm kernel.
+func NewTrmm() *Trmm { return &Trmm{} }
+
+// Name implements Kernel.
+func (*Trmm) Name() string { return "trmm" }
+
+// Description implements Kernel.
+func (*Trmm) Description() string { return "Triangular Matrix Multiply" }
+
+// Params implements Kernel (Table 2).
+func (*Trmm) Params() []Param {
+	return []Param{
+		{Name: "dim_i", Kind: KindDim, Levels: [5]int{196, 256, 320, 420, 512}, Test: 2000},
+		{Name: "dim_j", Kind: KindDim, Levels: [5]int{196, 256, 320, 420, 512}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+	}
+}
+
+// Trace implements Kernel.
+func (*Trmm) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, m := in["dim_i"], in["dim_j"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+	b := ar.alloc(uint64(n) * uint64(m) * 8)
+
+	// Rows of the output are independent; shard over rows of B. The
+	// (i, k, j) loop order streams both B[k][*] and B[i][*] row-wise —
+	// the layout an optimizing compiler produces for this kernel — and
+	// progress counts (i, k) pairs so the budget check runs inside the
+	// triangular loop.
+	shardLo, shardHi := shardRange(n, shard, nshards)
+	total := 0
+	for i := shardLo; i < shardHi; i++ {
+		total += n - i // (n-i-1) updates plus the α-scale step
+	}
+	p := newProgress(t, total)
+	defer p.finish()
+
+	for i := shardLo; i < shardHi; i++ {
+		rowI := b + uint64(i)*uint64(m)*8
+		for k := i + 1; k < n; k++ {
+			if p.step() {
+				return
+			}
+			// Scalar A[k][i] multiplies row k of B into row i of B.
+			t.Load(0, a+(uint64(k)*uint64(n)+uint64(i))*8, 8, rF3, rAddr)
+			rowK := b + uint64(k)*uint64(m)*8
+			for j := 0; j < m; j++ {
+				t.Load(1, rowK+uint64(j)*8, 8, rF0, rAddr)
+				t.FPMul(2, rF1, rF0, rF3)
+				t.Load(3, rowI+uint64(j)*8, 8, rF2, rAddr)
+				t.FP(4, rF2, rF2, rF1)
+				t.Store(5, rowI+uint64(j)*8, 8, rF2)
+				t.Branch(6, j+1 < m, rJ)
+			}
+		}
+		// α scale of the finished row.
+		if p.step() {
+			return
+		}
+		for j := 0; j < m; j++ {
+			t.Load(7, rowI+uint64(j)*8, 8, rF0, rAddr)
+			t.FPMul(8, rF0, rF0, rF3)
+			t.Store(9, rowI+uint64(j)*8, 8, rF0)
+			t.Branch(10, j+1 < m, rJ)
+		}
+	}
+}
+
+// ------------------------------------------------------------------ lu
+
+// LU is PolyBench lu: in-place LU decomposition.
+type LU struct{}
+
+// NewLU returns the lu kernel.
+func NewLU() *LU { return &LU{} }
+
+// Name implements Kernel.
+func (*LU) Name() string { return "lu" }
+
+// Description implements Kernel.
+func (*LU) Description() string { return "LU Decomposition" }
+
+// Params implements Kernel (Table 2).
+func (*LU) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{196, 256, 320, 420, 512}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{98, 128, 256, 420, 512}, Test: 2000},
+	}
+}
+
+// Trace implements Kernel.
+func (*LU) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+
+	// Progress counts (k, i) row updates so the budget check runs inside
+	// the elimination loop.
+	// Progress weights each row update by its length (n-k) so the
+	// coverage extrapolation stays unbiased over the elimination nest.
+	total := 0
+	for k := 0; k < n-1; k++ {
+		total += shardRows(n-k-1, shard, nshards) * (n - k)
+	}
+	p := newProgress(t, iters*total)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for k := 0; k < n-1; k++ {
+			t.Load(0, a+(uint64(k)*uint64(n)+uint64(k))*8, 8, rF3, rAddr) // pivot
+			// Rows below the pivot are sharded across threads (blocked).
+			lo, hi := shardRange(n-k-1, shard, nshards)
+			for i := k + 1 + lo; i < k+1+hi; i++ {
+				if p.stepN(n - k) {
+					return
+				}
+				lAddr := a + (uint64(i)*uint64(n)+uint64(k))*8
+				t.Load(1, lAddr, 8, rF0, rAddr)
+				t.FPDiv(2, rF0, rF0, rF3)
+				t.Store(3, lAddr, 8, rF0)
+				for j := k + 1; j < n; j++ {
+					t.Load(4, a+(uint64(k)*uint64(n)+uint64(j))*8, 8, rF1, rAddr)
+					t.Load(5, a+(uint64(i)*uint64(n)+uint64(j))*8, 8, rF2, rAddr)
+					t.FPMul(6, rVal, rF0, rF1)
+					t.FP(7, rF2, rF2, rVal)
+					t.Store(8, a+(uint64(i)*uint64(n)+uint64(j))*8, 8, rF2)
+					t.Branch(9, j+1 < n, rJ)
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- chol
+
+// Cholesky is PolyBench cholesky: A = L·Lᵀ in place.
+type Cholesky struct{}
+
+// NewCholesky returns the cholesky kernel.
+func NewCholesky() *Cholesky { return &Cholesky{} }
+
+// Name implements Kernel.
+func (*Cholesky) Name() string { return "chol" }
+
+// Description implements Kernel.
+func (*Cholesky) Description() string { return "Cholesky Decomposition" }
+
+// Params implements Kernel (Table 2; dimension levels sorted — see file
+// comment).
+func (*Cholesky) Params() []Param {
+	return []Param{
+		{Name: "dim", Kind: KindDim, Levels: [5]int{64, 128, 320, 384, 512}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+		{Name: "iters", Kind: KindIters, Levels: [5]int{10, 20, 30, 50, 80}, Test: 60},
+	}
+}
+
+// Trace implements Kernel.
+func (*Cholesky) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	n, iters := in["dim"], in["iters"]
+	ar := newArena()
+	a := ar.alloc(uint64(n) * uint64(n) * 8)
+
+	// Progress weights each unit by its inner-loop length (j) so the
+	// coverage extrapolation stays unbiased over the triangular nest.
+	total := 0
+	for j := 0; j < n; j++ {
+		total += (1 + shardRows(n-j-1, shard, nshards)) * (j + 1)
+	}
+	p := newProgress(t, iters*total)
+	defer p.finish()
+
+	for it := 0; it < iters; it++ {
+		for j := 0; j < n; j++ {
+			if p.stepN(j + 1) {
+				return
+			}
+			// Diagonal: A[j][j] = sqrt(A[j][j] − Σ_k A[j][k]²)
+			dAddr := a + (uint64(j)*uint64(n)+uint64(j))*8
+			t.Load(0, dAddr, 8, rAcc, rAddr)
+			for k := 0; k < j; k++ {
+				t.Load(1, a+(uint64(j)*uint64(n)+uint64(k))*8, 8, rF0, rAddr)
+				t.FPMul(2, rF1, rF0, rF0)
+				t.FP(3, rAcc, rAcc, rF1)
+				t.Branch(4, k+1 < j, rK)
+			}
+			t.FPDiv(5, rAcc, rAcc, rAcc) // sqrt
+			t.Store(6, dAddr, 8, rAcc)
+			// Column below the diagonal, sharded across threads (blocked).
+			lo, hi := shardRange(n-j-1, shard, nshards)
+			for i := j + 1 + lo; i < j+1+hi; i++ {
+				if p.stepN(j + 1) {
+					return
+				}
+				t.Move(7, rVal, rF3)
+				for k := 0; k < j; k++ {
+					t.Load(8, a+(uint64(i)*uint64(n)+uint64(k))*8, 8, rF0, rAddr)
+					t.Load(9, a+(uint64(j)*uint64(n)+uint64(k))*8, 8, rF1, rAddr)
+					t.FPMul(10, rF2, rF0, rF1)
+					t.FP(11, rVal, rVal, rF2)
+					t.Branch(12, k+1 < j, rK)
+				}
+				eAddr := a + (uint64(i)*uint64(n)+uint64(j))*8
+				t.Load(13, eAddr, 8, rF0, rAddr)
+				t.FP(14, rF0, rF0, rVal)
+				t.FPDiv(15, rF0, rF0, rAcc)
+				t.Store(16, eAddr, 8, rF0)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------- gram
+
+// GramSchmidt is PolyBench gramschmidt: QR decomposition by the modified
+// Gram-Schmidt process.
+type GramSchmidt struct{}
+
+// NewGramSchmidt returns the gramschmidt kernel.
+func NewGramSchmidt() *GramSchmidt { return &GramSchmidt{} }
+
+// Name implements Kernel.
+func (*GramSchmidt) Name() string { return "gram" }
+
+// Description implements Kernel.
+func (*GramSchmidt) Description() string { return "Gram-Schmidt Process" }
+
+// Params implements Kernel (Table 2; dimension levels sorted — see file
+// comment).
+func (*GramSchmidt) Params() []Param {
+	return []Param{
+		{Name: "dim_i", Kind: KindDim, Levels: [5]int{64, 128, 320, 384, 512}, Test: 2000},
+		{Name: "dim_j", Kind: KindDim, Levels: [5]int{64, 128, 320, 384, 512}, Test: 2000},
+		{Name: "threads", Kind: KindThreads, Levels: [5]int{4, 8, 16, 32, 64}, Test: 32},
+	}
+}
+
+// Trace implements Kernel.
+func (*GramSchmidt) Trace(in Input, shard, nshards int, t *trace.Tracer) {
+	ni, nj := in["dim_i"], in["dim_j"]
+	ar := newArena()
+	a := ar.alloc(uint64(ni) * uint64(nj) * 8)
+	q := ar.alloc(uint64(ni) * uint64(nj) * 8)
+	r := ar.alloc(uint64(nj) * uint64(nj) * 8)
+
+	// Progress counts normalization steps plus owned trailing columns so
+	// the budget check runs inside the update loop.
+	total := 0
+	for k := 0; k < nj; k++ {
+		total += 1 + shardRows(nj-k-1, shard, nshards)
+	}
+	p := newProgress(t, total)
+	defer p.finish()
+
+	for k := 0; k < nj; k++ {
+		if p.step() {
+			return
+		}
+		// R[k][k] = ‖A[:,k]‖ — strided column walk.
+		t.Move(0, rAcc, rF3)
+		for i := 0; i < ni; i++ {
+			t.Load(1, a+(uint64(i)*uint64(nj)+uint64(k))*8, 8, rF0, rAddr)
+			t.FPMul(2, rF1, rF0, rF0)
+			t.FP(3, rAcc, rAcc, rF1)
+			t.Branch(4, i+1 < ni, rI)
+		}
+		t.FPDiv(5, rAcc, rAcc, rAcc) // sqrt
+		t.Store(6, r+(uint64(k)*uint64(nj)+uint64(k))*8, 8, rAcc)
+		// Q[:,k] = A[:,k]/R[k][k]
+		for i := 0; i < ni; i++ {
+			t.Load(7, a+(uint64(i)*uint64(nj)+uint64(k))*8, 8, rF0, rAddr)
+			t.FPDiv(8, rF0, rF0, rAcc)
+			t.Store(9, q+(uint64(i)*uint64(nj)+uint64(k))*8, 8, rF0)
+			t.Branch(10, i+1 < ni, rI)
+		}
+		// Remaining columns, sharded across threads (blocked).
+		lo, hi := shardRange(nj-k-1, shard, nshards)
+		for j := k + 1 + lo; j < k+1+hi; j++ {
+			if p.step() {
+				return
+			}
+			t.Move(11, rVal, rF3)
+			for i := 0; i < ni; i++ {
+				t.Load(12, q+(uint64(i)*uint64(nj)+uint64(k))*8, 8, rF0, rAddr)
+				t.Load(13, a+(uint64(i)*uint64(nj)+uint64(j))*8, 8, rF1, rAddr)
+				t.FPMul(14, rF2, rF0, rF1)
+				t.FP(15, rVal, rVal, rF2)
+				t.Branch(16, i+1 < ni, rI)
+			}
+			t.Store(17, r+(uint64(k)*uint64(nj)+uint64(j))*8, 8, rVal)
+			for i := 0; i < ni; i++ {
+				aAddr := a + (uint64(i)*uint64(nj)+uint64(j))*8
+				t.Load(18, aAddr, 8, rF1, rAddr)
+				t.Load(19, q+(uint64(i)*uint64(nj)+uint64(k))*8, 8, rF0, rAddr)
+				t.FPMul(20, rF2, rF0, rVal)
+				t.FP(21, rF1, rF1, rF2)
+				t.Store(22, aAddr, 8, rF1)
+				t.Branch(23, i+1 < ni, rI)
+			}
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package workload re-implements the twelve PolyBench and Rodinia
+// kernels the paper evaluates (Table 2), each as a deterministic Go
+// program that executes the real algorithm over synthetic data while
+// streaming its dynamic instruction trace (internal/trace). This replaces
+// the paper's Pin-based trace collection: the traced loop nests, access
+// patterns and data-dependent control flow are those of the original
+// kernels, so instruction mix, reuse distances and footprints follow the
+// same parameter dependence.
+//
+// Every kernel declares its design-of-experiments parameters with the
+// five CCD levels and the held-out test input exactly as listed in
+// Table 2 of the paper.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"napel/internal/trace"
+)
+
+// ParamKind classifies how a DoE parameter shapes the execution, which
+// the pipeline uses to derive scaled-down proxy inputs (see Scale).
+type ParamKind uint8
+
+const (
+	// KindDim is a matrix/vector dimension (work grows superlinearly).
+	KindDim ParamKind = iota
+	// KindSize is a linear dataset size (nodes, points, layer units).
+	KindSize
+	// KindThreads is the hardware-thread count.
+	KindThreads
+	// KindIters is an outer repetition count.
+	KindIters
+	// KindOther is a shape parameter left untouched by scaling (seeds,
+	// cluster counts, weight ranges).
+	KindOther
+)
+
+// Param is one DoE parameter of a kernel with its five CCD levels
+// (minimum, low, central, high, maximum) and the test-input value, as in
+// Table 2.
+type Param struct {
+	Name   string
+	Kind   ParamKind
+	Levels [5]int // min, low, central, high, max
+	Test   int
+}
+
+// Level indices into Param.Levels.
+const (
+	LevelMin = iota
+	LevelLow
+	LevelCentral
+	LevelHigh
+	LevelMax
+)
+
+// Input is a concrete assignment of values to a kernel's parameters.
+type Input map[string]int
+
+// Clone returns a copy of the input.
+func (in Input) Clone() Input {
+	out := make(Input, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the input deterministically (sorted by name).
+func (in Input) String() string {
+	keys := make([]string, 0, len(in))
+	for k := range in {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, in[k])
+	}
+	return s
+}
+
+// Threads returns the thread-count parameter of the input (1 if absent).
+func (in Input) Threads() int {
+	if t, ok := in["threads"]; ok && t > 0 {
+		return t
+	}
+	return 1
+}
+
+// Kernel is one benchmark kernel: its Table 2 metadata plus a trace
+// generator. Trace must emit the dynamic instruction stream of hardware
+// thread shard out of nshards (work split as in the parallelized
+// original), honor t.Stop() in outer loops and record coverage via
+// t.SetCoverage when cut short.
+type Kernel interface {
+	Name() string
+	Description() string
+	Params() []Param
+	Trace(in Input, shard, nshards int, t *trace.Tracer)
+}
+
+// TestInput returns the held-out test configuration of k (Table 2,
+// rightmost column).
+func TestInput(k Kernel) Input {
+	in := Input{}
+	for _, p := range k.Params() {
+		in[p.Name] = p.Test
+	}
+	return in
+}
+
+// CentralInput returns the CCD central configuration of k.
+func CentralInput(k Kernel) Input {
+	in := Input{}
+	for _, p := range k.Params() {
+		in[p.Name] = p.Levels[LevelCentral]
+	}
+	return in
+}
+
+// Scale derives a reduced proxy of in for kernel k: dimension-like
+// parameters are divided by factor, size-like parameters by
+// factor*factor (so that quadratic and linear kernels shrink comparably),
+// and iteration counts are capped at maxIters. Thread counts and shape
+// parameters are preserved. factor <= 1 returns a clone with only the
+// iteration cap applied; maxIters <= 0 leaves iterations untouched.
+//
+// This is the documented substitution for the paper's hours-long
+// simulations: IPC is a steady-state rate and the PISA features are
+// distributions, both of which converge far below full problem sizes.
+func Scale(k Kernel, in Input, factor int, maxIters int) Input {
+	out := in.Clone()
+	for _, p := range k.Params() {
+		v, ok := out[p.Name]
+		if !ok {
+			continue
+		}
+		switch p.Kind {
+		case KindDim:
+			if factor > 1 {
+				v /= factor
+				if v < 16 {
+					v = 16
+				}
+			}
+		case KindSize:
+			if factor > 1 {
+				v /= factor * factor
+				if v < 256 {
+					v = 256
+				}
+			}
+		case KindIters:
+			if maxIters > 0 && v > maxIters {
+				v = maxIters
+			}
+		}
+		out[p.Name] = v
+	}
+	return out
+}
+
+// Validate checks that in assigns a positive value to every parameter of
+// k and nothing else.
+func Validate(k Kernel, in Input) error {
+	params := k.Params()
+	seen := map[string]bool{}
+	for _, p := range params {
+		v, ok := in[p.Name]
+		if !ok {
+			return fmt.Errorf("workload: %s: missing parameter %q", k.Name(), p.Name)
+		}
+		if v <= 0 {
+			return fmt.Errorf("workload: %s: parameter %q must be positive, got %d", k.Name(), p.Name, v)
+		}
+		seen[p.Name] = true
+	}
+	for name := range in {
+		if !seen[name] {
+			return fmt.Errorf("workload: %s: unknown parameter %q", k.Name(), name)
+		}
+	}
+	return nil
+}
+
+// All returns the twelve evaluated kernels in Table 2 order.
+func All() []Kernel {
+	return []Kernel{
+		NewAtax(),
+		NewBFS(),
+		NewBackprop(),
+		NewCholesky(),
+		NewGemver(),
+		NewGesummv(),
+		NewGramSchmidt(),
+		NewKMeans(),
+		NewLU(),
+		NewMVT(),
+		NewSyrk(),
+		NewTrmm(),
+	}
+}
+
+// ByName returns the kernel with the given short name — searching the
+// Table 2 suite and the extension kernels — or an error listing the
+// available names.
+func ByName(name string) (Kernel, error) {
+	for _, k := range AllExtended() {
+		if k.Name() == name {
+			return k, nil
+		}
+	}
+	names := make([]string, 0, 16)
+	for _, k := range AllExtended() {
+		names = append(names, k.Name())
+	}
+	return nil, fmt.Errorf("workload: unknown kernel %q (available: %v)", name, names)
+}
+
+// arena hands out disjoint, page-aligned address regions for a kernel's
+// arrays so that traces from different arrays never alias.
+type arena struct {
+	next uint64
+}
+
+// newArena starts the data segment at a fixed base so traces are
+// reproducible run to run.
+func newArena() *arena { return &arena{next: 1 << 24} }
+
+// alloc reserves n bytes and returns the region base, 4 KiB aligned.
+func (a *arena) alloc(n uint64) uint64 {
+	base := a.next
+	a.next += (n + 4095) &^ 4095
+	return base
+}
+
+// Virtual register conventions shared by the kernels: a handful of
+// integer registers for indices and addresses and floating-point
+// registers for values. Loop-carried accumulators deliberately reuse one
+// register so dataflow ILP reflects the real dependence structure.
+const (
+	rI = int16(iota) // loop indices
+	rJ
+	rK
+	rAddr
+	rTmp
+	rF0 // fp scratch
+	rF1
+	rF2
+	rF3
+	rAcc // fp accumulator (loop-carried)
+	rPtr
+	rVal
+)

@@ -1,0 +1,292 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"napel/internal/trace"
+)
+
+// tinyInput returns a small, fast input for kernel k.
+func tinyInput(k Kernel) Input {
+	in := Input{}
+	for _, p := range k.Params() {
+		in[p.Name] = p.Levels[LevelMin]
+	}
+	return Scale(k, in, 64, 1)
+}
+
+func TestAllKernelsRegistered(t *testing.T) {
+	ks := All()
+	if len(ks) != 12 {
+		t.Fatalf("%d kernels, want 12 (Table 2)", len(ks))
+	}
+	names := map[string]bool{}
+	for _, k := range ks {
+		if names[k.Name()] {
+			t.Fatalf("duplicate kernel name %q", k.Name())
+		}
+		names[k.Name()] = true
+		if k.Description() == "" {
+			t.Errorf("%s has no description", k.Name())
+		}
+	}
+	for _, want := range []string{"atax", "bfs", "bp", "chol", "gemv", "gesu", "gram", "kme", "lu", "mvt", "syrk", "trmm"} {
+		if !names[want] {
+			t.Errorf("missing Table 2 kernel %q", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, err := ByName("atax")
+	if err != nil || k.Name() != "atax" {
+		t.Fatalf("ByName(atax) = %v, %v", k, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestParamLevelsMonotone(t *testing.T) {
+	for _, k := range All() {
+		for _, p := range k.Params() {
+			for i := 1; i < 5; i++ {
+				if p.Levels[i] < p.Levels[i-1] {
+					t.Errorf("%s.%s levels not non-decreasing: %v", k.Name(), p.Name, p.Levels)
+				}
+			}
+			if p.Test <= 0 {
+				t.Errorf("%s.%s test value %d", k.Name(), p.Name, p.Test)
+			}
+		}
+	}
+}
+
+func TestTable2CCDCounts(t *testing.T) {
+	// Table 4 column "#DoE conf." depends on the parameter counts here.
+	want := map[string]int{
+		"atax": 2, "bfs": 4, "bp": 4, "chol": 3, "gemv": 3, "gesu": 3,
+		"gram": 3, "kme": 4, "lu": 3, "mvt": 3, "syrk": 3, "trmm": 3,
+	}
+	for _, k := range All() {
+		if got := len(k.Params()); got != want[k.Name()] {
+			t.Errorf("%s has %d DoE parameters, want %d", k.Name(), got, want[k.Name()])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	k, _ := ByName("atax")
+	good := Input{"dim": 100, "threads": 4}
+	if err := Validate(k, good); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if err := Validate(k, Input{"dim": 100}); err == nil {
+		t.Error("missing parameter accepted")
+	}
+	if err := Validate(k, Input{"dim": 0, "threads": 4}); err == nil {
+		t.Error("non-positive parameter accepted")
+	}
+	if err := Validate(k, Input{"dim": 1, "threads": 4, "bogus": 1}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestScale(t *testing.T) {
+	k, _ := ByName("gemv")
+	in := TestInput(k) // dim=8000, threads=32, iters=60
+	out := Scale(k, in, 8, 2)
+	if out["dim"] != 1000 {
+		t.Errorf("scaled dim = %d, want 1000", out["dim"])
+	}
+	if out["threads"] != 32 {
+		t.Errorf("threads changed: %d", out["threads"])
+	}
+	if out["iters"] != 2 {
+		t.Errorf("iters = %d, want 2", out["iters"])
+	}
+	// Scaling floors.
+	tiny := Scale(k, Input{"dim": 100, "threads": 4, "iters": 1}, 1000, 0)
+	if tiny["dim"] < 16 {
+		t.Errorf("dim under floor: %d", tiny["dim"])
+	}
+	// factor 1 leaves sizes alone.
+	same := Scale(k, in, 1, 0)
+	if same["dim"] != in["dim"] || same["iters"] != in["iters"] {
+		t.Error("scale factor 1 changed values")
+	}
+}
+
+func TestInputCloneAndString(t *testing.T) {
+	in := Input{"b": 2, "a": 1}
+	if in.String() != "a=1 b=2" {
+		t.Errorf("String = %q", in.String())
+	}
+	c := in.Clone()
+	c["a"] = 9
+	if in["a"] != 1 {
+		t.Error("Clone aliases the original")
+	}
+	if in.Threads() != 1 {
+		t.Error("missing threads should default to 1")
+	}
+	if (Input{"threads": 8}).Threads() != 8 {
+		t.Error("Threads() wrong")
+	}
+}
+
+func TestShardRange(t *testing.T) {
+	// The blocked ranges partition [0, n) exactly.
+	if err := quick.Check(func(nn, ss uint8) bool {
+		n := int(nn)%100 + 1
+		nsh := int(ss)%8 + 1
+		covered := 0
+		prev := 0
+		for s := 0; s < nsh; s++ {
+			lo, hi := shardRange(n, s, nsh)
+			if lo != prev || hi < lo || hi > n {
+				return false
+			}
+			covered += hi - lo
+			prev = hi
+		}
+		return covered == n && prev == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	for _, k := range All() {
+		in := tinyInput(k)
+		hash := func() uint64 {
+			var h uint64 = 14695981039346656037
+			tr := trace.NewTracer(20000, trace.ConsumerFunc(func(i trace.Inst) {
+				h ^= i.Addr ^ uint64(i.PC)<<32 ^ uint64(i.Op)
+				h *= 1099511628211
+			}))
+			k.Trace(in, 0, 1, tr)
+			return h
+		}
+		if hash() != hash() {
+			t.Errorf("%s trace not deterministic", k.Name())
+		}
+	}
+}
+
+func TestAllKernelsEmitSomething(t *testing.T) {
+	for _, k := range All() {
+		in := tinyInput(k)
+		var c trace.Counter
+		tr := trace.NewTracer(100000, &c)
+		k.Trace(in, 0, 1, tr)
+		if c.Total == 0 {
+			t.Errorf("%s emitted no instructions for %s", k.Name(), in)
+		}
+		if c.Mem() == 0 {
+			t.Errorf("%s emitted no memory instructions", k.Name())
+		}
+		if cov := tr.Coverage(); cov <= 0 || cov > 1 {
+			t.Errorf("%s coverage %v", k.Name(), cov)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	// Kernels may overshoot the budget by at most one middle-loop
+	// iteration; require they stop within 4x of it.
+	const budget = 5000
+	for _, k := range All() {
+		in := tinyInput(k)
+		var c trace.Counter
+		tr := trace.NewTracer(budget, &c)
+		k.Trace(in, 0, 1, tr)
+		if c.Total > budget*4 {
+			t.Errorf("%s emitted %d instructions against a budget of %d", k.Name(), c.Total, budget)
+		}
+	}
+}
+
+func TestCoverageReflectsBudgetCut(t *testing.T) {
+	for _, k := range All() {
+		in := tinyInput(k)
+		// Count the full trace first.
+		var full trace.Counter
+		k.Trace(in, 0, 1, trace.NewTracer(0, &full))
+		if full.Total < 4000 {
+			continue // too small to cut meaningfully
+		}
+		var cut trace.Counter
+		tr := trace.NewTracer(full.Total/4, &cut)
+		k.Trace(in, 0, 1, tr)
+		cov := tr.Coverage()
+		if cov >= 1 {
+			t.Errorf("%s: budget-cut run reports full coverage", k.Name())
+			continue
+		}
+		// Extrapolation should land within 2x of the true total.
+		est := float64(cut.Total) / cov
+		ratio := est / float64(full.Total)
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("%s: extrapolated %0.f vs true %d (ratio %.2f)", k.Name(), est, full.Total, ratio)
+		}
+	}
+}
+
+func TestShardsPartitionWork(t *testing.T) {
+	// The union of all shards' traces should roughly equal the
+	// sequential trace in total instruction count (within the tolerance
+	// set by replicated serial sections).
+	for _, k := range All() {
+		in := tinyInput(k)
+		var seq trace.Counter
+		k.Trace(in, 0, 1, trace.NewTracer(0, &seq))
+
+		const nsh = 4
+		var total uint64
+		for s := 0; s < nsh; s++ {
+			var c trace.Counter
+			k.Trace(in, s, nsh, trace.NewTracer(0, &c))
+			total += c.Total
+		}
+		ratio := float64(total) / float64(seq.Total)
+		// gram/chol/lu replicate pivot/normalization work per shard, so
+		// allow up to 4x; below 0.9 means work was lost.
+		if ratio < 0.9 || ratio > 4.5 {
+			t.Errorf("%s: sharded total %d vs sequential %d (ratio %.2f)", k.Name(), total, seq.Total, ratio)
+		}
+	}
+}
+
+func TestMemoryAccessesAligned(t *testing.T) {
+	for _, k := range All() {
+		in := tinyInput(k)
+		bad := 0
+		tr := trace.NewTracer(50000, trace.ConsumerFunc(func(i trace.Inst) {
+			if i.Op.IsMem() {
+				if i.Size == 0 {
+					bad++
+				}
+				if i.Addr == 0 {
+					bad++
+				}
+			}
+		}))
+		k.Trace(in, 0, 1, tr)
+		if bad > 0 {
+			t.Errorf("%s emitted %d malformed memory accesses", k.Name(), bad)
+		}
+	}
+}
+
+func TestTestInputAndCentralInput(t *testing.T) {
+	for _, k := range All() {
+		if err := Validate(k, TestInput(k)); err != nil {
+			t.Errorf("TestInput(%s): %v", k.Name(), err)
+		}
+		if err := Validate(k, CentralInput(k)); err != nil {
+			t.Errorf("CentralInput(%s): %v", k.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(12345), New(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDecorrelated(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children start identically")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := New(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(99)
+	const bound, n = 10, 100000
+	counts := make([]int, bound)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(bound)]++
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Errorf("bucket %d has fraction %.4f, want ~0.1", b, frac)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	variance := sq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %.4f, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %.4f, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean %.4f, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sz uint8) bool {
+		n := int(sz%64) + 1
+		p := New(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	r := New(11)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	r := New(12)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)/100000-0.1) > 0.01 {
+			t.Errorf("uniform zipf bucket %d fraction %.4f", b, float64(c)/100000)
+		}
+	}
+}
+
+func TestZipfPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(_, 0, _) did not panic")
+		}
+	}()
+	NewZipf(New(1), 0, 1)
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sz uint8) bool {
+		n := int(sz%50) + 1
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i * 3
+		}
+		New(seed).Shuffle(p)
+		seen := map[int]bool{}
+		for _, v := range p {
+			if v%3 != 0 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(seen) == n
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64BitBalance(t *testing.T) {
+	// Each bit position should be ~50% ones over many draws.
+	r := New(31337)
+	const n = 20000
+	counts := [64]int{}
+	for i := 0; i < n; i++ {
+		v := r.Uint64()
+		for b := 0; b < 64; b++ {
+			if v&(1<<b) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.45 || frac > 0.55 {
+			t.Errorf("bit %d biased: %.3f", b, frac)
+		}
+	}
+}

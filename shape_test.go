@@ -1,0 +1,91 @@
+package napel_bench
+
+import (
+	"io"
+	"testing"
+
+	"napel/internal/napel"
+)
+
+// TestPaperShapes asserts, at Quick scale, the qualitative claims of the
+// paper's evaluation — the properties this reproduction exists to
+// preserve. Each assertion is deliberately loose (factors, orderings,
+// signs), because absolute values depend on the substituted substrate;
+// a regression that flips one of these shapes is a real regression.
+// Skipped under -short (it runs the DoE collection).
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape regression needs the Quick experiment suite")
+	}
+	ctx := sharedQuickCtx(t)
+
+	t.Run("Fig4_PredictionBeatsSimulation", func(t *testing.T) {
+		res, err := ctx.Fig4(io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// §3.2/Figure 4: prediction must beat simulating the sweep for
+		// every application (the paper's minimum is 33x; Quick scale is
+		// far smaller, so require >1x everywhere and >2x on average).
+		if res.Min <= 1 {
+			t.Errorf("minimum speedup %.2fx: prediction did not beat simulation", res.Min)
+		}
+		if res.Avg <= 2 {
+			t.Errorf("average speedup %.2fx, want > 2x", res.Avg)
+		}
+	})
+
+	t.Run("Fig5_RandomForestIsMostAccurate", func(t *testing.T) {
+		res, err := ctx.Fig5(io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range []napel.Target{napel.TargetIPC, napel.TargetEPI} {
+			rf := res.Mean[target]["rf"]
+			ann := res.Mean[target]["ann"]
+			mtree := res.Mean[target]["mtree"]
+			// Figure 5: NAPEL's forest beats both baselines on both
+			// targets (paper: 1.4x-3.5x margins).
+			if rf >= ann {
+				t.Errorf("%s: rf MRE %.3f not below ann %.3f", target, rf, ann)
+			}
+			if rf >= mtree {
+				t.Errorf("%s: rf MRE %.3f not below model tree %.3f", target, rf, mtree)
+			}
+		}
+	})
+
+	t.Run("Fig7_IrregularBeatsStreamingOnNMC", func(t *testing.T) {
+		res, err := ctx.Fig7(io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byApp := map[string]float64{}
+		for _, r := range res.Rows {
+			byApp[r.App] = r.ActualReduct
+		}
+		// Figure 7's central split: the irregular graph traversal gains
+		// far more from NMC than the streaming matrix kernel (paper:
+		// bfs ~5-10x suitable, mvt below 1).
+		if byApp["bfs"] <= byApp["mvt"] {
+			t.Errorf("bfs EDP reduction %.2fx not above mvt %.2fx", byApp["bfs"], byApp["mvt"])
+		}
+		if byApp["bfs"] <= 1 {
+			t.Errorf("bfs not NMC-suitable: %.2fx", byApp["bfs"])
+		}
+	})
+
+	t.Run("Table4_PredictionCheaperThanTraining", func(t *testing.T) {
+		res, err := ctx.Table4(io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			// Table 4's economic argument: a prediction costs a small
+			// fraction of training, which itself amortizes the DoE runs.
+			if r.Pred*5 >= r.TrainTune {
+				t.Errorf("%s: prediction %v not well below training %v", r.App, r.Pred, r.TrainTune)
+			}
+		}
+	})
+}
