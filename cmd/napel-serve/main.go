@@ -1,0 +1,105 @@
+// Command napel-serve exposes trained NAPEL predictors over HTTP so
+// profiles collected anywhere (see 'napel export-profile') can be turned
+// into performance and energy estimates without a simulator in the loop:
+//
+//	napel train -out model.json
+//	napel-serve -model model.json -addr :9090
+//	curl -d @req.json http://localhost:9090/v1/predict
+//
+// Endpoints: POST /v1/predict (single or batched), POST /v1/suitability
+// (host-vs-NMC offload verdict), GET /v1/models, POST /v1/models/reload,
+// GET /healthz, GET /metrics (Prometheus text format).
+//
+// SIGINT/SIGTERM starts a graceful drain: new requests get 503 while
+// in-flight ones finish under -drain-timeout.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"napel/internal/serve"
+)
+
+// modelFlags accumulates repeated -model flags: either "name=path" or a
+// bare "path" registered under the default model name.
+type modelFlags map[string]string
+
+func (m modelFlags) String() string {
+	parts := make([]string, 0, len(m))
+	for name, path := range m {
+		parts = append(parts, name+"="+path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		name, path = serve.DefaultModelName, v
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("want [name=]path, got %q", v)
+	}
+	if _, dup := m[name]; dup {
+		return fmt.Errorf("model %q given twice", name)
+	}
+	m[name] = path
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address")
+	models := modelFlags{}
+	flag.Var(models, "model", "predictor file from 'napel train', [name=]path (repeatable)")
+	cacheEntries := flag.Int("cache-entries", 0, "response cache capacity (0 = default 4096)")
+	maxBatch := flag.Int("max-batch", 0, "max items per batched predict (0 = default 256)")
+	maxBody := flag.Int64("max-body-bytes", 0, "max request body bytes (0 = default 8 MiB)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = default 64)")
+	workers := flag.Int("workers", 0, "batch fan-out worker pool size (0 = default)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain deadline on shutdown")
+	quiet := flag.Bool("quiet", false, "disable the access log")
+	flag.Parse()
+
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "napel-serve: at least one -model is required (train one with 'napel train')")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		ModelPaths:   models,
+		CacheEntries: *cacheEntries,
+		MaxBatch:     *maxBatch,
+		MaxBodyBytes: *maxBody,
+		MaxInFlight:  *maxInFlight,
+		Workers:      *workers,
+		DrainTimeout: *drain,
+	}
+	if !*quiet {
+		cfg.AccessLog = os.Stderr
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "napel-serve: %v\n", err)
+		os.Exit(1)
+	}
+	for _, m := range s.Registry().List() {
+		fmt.Fprintf(os.Stderr, "napel-serve: model %s version %s (%s)\n", m.Name, m.Version, m.Path)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "napel-serve: listening on %s\n", *addr)
+	if err := s.Run(ctx, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "napel-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "napel-serve: drained in-flight requests, exiting")
+}

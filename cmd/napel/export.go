@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	"napel/internal/napel"
+	"napel/internal/serve"
+)
+
+// runExportProfile characterizes a kernel and writes the exact request
+// JSON that napel-serve consumes on POST /v1/predict, so a profile
+// gathered on one machine can be predicted on a server elsewhere:
+//
+//	napel export-profile -kernel atax -out req.json
+//	curl -d @req.json http://host:9090/v1/predict
+func runExportProfile(args []string) error {
+	kf := newKernelFlags("export-profile", 500_000)
+	out := kf.fs.String("out", "-", "output path ('-' for stdout)")
+	modelName := kf.fs.String("model-name", "", "model to request (empty = server default)")
+	pes := kf.fs.Int("pes", 0, "request this PE count (0 = server baseline)")
+	freq := kf.fs.Float64("freq", 0, "request this PE frequency in GHz (0 = baseline)")
+	lines := kf.fs.Int("cache-lines", 0, "request this L1 line count (0 = baseline)")
+	k, in, err := kf.resolve(args)
+	if err != nil {
+		return err
+	}
+	prof, err := napel.ProfileKernel(k, in, *kf.budget)
+	if err != nil {
+		return err
+	}
+	req := serve.PredictRequest{
+		Model:   *modelName,
+		Profile: serve.NewWireProfile(prof),
+		Arch:    serve.WireArch{PEs: *pes, FreqGHz: *freq, L1Lines: *lines},
+		Threads: in.Threads(),
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(req)
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"napel/internal/napel"
+	"napel/internal/nmcsim"
+	"napel/internal/serve"
+	"napel/internal/workload"
+)
+
+// TestExportProfileRoundTrip pins the wire contract between the CLI and
+// napel-serve: the emitted JSON decodes into a PredictRequest whose
+// profile features, hit curve and architecture reproduce the in-process
+// characterization exactly.
+func TestExportProfileRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "req.json")
+	err := runExportProfile([]string{
+		"-kernel", "atax", "-scale", "16", "-max-iters", "1",
+		"-budget", "30000", "-pes", "32", "-model-name", "prod", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req serve.PredictRequest
+	if err := json.Unmarshal(data, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Model != "prod" || req.Arch.PEs != 32 {
+		t.Fatalf("request metadata lost: %+v", req)
+	}
+
+	// Re-run the same deterministic characterization directly.
+	k, err := workload.ByName("atax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := workload.Scale(k, workload.TestInput(k), 16, 1)
+	prof, err := napel.ProfileKernel(k, in, 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Threads != in.Threads() {
+		t.Fatalf("threads %d, want %d", req.Threads, in.Threads())
+	}
+	if req.Profile.TotalInstrs != prof.TotalInstrs() {
+		t.Fatalf("total instrs %g, want %g", req.Profile.TotalInstrs, prof.TotalInstrs())
+	}
+
+	want := serve.NewWireProfile(prof)
+	if len(req.Profile.Features) != len(want.Features) {
+		t.Fatalf("%d features, want %d", len(req.Profile.Features), len(want.Features))
+	}
+	for name, v := range want.Features {
+		if got, ok := req.Profile.Features[name]; !ok || got != v {
+			t.Fatalf("feature %s = %g, want %g", name, req.Profile.Features[name], v)
+		}
+	}
+	if len(req.Profile.HitCurve) != len(want.HitCurve) {
+		t.Fatalf("hit curve length %d, want %d", len(req.Profile.HitCurve), len(want.HitCurve))
+	}
+	for i, v := range want.HitCurve {
+		if req.Profile.HitCurve[i] != v {
+			t.Fatalf("hit curve[%d] = %g, want %g", i, req.Profile.HitCurve[i], v)
+		}
+	}
+
+	// The exported hit curve must assemble into the same architecture
+	// features the in-process ArchVector path produces.
+	cfg := nmcsim.DefaultConfig()
+	cfg.PEs = 32
+	fromCurve, err := napel.ArchVectorFromCurve(cfg, req.Profile.HitCurve, req.Threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := napel.ArchVector(cfg, prof, in.Threads())
+	if len(fromCurve) != len(direct) {
+		t.Fatalf("arch vector length %d, want %d", len(fromCurve), len(direct))
+	}
+	for i := range direct {
+		if fromCurve[i] != direct[i] {
+			t.Fatalf("arch feature %d = %g, want %g", i, fromCurve[i], direct[i])
+		}
+	}
+}
+
+func TestExportProfileToStdoutShape(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "req.json")
+	if err := runExportProfile([]string{
+		"-kernel", "atax", "-scale", "32", "-max-iters", "1", "-budget", "20000", "-out", out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted document must use the documented wire field names.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var profile map[string]json.RawMessage
+	if err := json.Unmarshal(raw["profile"], &profile); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"features", "hit_curve", "total_instrs"} {
+		if _, ok := profile[field]; !ok {
+			t.Fatalf("profile field %q missing in %s", field, data)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 //	napel train -out model.json      train on all 12 apps and save the model
 //	napel predict -kernel atax       train on the other 11 apps, predict this one
 //	napel predict -kernel x -model model.json   predict with a saved model
+//	napel export-profile -kernel atax -out req.json   emit a napel-serve request
 //
 // Kernel inputs default to the Table 2 test configuration; override
 // individual parameters with repeated -p name=value flags and scale all
@@ -56,6 +57,8 @@ func main() {
 		err = runTrain(args)
 	case "predict":
 		err = runPredict(args)
+	case "export-profile":
+		err = runExportProfile(args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -70,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: napel <list|doe|profile|simulate|host|trace|compare|train|predict> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: napel <list|doe|profile|simulate|host|trace|compare|train|predict|export-profile> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'napel <command> -h' for command flags")
 }
 
@@ -411,13 +414,15 @@ func runCompare(args []string) error {
 	return nil
 }
 
-// runTrain collects DoE data for all twelve applications, trains the
-// two models and writes the predictor to -out.
+// runTrain collects DoE data for the selected applications (all twelve
+// by default), trains the two models and writes the predictor to -out.
 func runTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	out := fs.String("out", "napel-model.json", "output path for the trained predictor")
+	kernels := fs.String("kernels", "", "comma-separated kernel subset to train on (default: all 12 apps)")
 	trainScale := fs.Int("train-scale", 1, "scale factor for the DoE training inputs")
 	simBudget := fs.Uint64("train-sim-budget", 400_000, "instructions per training simulation")
+	profBudget := fs.Uint64("train-profile-budget", 500_000, "instructions per training profile")
 	tune := fs.Bool("tune", false, "run the hyper-parameter grid search")
 	seed := fs.Uint64("seed", 42, "pipeline seed")
 	if err := fs.Parse(args); err != nil {
@@ -427,10 +432,22 @@ func runTrain(args []string) error {
 	opts := napel.DefaultOptions()
 	opts.ScaleFactor = *trainScale
 	opts.SimBudget = *simBudget
-	opts.ProfileBudget = 500_000
+	opts.ProfileBudget = *profBudget
 
-	fmt.Printf("collecting DoE training data for %d applications...\n", len(workload.All()))
-	td, err := napel.Collect(workload.All(), opts)
+	apps := workload.All()
+	if *kernels != "" {
+		apps = apps[:0:0]
+		for _, name := range strings.Split(*kernels, ",") {
+			k, err := workload.ByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			apps = append(apps, k)
+		}
+	}
+
+	fmt.Printf("collecting DoE training data for %d applications...\n", len(apps))
+	td, err := napel.Collect(apps, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,154 @@
+// Serving predictions over HTTP: the napel-serve subsystem end to end.
+//
+// Trains a small predictor, stands up the prediction service in-process
+// on a random port, and plays a client against it: a single prediction,
+// a batched design-space sweep over PE counts (run twice to show the
+// response cache taking over), and a host-vs-NMC suitability verdict.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"napel/internal/napel"
+	"napel/internal/serve"
+	"napel/internal/workload"
+)
+
+func main() {
+	// 1. Train a deliberately small model (one app, scaled inputs).
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 32
+	opts.MaxIters = 1
+	opts.TestScaleFactor = 16
+	opts.TestMaxIters = 1
+	opts.ProfileBudget = 50_000
+	opts.SimBudget = 50_000
+
+	k, err := workload.ByName("atax")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training a small predictor on atax...")
+	td, err := napel.Collect([]workload.Kernel{k}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := napel.Train(td, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "napel-serving-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.json")
+	f, err := os.Create(modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pred.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// 2. Start the service on a random local port.
+	s, err := serve.New(serve.Config{
+		ModelPaths: map[string]string{serve.DefaultModelName: modelPath},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := fmt.Sprintf("http://%s", ln.Addr())
+	srv := &http.Server{Handler: s.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	fmt.Printf("napel-serve listening on %s\n\n", base)
+
+	// 3. Build the request a remote client would send — the same shape
+	//    `napel export-profile` emits.
+	in := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+	prof, err := napel.ProfileKernel(k, in, opts.ProfileBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := serve.PredictRequest{Profile: serve.NewWireProfile(prof), Threads: in.Threads()}
+
+	var resp serve.PredictResponse
+	post(base+"/v1/predict", req, &resp)
+	fmt.Printf("single prediction (model %s@%s):\n", resp.Model, resp.ModelVersion)
+	fmt.Printf("  IPC %.3f, time %.4g s, energy %.4g J, EDP %.4g J*s\n\n",
+		resp.IPC, resp.TimeSec, resp.EnergyJ, resp.EDP)
+
+	// 4. Batched design-space sweep over PE counts — twice, to show the
+	//    response cache absorbing the repeat.
+	var batch []serve.PredictRequest
+	for pes := 4; pes <= 64; pes *= 2 {
+		r := req
+		r.Arch = serve.WireArch{PEs: pes}
+		batch = append(batch, r)
+	}
+	for round := 1; round <= 2; round++ {
+		var results []serve.PredictResponse
+		start := time.Now()
+		post(base+"/v1/predict", batch, &results)
+		cached := 0
+		for _, r := range results {
+			if r.Cached {
+				cached++
+			}
+		}
+		fmt.Printf("batch sweep round %d (%d design points, %d cached, %v):\n",
+			round, len(results), cached, time.Since(start).Round(time.Microsecond))
+		for i, r := range results {
+			fmt.Printf("  %2d PEs  EDP %.4g J*s\n", batch[i].Arch.PEs, r.EDP)
+		}
+	}
+	fmt.Println()
+
+	// 5. Suitability: should this workload leave the host?
+	var verdict serve.SuitabilityResponse
+	post(base+"/v1/suitability", serve.SuitabilityRequest{
+		PredictRequest: req,
+		Host:           serve.WireHost{EDP: resp.EDP * 4},
+	}, &verdict)
+	fmt.Printf("suitability vs a host at 4x the EDP: %.2fx reduction -> %s\n",
+		verdict.EDPReduction, verdict.Verdict)
+
+	srv.Shutdown(context.Background())
+	<-done
+}
+
+func post(url string, in, out any) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

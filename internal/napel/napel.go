@@ -27,6 +27,7 @@ import (
 	"napel/internal/hostsim"
 	"napel/internal/nmcsim"
 	"napel/internal/pisa"
+	"napel/internal/stats"
 	"napel/internal/trace"
 	"napel/internal/workload"
 	"napel/internal/xrand"
@@ -181,6 +182,45 @@ func ArchVector(cfg nmcsim.Config, prof *pisa.Profile, threads int) []float64 {
 		1 - hit,
 		float64(threads),
 	}
+}
+
+// ArchVectorFromCurve is ArchVector for consumers that hold a profile's
+// exported hit-fraction curve (pisa.Profile.HitFractionCurve) instead of
+// the profile itself — e.g. napel-serve assembling feature vectors from
+// wire-format requests. It produces bit-identical output to ArchVector
+// on the profile the curve came from.
+func ArchVectorFromCurve(cfg nmcsim.Config, hitCurve []float64, threads int) ([]float64, error) {
+	eqLines := cfg.L1.SizeBytes() / pisa.LineGranularity
+	if eqLines < 1 {
+		eqLines = 1
+	}
+	if len(hitCurve) == 0 {
+		return nil, fmt.Errorf("napel: empty hit-fraction curve")
+	}
+	idx := stats.Log2Bucket(uint64(eqLines))
+	if idx >= len(hitCurve) {
+		idx = len(hitCurve) - 1
+	}
+	hit := hitCurve[idx]
+	if hit < 0 || hit > 1 {
+		return nil, fmt.Errorf("napel: hit fraction %g out of [0, 1]", hit)
+	}
+	coreInOrder := 1.0
+	if cfg.Core == nmcsim.OutOfOrder {
+		coreInOrder = 0
+	}
+	return []float64{
+		coreInOrder,
+		float64(cfg.PEs),
+		cfg.FreqGHz,
+		float64(cfg.L1.LineSize),
+		float64(cfg.L1.Lines),
+		float64(cfg.DRAM.Layers),
+		log2(float64(cfg.DRAM.SizeBytes)),
+		hit,
+		1 - hit,
+		float64(threads),
+	}, nil
 }
 
 func log2(x float64) float64 {

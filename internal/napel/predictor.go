@@ -104,6 +104,15 @@ func DefaultMTreeTrainer() ml.Trainer {
 }
 
 // Predictor holds NAPEL's two trained models (performance and energy).
+//
+// Concurrency: a Predictor returned by Train/TrainTuned/LoadPredictor is
+// immutable, and every prediction method (Predict, PredictAssembled,
+// PredictVector, PredictVectorWithUncertainty, OOB) only reads it — the
+// underlying forests walk fixed trees and allocate their own scratch.
+// All of them are therefore safe for concurrent use from multiple
+// goroutines without external locking, which is what lets napel-serve
+// fan one loaded model out across a worker pool. Mutating exported
+// fields after training/loading voids that guarantee.
 type Predictor struct {
 	IPC       ml.Model
 	EPI       ml.Model
@@ -184,10 +193,19 @@ type Prediction struct {
 // Π_NMC = I_offload/(IPC·f_core), energy = EPI·I_offload).
 func (p *Predictor) Predict(prof *pisa.Profile, cfg nmcsim.Config, threads int) Prediction {
 	feat := append(append([]float64(nil), prof.Vector()...), ArchVector(cfg, prof, threads)...)
+	return p.PredictAssembled(feat, prof.TotalInstrs(), cfg, threads)
+}
+
+// PredictAssembled is Predict for callers that already hold the full
+// feature vector (profile ⊕ ArchVector) and the profile's extrapolated
+// total instruction count — napel-serve's path, where the profile
+// arrives in wire form rather than as a *pisa.Profile. Given the same
+// vector and totals it returns bit-identical results to Predict.
+func (p *Predictor) PredictAssembled(feat []float64, totalInstrs float64, cfg nmcsim.Config, threads int) Prediction {
 	pred := Prediction{
 		IPC:         p.IPC.Predict(feat) * float64(ActivePEs(threads, cfg.PEs)),
 		EPI:         p.EPI.Predict(feat),
-		TotalInstrs: prof.TotalInstrs(),
+		TotalInstrs: totalInstrs,
 	}
 	if pred.IPC > 0 {
 		pred.TimeSec = pred.TotalInstrs / (pred.IPC * cfg.FreqGHz * 1e9)

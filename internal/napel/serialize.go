@@ -2,6 +2,7 @@ package napel
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -32,6 +33,12 @@ type savedModel struct {
 
 // savedVersion is bumped on incompatible format changes.
 const savedVersion = 1
+
+// ErrBadModelVersion reports a predictor file whose format version this
+// build cannot read. It is a sentinel (match with errors.Is) so that
+// callers can distinguish "valid file, wrong version" from plain
+// corruption — napel-serve maps it to HTTP 422 instead of 500.
+var ErrBadModelVersion = errors.New("napel: unsupported predictor format version")
 
 // Save serializes the predictor as JSON. It fails if the models are not
 // log-target random forests (the only configuration Train produces).
@@ -78,7 +85,7 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		return nil, fmt.Errorf("napel: decoding predictor: %w", err)
 	}
 	if in.Version != savedVersion {
-		return nil, fmt.Errorf("napel: predictor format version %d, want %d", in.Version, savedVersion)
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadModelVersion, in.Version, savedVersion)
 	}
 	if in.IPC.Forest == nil || in.EPI.Forest == nil {
 		return nil, fmt.Errorf("napel: predictor file is missing a model")

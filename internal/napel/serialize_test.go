@@ -2,6 +2,7 @@ package napel
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -58,6 +59,27 @@ func TestLoadPredictorRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadPredictor(strings.NewReader(`{"version":1,"feature_names":[]}`)); err == nil {
 		t.Fatal("missing models accepted")
+	}
+}
+
+// TestLoadPredictorVersionSentinel pins the error contract napel-serve
+// relies on: a wrong format version matches ErrBadModelVersion, while
+// other load failures (corruption, truncation) do not.
+func TestLoadPredictorVersionSentinel(t *testing.T) {
+	_, err := LoadPredictor(strings.NewReader(`{"version":99}`))
+	if !errors.Is(err, ErrBadModelVersion) {
+		t.Fatalf("version mismatch error %v does not match ErrBadModelVersion", err)
+	}
+	if !strings.Contains(err.Error(), "99") {
+		t.Fatalf("error %q does not name the offending version", err)
+	}
+	_, err = LoadPredictor(strings.NewReader("not json"))
+	if err == nil || errors.Is(err, ErrBadModelVersion) {
+		t.Fatalf("garbage error %v must not match ErrBadModelVersion", err)
+	}
+	_, err = LoadPredictor(strings.NewReader(`{"version":1,"feature_names":[]}`))
+	if err == nil || errors.Is(err, ErrBadModelVersion) {
+		t.Fatalf("missing-model error %v must not match ErrBadModelVersion", err)
 	}
 }
 

@@ -263,6 +263,23 @@ func (p *Profile) EstHitFraction(lines int) float64 {
 	return clamp01(hitFrac)
 }
 
+// HitFractionCurve tabulates EstHitFraction at power-of-two line counts:
+// entry i is the estimated hit fraction of a cache holding 1<<i lines,
+// for i in [0, reuseBuckets]. Because EstHitFraction only depends on the
+// log2 bucket of the line count (and saturates above 2^reuseBuckets),
+// the curve fully determines the hit estimate for *any* capacity —
+// index it with stats.Log2Bucket(lines), clamped to the last entry.
+// This is the hardware-independent form shipped to remote consumers
+// (napel-serve) that hold a profile's feature vector but not the
+// profile itself.
+func (p *Profile) HitFractionCurve() []float64 {
+	curve := make([]float64, reuseBuckets+1)
+	for i := range curve {
+		curve[i] = p.EstHitFraction(1 << i)
+	}
+	return curve
+}
+
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0

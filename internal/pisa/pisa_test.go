@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"napel/internal/stats"
 	"napel/internal/trace"
 	"napel/internal/xrand"
 )
@@ -261,6 +262,42 @@ func TestEstHitFraction(t *testing.T) {
 	}
 	if h := prof.EstHitFraction(1); h < 0 || h > 1 {
 		t.Errorf("hit fraction out of range: %v", h)
+	}
+}
+
+func TestHitFractionCurve(t *testing.T) {
+	p := NewProfiler()
+	tr := trace.NewTracer(0, p)
+	rng := xrand.New(9)
+	// A mixed pattern: a hot cyclic set plus a cold random tail, so the
+	// curve has structure at several capacities.
+	for i := 0; i < 5000; i++ {
+		line := uint64(i % 7)
+		if i%5 == 0 {
+			line = 16 + uint64(rng.Intn(4000))
+		}
+		tr.Load(0, line*LineGranularity, 8, 1, 2)
+	}
+	prof := p.Profile()
+	curve := prof.HitFractionCurve()
+	if len(curve) != reuseBuckets+1 {
+		t.Fatalf("curve length %d, want %d", len(curve), reuseBuckets+1)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone at %d: %v < %v", i, curve[i], curve[i-1])
+		}
+	}
+	// The curve must reproduce EstHitFraction at arbitrary (also
+	// non-power-of-two and out-of-range) line counts via log2 indexing.
+	for _, lines := range []int{1, 2, 3, 4, 7, 8, 100, 1 << 12, 1 << 30, 1 << 40} {
+		idx := stats.Log2Bucket(uint64(lines))
+		if idx >= len(curve) {
+			idx = len(curve) - 1
+		}
+		if got, want := curve[idx], prof.EstHitFraction(lines); got != want {
+			t.Fatalf("curve at %d lines = %v, want EstHitFraction = %v", lines, got, want)
+		}
 	}
 }
 

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"napel/internal/napel"
+)
+
+// apiError is a handler failure with its HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"models":         len(s.registry.List()),
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.cache.Stats()
+	var b strings.Builder
+	s.metrics.render(&b, map[string]float64{
+		"napel_serve_cache_hits_total":      float64(cs.Hits),
+		"napel_serve_cache_misses_total":    float64(cs.Misses),
+		"napel_serve_cache_evictions_total": float64(cs.Evictions),
+		"napel_serve_cache_entries":         float64(s.cache.Len()),
+		"napel_serve_models_loaded":         float64(len(s.registry.List())),
+		"napel_serve_model_reloads_total":   float64(s.registry.Reloads()),
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, b.String())
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.registry.List()})
+}
+
+// handleReload re-reads every model file and atomically installs the
+// new generation. The response cache needs no flush: keys embed the
+// model content hash, so entries for replaced weights simply stop being
+// referenced and age out of the LRU.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	models, err := s.registry.Reload()
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, napel.ErrBadModelVersion):
+			status = http.StatusUnprocessableEntity
+		case errors.Is(err, fs.ErrNotExist):
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "models": models})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if first := firstByte(body); first == '[' {
+		s.predictBatch(w, body)
+		return
+	}
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	resp, apiErr := s.predictOne(&req)
+	if apiErr != nil {
+		writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictBatch fans a request array out across the worker pool. The
+// response is an index-aligned array; item failures are reported inline
+// so one malformed entry cannot fail the batch.
+func (s *Server) predictBatch(w http.ResponseWriter, body []byte) {
+	var reqs []PredictRequest
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding batch: %v", err))
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), s.cfg.MaxBatch))
+		return
+	}
+	resps := make([]PredictResponse, len(reqs))
+	workers := s.cfg.Workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				resp, apiErr := s.predictOne(&reqs[i])
+				if apiErr != nil {
+					resp = PredictResponse{Error: apiErr.msg}
+				}
+				resps[i] = resp
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, resps)
+}
+
+func (s *Server) handleSuitability(w http.ResponseWriter, r *http.Request) {
+	var req SuitabilityRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
+		return
+	}
+	hostEDP, err := req.Host.edp()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	nmc, apiErr := s.predictOne(&req.PredictRequest)
+	if apiErr != nil {
+		writeError(w, apiErr.status, apiErr.msg)
+		return
+	}
+	// Mirror the Section 3.4 verdict: offload when the predicted NMC
+	// execution reduces energy-delay product vs. the host.
+	reduction := 0.0
+	if nmc.EDP > 0 {
+		reduction = hostEDP / nmc.EDP
+	}
+	verdict := "host"
+	if reduction > 1 {
+		verdict = "offload"
+	}
+	writeJSON(w, http.StatusOK, SuitabilityResponse{
+		NMC:          nmc,
+		HostEDP:      hostEDP,
+		EDPReduction: reduction,
+		Verdict:      verdict,
+	})
+}
+
+// predictOne serves one prediction, consulting the LRU response cache
+// first. Predictors are shared across goroutines without locking — see
+// the concurrency guarantee on napel.Predictor.
+func (s *Server) predictOne(req *PredictRequest) (PredictResponse, *apiError) {
+	if s.testHookPredict != nil {
+		s.testHookPredict()
+	}
+	model, ok := s.registry.Get(req.Model)
+	if !ok {
+		return PredictResponse{}, &apiError{http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model)}
+	}
+	feat, totalInstrs, cfg, threads, err := req.assemble()
+	if err != nil {
+		return PredictResponse{}, &apiError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	s.metrics.predictions.Add(1)
+	// The feature vector already embeds the architecture point and
+	// thread count (ArchVector), so vector+totals identify the result.
+	key := cacheKey{version: model.Version, hash: hashPrediction(feat, totalInstrs)}
+	if pred, ok := s.cache.Get(key); ok {
+		return makeResponse(model, pred, true), nil
+	}
+	pred := model.Predictor.PredictAssembled(feat, totalInstrs, cfg, threads)
+	s.cache.Put(key, pred)
+	return makeResponse(model, pred, false), nil
+}
+
+func makeResponse(m *Model, p napel.Prediction, cached bool) PredictResponse {
+	return PredictResponse{
+		Model:        m.Name,
+		ModelVersion: m.Version,
+		IPC:          p.IPC,
+		EPI:          p.EPI,
+		TotalInstrs:  p.TotalInstrs,
+		TimeSec:      p.TimeSec,
+		EnergyJ:      p.EnergyJ,
+		EDP:          p.EDP,
+		Cached:       cached,
+	}
+}
+
+// hashPrediction digests the assembled feature vector and instruction
+// total into the cache key's hash half.
+func hashPrediction(feat []float64, totalInstrs float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range feat {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(totalInstrs))
+	h.Write(buf[:])
+	return h.Sum64()
+}
+
+// firstByte returns the first non-whitespace byte of b, or 0.
+func firstByte(b []byte) byte {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 {
+		return 0
+	}
+	return trimmed[0]
+}

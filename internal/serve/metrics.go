@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram upper bounds in seconds (the final
+// +Inf bucket is implicit). Predictions are sub-millisecond, so the
+// grid is dense at the low end.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// endpointMetrics accumulates per-endpoint request counters and a
+// latency histogram, all lock-free.
+type endpointMetrics struct {
+	// byClass counts completed requests by status class; index is
+	// status/100 (2 -> 2xx...), index 0 aggregates anything exotic.
+	byClass [6]atomic.Uint64
+	buckets []atomic.Uint64 // len(latencyBounds)+1, last is +Inf
+	sumNs   atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newEndpointMetrics() *endpointMetrics {
+	return &endpointMetrics{buckets: make([]atomic.Uint64, len(latencyBounds)+1)}
+}
+
+func (em *endpointMetrics) observe(status int, d time.Duration) {
+	class := status / 100
+	if class < 0 || class >= len(em.byClass) {
+		class = 0
+	}
+	em.byClass[class].Add(1)
+	secs := d.Seconds()
+	idx := len(latencyBounds)
+	for i, b := range latencyBounds {
+		if secs <= b {
+			idx = i
+			break
+		}
+	}
+	em.buckets[idx].Add(1)
+	em.sumNs.Add(uint64(d.Nanoseconds()))
+	em.count.Add(1)
+}
+
+// Metrics is the server's observability surface, rendered at /metrics
+// in the Prometheus text exposition format using only the stdlib.
+type Metrics struct {
+	start     time.Time
+	inFlight  atomic.Int64
+	rejected  atomic.Uint64 // 429s from the concurrency limiter
+	endpoints map[string]*endpointMetrics
+	// predictions counts individual predictions served (batch items
+	// count individually; requests do not).
+	predictions atomic.Uint64
+}
+
+func newMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+	for _, e := range endpoints {
+		m.endpoints[e] = newEndpointMetrics()
+	}
+	return m
+}
+
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	if em, ok := m.endpoints[name]; ok {
+		return em
+	}
+	// Unknown endpoints (404 paths) fold into a catch-all created at
+	// construction.
+	return m.endpoints["other"]
+}
+
+// render writes the exposition text. The server passes in the gauges it
+// owns (cache and registry state) so Metrics itself stays dependency-free.
+func (m *Metrics) render(b *strings.Builder, gauges map[string]float64) {
+	classes := []string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(b, "# HELP napel_serve_requests_total Completed requests by endpoint and status class.\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_requests_total counter\n")
+	for _, name := range names {
+		em := m.endpoints[name]
+		for ci, cname := range classes {
+			if v := em.byClass[ci].Load(); v > 0 {
+				fmt.Fprintf(b, "napel_serve_requests_total{endpoint=%q,class=%q} %d\n", name, cname, v)
+			}
+		}
+	}
+
+	fmt.Fprintf(b, "# HELP napel_serve_request_duration_seconds Request latency histogram by endpoint.\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_request_duration_seconds histogram\n")
+	for _, name := range names {
+		em := m.endpoints[name]
+		if em.count.Load() == 0 {
+			continue
+		}
+		cum := uint64(0)
+		for i, bound := range latencyBounds {
+			cum += em.buckets[i].Load()
+			fmt.Fprintf(b, "napel_serve_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
+		}
+		cum += em.buckets[len(latencyBounds)].Load()
+		fmt.Fprintf(b, "napel_serve_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(b, "napel_serve_request_duration_seconds_sum{endpoint=%q} %g\n", name, float64(em.sumNs.Load())/1e9)
+		fmt.Fprintf(b, "napel_serve_request_duration_seconds_count{endpoint=%q} %d\n", name, em.count.Load())
+	}
+
+	fmt.Fprintf(b, "# HELP napel_serve_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_inflight_requests gauge\n")
+	fmt.Fprintf(b, "napel_serve_inflight_requests %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(b, "# HELP napel_serve_rejected_total Requests rejected by the concurrency limiter.\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_rejected_total counter\n")
+	fmt.Fprintf(b, "napel_serve_rejected_total %d\n", m.rejected.Load())
+
+	fmt.Fprintf(b, "# HELP napel_serve_predictions_total Individual predictions served (batch items count separately).\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_predictions_total counter\n")
+	fmt.Fprintf(b, "napel_serve_predictions_total %d\n", m.predictions.Load())
+
+	gnames := make([]string, 0, len(gauges))
+	for name := range gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		fmt.Fprintf(b, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(b, "%s %g\n", name, gauges[name])
+	}
+
+	fmt.Fprintf(b, "# HELP napel_serve_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(b, "# TYPE napel_serve_uptime_seconds gauge\n")
+	fmt.Fprintf(b, "napel_serve_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

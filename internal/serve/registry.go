@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"napel/internal/napel"
+)
+
+// DefaultModelName is the registry entry selected when a request names
+// no model.
+const DefaultModelName = "default"
+
+// Model is one loaded predictor with its serving identity. Version is a
+// content hash of the serialized file, so the (model, version) pair in
+// responses and cache keys changes exactly when the weights do.
+type Model struct {
+	Name      string    `json:"name"`
+	Path      string    `json:"path"`
+	Version   string    `json:"version"`
+	LoadedAt  time.Time `json:"loaded_at"`
+	Predictor *napel.Predictor `json:"-"`
+}
+
+// Registry maps model names to loaded predictors and supports atomic
+// hot reload: readers always see a complete, consistent generation —
+// never a half-reloaded mix — and a failed reload leaves the previous
+// generation serving.
+type Registry struct {
+	paths map[string]string // name -> file path, fixed at construction
+
+	// reloadMu serializes writers; readers go through the atomic
+	// pointer without locking.
+	reloadMu sync.Mutex
+	models   atomic.Pointer[map[string]*Model]
+	reloads  atomic.Uint64
+}
+
+// NewRegistry builds a registry over the given name→path mapping and
+// performs the initial load; it fails if any model cannot be loaded.
+func NewRegistry(paths map[string]string) (*Registry, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("serve: no models configured")
+	}
+	r := &Registry{paths: paths}
+	empty := map[string]*Model{}
+	r.models.Store(&empty)
+	if _, err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Reload re-reads every configured model file and atomically replaces
+// the serving set with the new generation. On any failure the previous
+// generation stays in place and the error is returned (wrapping
+// napel.ErrBadModelVersion when the file's format version is
+// unsupported, so HTTP handlers can answer 422).
+func (r *Registry) Reload() ([]*Model, error) {
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	next := make(map[string]*Model, len(r.paths))
+	for name, path := range r.paths {
+		m, err := loadModel(name, path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		next[name] = m
+	}
+	r.models.Store(&next)
+	r.reloads.Add(1)
+	return sortedModels(next), nil
+}
+
+func loadModel(name, path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	pred, err := napel.LoadPredictor(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Name:      name,
+		Path:      path,
+		Version:   fmt.Sprintf("%016x", h.Sum64()),
+		LoadedAt:  time.Now(),
+		Predictor: pred,
+	}, nil
+}
+
+// Get returns the named model; an empty name resolves to
+// DefaultModelName, or to the only model when exactly one is loaded.
+func (r *Registry) Get(name string) (*Model, bool) {
+	models := *r.models.Load()
+	if name == "" {
+		if m, ok := models[DefaultModelName]; ok {
+			return m, true
+		}
+		if len(models) == 1 {
+			for _, m := range models {
+				return m, true
+			}
+		}
+		return nil, false
+	}
+	m, ok := models[name]
+	return m, ok
+}
+
+// List returns the current generation sorted by name.
+func (r *Registry) List() []*Model {
+	return sortedModels(*r.models.Load())
+}
+
+// Reloads returns how many generations have been installed (the initial
+// load counts as one).
+func (r *Registry) Reloads() uint64 { return r.reloads.Load() }
+
+func sortedModels(m map[string]*Model) []*Model {
+	out := make([]*Model, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"napel/internal/napel"
+)
+
+func TestRegistryLoadAndGet(t *testing.T) {
+	f := fixture(t)
+	reg, err := NewRegistry(map[string]string{
+		DefaultModelName: f.modelA,
+		"candidate":      f.modelB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	def, ok := reg.Get("")
+	if !ok || def.Name != DefaultModelName {
+		t.Fatalf("empty name resolved to %+v, %v", def, ok)
+	}
+	cand, ok := reg.Get("candidate")
+	if !ok {
+		t.Fatal("candidate missing")
+	}
+	if _, ok := reg.Get("nope"); ok {
+		t.Fatal("unknown model resolved")
+	}
+	if def.Version == cand.Version {
+		t.Fatal("different weights share a version")
+	}
+	if len(def.Version) != 16 {
+		t.Fatalf("version %q is not a 16-hex content hash", def.Version)
+	}
+	if list := reg.List(); len(list) != 2 || list[0].Name != "candidate" {
+		t.Fatalf("list = %+v", list)
+	}
+	if reg.Reloads() != 1 {
+		t.Fatalf("reloads = %d, want 1", reg.Reloads())
+	}
+}
+
+func TestRegistrySingleModelIsDefault(t *testing.T) {
+	f := fixture(t)
+	reg, err := NewRegistry(map[string]string{"only": f.modelA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := reg.Get("")
+	if !ok || m.Name != "only" {
+		t.Fatalf("sole model not the default: %+v, %v", m, ok)
+	}
+}
+
+func TestRegistryReloadSwapsVersion(t *testing.T) {
+	f := fixture(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	mustCopy(t, f.modelA, path)
+	reg, err := NewRegistry(map[string]string{DefaultModelName: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := reg.Get("")
+
+	mustCopy(t, f.modelB, path)
+	if _, err := reg.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := reg.Get("")
+	if v1.Version == v2.Version {
+		t.Fatal("reload kept the old version for new weights")
+	}
+}
+
+// TestRegistryFailedReloadKeepsServing is the hot-reload safety
+// property: a bad file on disk must not take down the old generation.
+func TestRegistryFailedReloadKeepsServing(t *testing.T) {
+	f := fixture(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	mustCopy(t, f.modelA, path)
+	reg, err := NewRegistry(map[string]string{DefaultModelName: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := reg.Get("")
+
+	if err := os.WriteFile(path, []byte(`{"version":99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = reg.Reload()
+	if !errors.Is(err, napel.ErrBadModelVersion) {
+		t.Fatalf("reload error %v does not wrap ErrBadModelVersion", err)
+	}
+	got, ok := reg.Get("")
+	if !ok || got.Version != want.Version || got.Predictor == nil {
+		t.Fatalf("old generation lost after failed reload: %+v", got)
+	}
+
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Reload(); err == nil {
+		t.Fatal("reload of missing file succeeded")
+	}
+	if _, ok := reg.Get(""); !ok {
+		t.Fatal("old generation lost after missing-file reload")
+	}
+}
+
+func TestRegistryRejectsEmptyAndBadBoot(t *testing.T) {
+	if _, err := NewRegistry(nil); err == nil {
+		t.Fatal("empty registry accepted")
+	}
+	if _, err := NewRegistry(map[string]string{"m": "/nonexistent/model.json"}); err == nil {
+		t.Fatal("missing boot model accepted")
+	}
+}
+
+func mustCopy(t *testing.T, from, to string) {
+	t.Helper()
+	data, err := os.ReadFile(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(to, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"napel/internal/cache"
+	"napel/internal/napel"
+)
+
+// Config tunes the service. Zero fields take the documented defaults.
+type Config struct {
+	// ModelPaths maps model names to predictor files written by
+	// `napel train`. The entry named "default" (or a sole entry) serves
+	// requests that name no model.
+	ModelPaths map[string]string
+	// CacheEntries bounds the LRU response cache (default 4096).
+	CacheEntries int
+	// MaxBatch bounds the number of items in one batched predict
+	// request (default 256).
+	MaxBatch int
+	// MaxBodyBytes bounds request bodies (default 8 MiB). Oversized
+	// requests get 413.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently served requests (default 64);
+	// excess requests are rejected immediately with 429.
+	MaxInFlight int
+	// Workers bounds the fan-out pool a batched request is spread
+	// across (default min(GOMAXPROCS, 8)).
+	Workers int
+	// DrainTimeout is how long Run waits for in-flight requests after
+	// shutdown is requested (default 10s).
+	DrainTimeout time.Duration
+	// AccessLog receives one logfmt line per request; nil disables.
+	AccessLog io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers > 8 {
+			c.Workers = 8
+		}
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// cacheKey identifies a memoizable prediction: the exact model weights
+// (via the registry's content-hash version) and a hash of everything
+// the prediction depends on — the assembled feature vector (which
+// embeds the architecture point and thread count) plus the instruction
+// total.
+type cacheKey struct {
+	version string
+	hash    uint64
+}
+
+// Server is the napel-serve HTTP service. Create with New, mount via
+// Handler, or run with graceful shutdown via Run.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	cache    *cache.LRU[cacheKey, napel.Prediction]
+	metrics  *Metrics
+	sem      chan struct{}
+	draining atomic.Bool
+
+	// testHookPredict, when non-nil, runs at the start of every
+	// prediction — tests use it to hold requests in flight.
+	testHookPredict func()
+}
+
+// New loads all configured models and returns a ready server; it fails
+// if any model file is missing or unreadable (fail fast at boot —
+// hot-reload failures later keep the old generation instead).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := NewRegistry(cfg.ModelPaths)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		registry: reg,
+		cache:    cache.NewLRU[cacheKey, napel.Prediction](cfg.CacheEntries),
+		metrics:  newMetrics("predict", "suitability", "models", "reload", "healthz", "metrics", "other"),
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Registry exposes the model registry (for CLI status and tests).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the routed HTTP handler with limits, metrics and
+// access logging applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
+	mux.Handle("/v1/predict", s.instrument("predict", http.MethodPost, s.handlePredict))
+	mux.Handle("/v1/suitability", s.instrument("suitability", http.MethodPost, s.handleSuitability))
+	mux.Handle("/v1/models", s.instrument("models", http.MethodGet, s.handleModels))
+	mux.Handle("/v1/models/reload", s.instrument("reload", http.MethodPost, s.handleReload))
+	mux.Handle("/", s.instrument("other", "", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+	}))
+	return mux
+}
+
+// statusRecorder captures the response status and size for metrics and
+// the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with the serving plumbing: method check,
+// drain refusal, concurrency limiting with 429 backpressure, body size
+// limits, per-endpoint metrics and structured access logging.
+func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+
+		switch {
+		case method != "" && r.Method != method:
+			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		case s.draining.Load():
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, "server is draining")
+		default:
+			select {
+			case s.sem <- struct{}{}:
+				s.metrics.inFlight.Add(1)
+				r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+				h(rec, r)
+				s.metrics.inFlight.Add(-1)
+				<-s.sem
+			default:
+				s.metrics.rejected.Add(1)
+				rec.Header().Set("Retry-After", "1")
+				writeError(rec, http.StatusTooManyRequests,
+					fmt.Sprintf("over %d requests in flight", s.cfg.MaxInFlight))
+			}
+		}
+
+		dur := time.Since(start)
+		s.metrics.endpoint(endpoint).observe(rec.status, dur)
+		s.logAccess(r, rec, dur)
+	})
+}
+
+func (s *Server) logAccess(r *http.Request, rec *statusRecorder, dur time.Duration) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	fmt.Fprintf(s.cfg.AccessLog,
+		"ts=%s level=info msg=request method=%s path=%s status=%d dur_us=%d bytes=%d remote=%s\n",
+		time.Now().UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
+		rec.status, dur.Microseconds(), rec.bytes, r.RemoteAddr)
+}
+
+// Run serves on addr until ctx is cancelled, then drains in-flight
+// requests for up to DrainTimeout before returning. New requests
+// arriving during the drain are refused with 503.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serve(ctx, ln)
+}
+
+func (s *Server) serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("serve: drain incomplete after %s: %w", s.cfg.DrainTimeout, err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package serve is napel-serve: a long-running HTTP/JSON front end over
+// trained NAPEL predictors. It turns the one-shot CLI prediction flow
+// into the paper's headline use case at service scale — millisecond
+// predictions replacing hours of cycle-level NMC simulation — with a
+// versioned model registry (atomic hot reload), single and batched
+// prediction, the Figure 6/7 NMC-suitability verdict, an LRU response
+// cache, Prometheus-style metrics, backpressure limits and graceful
+// drain. Everything is stdlib-only, like the rest of the repository.
+//
+// Wire contract: clients ship the 395-feature PISA profile (as produced
+// by `napel export-profile`), the NMC architecture point, and a thread
+// count; the server assembles the same feature vector the in-process
+// path uses and returns bit-identical predictions.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"napel/internal/napel"
+	"napel/internal/nmcsim"
+	"napel/internal/pisa"
+)
+
+// WireProfile is the portable form of a pisa.Profile: the named feature
+// vector plus the few scalars prediction needs that are not part of the
+// model input (extrapolated instruction total) or that depend on the
+// architecture only through a tabulated curve (hit fractions).
+type WireProfile struct {
+	SimInstrs      uint64  `json:"sim_instrs,omitempty"`
+	Coverage       float64 `json:"coverage,omitempty"`
+	TotalInstrs    float64 `json:"total_instrs"`
+	FootprintBytes float64 `json:"footprint_bytes,omitempty"`
+	// Features maps pisa feature names to values; all 395 must be
+	// present and no unknown names are accepted.
+	Features map[string]float64 `json:"features"`
+	// HitCurve is pisa.Profile.HitFractionCurve: estimated hit fraction
+	// at 2^i cache lines, used to derive the architectural
+	// cache/DRAM-access-fraction features server-side.
+	HitCurve []float64 `json:"hit_curve"`
+}
+
+// NewWireProfile converts a profiled kernel into its wire form.
+func NewWireProfile(p *pisa.Profile) WireProfile {
+	names := pisa.FeatureNames()
+	vec := p.Vector()
+	feats := make(map[string]float64, len(names))
+	for i, n := range names {
+		feats[n] = vec[i]
+	}
+	return WireProfile{
+		SimInstrs:      p.SimInstrs(),
+		Coverage:       p.Coverage(),
+		TotalInstrs:    p.TotalInstrs(),
+		FootprintBytes: p.FootprintBytes(),
+		Features:       feats,
+		HitCurve:       p.HitFractionCurve(),
+	}
+}
+
+// vector orders the named features into pisa's canonical 395-entry
+// layout, rejecting missing, extra, or non-finite entries.
+func (wp *WireProfile) vector() ([]float64, error) {
+	names := pisa.FeatureNames()
+	if len(wp.Features) != len(names) {
+		return nil, fmt.Errorf("profile has %d features, want %d", len(wp.Features), len(names))
+	}
+	vec := make([]float64, len(names))
+	for i, n := range names {
+		v, ok := wp.Features[n]
+		if !ok {
+			return nil, fmt.Errorf("profile is missing feature %q", n)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("feature %q is not finite", n)
+		}
+		vec[i] = v
+	}
+	if wp.TotalInstrs <= 0 || math.IsNaN(wp.TotalInstrs) || math.IsInf(wp.TotalInstrs, 0) {
+		return nil, fmt.Errorf("total_instrs %g must be positive and finite", wp.TotalInstrs)
+	}
+	return vec, nil
+}
+
+// WireArch selects an NMC architecture point. Zero-valued fields keep
+// the Table 3 reference system's value, so an empty object is exactly
+// the paper's baseline.
+type WireArch struct {
+	PEs           int     `json:"pes,omitempty"`
+	FreqGHz       float64 `json:"freq_ghz,omitempty"`
+	Core          string  `json:"core,omitempty"` // "inorder" (default) or "ooo"
+	L1LineBytes   int     `json:"l1_line_bytes,omitempty"`
+	L1Lines       int     `json:"l1_lines,omitempty"`
+	L1Assoc       int     `json:"l1_assoc,omitempty"`
+	DRAMLayers    int     `json:"dram_layers,omitempty"`
+	DRAMSizeBytes uint64  `json:"dram_size_bytes,omitempty"`
+}
+
+// config resolves the overrides against the Table 3 baseline and
+// validates the result.
+func (wa WireArch) config() (nmcsim.Config, error) {
+	cfg := nmcsim.DefaultConfig()
+	switch wa.Core {
+	case "", "inorder":
+	case "ooo":
+		cfg = nmcsim.OoOConfig()
+	default:
+		return cfg, fmt.Errorf("arch core %q must be \"inorder\" or \"ooo\"", wa.Core)
+	}
+	if wa.PEs > 0 {
+		cfg.PEs = wa.PEs
+	}
+	if wa.FreqGHz > 0 {
+		cfg.FreqGHz = wa.FreqGHz
+	}
+	if wa.L1LineBytes > 0 {
+		cfg.L1.LineSize = wa.L1LineBytes
+	}
+	if wa.L1Lines > 0 {
+		cfg.L1.Lines = wa.L1Lines
+		if cfg.L1.Assoc > wa.L1Lines {
+			cfg.L1.Assoc = wa.L1Lines
+		}
+	}
+	if wa.L1Assoc > 0 {
+		cfg.L1.Assoc = wa.L1Assoc
+	}
+	if wa.DRAMLayers > 0 {
+		cfg.DRAM.Layers = wa.DRAMLayers
+	}
+	if wa.DRAMSizeBytes > 0 {
+		cfg.DRAM.SizeBytes = wa.DRAMSizeBytes
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// PredictRequest is the body of POST /v1/predict — either one object or
+// a JSON array of them (a batch).
+type PredictRequest struct {
+	// Model names a registry entry; empty selects the default model.
+	Model   string      `json:"model,omitempty"`
+	Profile WireProfile `json:"profile"`
+	Arch    WireArch    `json:"arch"`
+	// Threads is the run's hardware-thread count; 0 means one thread
+	// per PE of the resolved architecture.
+	Threads int `json:"threads,omitempty"`
+}
+
+// PredictResponse mirrors napel.Prediction plus serving metadata. In
+// batch responses a failed item carries Error and zero values.
+type PredictResponse struct {
+	Model        string  `json:"model,omitempty"`
+	ModelVersion string  `json:"model_version,omitempty"`
+	IPC          float64 `json:"ipc"`
+	EPI          float64 `json:"epi"`
+	TotalInstrs  float64 `json:"total_instrs"`
+	TimeSec      float64 `json:"time_sec"`
+	EnergyJ      float64 `json:"energy_j"`
+	EDP          float64 `json:"edp"`
+	Cached       bool    `json:"cached"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// WireHost carries the host-side (e.g. POWER9) execution numbers the
+// NMC estimate is judged against in the suitability use case. EDP may
+// be given directly or derived as energy × time.
+type WireHost struct {
+	TimeSec float64 `json:"time_sec,omitempty"`
+	EnergyJ float64 `json:"energy_j,omitempty"`
+	EDP     float64 `json:"edp,omitempty"`
+}
+
+func (wh WireHost) edp() (float64, error) {
+	edp := wh.EDP
+	if edp == 0 {
+		edp = wh.EnergyJ * wh.TimeSec
+	}
+	if edp <= 0 || math.IsNaN(edp) || math.IsInf(edp, 0) {
+		return 0, fmt.Errorf("host EDP must be positive: give host.edp or host.energy_j and host.time_sec")
+	}
+	return edp, nil
+}
+
+// SuitabilityRequest is the body of POST /v1/suitability: the Figure
+// 6/7 use case — should this kernel be offloaded to NMC?
+type SuitabilityRequest struct {
+	PredictRequest
+	Host WireHost `json:"host"`
+}
+
+// SuitabilityResponse reports the predicted-NMC vs host EDP verdict.
+type SuitabilityResponse struct {
+	NMC          PredictResponse `json:"nmc"`
+	HostEDP      float64         `json:"host_edp"`
+	EDPReduction float64         `json:"edp_reduction"`
+	// Verdict is "offload" when NMC wins (reduction > 1), else "host".
+	Verdict string `json:"verdict"`
+}
+
+// assemble turns a request into the model-ready feature vector and the
+// resolved run context, shared by predict and suitability.
+func (req *PredictRequest) assemble() (feat []float64, totalInstrs float64, cfg nmcsim.Config, threads int, err error) {
+	profVec, err := req.Profile.vector()
+	if err != nil {
+		return nil, 0, cfg, 0, err
+	}
+	cfg, err = req.Arch.config()
+	if err != nil {
+		return nil, 0, cfg, 0, err
+	}
+	threads = req.Threads
+	if threads == 0 {
+		threads = cfg.PEs
+	}
+	if threads < 0 {
+		return nil, 0, cfg, 0, fmt.Errorf("threads %d must be positive", threads)
+	}
+	arch, err := napel.ArchVectorFromCurve(cfg, req.Profile.HitCurve, threads)
+	if err != nil {
+		return nil, 0, cfg, 0, err
+	}
+	feat = append(profVec, arch...)
+	return feat, req.Profile.TotalInstrs, cfg, threads, nil
+}

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Full verification gate for the repo: static checks, build, the test
+# suite under the race detector, and a live end-to-end smoke test of the
+# napel-serve HTTP service (train a tiny model, start the server, hit
+# /healthz and /v1/predict, then check graceful drain on SIGTERM).
+#
+# Run via `make verify` or directly: ./scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+# The race detector slows the internal/exp table/figure drivers past the
+# per-package test timeout, so the race pass targets the packages that
+# actually share state across goroutines: the HTTP service, the LRU
+# response cache, and the predictor it serves concurrently.
+go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/...
+
+echo "== napel-serve smoke test =="
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/napel" ./cmd/napel
+go build -o "$tmp/napel-serve" ./cmd/napel-serve
+
+# A deliberately tiny model: one kernel, scaled inputs, small budgets —
+# this trains in about a second and is only used to exercise the wire.
+"$tmp/napel" train -kernels atax -train-scale 32 \
+    -train-sim-budget 20000 -train-profile-budget 20000 \
+    -out "$tmp/model.json" >/dev/null
+"$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
+    -budget 20000 -out "$tmp/req.json"
+
+port=$(( (RANDOM % 20000) + 20000 ))
+url="http://127.0.0.1:$port"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$port" -quiet 2>"$tmp/server.log" &
+server_pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$url/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: server never became healthy" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+
+health=$(curl -sS -o /dev/null -w '%{http_code}' "$url/healthz")
+predict=$(curl -sS -o "$tmp/resp.json" -w '%{http_code}' -d @"$tmp/req.json" "$url/v1/predict")
+if [ "$health" != 200 ] || [ "$predict" != 200 ]; then
+    echo "verify: healthz=$health predict=$predict (want 200/200)" >&2
+    cat "$tmp/resp.json" >&2
+    exit 1
+fi
+if ! grep -q '"edp"' "$tmp/resp.json"; then
+    echo "verify: predict response has no edp field:" >&2
+    cat "$tmp/resp.json" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "verify: server did not exit cleanly on SIGTERM" >&2
+    cat "$tmp/server.log" >&2
+    exit 1
+fi
+server_pid=""
+echo "smoke test: healthz=$health predict=$predict, clean SIGTERM drain"
+
+echo "verify: OK"
