@@ -285,6 +285,100 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Minst/s")
 }
 
+// benchCollectSetup returns the kernels and options for the collection
+// benchmarks: exp.Quick DoE settings (scale 16, 100k budgets, the full
+// 5-arch training sweep) over two representative kernels.
+func benchCollectSetup(b *testing.B) ([]workload.Kernel, napel.Options) {
+	b.Helper()
+	var kernels []workload.Kernel
+	for _, name := range []string{"atax", "mvt"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kernels = append(kernels, k)
+	}
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = 16
+	opts.MaxIters = 1
+	opts.ProfileBudget = 100_000
+	opts.SimBudget = 100_000
+	return kernels, opts
+}
+
+// BenchmarkCollectSerialBaseline reconstructs the pre-engine collection
+// algorithm through the public API: per CCD occurrence, one profiling
+// pass plus one freshly streamed simulation per training architecture —
+// every architecture re-executes the kernel trace. This is the baseline
+// the single-pass engine is measured against.
+func BenchmarkCollectSerialBaseline(b *testing.B) {
+	kernels, opts := benchCollectSetup(b)
+	b.ResetTimer()
+	var samples int
+	for i := 0; i < b.N; i++ {
+		samples = 0
+		profiled := map[string]bool{}
+		for _, k := range kernels {
+			for _, rawIn := range napel.CCDInputs(k) {
+				in := workload.Scale(k, rawIn, opts.ScaleFactor, opts.MaxIters)
+				key := k.Name() + "|" + in.String()
+				if !profiled[key] {
+					if _, err := napel.ProfileKernel(k, in, opts.ProfileBudget); err != nil {
+						b.Fatal(err)
+					}
+					profiled[key] = true
+				}
+				for _, arch := range opts.TrainArchs {
+					if _, err := napel.SimulateKernel(k, in, arch, opts.SimBudget); err != nil {
+						b.Fatal(err)
+					}
+					samples++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(samples), "samples")
+}
+
+// BenchmarkCollectEngine measures the single-pass engine at one and
+// four workers on the same settings as the serial baseline. The speedup
+// over BenchmarkCollectSerialBaseline comes from executing each distinct
+// (kernel, input) trace exactly once — recorded per shard, then replayed
+// into every training architecture — rather than once per architecture.
+func BenchmarkCollectEngine(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			kernels, opts := benchCollectSetup(b)
+			opts.Workers = workers
+			b.ResetTimer()
+			var samples int
+			for i := 0; i < b.N; i++ {
+				td, err := napel.Collect(kernels, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = len(td.Samples)
+			}
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
+
+// itoa renders a small non-negative int without strconv.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
 // BenchmarkAblation_DesignChoices measures the ablation study: CCD vs
 // random sampling, log/PE-normalized vs raw targets, and tuning.
 func BenchmarkAblation_DesignChoices(b *testing.B) {

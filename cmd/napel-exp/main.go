@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -24,6 +26,7 @@ func main() {
 	scale := flag.Int("scale", 0, "override DoE input scale factor (1 = Table 2 levels verbatim)")
 	simBudget := flag.Uint64("sim-budget", 0, "override instructions per NMC simulation")
 	profBudget := flag.Uint64("profile-budget", 0, "override instructions per profiling pass")
+	workers := flag.Int("workers", 0, "parallel collection/evaluation workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "also run the full suite and write a machine-readable report to this path")
 	flag.Parse()
 
@@ -41,6 +44,7 @@ func main() {
 	if *profBudget > 0 {
 		s.Opts.ProfileBudget = *profBudget
 	}
+	s.Opts.Workers = *workers
 
 	names := flag.Args()
 	if len(names) == 0 {
@@ -48,6 +52,11 @@ func main() {
 	}
 
 	ctx := exp.NewContext(s)
+	// SIGINT cancels in-flight collection/evaluation at the next unit
+	// boundary instead of leaving the terminal without a report line.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx.Ctx = sigCtx
 	w := os.Stdout
 	if *jsonOut != "" {
 		rep, err := ctx.RunReport(w)

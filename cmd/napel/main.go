@@ -19,9 +19,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -75,6 +79,29 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: napel <list|doe|profile|simulate|host|trace|compare|train|predict|export-profile> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'napel <command> -h' for command flags")
+	fmt.Fprintln(os.Stderr, "'train' and 'doe -collect' parallelize across -workers goroutines (default GOMAXPROCS)")
+	fmt.Fprintln(os.Stderr, "and abort cleanly on interrupt, reporting partial timing")
+}
+
+// interruptContext returns a context cancelled by the first SIGINT, so a
+// long-running collection stops at the next unit boundary and partial
+// results can still be reported. A second interrupt kills the process as
+// usual (stop restores default delivery).
+func interruptContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// reportPartial prints what a cancelled collection managed to gather.
+func reportPartial(td *napel.TrainingData) {
+	var profT, simT float64
+	for _, d := range td.ProfileTime {
+		profT += d.Seconds()
+	}
+	for _, d := range td.SimTime {
+		simT += d.Seconds()
+	}
+	fmt.Printf("interrupted: %d samples collected before cancellation (profiling %.1fs, simulation %.1fs)\n",
+		len(td.Samples), profT, simT)
 }
 
 // kernelFlags holds the common flags of kernel-oriented subcommands.
@@ -164,7 +191,9 @@ func runList() error {
 }
 
 func runDoE(args []string) error {
-	kf := newKernelFlags("doe", 0)
+	kf := newKernelFlags("doe", 400_000)
+	collect := kf.fs.Bool("collect", false, "run the DoE collection (profile + simulate every configuration)")
+	workers := kf.fs.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
 	k, _, err := kf.resolve(args)
 	if err != nil {
 		return err
@@ -174,7 +203,42 @@ func runDoE(args []string) error {
 	for i, in := range inputs {
 		fmt.Printf("%3d  %s\n", i+1, in)
 	}
+	if !*collect {
+		return nil
+	}
+
+	opts := napel.DefaultOptions()
+	opts.ScaleFactor = *kf.scale
+	if *kf.iters > 0 {
+		opts.MaxIters = *kf.iters
+	}
+	opts.SimBudget = *kf.budget
+	opts.Workers = *workers
+	ctx, stop := interruptContext()
+	defer stop()
+	fmt.Printf("collecting with %d workers...\n", effectiveWorkers(*workers))
+	td, err := napel.CollectContext(ctx, []workload.Kernel{k}, opts)
+	if err != nil {
+		if errors.Is(err, context.Canceled) && td != nil {
+			reportPartial(td)
+		}
+		return err
+	}
+	for _, r := range td.Summary() {
+		fmt.Printf("  %-6s %3d rows (%2d DoE confs), IPC [%.2f, %.2f], EPI [%.3g, %.3g] pJ\n",
+			r.App, r.Rows, r.DoEConfigs, r.MinIPC, r.MaxIPC, r.MinEPI*1e12, r.MaxEPI*1e12)
+	}
+	fmt.Printf("profiling %.1fs, simulation %.1fs\n",
+		td.ProfileTime[k.Name()].Seconds(), td.SimTime[k.Name()].Seconds())
 	return nil
+}
+
+// effectiveWorkers mirrors Options' worker resolution for display.
+func effectiveWorkers(w int) int {
+	if w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 func runProfile(args []string) error {
@@ -425,6 +489,7 @@ func runTrain(args []string) error {
 	profBudget := fs.Uint64("train-profile-budget", 500_000, "instructions per training profile")
 	tune := fs.Bool("tune", false, "run the hyper-parameter grid search")
 	seed := fs.Uint64("seed", 42, "pipeline seed")
+	workers := fs.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -433,6 +498,7 @@ func runTrain(args []string) error {
 	opts.ScaleFactor = *trainScale
 	opts.SimBudget = *simBudget
 	opts.ProfileBudget = *profBudget
+	opts.Workers = *workers
 
 	apps := workload.All()
 	if *kernels != "" {
@@ -446,9 +512,15 @@ func runTrain(args []string) error {
 		}
 	}
 
-	fmt.Printf("collecting DoE training data for %d applications...\n", len(apps))
-	td, err := napel.Collect(apps, opts)
+	fmt.Printf("collecting DoE training data for %d applications (%d workers)...\n",
+		len(apps), effectiveWorkers(*workers))
+	ctx, stop := interruptContext()
+	defer stop()
+	td, err := napel.CollectContext(ctx, apps, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && td != nil {
+			reportPartial(td)
+		}
 		return err
 	}
 	for _, r := range td.Summary() {

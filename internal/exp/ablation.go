@@ -84,27 +84,27 @@ func (c *Context) Ablation(w io.Writer) (*AblationResult, error) {
 	res := &AblationResult{}
 
 	// Baseline: the shipped configuration.
-	rows, err := napel.EvaluateLOOCV(td, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	rows, err := napel.EvaluateLOOCVContext(c.ctx(), td, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed, c.S.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	res.Baseline = napel.MeanMRE(rows)
 
 	// Random sampling instead of CCD, same run counts and budgets.
-	randTD, err := napel.CollectWithInputs(c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
+	randTD, err := napel.CollectWithInputsContext(c.ctx(), c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
 		return napel.RandomInputs(k, c.S.Seed)
 	})
 	if err != nil {
 		return nil, err
 	}
-	randRows, err := napel.EvaluateLOOCV(randTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	randRows, err := napel.EvaluateLOOCVContext(c.ctx(), randTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed, c.S.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	res.RandomDoE = napel.MeanMRE(randRows)
 
 	// Latin hypercube sampling of the same budget.
-	lhsTD, err := napel.CollectWithInputs(c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
+	lhsTD, err := napel.CollectWithInputsContext(c.ctx(), c.S.Kernels, c.S.Opts, func(k workload.Kernel) []workload.Input {
 		params := k.Params()
 		pts := doe.LatinHypercube(len(params), doe.NumRuns(len(params)), c.S.Seed)
 		inputs := make([]workload.Input, len(pts))
@@ -120,7 +120,7 @@ func (c *Context) Ablation(w io.Writer) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	lhsRows, err := napel.EvaluateLOOCV(lhsTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed)
+	lhsRows, err := napel.EvaluateLOOCVContext(c.ctx(), lhsTD, napel.TargetIPC, napel.DefaultRFTrainer(), c.S.Seed, c.S.Opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -107,10 +108,21 @@ type Context struct {
 	td *napel.TrainingData
 	// CollectTime is the wall-clock cost of the DoE collection.
 	CollectTime time.Duration
+	// Ctx, when set, cancels in-flight collection/evaluation (e.g. on
+	// SIGINT from cmd/napel-exp). Nil means context.Background().
+	Ctx context.Context
 }
 
 // NewContext returns a context for the given settings.
 func NewContext(s Settings) *Context { return &Context{S: s} }
+
+// ctx resolves the driver cancellation context.
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
 
 // TrainingData runs (or returns the cached) phase 1+2 collection.
 func (c *Context) TrainingData() (*napel.TrainingData, error) {
@@ -118,7 +130,7 @@ func (c *Context) TrainingData() (*napel.TrainingData, error) {
 		return c.td, nil
 	}
 	t0 := time.Now()
-	td, err := napel.Collect(c.S.Kernels, c.S.Opts)
+	td, err := napel.CollectContext(c.ctx(), c.S.Kernels, c.S.Opts)
 	if err != nil {
 		return nil, err
 	}

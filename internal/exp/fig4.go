@@ -78,20 +78,22 @@ func (c *Context) Fig4(w io.Writer) (*Fig4Result, error) {
 	for _, k := range c.S.Kernels {
 		in := workload.Scale(k, workload.CentralInput(k), c.S.Opts.ScaleFactor, c.S.Opts.MaxIters)
 
-		// Simulator path: run a sample of the sweep, extrapolate.
+		// Simulator path: run a sample of the sweep single-pass (one
+		// trace recording replayed to every sampled config), extrapolate.
 		sample := c.S.Fig4Sample
 		if sample > len(sweep) {
 			sample = len(sweep)
 		}
 		stride := len(sweep) / sample
-		var simDur time.Duration
+		sampled := make([]nmcsim.Config, sample)
 		for s := 0; s < sample; s++ {
-			t0 := time.Now()
-			if _, err := napel.SimulateKernel(k, in, sweep[s*stride], c.S.Opts.SimBudget); err != nil {
-				return nil, err
-			}
-			simDur += time.Since(t0)
+			sampled[s] = sweep[s*stride]
 		}
+		t0 := time.Now()
+		if _, err := napel.SimulateKernelArchs(c.ctx(), k, in, sampled, c.S.Opts.SimBudget); err != nil {
+			return nil, err
+		}
+		simDur := time.Since(t0)
 
 		// NAPEL path: one profile, then one prediction per configuration.
 		t1 := time.Now()

@@ -54,7 +54,7 @@ func (c *Context) Fig5(w io.Writer) (*Fig5Result, error) {
 		res.PerModel[target] = map[string][]napel.AccuracyRow{}
 		res.Mean[target] = map[string]float64{}
 		for _, model := range fig5Models {
-			rows, err := napel.EvaluateLOOCV(td, target, fig5Trainer(model), c.S.Seed)
+			rows, err := napel.EvaluateLOOCVContext(c.ctx(), td, target, fig5Trainer(model), c.S.Seed, c.S.Opts.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -64,7 +64,7 @@ func (c *Context) Fig7(w io.Writer) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := napel.SuitabilityAnalysis(c.S.Kernels, td, c.testOpts(), c.S.Seed)
+	rows, err := napel.SuitabilityAnalysisContext(c.ctx(), c.S.Kernels, td, c.testOpts(), c.S.Seed)
 	if err != nil {
 		return nil, err
 	}

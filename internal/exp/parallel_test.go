@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// microSettings shrinks Quick far enough that the drivers run in
+// seconds under -race (the verify script drives this file with
+// `-run Parallel`).
+func microSettings() Settings {
+	s := Quick()
+	s.Opts.ScaleFactor = 32
+	s.Opts.ProfileBudget = 20_000
+	s.Opts.SimBudget = 20_000
+	s.Opts.HostBudget = 40_000
+	s.Opts.TrainArchs = s.Opts.TrainArchs[:2]
+	s.Opts.Workers = 4
+	s.TestSimBudget = 40_000
+	s.TestProfileBudget = 20_000
+	s.Kernels = nil
+	for _, name := range []string{"atax", "mvt", "gesu"} {
+		k, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		s.Kernels = append(s.Kernels, k)
+	}
+	return s
+}
+
+// TestParallelCollectionPipeline exercises the parallel engine end to
+// end through the driver layer — collection, leave-one-out evaluation
+// and the fan-out suitability analysis all at Workers=4 — so the race
+// detector sees every concurrent path the CLIs reach.
+func TestParallelCollectionPipeline(t *testing.T) {
+	c := NewContext(microSettings())
+	td, err := c.TrainingData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	rows, err := napel.EvaluateLOOCVContext(context.Background(), td, napel.TargetIPC,
+		napel.DefaultRFTrainer(), c.S.Seed, c.S.Opts.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(c.S.Kernels) {
+		t.Fatalf("%d LOOCV rows, want %d", len(rows), len(c.S.Kernels))
+	}
+	if _, err := c.Fig7(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelCancelledContext: a cancelled driver context aborts the
+// suite cleanly.
+func TestParallelCancelledContext(t *testing.T) {
+	c := NewContext(microSettings())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c.Ctx = ctx
+	if _, err := c.TrainingData(); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"napel/internal/napel"
+	"napel/internal/nmcsim"
 	"napel/internal/workload"
 )
 
@@ -47,15 +48,21 @@ func (c *Context) Scratchpad(w io.Writer) (*ScratchpadResult, error) {
 		return nil, err
 	}
 	res := &ScratchpadResult{App: k.Name(), HostEDP: host.EDP}
-	for _, bytes := range scratchpadSizes {
-		cfg := opts.RefArch
+	// The capacity sweep is purely architectural — one recorded trace
+	// serves every point.
+	cfgs := make([]nmcsim.Config, len(scratchpadSizes))
+	for i, bytes := range scratchpadSizes {
+		cfgs[i] = opts.RefArch
 		if bytes > 0 {
-			cfg = cfg.WithScratchpad(bytes)
+			cfgs[i] = cfgs[i].WithScratchpad(bytes)
 		}
-		r, err := napel.SimulateKernel(k, in, cfg, opts.SimBudget)
-		if err != nil {
-			return nil, err
-		}
+	}
+	sims, err := napel.SimulateKernelArchs(c.ctx(), k, in, cfgs, opts.SimBudget)
+	if err != nil {
+		return nil, err
+	}
+	for i, bytes := range scratchpadSizes {
+		r := sims[i]
 		pt := ScratchpadPoint{
 			Bytes:  bytes,
 			NMCEDP: r.EDP,

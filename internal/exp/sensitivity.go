@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"napel/internal/napel"
+	"napel/internal/nmcsim"
 	"napel/internal/stats"
 	"napel/internal/workload"
 )
@@ -48,21 +49,26 @@ func (c *Context) Sensitivity(w io.Writer) (*SensitivityResult, error) {
 	}
 
 	res := &SensitivityResult{App: k.Name()}
+	// The swept configs differ only architecturally, so one recorded
+	// trace serves the whole sweep.
+	cfgs := make([]nmcsim.Config, len(sensitivityPEs))
+	for i, pes := range sensitivityPEs {
+		cfgs[i] = c.S.Opts.RefArch
+		cfgs[i].PEs = pes
+	}
+	sims, err := napel.SimulateKernelArchs(c.ctx(), k, in, cfgs, c.S.Opts.SimBudget)
+	if err != nil {
+		return nil, err
+	}
 	var actuals, preds []float64
-	for _, pes := range sensitivityPEs {
-		cfg := c.S.Opts.RefArch
-		cfg.PEs = pes
-		actual, err := napel.SimulateKernel(k, in, cfg, c.S.Opts.SimBudget)
-		if err != nil {
-			return nil, err
-		}
-		est := pred.Predict(prof, cfg, in.Threads())
+	for i, pes := range sensitivityPEs {
+		est := pred.Predict(prof, cfgs[i], in.Threads())
 		res.Points = append(res.Points, SensitivityPoint{
 			PEs:       pes,
-			ActualIPC: actual.IPC,
+			ActualIPC: sims[i].IPC,
 			PredIPC:   est.IPC,
 		})
-		actuals = append(actuals, actual.IPC)
+		actuals = append(actuals, sims[i].IPC)
 		preds = append(preds, est.IPC)
 	}
 	res.Correlation = stats.Pearson(preds, actuals)

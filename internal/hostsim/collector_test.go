@@ -1,0 +1,65 @@
+package hostsim
+
+import (
+	"reflect"
+	"testing"
+
+	"napel/internal/trace"
+)
+
+// budgetGen honors the tracer budget like real workloads: Stop checked at
+// outer-loop boundaries, coverage reported on early exit. Shards share a
+// small write region so the sharing probe has something to find.
+func budgetGen(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		priv := uint64(1<<28) + uint64(shard)<<24
+		for i := 0; i < n; i += 4 {
+			if t.Stop() {
+				t.SetCoverage(i, n)
+				return
+			}
+			for j := 0; j < 4; j++ {
+				t.Load(0, priv+uint64(i+j)*8, 8, 1, 2)
+				t.Store(1, uint64((i+j)%64)*8, 8, 1)
+			}
+		}
+	}
+}
+
+// TestCollectorFanoutMatchesRun drives the Collector through trace.Fanout
+// alongside a second consumer (as the napel suitability path does, where
+// the host model and the PISA profiler share one kernel execution) and
+// checks the result is bit-identical to a dedicated Run — provided the
+// collector's sink budget is the fan-out's largest, so it sees exactly
+// the trace a dedicated run would.
+func TestCollectorFanoutMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	gen := budgetGen(2000)
+	for _, threads := range []int{1, 4} {
+		for _, budget := range []uint64{0, 500, 100000} {
+			want, err := Run(cfg, gen, threads, budget)
+			if err != nil {
+				t.Fatalf("Run(threads %d, budget %d): %v", threads, budget, err)
+			}
+
+			col := NewCollector(cfg, ProbeSharing(gen, threads, budget))
+			var other trace.Counter
+			hostSink := &trace.Sink{C: col, Budget: budget}
+			otherBudget := budget / 2
+			if budget == 0 {
+				otherBudget = 100
+			}
+			otherSink := &trace.Sink{C: &other, Budget: otherBudget}
+			trace.Fanout(func(tr *trace.Tracer) { gen(0, 1, tr) }, hostSink, otherSink)
+			got := col.Finish(hostSink.Coverage, threads)
+
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("threads %d budget %d: fan-out result differs from Run\n got %+v\nwant %+v",
+					threads, budget, got, want)
+			}
+			if other.Total == 0 {
+				t.Errorf("threads %d budget %d: co-consumer saw no instructions", threads, budget)
+			}
+		}
+	}
+}

@@ -167,6 +167,13 @@ type Generator func(shard, nshards int, t *trace.Tracer)
 // Run estimates host time and energy for the kernel traced by gen,
 // executed with the given thread count. budget caps the simulated
 // instructions (0 = unlimited).
+//
+// Run is a convenience wrapper around the streaming pieces: ProbeSharing
+// for the cross-thread write-sharing set, a Collector consuming the
+// sequential (shard 0 of 1) trace, and Collector.Finish for the cycle and
+// energy model. Callers that already have a sequential trace pass in
+// flight (e.g. one shared with the PISA profiler via trace.Fanout) can
+// use those pieces directly and skip the extra kernel execution.
 func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -174,126 +181,155 @@ func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error)
 	if threads <= 0 {
 		return nil, fmt.Errorf("hostsim: thread count %d must be positive", threads)
 	}
-
-	l1 := cache.New(cfg.L1)
-	l2 := cache.New(cfg.L2)
-	l3 := cache.New(cfg.L3)
-	// Two-level data TLB over 4 KiB pages (disabled when entries are 0).
-	var tlb1, tlb2 *cache.Cache
-	if cfg.TLBEntries > 0 {
-		tlb1 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLBEntries, Assoc: 4})
-	}
-	if cfg.TLB2Entries > 0 {
-		tlb2 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLB2Entries, Assoc: 8})
-	}
-	var tlbWalks uint64
-	var counter trace.Counter
-	var dramBytes uint64
-	var streamMiss, irregMiss uint64
-	siteLast := make(map[uint32]uint64)
-	lineBytes := uint64(cfg.L3.LineSize)
-
-	// Write-backs ripple outward level by level.
-	l1.WriteBack = func(addr uint64) { l2.Access(addr, true) }
-	l2.WriteBack = func(addr uint64) { l3.Access(addr, true) }
-	l3.WriteBack = func(addr uint64) { dramBytes += lineBytes }
-
-	consumer := trace.ConsumerFunc(func(i trace.Inst) {
-		counter.OnInst(i)
-		if !i.Op.IsMem() {
-			return
-		}
-		// Per-site stride classification for the prefetcher model.
-		streaming := false
-		if last, ok := siteLast[i.PC]; ok {
-			delta := i.Addr - last
-			if last > i.Addr {
-				delta = last - i.Addr
-			}
-			streaming = delta <= cfg.PrefetchStride
-		}
-		siteLast[i.PC] = i.Addr
-		// Address translation precedes the cache lookup.
-		if tlb1 != nil && !tlb1.Access(i.Addr, false).Hit {
-			if tlb2 == nil || !tlb2.Access(i.Addr, false).Hit {
-				tlbWalks++
-			}
-		}
-		write := i.Op == trace.OpStore
-		if l1.Access(i.Addr, write).Hit {
-			return
-		}
-		if l2.Access(i.Addr, false).Hit {
-			return
-		}
-		if l3.Access(i.Addr, false).Hit {
-			return
-		}
-		dramBytes += lineBytes
-		if streaming {
-			streamMiss++
-		} else {
-			irregMiss++
-		}
-	})
-
 	// Probe cross-thread write sharing before the main pass so shared
 	// stores can be classified on the fly.
-	shared := probeSharing(gen, threads, budget)
-	var sharedStores, totalStores uint64
+	col := NewCollector(cfg, ProbeSharing(gen, threads, budget))
+	tr := trace.NewTracer(budget, col)
+	gen(0, 1, tr)
+	return col.Finish(tr.Coverage(), threads), nil
+}
 
-	mainConsumer := trace.ConsumerFunc(func(i trace.Inst) {
-		consumer(i)
-		if i.Op == trace.OpStore {
-			totalStores++
-			if shared != nil {
-				if _, ok := shared[i.Addr>>6]; ok {
-					sharedStores++
-				}
+// Collector is the host model's streaming trace consumer: the exact
+// L1/L2/L3 walk, TLB, per-site stride classification and shared-store
+// counting over one sequential pass. It implements trace.Consumer, so it
+// can share a single kernel execution with other consumers through
+// trace.Fanout. cfg must already be validated; shared is the write-shared
+// line set from ProbeSharing (nil for single-threaded runs).
+type Collector struct {
+	cfg        Config
+	l1, l2, l3 *cache.Cache
+	tlb1, tlb2 *cache.Cache
+	tlbWalks   uint64
+	counter    trace.Counter
+	dramBytes  uint64
+	streamMiss uint64
+	irregMiss  uint64
+	siteLast   map[uint32]uint64
+	lineBytes  uint64
+
+	shared       map[uint64]struct{}
+	sharedStores uint64
+	totalStores  uint64
+}
+
+// NewCollector returns a collector ready to consume a sequential
+// (shard 0 of 1) trace of the kernel.
+func NewCollector(cfg Config, shared map[uint64]struct{}) *Collector {
+	c := &Collector{
+		cfg:       cfg,
+		l1:        cache.New(cfg.L1),
+		l2:        cache.New(cfg.L2),
+		l3:        cache.New(cfg.L3),
+		siteLast:  make(map[uint32]uint64),
+		lineBytes: uint64(cfg.L3.LineSize),
+		shared:    shared,
+	}
+	// Two-level data TLB over 4 KiB pages (disabled when entries are 0).
+	if cfg.TLBEntries > 0 {
+		c.tlb1 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLBEntries, Assoc: 4})
+	}
+	if cfg.TLB2Entries > 0 {
+		c.tlb2 = cache.New(cache.Config{LineSize: 4096, Lines: cfg.TLB2Entries, Assoc: 8})
+	}
+	// Write-backs ripple outward level by level.
+	c.l1.WriteBack = func(addr uint64) { c.l2.Access(addr, true) }
+	c.l2.WriteBack = func(addr uint64) { c.l3.Access(addr, true) }
+	c.l3.WriteBack = func(addr uint64) { c.dramBytes += c.lineBytes }
+	return c
+}
+
+// OnInst implements trace.Consumer.
+func (c *Collector) OnInst(i trace.Inst) {
+	c.counter.OnInst(i)
+	if i.Op == trace.OpStore {
+		c.totalStores++
+		if c.shared != nil {
+			if _, ok := c.shared[i.Addr>>6]; ok {
+				c.sharedStores++
 			}
 		}
-	})
-	tr := trace.NewTracer(budget, mainConsumer)
-	gen(0, 1, tr)
+	}
+	if !i.Op.IsMem() {
+		return
+	}
+	// Per-site stride classification for the prefetcher model.
+	streaming := false
+	if last, ok := c.siteLast[i.PC]; ok {
+		delta := i.Addr - last
+		if last > i.Addr {
+			delta = last - i.Addr
+		}
+		streaming = delta <= c.cfg.PrefetchStride
+	}
+	c.siteLast[i.PC] = i.Addr
+	// Address translation precedes the cache lookup.
+	if c.tlb1 != nil && !c.tlb1.Access(i.Addr, false).Hit {
+		if c.tlb2 == nil || !c.tlb2.Access(i.Addr, false).Hit {
+			c.tlbWalks++
+		}
+	}
+	write := i.Op == trace.OpStore
+	if c.l1.Access(i.Addr, write).Hit {
+		return
+	}
+	if c.l2.Access(i.Addr, false).Hit {
+		return
+	}
+	if c.l3.Access(i.Addr, false).Hit {
+		return
+	}
+	c.dramBytes += c.lineBytes
+	if streaming {
+		c.streamMiss++
+	} else {
+		c.irregMiss++
+	}
+}
 
+// Finish converts the accumulated counts into the host estimate:
+// coverage is the traced fraction of the sequential pass (used to
+// extrapolate totals) and threads is the run's hardware thread count.
+// The collector must not receive further instructions afterward.
+func (c *Collector) Finish(coverage float64, threads int) *Result {
+	cfg := c.cfg
 	res := &Result{
-		SimInstrs: counter.Total,
-		Coverage:  tr.Coverage(),
-		L1:        l1.Stats,
-		L2:        l2.Stats,
-		L3:        l3.Stats,
+		SimInstrs: c.counter.Total,
+		Coverage:  coverage,
+		L1:        c.l1.Stats,
+		L2:        c.l2.Stats,
+		L3:        c.l3.Stats,
 	}
 	if res.Coverage <= 0 || res.Coverage > 1 {
 		res.Coverage = 1
 	}
-	res.TotalInstrs = float64(counter.Total) / res.Coverage
-	res.DRAMBytes = float64(dramBytes) / res.Coverage
-	res.StreamMisses = streamMiss
-	res.IrregMisses = irregMiss
-	res.TLBWalks = tlbWalks
+	res.TotalInstrs = float64(c.counter.Total) / res.Coverage
+	res.DRAMBytes = float64(c.dramBytes) / res.Coverage
+	res.StreamMisses = c.streamMiss
+	res.IrregMisses = c.irregMiss
+	res.TLBWalks = c.tlbWalks
 
 	// Single-thread cycle model: issue-width-bound compute plus
 	// MLP-discounted miss penalties at each level.
-	l2acc := float64(l1.Stats.Misses())
-	l3acc := float64(l2.Stats.ReadMisses)
+	l2acc := float64(c.l1.Stats.Misses())
+	l3acc := float64(c.l2.Stats.ReadMisses)
 	memCycles := cfg.MemNs * cfg.FreqGHz
 	// Streaming misses are mostly covered by the prefetchers and overlap
 	// well (MLP); irregular misses form dependent chains with little
 	// overlap (MLPIrregular).
-	memStall := float64(irregMiss)*memCycles/cfg.MLPIrregular +
-		float64(streamMiss)*(1-cfg.PrefetchEff)*memCycles/cfg.MLP
+	memStall := float64(c.irregMiss)*memCycles/cfg.MLPIrregular +
+		float64(c.streamMiss)*(1-cfg.PrefetchEff)*memCycles/cfg.MLP
 	// Coherence: each shared store costs a snoop/invalidate round when
 	// other threads exist.
-	if totalStores > 0 {
-		res.SharedWriteFrac = float64(sharedStores) / float64(totalStores)
+	if c.totalStores > 0 {
+		res.SharedWriteFrac = float64(c.sharedStores) / float64(c.totalStores)
 	}
 	cohCycles := 0.0
 	if threads > 1 {
-		cohCycles = float64(sharedStores) * cfg.CoherenceNs * cfg.FreqGHz / cfg.MLP
+		cohCycles = float64(c.sharedStores) * cfg.CoherenceNs * cfg.FreqGHz / cfg.MLP
 	}
 	// Page walks overlap like other memory-level parallelism.
-	walkCycles := float64(tlbWalks) * cfg.PageWalkNs * cfg.FreqGHz / cfg.MLP
-	cycles := float64(counter.Total)/cfg.IssueWidth +
+	walkCycles := float64(c.tlbWalks) * cfg.PageWalkNs * cfg.FreqGHz / cfg.MLP
+	cycles := float64(c.counter.Total)/cfg.IssueWidth +
 		(l2acc*cfg.L2Cycles+l3acc*cfg.L3Cycles)/cfg.MLP + memStall + cohCycles + walkCycles
 	res.CyclesOne = cycles / res.Coverage
 
@@ -315,14 +351,14 @@ func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error)
 
 	res.EnergyJ = hostEnergy(cfg, res, threads)
 	res.EDP = res.EnergyJ * res.TimeSec
-	return res, nil
+	return res
 }
 
-// probeSharing traces two shards of a threads-way execution and returns
+// ProbeSharing traces two shards of a threads-way execution and returns
 // the set of cache lines written by one shard and touched by the other
 // (nil when the run is single-threaded). The probe is capped well below
 // the main budget; sharing patterns show up immediately.
-func probeSharing(gen Generator, threads int, budget uint64) map[uint64]struct{} {
+func ProbeSharing(gen Generator, threads int, budget uint64) map[uint64]struct{} {
 	if threads < 2 {
 		return nil
 	}

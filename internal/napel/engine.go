@@ -1,0 +1,258 @@
+package napel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"napel/internal/nmcsim"
+	"napel/internal/pisa"
+	"napel/internal/trace"
+	"napel/internal/workload"
+)
+
+// This file is the data-collection engine: Collect decomposed into
+// independent (kernel, input) units executed by a worker pool, each unit
+// tracing its kernel once per shard and replaying the recordings to
+// every training architecture. Results are written into a preallocated
+// slot per unit and assembled into TrainingData in plan order, so the
+// output is bit-identical for any worker count.
+
+// collectUnit is one distinct (kernel, scaled input) pair. CCD centre
+// replicates collapse onto a single unit and are re-expanded at assembly.
+type collectUnit struct {
+	kernel workload.Kernel
+	in     workload.Input
+	key    string
+}
+
+// kernelPlan remembers how one kernel's input list maps onto units so
+// assembly can reproduce the exact serial-collection sample order,
+// replicates included.
+type kernelPlan struct {
+	k         workload.Kernel
+	occ       []int // unit index per input occurrence, in selection order
+	numInputs int
+}
+
+// unitResult is everything one unit produces. done distinguishes a
+// finished unit from one skipped by cancellation; wall-clock durations
+// are kept separate from the deterministic payload.
+type unitResult struct {
+	prof        *pisa.Profile
+	profileTime time.Duration
+	recordTime  time.Duration
+	sims        []*nmcsim.Result
+	simTimes    []time.Duration
+	err         error
+	done        bool
+}
+
+// CollectContext is Collect with cancellation: on ctx cancellation it
+// stops scheduling units and returns the data assembled so far alongside
+// ctx.Err(), so callers can still report partial timing.
+func CollectContext(ctx context.Context, kernels []workload.Kernel, opts Options) (*TrainingData, error) {
+	return CollectWithInputsContext(ctx, kernels, opts, CCDInputs)
+}
+
+// CollectWithInputsContext is the engine entry point backing every
+// Collect variant.
+func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, opts Options, inputsFor func(workload.Kernel) []workload.Input) (*TrainingData, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Plan: dedupe the scaled inputs into units, remembering each
+	// kernel's occurrence order for deterministic assembly.
+	var units []collectUnit
+	unitIdx := map[string]int{}
+	plans := make([]kernelPlan, 0, len(kernels))
+	for _, k := range kernels {
+		inputs := inputsFor(k)
+		plan := kernelPlan{k: k, numInputs: len(inputs)}
+		for _, rawIn := range inputs {
+			in := workload.Scale(k, rawIn, opts.ScaleFactor, opts.MaxIters)
+			key := inputKey(k.Name(), in)
+			idx, ok := unitIdx[key]
+			if !ok {
+				idx = len(units)
+				unitIdx[key] = idx
+				units = append(units, collectUnit{kernel: k, in: in, key: key})
+			}
+			plan.occ = append(plan.occ, idx)
+		}
+		plans = append(plans, plan)
+	}
+
+	// Execute: a worker pool over the unit list. Each unit owns its own
+	// result slot, so no shared state is written concurrently.
+	results := make([]unitResult, len(units))
+	runPool(ctx, opts.workers(), len(units), func(idx int) {
+		results[idx] = runCollectUnit(ctx, units[idx], opts)
+	})
+
+	// The first hard error in unit order wins, matching the serial
+	// loop's abort-at-first-failure contract. Context aborts are not
+	// hard errors — they surface via ctx.Err() below so partial data
+	// survives a SIGINT.
+	for i := range results {
+		err := results[i].err
+		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("napel: collecting %s: %w", units[i].kernel.Name(), err)
+		}
+	}
+
+	// Assemble single-threaded in plan order: the output is a pure
+	// function of the unit results, independent of completion order.
+	td := &TrainingData{
+		Names:       append(append([]string(nil), pisa.FeatureNames()...), ArchFeatureNames()...),
+		Profiles:    map[string]*pisa.Profile{},
+		DoEConfigs:  map[string]int{},
+		SimTime:     map[string]time.Duration{},
+		ProfileTime: map[string]time.Duration{},
+	}
+	for _, plan := range plans {
+		td.DoEConfigs[plan.k.Name()] = plan.numInputs
+		for _, idx := range plan.occ {
+			r := &results[idx]
+			if !r.done {
+				continue
+			}
+			u := units[idx]
+			if _, ok := td.Profiles[u.key]; !ok {
+				td.Profiles[u.key] = r.prof
+				td.ProfileTime[u.kernel.Name()] += r.profileTime
+				simDur := r.recordTime
+				for _, d := range r.simTimes {
+					simDur += d
+				}
+				td.SimTime[u.kernel.Name()] += simDur
+			}
+			base := r.prof.Vector()
+			for ai, arch := range opts.TrainArchs {
+				feat := make([]float64, 0, len(base)+NumArchFeatures)
+				feat = append(feat, base...)
+				feat = append(feat, ArchVector(arch, r.prof, u.in.Threads())...)
+				td.Samples = append(td.Samples, Sample{
+					App:       u.kernel.Name(),
+					Input:     u.in,
+					ArchIdx:   ai,
+					ActivePEs: ActivePEs(u.in.Threads(), arch.PEs),
+					Features:  feat,
+					IPC:       r.sims[ai].IPC,
+					EPI:       r.sims[ai].EPI,
+					SimTime:   r.simTimes[ai],
+				})
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return td, err
+	}
+	return td, nil
+}
+
+// runCollectUnit executes one unit: the profiling pass, one trace
+// recording per shard, and a replayed simulation per training
+// architecture. The kernel's trace generator runs exactly 1+threads
+// times regardless of how many architectures are trained on — the
+// single-pass saving over the per-arch re-execution it replaces.
+func runCollectUnit(ctx context.Context, u collectUnit, opts Options) unitResult {
+	var r unitResult
+	if ctx.Err() != nil {
+		return r
+	}
+	t0 := time.Now()
+	prof, err := ProfileKernel(u.kernel, u.in, opts.ProfileBudget)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.profileTime = time.Since(t0)
+	r.prof = prof
+
+	threads := u.in.Threads()
+	t0 = time.Now()
+	recs, err := recordShards(u.kernel, u.in, threads, opts.SimBudget)
+	if err != nil {
+		r.err = err
+		return r
+	}
+	r.recordTime = time.Since(t0)
+
+	r.sims = make([]*nmcsim.Result, len(opts.TrainArchs))
+	r.simTimes = make([]time.Duration, len(opts.TrainArchs))
+	for ai, arch := range opts.TrainArchs {
+		if err := ctx.Err(); err != nil {
+			r.err = err
+			return r
+		}
+		t0 = time.Now()
+		res, err := nmcsim.RunSources(arch, threads, opts.SimBudget, func(shard int, _ uint64) trace.InstSource {
+			return recs[shard].Source()
+		})
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.simTimes[ai] = time.Since(t0)
+		r.sims[ai] = res
+	}
+	r.done = true
+	return r
+}
+
+// recordShards materializes kernel k's trace once per shard at the
+// per-thread budget nmcsim would apply. Shard traces are independent of
+// the simulated architecture, so the recordings replay bit-identically
+// to any number of configs.
+func recordShards(k workload.Kernel, in workload.Input, threads int, budget uint64) ([]*trace.Recording, error) {
+	if err := workload.Validate(k, in); err != nil {
+		return nil, err
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("napel: thread count %d must be positive", threads)
+	}
+	per := nmcsim.PerThreadBudget(budget, threads)
+	recs := make([]*trace.Recording, threads)
+	for shard := range recs {
+		shard := shard
+		recs[shard] = trace.Record(per, func(t *trace.Tracer) {
+			k.Trace(in, shard, threads, t)
+		})
+	}
+	return recs, nil
+}
+
+// SimulateKernelArchs simulates kernel k with input in on every config
+// in archs from a single set of shard recordings — the single-pass
+// replacement for calling SimulateKernel once per architecture. Results
+// are bit-identical to the individual runs and positionally aligned
+// with archs.
+func SimulateKernelArchs(ctx context.Context, k workload.Kernel, in workload.Input, archs []nmcsim.Config, budget uint64) ([]*nmcsim.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	threads := in.Threads()
+	recs, err := recordShards(k, in, threads, budget)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*nmcsim.Result, len(archs))
+	for i, cfg := range archs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i], err = nmcsim.RunSources(cfg, threads, budget, func(shard int, _ uint64) trace.InstSource {
+			return recs[shard].Source()
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

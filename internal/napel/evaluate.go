@@ -1,12 +1,17 @@
 package napel
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
+	"napel/internal/hostsim"
 	"napel/internal/ml"
+	"napel/internal/pisa"
 	"napel/internal/stats"
+	"napel/internal/trace"
 	"napel/internal/workload"
 )
 
@@ -24,6 +29,18 @@ type AccuracyRow struct {
 // mean relative error of Equation 1. trainer builds the model (NAPEL's
 // random forest or one of the Figure 5 baselines).
 func EvaluateLOOCV(td *TrainingData, target Target, trainer ml.Trainer, seed uint64) ([]AccuracyRow, error) {
+	return EvaluateLOOCVContext(context.Background(), td, target, trainer, seed, 0)
+}
+
+// EvaluateLOOCVContext is EvaluateLOOCV with cancellation and a worker
+// count: the per-application folds are independent (trainers are pure
+// values), so they train concurrently across workers goroutines
+// (0 = GOMAXPROCS). Rows come back in sorted application order
+// regardless of completion order.
+func EvaluateLOOCVContext(ctx context.Context, td *TrainingData, target Target, trainer ml.Trainer, seed uint64, workers int) ([]AccuracyRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	d := td.Dataset(target)
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -31,24 +48,85 @@ func EvaluateLOOCV(td *TrainingData, target Target, trainer ml.Trainer, seed uin
 	folds := ml.LeaveOneGroupOut(d)
 	apps := d.GroupNames()
 	sort.Strings(apps)
-	rows := make([]AccuracyRow, 0, len(apps))
-	for _, app := range apps {
+
+	type foldOut struct {
+		row  AccuracyRow
+		err  error
+		done bool
+	}
+	results := make([]foldOut, len(apps))
+	runFold := func(i int) {
+		app := apps[i]
 		fold := folds[app]
 		if len(fold.Train) == 0 || len(fold.Test) == 0 {
-			continue
+			return // skipped, matching the serial loop
+		}
+		if ctx.Err() != nil {
+			return
 		}
 		t0 := time.Now()
 		model, err := trainer.Train(d.Subset(fold.Train), seed)
 		if err != nil {
-			return nil, fmt.Errorf("napel: LOOCV training for %s: %w", app, err)
+			results[i].err = fmt.Errorf("napel: LOOCV training for %s: %w", app, err)
+			return
 		}
-		rows = append(rows, AccuracyRow{
-			App:       app,
-			MRE:       ml.MRE(model, d.Subset(fold.Test)),
-			TrainTime: time.Since(t0),
-		})
+		results[i] = foldOut{
+			row: AccuracyRow{
+				App:       app,
+				MRE:       ml.MRE(model, d.Subset(fold.Test)),
+				TrainTime: time.Since(t0),
+			},
+			done: true,
+		}
+	}
+	runPool(ctx, Options{Workers: workers}.workers(), len(apps), runFold)
+
+	rows := make([]AccuracyRow, 0, len(apps))
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		if results[i].done {
+			rows = append(rows, results[i].row)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// runPool runs f(0..n-1) across at most workers goroutines, stopping the
+// feed (but not in-flight calls) when ctx is cancelled. Each index owns
+// its own result slot, so f needs no locking.
+func runPool(ctx context.Context, workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				f(i)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // MeanMRE averages the per-application errors.
@@ -93,6 +171,22 @@ func (r SuitabilityRow) Agreement() bool { return (r.PredReduct > 1) == (r.Actua
 // architecture, and the NAPEL estimate from a model trained on the
 // *other* applications (leave-one-application-out, as in Section 3.3).
 func SuitabilityAnalysis(kernels []workload.Kernel, td *TrainingData, opts Options, seed uint64) ([]SuitabilityRow, error) {
+	return SuitabilityAnalysisContext(context.Background(), kernels, td, opts, seed)
+}
+
+// SuitabilityAnalysisContext is SuitabilityAnalysis with cancellation
+// and the single-pass engine underneath: per kernel, the host model and
+// the PISA profiler share ONE sequential trace execution via
+// trace.Fanout (instead of a dedicated run each), and the per-kernel
+// analyses — each also training two leave-one-out models — run across
+// opts.Workers goroutines. Rows come back in kernel order.
+func SuitabilityAnalysisContext(ctx context.Context, kernels []workload.Kernel, td *TrainingData, opts Options, seed uint64) ([]SuitabilityRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Host.Validate(); err != nil {
+		return nil, err
+	}
 	ipcData := td.Dataset(TargetIPC)
 	epiData := td.Dataset(TargetEPI)
 	if err := ipcData.Validate(); err != nil {
@@ -101,38 +195,51 @@ func SuitabilityAnalysis(kernels []workload.Kernel, td *TrainingData, opts Optio
 	ipcFolds := ml.LeaveOneGroupOut(ipcData)
 	trainer := DefaultRFTrainer()
 
-	rows := make([]SuitabilityRow, 0, len(kernels))
-	for _, k := range kernels {
+	type suitOut struct {
+		row  SuitabilityRow
+		err  error
+		done bool
+	}
+	results := make([]suitOut, len(kernels))
+	runKernel := func(i int) {
+		k := kernels[i]
 		app := k.Name()
+		if ctx.Err() != nil {
+			return
+		}
 		testIn := workload.Scale(k, workload.TestInput(k), opts.TestScaleFactor, opts.TestMaxIters)
+		if err := workload.Validate(k, testIn); err != nil {
+			results[i].err = err
+			return
+		}
 
-		host, err := HostRun(k, testIn, opts.Host, opts.HostBudget)
+		host, prof, err := hostAndProfile(k, testIn, opts)
 		if err != nil {
-			return nil, fmt.Errorf("napel: host run for %s: %w", app, err)
+			results[i].err = fmt.Errorf("napel: host run for %s: %w", app, err)
+			return
 		}
 		actual, err := SimulateKernel(k, testIn, opts.RefArch, opts.SimBudget)
 		if err != nil {
-			return nil, fmt.Errorf("napel: NMC simulation for %s: %w", app, err)
+			results[i].err = fmt.Errorf("napel: NMC simulation for %s: %w", app, err)
+			return
 		}
 
 		fold, ok := ipcFolds[app]
 		if !ok || len(fold.Train) == 0 {
-			return nil, fmt.Errorf("napel: no training data excluding %s", app)
+			results[i].err = fmt.Errorf("napel: no training data excluding %s", app)
+			return
 		}
 		ipcModel, err := trainer.Train(ipcData.Subset(fold.Train), seed)
 		if err != nil {
-			return nil, err
+			results[i].err = err
+			return
 		}
 		epiModel, err := trainer.Train(epiData.Subset(fold.Train), seed)
 		if err != nil {
-			return nil, err
+			results[i].err = err
+			return
 		}
 		pred := Predictor{IPC: ipcModel, EPI: epiModel, Names: td.Names}
-
-		prof, err := ProfileKernel(k, testIn, opts.ProfileBudget)
-		if err != nil {
-			return nil, err
-		}
 		est := pred.Predict(prof, opts.RefArch, testIn.Threads())
 
 		row := SuitabilityRow{
@@ -150,7 +257,41 @@ func SuitabilityAnalysis(kernels []workload.Kernel, td *TrainingData, opts Optio
 			row.ActualReduct = row.HostEDP / row.ActualEDP
 			row.EDPError = stats.RelErr(row.PredEDP, row.ActualEDP)
 		}
-		rows = append(rows, row)
+		results[i] = suitOut{row: row, done: true}
+	}
+	runPool(ctx, opts.workers(), len(kernels), runKernel)
+
+	rows := make([]SuitabilityRow, 0, len(kernels))
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		if results[i].done {
+			rows = append(rows, results[i].row)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// hostAndProfile runs the host model and the PISA profiler off a single
+// sequential execution of k's trace. The host sink carries the larger
+// budget in every shipped configuration, so its view — and the host
+// Result — is bit-identical to a dedicated hostsim.Run; the profiler is
+// capped at exactly ProfileBudget instructions from the same pass. The
+// input must already be validated.
+func hostAndProfile(k workload.Kernel, in workload.Input, opts Options) (*hostsim.Result, *pisa.Profile, error) {
+	threads := in.Threads()
+	if threads <= 0 {
+		return nil, nil, fmt.Errorf("hostsim: thread count %d must be positive", threads)
+	}
+	gen := func(shard, nshards int, t *trace.Tracer) { k.Trace(in, shard, nshards, t) }
+	col := hostsim.NewCollector(opts.Host, hostsim.ProbeSharing(gen, threads, opts.HostBudget))
+	profiler := pisa.NewProfiler()
+	hostSink := &trace.Sink{C: col, Budget: opts.HostBudget}
+	profSink := &trace.Sink{C: profiler, Budget: opts.ProfileBudget}
+	trace.Fanout(func(t *trace.Tracer) { gen(0, 1, t) }, hostSink, profSink)
+	return col.Finish(hostSink.Coverage, threads), profiler.Finish(profSink.Coverage), nil
 }

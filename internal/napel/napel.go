@@ -20,7 +20,9 @@
 package napel
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"napel/internal/doe"
@@ -68,6 +70,18 @@ type Options struct {
 	RefArch nmcsim.Config
 	// Host is the host system (Table 3 POWER9) for the EDP comparison.
 	Host hostsim.Config
+	// Workers bounds the number of (kernel, input) units collected
+	// concurrently; 0 means runtime.GOMAXPROCS(0). The assembled
+	// TrainingData is bit-identical for any worker count.
+	Workers int
+}
+
+// workers resolves the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultOptions returns the configuration used by the experiment
@@ -348,6 +362,12 @@ func hashName(name string) uint64 {
 // CCD input selection, PISA profiling of each distinct input, and NMC
 // simulation of every (input, architecture) pair. The returned dataset
 // feeds Predictor training.
+//
+// Collection runs on the single-pass parallel engine (see engine.go):
+// each distinct (kernel, input) unit executes its trace once per shard
+// and the recordings replay to every training architecture, with units
+// spread across Options.Workers goroutines. Use CollectContext when the
+// run should be cancellable.
 func Collect(kernels []workload.Kernel, opts Options) (*TrainingData, error) {
 	return CollectWithInputs(kernels, opts, CCDInputs)
 }
@@ -356,65 +376,7 @@ func Collect(kernels []workload.Kernel, opts Options) (*TrainingData, error) {
 // the hook the DoE ablation uses to compare CCD against random sampling
 // of the same budget.
 func CollectWithInputs(kernels []workload.Kernel, opts Options, inputsFor func(workload.Kernel) []workload.Input) (*TrainingData, error) {
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	td := &TrainingData{
-		Names:       append(append([]string(nil), pisa.FeatureNames()...), ArchFeatureNames()...),
-		Profiles:    map[string]*pisa.Profile{},
-		DoEConfigs:  map[string]int{},
-		SimTime:     map[string]time.Duration{},
-		ProfileTime: map[string]time.Duration{},
-	}
-	for _, k := range kernels {
-		if err := collectKernel(td, k, opts, inputsFor(k)); err != nil {
-			return nil, fmt.Errorf("napel: collecting %s: %w", k.Name(), err)
-		}
-	}
-	return td, nil
-}
-
-func collectKernel(td *TrainingData, k workload.Kernel, opts Options, inputs []workload.Input) error {
-	td.DoEConfigs[k.Name()] = len(inputs)
-	for _, rawIn := range inputs {
-		in := workload.Scale(k, rawIn, opts.ScaleFactor, opts.MaxIters)
-		key := inputKey(k.Name(), in)
-		prof, ok := td.Profiles[key]
-		if !ok {
-			t0 := time.Now()
-			var err error
-			prof, err = ProfileKernel(k, in, opts.ProfileBudget)
-			if err != nil {
-				return err
-			}
-			td.ProfileTime[k.Name()] += time.Since(t0)
-			td.Profiles[key] = prof
-		}
-		base := prof.Vector()
-		for ai, arch := range opts.TrainArchs {
-			t0 := time.Now()
-			res, err := SimulateKernel(k, in, arch, opts.SimBudget)
-			if err != nil {
-				return err
-			}
-			simDur := time.Since(t0)
-			td.SimTime[k.Name()] += simDur
-			feat := make([]float64, 0, len(base)+NumArchFeatures)
-			feat = append(feat, base...)
-			feat = append(feat, ArchVector(arch, prof, in.Threads())...)
-			td.Samples = append(td.Samples, Sample{
-				App:       k.Name(),
-				Input:     in,
-				ArchIdx:   ai,
-				ActivePEs: ActivePEs(in.Threads(), arch.PEs),
-				Features:  feat,
-				IPC:       res.IPC,
-				EPI:       res.EPI,
-				SimTime:   simDur,
-			})
-		}
-	}
-	return nil
+	return CollectWithInputsContext(context.Background(), kernels, opts, inputsFor)
 }
 
 // ArchCCDConfigs applies the paper's DoE machinery to the architecture

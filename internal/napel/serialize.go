@@ -9,6 +9,8 @@ import (
 
 	"napel/internal/ml"
 	"napel/internal/ml/rf"
+	"napel/internal/pisa"
+	"napel/internal/workload"
 )
 
 // savedPredictor is the on-disk form of a trained Predictor: the two
@@ -107,4 +109,88 @@ func LoadPredictor(r io.Reader) (*Predictor, error) {
 		}
 	}
 	return p, nil
+}
+
+// savedTrainingData is the on-disk form of a collected dataset: the
+// deterministic payload only. Wall-clock fields (per-sample SimTime, the
+// SimTime/ProfileTime aggregates) and the raw profiles are deliberately
+// excluded — everything written is a pure function of (kernels, inputs,
+// options), which is what makes the serialized bytes identical across
+// worker counts and runs.
+type savedTrainingData struct {
+	Version    int            `json:"version"`
+	Names      []string       `json:"feature_names"`
+	DoEConfigs map[string]int `json:"doe_configs"`
+	Samples    []savedSample  `json:"samples"`
+}
+
+type savedSample struct {
+	App       string         `json:"app"`
+	Input     workload.Input `json:"input"`
+	ArchIdx   int            `json:"arch_idx"`
+	ActivePEs int            `json:"active_pes"`
+	Features  []float64      `json:"features"`
+	IPC       float64        `json:"ipc"`
+	EPI       float64        `json:"epi"`
+}
+
+// SaveTrainingData serializes the dataset as JSON. The output is
+// byte-for-byte deterministic: map keys are sorted by the encoder and no
+// wall-clock measurement is included.
+func SaveTrainingData(w io.Writer, td *TrainingData) error {
+	out := savedTrainingData{
+		Version:    savedVersion,
+		Names:      td.Names,
+		DoEConfigs: td.DoEConfigs,
+		Samples:    make([]savedSample, len(td.Samples)),
+	}
+	for i, s := range td.Samples {
+		out.Samples[i] = savedSample{
+			App:       s.App,
+			Input:     s.Input,
+			ArchIdx:   s.ArchIdx,
+			ActivePEs: s.ActivePEs,
+			Features:  s.Features,
+			IPC:       s.IPC,
+			EPI:       s.EPI,
+		}
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadTrainingData reads a dataset previously written by
+// SaveTrainingData. Profiles and timing maps come back empty (they are
+// not serialized); the result trains and evaluates exactly like the
+// original.
+func LoadTrainingData(r io.Reader) (*TrainingData, error) {
+	var in savedTrainingData
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("napel: decoding training data: %w", err)
+	}
+	if in.Version != savedVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadModelVersion, in.Version, savedVersion)
+	}
+	td := &TrainingData{
+		Names:       in.Names,
+		Profiles:    map[string]*pisa.Profile{},
+		DoEConfigs:  map[string]int{},
+		SimTime:     map[string]time.Duration{},
+		ProfileTime: map[string]time.Duration{},
+	}
+	for k, v := range in.DoEConfigs {
+		td.DoEConfigs[k] = v
+	}
+	td.Samples = make([]Sample, len(in.Samples))
+	for i, s := range in.Samples {
+		td.Samples[i] = Sample{
+			App:       s.App,
+			Input:     s.Input,
+			ArchIdx:   s.ArchIdx,
+			ActivePEs: s.ActivePEs,
+			Features:  s.Features,
+			IPC:       s.IPC,
+			EPI:       s.EPI,
+		}
+	}
+	return td, nil
 }

@@ -229,11 +229,46 @@ type Generator func(shard, nshards int, t *trace.Tracer)
 
 const psPerSec = 1e12
 
+// PerThreadBudget splits a total instruction budget evenly across the
+// hardware threads of a run, exactly as Run does internally (0 stays
+// unlimited; a positive budget never rounds below 1 per thread). Shard
+// trace content depends only on the kernel, input, shard assignment and
+// this per-thread budget — notably *not* on the architecture — which is
+// what makes recorded shard traces replayable across configurations.
+func PerThreadBudget(budget uint64, threads int) uint64 {
+	if budget == 0 || threads <= 0 {
+		return 0
+	}
+	b := budget / uint64(threads)
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// OpenSource supplies the dynamic trace of one hardware thread (shard)
+// as a pull-style source. The simulator calls it once per shard, passing
+// the per-thread instruction budget the source must honor.
+type OpenSource func(shard int, perThreadBudget uint64) trace.InstSource
+
 // Run simulates gen with threads hardware threads on the architecture
 // cfg. budget caps the total number of simulated instructions across all
 // threads (0 = unlimited); when a kernel is cut short the totals are
 // extrapolated by the recorded coverage.
 func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error) {
+	return RunSources(cfg, threads, budget, func(shard int, perThreadBudget uint64) trace.InstSource {
+		return trace.NewStream(perThreadBudget, func(t *trace.Tracer) {
+			gen(shard, threads, t)
+		})
+	})
+}
+
+// RunSources is Run with the trace generation factored out: open is
+// called once per shard and returns the shard's instruction source. Use
+// it to replay pre-recorded shard traces (trace.Recording) so that one
+// kernel execution can feed simulations of many architecture
+// configurations; with stream-backed sources it is exactly Run.
+func RunSources(cfg Config, threads int, budget uint64, open OpenSource) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -249,13 +284,7 @@ func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error)
 	if psPerCycle == 0 {
 		psPerCycle = 1
 	}
-	perThreadBudget := uint64(0)
-	if budget > 0 {
-		perThreadBudget = budget / uint64(threads)
-		if perThreadBudget == 0 {
-			perThreadBudget = 1
-		}
-	}
+	perThreadBudget := PerThreadBudget(budget, threads)
 
 	res := &Result{}
 	npes := cfg.PEs
@@ -290,14 +319,14 @@ func Run(cfg Config, gen Generator, threads int, budget uint64) (*Result, error)
 	// services requests in global arrival order.
 	eq := &eventQueue{}
 	for _, p := range pes {
-		if p.runUntilPending(gen, threads, perThreadBudget) {
+		if p.runUntilPending(open, perThreadBudget) {
 			heap.Push(eq, p)
 		}
 	}
 	for eq.Len() > 0 {
 		p := heap.Pop(eq).(*pe)
 		p.service()
-		if p.runUntilPending(gen, threads, perThreadBudget) {
+		if p.runUntilPending(open, perThreadBudget) {
 			heap.Push(eq, p)
 		}
 	}
@@ -391,7 +420,9 @@ type pe struct {
 
 	shards       []int // hardware threads assigned to this PE
 	shardIdx     int
-	stream       *trace.Stream
+	stream       trace.InstSource
+	insts        []trace.Inst // bulk fast path when the source exposes its slice
+	pos          int
 	extrapInstrs float64 // Σ per-shard count/coverage
 
 	nowPs    uint64 // issue-pointer time
@@ -414,43 +445,55 @@ type pe struct {
 	lastPrefetch uint64 // last line injected by the prefetcher
 }
 
-// runUntilPending drives the PE forward — opening shard streams as needed
+// runUntilPending drives the PE forward — opening shard sources as needed
 // — until it has a DRAM request pending (true) or all its shards are
 // exhausted (false).
-func (p *pe) runUntilPending(gen Generator, nshards int, budget uint64) bool {
+func (p *pe) runUntilPending(open OpenSource, budget uint64) bool {
 	for {
-		if p.stream == nil && !p.startNext(gen, nshards, budget) {
+		if p.stream == nil && !p.startNext(open, budget) {
 			return false
 		}
 		if p.advance() {
 			return true
 		}
 		// Current shard finished; record its coverage and move on.
-		if !p.startNext(gen, nshards, budget) {
+		if !p.startNext(open, budget) {
 			return false
 		}
 	}
 }
 
-// startNext opens the next assigned shard's trace stream; it returns
+// bulkSource is the optional fast path a slice-backed InstSource (a
+// trace.Recording replay) can offer: direct access to the whole trace,
+// letting the PE iterate without a per-instruction interface call.
+type bulkSource interface{ Insts() []trace.Inst }
+
+// startNext opens the next assigned shard's trace source; it returns
 // false when the PE has no shards left.
-func (p *pe) startNext(gen Generator, nshards int, budget uint64) bool {
+func (p *pe) startNext(open OpenSource, budget uint64) bool {
 	if p.stream != nil {
 		cov := p.stream.Coverage()
 		if cov <= 0 || cov > 1 {
 			cov = 1
 		}
-		p.extrapInstrs += float64(p.stream.Count()) / cov
+		count := p.stream.Count()
+		if p.insts != nil {
+			count = uint64(p.pos)
+		}
+		p.extrapInstrs += float64(count) / cov
 		p.stream = nil
+		p.insts = nil
 	}
 	if p.shardIdx >= len(p.shards) {
 		return false
 	}
 	shard := p.shards[p.shardIdx]
 	p.shardIdx++
-	p.stream = trace.NewStream(budget, func(t *trace.Tracer) {
-		gen(shard, nshards, t)
-	})
+	p.stream = open(shard, budget)
+	p.pos = 0
+	if bs, ok := p.stream.(bulkSource); ok {
+		p.insts = bs.Insts()
+	}
 	return true
 }
 
@@ -459,9 +502,19 @@ func (p *pe) startNext(gen Generator, nshards int, budget uint64) bool {
 // exhausted.
 func (p *pe) advance() bool {
 	for {
-		inst, ok := p.stream.Next()
-		if !ok {
-			return false
+		var inst trace.Inst
+		if p.insts != nil {
+			if p.pos >= len(p.insts) {
+				return false
+			}
+			inst = p.insts[p.pos]
+			p.pos++
+		} else {
+			var ok bool
+			inst, ok = p.stream.Next()
+			if !ok {
+				return false
+			}
 		}
 		p.res.SimInstrs++
 		p.res.ByOp[inst.Op]++

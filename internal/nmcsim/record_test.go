@@ -1,0 +1,90 @@
+package nmcsim
+
+import (
+	"reflect"
+	"testing"
+
+	"napel/internal/trace"
+)
+
+// budgetKernel emits shard-distinct loads and honors the tracer budget
+// the way real workloads do (Stop checked at outer-loop boundaries,
+// coverage reported on early exit).
+func budgetKernel(n int) Generator {
+	return func(shard, nshards int, t *trace.Tracer) {
+		base := uint64(1<<24) + uint64(shard)<<20
+		for i := 0; i < n; i += 8 {
+			if t.Stop() {
+				t.SetCoverage(i, n)
+				return
+			}
+			for j := 0; j < 8; j++ {
+				t.Load(j, base+uint64(i+j)*8, 8, 1, 2)
+				t.Int(8, 1, 2, trace.NoReg)
+			}
+		}
+	}
+}
+
+// TestRunSourcesReplayMatchesRun is the single-pass engine's contract:
+// shard traces depend only on (kernel, shard, nshards, perThreadBudget),
+// not on the architecture, so recording each shard once and replaying the
+// recordings into RunSources must reproduce the streamed Run bit for bit
+// on every architecture config.
+func TestRunSourcesReplayMatchesRun(t *testing.T) {
+	gen := budgetKernel(600)
+	small := DefaultConfig()
+	small.PEs = 2
+	big := DefaultConfig()
+	big.PEs = 8
+	big.OoOWidth = 4
+	configs := []Config{small, big, DefaultConfig()}
+
+	for _, threads := range []int{1, 3} {
+		for _, budget := range []uint64{0, 100, 5000} {
+			per := PerThreadBudget(budget, threads)
+			recs := make([]*trace.Recording, threads)
+			for shard := range recs {
+				shard := shard
+				recs[shard] = trace.Record(per, func(tr *trace.Tracer) {
+					gen(shard, threads, tr)
+				})
+			}
+			for ci, cfg := range configs {
+				want, err := Run(cfg, gen, threads, budget)
+				if err != nil {
+					t.Fatalf("Run(cfg %d, threads %d, budget %d): %v", ci, threads, budget, err)
+				}
+				got, err := RunSources(cfg, threads, budget, func(shard int, _ uint64) trace.InstSource {
+					return recs[shard].Source()
+				})
+				if err != nil {
+					t.Fatalf("RunSources(cfg %d, threads %d, budget %d): %v", ci, threads, budget, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("cfg %d threads %d budget %d: replayed result differs from streamed\n got %+v\nwant %+v",
+						ci, threads, budget, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPerThreadBudget(t *testing.T) {
+	cases := []struct {
+		budget  uint64
+		threads int
+		want    uint64
+	}{
+		{0, 4, 0},
+		{100, 0, 0},
+		{100, 4, 25},
+		{3, 8, 1},
+		{7, 2, 3},
+	}
+	for _, c := range cases {
+		if got := PerThreadBudget(c.budget, c.threads); got != c.want {
+			t.Errorf("PerThreadBudget(%d, %d) = %d, want %d", c.budget, c.threads, got, c.want)
+		}
+	}
+}

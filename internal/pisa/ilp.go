@@ -21,6 +21,7 @@ type ilpTracker struct {
 	maxCyc   [numWindows]uint64
 	regReady [numWindows][256]uint64
 	rings    [numWindows][]uint64 // issue cycles of the last W instructions
+	ringMask [numWindows]uint64   // len(rings[w])-1; window sizes are powers of two
 	memDep   map[uint64]*[numWindows]uint64
 }
 
@@ -28,7 +29,11 @@ func newILPTracker() *ilpTracker {
 	t := &ilpTracker{memDep: make(map[uint64]*[numWindows]uint64)}
 	for w, size := range ilpWindows {
 		if size > 0 {
+			if size&(size-1) != 0 {
+				panic("pisa: ILP window sizes must be powers of two")
+			}
 			t.rings[w] = make([]uint64, size)
+			t.ringMask[w] = uint64(size - 1)
 		}
 	}
 	return t
@@ -61,7 +66,7 @@ func (t *ilpTracker) OnInst(i trace.Inst) {
 		}
 		cyc := dep + 1
 		if ring := t.rings[w]; ring != nil {
-			slot := t.count % uint64(len(ring))
+			slot := t.count & t.ringMask[w]
 			// Instruction i may issue only after instruction i-W has
 			// completed (unit latency: its issue cycle + 1), freeing a
 			// window slot.

@@ -205,6 +205,14 @@ func (p *Profiler) Profile() *Profile {
 	return &Profile{pr: p}
 }
 
+// Finish records the traced fraction and freezes the profile in one
+// step — the natural endpoint when the profiler rode a shared trace run
+// (e.g. a trace.Fanout sink) whose coverage is known only afterward.
+func (p *Profiler) Finish(coverage float64) *Profile {
+	p.SetCoverage(coverage)
+	return p.Profile()
+}
+
 // Profile is the finished application profile p(k, d). Vector yields the
 // 395 hardware-independent features NAPEL trains on (see features.go).
 type Profile struct {

@@ -54,9 +54,7 @@ func (t *reuseTracker) Access(key uint64) uint64 {
 	t.seq++
 	dist := coldDistance
 	if oldIdx, ok := t.last.get(key); ok {
-		oldSeq := t.nodes[oldIdx].key
-		dist = t.countGreater(oldSeq)
-		t.remove(oldSeq)
+		dist = t.removeCounting(t.nodes[oldIdx].key)
 		t.free = append(t.free, oldIdx)
 	}
 	idx := t.newNode(t.seq)
@@ -90,24 +88,49 @@ func (t *reuseTracker) update(n int32) {
 	nd.size = 1 + t.size(nd.left) + t.size(nd.right)
 }
 
-// countGreater returns the number of nodes whose key exceeds key.
-func (t *reuseTracker) countGreater(key uint64) uint64 {
+// removeCounting deletes the node with sequence number key — which must
+// be present — and returns the number of nodes with a larger sequence.
+// The countGreater and remove walks of the textbook formulation are
+// fused into a single iterative descent: every ancestor of the removed
+// node loses exactly one descendant, so sizes are adjusted on the way
+// down instead of recomputed bottom-up.
+func (t *reuseTracker) removeCounting(key uint64) uint64 {
 	var cnt uint64
+	parent := nilNode
+	fromLeft := false
 	n := t.root
-	for n != nilNode {
+	for {
 		nd := &t.nodes[n]
-		if nd.key > key {
+		if key == nd.key {
+			cnt += uint64(t.size(nd.right))
+			sub := t.merge(nd.left, nd.right)
+			switch {
+			case parent == nilNode:
+				t.root = sub
+			case fromLeft:
+				t.nodes[parent].left = sub
+			default:
+				t.nodes[parent].right = sub
+			}
+			return cnt
+		}
+		nd.size--
+		parent = n
+		if key < nd.key {
 			cnt += uint64(t.size(nd.right)) + 1
 			n = nd.left
+			fromLeft = true
 		} else {
 			n = nd.right
+			fromLeft = false
 		}
 	}
-	return cnt
 }
 
 // insertMax inserts node idx, whose key is larger than every key in the
-// tree (sequence numbers are monotonic), and returns the new root.
+// tree (sequence numbers are monotonic), and returns the new root. Every
+// right-spine node that stays above idx gains exactly one descendant, so
+// sizes are bumped during the descent — no second fix-up pass.
 func (t *reuseTracker) insertMax(root, idx int32) int32 {
 	if root == nilNode {
 		return idx
@@ -122,61 +145,20 @@ func (t *reuseTracker) insertMax(root, idx int32) int32 {
 	n := root
 	for {
 		nd := &t.nodes[n]
+		nd.size++
 		r := nd.right
 		if r == nilNode {
 			nd.right = idx
-			break
+			return root
 		}
 		if t.nodes[idx].prio > t.nodes[r].prio {
 			t.nodes[idx].left = r
 			t.update(idx)
 			nd.right = idx
-			break
+			return root
 		}
 		n = r
 	}
-	// Fix sizes along the right spine.
-	t.fixRightSpine(root, idx)
-	return root
-}
-
-// fixRightSpine re-derives subtree sizes on the path from root down to
-// the freshly linked node.
-func (t *reuseTracker) fixRightSpine(root, stop int32) {
-	// The path is root.right.right...; recompute bottom-up by walking
-	// down twice (path length is O(log n) expected).
-	var path []int32
-	n := root
-	for n != nilNode && n != stop {
-		path = append(path, n)
-		n = t.nodes[n].right
-	}
-	for i := len(path) - 1; i >= 0; i-- {
-		t.update(path[i])
-	}
-}
-
-// remove deletes the node with the given key and returns nothing; the
-// caller recycles the index.
-func (t *reuseTracker) remove(key uint64) {
-	t.root = t.removeRec(t.root, key)
-}
-
-func (t *reuseTracker) removeRec(n int32, key uint64) int32 {
-	if n == nilNode {
-		return nilNode
-	}
-	nd := &t.nodes[n]
-	switch {
-	case key < nd.key:
-		nd.left = t.removeRec(nd.left, key)
-	case key > nd.key:
-		nd.right = t.removeRec(nd.right, key)
-	default:
-		return t.merge(nd.left, nd.right)
-	}
-	t.update(n)
-	return n
 }
 
 // merge joins trees a (all keys smaller) and b (all keys larger).

@@ -1,0 +1,147 @@
+package trace
+
+import "testing"
+
+// genN emits n deterministic instructions through the tracer, honoring
+// the budget the way kernels do: it checks Stop at "outer loop"
+// boundaries of 10 instructions and records its coverage.
+func genN(n int) func(*Tracer) {
+	return func(t *Tracer) {
+		for i := 0; i < n; i += 10 {
+			if t.Stop() {
+				t.SetCoverage(i, n)
+				return
+			}
+			for j := 0; j < 10; j++ {
+				t.Load(j, uint64(i+j)*8, 8, 1, 2)
+			}
+		}
+	}
+}
+
+func TestRecordMatchesStream(t *testing.T) {
+	for _, budget := range []uint64{0, 35, 1000} {
+		rec := Record(budget, genN(100))
+		s := NewStream(budget, genN(100))
+
+		src := rec.Source()
+		n := 0
+		for {
+			want, okW := s.Next()
+			got, okG := src.Next()
+			if okW != okG {
+				t.Fatalf("budget %d: length mismatch at %d (stream %v, recording %v)", budget, n, okW, okG)
+			}
+			if !okW {
+				break
+			}
+			if got != want {
+				t.Fatalf("budget %d: instruction %d = %+v, want %+v", budget, n, got, want)
+			}
+			n++
+		}
+		if src.Count() != s.Count() {
+			t.Errorf("budget %d: count %d, want %d", budget, src.Count(), s.Count())
+		}
+		if src.Coverage() != s.Coverage() {
+			t.Errorf("budget %d: coverage %v, want %v", budget, src.Coverage(), s.Coverage())
+		}
+	}
+}
+
+func TestRecordingReplayAndReuse(t *testing.T) {
+	rec := Record(0, genN(50))
+	if rec.Len() != 50 {
+		t.Fatalf("recorded %d instructions, want 50", rec.Len())
+	}
+	var a, b Counter
+	rec.Replay(&a, &b)
+	if a.Total != 50 || b.Total != 50 {
+		t.Fatalf("replay delivered %d/%d instructions, want 50/50", a.Total, b.Total)
+	}
+	// Independent sources over the same recording.
+	s1, s2 := rec.Source(), rec.Source()
+	s1.Next()
+	s1.Next()
+	if s1.Count() != 2 || s2.Count() != 0 {
+		t.Fatal("sources are not independent")
+	}
+	s1.Close()
+	if _, ok := s1.Next(); ok {
+		t.Fatal("closed source still yields instructions")
+	}
+	if _, ok := s2.Next(); !ok {
+		t.Fatal("second source affected by first Close")
+	}
+}
+
+func TestFanoutBudgetsAndCoverage(t *testing.T) {
+	var small, large Counter
+	sSmall := &Sink{C: &small, Budget: 20}
+	sLarge := &Sink{C: &large, Budget: 60}
+	total, cov := Fanout(genN(100), sSmall, sLarge)
+
+	if total < 60 || total >= 100 {
+		t.Fatalf("total emitted %d, want in [60, 100)", total)
+	}
+	if large.Total != total || sLarge.Count != total {
+		t.Fatalf("large sink saw %d of %d", large.Total, total)
+	}
+	if small.Total != 20 || sSmall.Count != 20 {
+		t.Fatalf("small sink saw %d, want its 20-instruction budget", small.Total)
+	}
+	// The run was cut short at 60 of 100 → coverage < 1; the capped sink
+	// gets a proportional share of it.
+	if cov >= 1 || cov <= 0 {
+		t.Fatalf("run coverage %v, want in (0, 1)", cov)
+	}
+	if sLarge.Coverage != cov {
+		t.Errorf("large sink coverage %v, want run coverage %v", sLarge.Coverage, cov)
+	}
+	want := cov * float64(20) / float64(total)
+	if sSmall.Coverage != want {
+		t.Errorf("small sink coverage %v, want %v", sSmall.Coverage, want)
+	}
+}
+
+// TestFanoutMaxSinkSeesOvershoot: kernels honor the budget softly — they
+// emit until the next Stop check — and a dedicated run's consumer sees
+// that overshoot. The budget-defining sink of a fan-out must too.
+func TestFanoutMaxSinkSeesOvershoot(t *testing.T) {
+	var ded Counter
+	tr := NewTracer(64, &ded)
+	genN(100)(tr) // chunks of 10 → emits 70 for budget 64
+
+	var max, small Counter
+	sMax := &Sink{C: &max, Budget: 64}
+	sSmall := &Sink{C: &small, Budget: 15}
+	total, _ := Fanout(genN(100), sMax, sSmall)
+	if total != tr.Count() {
+		t.Fatalf("fan-out emitted %d, dedicated run emitted %d", total, tr.Count())
+	}
+	if max.Total != ded.Total {
+		t.Errorf("max-budget sink saw %d, dedicated consumer saw %d", max.Total, ded.Total)
+	}
+	if small.Total != 15 {
+		t.Errorf("small sink saw %d, want its hard cap of 15", small.Total)
+	}
+}
+
+func TestFanoutUnlimitedSink(t *testing.T) {
+	var all, capped Counter
+	sAll := &Sink{C: &all}
+	sCap := &Sink{C: &capped, Budget: 10}
+	total, cov := Fanout(genN(50), sAll, sCap)
+	if total != 50 || all.Total != 50 {
+		t.Fatalf("unlimited sink saw %d of %d, want the full 50", all.Total, total)
+	}
+	if cov != 1 || sAll.Coverage != 1 {
+		t.Fatalf("full run coverage %v/%v, want 1", cov, sAll.Coverage)
+	}
+	if capped.Total != 10 {
+		t.Fatalf("capped sink saw %d, want 10", capped.Total)
+	}
+	if want := float64(10) / 50; sCap.Coverage != want {
+		t.Errorf("capped sink coverage %v, want %v", sCap.Coverage, want)
+	}
+}

@@ -18,11 +18,14 @@ echo "== go test ./... =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-# The race detector slows the internal/exp table/figure drivers past the
-# per-package test timeout, so the race pass targets the packages that
-# actually share state across goroutines: the HTTP service, the LRU
-# response cache, and the predictor it serves concurrently.
-go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/...
+# The race detector slows the full internal/exp table/figure drivers past
+# the per-package test timeout, so the race pass targets the packages
+# that actually share state across goroutines: the HTTP service, the LRU
+# response cache, the predictor it serves concurrently, the trace fan-out
+# layer, and the parallel collection engine. internal/exp joins with its
+# dedicated micro-settings parallel-pipeline tests.
+go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/...
+go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
 tmp=$(mktemp -d)
