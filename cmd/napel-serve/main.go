@@ -12,6 +12,12 @@
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 while
 // in-flight ones finish under -drain-timeout.
+//
+// With -follow, the server polls its model files and hot-installs any
+// content change — point -model at a napel-traind store's
+// current-model.json and promotions go live without a restart:
+//
+//	napel-serve -model ./models/current-model.json -follow 2s
 package main
 
 import (
@@ -64,6 +70,7 @@ func main() {
 	maxInFlight := flag.Int("max-inflight", 0, "max concurrent requests before 429 (0 = default 64)")
 	workers := flag.Int("workers", 0, "batch fan-out worker pool size (0 = default)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain deadline on shutdown")
+	follow := flag.Duration("follow", 0, "poll model files at this interval and hot-install changes (0 disables; point -model at a napel-traind store's current-model.json)")
 	quiet := flag.Bool("quiet", false, "disable the access log")
 	flag.Parse()
 
@@ -79,8 +86,9 @@ func main() {
 		MaxBatch:     *maxBatch,
 		MaxBodyBytes: *maxBody,
 		MaxInFlight:  *maxInFlight,
-		Workers:      *workers,
-		DrainTimeout: *drain,
+		Workers:        *workers,
+		DrainTimeout:   *drain,
+		FollowInterval: *follow,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

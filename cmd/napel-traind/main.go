@@ -1,0 +1,124 @@
+// Command napel-traind is the training-side daemon of the NAPEL model
+// lifecycle: it accepts training jobs over HTTP, drives the DoE
+// collection + random-forest pipeline with crash-safe checkpoints,
+// stores every trained model in a content-addressed store with full
+// lineage, and promotes a candidate into serving only when it beats the
+// incumbent on a held-out fold (the canary gate):
+//
+//	napel-traind -store ./models -addr :9091
+//	curl -d '{"kernels":["atax","mvt"]}' http://localhost:9091/v1/jobs
+//	napel-serve -model ./models/current-model.json -follow 2s
+//
+// Endpoints: POST/GET /v1/jobs, GET /v1/jobs/{id}, POST
+// /v1/jobs/{id}/cancel, GET /v1/store, POST /v1/store/rollback, GET
+// /healthz, GET /metrics (Prometheus text format).
+//
+// A SIGINT/SIGTERM checkpoints running jobs and exits; a killed daemon
+// (even SIGKILL) resumes interrupted jobs from their last checkpoint on
+// the next start, re-executing only unfinished (kernel, input) units.
+// A second SIGINT forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"napel/internal/lifecycle"
+)
+
+func main() {
+	addr := flag.String("addr", ":9091", "listen address for the admin API")
+	storeDir := flag.String("store", "", "model store directory (required)")
+	jobsDir := flag.String("jobs", "", "job state directory (default <store>/jobs)")
+	concurrency := flag.Int("concurrency", 1, "training jobs run at once")
+	gateTolerance := flag.Float64("gate-tolerance", 0, "promote when candidate holdout error <= incumbent error x tolerance (0 = default 1.05)")
+	holdoutFrac := flag.Float64("holdout-frac", 0, "held-out fraction for the canary gate (0 = default 0.25)")
+	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "min interval between collection checkpoints (0 = every unit)")
+	maxRetries := flag.Int("max-retries", 0, "retries per job after a transient failure (0 = default 2, negative disables)")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "napel-traind: ", log.LstdFlags)
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "napel-traind: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *jobsDir == "" {
+		*jobsDir = filepath.Join(*storeDir, "jobs")
+	}
+
+	store, err := lifecycle.OpenStore(*storeDir)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	mgr, err := lifecycle.NewManager(lifecycle.ManagerConfig{
+		Store:           store,
+		JobsDir:         *jobsDir,
+		Concurrency:     *concurrency,
+		GateTolerance:   *gateTolerance,
+		HoldoutFrac:     *holdoutFrac,
+		CheckpointEvery: *checkpointEvery,
+		MaxRetries:      *maxRetries,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	// First signal: graceful stop (running jobs checkpoint and stay
+	// resumable). Second signal: force exit with a non-zero status.
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Printf("received %s, checkpointing and shutting down (send again to force exit)", sig)
+		cancel()
+		sig = <-sigCh
+		logger.Printf("received second %s, forcing exit", sig)
+		os.Exit(130)
+	}()
+
+	srv := &http.Server{Addr: *addr, Handler: lifecycle.NewAPIHandler(mgr)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	logger.Printf("store %s, jobs %s, serving admin API on %s", *storeDir, *jobsDir, ln.Addr())
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mgr.Run(ctx)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Printf("http: %v", err)
+			cancel()
+		}
+	}()
+
+	<-ctx.Done()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), *drain)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	wg.Wait()
+	logger.Printf("jobs checkpointed, exiting")
+}

@@ -28,6 +28,8 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"napel/internal/napel"
 	"napel/internal/pisa"
@@ -85,10 +87,29 @@ func usage() {
 
 // interruptContext returns a context cancelled by the first SIGINT, so a
 // long-running collection stops at the next unit boundary and partial
-// results can still be reported. A second interrupt kills the process as
-// usual (stop restores default delivery).
+// results can still be reported. A second SIGINT forces immediate exit
+// with a non-zero status — signal.NotifyContext alone would swallow it
+// while the first cancellation is still unwinding, leaving no way to
+// kill a run that is slow to stop. stop deregisters the handler and
+// restores default delivery.
 func interruptContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "napel: interrupt — stopping at the next unit boundary (interrupt again to force exit)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "napel: second interrupt, forcing exit")
+		os.Exit(130)
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() { signal.Stop(ch) })
+		cancel()
+	}
+	return ctx, stop
 }
 
 // reportPartial prints what a cancelled collection managed to gather.
@@ -490,6 +511,7 @@ func runTrain(args []string) error {
 	tune := fs.Bool("tune", false, "run the hyper-parameter grid search")
 	seed := fs.Uint64("seed", 42, "pipeline seed")
 	workers := fs.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
+	resume := fs.String("resume", "", "checkpoint file: collection progress is saved here and an interrupted run restarted with the same flags continues from it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -512,14 +534,49 @@ func runTrain(args []string) error {
 		}
 	}
 
+	// With -resume, completed (kernel, input) units are checkpointed to
+	// the named file as collection progresses; a prior checkpoint seeds
+	// the run so only unfinished units execute. The final model is
+	// bit-identical either way.
+	var ck *napel.CollectCheckpoint
+	if *resume != "" {
+		prior, err := napel.LoadTrainingDataFile(*resume)
+		switch {
+		case err == nil:
+			fmt.Printf("resuming from checkpoint %s (%d samples)\n", *resume, len(prior.Samples))
+		case errors.Is(err, os.ErrNotExist):
+			prior = nil // first run: the file appears once units complete
+		default:
+			return fmt.Errorf("reading checkpoint %s: %w", *resume, err)
+		}
+		lastWrite := time.Now()
+		ck = &napel.CollectCheckpoint{
+			Prior: prior,
+			OnUnit: func(done, total int, snapshot func() *napel.TrainingData) {
+				if done < total && time.Since(lastWrite) < time.Second {
+					return
+				}
+				lastWrite = time.Now()
+				if err := napel.WriteTrainingDataFile(*resume, snapshot()); err != nil {
+					fmt.Fprintf(os.Stderr, "napel: checkpoint write failed: %v\n", err)
+				}
+			},
+		}
+	}
+
 	fmt.Printf("collecting DoE training data for %d applications (%d workers)...\n",
 		len(apps), effectiveWorkers(*workers))
 	ctx, stop := interruptContext()
 	defer stop()
-	td, err := napel.CollectContext(ctx, apps, opts)
+	td, err := napel.CollectResumeContext(ctx, apps, opts, ck)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && td != nil {
 			reportPartial(td)
+			if *resume != "" && len(td.Samples) > 0 {
+				if werr := napel.WriteTrainingDataFile(*resume, td); werr == nil {
+					fmt.Printf("checkpoint saved to %s; rerun with the same flags to continue\n", *resume)
+				}
+			}
 		}
 		return err
 	}
@@ -537,19 +594,21 @@ func runTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(*out)
-	if err != nil {
+	// Atomic publish: a napel-serve instance (re)loading -out mid-write
+	// sees the previous complete model, never a truncated one.
+	if err := napel.WritePredictorFile(*out, pred); err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := pred.Save(f); err != nil {
-		return err
+	if *resume != "" {
+		if err := os.Remove(*resume); err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "napel: removing checkpoint %s: %v\n", *resume, err)
+		}
 	}
 	if oobIPC, oobEPI := pred.OOB(); oobIPC >= 0 {
 		fmt.Printf("out-of-bag MRE: performance %.1f%%, energy %.1f%% (log-space)\n", oobIPC*100, oobEPI*100)
 	}
 	fmt.Printf("saved predictor (%v, train time %.1fs) to %s\n", pred.Chosen, pred.TrainTime.Seconds(), *out)
-	return f.Close()
+	return nil
 }
 
 func runPredict(args []string) error {

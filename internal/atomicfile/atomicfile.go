@@ -1,0 +1,97 @@
+// Package atomicfile provides crash-safe, torn-read-free file
+// publication: every write lands in a temporary file in the target's
+// directory, is fsynced, and is renamed over the destination, so a
+// concurrent reader — napel-serve's registry re-reading a model file,
+// napel-traind re-opening a checkpoint after a crash — sees either the
+// complete old contents or the complete new contents, never a prefix.
+//
+// The repo writes every model and training-data file through this
+// package: a plain os.WriteFile racing a reload can serve a torn JSON
+// document, and a crash mid-write used to leave a corrupt file behind.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The temporary file is created in path's directory (rename does not
+// cross filesystems), fsynced before the rename, and the directory is
+// fsynced after it so the new name survives a crash. On any error the
+// destination is left untouched and the temporary file is removed.
+func WriteFile(path string, perm os.FileMode, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmpName, err)
+	}
+	if err = tmp.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicfile: publish %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileData is WriteFile for callers that already hold the bytes.
+func WriteFileData(path string, data []byte, perm os.FileMode) error {
+	return WriteFile(path, perm, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// Symlink atomically points link at target (replacing any existing link
+// or file at that path) via the same create-then-rename protocol. It is
+// how the model store flips its "current" pointers: a reader resolving
+// the link mid-flip sees the old target or the new one, never a missing
+// link.
+func Symlink(target, link string) error {
+	dir := filepath.Dir(link)
+	tmp, err := os.MkdirTemp(dir, "."+filepath.Base(link)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	tmpLink := filepath.Join(tmp, "link")
+	if err := os.Symlink(target, tmpLink); err != nil {
+		return fmt.Errorf("atomicfile: symlink %s: %w", link, err)
+	}
+	if err := os.Rename(tmpLink, link); err != nil {
+		return fmt.Errorf("atomicfile: publish link %s: %w", link, err)
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-published rename is durable.
+// Filesystems that refuse directory fsync (some network mounts) are
+// tolerated: the rename itself already happened atomically.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,153 @@
+package atomicfile
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileData(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "first" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if err := WriteFileData(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "second" {
+		t.Fatalf("replace left %q", got)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := info.Mode().Perm(); perm != 0o644 {
+		t.Fatalf("perm = %o, want 644", perm)
+	}
+}
+
+// TestWriteFileFailedWriteLeavesOldContent: an error from the write
+// callback must leave the destination untouched and clean up the
+// temporary file.
+func TestWriteFileFailedWriteLeavesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileData(path, []byte("stable"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFile(path, 0o644, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "stable" {
+		t.Fatalf("failed write clobbered destination: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp file left behind: %v", entries)
+	}
+}
+
+// TestWriteFileNeverTorn is the property the serving registry depends
+// on: under concurrent replacement, every read observes one complete
+// generation, never a mix or a prefix.
+func TestWriteFileNeverTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	payload := func(gen int) []byte {
+		return []byte(fmt.Sprintf("gen-%03d|%s|end-%03d", gen, strings.Repeat("x", 4096), gen))
+	}
+	if err := WriteFileData(path, payload(0), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for gen := 1; gen <= 100; gen++ {
+			if err := WriteFileData(path, payload(gen), 0o644); err != nil {
+				t.Errorf("writer: %v", err)
+				break
+			}
+		}
+		stopped.Store(true)
+	}()
+
+	reads := 0
+	for !stopped.Load() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reader: %v", err)
+		}
+		var gen, end int
+		head := data[:bytes.IndexByte(data, '|')]
+		tail := data[bytes.LastIndexByte(data, '|')+1:]
+		if _, err := fmt.Sscanf(string(head), "gen-%d", &gen); err != nil {
+			t.Fatalf("torn head %q: %v", head, err)
+		}
+		if _, err := fmt.Sscanf(string(tail), "end-%d", &end); err != nil {
+			t.Fatalf("torn tail %q: %v", tail, err)
+		}
+		if gen != end {
+			t.Fatalf("torn read: head gen %d, tail gen %d", gen, end)
+		}
+		reads++
+	}
+	wg.Wait()
+	if reads == 0 {
+		t.Fatal("reader never ran")
+	}
+}
+
+func TestSymlinkFlip(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.txt")
+	b := filepath.Join(dir, "b.txt")
+	os.WriteFile(a, []byte("A"), 0o644)
+	os.WriteFile(b, []byte("B"), 0o644)
+	link := filepath.Join(dir, "current")
+
+	if err := Symlink("a.txt", link); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(link); string(got) != "A" {
+		t.Fatalf("link resolved to %q, want A", got)
+	}
+	if err := Symlink("b.txt", link); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(link); string(got) != "B" {
+		t.Fatalf("flipped link resolved to %q, want B", got)
+	}
+	target, err := os.Readlink(link)
+	if err != nil || target != "b.txt" {
+		t.Fatalf("readlink = %q, %v", target, err)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFileData(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

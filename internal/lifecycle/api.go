@@ -1,0 +1,145 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// maxSpecBytes bounds a job-submission body.
+const maxSpecBytes = 1 << 20
+
+// NewAPIHandler exposes the manager's admin API:
+//
+//	POST /v1/jobs               submit a JobSpec, returns the Job
+//	GET  /v1/jobs               list jobs
+//	GET  /v1/jobs/{id}          one job's status
+//	POST /v1/jobs/{id}/cancel   cancel a queued or running job
+//	GET  /v1/store              store state: current model + manifests
+//	POST /v1/store/rollback     re-promote the previous model
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+func NewAPIHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"jobs":           len(m.Jobs()),
+			"queue_depth":    m.QueueDepth(),
+			"uptime_seconds": time.Since(m.metrics.start).Seconds(),
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		var b strings.Builder
+		m.RenderMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		io.WriteString(w, b.String())
+	})
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding job spec: %v", err))
+			return
+		}
+		job, err := m.Submit(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "queue full") {
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": m.Jobs()})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := m.Cancel(id); err != nil {
+			status := http.StatusConflict
+			if strings.Contains(err.Error(), "no job") {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		job, _ := m.Get(id)
+		writeJSON(w, http.StatusOK, job)
+	})
+
+	mux.HandleFunc("GET /v1/store", func(w http.ResponseWriter, r *http.Request) {
+		manifests, err := m.store.List()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		history, err := m.store.History()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp := map[string]any{
+			"manifests":  manifests,
+			"history":    history,
+			"model_path": m.store.CurrentModelPath(),
+		}
+		current, err := m.store.Current()
+		switch {
+		case err == nil:
+			resp["current"] = current
+		case errors.Is(err, ErrNoCurrent):
+			resp["current"] = nil
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/store/rollback", func(w http.ResponseWriter, r *http.Request) {
+		manifest, err := m.store.Rollback()
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, ErrNoRollback) {
+				status = http.StatusConflict
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"current": manifest})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

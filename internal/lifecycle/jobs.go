@@ -1,0 +1,202 @@
+package lifecycle
+
+import (
+	"fmt"
+	"time"
+
+	"napel/internal/ml"
+	"napel/internal/ml/rf"
+	"napel/internal/napel"
+	"napel/internal/workload"
+)
+
+// JobState is the lifecycle of one training job. Terminal states are
+// promoted, rejected, failed and canceled; anything else survives a
+// daemon restart as runnable work.
+type JobState string
+
+const (
+	StateQueued     JobState = "queued"
+	StateCollecting JobState = "collecting"
+	StateTraining   JobState = "training"
+	StateEvaluating JobState = "evaluating"
+	StatePromoted   JobState = "promoted"
+	StateRejected   JobState = "rejected"
+	StateFailed     JobState = "failed"
+	StateCanceled   JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case StatePromoted, StateRejected, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// JobSpec is what a client submits: which kernels to collect, how the
+// DoE pipeline is scaled, and how the forest is trained. Zero-valued
+// fields inherit the pipeline defaults (napel.DefaultOptions, the
+// default forest), so the minimal useful spec is just a kernel list.
+type JobSpec struct {
+	Kernels []string `json:"kernels"`
+	// Seed drives input scaling, forest randomness and the holdout
+	// fold; 0 means the default pipeline seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// TrainScale overrides Options.ScaleFactor (DoE input downscaling).
+	TrainScale int `json:"train_scale,omitempty"`
+	MaxIters   int `json:"max_iters,omitempty"`
+	// ProfileBudget / SimBudget cap instructions per profiling pass and
+	// per NMC simulation.
+	ProfileBudget uint64 `json:"profile_budget,omitempty"`
+	SimBudget     uint64 `json:"sim_budget,omitempty"`
+	// TrainArchs limits collection to the first N default training
+	// architectures — the lever that makes smoke-test jobs fast.
+	TrainArchs int `json:"train_archs,omitempty"`
+	// Workers bounds collection concurrency inside this job.
+	Workers int `json:"workers,omitempty"`
+	// Tune enables the Section 2.5 grid hyper-parameter search for the
+	// final model. Mutually exclusive with explicit forest parameters.
+	Tune bool `json:"tune,omitempty"`
+	// Trees/MinLeaf/MTry configure a fixed forest (Trees > 0 activates
+	// them). Trees: 1 is the classic degraded canary the gate must
+	// reject once a healthy incumbent serves.
+	Trees   int `json:"trees,omitempty"`
+	MinLeaf int `json:"min_leaf,omitempty"`
+	MTry    int `json:"mtry,omitempty"`
+	// HoldoutFrac is the held-out fraction the canary gate scores on;
+	// 0 means the manager default.
+	HoldoutFrac float64 `json:"holdout_frac,omitempty"`
+	// MaxRetries overrides the manager's per-job retry budget; -1
+	// disables retries for this job.
+	MaxRetries int `json:"max_retries,omitempty"`
+}
+
+// Validate resolves everything the spec references so a bad submission
+// fails at the API boundary, not minutes later inside a worker.
+func (sp *JobSpec) Validate() error {
+	if len(sp.Kernels) == 0 {
+		return fmt.Errorf("lifecycle: job spec names no kernels")
+	}
+	if _, err := sp.kernels(); err != nil {
+		return err
+	}
+	if sp.Tune && sp.Trees > 0 {
+		return fmt.Errorf("lifecycle: tune and explicit forest parameters are mutually exclusive")
+	}
+	if sp.Trees < 0 || sp.MinLeaf < 0 || sp.MTry < 0 {
+		return fmt.Errorf("lifecycle: forest parameters must be non-negative")
+	}
+	if sp.HoldoutFrac < 0 || sp.HoldoutFrac >= 1 {
+		return fmt.Errorf("lifecycle: holdout fraction %g out of [0, 1)", sp.HoldoutFrac)
+	}
+	opts, err := sp.options()
+	if err != nil {
+		return err
+	}
+	return opts.Validate()
+}
+
+func (sp *JobSpec) kernels() ([]workload.Kernel, error) {
+	out := make([]workload.Kernel, 0, len(sp.Kernels))
+	for _, name := range sp.Kernels {
+		k, err := workload.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("lifecycle: %w", err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func (sp *JobSpec) seed() uint64 {
+	if sp.Seed != 0 {
+		return sp.Seed
+	}
+	return napel.DefaultOptions().Seed
+}
+
+func (sp *JobSpec) options() (napel.Options, error) {
+	opts := napel.DefaultOptions()
+	opts.Seed = sp.seed()
+	if sp.TrainScale > 0 {
+		opts.ScaleFactor = sp.TrainScale
+	}
+	if sp.MaxIters > 0 {
+		opts.MaxIters = sp.MaxIters
+	}
+	if sp.ProfileBudget > 0 {
+		opts.ProfileBudget = sp.ProfileBudget
+	}
+	if sp.SimBudget > 0 {
+		opts.SimBudget = sp.SimBudget
+	}
+	if sp.Workers > 0 {
+		opts.Workers = sp.Workers
+	}
+	if sp.TrainArchs < 0 || sp.TrainArchs > len(opts.TrainArchs) {
+		return opts, fmt.Errorf("lifecycle: train_archs %d out of [0, %d]", sp.TrainArchs, len(opts.TrainArchs))
+	}
+	if sp.TrainArchs > 0 {
+		opts.TrainArchs = opts.TrainArchs[:sp.TrainArchs]
+	}
+	return opts, nil
+}
+
+// trainer returns the forest configuration used both to fit the final
+// model and to score the holdout fold (in tune mode the gate scores the
+// default forest; the grid search only shapes the published model).
+func (sp *JobSpec) trainer() ml.Trainer {
+	if sp.Trees > 0 {
+		return ml.LogTrainer{Inner: rf.Trainer{Params: rf.Params{
+			Trees: sp.Trees, MinLeaf: sp.MinLeaf, MTry: sp.MTry,
+		}}}
+	}
+	return napel.DefaultRFTrainer()
+}
+
+// Job is one tracked training job: the submitted spec plus everything
+// the manager learns while running it. The manager persists it as
+// job.json after every state change, which is what lets a restarted
+// daemon requeue non-terminal jobs.
+type Job struct {
+	ID    string   `json:"id"`
+	Spec  JobSpec  `json:"spec"`
+	State JobState `json:"state"`
+	// Error is the last failure message (retried or final).
+	Error string `json:"error,omitempty"`
+	// Attempt counts pipeline attempts, 1-based once running.
+	Attempt    int       `json:"attempt,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
+	// Collection progress: units finished / planned, and how many of
+	// the finished ones were restored from a checkpoint instead of
+	// re-executed (the resume saving).
+	UnitsDone     int `json:"units_done,omitempty"`
+	UnitsTotal    int `json:"units_total,omitempty"`
+	UnitsRestored int `json:"units_restored,omitempty"`
+	Samples       int `json:"samples,omitempty"`
+	// ManifestID is the stored model (set once trained, whether or not
+	// it was promoted).
+	ManifestID string `json:"manifest_id,omitempty"`
+	// Metrics is the candidate's holdout validation; GateBaseline the
+	// incumbent error it had to beat (×tolerance), GateIncumbent that
+	// incumbent's manifest ID. GateBaseline 0 with a promoted state
+	// means there was no incumbent.
+	Metrics       *napel.HoldoutMetrics `json:"metrics,omitempty"`
+	GateBaseline  float64               `json:"gate_baseline,omitempty"`
+	GateIncumbent string                `json:"gate_incumbent,omitempty"`
+}
+
+// clone returns a deep-enough copy for handing outside the manager's
+// lock (Metrics is the only pointer field).
+func (j *Job) clone() *Job {
+	c := *j
+	if j.Metrics != nil {
+		m := *j.Metrics
+		c.Metrics = &m
+	}
+	return &c
+}

@@ -1,0 +1,320 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"napel/internal/napel"
+)
+
+// quickSpec is a training job small enough for unit tests: one kernel,
+// heavily scaled inputs, tiny instruction budgets, two training
+// architectures.
+func quickSpec() JobSpec {
+	return JobSpec{
+		Kernels:       []string{"atax"},
+		TrainScale:    32,
+		MaxIters:      1,
+		ProfileBudget: 30_000,
+		SimBudget:     30_000,
+		TrainArchs:    2,
+		Workers:       2,
+	}
+}
+
+// newTestManager builds a manager over fresh temp directories.
+func newTestManager(t *testing.T, root string, mutate func(*ManagerConfig)) *Manager {
+	t.Helper()
+	store, err := OpenStore(filepath.Join(root, "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ManagerConfig{
+		Store:        store,
+		JobsDir:      filepath.Join(root, "jobs"),
+		RetryBackoff: 10 * time.Millisecond,
+		Logf:         t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runManager starts Run in the background and returns a stop function
+// that cancels it and waits for the workers to drain.
+func runManager(m *Manager) (stop func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		m.Run(ctx)
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}
+
+// waitTerminal polls a job until it reaches a terminal state.
+func waitTerminal(t *testing.T, m *Manager, id string, timeout time.Duration) *Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		job, ok := m.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if job.State.Terminal() {
+			return job
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	job, _ := m.Get(id)
+	t.Fatalf("job %s not terminal after %s (state %s, %d/%d units)",
+		id, timeout, job.State, job.UnitsDone, job.UnitsTotal)
+	return nil
+}
+
+func TestJobLifecyclePromotes(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), nil)
+	stop := runManager(m)
+	defer stop()
+
+	if _, err := m.Submit(JobSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := m.Submit(JobSpec{Kernels: []string{"no-such-kernel"}}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+
+	job, err := m.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitTerminal(t, m, job.ID, 2*time.Minute)
+	if job.State != StatePromoted {
+		t.Fatalf("job finished %s (error %q), want promoted", job.State, job.Error)
+	}
+	if job.ManifestID == "" || job.Metrics == nil || job.Samples == 0 {
+		t.Fatalf("promoted job missing results: %+v", job)
+	}
+	if job.UnitsDone == 0 || job.UnitsDone != job.UnitsTotal {
+		t.Fatalf("unit accounting %d/%d", job.UnitsDone, job.UnitsTotal)
+	}
+
+	// The store serves the promoted model through the stable pointer and
+	// it loads as a valid predictor.
+	cur, err := m.store.Current()
+	if err != nil || cur.ID != job.ManifestID {
+		t.Fatalf("store current %+v, %v; want %s", cur, err, job.ManifestID)
+	}
+	if cur.JobID != job.ID || cur.Metrics == nil || cur.DataHash == "" {
+		t.Fatalf("manifest lineage incomplete: %+v", cur)
+	}
+	if _, err := napel.LoadPredictorFile(m.store.CurrentModelPath()); err != nil {
+		t.Fatalf("promoted model does not load: %v", err)
+	}
+
+	// Success removes the checkpoint.
+	if _, err := os.Stat(m.checkpointPath(job.ID)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("checkpoint still present after promotion: %v", err)
+	}
+}
+
+// TestKillAndResume is the acceptance scenario: a daemon dies
+// mid-collection, a fresh one over the same directories requeues the
+// job, re-executes only unfinished units, and the final predictor is
+// byte-identical to an uninterrupted run (same content hash, hence the
+// same blob).
+func TestKillAndResume(t *testing.T) {
+	root := t.TempDir()
+
+	// Reference: the same spec run uninterrupted in an isolated store.
+	refJob := func() *Job {
+		m := newTestManager(t, filepath.Join(root, "ref"), nil)
+		stop := runManager(m)
+		defer stop()
+		job, err := m.Submit(quickSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		job = waitTerminal(t, m, job.ID, 2*time.Minute)
+		if job.State != StatePromoted {
+			t.Fatalf("reference run finished %s: %s", job.State, job.Error)
+		}
+		return job
+	}()
+	refManifest := func() *Manifest {
+		s, err := OpenStore(filepath.Join(root, "ref", "store"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := s.GetManifest(refJob.ManifestID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mf
+	}()
+
+	// First daemon: slow collection down to one worker so the kill lands
+	// mid-run, checkpoint after every unit, and stop as soon as the
+	// first checkpoint exists.
+	victim := filepath.Join(root, "victim")
+	spec := quickSpec()
+	spec.Workers = 1
+	m1 := newTestManager(t, victim, nil)
+	stop1 := runManager(m1)
+	job, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := m1.checkpointPath(job.ID)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		if _, err := os.Stat(ckPath); err == nil {
+			break
+		}
+		if j, _ := m1.Get(job.ID); j != nil && j.State.Terminal() {
+			t.Fatalf("job finished (%s) before a checkpoint was observed", j.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop1() // the "kill": workers unwind, job stays non-terminal on disk
+
+	mid, ok := m1.Get(job.ID)
+	if !ok || mid.State.Terminal() {
+		t.Fatalf("job state after kill: %+v", mid)
+	}
+
+	// Second daemon over the same directories: recovery requeues the job
+	// and the checkpoint restores the finished units.
+	m2 := newTestManager(t, victim, nil)
+	if got, okGot := m2.Get(job.ID); !okGot || got.State != StateQueued {
+		t.Fatalf("restart did not requeue job: %+v (ok=%v)", got, okGot)
+	}
+	stop2 := runManager(m2)
+	defer stop2()
+	job2 := waitTerminal(t, m2, job.ID, 2*time.Minute)
+	if job2.State != StatePromoted {
+		t.Fatalf("resumed job finished %s: %s", job2.State, job2.Error)
+	}
+	if job2.UnitsRestored < 1 {
+		t.Fatalf("resumed job restored %d units, want >= 1 (done %d/%d)",
+			job2.UnitsRestored, job2.UnitsDone, job2.UnitsTotal)
+	}
+	if job2.UnitsRestored >= job2.UnitsTotal {
+		t.Fatalf("resumed job executed nothing (%d/%d restored)", job2.UnitsRestored, job2.UnitsTotal)
+	}
+
+	resumed, err := m2.store.GetManifest(job2.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ModelHash != refManifest.ModelHash {
+		t.Fatalf("resumed model hash %s differs from uninterrupted run %s",
+			resumed.ModelHash, refManifest.ModelHash)
+	}
+	if resumed.DataHash != refManifest.DataHash {
+		t.Fatalf("resumed data hash %s differs from uninterrupted run %s",
+			resumed.DataHash, refManifest.DataHash)
+	}
+}
+
+// TestCanaryGateRejectsDegraded: once a healthy model serves, a
+// degraded candidate (a 1-tree forest) must be stored but never
+// promoted, and the incumbent keeps serving.
+func TestCanaryGateRejectsDegraded(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), nil)
+	stop := runManager(m)
+	defer stop()
+
+	good, err := m.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good = waitTerminal(t, m, good.ID, 2*time.Minute)
+	if good.State != StatePromoted {
+		t.Fatalf("good job finished %s: %s", good.State, good.Error)
+	}
+	servingBefore, err := os.ReadFile(m.store.CurrentModelPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	degradedSpec := quickSpec()
+	degradedSpec.Trees = 1
+	degradedSpec.MinLeaf = 1
+	bad, err := m.Submit(degradedSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = waitTerminal(t, m, bad.ID, 2*time.Minute)
+	if bad.State != StateRejected {
+		t.Fatalf("degraded job finished %s (metrics %+v, baseline %g), want rejected",
+			bad.State, bad.Metrics, bad.GateBaseline)
+	}
+	if bad.GateIncumbent != good.ManifestID || bad.GateBaseline <= 0 {
+		t.Fatalf("gate bookkeeping: %+v", bad)
+	}
+	// The rejected model is still stored (for inspection) but not current.
+	if bad.ManifestID == "" {
+		t.Fatal("rejected candidate was not stored")
+	}
+	cur, err := m.store.Current()
+	if err != nil || cur.ID != good.ManifestID {
+		t.Fatalf("incumbent lost: current %+v, %v", cur, err)
+	}
+	servingAfter, err := os.ReadFile(m.store.CurrentModelPath())
+	if err != nil || string(servingAfter) != string(servingBefore) {
+		t.Fatalf("serving bytes changed after rejection (err %v)", err)
+	}
+	hist, _ := m.store.History()
+	if len(hist) != 1 {
+		t.Fatalf("history %v, want only the good promotion", hist)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	// No Run loop: the job stays queued, so Cancel flips it directly.
+	m := newTestManager(t, t.TempDir(), nil)
+	job, err := m.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Cancel(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Get(job.ID)
+	if got.State != StateCanceled {
+		t.Fatalf("state %s, want canceled", got.State)
+	}
+	if err := m.Cancel(job.ID); err == nil {
+		t.Fatal("canceling a terminal job succeeded")
+	}
+	if err := m.Cancel("j-999999"); err == nil {
+		t.Fatal("canceling an unknown job succeeded")
+	}
+
+	// A canceled job is not requeued on restart.
+	m2, err := NewManager(ManagerConfig{Store: m.store, JobsDir: m.cfg.JobsDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, ok := m2.Get(job.ID)
+	if !ok || got2.State != StateCanceled || m2.QueueDepth() != 0 {
+		t.Fatalf("restart state %+v queue %d", got2, m2.QueueDepth())
+	}
+}

@@ -1,0 +1,112 @@
+package lifecycle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// managerMetrics is napel-traind's observability surface, rendered in
+// the Prometheus text exposition format with only the stdlib (the same
+// approach as internal/serve's metrics).
+type managerMetrics struct {
+	start     time.Time
+	submitted atomic.Uint64
+	running   atomic.Int64
+	retries   atomic.Uint64
+
+	promotions atomic.Uint64
+	rejections atomic.Uint64
+
+	durSumNs atomic.Uint64
+	durCount atomic.Uint64
+
+	mu             sync.Mutex
+	finishedByEnd  map[JobState]uint64
+	lastCheckpoint time.Time
+}
+
+func newManagerMetrics() *managerMetrics {
+	return &managerMetrics{start: time.Now(), finishedByEnd: map[JobState]uint64{}}
+}
+
+func (mm *managerMetrics) finished(state JobState) {
+	mm.mu.Lock()
+	mm.finishedByEnd[state]++
+	mm.mu.Unlock()
+}
+
+func (mm *managerMetrics) observeDuration(d time.Duration) {
+	mm.durSumNs.Add(uint64(d.Nanoseconds()))
+	mm.durCount.Add(1)
+}
+
+func (mm *managerMetrics) markCheckpoint(t time.Time) {
+	mm.mu.Lock()
+	mm.lastCheckpoint = t
+	mm.mu.Unlock()
+}
+
+// RenderMetrics writes the exposition text for the manager. queueDepth
+// is passed in because the queue belongs to the Manager.
+func (m *Manager) RenderMetrics(b *strings.Builder) {
+	mm := m.metrics
+
+	fmt.Fprintf(b, "# HELP napel_traind_queue_depth Jobs waiting for a worker.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_queue_depth gauge\n")
+	fmt.Fprintf(b, "napel_traind_queue_depth %d\n", m.QueueDepth())
+
+	fmt.Fprintf(b, "# HELP napel_traind_jobs_running Jobs currently executing.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_jobs_running gauge\n")
+	fmt.Fprintf(b, "napel_traind_jobs_running %d\n", mm.running.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_jobs_submitted_total Jobs accepted by Submit.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_jobs_submitted_total counter\n")
+	fmt.Fprintf(b, "napel_traind_jobs_submitted_total %d\n", mm.submitted.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_jobs_finished_total Jobs reaching a terminal state, by state.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_jobs_finished_total counter\n")
+	mm.mu.Lock()
+	states := make([]string, 0, len(mm.finishedByEnd))
+	for s := range mm.finishedByEnd {
+		states = append(states, string(s))
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Fprintf(b, "napel_traind_jobs_finished_total{state=%q} %d\n", s, mm.finishedByEnd[JobState(s)])
+	}
+	last := mm.lastCheckpoint
+	mm.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP napel_traind_job_duration_seconds Wall-clock time of finished jobs.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_job_duration_seconds summary\n")
+	fmt.Fprintf(b, "napel_traind_job_duration_seconds_sum %g\n", float64(mm.durSumNs.Load())/1e9)
+	fmt.Fprintf(b, "napel_traind_job_duration_seconds_count %d\n", mm.durCount.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_retries_total Job attempts re-run after a transient failure.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_retries_total counter\n")
+	fmt.Fprintf(b, "napel_traind_retries_total %d\n", mm.retries.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_promotions_total Models promoted past the canary gate.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_promotions_total counter\n")
+	fmt.Fprintf(b, "napel_traind_promotions_total %d\n", mm.promotions.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_rejections_total Models rejected by the canary gate.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_rejections_total counter\n")
+	fmt.Fprintf(b, "napel_traind_rejections_total %d\n", mm.rejections.Load())
+
+	fmt.Fprintf(b, "# HELP napel_traind_checkpoint_age_seconds Seconds since the last checkpoint write; -1 before the first.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_checkpoint_age_seconds gauge\n")
+	if last.IsZero() {
+		fmt.Fprintf(b, "napel_traind_checkpoint_age_seconds -1\n")
+	} else {
+		fmt.Fprintf(b, "napel_traind_checkpoint_age_seconds %g\n", time.Since(last).Seconds())
+	}
+
+	fmt.Fprintf(b, "# HELP napel_traind_uptime_seconds Seconds since the manager started.\n")
+	fmt.Fprintf(b, "# TYPE napel_traind_uptime_seconds gauge\n")
+	fmt.Fprintf(b, "napel_traind_uptime_seconds %g\n", time.Since(mm.start).Seconds())
+}

@@ -1,0 +1,118 @@
+package lifecycle
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Current(); !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("Current on empty store: %v, want ErrNoCurrent", err)
+	}
+	if _, err := s.Rollback(); !errors.Is(err, ErrNoRollback) {
+		t.Fatalf("Rollback on empty store: %v, want ErrNoRollback", err)
+	}
+
+	blobA := []byte(`{"model":"a"}`)
+	hashA, err := s.PutModel(blobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.PutModel(blobA)
+	if err != nil || again != hashA {
+		t.Fatalf("re-putting same bytes: hash %s err %v, want %s", again, err, hashA)
+	}
+	stored, err := os.ReadFile(s.ModelBlobPath(hashA))
+	if err != nil || string(stored) != string(blobA) {
+		t.Fatalf("blob round-trip: %q err %v", stored, err)
+	}
+
+	// A manifest referencing unstored bytes must be refused.
+	if err := s.PutManifest(&Manifest{ModelHash: "sha256-beef"}); err == nil {
+		t.Fatal("manifest with unstored blob accepted")
+	}
+
+	ma := &Manifest{ModelHash: hashA, Kernels: []string{"atax"}}
+	if err := s.PutManifest(ma); err != nil {
+		t.Fatal(err)
+	}
+	if ma.ID != "m-000001" || ma.CreatedAt.IsZero() {
+		t.Fatalf("first manifest got ID %q CreatedAt %v", ma.ID, ma.CreatedAt)
+	}
+	if err := s.Promote(ma.ID); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := s.Current()
+	if err != nil || cur.ID != ma.ID {
+		t.Fatalf("Current = %+v, %v; want %s", cur, err, ma.ID)
+	}
+	// The serving pointer resolves to the promoted bytes.
+	viaLink, err := os.ReadFile(s.CurrentModelPath())
+	if err != nil || string(viaLink) != string(blobA) {
+		t.Fatalf("current-model.json resolves to %q, err %v", viaLink, err)
+	}
+
+	hashB, err := s.PutModel([]byte(`{"model":"b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := &Manifest{ModelHash: hashB}
+	if err := s.PutManifest(mb); err != nil {
+		t.Fatal(err)
+	}
+	if mb.ID != "m-000002" {
+		t.Fatalf("second manifest ID %q", mb.ID)
+	}
+	if err := s.Promote(mb.ID); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := s.History()
+	if err != nil || len(hist) != 2 || hist[0] != ma.ID || hist[1] != mb.ID {
+		t.Fatalf("history %v, %v", hist, err)
+	}
+
+	back, err := s.Rollback()
+	if err != nil || back.ID != ma.ID {
+		t.Fatalf("Rollback -> %+v, %v; want %s", back, err, ma.ID)
+	}
+	cur, err = s.Current()
+	if err != nil || cur.ID != ma.ID {
+		t.Fatalf("post-rollback Current = %+v, %v", cur, err)
+	}
+	viaLink, _ = os.ReadFile(s.CurrentModelPath())
+	if string(viaLink) != string(blobA) {
+		t.Fatalf("post-rollback model bytes %q", viaLink)
+	}
+	if _, err := s.Rollback(); !errors.Is(err, ErrNoRollback) {
+		t.Fatalf("second Rollback: %v, want ErrNoRollback", err)
+	}
+
+	all, err := s.List()
+	if err != nil || len(all) != 2 {
+		t.Fatalf("List -> %d manifests, %v", len(all), err)
+	}
+
+	// Reopening an existing store keeps the state.
+	s2, err := OpenStore(s.root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := s2.Current()
+	if err != nil || cur2.ID != ma.ID {
+		t.Fatalf("reopened Current = %+v, %v", cur2, err)
+	}
+	mc := &Manifest{ModelHash: hashB}
+	if err := s2.PutManifest(mc); err != nil {
+		t.Fatal(err)
+	}
+	if mc.ID != "m-000003" {
+		t.Fatalf("reopened store assigned ID %q, want m-000003", mc.ID)
+	}
+}

@@ -1,0 +1,65 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HoldoutFold returns one deterministic train/test split of n rows: a
+// seed-driven permutation (the same hash sort KFold uses) with the first
+// frac of rows held out for testing. The split is a pure function of
+// (n, frac, seed), which is what lets napel-traind's promotion gate
+// score a candidate model and the incumbent on the *same* held-out rows
+// and compare the errors apples to apples.
+//
+// frac is clamped so both sides are non-empty whenever n >= 2; with
+// n < 2 the test side is empty and the caller should reject the split.
+func HoldoutFold(n int, frac float64, seed uint64) Fold {
+	if n <= 0 {
+		return Fold{}
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	nTest := int(float64(n)*frac + 0.5)
+	if n >= 2 {
+		if nTest < 1 {
+			nTest = 1
+		}
+		if nTest > n-1 {
+			nTest = n - 1
+		}
+	} else {
+		nTest = 0
+	}
+	perm := permute(n, seed)
+	f := Fold{
+		Test:  append([]int(nil), perm[:nTest]...),
+		Train: append([]int(nil), perm[nTest:]...),
+	}
+	sort.Ints(f.Test)
+	sort.Ints(f.Train)
+	return f
+}
+
+// HoldoutMRE trains tr on the training side of HoldoutFold and reports
+// the mean relative error (Equation 1 — the paper's MAPE) on the
+// held-out side: the validation number a freshly trained model is gated
+// on before promotion.
+func HoldoutMRE(tr Trainer, d *Dataset, frac float64, seed uint64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	fold := HoldoutFold(d.NumRows(), frac, seed)
+	if len(fold.Test) == 0 || len(fold.Train) == 0 {
+		return 0, fmt.Errorf("ml: %d rows are too few for a holdout split", d.NumRows())
+	}
+	model, err := tr.Train(d.Subset(fold.Train), seed)
+	if err != nil {
+		return 0, err
+	}
+	return MRE(model, d.Subset(fold.Test)), nil
+}

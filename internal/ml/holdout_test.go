@@ -1,0 +1,107 @@
+package ml
+
+import "testing"
+
+// slopeTrainer fits y = a*x0 by least squares — enough structure to
+// exercise the holdout plumbing without importing a learner subpackage
+// (those import ml and would cycle).
+type slopeTrainer struct{}
+
+type slopeModel struct{ a float64 }
+
+func (m slopeModel) Predict(x []float64) float64 { return m.a * x[0] }
+
+func (slopeTrainer) Name() string { return "slope" }
+
+func (slopeTrainer) Train(d *Dataset, seed uint64) (Model, error) {
+	var num, den float64
+	for i, row := range d.X {
+		num += row[0] * d.Y[i]
+		den += row[0] * row[0]
+	}
+	if den == 0 {
+		den = 1
+	}
+	return slopeModel{a: num / den}, nil
+}
+
+func TestHoldoutFoldDeterministicAndDisjoint(t *testing.T) {
+	a := HoldoutFold(100, 0.25, 7)
+	b := HoldoutFold(100, 0.25, 7)
+	if len(a.Test) != 25 || len(a.Train) != 75 {
+		t.Fatalf("split %d/%d, want 25/75", len(a.Test), len(a.Train))
+	}
+	for i := range a.Test {
+		if a.Test[i] != b.Test[i] {
+			t.Fatal("same (n, frac, seed) produced different test sets")
+		}
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int(nil), a.Test...), a.Train...) {
+		if seen[i] || i < 0 || i >= 100 {
+			t.Fatalf("index %d duplicated or out of range", i)
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("split covers %d rows, want 100", len(seen))
+	}
+	c := HoldoutFold(100, 0.25, 8)
+	same := true
+	for i := range a.Test {
+		if a.Test[i] != c.Test[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical test sets")
+	}
+}
+
+func TestHoldoutFoldClamps(t *testing.T) {
+	// Extreme fractions still leave both sides non-empty for n >= 2.
+	for _, frac := range []float64{-1, 0, 0.001, 0.999, 1, 2} {
+		f := HoldoutFold(10, frac, 1)
+		if len(f.Test) < 1 || len(f.Train) < 1 || len(f.Test)+len(f.Train) != 10 {
+			t.Fatalf("frac=%g: split %d/%d", frac, len(f.Test), len(f.Train))
+		}
+	}
+	if f := HoldoutFold(1, 0.5, 1); len(f.Test) != 0 || len(f.Train) != 1 {
+		t.Fatalf("n=1 split %d/%d, want 0/1", len(f.Test), len(f.Train))
+	}
+	if f := HoldoutFold(0, 0.5, 1); len(f.Test) != 0 || len(f.Train) != 0 {
+		t.Fatal("n=0 split not empty")
+	}
+}
+
+func TestHoldoutMRE(t *testing.T) {
+	// y = 2*x0 exactly; the fitted slope model holds out near-perfectly
+	// and the call must be deterministic.
+	d := &Dataset{}
+	for i := 0; i < 60; i++ {
+		x := float64(i%20) + 1
+		d.X = append(d.X, []float64{x, float64(i % 3)})
+		d.Y = append(d.Y, 2*x)
+	}
+	tr := slopeTrainer{}
+	m1, err := HoldoutMRE(tr, d, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := HoldoutMRE(tr, d, 0.25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("holdout MRE not deterministic: %g vs %g", m1, m2)
+	}
+	if m1 < 0 || m1 > 1 {
+		t.Fatalf("holdout MRE %g out of plausible range", m1)
+	}
+
+	tiny := &Dataset{X: [][]float64{{1}}, Y: []float64{1}}
+	if _, err := HoldoutMRE(tr, tiny, 0.5, 1); err == nil {
+		t.Fatal("single-row dataset accepted")
+	}
+}

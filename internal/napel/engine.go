@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"napel/internal/nmcsim"
@@ -38,15 +39,44 @@ type kernelPlan struct {
 
 // unitResult is everything one unit produces. done distinguishes a
 // finished unit from one skipped by cancellation; wall-clock durations
-// are kept separate from the deterministic payload.
+// are kept separate from the deterministic payload. A unit restored
+// from a resume checkpoint carries its per-architecture samples instead
+// of a profile and simulator results (checkpoints persist only the
+// deterministic sample payload).
 type unitResult struct {
 	prof        *pisa.Profile
 	profileTime time.Duration
 	recordTime  time.Duration
 	sims        []*nmcsim.Result
 	simTimes    []time.Duration
+	restored    []Sample // one sample per training arch, from CollectCheckpoint.Prior
 	err         error
 	done        bool
+}
+
+// CollectCheckpoint wires crash-safe collection into the engine: Prior
+// seeds the run with units completed by an earlier (interrupted)
+// collection of the same kernels and options, and OnUnit lets the
+// caller persist progress as units finish. Both fields are optional.
+type CollectCheckpoint struct {
+	// Prior is a dataset saved from a previous partial collection
+	// (typically LoadTrainingData of a checkpoint file). Units whose
+	// samples for every training architecture appear in Prior are not
+	// re-executed; their samples are restored verbatim. Prior must have
+	// the same feature layout the run would produce. Restored units
+	// contribute no Profiles/SimTime/ProfileTime entries — checkpoints
+	// never carry those — but the assembled Samples, and therefore any
+	// predictor trained on them, are bit-identical to an uninterrupted
+	// run (JSON float64 round-trips are exact).
+	Prior *TrainingData
+	// OnUnit, when non-nil, is invoked after every unit completes —
+	// serially, under the engine's bookkeeping lock — with the number of
+	// finished units (restored ones included), the total, and a snapshot
+	// function assembling everything collected so far into a fresh
+	// TrainingData. Assembly costs O(collected samples); callers that
+	// checkpoint on an interval should only invoke snapshot when they
+	// actually persist. snapshot must not be called after OnUnit returns.
+	OnUnit func(done, total int, snapshot func() *TrainingData)
 }
 
 // CollectContext is Collect with cancellation: on ctx cancellation it
@@ -56,9 +86,22 @@ func CollectContext(ctx context.Context, kernels []workload.Kernel, opts Options
 	return CollectWithInputsContext(ctx, kernels, opts, CCDInputs)
 }
 
-// CollectWithInputsContext is the engine entry point backing every
-// Collect variant.
+// CollectResumeContext is CollectContext with checkpoint support: it
+// restores completed units from ck.Prior and reports per-unit progress
+// through ck.OnUnit. It is the entry point of `napel train -resume` and
+// the napel-traind job manager.
+func CollectResumeContext(ctx context.Context, kernels []workload.Kernel, opts Options, ck *CollectCheckpoint) (*TrainingData, error) {
+	return collectEngine(ctx, kernels, opts, CCDInputs, ck)
+}
+
+// CollectWithInputsContext is Collect with a custom input-selection
+// strategy and cancellation.
 func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, opts Options, inputsFor func(workload.Kernel) []workload.Input) (*TrainingData, error) {
+	return collectEngine(ctx, kernels, opts, inputsFor, nil)
+}
+
+// collectEngine is the engine entry point backing every Collect variant.
+func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options, inputsFor func(workload.Kernel) []workload.Input, ck *CollectCheckpoint) (*TrainingData, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
@@ -88,11 +131,44 @@ func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, op
 		plans = append(plans, plan)
 	}
 
-	// Execute: a worker pool over the unit list. Each unit owns its own
-	// result slot, so no shared state is written concurrently.
+	// Restore units completed by a previous run before scheduling any
+	// work: a restored slot is done from the start and the worker pool
+	// skips it.
 	results := make([]unitResult, len(units))
+	done := 0
+	if ck != nil && ck.Prior != nil {
+		restored, err := restoreUnits(ck.Prior, units, opts)
+		if err != nil {
+			return nil, err
+		}
+		for idx, samples := range restored {
+			results[idx] = unitResult{restored: samples, done: true}
+			done++
+		}
+	}
+
+	// Execute: a worker pool over the unit list. Each unit computes
+	// outside the bookkeeping lock and only publishes its result slot —
+	// and fires the checkpoint hook — under it, so OnUnit's snapshot can
+	// safely assemble the results collected so far.
+	var mu sync.Mutex
+	total := len(units)
 	runPool(ctx, opts.workers(), len(units), func(idx int) {
-		results[idx] = runCollectUnit(ctx, units[idx], opts)
+		if results[idx].done {
+			return // restored from the checkpoint
+		}
+		r := runCollectUnit(ctx, units[idx], opts)
+		mu.Lock()
+		defer mu.Unlock()
+		results[idx] = r
+		if r.done {
+			done++
+			if ck != nil && ck.OnUnit != nil {
+				ck.OnUnit(done, total, func() *TrainingData {
+					return assembleTrainingData(plans, units, results, opts)
+				})
+			}
+		}
 	})
 
 	// The first hard error in unit order wins, matching the serial
@@ -106,8 +182,18 @@ func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, op
 		}
 	}
 
-	// Assemble single-threaded in plan order: the output is a pure
-	// function of the unit results, independent of completion order.
+	td := assembleTrainingData(plans, units, results, opts)
+	if err := ctx.Err(); err != nil {
+		return td, err
+	}
+	return td, nil
+}
+
+// assembleTrainingData builds the dataset single-threaded in plan order:
+// the output is a pure function of the unit results, independent of
+// completion order, so it serves both the final return value and the
+// mid-run checkpoint snapshots.
+func assembleTrainingData(plans []kernelPlan, units []collectUnit, results []unitResult, opts Options) *TrainingData {
 	td := &TrainingData{
 		Names:       append(append([]string(nil), pisa.FeatureNames()...), ArchFeatureNames()...),
 		Profiles:    map[string]*pisa.Profile{},
@@ -123,6 +209,13 @@ func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, op
 				continue
 			}
 			u := units[idx]
+			if r.restored != nil {
+				// A unit restored from a checkpoint replays its saved
+				// samples per occurrence; profiles and timing were never
+				// persisted, so those maps skip it.
+				td.Samples = append(td.Samples, r.restored...)
+				continue
+			}
 			if _, ok := td.Profiles[u.key]; !ok {
 				td.Profiles[u.key] = r.prof
 				td.ProfileTime[u.kernel.Name()] += r.profileTime
@@ -150,10 +243,60 @@ func CollectWithInputsContext(ctx context.Context, kernels []workload.Kernel, op
 			}
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return td, err
+	return td
+}
+
+// restoreUnits maps a prior (partial) dataset back onto the planned unit
+// list: a unit is restorable when the prior holds one sample for every
+// training architecture of this run. Returns unit index → samples in
+// architecture order.
+func restoreUnits(prior *TrainingData, units []collectUnit, opts Options) (map[int][]Sample, error) {
+	wantNames := append(append([]string(nil), pisa.FeatureNames()...), ArchFeatureNames()...)
+	if len(prior.Names) != len(wantNames) {
+		return nil, fmt.Errorf("napel: resume checkpoint has %d features, want %d", len(prior.Names), len(wantNames))
 	}
-	return td, nil
+	for i := range wantNames {
+		if prior.Names[i] != wantNames[i] {
+			return nil, fmt.Errorf("napel: resume checkpoint feature %d is %q, want %q", i, prior.Names[i], wantNames[i])
+		}
+	}
+	narchs := len(opts.TrainArchs)
+	// First sample per (unit key, arch index) wins; centre replicates of
+	// the same unit are byte-identical so any occurrence is equivalent.
+	byKey := map[string][]Sample{}
+	for _, s := range prior.Samples {
+		if s.ArchIdx < 0 || s.ArchIdx >= narchs {
+			continue
+		}
+		key := inputKey(s.App, s.Input)
+		arr, ok := byKey[key]
+		if !ok {
+			arr = make([]Sample, narchs)
+			byKey[key] = arr
+		}
+		if arr[s.ArchIdx].Features == nil {
+			s.SimTime = 0
+			arr[s.ArchIdx] = s
+		}
+	}
+	restored := map[int][]Sample{}
+	for idx, u := range units {
+		arr, ok := byKey[u.key]
+		if !ok {
+			continue
+		}
+		complete := true
+		for _, s := range arr {
+			if s.Features == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			restored[idx] = arr
+		}
+	}
+	return restored, nil
 }
 
 // runCollectUnit executes one unit: the profiling pass, one trace

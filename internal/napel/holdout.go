@@ -1,0 +1,85 @@
+package napel
+
+import (
+	"fmt"
+
+	"napel/internal/ml"
+)
+
+// HoldoutMetrics are the validation errors of one model on one held-out
+// fold of a training set — the numbers napel-traind's canary gate
+// compares before a freshly trained model may replace the serving one.
+// The fold is a pure function of (rows, Frac, Seed), so two models
+// scored with the same parameters on the same dataset are measured on
+// identical rows.
+type HoldoutMetrics struct {
+	Frac     float64 `json:"frac"`
+	Seed     uint64  `json:"seed"`
+	Rows     int     `json:"rows"`
+	TestRows int     `json:"test_rows"`
+	// IPCMRE and EPIMRE are Equation 1 mean relative errors (the
+	// paper's MAPE) of the performance and energy targets on the
+	// held-out rows.
+	IPCMRE float64 `json:"ipc_mre"`
+	EPIMRE float64 `json:"epi_mre"`
+}
+
+// Combined is the single number the promotion gate thresholds on: the
+// mean of the two targets' errors.
+func (m HoldoutMetrics) Combined() float64 { return (m.IPCMRE + m.EPIMRE) / 2 }
+
+// EvaluateHoldout measures trainer on td with a deterministic holdout
+// split: for each target it trains on the (1-frac) training side and
+// reports the mean relative error on the held-out side. This is the
+// honest generalization estimate recorded in a model's manifest — the
+// final published model is still trained on all of td.
+func EvaluateHoldout(td *TrainingData, trainer ml.Trainer, frac float64, seed uint64) (HoldoutMetrics, error) {
+	m := HoldoutMetrics{Frac: frac, Seed: seed, Rows: len(td.Samples)}
+	fold := ml.HoldoutFold(len(td.Samples), frac, seed)
+	if len(fold.Test) == 0 || len(fold.Train) == 0 {
+		return m, fmt.Errorf("napel: %d samples are too few for a holdout evaluation", len(td.Samples))
+	}
+	m.TestRows = len(fold.Test)
+	for _, target := range []Target{TargetIPC, TargetEPI} {
+		d := td.Dataset(target)
+		if err := d.Validate(); err != nil {
+			return m, err
+		}
+		model, err := trainer.Train(d.Subset(fold.Train), seed)
+		if err != nil {
+			return m, fmt.Errorf("napel: holdout training %s model: %w", target, err)
+		}
+		mre := ml.MRE(model, d.Subset(fold.Test))
+		if target == TargetEPI {
+			m.EPIMRE = mre
+		} else {
+			m.IPCMRE = mre
+		}
+	}
+	return m, nil
+}
+
+// EvaluatePredictorHoldout scores an already-trained predictor on the
+// held-out fold of td — the gate's fallback for an incumbent whose
+// manifest recorded no metrics: both contenders are then measured on
+// the candidate's held-out rows. The predictor's feature layout must
+// match td's.
+func EvaluatePredictorHoldout(p *Predictor, td *TrainingData, frac float64, seed uint64) (HoldoutMetrics, error) {
+	m := HoldoutMetrics{Frac: frac, Seed: seed, Rows: len(td.Samples)}
+	if len(p.Names) != len(td.Names) {
+		return m, fmt.Errorf("napel: predictor has %d features, dataset %d", len(p.Names), len(td.Names))
+	}
+	for i := range p.Names {
+		if p.Names[i] != td.Names[i] {
+			return m, fmt.Errorf("napel: feature %d differs: predictor %q vs dataset %q", i, p.Names[i], td.Names[i])
+		}
+	}
+	fold := ml.HoldoutFold(len(td.Samples), frac, seed)
+	if len(fold.Test) == 0 {
+		return m, fmt.Errorf("napel: %d samples are too few for a holdout evaluation", len(td.Samples))
+	}
+	m.TestRows = len(fold.Test)
+	m.IPCMRE = ml.MRE(p.IPC, td.Dataset(TargetIPC).Subset(fold.Test))
+	m.EPIMRE = ml.MRE(p.EPI, td.Dataset(TargetEPI).Subset(fold.Test))
+	return m, nil
+}

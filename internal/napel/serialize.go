@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
+	"napel/internal/atomicfile"
 	"napel/internal/ml"
 	"napel/internal/ml/rf"
 	"napel/internal/pisa"
@@ -156,6 +158,46 @@ func SaveTrainingData(w io.Writer, td *TrainingData) error {
 		}
 	}
 	return json.NewEncoder(w).Encode(out)
+}
+
+// WritePredictorFile atomically publishes the predictor at path
+// (temp-file-then-rename, see internal/atomicfile): a reader — the
+// napel-serve registry hot-reloading, the model store ingesting — sees
+// the old complete file or the new one, never a torn JSON document.
+func WritePredictorFile(path string, p *Predictor) error {
+	return atomicfile.WriteFile(path, 0o644, p.Save)
+}
+
+// LoadPredictorFile reads a predictor file written by Save or
+// WritePredictorFile.
+func LoadPredictorFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadPredictor(f)
+}
+
+// WriteTrainingDataFile atomically publishes the dataset at path — the
+// checkpoint write of `napel train -resume` and the napel-traind job
+// manager, where a crash mid-write must not corrupt the file a restart
+// resumes from.
+func WriteTrainingDataFile(path string, td *TrainingData) error {
+	return atomicfile.WriteFile(path, 0o644, func(w io.Writer) error {
+		return SaveTrainingData(w, td)
+	})
+}
+
+// LoadTrainingDataFile reads a dataset file written by SaveTrainingData
+// or WriteTrainingDataFile.
+func LoadTrainingDataFile(path string) (*TrainingData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTrainingData(f)
 }
 
 // LoadTrainingData reads a dataset previously written by

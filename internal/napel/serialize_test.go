@@ -3,6 +3,7 @@ package napel
 import (
 	"bytes"
 	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -80,6 +81,89 @@ func TestLoadPredictorVersionSentinel(t *testing.T) {
 	_, err = LoadPredictor(strings.NewReader(`{"version":1,"feature_names":[]}`))
 	if err == nil || errors.Is(err, ErrBadModelVersion) {
 		t.Fatalf("missing-model error %v must not match ErrBadModelVersion", err)
+	}
+}
+
+// TestLoadTrainingDataVersionMismatch pins the version-gate contract of
+// the checkpoint format: an unsupported version matches
+// ErrBadModelVersion (so napel-traind can tell "old daemon wrote this"
+// from corruption) and names both versions.
+func TestLoadTrainingDataVersionMismatch(t *testing.T) {
+	_, err := LoadTrainingData(strings.NewReader(`{"version":99,"feature_names":[],"samples":[]}`))
+	if !errors.Is(err, ErrBadModelVersion) {
+		t.Fatalf("version mismatch error %v does not match ErrBadModelVersion", err)
+	}
+	if !strings.Contains(err.Error(), "99") || !strings.Contains(err.Error(), "1") {
+		t.Fatalf("error %q does not name the versions", err)
+	}
+	_, err = LoadTrainingData(strings.NewReader(`{"version":0}`))
+	if !errors.Is(err, ErrBadModelVersion) {
+		t.Fatalf("missing-version error %v does not match ErrBadModelVersion", err)
+	}
+}
+
+// TestLoadTrainingDataTruncated: every strict prefix class of a valid
+// file — empty, cut mid-token, cut mid-stream — must error without
+// matching the version sentinel, because a truncated checkpoint is
+// corruption, not a format upgrade.
+func TestLoadTrainingDataTruncated(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrainingData(&buf, td); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 1, len(full) / 4, len(full) / 2, len(full) - 2} {
+		_, err := LoadTrainingData(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(full))
+		}
+		if errors.Is(err, ErrBadModelVersion) {
+			t.Fatalf("truncation at %d reported as version mismatch: %v", cut, err)
+		}
+	}
+	if _, err := LoadTrainingData(bytes.NewReader(full)); err != nil {
+		t.Fatalf("untruncated bytes rejected: %v", err)
+	}
+}
+
+// TestTrainingDataFileRoundTrip covers the atomic file helpers the
+// lifecycle daemon checkpoints through.
+func TestTrainingDataFileRoundTrip(t *testing.T) {
+	opts := quickOptions()
+	td, err := Collect(quickKernels(t, "atax"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := WriteTrainingDataFile(path, td); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrainingDataFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Samples) != len(td.Samples) {
+		t.Fatalf("loaded %d samples, want %d", len(loaded.Samples), len(td.Samples))
+	}
+	if _, err := LoadTrainingDataFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+
+	pred, err := Train(td, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpath := filepath.Join(t.TempDir(), "model.json")
+	if err := WritePredictorFile(mpath, pred); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPredictorFile(mpath); err != nil {
+		t.Fatal(err)
 	}
 }
 

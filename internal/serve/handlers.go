@@ -54,6 +54,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"napel_serve_cache_entries":         float64(s.cache.Len()),
 		"napel_serve_models_loaded":         float64(len(s.registry.List())),
 		"napel_serve_model_reloads_total":   float64(s.registry.Reloads()),
+		"napel_serve_follow_failures_total": float64(s.registry.FollowFailures()),
 	})
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	io.WriteString(w, b.String())

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -37,9 +38,10 @@ type Registry struct {
 
 	// reloadMu serializes writers; readers go through the atomic
 	// pointer without locking.
-	reloadMu sync.Mutex
-	models   atomic.Pointer[map[string]*Model]
-	reloads  atomic.Uint64
+	reloadMu       sync.Mutex
+	models         atomic.Pointer[map[string]*Model]
+	reloads        atomic.Uint64
+	followFailures atomic.Uint64
 }
 
 // NewRegistry builds a registry over the given name→path mapping and
@@ -77,6 +79,72 @@ func (r *Registry) Reload() ([]*Model, error) {
 	r.reloads.Add(1)
 	return sortedModels(next), nil
 }
+
+// ReloadIfChanged is the polling variant of Reload: it re-reads every
+// model file but installs a new generation only when at least one
+// file's content hash differs from the serving version. Unchanged
+// models keep their loaded predictor (and LoadedAt), so a no-op poll
+// costs one file read per model and never bumps Reloads(). This is what
+// lets the registry follow a path whose target is atomically flipped by
+// an external publisher — napel-traind promoting into its model store —
+// without reparsing forests on every tick.
+func (r *Registry) ReloadIfChanged() (changed bool, err error) {
+	r.reloadMu.Lock()
+	defer r.reloadMu.Unlock()
+	cur := *r.models.Load()
+	next := make(map[string]*Model, len(r.paths))
+	for name, path := range r.paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return false, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		h := fnv.New64a()
+		h.Write(data)
+		version := fmt.Sprintf("%016x", h.Sum64())
+		if old, ok := cur[name]; ok && old.Version == version {
+			next[name] = old
+			continue
+		}
+		pred, err := napel.LoadPredictor(bytes.NewReader(data))
+		if err != nil {
+			return false, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		next[name] = &Model{
+			Name: name, Path: path, Version: version,
+			LoadedAt: time.Now(), Predictor: pred,
+		}
+		changed = true
+	}
+	if !changed {
+		return false, nil
+	}
+	r.models.Store(&next)
+	r.reloads.Add(1)
+	return true, nil
+}
+
+// Follow polls the model files every interval until ctx ends,
+// installing new generations via ReloadIfChanged. A failed poll (e.g.
+// the publisher mid-flip, or a model briefly missing) keeps the current
+// generation serving and is retried next tick; failures are counted for
+// the metrics endpoint.
+func (r *Registry) Follow(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if _, err := r.ReloadIfChanged(); err != nil {
+				r.followFailures.Add(1)
+			}
+		}
+	}
+}
+
+// FollowFailures returns how many Follow polls have failed since start.
+func (r *Registry) FollowFailures() uint64 { return r.followFailures.Load() }
 
 func loadModel(name, path string) (*Model, error) {
 	data, err := os.ReadFile(path)

@@ -38,6 +38,11 @@ type Config struct {
 	// DrainTimeout is how long Run waits for in-flight requests after
 	// shutdown is requested (default 10s).
 	DrainTimeout time.Duration
+	// FollowInterval, when positive, makes Run poll the model files and
+	// hot-install any content change — the consumer side of
+	// napel-traind's atomic promotion pointer. 0 disables following
+	// (reload stays available via POST /v1/models/reload).
+	FollowInterval time.Duration
 	// AccessLog receives one logfmt line per request; nil disables.
 	AccessLog io.Writer
 }
@@ -217,6 +222,11 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if s.cfg.FollowInterval > 0 {
+		followCtx, stopFollow := context.WithCancel(ctx)
+		defer stopFollow()
+		go s.registry.Follow(followCtx, s.cfg.FollowInterval)
+	}
 	select {
 	case err := <-errc:
 		return err

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification gate for the repo: static checks, build, the test
-# suite under the race detector, and a live end-to-end smoke test of the
+# suite under the race detector, and live end-to-end smoke tests of the
 # napel-serve HTTP service (train a tiny model, start the server, hit
-# /healthz and /v1/predict, then check graceful drain on SIGTERM).
+# /healthz and /v1/predict, then check graceful drain on SIGTERM) and of
+# the napel-traind lifecycle (submit a job, wait for promotion, serve
+# the promoted model).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -24,14 +26,16 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/...
+go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
 tmp=$(mktemp -d)
 server_pid=""
+traind_pid=""
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    [ -n "$traind_pid" ] && kill "$traind_pid" 2>/dev/null
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -87,5 +91,90 @@ if ! wait "$server_pid"; then
 fi
 server_pid=""
 echo "smoke test: healthz=$health predict=$predict, clean SIGTERM drain"
+
+echo "== napel-traind lifecycle smoke test =="
+go build -o "$tmp/napel-traind" ./cmd/napel-traind
+
+tport=$(( (RANDOM % 20000) + 20000 ))
+turl="http://127.0.0.1:$tport"
+"$tmp/napel-traind" -store "$tmp/store" -addr "127.0.0.1:$tport" \
+    2>"$tmp/traind.log" &
+traind_pid=$!
+
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$turl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: traind never became healthy" >&2
+    cat "$tmp/traind.log" >&2
+    exit 1
+fi
+
+# Submit a deliberately tiny job and wait for canary promotion.
+submit=$(curl -sS -d '{"kernels":["atax"],"train_scale":32,"max_iters":1,
+    "profile_budget":20000,"sim_budget":20000,"train_archs":2,"workers":2}' \
+    "$turl/v1/jobs")
+job=$(printf '%s' "$submit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$job" ]; then
+    echo "verify: job submission failed: $submit" >&2
+    exit 1
+fi
+state=""
+for _ in $(seq 1 300); do
+    state=$(curl -sS "$turl/v1/jobs/$job" | sed -n 's/.*"state"[: ]*"\([a-z]*\)".*/\1/p')
+    case "$state" in promoted|rejected|failed|canceled) break ;; esac
+    sleep 0.1
+done
+if [ "$state" != promoted ]; then
+    echo "verify: job $job ended in state '$state' (want promoted)" >&2
+    curl -sS "$turl/v1/jobs/$job" >&2
+    cat "$tmp/traind.log" >&2
+    exit 1
+fi
+if ! curl -sS "$turl/v1/store" | grep -q '"model_hash"'; then
+    echo "verify: store has no promoted manifest after promotion" >&2
+    exit 1
+fi
+
+# The promoted pointer must be directly servable by napel-serve.
+lport=$(( (RANDOM % 20000) + 20000 ))
+lurl="http://127.0.0.1:$lport"
+"$tmp/napel-serve" -model "$tmp/store/current-model.json" \
+    -addr "127.0.0.1:$lport" -quiet 2>"$tmp/serve2.log" &
+server_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$lurl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: server on promoted model never became healthy" >&2
+    cat "$tmp/serve2.log" >&2
+    exit 1
+fi
+lpredict=$(curl -sS -o "$tmp/resp2.json" -w '%{http_code}' -d @"$tmp/req.json" "$lurl/v1/predict")
+if [ "$lpredict" != 200 ] || ! grep -q '"edp"' "$tmp/resp2.json"; then
+    echo "verify: predict via promoted model: status=$lpredict" >&2
+    cat "$tmp/resp2.json" >&2
+    exit 1
+fi
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+server_pid=""
+kill -TERM "$traind_pid"
+if ! wait "$traind_pid"; then
+    echo "verify: traind did not exit cleanly on SIGTERM" >&2
+    cat "$tmp/traind.log" >&2
+    exit 1
+fi
+traind_pid=""
+echo "lifecycle smoke test: job $job promoted, served prediction status $lpredict"
 
 echo "verify: OK"
