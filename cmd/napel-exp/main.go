@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"napel/internal/exp"
+	"napel/internal/obs"
 )
 
 func main() {
@@ -28,7 +29,13 @@ func main() {
 	profBudget := flag.Uint64("profile-budget", 0, "override instructions per profiling pass")
 	workers := flag.Int("workers", 0, "parallel collection/evaluation workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "also run the full suite and write a machine-readable report to this path")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("napel-exp"))
+		return
+	}
 
 	s := exp.Default()
 	if *quick {

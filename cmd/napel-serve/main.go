@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"napel/internal/obs"
 	"napel/internal/serve"
 )
 
@@ -72,7 +73,14 @@ func main() {
 	drain := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain deadline on shutdown")
 	follow := flag.Duration("follow", 0, "poll model files at this interval and hot-install changes (0 disables; point -model at a napel-traind store's current-model.json)")
 	quiet := flag.Bool("quiet", false, "disable the access log")
+	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("napel-serve"))
+		return
+	}
 
 	if len(models) == 0 {
 		fmt.Fprintln(os.Stderr, "napel-serve: at least one -model is required (train one with 'napel train')")
@@ -92,6 +100,15 @@ func main() {
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceSink = f
 	}
 	s, err := serve.New(cfg)
 	if err != nil {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"napel/internal/lifecycle"
+	"napel/internal/obs"
 )
 
 func main() {
@@ -47,7 +48,14 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "min interval between collection checkpoints (0 = every unit)")
 	maxRetries := flag.Int("max-retries", 0, "retries per job after a transient failure (0 = default 2, negative disables)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
+	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("napel-traind"))
+		return
+	}
 
 	logger := log.New(os.Stderr, "napel-traind: ", log.LstdFlags)
 	if *storeDir == "" {
@@ -63,7 +71,7 @@ func main() {
 	if err != nil {
 		logger.Fatal(err)
 	}
-	mgr, err := lifecycle.NewManager(lifecycle.ManagerConfig{
+	mcfg := lifecycle.ManagerConfig{
 		Store:           store,
 		JobsDir:         *jobsDir,
 		Concurrency:     *concurrency,
@@ -72,7 +80,16 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		MaxRetries:      *maxRetries,
 		Logf:            logger.Printf,
-	})
+	}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer f.Close()
+		mcfg.TraceSink = f
+	}
+	mgr, err := lifecycle.NewManager(mcfg)
 	if err != nil {
 		logger.Fatal(err)
 	}

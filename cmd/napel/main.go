@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"napel/internal/napel"
+	"napel/internal/obs"
 	"napel/internal/pisa"
 	"napel/internal/trace"
 	"napel/internal/workload"
@@ -65,6 +66,8 @@ func main() {
 		err = runPredict(args)
 	case "export-profile":
 		err = runExportProfile(args)
+	case "version", "-version", "--version":
+		fmt.Println(obs.VersionLine("napel"))
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: napel <list|doe|profile|simulate|host|trace|compare|train|predict|export-profile> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: napel <list|doe|profile|simulate|host|trace|compare|train|predict|export-profile|version> [flags]")
 	fmt.Fprintln(os.Stderr, "run 'napel <command> -h' for command flags")
 	fmt.Fprintln(os.Stderr, "'train' and 'doe -collect' parallelize across -workers goroutines (default GOMAXPROCS)")
 	fmt.Fprintln(os.Stderr, "and abort cleanly on interrupt, reporting partial timing")
@@ -512,6 +515,8 @@ func runTrain(args []string) error {
 	seed := fs.Uint64("seed", 42, "pipeline seed")
 	workers := fs.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
 	resume := fs.String("resume", "", "checkpoint file: collection progress is saved here and an interrupted run restarted with the same flags continues from it")
+	traceOut := fs.String("trace-out", "", "write the engine's per-unit spans as JSON lines to this file")
+	metricsOut := fs.String("metrics-out", "", "write the engine's metrics (Prometheus text format) to this file after collection ('-' for stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -521,6 +526,10 @@ func runTrain(args []string) error {
 	opts.SimBudget = *simBudget
 	opts.ProfileBudget = *profBudget
 	opts.Workers = *workers
+	if *metricsOut != "" {
+		opts.Metrics = obs.NewRegistry()
+		obs.RegisterBuildInfo(opts.Metrics, "napel")
+	}
 
 	apps := workload.All()
 	if *kernels != "" {
@@ -568,6 +577,23 @@ func runTrain(args []string) error {
 		len(apps), effectiveWorkers(*workers))
 	ctx, stop := interruptContext()
 	defer stop()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ctx = obs.WithTracer(ctx, obs.NewTracer(0, f))
+	}
+	// The exposition dump happens on every exit path, so an interrupted
+	// run still reports how far the engine got.
+	if opts.Metrics != nil {
+		defer func() {
+			if werr := writeMetricsFile(*metricsOut, opts.Metrics); werr != nil {
+				fmt.Fprintf(os.Stderr, "napel: writing metrics: %v\n", werr)
+			}
+		}()
+	}
 	td, err := napel.CollectResumeContext(ctx, apps, opts, ck)
 	if err != nil {
 		if errors.Is(err, context.Canceled) && td != nil {
@@ -609,6 +635,23 @@ func runTrain(args []string) error {
 	}
 	fmt.Printf("saved predictor (%v, train time %.1fs) to %s\n", pred.Chosen, pred.TrainTime.Seconds(), *out)
 	return nil
+}
+
+// writeMetricsFile dumps a registry's exposition text to path, with "-"
+// meaning stderr.
+func writeMetricsFile(path string, reg *obs.Registry) error {
+	if path == "-" {
+		return reg.WriteText(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runPredict(args []string) error {

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"napel/internal/obs"
 )
 
 // maxSpecBytes bounds a job-submission body.
@@ -23,6 +25,9 @@ const maxSpecBytes = 1 << 20
 //	POST /v1/store/rollback     re-promote the previous model
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text exposition
+//	GET  /debug/traces          recent job/engine spans, grouped by trace
+//	GET  /debug/pprof/...       runtime profiling
+//	GET  /debug/runtime         goroutine/GC/heap snapshot
 func NewAPIHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
@@ -31,16 +36,16 @@ func NewAPIHandler(m *Manager) http.Handler {
 			"status":         "ok",
 			"jobs":           len(m.Jobs()),
 			"queue_depth":    m.QueueDepth(),
-			"uptime_seconds": time.Since(m.metrics.start).Seconds(),
+			"uptime_seconds": time.Since(m.o.start).Seconds(),
 		})
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		var b strings.Builder
-		m.RenderMetrics(&b)
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		io.WriteString(w, b.String())
+		w.Header().Set("Content-Type", obs.ContentType)
+		m.o.reg.WriteText(w)
 	})
+
+	obs.MountDebug(mux, m.o.tracer)
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec

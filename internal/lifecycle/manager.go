@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -17,6 +18,7 @@ import (
 	"napel/internal/atomicfile"
 	"napel/internal/ml"
 	"napel/internal/napel"
+	"napel/internal/obs"
 	"napel/internal/workload"
 )
 
@@ -49,6 +51,12 @@ type ManagerConfig struct {
 	MaxRetries int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// TraceRing bounds the in-memory span ring served at /debug/traces
+	// (default obs.DefaultRingSize).
+	TraceRing int
+	// TraceSink, when non-nil, additionally receives every completed
+	// span as one JSON line (JSONL).
+	TraceSink io.Writer
 }
 
 func (c *ManagerConfig) fillDefaults() {
@@ -91,8 +99,8 @@ type Manager struct {
 	cancel map[string]context.CancelFunc // running jobs only
 	seq    int
 
-	queue   chan string
-	metrics *managerMetrics
+	queue chan string
+	o     *traindObs
 }
 
 // errPermanent marks failures that retrying cannot fix.
@@ -113,12 +121,12 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		return nil, fmt.Errorf("lifecycle: %w", err)
 	}
 	m := &Manager{
-		cfg:     cfg,
-		store:   cfg.Store,
-		jobs:    map[string]*Job{},
-		cancel:  map[string]context.CancelFunc{},
-		metrics: newManagerMetrics(),
+		cfg:    cfg,
+		store:  cfg.Store,
+		jobs:   map[string]*Job{},
+		cancel: map[string]context.CancelFunc{},
 	}
+	m.o = newTraindObs(m, obs.NewTracer(cfg.TraceRing, cfg.TraceSink))
 	requeue, err := m.recoverJobs()
 	if err != nil {
 		return nil, err
@@ -225,9 +233,17 @@ func (m *Manager) Submit(spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("lifecycle: submission queue full (%d pending)", len(m.queue))
 	}
 	m.jobs[job.ID] = job
-	m.metrics.submitted.Add(1)
+	m.o.submitted.Inc()
 	return job.clone(), nil
 }
+
+// Obs exposes the manager's metrics registry (for embedding callers and
+// tests); scraping it is equivalent to GET /metrics on the admin API.
+func (m *Manager) Obs() *obs.Registry { return m.o.reg }
+
+// Tracer exposes the manager's span tracer, the backing store of
+// /debug/traces on the admin API.
+func (m *Manager) Tracer() *obs.Tracer { return m.o.tracer }
 
 // Get returns a snapshot of one job.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -274,7 +290,7 @@ func (m *Manager) Cancel(id string) error {
 	}
 	j.State = StateCanceled
 	j.FinishedAt = time.Now().UTC()
-	m.metrics.finished(StateCanceled)
+	m.o.finishJob(StateCanceled)
 	return m.persistLocked(j)
 }
 
@@ -316,9 +332,9 @@ func (m *Manager) setState(j *Job, state JobState) {
 	j.State = state
 	if state.Terminal() {
 		j.FinishedAt = time.Now().UTC()
-		m.metrics.finished(state)
+		m.o.finishJob(state)
 		if !j.StartedAt.IsZero() {
-			m.metrics.observeDuration(j.FinishedAt.Sub(j.StartedAt))
+			m.o.duration.Observe(j.FinishedAt.Sub(j.StartedAt).Seconds())
 		}
 	}
 	if err := m.persistLocked(j); err != nil {
@@ -336,9 +352,10 @@ func (m *Manager) runJob(ctx context.Context, id string) {
 		m.mu.Unlock()
 		return
 	}
-	jctx, cancel := context.WithCancel(ctx)
+	jctx, cancel := context.WithCancel(obs.WithTracer(ctx, m.o.tracer))
 	m.cancel[id] = cancel
 	job.StartedAt = time.Now().UTC()
+	m.o.stage("queue_wait", job.StartedAt.Sub(job.CreatedAt))
 	m.mu.Unlock()
 	defer func() {
 		cancel()
@@ -347,8 +364,8 @@ func (m *Manager) runJob(ctx context.Context, id string) {
 		m.mu.Unlock()
 	}()
 
-	m.metrics.running.Add(1)
-	defer m.metrics.running.Add(-1)
+	m.o.running.Inc()
+	defer m.o.running.Dec()
 
 	maxRetries := m.cfg.MaxRetries
 	if job.Spec.MaxRetries != 0 {
@@ -395,7 +412,7 @@ func (m *Manager) runJob(ctx context.Context, id string) {
 			return
 		}
 		backoff := m.cfg.RetryBackoff << (attempt - 1)
-		m.metrics.retries.Add(1)
+		m.o.retries.Inc()
 		m.cfg.Logf("lifecycle: job %s attempt %d failed (%v), retrying in %s", id, attempt, err, backoff)
 		select {
 		case <-jctx.Done():
@@ -405,8 +422,19 @@ func (m *Manager) runJob(ctx context.Context, id string) {
 }
 
 // runPipeline is one attempt: collect (checkpointed) → train → store →
-// evaluate → gate → promote/reject.
-func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
+// evaluate → gate → promote/reject. Each attempt is one trace: a "job"
+// root span with one child per pipeline stage, mirrored into the
+// napel_traind_job_stage_seconds histogram. Collection runs under the
+// collect span's context, so the engine's per-unit spans nest inside it.
+func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
+	ctx, jobSpan := obs.StartSpan(ctx, "job")
+	jobSpan.SetAttr("id", job.ID)
+	jobSpan.SetAttrInt("attempt", int64(job.Attempt))
+	defer func() {
+		jobSpan.SetError(err)
+		jobSpan.End()
+	}()
+
 	spec := job.Spec
 	kernels, err := spec.kernels()
 	if err != nil {
@@ -416,6 +444,9 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", errPermanent, err)
 	}
+	// The collection engine reports onto the manager's registry, so one
+	// /metrics scrape covers the job pipeline and the engine inside it.
+	opts.Metrics = m.o.reg
 	seed := spec.seed()
 	frac := spec.HoldoutFrac
 	if frac == 0 {
@@ -424,7 +455,12 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 
 	// Collect, resuming from the job's checkpoint when one exists.
 	m.setState(job, StateCollecting)
-	td, err := m.collect(ctx, job, kernels, opts)
+	t0 := time.Now()
+	cctx, cspan := obs.StartSpan(ctx, "collect")
+	td, err := m.collect(cctx, job, kernels, opts)
+	cspan.SetError(err)
+	cspan.End()
+	m.o.stage("collect", time.Since(t0))
 	if err != nil {
 		return err
 	}
@@ -434,12 +470,17 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 	// a resumed job's model is byte-identical to an uninterrupted one
 	// and content-addresses to the same blob.
 	m.setState(job, StateTraining)
+	t0 = time.Now()
+	_, tspan := obs.StartSpan(ctx, "train")
 	var pred *napel.Predictor
 	if spec.Tune {
 		pred, err = napel.TrainTuned(td, seed)
 	} else {
 		pred, err = trainWith(td, spec.trainer(), seed)
 	}
+	tspan.SetError(err)
+	tspan.End()
+	m.o.stage("train", time.Since(t0))
 	if err != nil {
 		return err
 	}
@@ -459,7 +500,12 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 
 	// Evaluate the candidate on the deterministic holdout fold.
 	m.setState(job, StateEvaluating)
+	t0 = time.Now()
+	_, espan := obs.StartSpan(ctx, "evaluate")
 	metrics, err := napel.EvaluateHoldout(td, spec.trainer(), frac, seed)
+	espan.SetError(err)
+	espan.End()
+	m.o.stage("evaluate", time.Since(t0))
 	if err != nil {
 		return fmt.Errorf("%w: %v", errPermanent, err)
 	}
@@ -479,7 +525,13 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 		return err
 	}
 
+	t0 = time.Now()
+	_, gspan := obs.StartSpan(ctx, "gate")
 	promote, baseline, incumbentID, err := m.gate(td, metrics, frac, seed)
+	gspan.SetAttr("verdict", gateVerdict(promote))
+	gspan.SetError(err)
+	gspan.End()
+	m.o.stage("gate", time.Since(t0))
 	if err != nil {
 		return err
 	}
@@ -495,7 +547,7 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 	if !promote {
 		m.removeCheckpoint(job.ID)
 		m.setState(job, StateRejected)
-		m.metrics.rejections.Add(1)
+		m.o.rejections.Inc()
 		m.cfg.Logf("lifecycle: job %s rejected by canary gate: candidate %.4f vs incumbent %.4f (tolerance %.2f)",
 			job.ID, metrics.Combined(), baseline, m.cfg.GateTolerance)
 		return nil
@@ -505,7 +557,7 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) error {
 	}
 	m.removeCheckpoint(job.ID)
 	m.setState(job, StatePromoted)
-	m.metrics.promotions.Add(1)
+	m.o.promotions.Inc()
 	m.cfg.Logf("lifecycle: job %s promoted %s (model %s, holdout %.4f)",
 		job.ID, manifest.ID, modelHash[:16], metrics.Combined())
 	return nil
@@ -552,7 +604,8 @@ func (m *Manager) collect(ctx context.Context, job *Job, kernels []workload.Kern
 			if err := napel.WriteTrainingDataFile(ckPath, snapshot()); err != nil {
 				m.cfg.Logf("lifecycle: job %s: checkpoint write failed: %v", job.ID, err)
 			} else {
-				m.metrics.markCheckpoint(now)
+				m.o.ckpWrite.ObserveSince(now)
+				m.o.markCheckpoint(now)
 			}
 		},
 	}
@@ -562,8 +615,10 @@ func (m *Manager) collect(ctx context.Context, job *Job, kernels []workload.Kern
 		if errors.Is(err, context.Canceled) && td != nil && len(td.Samples) > 0 {
 			// Graceful stop: persist whatever the throttle window held
 			// back so the next attempt resumes from here.
+			t0 := time.Now()
 			if werr := napel.WriteTrainingDataFile(ckPath, td); werr == nil {
-				m.metrics.markCheckpoint(time.Now())
+				m.o.ckpWrite.ObserveSince(t0)
+				m.o.markCheckpoint(t0)
 			}
 		}
 		if prior != nil && !errors.Is(err, context.Canceled) && strings.Contains(err.Error(), "resume checkpoint") {
@@ -611,6 +666,13 @@ func (m *Manager) removeCheckpoint(id string) {
 	if err := os.Remove(m.checkpointPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		m.cfg.Logf("lifecycle: removing checkpoint for %s: %v", id, err)
 	}
+}
+
+func gateVerdict(promote bool) string {
+	if promote {
+		return "promote"
+	}
+	return "reject"
 }
 
 // trainWith fits both targets with an explicit trainer — the manager's

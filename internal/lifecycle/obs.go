@@ -1,0 +1,103 @@
+package lifecycle
+
+import (
+	"sync/atomic"
+	"time"
+
+	"napel/internal/obs"
+)
+
+// jobBuckets grids job- and stage-scale durations: collection jobs run
+// for seconds to hours, not the sub-second latencies obs.DefBuckets
+// targets.
+var jobBuckets = []float64{
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 900, 3600,
+}
+
+// pipelineStages are the label values of napel_traind_job_stage_seconds,
+// declared up front so every stage series is visible (at zero) from the
+// first scrape.
+var pipelineStages = [...]string{"queue_wait", "collect", "train", "evaluate", "gate"}
+
+// traindObs is napel-traind's observability surface on the shared
+// internal/obs registry (it replaced the bespoke managerMetrics type and
+// its hand-rolled exposition writer). Name changes from the old surface
+// are documented in DESIGN.md — the only one is that
+// napel_traind_job_duration_seconds is now a full histogram rather than
+// a sum/count summary (its _sum and _count series are unchanged).
+type traindObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	start  time.Time
+
+	running     *obs.Gauge
+	submitted   *obs.Counter
+	finished    *obs.CounterVec
+	duration    *obs.Histogram
+	retries     *obs.Counter
+	promotions  *obs.Counter
+	rejections  *obs.Counter
+	stages      map[string]*obs.Histogram
+	ckpWrite    *obs.Histogram
+	lastCkpUnix atomic.Int64 // unix nanos of the last checkpoint write; 0 = never
+}
+
+func newTraindObs(m *Manager, tracer *obs.Tracer) *traindObs {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "napel-traind")
+	o := &traindObs{
+		reg:    reg,
+		tracer: tracer,
+		start:  time.Now(),
+		stages: make(map[string]*obs.Histogram, len(pipelineStages)),
+	}
+	reg.GaugeFunc("napel_traind_queue_depth",
+		"Jobs waiting for a worker.", func() float64 { return float64(m.QueueDepth()) })
+	o.running = reg.Gauge("napel_traind_jobs_running",
+		"Jobs currently executing.")
+	o.submitted = reg.Counter("napel_traind_jobs_submitted_total",
+		"Jobs accepted by Submit.")
+	o.finished = reg.CounterVec("napel_traind_jobs_finished_total",
+		"Jobs reaching a terminal state, by state.", "state")
+	o.duration = reg.Histogram("napel_traind_job_duration_seconds",
+		"Wall-clock time of finished jobs.", jobBuckets)
+	o.retries = reg.Counter("napel_traind_retries_total",
+		"Job attempts re-run after a transient failure.")
+	o.promotions = reg.Counter("napel_traind_promotions_total",
+		"Models promoted past the canary gate.")
+	o.rejections = reg.Counter("napel_traind_rejections_total",
+		"Models rejected by the canary gate.")
+	stage := reg.HistogramVec("napel_traind_job_stage_seconds",
+		"Per-stage pipeline latency: queue wait, collect, train, evaluate, gate.",
+		jobBuckets, "stage")
+	for _, s := range pipelineStages {
+		o.stages[s] = stage.With(s)
+	}
+	o.ckpWrite = reg.Histogram("napel_traind_checkpoint_write_seconds",
+		"Latency of mid-collection checkpoint writes.", nil)
+	reg.GaugeFunc("napel_traind_checkpoint_age_seconds",
+		"Seconds since the last checkpoint write; -1 before the first.",
+		func() float64 {
+			ns := o.lastCkpUnix.Load()
+			if ns == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(0, ns)).Seconds()
+		})
+	reg.GaugeFunc("napel_traind_uptime_seconds",
+		"Seconds since the manager started.",
+		func() float64 { return time.Since(o.start).Seconds() })
+	return o
+}
+
+func (o *traindObs) finishJob(state JobState) { o.finished.With(string(state)).Inc() }
+
+func (o *traindObs) markCheckpoint(t time.Time) { o.lastCkpUnix.Store(t.UnixNano()) }
+
+// stage observes one pipeline stage's wall clock in both the stage
+// histogram and, when a span is live, the trace.
+func (o *traindObs) stage(name string, d time.Duration) {
+	if h, ok := o.stages[name]; ok {
+		h.Observe(d.Seconds())
+	}
+}

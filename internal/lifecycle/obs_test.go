@@ -1,0 +1,110 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"napel/internal/obs"
+)
+
+// TestJobTraceAndStageMetrics runs one job end to end and checks that
+// the admin API's observability surface agrees with what happened: a
+// "job" trace with collect/train/evaluate/gate child spans at
+// /debug/traces, stage histograms with one sample each, and the
+// exposition content type.
+func TestJobTraceAndStageMetrics(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), nil)
+	stop := runManager(m)
+	defer stop()
+
+	job, err := m.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	job = waitTerminal(t, m, job.ID, 2*time.Minute)
+	if job.State != StatePromoted {
+		t.Fatalf("job finished %s (error %q), want promoted", job.State, job.Error)
+	}
+
+	ts := httptest.NewServer(NewAPIHandler(m))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{
+		`napel_build_info{binary="napel-traind"`,
+		`napel_traind_job_stage_seconds_count{stage="queue_wait"} 1`,
+		`napel_traind_job_stage_seconds_count{stage="collect"} 1`,
+		`napel_traind_job_stage_seconds_count{stage="train"} 1`,
+		`napel_traind_job_stage_seconds_count{stage="evaluate"} 1`,
+		`napel_traind_job_stage_seconds_count{stage="gate"} 1`,
+		"# TYPE napel_traind_job_duration_seconds histogram",
+		"napel_traind_job_duration_seconds_count 1",
+		"napel_traind_checkpoint_write_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	tresp, err := http.Get(ts.URL + "/debug/traces?name=job")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	var traces struct {
+		Count  int `json:"count"`
+		Traces []struct {
+			Name  string           `json:"name"`
+			Spans []obs.SpanRecord `json:"spans"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(tresp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if traces.Count != 1 {
+		t.Fatalf("want one job trace, got %d", traces.Count)
+	}
+	tr := traces.Traces[0]
+	if tr.Name != "job" {
+		t.Fatalf("trace root %q, want job", tr.Name)
+	}
+	children := map[string]bool{}
+	for _, sp := range tr.Spans {
+		if sp.ParentID != "" {
+			children[sp.Name] = true
+		}
+		if sp.Name == "job" {
+			var id string
+			for _, a := range sp.Attrs {
+				if a.Key == "id" {
+					id = a.Value
+				}
+			}
+			if id != job.ID {
+				t.Fatalf("job span id %q, want %s", id, job.ID)
+			}
+		}
+	}
+	for _, want := range []string{"collect", "train", "evaluate", "gate"} {
+		if !children[want] {
+			t.Fatalf("job trace missing %q child span; spans: %+v", want, tr.Spans)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"napel/internal/nmcsim"
+	"napel/internal/obs"
 	"napel/internal/pisa"
 	"napel/internal/trace"
 	"napel/internal/workload"
@@ -153,23 +154,45 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 	// safely assemble the results collected so far.
 	var mu sync.Mutex
 	total := len(units)
-	runPool(ctx, opts.workers(), len(units), func(idx int) {
+	workers := opts.workers()
+	if workers > total {
+		workers = total
+	}
+	eo := newEngineObs(opts.Metrics)
+	eo.startRun(workers, total-done, done)
+	defer eo.endRun()
+	ectx, espan := obs.StartSpan(ctx, "engine")
+	espan.SetAttrInt("units", int64(total))
+	espan.SetAttrInt("restored", int64(done))
+	espan.SetAttrInt("workers", int64(workers))
+	runPool(ctx, workers, len(units), func(idx int) {
 		if results[idx].done {
 			return // restored from the checkpoint
 		}
-		r := runCollectUnit(ctx, units[idx], opts)
+		eo.unitStart()
+		t0 := time.Now()
+		uctx, uspan := obs.StartSpan(ectx, "engine.unit")
+		uspan.SetAttr("kernel", units[idx].kernel.Name())
+		uspan.SetAttrInt("threads", int64(units[idx].in.Threads()))
+		r := runCollectUnit(uctx, units[idx], opts, eo)
+		uspan.SetError(r.err)
+		uspan.End()
+		eo.unitEnd(time.Since(t0).Seconds(), r.done, r.err)
 		mu.Lock()
 		defer mu.Unlock()
 		results[idx] = r
 		if r.done {
 			done++
 			if ck != nil && ck.OnUnit != nil {
+				tck := time.Now()
 				ck.OnUnit(done, total, func() *TrainingData {
 					return assembleTrainingData(plans, units, results, opts)
 				})
+				eo.observeCheckpoint(time.Since(tck).Seconds())
 			}
 		}
 	})
+	espan.End()
 
 	// The first hard error in unit order wins, matching the serial
 	// loop's abort-at-first-failure contract. Context aborts are not
@@ -304,29 +327,45 @@ func restoreUnits(prior *TrainingData, units []collectUnit, opts Options) (map[i
 // architecture. The kernel's trace generator runs exactly 1+threads
 // times regardless of how many architectures are trained on — the
 // single-pass saving over the per-arch re-execution it replaces.
-func runCollectUnit(ctx context.Context, u collectUnit, opts Options) unitResult {
+func runCollectUnit(ctx context.Context, u collectUnit, opts Options, eo *engineObs) unitResult {
 	var r unitResult
 	if ctx.Err() != nil {
 		return r
 	}
 	t0 := time.Now()
+	_, pspan := obs.StartSpan(ctx, "profile")
 	prof, err := ProfileKernel(u.kernel, u.in, opts.ProfileBudget)
+	pspan.SetError(err)
+	pspan.End()
 	if err != nil {
 		r.err = err
 		return r
 	}
 	r.profileTime = time.Since(t0)
 	r.prof = prof
+	eo.observeStage("profile", r.profileTime.Seconds())
 
 	threads := u.in.Threads()
 	t0 = time.Now()
+	_, rspan := obs.StartSpan(ctx, "record")
 	recs, err := recordShards(u.kernel, u.in, threads, opts.SimBudget)
+	rspan.SetError(err)
+	rspan.End()
 	if err != nil {
 		r.err = err
 		return r
 	}
 	r.recordTime = time.Since(t0)
+	eo.observeStage("record", r.recordTime.Seconds())
 
+	simStart := time.Now()
+	_, sspan := obs.StartSpan(ctx, "simulate")
+	sspan.SetAttrInt("archs", int64(len(opts.TrainArchs)))
+	defer func() {
+		sspan.SetError(r.err)
+		sspan.End()
+		eo.observeStage("simulate", time.Since(simStart).Seconds())
+	}()
 	r.sims = make([]*nmcsim.Result, len(opts.TrainArchs))
 	r.simTimes = make([]time.Duration, len(opts.TrainArchs))
 	for ai, arch := range opts.TrainArchs {

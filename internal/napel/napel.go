@@ -28,6 +28,7 @@ import (
 	"napel/internal/doe"
 	"napel/internal/hostsim"
 	"napel/internal/nmcsim"
+	"napel/internal/obs"
 	"napel/internal/pisa"
 	"napel/internal/stats"
 	"napel/internal/trace"
@@ -74,6 +75,11 @@ type Options struct {
 	// concurrently; 0 means runtime.GOMAXPROCS(0). The assembled
 	// TrainingData is bit-identical for any worker count.
 	Workers int
+	// Metrics, when non-nil, receives the engine's napel_engine_* series
+	// (worker utilization, queue depth, per-unit and per-stage latency).
+	// nil leaves the engine uninstrumented at zero cost. Instrumentation
+	// never affects the collected data.
+	Metrics *obs.Registry
 }
 
 // workers resolves the effective worker count.

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The fast paths must stay allocation-free: these benchmarks are run
+// with -benchmem and their numbers recorded in EXPERIMENTS.md;
+// TestHotPathAllocationFree enforces the 0 allocs/op bound in the
+// regular test suite.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0042)
+	}
+}
+
+func BenchmarkObsHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "", nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.0042)
+		}
+	})
+}
+
+func BenchmarkObsVecWithHit(b *testing.B) {
+	v := NewRegistry().CounterVec("bench_vec_total", "", "op")
+	v.With("hot").Inc()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v.With("hot").Inc()
+	}
+}
+
+func BenchmarkObsWriteText(b *testing.B) {
+	r := NewRegistry()
+	for _, ep := range []string{"predict", "suitability", "models", "healthz"} {
+		r.CounterVec("bench_requests_total", "", "endpoint", "class").With(ep, "2xx").Add(100)
+		r.HistogramVec("bench_duration_seconds", "", nil, "endpoint").With(ep).Observe(0.001)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.WriteText(io.Discard)
+	}
+}
+
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := NewTracer(256, nil)
+	ctx := WithTracer(context.Background(), tr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkObsSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, s := StartSpan(ctx, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkObsEscapeClean(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if escapeLabelValue("predict") != "predict" {
+			b.Fatal("escape changed a clean value")
+		}
+	}
+}
+
+func BenchmarkObsEscapeHostile(b *testing.B) {
+	s := strings.Repeat(`a"b\c`+"\n", 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		escapeLabelValue(s)
+	}
+}

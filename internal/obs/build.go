@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Revision best-efforts the binary's VCS identity: the (abbreviated)
+// git revision with a -dirty suffix, the module version, or "devel" in
+// tests and unstamped builds.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	var rev, dirty string
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				dirty = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "devel"
+}
+
+// VersionLine is the one-line identity a binary prints for -version.
+func VersionLine(binary string) string {
+	return binary + " " + Revision() + " (" + runtime.Version() + ")"
+}
+
+// RegisterBuildInfo exposes the binary's identity as the constant-1
+// gauge napel_build_info{binary,go_version,revision} on r.
+func RegisterBuildInfo(r *Registry, binary string) {
+	r.GaugeVec("napel_build_info",
+		"Build identity of this binary; constant 1.",
+		"binary", "go_version", "revision").
+		With(binary, runtime.Version(), Revision()).Set(1)
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition format media type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format: families sorted by name, series sorted by label
+// values, one HELP/TYPE pair per family, label values escaped per the
+// format's rules. Scrapes are safe concurrently with observations —
+// values are read atomically, so a scrape sees some consistent-enough
+// interleaving, never a torn value.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		writeHeader(bw, f)
+		switch f.kind {
+		case kindCounterFunc, kindGaugeFunc:
+			f.seriesMu.Lock()
+			fn := f.fn
+			f.seriesMu.Unlock()
+			v := 0.0
+			if fn != nil {
+				v = fn()
+			}
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(formatFloat(v))
+			bw.WriteByte('\n')
+			continue
+		}
+		series := f.load()
+		keys := make([]string, 0, len(series))
+		for k := range series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			var values []string
+			if len(f.labels) > 0 {
+				values = splitSeriesKey(key, len(f.labels))
+			}
+			switch m := series[key].(type) {
+			case *Counter:
+				writeSample(bw, f.name, "", f.labels, values, "", strconv.FormatUint(m.Value(), 10))
+			case *Gauge:
+				writeSample(bw, f.name, "", f.labels, values, "", formatFloat(m.Value()))
+			case *Histogram:
+				cum := uint64(0)
+				for i, bound := range m.bounds {
+					cum += m.buckets[i].Load()
+					writeSample(bw, f.name, "_bucket", f.labels, values,
+						formatFloat(bound), strconv.FormatUint(cum, 10))
+				}
+				cum += m.buckets[len(m.bounds)].Load()
+				writeSample(bw, f.name, "_bucket", f.labels, values, "+Inf", strconv.FormatUint(cum, 10))
+				writeSample(bw, f.name, "_sum", f.labels, values, "", formatFloat(m.Sum()))
+				writeSample(bw, f.name, "_count", f.labels, values, "", strconv.FormatUint(m.Count(), 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving WriteText with the canonical
+// exposition Content-Type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WriteText(w)
+	})
+}
+
+func writeHeader(w *bufio.Writer, f *family) {
+	if f.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(f.name)
+		w.WriteByte(' ')
+		w.WriteString(escapeHelp(f.help))
+		w.WriteByte('\n')
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+}
+
+// writeSample emits one line: name+suffix{labels...,le="..."} value.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabelValue(values[i]))
+			w.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(le)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+// escapeLabelValue applies the exposition format's label-value escapes:
+// backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	if !needsEscape(s, true) {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	if !needsEscape(s, false) {
+		return s
+	}
+	out := make([]byte, 0, len(s)+8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+func needsEscape(s string, quote bool) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\', '\n':
+			return true
+		case '"':
+			if quote {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

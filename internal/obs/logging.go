@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// logHandler decorates records with the active span's identifiers so
+// log lines and /debug/traces entries correlate on trace_id.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// NewLogHandler wraps inner so every record logged with a context that
+// carries an active span gains trace_id and span_id attributes.
+func NewLogHandler(inner slog.Handler) slog.Handler {
+	return &logHandler{inner: inner}
+}
+
+func (h *logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h *logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if span := SpanFromContext(ctx); span != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", span.TraceID()),
+			slog.String("span_id", span.SpanID()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h *logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *logHandler) WithGroup(name string) slog.Handler {
+	return &logHandler{inner: h.inner.WithGroup(name)}
+}

@@ -1,0 +1,391 @@
+// Package obs is the repository's shared observability core: a
+// Prometheus-text metrics registry, context-propagated request/job
+// tracing, a trace-correlating slog handler, and runtime introspection
+// endpoints — all stdlib-only, like the rest of the repository.
+//
+// The package replaces the hand-rolled exposition writers that
+// napel-serve and napel-traind each grew independently, and gives the
+// parallel collection engine its first instrumentation. One registry
+// design serves all three layers:
+//
+//   - Metrics: get-or-create counters, gauges and fixed-bucket
+//     histograms, optionally labeled. Registration takes a lock once;
+//     the handles it returns are lock-free on the hot path (atomic adds,
+//     zero allocations) and safe to observe concurrently with scrapes.
+//     WriteText renders the whole registry in deterministic (sorted)
+//     order with correct HELP/TYPE lines and label-value escaping.
+//
+//   - Tracing: StartSpan(ctx, name) opens a span under whatever tracer
+//     and parent the context carries; End() exports a completed record
+//     to an in-memory ring (served at /debug/traces as filterable JSON)
+//     and, optionally, a JSONL sink. With no tracer on the context the
+//     span is nil and every method is a no-op, so instrumented code
+//     costs nothing when tracing is off.
+//
+//   - Logging: NewLogHandler wraps any slog.Handler and stamps
+//     trace_id/span_id from the record's context, so logs and traces
+//     correlate without the call sites knowing about tracing.
+//
+//   - Introspection: MountDebug attaches /debug/traces, /debug/pprof/*
+//     and a /debug/runtime goroutine/GC/heap snapshot to an admin mux.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metricKind discriminates the families a registry can hold.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// unusable; obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Observe is
+// lock-free and allocation-free; the +Inf bucket is implicit.
+type Histogram struct {
+	bounds  []float64 // sorted upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values so far.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets is a general-purpose latency grid in seconds, dense at the
+// sub-millisecond end where predictions live.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// family is one registered metric name: its metadata plus either a set
+// of labeled series or a value function.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histograms only
+
+	// series maps the joined label-value key to its metric (a *Counter,
+	// *Gauge or *Histogram). Lookups are lock-free via copy-on-write;
+	// seriesMu serializes writers. Unlabeled families use the "" key.
+	series   atomic.Pointer[map[string]any]
+	seriesMu sync.Mutex
+
+	// fn backs CounterFunc/GaugeFunc families. Guarded by seriesMu;
+	// re-registration replaces it (latest closure wins), which lets
+	// successive engine runs rebind gauges over fresh state.
+	fn func() float64
+}
+
+func (f *family) load() map[string]any {
+	if m := f.series.Load(); m != nil {
+		return *m
+	}
+	return nil
+}
+
+// get returns the series for key, creating it with mk on first use.
+func (f *family) get(key string, mk func() any) any {
+	if m := f.load(); m != nil {
+		if s, ok := m[key]; ok {
+			return s
+		}
+	}
+	f.seriesMu.Lock()
+	defer f.seriesMu.Unlock()
+	old := f.load()
+	if s, ok := old[key]; ok {
+		return s
+	}
+	next := make(map[string]any, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	s := mk()
+	next[key] = s
+	f.series.Store(&next)
+	return s
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// The zero value is unusable; use NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family returns the named family, creating it on first registration.
+// A name re-registered with a different kind, label set or bucket
+// layout panics: that is a programming error, not runtime input.
+func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) || !equalFloats(f.bounds, bounds) {
+			panic("obs: metric " + name + " re-registered with a different shape")
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, bounds: bounds}
+	r.families[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter name, registering it on first
+// use.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, kindCounter, nil, nil)
+	return f.get("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the unlabeled gauge name, registering it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil)
+	return f.get("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the unlabeled histogram name with the given bucket
+// upper bounds (nil means DefBuckets), registering it on first use.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	f := r.family(name, help, kindHistogram, nil, bounds)
+	return f.get("", func() any { return newHistogram(bounds) }).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — for counts owned by another component (cache hit totals, model
+// reload counts). Re-registering replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindCounterFunc, nil, nil)
+	f.seriesMu.Lock()
+	f.fn = fn
+	f.seriesMu.Unlock()
+}
+
+// GaugeFunc registers a gauge computed at scrape time. Re-registering
+// replaces the function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGaugeFunc, nil, nil)
+	f.seriesMu.Lock()
+	f.fn = fn
+	f.seriesMu.Unlock()
+}
+
+// CounterVec is a counter family with labels. Resolve series with With
+// once and keep the handle: With takes the registry's copy-on-write
+// read path, but the returned Counter is lock-free.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec needs at least one label")
+	}
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (positional,
+// matching the registered label names).
+func (v *CounterVec) With(values ...string) *Counter {
+	key := seriesKey(v.f.labels, values)
+	return v.f.get(key, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	key := seriesKey(v.f.labels, values)
+	return v.f.get(key, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family name (nil bounds
+// means DefBuckets).
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label")
+	}
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	key := seriesKey(v.f.labels, values)
+	return v.f.get(key, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, buckets: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// seriesKey joins label values into the series map key. Values embed
+// unescaped; the unit separator cannot collide with rendered output
+// because rendering re-derives the values by splitting on it.
+func seriesKey(labels, values []string) string {
+	if len(values) != len(labels) {
+		panic("obs: label value count mismatch")
+	}
+	if len(values) == 1 {
+		return values[0]
+	}
+	return strings.Join(values, "\x1f")
+}
+
+func splitSeriesKey(key string, n int) []string {
+	if n == 1 {
+		return []string{key}
+	}
+	return strings.SplitN(key, "\x1f", n)
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

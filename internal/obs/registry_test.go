@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return b.String()
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Fatal("Counter not get-or-create")
+	}
+	v := r.CounterVec("y_total", "help", "op")
+	if v.With("a") != v.With("a") {
+		t.Fatal("Vec.With not stable")
+	}
+	if v.With("a") == v.With("b") {
+		t.Fatal("distinct label values share a series")
+	}
+	h1 := r.Histogram("z_seconds", "help", nil)
+	h2 := r.Histogram("z_seconds", "help", nil)
+	if h1 != h2 {
+		t.Fatal("Histogram not get-or-create")
+	}
+}
+
+func TestRegistryShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestWriteTextDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	// Register out of order; exposition must sort families and series.
+	r.Counter("b_total", "b").Add(2)
+	r.Gauge("a_gauge", "a").Set(1)
+	v := r.CounterVec("c_total", "c", "k")
+	v.With("z").Inc()
+	v.With("m").Inc()
+	v.With("a").Inc()
+
+	first := render(t, r)
+	for i := 0; i < 5; i++ {
+		if got := render(t, r); got != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	ia := strings.Index(first, "a_gauge ")
+	ib := strings.Index(first, "b_total ")
+	ic := strings.Index(first, `c_total{k="a"}`)
+	iz := strings.Index(first, `c_total{k="z"}`)
+	if !(ia < ib && ib < ic && ic < iz) {
+		t.Fatalf("families/series not sorted:\n%s", first)
+	}
+}
+
+func TestWriteTextHelpAndType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total", "Requests served.").Inc()
+	r.Gauge("depth", "Queue depth.").Set(3)
+	r.Histogram("lat_seconds", "Latency.", []float64{1}).Observe(0.5)
+	r.GaugeFunc("up_seconds", "Uptime.", func() float64 { return 7 })
+	r.CounterFunc("hits_total", "Cache hits.", func() float64 { return 9 })
+	text := render(t, r)
+	for _, want := range []string{
+		"# HELP req_total Requests served.\n# TYPE req_total counter\nreq_total 1\n",
+		"# HELP depth Queue depth.\n# TYPE depth gauge\ndepth 3\n",
+		"# TYPE lat_seconds histogram\n",
+		"# HELP up_seconds Uptime.\n# TYPE up_seconds gauge\nup_seconds 7\n",
+		"# HELP hits_total Cache hits.\n# TYPE hits_total counter\nhits_total 9\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("g", "", func() float64 { return 1 })
+	r.GaugeFunc("g", "", func() float64 { return 2 })
+	if text := render(t, r); !strings.Contains(text, "g 2\n") {
+		t.Fatalf("re-registered GaugeFunc did not replace the function:\n%s", text)
+	}
+}
+
+// unescapeLabelValue reverses the exposition escaping — the round-trip
+// half of the conformance test.
+func unescapeLabelValue(t *testing.T, s string) string {
+	t.Helper()
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			out = append(out, s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			t.Fatalf("dangling backslash in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		case 'n':
+			out = append(out, '\n')
+		default:
+			t.Fatalf("invalid escape \\%c in %q", s[i], s)
+		}
+	}
+	return string(out)
+}
+
+func TestExpositionLabelEscapingRoundTrip(t *testing.T) {
+	hostile := []string{
+		`plain`,
+		`has "quotes"`,
+		`back\slash`,
+		"new\nline",
+		`all "of\them` + "\ntogether\\",
+	}
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "Escaping.", "val")
+	for _, s := range hostile {
+		v.With(s).Inc()
+	}
+	text := render(t, r)
+
+	var got []string
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, `esc_total{val="`) {
+			continue
+		}
+		// Lines end `"} 1`; everything between the quotes is the
+		// escaped value. The value itself cannot contain a raw quote
+		// after escaping, so the bounds are unambiguous.
+		inner := strings.TrimPrefix(line, `esc_total{val="`)
+		end := strings.LastIndex(inner, `"} `)
+		if end < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if strings.ContainsAny(inner[:end], "\n") {
+			t.Fatalf("raw newline leaked into exposition line %q", line)
+		}
+		got = append(got, unescapeLabelValue(t, inner[:end]))
+	}
+	if len(got) != len(hostile) {
+		t.Fatalf("got %d series, want %d:\n%s", len(got), len(hostile), text)
+	}
+	want := map[string]bool{}
+	for _, s := range hostile {
+		want[s] = true
+	}
+	for _, s := range got {
+		if !want[s] {
+			t.Fatalf("round-tripped value %q not among the originals", s)
+		}
+	}
+}
+
+func TestHistogramInvariants(t *testing.T) {
+	bounds := []float64{0.1, 1, 10}
+	r := NewRegistry()
+	h := r.Histogram("inv_seconds", "Invariants.", bounds)
+	samples := []float64{0.05, 0.1, 0.5, 2, 50, 100}
+	sum := 0.0
+	for _, v := range samples {
+		h.Observe(v)
+		sum += v
+	}
+	text := render(t, r)
+
+	// Parse the buckets back out.
+	var cum []uint64
+	var infCount uint64
+	var gotSum float64
+	var gotCount uint64
+	for _, line := range strings.Split(text, "\n") {
+		switch {
+		case strings.HasPrefix(line, `inv_seconds_bucket{le="+Inf"}`):
+			infCount = parseUint(t, line)
+		case strings.HasPrefix(line, `inv_seconds_bucket{`):
+			cum = append(cum, parseUint(t, line))
+		case strings.HasPrefix(line, "inv_seconds_sum "):
+			f, err := strconv.ParseFloat(strings.Fields(line)[1], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSum = f
+		case strings.HasPrefix(line, "inv_seconds_count "):
+			gotCount = parseUint(t, line)
+		}
+	}
+	if len(cum) != len(bounds) {
+		t.Fatalf("got %d finite buckets, want %d:\n%s", len(cum), len(bounds), text)
+	}
+	// Buckets are cumulative and monotone.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("bucket counts not monotone: %v", cum)
+		}
+	}
+	// +Inf bucket equals _count; boundary samples land in their bucket
+	// (le is inclusive); sum matches.
+	if infCount != uint64(len(samples)) || gotCount != uint64(len(samples)) {
+		t.Fatalf("+Inf=%d count=%d, want both %d", infCount, gotCount, len(samples))
+	}
+	if cum[0] != 2 { // 0.05 and the inclusive 0.1
+		t.Fatalf("le=0.1 bucket = %d, want 2", cum[0])
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", gotSum, sum)
+	}
+}
+
+func parseUint(t *testing.T, line string) uint64 {
+	t.Helper()
+	fields := strings.Fields(line)
+	v, err := strconv.ParseUint(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", line, err)
+	}
+	return v
+}
+
+// TestConcurrentObserveScrape exercises every metric kind from many
+// goroutines while scraping — the observe-vs-scrape race test run under
+// -race by scripts/verify.sh.
+func TestConcurrentObserveScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "")
+	g := r.Gauge("race_gauge", "")
+	h := r.Histogram("race_seconds", "", nil)
+	v := r.CounterVec("race_vec_total", "", "worker")
+
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mine := v.With(strconv.Itoa(w))
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / iters)
+				mine.Inc()
+				// New series appear while scrapes iterate the map.
+				v.With(strconv.Itoa(w) + "-" + strconv.Itoa(i%5)).Inc()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Errorf("scrape: %v", err)
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := c.Value(); got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := g.Value(); got != workers*iters {
+		t.Fatalf("gauge = %g, want %d", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	g := r.Gauge("alloc_gauge", "")
+	h := r.Histogram("alloc_seconds", "", nil)
+	vec := r.CounterVec("alloc_vec_total", "", "op")
+	pre := vec.With("hot")
+
+	if n := testing.AllocsPerRun(100, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.Set(1.5) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { h.Observe(0.003) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { pre.Add(1) }); n != 0 {
+		t.Fatalf("pre-resolved vec counter allocates %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { vec.With("hot").Inc() }); n != 0 {
+		t.Fatalf("single-label With on an existing series allocates %.1f/op", n)
+	}
+}

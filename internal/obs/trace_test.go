@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartSpanWithoutTracerIsInert(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "nothing")
+	if span != nil {
+		t.Fatal("want nil span without a tracer")
+	}
+	// Every method must be a no-op on nil.
+	span.SetAttr("k", "v")
+	span.SetAttrInt("n", 1)
+	span.SetError(fmt.Errorf("boom"))
+	span.End()
+	if span.TraceID() != "" || span.SpanID() != "" {
+		t.Fatal("nil span has ids")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("inert StartSpan attached a span to the context")
+	}
+}
+
+func TestSpanNestingAndExport(t *testing.T) {
+	tr := NewTracer(16, nil)
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := StartSpan(ctx, "request")
+	root.SetAttr("endpoint", "predict")
+	cctx, child := StartSpan(ctx, "cache")
+	child.End()
+	_, child2 := StartSpan(ctx, "predict")
+	child2.SetAttrInt("items", 3)
+	child2.End()
+	root.End()
+	_ = cctx
+
+	recs := tr.Snapshot()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	rootRec := byName["request"]
+	if rootRec.ParentID != "" {
+		t.Fatalf("root has parent %q", rootRec.ParentID)
+	}
+	for _, name := range []string{"cache", "predict"} {
+		r := byName[name]
+		if r.TraceID != rootRec.TraceID {
+			t.Fatalf("%s trace id %q != root %q", name, r.TraceID, rootRec.TraceID)
+		}
+		if r.ParentID != rootRec.SpanID {
+			t.Fatalf("%s parent %q != root span %q", name, r.ParentID, rootRec.SpanID)
+		}
+	}
+	if got := byName["predict"].Attrs; len(got) != 1 || got[0].Value != "3" {
+		t.Fatalf("predict attrs = %+v", got)
+	}
+	// Double End is idempotent.
+	root.End()
+	if n := len(tr.Snapshot()); n != 3 {
+		t.Fatalf("double End re-exported: %d records", n)
+	}
+}
+
+func TestTracerRingRetention(t *testing.T) {
+	tr := NewTracer(4, nil)
+	ctx := WithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, s := StartSpan(ctx, fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	recs := tr.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if want := fmt.Sprintf("s%d", 6+i); r.Name != want {
+			t.Fatalf("ring[%d] = %s, want %s (oldest-first order)", i, r.Name, want)
+		}
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(4, &buf)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "outer")
+	_, inner := StartSpan(ctx, "inner")
+	inner.End()
+	root.End()
+
+	sc := bufio.NewScanner(&buf)
+	var lines []SpanRecord
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("sink line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, rec)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("sink has %d lines, want 2", len(lines))
+	}
+	// Spans export at End, so inner lands first.
+	if lines[0].Name != "inner" || lines[1].Name != "outer" {
+		t.Fatalf("sink order: %s, %s", lines[0].Name, lines[1].Name)
+	}
+	if lines[0].TraceID != lines[1].TraceID {
+		t.Fatal("sink spans have different trace ids")
+	}
+}
+
+func TestTracesHandlerFilters(t *testing.T) {
+	tr := NewTracer(32, nil)
+	ctx := WithTracer(context.Background(), tr)
+
+	sctx, slow := StartSpan(ctx, "slow-op")
+	_, sub := StartSpan(sctx, "substep")
+	sub.End()
+	time.Sleep(30 * time.Millisecond)
+	slow.End()
+	_, fast := StartSpan(ctx, "fast-op")
+	fast.End()
+
+	get := func(query string) map[string]any {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		tr.TracesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces"+query, nil))
+		if rr.Code != 200 {
+			t.Fatalf("GET /debug/traces%s -> %d: %s", query, rr.Code, rr.Body)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	if out := get(""); out["count"].(float64) != 2 {
+		t.Fatalf("unfiltered count = %v", out["count"])
+	}
+	out := get("?name=substep")
+	if out["count"].(float64) != 1 {
+		t.Fatalf("name filter count = %v", out["count"])
+	}
+	traces := out["traces"].([]any)
+	group := traces[0].(map[string]any)
+	if group["name"] != "slow-op" {
+		t.Fatalf("filtered trace root = %v", group["name"])
+	}
+	if spans := group["spans"].([]any); len(spans) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(spans))
+	}
+	if out := get("?min_duration=20ms"); out["count"].(float64) != 1 {
+		t.Fatalf("min_duration filter count = %v", out["count"])
+	}
+	if out := get("?min_duration=10h"); out["count"].(float64) != 0 {
+		t.Fatalf("10h min_duration count = %v", out["count"])
+	}
+	rr := httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?min_duration=bogus", nil))
+	if rr.Code != 400 {
+		t.Fatalf("bogus min_duration -> %d, want 400", rr.Code)
+	}
+}
+
+func TestLogHandlerStampsTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(NewLogHandler(slog.NewTextHandler(&buf, nil)))
+	tr := NewTracer(4, nil)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, span := StartSpan(ctx, "op")
+	logger.InfoContext(ctx, "inside span")
+	logger.InfoContext(context.Background(), "outside span")
+	span.End()
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "trace_id="+span.TraceID()) ||
+		!strings.Contains(lines[0], "span_id="+span.SpanID()) {
+		t.Fatalf("in-span log line missing ids: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "trace_id=") {
+		t.Fatalf("out-of-span log line has a trace id: %s", lines[1])
+	}
+}
+
+func TestRuntimeHandler(t *testing.T) {
+	rr := httptest.NewRecorder()
+	RuntimeHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/runtime", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["goroutines"].(float64) < 1 || snap["heap_alloc_bytes"].(float64) <= 0 {
+		t.Fatalf("implausible snapshot: %v", snap)
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "napel-test")
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	if !strings.Contains(text, `napel_build_info{binary="napel-test",go_version="go`) ||
+		!strings.Contains(text, "} 1\n") {
+		t.Fatalf("build info gauge malformed:\n%s", text)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -11,12 +12,13 @@ import (
 	"io/fs"
 	"math"
 	"net/http"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"napel/internal/napel"
+	"napel/internal/obs"
 )
 
 // apiError is a handler failure with its HTTP status.
@@ -40,24 +42,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"models":         len(s.registry.List()),
-		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"uptime_seconds": time.Since(s.o.start).Seconds(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.cache.Stats()
-	var b strings.Builder
-	s.metrics.render(&b, map[string]float64{
-		"napel_serve_cache_hits_total":      float64(cs.Hits),
-		"napel_serve_cache_misses_total":    float64(cs.Misses),
-		"napel_serve_cache_evictions_total": float64(cs.Evictions),
-		"napel_serve_cache_entries":         float64(s.cache.Len()),
-		"napel_serve_models_loaded":         float64(len(s.registry.List())),
-		"napel_serve_model_reloads_total":   float64(s.registry.Reloads()),
-		"napel_serve_follow_failures_total": float64(s.registry.FollowFailures()),
-	})
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	io.WriteString(w, b.String())
+	w.Header().Set("Content-Type", obs.ContentType)
+	s.o.reg.WriteText(w)
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -97,7 +88,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if first := firstByte(body); first == '[' {
-		s.predictBatch(w, body)
+		s.predictBatch(w, r.Context(), body)
 		return
 	}
 	var req PredictRequest
@@ -105,7 +96,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err))
 		return
 	}
-	resp, apiErr := s.predictOne(&req)
+	resp, apiErr := s.predictOne(r.Context(), &req)
 	if apiErr != nil {
 		writeError(w, apiErr.status, apiErr.msg)
 		return
@@ -115,8 +106,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 // predictBatch fans a request array out across the worker pool. The
 // response is an index-aligned array; item failures are reported inline
-// so one malformed entry cannot fail the batch.
-func (s *Server) predictBatch(w http.ResponseWriter, body []byte) {
+// so one malformed entry cannot fail the batch. Every item's spans hang
+// off the request's root span, so one /debug/traces entry shows the
+// whole fan-out.
+func (s *Server) predictBatch(w http.ResponseWriter, ctx context.Context, body []byte) {
 	var reqs []PredictRequest
 	if err := json.Unmarshal(body, &reqs); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding batch: %v", err))
@@ -136,6 +129,9 @@ func (s *Server) predictBatch(w http.ResponseWriter, body []byte) {
 	if workers > len(reqs) {
 		workers = len(reqs)
 	}
+	bctx, bspan := obs.StartSpan(ctx, "batch")
+	bspan.SetAttrInt("items", int64(len(reqs)))
+	bspan.SetAttrInt("workers", int64(workers))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -147,7 +143,7 @@ func (s *Server) predictBatch(w http.ResponseWriter, body []byte) {
 				if i >= len(reqs) {
 					return
 				}
-				resp, apiErr := s.predictOne(&reqs[i])
+				resp, apiErr := s.predictOne(bctx, &reqs[i])
 				if apiErr != nil {
 					resp = PredictResponse{Error: apiErr.msg}
 				}
@@ -156,6 +152,7 @@ func (s *Server) predictBatch(w http.ResponseWriter, body []byte) {
 		}()
 	}
 	wg.Wait()
+	bspan.End()
 	writeJSON(w, http.StatusOK, resps)
 }
 
@@ -176,7 +173,7 @@ func (s *Server) handleSuitability(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
-	nmc, apiErr := s.predictOne(&req.PredictRequest)
+	nmc, apiErr := s.predictOne(r.Context(), &req.PredictRequest)
 	if apiErr != nil {
 		writeError(w, apiErr.status, apiErr.msg)
 		return
@@ -201,8 +198,11 @@ func (s *Server) handleSuitability(w http.ResponseWriter, r *http.Request) {
 
 // predictOne serves one prediction, consulting the LRU response cache
 // first. Predictors are shared across goroutines without locking — see
-// the concurrency guarantee on napel.Predictor.
-func (s *Server) predictOne(req *PredictRequest) (PredictResponse, *apiError) {
+// the concurrency guarantee on napel.Predictor. Each stage (feature
+// assembly, cache lookup, model predict) gets a child span and a sample
+// in the per-stage histogram, so /debug/traces and /metrics agree on
+// where a slow prediction spent its time.
+func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictResponse, *apiError) {
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
@@ -210,18 +210,37 @@ func (s *Server) predictOne(req *PredictRequest) (PredictResponse, *apiError) {
 	if !ok {
 		return PredictResponse{}, &apiError{http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model)}
 	}
+
+	t0 := time.Now()
+	_, aspan := obs.StartSpan(ctx, "assemble")
 	feat, totalInstrs, cfg, threads, err := req.assemble()
+	aspan.SetError(err)
+	aspan.End()
+	s.o.stageAssemble.ObserveSince(t0)
 	if err != nil {
 		return PredictResponse{}, &apiError{http.StatusUnprocessableEntity, err.Error()}
 	}
-	s.metrics.predictions.Add(1)
+	s.o.predictions.Inc()
+
 	// The feature vector already embeds the architecture point and
 	// thread count (ArchVector), so vector+totals identify the result.
 	key := cacheKey{version: model.Version, hash: hashPrediction(feat, totalInstrs)}
-	if pred, ok := s.cache.Get(key); ok {
+	t0 = time.Now()
+	_, cspan := obs.StartSpan(ctx, "cache")
+	pred, hit := s.cache.Get(key)
+	cspan.SetAttr("hit", strconv.FormatBool(hit))
+	cspan.End()
+	s.o.stageCache.ObserveSince(t0)
+	if hit {
 		return makeResponse(model, pred, true), nil
 	}
-	pred := model.Predictor.PredictAssembled(feat, totalInstrs, cfg, threads)
+
+	t0 = time.Now()
+	_, pspan := obs.StartSpan(ctx, "predict")
+	pspan.SetAttr("model", model.Name)
+	pred = model.Predictor.PredictAssembled(feat, totalInstrs, cfg, threads)
+	pspan.End()
+	s.o.stagePredict.ObserveSince(t0)
 	s.cache.Put(key, pred)
 	return makeResponse(model, pred, false), nil
 }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"time"
+
+	"napel/internal/obs"
+)
+
+// statusClasses indexes status/100: index 0 aggregates anything exotic.
+var statusClasses = [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// serveObs is the server's observability surface on the shared
+// internal/obs registry (it replaced the bespoke Metrics type). Every
+// per-endpoint series is pre-resolved at construction, so the request
+// path touches only lock-free handles; series therefore also appear at
+// zero, which keeps the exposition deterministic from the first scrape.
+type serveObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	start  time.Time
+
+	requests map[string]*[6]*obs.Counter
+	duration map[string]*obs.Histogram
+
+	inflight    *obs.Gauge
+	rejected    *obs.Counter
+	predictions *obs.Counter
+
+	stageCache    *obs.Histogram
+	stageAssemble *obs.Histogram
+	stagePredict  *obs.Histogram
+}
+
+func newServeObs(tracer *obs.Tracer, endpoints ...string) *serveObs {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "napel-serve")
+	o := &serveObs{
+		reg:      reg,
+		tracer:   tracer,
+		start:    time.Now(),
+		requests: make(map[string]*[6]*obs.Counter, len(endpoints)),
+		duration: make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	req := reg.CounterVec("napel_serve_requests_total",
+		"Completed requests by endpoint and status class.", "endpoint", "class")
+	dur := reg.HistogramVec("napel_serve_request_duration_seconds",
+		"Request latency histogram by endpoint.", nil, "endpoint")
+	for _, ep := range endpoints {
+		var handles [6]*obs.Counter
+		for ci, class := range statusClasses {
+			handles[ci] = req.With(ep, class)
+		}
+		o.requests[ep] = &handles
+		o.duration[ep] = dur.With(ep)
+	}
+	o.inflight = reg.Gauge("napel_serve_inflight_requests",
+		"Requests currently being served.")
+	o.rejected = reg.Counter("napel_serve_rejected_total",
+		"Requests rejected by the concurrency limiter.")
+	o.predictions = reg.Counter("napel_serve_predictions_total",
+		"Individual predictions served (batch items count separately).")
+	stage := reg.HistogramVec("napel_serve_predict_stage_seconds",
+		"Per-stage prediction latency: cache lookup, feature assembly, model predict.",
+		nil, "stage")
+	o.stageCache = stage.With("cache")
+	o.stageAssemble = stage.With("assemble")
+	o.stagePredict = stage.With("predict")
+	return o
+}
+
+// observe records one completed request. Unknown endpoints (404 paths)
+// fold into the catch-all created at construction.
+func (o *serveObs) observe(endpoint string, status int, d time.Duration) {
+	em, ok := o.requests[endpoint]
+	if !ok {
+		endpoint = "other"
+		em = o.requests[endpoint]
+	}
+	class := status / 100
+	if class < 0 || class >= len(em) {
+		class = 0
+	}
+	em[class].Inc()
+	o.duration[endpoint].Observe(d.Seconds())
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 
 	"napel/internal/cache"
 	"napel/internal/napel"
+	"napel/internal/obs"
 )
 
 // Config tunes the service. Zero fields take the documented defaults.
@@ -43,8 +45,15 @@ type Config struct {
 	// napel-traind's atomic promotion pointer. 0 disables following
 	// (reload stays available via POST /v1/models/reload).
 	FollowInterval time.Duration
-	// AccessLog receives one logfmt line per request; nil disables.
+	// AccessLog receives one structured (logfmt) line per request,
+	// stamped with the request's trace id; nil disables.
 	AccessLog io.Writer
+	// TraceRing bounds the in-memory span ring served at /debug/traces
+	// (default obs.DefaultRingSize).
+	TraceRing int
+	// TraceSink, when non-nil, additionally receives every completed
+	// span as one JSON line (JSONL).
+	TraceSink io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -88,7 +97,8 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	cache    *cache.LRU[cacheKey, napel.Prediction]
-	metrics  *Metrics
+	o        *serveObs
+	logger   *slog.Logger
 	sem      chan struct{}
 	draining atomic.Bool
 
@@ -106,14 +116,46 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		registry: reg,
 		cache:    cache.NewLRU[cacheKey, napel.Prediction](cfg.CacheEntries),
-		metrics:  newMetrics("predict", "suitability", "models", "reload", "healthz", "metrics", "other"),
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-	}, nil
+		o: newServeObs(obs.NewTracer(cfg.TraceRing, cfg.TraceSink),
+			"predict", "suitability", "models", "reload", "healthz", "metrics", "other"),
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.AccessLog != nil {
+		s.logger = slog.New(obs.NewLogHandler(slog.NewTextHandler(cfg.AccessLog, nil)))
+	}
+	// Scrape-time views over state the server owns: the response cache,
+	// the model registry and the process clock.
+	m := s.o.reg
+	m.CounterFunc("napel_serve_cache_hits_total",
+		"Response cache hits.", func() float64 { return float64(s.cache.Stats().Hits) })
+	m.CounterFunc("napel_serve_cache_misses_total",
+		"Response cache misses.", func() float64 { return float64(s.cache.Stats().Misses) })
+	m.CounterFunc("napel_serve_cache_evictions_total",
+		"Response cache evictions.", func() float64 { return float64(s.cache.Stats().Evictions) })
+	m.GaugeFunc("napel_serve_cache_entries",
+		"Response cache entries resident.", func() float64 { return float64(s.cache.Len()) })
+	m.GaugeFunc("napel_serve_models_loaded",
+		"Models currently registered.", func() float64 { return float64(len(s.registry.List())) })
+	m.CounterFunc("napel_serve_model_reloads_total",
+		"Successful registry reloads.", func() float64 { return float64(s.registry.Reloads()) })
+	m.CounterFunc("napel_serve_follow_failures_total",
+		"Failed follow-mode reload attempts.", func() float64 { return float64(s.registry.FollowFailures()) })
+	m.GaugeFunc("napel_serve_uptime_seconds",
+		"Seconds since the server started.", func() float64 { return time.Since(s.o.start).Seconds() })
+	return s, nil
 }
+
+// Obs exposes the server's metrics registry (for embedding callers and
+// tests); scraping it is equivalent to GET /metrics.
+func (s *Server) Obs() *obs.Registry { return s.o.reg }
+
+// Tracer exposes the server's span tracer, the backing store of
+// /debug/traces.
+func (s *Server) Tracer() *obs.Tracer { return s.o.tracer }
 
 // Registry exposes the model registry (for CLI status and tests).
 func (s *Server) Registry() *Registry { return s.registry }
@@ -131,6 +173,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/", s.instrument("other", "", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
 	}))
+	// Runtime introspection rides on the same mux: span traces, pprof
+	// and the goroutine/GC/heap snapshot. These skip instrument's
+	// limiter so a saturated server can still be debugged.
+	obs.MountDebug(mux, s.o.tracer)
 	return mux
 }
 
@@ -160,11 +206,16 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 
 // instrument wraps a handler with the serving plumbing: method check,
 // drain refusal, concurrency limiting with 429 backpressure, body size
-// limits, per-endpoint metrics and structured access logging.
+// limits, a per-request root span, per-endpoint metrics and structured
+// access logging correlated to the span.
 func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
+		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.o.tracer), "http."+endpoint)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+		r = r.WithContext(ctx)
 
 		switch {
 		case method != "" && r.Method != method:
@@ -175,13 +226,13 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 		default:
 			select {
 			case s.sem <- struct{}{}:
-				s.metrics.inFlight.Add(1)
+				s.o.inflight.Inc()
 				r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 				h(rec, r)
-				s.metrics.inFlight.Add(-1)
+				s.o.inflight.Dec()
 				<-s.sem
 			default:
-				s.metrics.rejected.Add(1)
+				s.o.rejected.Inc()
 				rec.Header().Set("Retry-After", "1")
 				writeError(rec, http.StatusTooManyRequests,
 					fmt.Sprintf("over %d requests in flight", s.cfg.MaxInFlight))
@@ -189,19 +240,24 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 		}
 
 		dur := time.Since(start)
-		s.metrics.endpoint(endpoint).observe(rec.status, dur)
-		s.logAccess(r, rec, dur)
+		span.SetAttrInt("status", int64(rec.status))
+		span.End()
+		s.o.observe(endpoint, rec.status, dur)
+		s.logAccess(ctx, r, rec, dur)
 	})
 }
 
-func (s *Server) logAccess(r *http.Request, rec *statusRecorder, dur time.Duration) {
-	if s.cfg.AccessLog == nil {
+func (s *Server) logAccess(ctx context.Context, r *http.Request, rec *statusRecorder, dur time.Duration) {
+	if s.logger == nil {
 		return
 	}
-	fmt.Fprintf(s.cfg.AccessLog,
-		"ts=%s level=info msg=request method=%s path=%s status=%d dur_us=%d bytes=%d remote=%s\n",
-		time.Now().UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
-		rec.status, dur.Microseconds(), rec.bytes, r.RemoteAddr)
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", rec.status),
+		slog.Int64("dur_us", dur.Microseconds()),
+		slog.Int64("bytes", rec.bytes),
+		slog.String("remote", r.RemoteAddr))
 }
 
 // Run serves on addr until ctx is cancelled, then drains in-flight

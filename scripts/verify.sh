@@ -26,7 +26,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/...
+go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -80,6 +80,27 @@ fi
 if ! grep -q '"edp"' "$tmp/resp.json"; then
     echo "verify: predict response has no edp field:" >&2
     cat "$tmp/resp.json" >&2
+    exit 1
+fi
+
+# Observability surface: /metrics must speak exposition format 0.0.4 and
+# carry the request just made; /debug/traces must show its spans.
+mct=$(curl -sS -o "$tmp/metrics.txt" -w '%{content_type}' "$url/metrics")
+if [ "$mct" != "text/plain; version=0.0.4; charset=utf-8" ]; then
+    echo "verify: /metrics content type '$mct'" >&2
+    exit 1
+fi
+for series in napel_build_info napel_serve_requests_total \
+    napel_serve_predict_stage_seconds_bucket napel_serve_cache_misses_total; do
+    if ! grep -q "$series" "$tmp/metrics.txt"; then
+        echo "verify: /metrics missing $series" >&2
+        cat "$tmp/metrics.txt" >&2
+        exit 1
+    fi
+done
+if ! curl -sS "$url/debug/traces?name=predict" | grep -q '"http.predict"'; then
+    echo "verify: /debug/traces has no http.predict trace" >&2
+    curl -sS "$url/debug/traces" >&2
     exit 1
 fi
 
@@ -138,6 +159,26 @@ if [ "$state" != promoted ]; then
 fi
 if ! curl -sS "$turl/v1/store" | grep -q '"model_hash"'; then
     echo "verify: store has no promoted manifest after promotion" >&2
+    exit 1
+fi
+
+# The daemon's observability surface after one promoted job.
+tct=$(curl -sS -o "$tmp/tmetrics.txt" -w '%{content_type}' "$turl/metrics")
+if [ "$tct" != "text/plain; version=0.0.4; charset=utf-8" ]; then
+    echo "verify: traind /metrics content type '$tct'" >&2
+    exit 1
+fi
+for series in napel_build_info napel_traind_promotions_total \
+    napel_traind_job_stage_seconds_bucket napel_engine_unit_seconds_count; do
+    if ! grep -q "$series" "$tmp/tmetrics.txt"; then
+        echo "verify: traind /metrics missing $series" >&2
+        cat "$tmp/tmetrics.txt" >&2
+        exit 1
+    fi
+done
+if ! curl -sS "$turl/debug/traces?name=job" | grep -q '"engine.unit"'; then
+    echo "verify: traind /debug/traces has no engine.unit spans under the job trace" >&2
+    curl -sS "$turl/debug/traces" >&2
     exit 1
 fi
 
