@@ -19,6 +19,7 @@ import (
 
 	"napel/internal/exp"
 	"napel/internal/obs"
+	"napel/internal/resilience/faultpoint"
 )
 
 func main() {
@@ -29,12 +30,21 @@ func main() {
 	profBudget := flag.Uint64("profile-budget", 0, "override instructions per profiling pass")
 	workers := flag.Int("workers", 0, "parallel collection/evaluation workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "also run the full suite and write a machine-readable report to this path")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
+	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'engine.unit:0.1' (empty = chaos off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(obs.VersionLine("napel-exp"))
 		return
+	}
+	if *chaosSpec != "" {
+		if err := faultpoint.Enable(*chaosSeed, *chaosSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "napel-exp: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "napel-exp: chaos plan active (seed %d): %s\n", *chaosSeed, *chaosSpec)
 	}
 
 	s := exp.Default()

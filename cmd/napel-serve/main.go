@@ -8,7 +8,14 @@
 //
 // Endpoints: POST /v1/predict (single or batched), POST /v1/suitability
 // (host-vs-NMC offload verdict), GET /v1/models, POST /v1/models/reload,
-// GET /healthz, GET /metrics (Prometheus text format).
+// GET /healthz (liveness), GET /readyz (readiness: 200 only while a
+// model is installed and the server is not draining), GET /metrics
+// (Prometheus text format).
+//
+// -chaos-seed/-chaos-spec install a deterministic fault-injection plan
+// (see internal/resilience/faultpoint) for resilience testing; -lazy
+// starts the server before any model loads, serving 503 from /readyz
+// until -follow installs one.
 //
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 while
 // in-flight ones finish under -drain-timeout.
@@ -31,6 +38,7 @@ import (
 	"time"
 
 	"napel/internal/obs"
+	"napel/internal/resilience/faultpoint"
 	"napel/internal/serve"
 )
 
@@ -72,6 +80,12 @@ func main() {
 	workers := flag.Int("workers", 0, "batch fan-out worker pool size (0 = default)")
 	drain := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain deadline on shutdown")
 	follow := flag.Duration("follow", 0, "poll model files at this interval and hot-install changes (0 disables; point -model at a napel-traind store's current-model.json)")
+	lazy := flag.Bool("lazy", false, "start before any model loads; /readyz turns 200 once -follow installs one")
+	queueWait := flag.Duration("queue-wait", 0, "how long a request may wait for a concurrency slot before 429 (0 = reject immediately)")
+	predictBudget := flag.Duration("predict-budget", 0, "per-request deadline budget for predict/suitability (0 = none)")
+	degradedEntries := flag.Int("degraded-entries", 0, "last-good answer cache capacity for degraded serving (0 = default 1024, negative disables)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
+	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'serve.predict:0.1' (empty = chaos off)")
 	quiet := flag.Bool("quiet", false, "disable the access log")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -88,15 +102,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *chaosSpec != "" {
+		if err := faultpoint.Enable(*chaosSeed, *chaosSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "napel-serve: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "napel-serve: chaos plan active (seed %d): %s\n", *chaosSeed, *chaosSpec)
+	}
+
 	cfg := serve.Config{
-		ModelPaths:   models,
-		CacheEntries: *cacheEntries,
-		MaxBatch:     *maxBatch,
-		MaxBodyBytes: *maxBody,
-		MaxInFlight:  *maxInFlight,
-		Workers:        *workers,
-		DrainTimeout:   *drain,
-		FollowInterval: *follow,
+		ModelPaths:      models,
+		CacheEntries:    *cacheEntries,
+		MaxBatch:        *maxBatch,
+		MaxBodyBytes:    *maxBody,
+		MaxInFlight:     *maxInFlight,
+		Workers:         *workers,
+		DrainTimeout:    *drain,
+		FollowInterval:  *follow,
+		LazyLoad:        *lazy,
+		QueueWait:       *queueWait,
+		PredictBudget:   *predictBudget,
+		DegradedEntries: *degradedEntries,
 	}
 	if !*quiet {
 		cfg.AccessLog = os.Stderr

@@ -36,6 +36,7 @@ import (
 
 	"napel/internal/lifecycle"
 	"napel/internal/obs"
+	"napel/internal/resilience/faultpoint"
 )
 
 func main() {
@@ -49,6 +50,8 @@ func main() {
 	maxRetries := flag.Int("max-retries", 0, "retries per job after a transient failure (0 = default 2, negative disables)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
+	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'atomicfile.write:0.1:partial' (empty = chaos off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -58,6 +61,12 @@ func main() {
 	}
 
 	logger := log.New(os.Stderr, "napel-traind: ", log.LstdFlags)
+	if *chaosSpec != "" {
+		if err := faultpoint.Enable(*chaosSeed, *chaosSpec); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("chaos plan active (seed %d): %s", *chaosSeed, *chaosSpec)
+	}
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "napel-traind: -store is required")
 		flag.Usage()

@@ -34,9 +34,47 @@ import (
 	"napel/internal/napel"
 	"napel/internal/obs"
 	"napel/internal/pisa"
+	"napel/internal/resilience/faultpoint"
 	"napel/internal/trace"
 	"napel/internal/workload"
 )
+
+// exitCodeError carries a distinct process exit status through the
+// subcommand error path. Code 3 marks a run that completed but skipped
+// quarantined units, so scripts can tell "partial data" from "failed".
+type exitCodeError struct {
+	code int
+	msg  string
+}
+
+func (e *exitCodeError) Error() string { return e.msg }
+
+// chaosFlags registers the deterministic fault-injection flags on a
+// subcommand's flag set; the returned enable installs the plan after
+// parsing (a no-op when -chaos-spec is empty).
+func chaosFlags(fs *flag.FlagSet) (enable func() error) {
+	seed := fs.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
+	spec := fs.String("chaos-spec", "", "fault-injection plan, e.g. 'engine.unit:0.1' (empty = chaos off)")
+	return func() error {
+		if *spec == "" {
+			return nil
+		}
+		return faultpoint.Enable(*seed, *spec)
+	}
+}
+
+// reportQuarantined prints every skipped unit and converts the run's nil
+// error into the distinct quarantine exit code.
+func reportQuarantined(td *napel.TrainingData) error {
+	if len(td.Quarantined) == 0 {
+		return nil
+	}
+	for _, q := range td.Quarantined {
+		fmt.Fprintf(os.Stderr, "napel: quarantined %s %s: %s\n", q.App, q.Input, q.Error)
+	}
+	return &exitCodeError{code: 3,
+		msg: fmt.Sprintf("%d unit(s) quarantined; collected data excludes them", len(td.Quarantined))}
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -77,6 +115,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "napel: %v\n", err)
+		var ec *exitCodeError
+		if errors.As(err, &ec) {
+			os.Exit(ec.code)
+		}
 		os.Exit(1)
 	}
 }
@@ -218,8 +260,14 @@ func runDoE(args []string) error {
 	kf := newKernelFlags("doe", 400_000)
 	collect := kf.fs.Bool("collect", false, "run the DoE collection (profile + simulate every configuration)")
 	workers := kf.fs.Int("workers", 0, "parallel collection workers (0 = GOMAXPROCS)")
+	unitRetries := kf.fs.Int("unit-retries", 0, "re-execute a failed collection unit up to this many times")
+	quarantine := kf.fs.Bool("quarantine", false, "skip units that exhaust their retries instead of aborting (exit code 3 when any skipped)")
+	enableChaos := chaosFlags(kf.fs)
 	k, _, err := kf.resolve(args)
 	if err != nil {
+		return err
+	}
+	if err := enableChaos(); err != nil {
 		return err
 	}
 	inputs := napel.CCDInputs(k)
@@ -238,6 +286,8 @@ func runDoE(args []string) error {
 	}
 	opts.SimBudget = *kf.budget
 	opts.Workers = *workers
+	opts.UnitRetries = *unitRetries
+	opts.QuarantineFailures = *quarantine
 	ctx, stop := interruptContext()
 	defer stop()
 	fmt.Printf("collecting with %d workers...\n", effectiveWorkers(*workers))
@@ -254,7 +304,7 @@ func runDoE(args []string) error {
 	}
 	fmt.Printf("profiling %.1fs, simulation %.1fs\n",
 		td.ProfileTime[k.Name()].Seconds(), td.SimTime[k.Name()].Seconds())
-	return nil
+	return reportQuarantined(td)
 }
 
 // effectiveWorkers mirrors Options' worker resolution for display.
@@ -517,7 +567,13 @@ func runTrain(args []string) error {
 	resume := fs.String("resume", "", "checkpoint file: collection progress is saved here and an interrupted run restarted with the same flags continues from it")
 	traceOut := fs.String("trace-out", "", "write the engine's per-unit spans as JSON lines to this file")
 	metricsOut := fs.String("metrics-out", "", "write the engine's metrics (Prometheus text format) to this file after collection ('-' for stderr)")
+	unitRetries := fs.Int("unit-retries", 0, "re-execute a failed collection unit up to this many times")
+	quarantine := fs.Bool("quarantine", false, "skip units that exhaust their retries instead of aborting (exit code 3 when any skipped)")
+	enableChaos := chaosFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := enableChaos(); err != nil {
 		return err
 	}
 
@@ -526,6 +582,8 @@ func runTrain(args []string) error {
 	opts.SimBudget = *simBudget
 	opts.ProfileBudget = *profBudget
 	opts.Workers = *workers
+	opts.UnitRetries = *unitRetries
+	opts.QuarantineFailures = *quarantine
 	if *metricsOut != "" {
 		opts.Metrics = obs.NewRegistry()
 		obs.RegisterBuildInfo(opts.Metrics, "napel")
@@ -634,7 +692,9 @@ func runTrain(args []string) error {
 		fmt.Printf("out-of-bag MRE: performance %.1f%%, energy %.1f%% (log-space)\n", oobIPC*100, oobEPI*100)
 	}
 	fmt.Printf("saved predictor (%v, train time %.1fs) to %s\n", pred.Chosen, pred.TrainTime.Seconds(), *out)
-	return nil
+	// The model is published either way; quarantined units only change
+	// the exit status so callers can detect the thinner dataset.
+	return reportQuarantined(td)
 }
 
 // writeMetricsFile dumps a registry's exposition text to path, with "-"

@@ -15,6 +15,21 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"napel/internal/resilience/faultpoint"
+)
+
+// Fault points, active only under an installed faultpoint plan:
+// "atomicfile.write" tears or fails the payload write (partial mode
+// leaks a prefix into the temp file), "atomicfile.sync" fails the file
+// fsync, "atomicfile.rename" fails just before publication — the
+// crash-between-write-and-publish window — and "atomicfile.symlink"
+// fails a pointer flip before it lands.
+const (
+	fpWrite   = "atomicfile.write"
+	fpSync    = "atomicfile.sync"
+	fpRename  = "atomicfile.rename"
+	fpSymlink = "atomicfile.symlink"
 )
 
 // WriteFile atomically replaces path with the bytes produced by write.
@@ -35,8 +50,11 @@ func WriteFile(path string, perm os.FileMode, write func(w io.Writer) error) (er
 			os.Remove(tmpName)
 		}
 	}()
-	if err = write(tmp); err != nil {
+	if err = write(faultpoint.WrapWriter(fpWrite, tmp)); err != nil {
 		return fmt.Errorf("atomicfile: writing %s: %w", path, err)
+	}
+	if err = faultpoint.Inject(nil, fpSync); err != nil {
+		return fmt.Errorf("atomicfile: sync %s: %w", tmpName, err)
 	}
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("atomicfile: sync %s: %w", tmpName, err)
@@ -46,6 +64,13 @@ func WriteFile(path string, perm os.FileMode, write func(w io.Writer) error) (er
 	}
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("atomicfile: close %s: %w", tmpName, err)
+	}
+	// Make the synced temp file's directory entry durable before the
+	// rename: after a crash in the publication window the previous
+	// version is still at path and the complete candidate is on disk.
+	syncDir(dir)
+	if err = faultpoint.Inject(nil, fpRename); err != nil {
+		return fmt.Errorf("atomicfile: publish %s: %w", path, err)
 	}
 	if err = os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("atomicfile: publish %s: %w", path, err)
@@ -76,6 +101,9 @@ func Symlink(target, link string) error {
 	tmpLink := filepath.Join(tmp, "link")
 	if err := os.Symlink(target, tmpLink); err != nil {
 		return fmt.Errorf("atomicfile: symlink %s: %w", link, err)
+	}
+	if err := faultpoint.Inject(nil, fpSymlink); err != nil {
+		return fmt.Errorf("atomicfile: publish link %s: %w", link, err)
 	}
 	if err := os.Rename(tmpLink, link); err != nil {
 		return fmt.Errorf("atomicfile: publish link %s: %w", link, err)

@@ -1,0 +1,142 @@
+package atomicfile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"napel/internal/resilience/faultpoint"
+)
+
+// tempLeft counts leftover temp artifacts in dir besides the named
+// published files.
+func tempLeft(t *testing.T, dir string, published ...string) int {
+	t.Helper()
+	keep := make(map[string]bool, len(published))
+	for _, p := range published {
+		keep[filepath.Base(p)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !keep[e.Name()] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTornWriteRecoversPreviousVersion is the satellite's core claim:
+// when the fault harness tears the payload write mid-stream, the
+// destination still reads back the previous complete version, and the
+// half-written temp file is cleaned up.
+func TestTornWriteRecoversPreviousVersion(t *testing.T) {
+	t.Cleanup(faultpoint.Disable)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	prev := `{"version":1,"payload":"` + strings.Repeat("a", 2048) + `"}`
+	if err := WriteFileData(path, []byte(prev), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultpoint.Enable(11, "atomicfile.write:1:partial"); err != nil {
+		t.Fatal(err)
+	}
+	next := `{"version":2,"payload":"` + strings.Repeat("b", 2048) + `"}`
+	err := WriteFileData(path, []byte(next), 0o644)
+	if !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("torn write err = %v, want ErrInjected", err)
+	}
+	if faultpoint.Count("atomicfile.write") != 1 {
+		t.Fatal("fault point did not fire")
+	}
+
+	faultpoint.Disable()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != prev {
+		t.Fatalf("recovery read %d bytes starting %q, want the previous version", len(got), got[:20])
+	}
+	if n := tempLeft(t, dir, path); n != 0 {
+		t.Fatalf("%d temp artifacts left after torn write", n)
+	}
+
+	// The same path accepts a clean write afterwards.
+	if err := WriteFileData(path, []byte(next), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != next {
+		t.Fatal("clean write after torn write did not land")
+	}
+}
+
+// TestRenameFaultLeavesDestinationUntouched models a crash in the
+// publication window: the candidate bytes were written and synced but
+// the rename never happened. The previous version must survive.
+func TestRenameFaultLeavesDestinationUntouched(t *testing.T) {
+	t.Cleanup(faultpoint.Disable)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.json")
+	if err := WriteFileData(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(2, "atomicfile.rename:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileData(path, []byte("new"), 0o644); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	faultpoint.Disable()
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("destination = %q after failed publish, want old", got)
+	}
+	if n := tempLeft(t, dir, path); n != 0 {
+		t.Fatalf("%d temp artifacts left after failed publish", n)
+	}
+}
+
+// TestSyncAndSymlinkFaults covers the remaining points: a failed fsync
+// aborts before publication, and a failed symlink flip leaves the old
+// pointer resolving.
+func TestSyncAndSymlinkFaults(t *testing.T) {
+	t.Cleanup(faultpoint.Disable)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+	if err := WriteFileData(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(3, "atomicfile.sync:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileData(path, []byte("new"), 0o644); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	faultpoint.Disable()
+	if got, _ := os.ReadFile(path); string(got) != "old" {
+		t.Fatalf("destination = %q after sync fault", got)
+	}
+
+	os.WriteFile(filepath.Join(dir, "a"), []byte("A"), 0o644)
+	os.WriteFile(filepath.Join(dir, "b"), []byte("B"), 0o644)
+	link := filepath.Join(dir, "current")
+	if err := Symlink("a", link); err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Enable(4, "atomicfile.symlink:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Symlink("b", link); !errors.Is(err, faultpoint.ErrInjected) {
+		t.Fatalf("symlink fault: %v", err)
+	}
+	faultpoint.Disable()
+	if got, _ := os.ReadFile(link); string(got) != "A" {
+		t.Fatalf("link resolved %q after failed flip, want A", got)
+	}
+}

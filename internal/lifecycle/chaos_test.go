@@ -1,0 +1,290 @@
+package lifecycle
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"napel/internal/resilience/faultpoint"
+)
+
+// TestByteIdenticalPromotionUnderInjectedFaults is the robustness
+// acceptance scenario: with >10% of atomicfile operations failing (a
+// mix of hard errors and torn writes, deterministic under a fixed
+// seed), the retry loop must still drive the job to promotion, and the
+// promoted model must be byte-identical to a fault-free run of the same
+// spec — content addressing makes that a hash comparison.
+func TestByteIdenticalPromotionUnderInjectedFaults(t *testing.T) {
+	root := t.TempDir()
+
+	spec := quickSpec()
+	spec.Workers = 1
+	spec.MaxRetries = 10
+
+	// Reference: fault-free run in an isolated store.
+	ref := func() *Manifest {
+		m := newTestManager(t, filepath.Join(root, "ref"), nil)
+		stop := runManager(m)
+		defer stop()
+		job, err := m.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		job = waitTerminal(t, m, job.ID, 2*time.Minute)
+		if job.State != StatePromoted {
+			t.Fatalf("reference run finished %s: %s", job.State, job.Error)
+		}
+		mf, err := m.store.GetManifest(job.ManifestID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mf
+	}()
+
+	// Victim: same spec with atomicfile faults injected — hard write
+	// errors, torn writes, and rename failures. Checkpoint writes that
+	// fail are logged and retried on the next unit; critical-path writes
+	// (blob, manifest, pointer flip) fail the attempt and the retry loop
+	// re-runs it, resuming collection from the last good checkpoint.
+	m := newTestManager(t, filepath.Join(root, "victim"), nil)
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enable faults after submission but before the workers start, so
+	// every pipeline stage runs under the plan.
+	if err := faultpoint.Enable(11, "atomicfile.write:0.12:partial,atomicfile.rename:0.1,atomicfile.sync:0.1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disable()
+	stop := runManager(m)
+	defer stop()
+	job = waitTerminal(t, m, job.ID, 2*time.Minute)
+	injected := faultpoint.TotalInjected()
+	faultpoint.Disable()
+	if injected == 0 {
+		t.Fatal("fault plan never fired; the test proved nothing")
+	}
+	t.Logf("injected %d faults, job took %d attempt(s)", injected, job.Attempt)
+	if job.State != StatePromoted {
+		t.Fatalf("faulted run finished %s after %d attempt(s): %s", job.State, job.Attempt, job.Error)
+	}
+
+	got, err := m.store.GetManifest(job.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ModelHash != ref.ModelHash {
+		t.Fatalf("model under faults %s differs from fault-free run %s", got.ModelHash, ref.ModelHash)
+	}
+	if got.DataHash != ref.DataHash {
+		t.Fatalf("data under faults %s differs from fault-free run %s", got.DataHash, ref.DataHash)
+	}
+	// The promoted pointer resolves to bytes matching their address.
+	if _, err := m.store.ReadModel(got.ModelHash); err != nil {
+		t.Fatalf("promoted blob failed verification: %v", err)
+	}
+}
+
+// TestKillBetweenCheckpointAndPromoteResumes kills the daemon in the
+// window after collection has fully checkpointed and the manifest is
+// stored but before the serving pointer flips — a latency faultpoint at
+// traind.promote holds the pipeline in exactly that window until the
+// shutdown lands. The restarted daemon must requeue the job, resume
+// from the checkpoint, and promote the same content-addressed blob.
+func TestKillBetweenCheckpointAndPromoteResumes(t *testing.T) {
+	root := t.TempDir()
+	spec := quickSpec()
+	spec.Workers = 1
+
+	if err := faultpoint.Enable(1, "traind.promote:1:latency=30s"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disable()
+
+	m1 := newTestManager(t, root, nil)
+	stop1 := runManager(m1)
+	job, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The manifest is written before the gate/promote stage; once it
+	// exists the pipeline is at (or heading into) the injected sleep.
+	deadline := time.Now().Add(2 * time.Minute)
+	var preKill []*Manifest
+	for {
+		preKill, err = m1.store.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(preKill) > 0 {
+			break
+		}
+		if j, _ := m1.Get(job.ID); j != nil && j.State.Terminal() {
+			t.Fatalf("job finished (%s) before the promote window", j.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("manifest never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the pipeline enter the injected sleep
+	stop1()                           // the "kill": cancels the sleep, job persists non-terminal
+	faultpoint.Disable()
+
+	mid, ok := m1.Get(job.ID)
+	if !ok || mid.State.Terminal() {
+		t.Fatalf("job state after kill: %+v (ok=%v)", mid, ok)
+	}
+	if _, err := m1.store.Current(); !errors.Is(err, ErrNoCurrent) {
+		t.Fatalf("pointer flipped despite the kill: %v", err)
+	}
+
+	// Clean restart over the same directories.
+	m2 := newTestManager(t, root, nil)
+	if got, okGot := m2.Get(job.ID); !okGot || got.State != StateQueued {
+		t.Fatalf("restart did not requeue job: %+v (ok=%v)", got, okGot)
+	}
+	stop2 := runManager(m2)
+	defer stop2()
+	job2 := waitTerminal(t, m2, job.ID, 2*time.Minute)
+	if job2.State != StatePromoted {
+		t.Fatalf("resumed job finished %s: %s", job2.State, job2.Error)
+	}
+	final, err := m2.store.GetManifest(job2.ManifestID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.ModelHash != preKill[0].ModelHash {
+		t.Fatalf("resumed model %s differs from pre-kill manifest %s",
+			final.ModelHash, preKill[0].ModelHash)
+	}
+	cur, err := m2.store.Current()
+	if err != nil || cur.ModelHash != final.ModelHash {
+		t.Fatalf("current after resume: %+v, %v", cur, err)
+	}
+}
+
+// TestCorruptBlobQuarantinedNotServed flips bits in a stored blob and
+// verifies the content-address check catches it on every read path —
+// the bad bytes move to quarantine/, are reported by Quarantined(), and
+// LoadCurrentPredictor refuses to serve them.
+func TestCorruptBlobQuarantinedNotServed(t *testing.T) {
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"model":"payload"}`)
+	hash, err := store.PutModel(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutManifest(&Manifest{ModelHash: hash}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Promote("m-000001"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the blob in place, keeping its length.
+	blobPath := store.ModelBlobPath(hash)
+	if err := os.Chmod(blobPath, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evil := append([]byte{}, payload...)
+	evil[len(evil)/2] ^= 0xff
+	if err := os.WriteFile(blobPath, evil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.ReadModel(hash); !errors.Is(err, ErrCorruptBlob) {
+		t.Fatalf("ReadModel on corrupt blob: %v, want ErrCorruptBlob", err)
+	}
+	if _, err := os.Stat(blobPath); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt blob still in blobs/: %v", err)
+	}
+	q, err := store.Quarantined()
+	if err != nil || len(q) != 1 || q[0] != hash {
+		t.Fatalf("quarantine listing %v, %v; want [%s]", q, err, hash)
+	}
+	// The serving read path refuses the quarantined model rather than
+	// parsing garbage.
+	if _, _, err := store.LoadCurrentPredictor(); err == nil {
+		t.Fatal("LoadCurrentPredictor served a corrupt blob")
+	}
+	// Republishing the same clean bytes restores the blob under the same
+	// name — quarantine never blocks recovery.
+	if _, err := store.PutModel(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadModel(hash); err != nil {
+		t.Fatalf("blob unreadable after republish: %v", err)
+	}
+}
+
+// TestPromoteBreakerOpensOnRepeatedGateFailure: after threshold-many
+// consecutive canary rejections the promotion breaker opens, and
+// further candidates are rejected without gating (GateIncumbent stays
+// empty on the fast path). The breaker state is visible in /metrics.
+func TestPromoteBreakerOpensOnRepeatedGateFailure(t *testing.T) {
+	m := newTestManager(t, t.TempDir(), func(cfg *ManagerConfig) {
+		cfg.PromoteFailureThreshold = 2
+		cfg.PromoteCooldown = time.Hour
+	})
+	stop := runManager(m)
+	defer stop()
+
+	good, err := m.Submit(quickSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good = waitTerminal(t, m, good.ID, 2*time.Minute)
+	if good.State != StatePromoted {
+		t.Fatalf("good job finished %s: %s", good.State, good.Error)
+	}
+
+	degraded := quickSpec()
+	degraded.Trees = 1
+	degraded.MinLeaf = 1
+	var last *Job
+	for i := 0; i < 3; i++ {
+		bad, err := m.Submit(degraded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = waitTerminal(t, m, bad.ID, 2*time.Minute)
+		if last.State != StateRejected {
+			t.Fatalf("degraded job %d finished %s, want rejected", i, last.State)
+		}
+	}
+	// Two real rejections opened the breaker; the third was fast-
+	// rejected without a gate run, so no incumbent was recorded.
+	if m.promoteBreaker.State() == 0 {
+		t.Fatal("promotion breaker still closed after repeated rejections")
+	}
+	if last.GateIncumbent != "" {
+		t.Fatalf("third rejection ran the gate (incumbent %s); breaker did not short-circuit", last.GateIncumbent)
+	}
+	cur, err := m.store.Current()
+	if err != nil || cur.ID != good.ManifestID {
+		t.Fatalf("incumbent lost under rejection storm: %+v, %v", cur, err)
+	}
+
+	var sb strings.Builder
+	if err := m.Obs().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`napel_resilience_breaker_state{name="traind.promote"} 1`,
+		`napel_resilience_breaker_opens_total{name="traind.promote"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -19,8 +19,14 @@ import (
 	"napel/internal/ml"
 	"napel/internal/napel"
 	"napel/internal/obs"
+	"napel/internal/resilience"
+	"napel/internal/resilience/faultpoint"
 	"napel/internal/workload"
 )
+
+// fpPromote fails a promotion just before the store flips its pointers,
+// active only under an installed faultpoint plan.
+const fpPromote = "traind.promote"
 
 // ManagerConfig configures the training-job manager.
 type ManagerConfig struct {
@@ -49,6 +55,15 @@ type ManagerConfig struct {
 	// MaxRetries is the default number of re-attempts after the first
 	// failure (default 2). A job spec may override it.
 	MaxRetries int
+	// PromoteFailureThreshold is how many consecutive gate rejections or
+	// promotion failures open the promotion circuit breaker (default 3):
+	// while it is open, candidates are rejected without gating, so a
+	// stream of bad candidates cannot flap the serving pointer or keep
+	// re-scoring against the incumbent.
+	PromoteFailureThreshold int
+	// PromoteCooldown is how long the promotion breaker stays open
+	// before probing with a real gate run again (default 1m).
+	PromoteCooldown time.Duration
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 	// TraceRing bounds the in-memory span ring served at /debug/traces
@@ -80,6 +95,12 @@ func (c *ManagerConfig) fillDefaults() {
 	} else if c.MaxRetries == 0 {
 		c.MaxRetries = 2
 	}
+	if c.PromoteFailureThreshold <= 0 {
+		c.PromoteFailureThreshold = 3
+	}
+	if c.PromoteCooldown <= 0 {
+		c.PromoteCooldown = time.Minute
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -101,6 +122,10 @@ type Manager struct {
 
 	queue chan string
 	o     *traindObs
+
+	// promoteBreaker trips after a run of consecutive canary failures;
+	// while open, candidates skip the gate and are rejected fast.
+	promoteBreaker *resilience.Breaker
 }
 
 // errPermanent marks failures that retrying cannot fix.
@@ -127,6 +152,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cancel: map[string]context.CancelFunc{},
 	}
 	m.o = newTraindObs(m, obs.NewTracer(cfg.TraceRing, cfg.TraceSink))
+	m.promoteBreaker = resilience.NewBreaker(resilience.BreakerConfig{
+		Name:             "traind.promote",
+		FailureThreshold: cfg.PromoteFailureThreshold,
+		OpenTimeout:      cfg.PromoteCooldown,
+	})
+	m.promoteBreaker.Register(m.o.reg)
+	m.o.reg.CounterFunc("napel_chaos_injected_total",
+		"Faults fired by the installed chaos plan (0 when chaos is off).",
+		func() float64 { return float64(faultpoint.TotalInjected()) })
 	requeue, err := m.recoverJobs()
 	if err != nil {
 		return nil, err
@@ -375,49 +409,59 @@ func (m *Manager) runJob(ctx context.Context, id string) {
 		}
 	}
 
-	for {
+	// The retry loop is resilience.Do: jittered exponential backoff
+	// seeded by the job ID (deterministic schedules under test, spread
+	// in a fleet), Permanent short-circuiting for spec errors, and
+	// context-aware sleeps so cancellation and shutdown cut the backoff.
+	var seed uint64
+	fmt.Sscanf(id, "j-%d", &seed)
+	policy := resilience.Policy{
+		MaxAttempts: maxRetries + 1,
+		BaseDelay:   m.cfg.RetryBackoff,
+		Multiplier:  2,
+		Jitter:      0.2,
+		Seed:        seed + 1,
+		OnRetry: func(attempt int, err error, delay time.Duration) {
+			m.o.retries.Inc()
+			m.cfg.Logf("lifecycle: job %s attempt %d failed (%v), retrying in %s", id, attempt, err, delay)
+		},
+	}
+	err := resilience.Do(jctx, policy, func(actx context.Context) error {
 		m.mu.Lock()
 		job.Attempt++
 		m.mu.Unlock()
-		err := m.runPipeline(jctx, job)
-		if err == nil {
-			return
-		}
-		if ctx.Err() != nil {
-			// Daemon shutdown: leave the persisted state non-terminal;
-			// recover() will requeue and the checkpoint will carry the
-			// progress across.
-			m.cfg.Logf("lifecycle: job %s interrupted by shutdown in state %s", id, job.State)
-			m.mu.Lock()
-			m.persistLocked(job)
-			m.mu.Unlock()
-			return
-		}
-		if jctx.Err() != nil {
-			m.mu.Lock()
-			job.Error = "canceled"
-			m.mu.Unlock()
-			m.setState(job, StateCanceled)
-			m.cfg.Logf("lifecycle: job %s canceled", id)
-			return
+		err := m.runPipeline(actx, job)
+		if err == nil || actx.Err() != nil {
+			return err
 		}
 		m.mu.Lock()
 		job.Error = err.Error()
-		attempt := job.Attempt
 		m.persistLocked(job)
 		m.mu.Unlock()
-		if errors.Is(err, errPermanent) || attempt > maxRetries {
-			m.setState(job, StateFailed)
-			m.cfg.Logf("lifecycle: job %s failed after %d attempt(s): %v", id, attempt, err)
-			return
+		if errors.Is(err, errPermanent) {
+			return resilience.Permanent(err)
 		}
-		backoff := m.cfg.RetryBackoff << (attempt - 1)
-		m.o.retries.Inc()
-		m.cfg.Logf("lifecycle: job %s attempt %d failed (%v), retrying in %s", id, attempt, err, backoff)
-		select {
-		case <-jctx.Done():
-		case <-time.After(backoff):
-		}
+		return err
+	})
+	switch {
+	case err == nil:
+	case ctx.Err() != nil:
+		// Daemon shutdown: leave the persisted state non-terminal;
+		// recover() will requeue and the checkpoint will carry the
+		// progress across.
+		m.cfg.Logf("lifecycle: job %s interrupted by shutdown in state %s", id, job.State)
+		m.mu.Lock()
+		m.persistLocked(job)
+		m.mu.Unlock()
+	case jctx.Err() != nil:
+		m.mu.Lock()
+		job.Error = "canceled"
+		m.mu.Unlock()
+		m.setState(job, StateCanceled)
+		m.cfg.Logf("lifecycle: job %s canceled", id)
+	default:
+		m.setState(job, StateFailed)
+		m.cfg.Logf("lifecycle: job %s failed after %d attempt(s): %v", id, job.Attempt, err)
 	}
 }
 
@@ -525,6 +569,24 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
 		return err
 	}
 
+	// A run of consecutive canary failures opens the promotion breaker;
+	// while open, candidates are rejected without re-scoring the
+	// incumbent, so a stream of bad candidates cannot flap the serving
+	// pointer. The next pipeline after the cooldown probes the gate again.
+	if berr := m.promoteBreaker.Allow(); berr != nil {
+		m.mu.Lock()
+		job.Samples = len(td.Samples)
+		job.ManifestID = manifest.ID
+		job.Metrics = &metrics
+		job.Error = ""
+		m.mu.Unlock()
+		m.removeCheckpoint(job.ID)
+		m.setState(job, StateRejected)
+		m.o.rejections.Inc()
+		m.cfg.Logf("lifecycle: job %s rejected without gating: %v", job.ID, berr)
+		return nil
+	}
+
 	t0 = time.Now()
 	_, gspan := obs.StartSpan(ctx, "gate")
 	promote, baseline, incumbentID, err := m.gate(td, metrics, frac, seed)
@@ -533,6 +595,7 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
 	gspan.End()
 	m.o.stage("gate", time.Since(t0))
 	if err != nil {
+		m.promoteBreaker.RecordFailure()
 		return err
 	}
 	m.mu.Lock()
@@ -545,6 +608,7 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
 	m.mu.Unlock()
 
 	if !promote {
+		m.promoteBreaker.RecordFailure()
 		m.removeCheckpoint(job.ID)
 		m.setState(job, StateRejected)
 		m.o.rejections.Inc()
@@ -552,9 +616,15 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
 			job.ID, metrics.Combined(), baseline, m.cfg.GateTolerance)
 		return nil
 	}
-	if err := m.store.Promote(manifest.ID); err != nil {
+	if err := faultpoint.Inject(ctx, fpPromote); err != nil {
+		m.promoteBreaker.RecordFailure()
 		return err
 	}
+	if err := m.store.Promote(manifest.ID); err != nil {
+		m.promoteBreaker.RecordFailure()
+		return err
+	}
+	m.promoteBreaker.RecordSuccess()
 	m.removeCheckpoint(job.ID)
 	m.setState(job, StatePromoted)
 	m.o.promotions.Inc()
@@ -649,7 +719,14 @@ func (m *Manager) gate(td *napel.TrainingData, cand napel.HoldoutMetrics, frac f
 	if inc.Metrics != nil {
 		baseline = inc.Metrics.Combined()
 	} else {
-		pred, err := napel.LoadPredictorFile(m.store.ModelBlobPath(inc.ModelHash))
+		// ReadModel verifies the blob against its content address and
+		// quarantines corruption, so a damaged incumbent fails the gate
+		// loudly instead of silently scoring garbage.
+		data, err := m.store.ReadModel(inc.ModelHash)
+		if err != nil {
+			return false, 0, inc.ID, err
+		}
+		pred, err := napel.LoadPredictor(bytes.NewReader(data))
 		if err != nil {
 			return false, 0, inc.ID, err
 		}

@@ -10,6 +10,7 @@
 package lifecycle
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -57,6 +58,10 @@ var ErrNoCurrent = errors.New("lifecycle: no model promoted yet")
 // ErrNoRollback is returned when the history holds fewer than two
 // promotions.
 var ErrNoRollback = errors.New("lifecycle: no earlier promotion to roll back to")
+
+// ErrCorruptBlob is returned when a stored model's bytes no longer
+// match their content address; the blob has been moved to quarantine/.
+var ErrCorruptBlob = errors.New("lifecycle: model blob corrupt")
 
 // Manifest is the lineage record of one stored model: which bytes
 // (ModelHash), from which training data (DataHash), trained how
@@ -124,6 +129,63 @@ func (s *Store) PutModel(data []byte) (string, error) {
 // ModelBlobPath returns the on-disk path of a stored model hash.
 func (s *Store) ModelBlobPath(hash string) string {
 	return filepath.Join(s.blobDir(), hash+".json")
+}
+
+func (s *Store) quarantineDir() string { return filepath.Join(s.root, "quarantine") }
+
+// ReadModel reads a stored blob and verifies it against its content
+// address — the name IS the checksum, so a flipped bit anywhere in the
+// file is detected before the bytes are parsed, let alone served. A
+// mismatching blob is moved to quarantine/ (keeping the evidence, and
+// letting a re-run of the same training data republish clean bytes
+// under the same name) and ErrCorruptBlob is returned.
+func (s *Store) ReadModel(hash string) ([]byte, error) {
+	data, err := os.ReadFile(s.ModelBlobPath(hash))
+	if err != nil {
+		return nil, err
+	}
+	if got := HashBytes(data); got != hash {
+		where := "quarantine failed"
+		if qpath, qerr := s.quarantineBlob(hash); qerr == nil {
+			where = "quarantined at " + qpath
+		}
+		return nil, fmt.Errorf("%w: %s reads back as %s (%s)", ErrCorruptBlob, hash, got, where)
+	}
+	return data, nil
+}
+
+// quarantineBlob moves a corrupt blob out of blobs/ so it can never be
+// promoted or served, returning its new path.
+func (s *Store) quarantineBlob(hash string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(s.quarantineDir(), 0o755); err != nil {
+		return "", err
+	}
+	dst := filepath.Join(s.quarantineDir(), hash+".json")
+	if err := os.Rename(s.ModelBlobPath(hash), dst); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
+// Quarantined lists the content addresses currently in quarantine.
+func (s *Store) Quarantined() ([]string, error) {
+	entries, err := os.ReadDir(s.quarantineDir())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
 }
 
 // PutManifest assigns the next manifest ID, stamps CreatedAt if unset,
@@ -311,13 +373,18 @@ func (s *Store) Rollback() (*Manifest, error) {
 }
 
 // LoadCurrentPredictor loads the promoted model — the incumbent the
-// canary gate scores candidates against.
+// canary gate scores candidates against — verifying its bytes against
+// their content address first.
 func (s *Store) LoadCurrentPredictor() (*napel.Predictor, *Manifest, error) {
 	m, err := s.Current()
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := napel.LoadPredictorFile(s.ModelBlobPath(m.ModelHash))
+	data, err := s.ReadModel(m.ModelHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := napel.LoadPredictor(bytes.NewReader(data))
 	if err != nil {
 		return nil, nil, err
 	}

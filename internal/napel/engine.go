@@ -10,9 +10,15 @@ import (
 	"napel/internal/nmcsim"
 	"napel/internal/obs"
 	"napel/internal/pisa"
+	"napel/internal/resilience/faultpoint"
 	"napel/internal/trace"
 	"napel/internal/workload"
 )
+
+// fpUnit fails a collection unit's attempt at its start, active only
+// under an installed faultpoint plan — the hook the chaos harness uses
+// to exercise per-unit retry and quarantine.
+const fpUnit = "engine.unit"
 
 // This file is the data-collection engine: Collect decomposed into
 // independent (kernel, input) units executed by a worker pool, each unit
@@ -53,6 +59,10 @@ type unitResult struct {
 	restored    []Sample // one sample per training arch, from CollectCheckpoint.Prior
 	err         error
 	done        bool
+	// quarantined marks a unit whose error exhausted its retries under
+	// Options.QuarantineFailures: it is excluded from the dataset
+	// instead of failing the run.
+	quarantined bool
 }
 
 // CollectCheckpoint wires crash-safe collection into the engine: Prior
@@ -174,7 +184,27 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 		uctx, uspan := obs.StartSpan(ectx, "engine.unit")
 		uspan.SetAttr("kernel", units[idx].kernel.Name())
 		uspan.SetAttrInt("threads", int64(units[idx].in.Threads()))
-		r := runCollectUnit(uctx, units[idx], opts, eo)
+		// Per-unit retry: unit work is deterministic, so a failure is
+		// environmental (or injected) and an immediate re-execution is
+		// the right recovery. Cancellation is never retried.
+		var r unitResult
+		for attempt := 1; ; attempt++ {
+			if err := faultpoint.Inject(uctx, fpUnit); err != nil {
+				r = unitResult{err: err}
+			} else {
+				r = runCollectUnit(uctx, units[idx], opts, eo)
+			}
+			if r.err == nil || attempt > opts.UnitRetries || uctx.Err() != nil ||
+				errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
+				break
+			}
+			eo.unitRetry()
+		}
+		if r.err != nil && opts.QuarantineFailures && uctx.Err() == nil &&
+			!errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
+			r.quarantined = true
+			eo.unitQuarantined()
+		}
 		uspan.SetError(r.err)
 		uspan.End()
 		eo.unitEnd(time.Since(t0).Seconds(), r.done, r.err)
@@ -197,10 +227,12 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 	// The first hard error in unit order wins, matching the serial
 	// loop's abort-at-first-failure contract. Context aborts are not
 	// hard errors — they surface via ctx.Err() below so partial data
-	// survives a SIGINT.
+	// survives a SIGINT. Quarantined units are not hard errors either:
+	// they surface through TrainingData.Quarantined instead.
 	for i := range results {
 		err := results[i].err
-		if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		if err != nil && !results[i].quarantined &&
+			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			return nil, fmt.Errorf("napel: collecting %s: %w", units[i].kernel.Name(), err)
 		}
 	}
@@ -223,6 +255,17 @@ func assembleTrainingData(plans []kernelPlan, units []collectUnit, results []uni
 		DoEConfigs:  map[string]int{},
 		SimTime:     map[string]time.Duration{},
 		ProfileTime: map[string]time.Duration{},
+	}
+	// Units were created in first-occurrence plan order, so a single
+	// sweep reports quarantined units deterministically.
+	for idx := range results {
+		if results[idx].quarantined {
+			td.Quarantined = append(td.Quarantined, QuarantinedUnit{
+				App:   units[idx].kernel.Name(),
+				Input: units[idx].in,
+				Error: results[idx].err.Error(),
+			})
+		}
 	}
 	for _, plan := range plans {
 		td.DoEConfigs[plan.k.Name()] = plan.numInputs

@@ -1,0 +1,111 @@
+package napel
+
+import (
+	"strings"
+	"testing"
+
+	"napel/internal/obs"
+	"napel/internal/resilience/faultpoint"
+)
+
+// TestUnitRetryRecoversInjectedFaults: with per-unit retries configured,
+// a fault plan that fails a fraction of unit attempts must not change
+// the collected dataset — every unit eventually succeeds and the output
+// stays bit-identical to a fault-free run.
+func TestUnitRetryRecoversInjectedFaults(t *testing.T) {
+	kernels := quickKernels(t, "atax")
+	opts := quickOptions()
+	opts.Workers = 2
+
+	clean, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultpoint.Enable(3, "engine.unit:0.4"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disable()
+	opts.UnitRetries = 8
+	opts.Metrics = obs.NewRegistry()
+	faulted, err := Collect(kernels, opts)
+	injected := faultpoint.Count(fpUnit)
+	faultpoint.Disable()
+	if err != nil {
+		t.Fatalf("collection under faults: %v", err)
+	}
+	if injected == 0 {
+		t.Fatal("fault plan never fired; the test proved nothing")
+	}
+	if len(faulted.Samples) != len(clean.Samples) {
+		t.Fatalf("%d samples under faults, want %d", len(faulted.Samples), len(clean.Samples))
+	}
+	if len(faulted.Quarantined) != 0 {
+		t.Fatalf("units quarantined despite retries: %+v", faulted.Quarantined)
+	}
+	var sb strings.Builder
+	if err := opts.Metrics.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "napel_engine_unit_retries_total") {
+		t.Fatalf("retry counter missing from metrics:\n%s", sb.String())
+	}
+}
+
+// TestQuarantineExcludesPoisonedUnits: a unit that fails every attempt
+// is quarantined — reported in TrainingData.Quarantined with the rest of
+// the dataset intact — instead of aborting the collection. Without
+// QuarantineFailures the same plan aborts the run, preserving the
+// abort-on-first-error default.
+func TestQuarantineExcludesPoisonedUnits(t *testing.T) {
+	kernels := quickKernels(t, "atax")
+	opts := quickOptions()
+	opts.Workers = 2
+
+	clean, err := Collect(kernels, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Probability 1: every attempt at every unit fails, so each unit
+	// exhausts its retries and lands in quarantine.
+	if err := faultpoint.Enable(5, "engine.unit:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disable()
+
+	aborted := opts
+	if _, err := Collect(kernels, aborted); err == nil {
+		t.Fatal("collection under a total fault plan succeeded without quarantine enabled")
+	}
+
+	q := opts
+	q.UnitRetries = 1
+	q.QuarantineFailures = true
+	q.Metrics = obs.NewRegistry()
+	td, err := Collect(kernels, q)
+	faultpoint.Disable()
+	if err != nil {
+		t.Fatalf("quarantine-mode collection failed: %v", err)
+	}
+	if len(td.Samples) != 0 {
+		t.Fatalf("poisoned units still produced %d samples", len(td.Samples))
+	}
+	wantUnits := len(clean.Profiles) // one profile per distinct unit
+	if len(td.Quarantined) != wantUnits {
+		t.Fatalf("%d quarantined units, want %d", len(td.Quarantined), wantUnits)
+	}
+	for _, qu := range td.Quarantined {
+		if qu.App != "atax" || qu.Error == "" || qu.Input == nil {
+			t.Fatalf("incomplete quarantine record: %+v", qu)
+		}
+	}
+	var sb strings.Builder
+	if err := q.Metrics.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, "napel_engine_units_quarantined_total") {
+		t.Fatalf("quarantine counter missing from metrics:\n%s", text)
+	}
+}

@@ -24,9 +24,11 @@ type engineObs struct {
 	unitSec  *obs.Histogram
 	stage    map[string]*obs.Histogram
 	ckpSec   *obs.Histogram
-	done     *obs.Counter
-	restored *obs.Counter
-	failed   *obs.Counter
+	done        *obs.Counter
+	restored    *obs.Counter
+	failed      *obs.Counter
+	retries     *obs.Counter
+	quarantined *obs.Counter
 }
 
 // engineStages are the phases of one collection unit, matching the
@@ -55,6 +57,10 @@ func newEngineObs(reg *obs.Registry) *engineObs {
 			"Units restored from a resume checkpoint instead of executed."),
 		failed: reg.Counter("napel_engine_units_failed_total",
 			"Units that returned a hard error."),
+		retries: reg.Counter("napel_engine_unit_retries_total",
+			"Unit re-executions after a failed attempt."),
+		quarantined: reg.Counter("napel_engine_units_quarantined_total",
+			"Units excluded from the dataset after exhausting their retries."),
 	}
 	sv := reg.HistogramVec("napel_engine_stage_seconds",
 		"Per-stage unit latency: profiling, trace recording, simulation.",
@@ -115,6 +121,20 @@ func (o *engineObs) unitEnd(seconds float64, done bool, err error) {
 	case done:
 		o.done.Inc()
 	}
+}
+
+func (o *engineObs) unitRetry() {
+	if o == nil {
+		return
+	}
+	o.retries.Inc()
+}
+
+func (o *engineObs) unitQuarantined() {
+	if o == nil {
+		return
+	}
+	o.quarantined.Inc()
 }
 
 func (o *engineObs) observeStage(name string, seconds float64) {

@@ -75,6 +75,17 @@ type Options struct {
 	// concurrently; 0 means runtime.GOMAXPROCS(0). The assembled
 	// TrainingData is bit-identical for any worker count.
 	Workers int
+	// UnitRetries re-executes a failed (kernel, input) unit up to this
+	// many additional times before giving up (default 0 — a unit fails
+	// on its first error). Retries are immediate: unit work is
+	// deterministic and CPU-bound, so failures are environmental and a
+	// backoff would only idle a worker.
+	UnitRetries int
+	// QuarantineFailures, when true, excludes units that exhaust their
+	// retries from the dataset — recorded in TrainingData.Quarantined —
+	// instead of failing the whole collection. The default false keeps
+	// the serial loop's abort-on-first-error contract.
+	QuarantineFailures bool
 	// Metrics, when non-nil, receives the engine's napel_engine_* series
 	// (worker utilization, queue depth, per-unit and per-stage latency).
 	// nil leaves the engine uninstrumented at zero cost. Instrumentation
@@ -314,6 +325,20 @@ type TrainingData struct {
 	SimTime map[string]time.Duration
 	// ProfileTime accumulates kernel-analysis time per application.
 	ProfileTime map[string]time.Duration
+	// Quarantined lists the (kernel, input) units that failed every
+	// retry attempt and were excluded from Samples, in plan order. Only
+	// populated under Options.QuarantineFailures; never persisted by
+	// SaveTrainingData, so a resumed run re-executes quarantined units.
+	Quarantined []QuarantinedUnit
+}
+
+// QuarantinedUnit records one poisoned collection unit: it failed its
+// first execution and every configured retry, and contributed no
+// samples.
+type QuarantinedUnit struct {
+	App   string
+	Input workload.Input
+	Error string
 }
 
 // inputKey identifies a (kernel, input) pair.

@@ -1,0 +1,254 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"napel/internal/obs"
+)
+
+// ErrBreakerOpen is returned by Allow/Do while the breaker refuses
+// traffic. Match with errors.Is; the wrapped form carries the breaker
+// name and the time until the next probe.
+var ErrBreakerOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed passes everything through, counting consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen short-circuits every call until OpenTimeout elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a limited number of probes; enough
+	// successes close the breaker, any failure reopens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker. Zero fields take the documented
+// defaults.
+type BreakerConfig struct {
+	// Name identifies the breaker in errors and metrics.
+	Name string
+	// FailureThreshold is how many consecutive failures open the
+	// breaker (default 5).
+	FailureThreshold int
+	// OpenTimeout is how long the breaker stays open before admitting
+	// half-open probes (default 30s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many successive probe successes close the
+	// breaker again (default 1).
+	HalfOpenProbes int
+	// Now is the clock, injectable for deterministic tests (default
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Name == "" {
+		c.Name = "breaker"
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 30 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a three-state circuit breaker: it trips after a run of
+// consecutive failures, refuses traffic for a cool-down, then probes
+// its way back to closed. It guards napel-serve's model reloads and
+// napel-traind's canary promotion against failure storms — a failing
+// dependency is given time to recover instead of being hammered (and,
+// for promotion, the serving symlink is not flapped by a stream of bad
+// candidates).
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	inFlight  int       // admitted probes while half-open
+	openedAt  time.Time // when the breaker last opened
+
+	// metrics handles; nil until Register.
+	stateGauge    *obs.Gauge
+	opens         *obs.Counter
+	shortCircuits *obs.Counter
+	failuresTotal *obs.Counter
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+// Register publishes the breaker's state and counters on reg:
+// napel_resilience_breaker_state{name} (0 closed, 1 open, 2 half-open),
+// plus opens, short-circuits and recorded failures.
+func (b *Breaker) Register(reg *obs.Registry) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stateGauge = reg.GaugeVec("napel_resilience_breaker_state",
+		"Circuit breaker state: 0 closed, 1 open, 2 half-open.", "name").With(b.cfg.Name)
+	b.opens = reg.CounterVec("napel_resilience_breaker_opens_total",
+		"Times the breaker tripped open.", "name").With(b.cfg.Name)
+	b.shortCircuits = reg.CounterVec("napel_resilience_breaker_short_circuits_total",
+		"Calls refused while the breaker was open.", "name").With(b.cfg.Name)
+	b.failuresTotal = reg.CounterVec("napel_resilience_breaker_failures_total",
+		"Failures recorded against the breaker.", "name").With(b.cfg.Name)
+	b.stateGauge.Set(float64(b.state))
+}
+
+// State returns the current state, applying the open→half-open
+// transition if the cool-down has elapsed.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	return b.state
+}
+
+func (b *Breaker) maybeHalfOpenLocked() {
+	if b.state == BreakerOpen && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		b.setStateLocked(BreakerHalfOpen)
+		b.successes = 0
+		b.inFlight = 0
+	}
+}
+
+func (b *Breaker) setStateLocked(s BreakerState) {
+	b.state = s
+	if b.stateGauge != nil {
+		b.stateGauge.Set(float64(s))
+	}
+}
+
+// Allow asks to start one guarded call. It returns nil (call Record*
+// with the outcome afterwards) or ErrBreakerOpen. While half-open only
+// HalfOpenProbes calls are admitted at once.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpenLocked()
+	switch b.state {
+	case BreakerClosed:
+		return nil
+	case BreakerHalfOpen:
+		if b.inFlight < b.cfg.HalfOpenProbes {
+			b.inFlight++
+			return nil
+		}
+	}
+	if b.shortCircuits != nil {
+		b.shortCircuits.Inc()
+	}
+	return fmt.Errorf("%w: %s retries in %s", ErrBreakerOpen, b.cfg.Name, b.retryInLocked().Round(time.Millisecond))
+}
+
+// RetryIn reports how long until the breaker next admits a call: 0
+// when closed or half-open with probe capacity, otherwise the remaining
+// cool-down.
+func (b *Breaker) RetryIn() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.retryInLocked()
+}
+
+func (b *Breaker) retryInLocked() time.Duration {
+	if b.state != BreakerOpen {
+		return 0
+	}
+	rem := b.cfg.OpenTimeout - b.cfg.Now().Sub(b.openedAt)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// RecordSuccess reports a guarded call that succeeded.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.failures = 0
+	case BreakerHalfOpen:
+		if b.inFlight > 0 {
+			b.inFlight--
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.setStateLocked(BreakerClosed)
+			b.failures = 0
+		}
+	}
+}
+
+// RecordFailure reports a guarded call that failed; enough consecutive
+// failures (or any half-open probe failure) open the breaker.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failuresTotal != nil {
+		b.failuresTotal.Inc()
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openLocked()
+		}
+	case BreakerHalfOpen:
+		b.openLocked()
+	}
+}
+
+func (b *Breaker) openLocked() {
+	b.setStateLocked(BreakerOpen)
+	b.openedAt = b.cfg.Now()
+	b.failures = 0
+	b.successes = 0
+	b.inFlight = 0
+	if b.opens != nil {
+		b.opens.Inc()
+	}
+}
+
+// Do runs fn under the breaker: Allow, then Record the outcome. The
+// returned error is ErrBreakerOpen (short-circuit) or fn's error.
+func (b *Breaker) Do(fn func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	if err := fn(); err != nil {
+		b.RecordFailure()
+		return err
+	}
+	b.RecordSuccess()
+	return nil
+}

@@ -1,0 +1,142 @@
+package resilience
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"napel/internal/obs"
+)
+
+func containsLine(out, line string) bool {
+	for _, l := range strings.Split(out, "\n") {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// testClock is an advanceable clock for deterministic breaker tests.
+type testClock struct{ t time.Time }
+
+func (c *testClock) now() time.Time          { return c.t }
+func (c *testClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(threshold, probes int, timeout time.Duration) (*Breaker, *testClock) {
+	clk := &testClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		Name: "test", FailureThreshold: threshold,
+		OpenTimeout: timeout, HalfOpenProbes: probes, Now: clk.now,
+	})
+	return b, clk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(3, 1, time.Minute)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if b.State() != BreakerClosed {
+			t.Fatalf("opened after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success resets the consecutive count.
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		b.Do(func() error { return boom })
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after threshold failures, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Allow while open: %v, want ErrBreakerOpen", err)
+	}
+	if err := b.Do(func() error { t.Fatal("fn ran while open"); return nil }); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Do while open: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	b, clk := newTestBreaker(1, 2, time.Minute)
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatal("not open after threshold-1 failure")
+	}
+	if got := b.RetryIn(); got != time.Minute {
+		t.Fatalf("RetryIn = %s, want 1m", got)
+	}
+
+	clk.advance(time.Minute)
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s after cool-down, want half-open", b.State())
+	}
+	// Probe capacity is bounded: with 2 probes allowed, the third
+	// concurrent Allow is refused.
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("third half-open probe admitted: %v", err)
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerHalfOpen {
+		t.Fatal("closed after 1 of 2 required probe successes")
+	}
+	b.RecordSuccess()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after probe successes, want closed", b.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Minute)
+	b.RecordFailure()
+	clk.advance(time.Minute)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.RecordFailure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state %s after probe failure, want open", b.State())
+	}
+	// The cool-down restarts from the reopen.
+	clk.advance(30 * time.Second)
+	if b.State() != BreakerOpen {
+		t.Fatal("half-opened before the restarted cool-down elapsed")
+	}
+}
+
+func TestBreakerMetrics(t *testing.T) {
+	b, clk := newTestBreaker(1, 1, time.Minute)
+	reg := obs.NewRegistry()
+	b.Register(reg)
+	b.RecordFailure()
+	b.Allow() // short-circuit
+	clk.advance(time.Minute)
+	b.State()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`napel_resilience_breaker_state{name="test"} 2`,
+		`napel_resilience_breaker_opens_total{name="test"} 1`,
+		`napel_resilience_breaker_short_circuits_total{name="test"} 1`,
+		`napel_resilience_breaker_failures_total{name="test"} 1`,
+	} {
+		if !containsLine(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSaturated is returned by Bulkhead.Acquire when no slot frees up
+// within the queue timeout (or immediately, with a zero timeout).
+var ErrSaturated = errors.New("resilience: bulkhead saturated")
+
+// Bulkhead isolates a resource behind a fixed number of slots, with an
+// optional bounded wait — callers beyond capacity queue for at most
+// QueueWait before being shed. It is the concurrency limiter behind
+// napel-serve's request path: the semaphore keeps a predictor stampede
+// from taking the whole process down, and the shed path feeds the 429
+// backpressure answer.
+type Bulkhead struct {
+	sem       chan struct{}
+	queueWait time.Duration
+	waiting   atomic.Int64
+}
+
+// NewBulkhead builds a bulkhead with capacity slots. queueWait bounds
+// how long Acquire blocks for a slot; 0 rejects immediately when full.
+func NewBulkhead(capacity int, queueWait time.Duration) *Bulkhead {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Bulkhead{sem: make(chan struct{}, capacity), queueWait: queueWait}
+}
+
+// Acquire takes a slot, waiting up to the queue timeout. It returns
+// ErrSaturated on timeout and ctx.Err() if the context ends first.
+// Every successful Acquire must be paired with Release.
+func (b *Bulkhead) Acquire(ctx context.Context) error {
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if b.queueWait <= 0 {
+		return fmt.Errorf("%w: %d slots in use", ErrSaturated, cap(b.sem))
+	}
+	b.waiting.Add(1)
+	defer b.waiting.Add(-1)
+	t := time.NewTimer(b.queueWait)
+	defer t.Stop()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case b.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return fmt.Errorf("%w: no slot freed within %s", ErrSaturated, b.queueWait)
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a slot taken by Acquire.
+func (b *Bulkhead) Release() { <-b.sem }
+
+// InUse reports slots currently held.
+func (b *Bulkhead) InUse() int { return len(b.sem) }
+
+// Capacity reports the total slot count.
+func (b *Bulkhead) Capacity() int { return cap(b.sem) }
+
+// Waiting reports callers currently queued for a slot.
+func (b *Bulkhead) Waiting() int { return int(b.waiting.Load()) }

@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBulkheadImmediateRejectWhenFull(t *testing.T) {
+	b := NewBulkhead(2, 0)
+	ctx := context.Background()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third acquire: %v, want ErrSaturated", err)
+	}
+	if b.InUse() != 2 || b.Capacity() != 2 {
+		t.Fatalf("InUse/Capacity = %d/%d, want 2/2", b.InUse(), b.Capacity())
+	}
+	b.Release()
+	if err := b.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestBulkheadQueuedAcquire(t *testing.T) {
+	b := NewBulkhead(1, time.Second)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(context.Background()) }()
+	// Give the second caller time to enter the queue, then free a slot.
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	b.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued acquire: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never completed")
+	}
+}
+
+func TestBulkheadQueueTimeout(t *testing.T) {
+	b := NewBulkhead(1, 10*time.Millisecond)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Acquire(context.Background()); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("queued acquire past timeout: %v, want ErrSaturated", err)
+	}
+}
+
+func TestBulkheadContextCancel(t *testing.T) {
+	b := NewBulkhead(1, time.Minute)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(ctx) }()
+	for b.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v, want context.Canceled", err)
+	}
+}
+
+func TestWithBudgetTightensOnly(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("no deadline attached")
+	}
+	// A looser budget must not extend the existing deadline.
+	ctx2, cancel2 := WithBudget(ctx, time.Hour)
+	defer cancel2()
+	d1, _ := ctx.Deadline()
+	d2, _ := ctx2.Deadline()
+	if !d2.Equal(d1) {
+		t.Fatalf("budget loosened deadline: %s -> %s", d1, d2)
+	}
+	// Non-positive budget is a no-op.
+	ctx3, cancel3 := WithBudget(ctx, 0)
+	defer cancel3()
+	if ctx3 != ctx {
+		t.Fatal("zero budget returned a new context")
+	}
+}
+
+func TestBudgetAndSplit(t *testing.T) {
+	if got := Budget(context.Background(), 42*time.Second); got != 42*time.Second {
+		t.Fatalf("default budget = %s", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if got := Budget(ctx, 0); got <= 0 || got > time.Second {
+		t.Fatalf("budget = %s, want (0, 1s]", got)
+	}
+	per := SplitBudget(ctx, 4, 0)
+	if per <= 0 || per > 250*time.Millisecond {
+		t.Fatalf("per-item = %s, want (0, 250ms]", per)
+	}
+	if got := SplitBudget(ctx, 1000, 100*time.Millisecond); got != 100*time.Millisecond {
+		t.Fatalf("floored per-item = %s, want 100ms", got)
+	}
+	if got := SplitBudget(context.Background(), 4, time.Second); got != 0 {
+		t.Fatalf("no-deadline split = %s, want 0", got)
+	}
+}
+
+func TestExpired(t *testing.T) {
+	if Expired(context.Background()) {
+		t.Fatal("fresh context reported expired")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !Expired(ctx) {
+		t.Fatal("canceled context not reported expired")
+	}
+}

@@ -1,0 +1,75 @@
+package resilience
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline propagation helpers: per-endpoint budgets attach to the
+// request context at the HTTP handler, flow through batch fan-out, and
+// are checked before each expensive stage, so one slow item cannot
+// stall a whole batch past its budget.
+
+// WithBudget derives a context whose deadline is at most d from now.
+// An existing earlier deadline is kept (budgets only tighten). A
+// non-positive d returns ctx unchanged with a no-op cancel.
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if cur, ok := ctx.Deadline(); ok && time.Until(cur) <= d {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// Budget returns the time remaining until ctx's deadline, or def when
+// ctx carries none. A context already past its deadline yields 0.
+func Budget(ctx context.Context, def time.Duration) time.Duration {
+	if ctx == nil {
+		return def
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return def
+	}
+	rem := time.Until(dl)
+	if rem < 0 {
+		return 0
+	}
+	return rem
+}
+
+// SplitBudget divides ctx's remaining budget evenly across n items,
+// flooring the per-item slice at floor so stragglers still get a usable
+// window. With no deadline on ctx it returns 0, meaning "no per-item
+// budget".
+func SplitBudget(ctx context.Context, n int, floor time.Duration) time.Duration {
+	rem := Budget(ctx, 0)
+	if rem <= 0 || n <= 0 {
+		return 0
+	}
+	per := rem / time.Duration(n)
+	if per < floor {
+		per = floor
+	}
+	return per
+}
+
+// Expired reports whether ctx is already done — the cheap pre-stage
+// check the serving fan-out uses to fail remaining items fast once a
+// batch has blown its budget.
+func Expired(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

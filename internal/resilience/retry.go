@@ -1,0 +1,144 @@
+// Package resilience is the repository's stdlib-only fault-tolerance
+// substrate: policy-driven retries with jittered exponential backoff,
+// a three-state circuit breaker, semaphore bulkheads with queue
+// timeouts, and deadline-budget helpers — the reflexes that let
+// napel-serve keep answering and napel-traind keep converging when a
+// disk stalls, a model blob corrupts, or a collection unit wedges.
+// Its companion subpackage faultpoint injects the faults these
+// primitives are tested against.
+//
+// All randomness (retry jitter) flows from internal/xrand streams, so
+// backoff schedules are reproducible in tests; all waiting is
+// context-aware, so cancellation and deadline propagation cut through
+// every primitive.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"napel/internal/xrand"
+)
+
+// Policy shapes one retry loop. The zero value retries nothing (a
+// single attempt); fill in MaxAttempts to enable retries.
+type Policy struct {
+	// MaxAttempts is the total number of attempts including the first;
+	// values below 1 mean exactly one attempt.
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; attempt n waits
+	// BaseDelay × Multiplier^(n-1), capped at MaxDelay. 0 retries
+	// immediately.
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay; 0 means no cap.
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter]
+	// of its nominal value, decorrelating competing retriers. Must be
+	// in [0, 1); 0 disables jitter.
+	Jitter float64
+	// Seed seeds the jitter stream, making the full backoff schedule
+	// deterministic. 0 uses a fixed default seed.
+	Seed uint64
+	// OnRetry, when non-nil, observes every scheduled retry: the
+	// 1-based attempt that just failed, its error, and the delay before
+	// the next attempt.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// permanentError marks an error retrying cannot fix.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps err so Do stops immediately instead of retrying.
+// errors.Is/As still see the underlying error. A nil err stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (anywhere in its chain) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Delay returns the nominal (pre-jitter) backoff before attempt
+// attempt+1, given attempt failures so far (attempt >= 1).
+func (p Policy) Delay(attempt int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	mult := p.Multiplier
+	if mult <= 0 {
+		mult = 2
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= mult
+		if p.MaxDelay > 0 && d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > float64(p.MaxDelay) {
+		return p.MaxDelay
+	}
+	return time.Duration(d)
+}
+
+// Do runs fn until it succeeds, returns a Permanent error, exhausts
+// MaxAttempts, or ctx ends. Between attempts it sleeps the policy's
+// jittered backoff, aborting early (and returning the last error) when
+// ctx is done. The returned error is fn's last error — callers can
+// inspect ctx.Err() to distinguish cancellation from exhaustion.
+func Do(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	var rng *xrand.Rand // lazily created: most calls never retry
+	for attempt := 1; ; attempt++ {
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) || attempt >= attempts || ctx.Err() != nil {
+			return err
+		}
+		delay := p.Delay(attempt)
+		if delay > 0 && p.Jitter > 0 {
+			if rng == nil {
+				rng = xrand.New(seed)
+			}
+			f := 1 + p.Jitter*(2*rng.Float64()-1)
+			delay = time.Duration(float64(delay) * f)
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return err
+			}
+			t.Stop()
+		}
+	}
+}

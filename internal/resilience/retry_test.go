@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	var calls int
+	errBoom := errors.New("boom")
+	var retried []int
+	err := Do(context.Background(), Policy{
+		MaxAttempts: 5,
+		OnRetry:     func(attempt int, err error, d time.Duration) { retried = append(retried, attempt) },
+	}, func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if len(retried) != 2 || retried[0] != 1 || retried[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retried)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var calls int
+	errBoom := errors.New("boom")
+	err := Do(context.Background(), Policy{MaxAttempts: 3}, func(ctx context.Context) error {
+		calls++
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	var calls int
+	errBad := errors.New("bad input")
+	err := Do(context.Background(), Policy{MaxAttempts: 5}, func(ctx context.Context) error {
+		calls++
+		return Permanent(errBad)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, errBad) || !IsPermanent(err) {
+		t.Fatalf("err = %v, want permanent bad-input", err)
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+func TestDoHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int
+	errBoom := errors.New("boom")
+	err := Do(ctx, Policy{MaxAttempts: 100, BaseDelay: time.Hour}, func(ctx context.Context) error {
+		calls++
+		cancel() // cancel mid-flight: the backoff sleep must abort
+		return errBoom
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the last attempt error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancellation)", calls)
+	}
+}
+
+func TestPolicyDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if d := p.Delay(i + 1); d != w {
+			t.Fatalf("Delay(%d) = %s, want %s", i+1, d, w)
+		}
+	}
+	if d := (Policy{}).Delay(3); d != 0 {
+		t.Fatalf("zero-policy delay = %s, want 0", d)
+	}
+}
+
+func TestJitterIsDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		p := Policy{
+			MaxAttempts: 4, BaseDelay: time.Microsecond, Jitter: 0.5, Seed: seed,
+			OnRetry: func(_ int, _ error, d time.Duration) { delays = append(delays, d) },
+		}
+		Do(context.Background(), p, func(ctx context.Context) error { return errors.New("x") })
+		return delays
+	}
+	a, b := schedule(7), schedule(7)
+	if len(a) != 3 {
+		t.Fatalf("got %d delays, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	c := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter schedule")
+	}
+}

@@ -19,6 +19,8 @@ import (
 
 	"napel/internal/napel"
 	"napel/internal/obs"
+	"napel/internal/resilience"
+	"napel/internal/resilience/faultpoint"
 )
 
 // apiError is a handler failure with its HTTP status.
@@ -46,6 +48,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe, distinct from the /healthz
+// liveness probe: the process can be alive but unable to serve — no
+// model generation installed yet (lazy start before the first
+// promotion) or draining on the way down. Orchestrators route traffic
+// on this answer; /healthz only says the process is running.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	ready := !draining && s.registry.Ready()
+	body := map[string]any{
+		"ready":    ready,
+		"draining": draining,
+		"models":   len(s.registry.List()),
+	}
+	if ready {
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	if draining {
+		setRetryAfter(w, s.retryAfterSeconds())
+	}
+	writeJSON(w, http.StatusServiceUnavailable, body)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", obs.ContentType)
 	s.o.reg.WriteText(w)
@@ -56,22 +81,38 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReload re-reads every model file and atomically installs the
-// new generation. The response cache needs no flush: keys embed the
+// new generation, guarded by the reload circuit breaker: after enough
+// consecutive failures the endpoint answers 503 with a Retry-After
+// matching the breaker's cool-down instead of re-parsing a broken file
+// on every request. The response cache needs no flush: keys embed the
 // model content hash, so entries for replaced weights simply stop being
 // referenced and age out of the LRU.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	models, err := s.registry.Reload()
+	if err := s.reloadBreaker.Allow(); err != nil {
+		setRetryAfter(w, clampSeconds(s.reloadBreaker.RetryIn(), 1, 3600))
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	err := faultpoint.Inject(r.Context(), fpReload)
+	var models []*Model
+	if err == nil {
+		models, err = s.registry.Reload()
+	}
 	if err != nil {
+		s.reloadBreaker.RecordFailure()
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, napel.ErrBadModelVersion):
 			status = http.StatusUnprocessableEntity
 		case errors.Is(err, fs.ErrNotExist):
 			status = http.StatusNotFound
+		case errors.Is(err, faultpoint.ErrInjected):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err.Error())
 		return
 	}
+	s.reloadBreaker.RecordSuccess()
 	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "models": models})
 }
 
@@ -206,8 +247,20 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
+	if resilience.Expired(ctx) {
+		s.o.deadlineExhausted.Inc()
+		return PredictResponse{}, &apiError{http.StatusGatewayTimeout, "request budget exhausted"}
+	}
 	model, ok := s.registry.Get(req.Model)
 	if !ok {
+		// No such model — including "no generation installed yet" on a
+		// lazy start. A last-good answer for the same inputs keeps the
+		// service responding, marked Degraded.
+		if feat, totalInstrs, _, _, err := req.assemble(); err == nil {
+			if resp, served := s.degradedAnswer(req, hashPrediction(feat, totalInstrs)); served {
+				return resp, nil
+			}
+		}
 		return PredictResponse{}, &apiError{http.StatusNotFound, fmt.Sprintf("unknown model %q", req.Model)}
 	}
 
@@ -224,7 +277,8 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 
 	// The feature vector already embeds the architecture point and
 	// thread count (ArchVector), so vector+totals identify the result.
-	key := cacheKey{version: model.Version, hash: hashPrediction(feat, totalInstrs)}
+	featHash := hashPrediction(feat, totalInstrs)
+	key := cacheKey{version: model.Version, hash: featHash}
 	t0 = time.Now()
 	_, cspan := obs.StartSpan(ctx, "cache")
 	pred, hit := s.cache.Get(key)
@@ -235,6 +289,16 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 		return makeResponse(model, pred, true), nil
 	}
 
+	// The predict fault point stands in for any model-evaluation
+	// failure; a last-good answer (from any model generation) downgrades
+	// the failure to a Degraded response.
+	if err := faultpoint.Inject(ctx, fpPredict); err != nil {
+		if resp, served := s.degradedAnswer(req, featHash); served {
+			return resp, nil
+		}
+		return PredictResponse{}, &apiError{http.StatusServiceUnavailable, "prediction unavailable: " + err.Error()}
+	}
+
 	t0 = time.Now()
 	_, pspan := obs.StartSpan(ctx, "predict")
 	pspan.SetAttr("model", model.Name)
@@ -242,7 +306,32 @@ func (s *Server) predictOne(ctx context.Context, req *PredictRequest) (PredictRe
 	pspan.End()
 	s.o.stagePredict.ObserveSince(t0)
 	s.cache.Put(key, pred)
+	if s.degraded != nil {
+		s.degraded.Put(featHash, pred)
+	}
 	return makeResponse(model, pred, false), nil
+}
+
+// degradedAnswer serves a last-good prediction for the same inputs when
+// the normal path cannot answer. The entry may have been computed under
+// any model generation — that staleness is exactly what the Degraded
+// flag discloses to the client.
+func (s *Server) degradedAnswer(req *PredictRequest, featHash uint64) (PredictResponse, bool) {
+	if s.degraded == nil {
+		return PredictResponse{}, false
+	}
+	pred, ok := s.degraded.Get(featHash)
+	if !ok {
+		return PredictResponse{}, false
+	}
+	s.o.degradedServed.Inc()
+	name := req.Model
+	if name == "" {
+		name = DefaultModelName
+	}
+	resp := makeResponse(&Model{Name: name}, pred, true)
+	resp.Degraded = true
+	return resp, true
 }
 
 func makeResponse(m *Model, p napel.Prediction, cached bool) PredictResponse {

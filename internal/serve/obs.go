@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sync/atomic"
 	"time"
 
 	"napel/internal/obs"
@@ -22,13 +23,20 @@ type serveObs struct {
 	requests map[string]*[6]*obs.Counter
 	duration map[string]*obs.Histogram
 
-	inflight    *obs.Gauge
-	rejected    *obs.Counter
-	predictions *obs.Counter
+	inflight          *obs.Gauge
+	rejected          *obs.Counter
+	predictions       *obs.Counter
+	degradedServed    *obs.Counter
+	deadlineExhausted *obs.Counter
 
 	stageCache    *obs.Histogram
 	stageAssemble *obs.Histogram
 	stagePredict  *obs.Histogram
+
+	// durSumNanos/durCount aggregate completed-request latency so the
+	// Retry-After computation can quote the observed mean.
+	durSumNanos atomic.Int64
+	durCount    atomic.Int64
 }
 
 func newServeObs(tracer *obs.Tracer, endpoints ...string) *serveObs {
@@ -59,6 +67,10 @@ func newServeObs(tracer *obs.Tracer, endpoints ...string) *serveObs {
 		"Requests rejected by the concurrency limiter.")
 	o.predictions = reg.Counter("napel_serve_predictions_total",
 		"Individual predictions served (batch items count separately).")
+	o.degradedServed = reg.Counter("napel_serve_degraded_total",
+		"Predictions answered from the last-good cache because the normal path failed.")
+	o.deadlineExhausted = reg.Counter("napel_serve_deadline_exhausted_total",
+		"Predictions refused because the request budget was already spent.")
 	stage := reg.HistogramVec("napel_serve_predict_stage_seconds",
 		"Per-stage prediction latency: cache lookup, feature assembly, model predict.",
 		nil, "stage")
@@ -82,4 +94,16 @@ func (o *serveObs) observe(endpoint string, status int, d time.Duration) {
 	}
 	em[class].Inc()
 	o.duration[endpoint].Observe(d.Seconds())
+	o.durSumNanos.Add(d.Nanoseconds())
+	o.durCount.Add(1)
+}
+
+// avgDuration returns the mean completed-request latency, or 0 before
+// the first request.
+func (o *serveObs) avgDuration() time.Duration {
+	n := o.durCount.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(o.durSumNanos.Load() / n)
 }

@@ -47,6 +47,10 @@ type Registry struct {
 // NewRegistry builds a registry over the given name→path mapping and
 // performs the initial load; it fails if any model cannot be loaded.
 func NewRegistry(paths map[string]string) (*Registry, error) {
+	return newRegistry(paths, false)
+}
+
+func newRegistry(paths map[string]string, lazy bool) (*Registry, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("serve: no models configured")
 	}
@@ -54,10 +58,19 @@ func NewRegistry(paths map[string]string) (*Registry, error) {
 	empty := map[string]*Model{}
 	r.models.Store(&empty)
 	if _, err := r.Reload(); err != nil {
-		return nil, err
+		// Lazy mode tolerates an empty start: the files may not exist
+		// yet (napel-traind has not promoted a first model). Ready()
+		// stays false and /readyz answers 503 until a follow poll or
+		// explicit reload installs the first generation.
+		if !lazy {
+			return nil, err
+		}
 	}
 	return r, nil
 }
+
+// Ready reports whether at least one model generation is installed.
+func (r *Registry) Ready() bool { return len(*r.models.Load()) > 0 }
 
 // Reload re-reads every configured model file and atomically replaces
 // the serving set with the new generation. On any failure the previous

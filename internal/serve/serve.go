@@ -6,15 +6,28 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"napel/internal/cache"
 	"napel/internal/napel"
 	"napel/internal/obs"
+	"napel/internal/resilience"
+	"napel/internal/resilience/faultpoint"
+)
+
+// Fault points on the serving path, active only under an installed
+// faultpoint plan: "serve.predict" fails a model evaluation (exercising
+// the degraded-mode answer), "serve.reload" fails a registry reload or
+// follow poll (exercising the reload breaker).
+const (
+	fpPredict = "serve.predict"
+	fpReload  = "serve.reload"
 )
 
 // Config tunes the service. Zero fields take the documented defaults.
@@ -34,6 +47,31 @@ type Config struct {
 	// MaxInFlight bounds concurrently served requests (default 64);
 	// excess requests are rejected immediately with 429.
 	MaxInFlight int
+	// QueueWait, when positive, lets requests beyond MaxInFlight queue
+	// for a slot that long before the 429 is issued. 0 (the default)
+	// keeps the historical shed-immediately behavior.
+	QueueWait time.Duration
+	// PredictBudget, when positive, caps the wall-clock spent on one
+	// predict or suitability request: the budget attaches to the request
+	// context and batch items past it fail fast with a budget error.
+	PredictBudget time.Duration
+	// LazyLoad starts the server even when model files are missing or
+	// unreadable; /readyz answers 503 until a follow poll or reload
+	// installs the first generation. Pair with FollowInterval to come up
+	// before napel-traind's first promotion.
+	LazyLoad bool
+	// DegradedEntries bounds the last-good answer cache used for
+	// degraded-mode serving (default 1024). Keyed by feature hash only —
+	// not model version — so an answer computed under any generation can
+	// stand in when prediction fails. 0 takes the default; negative
+	// disables degraded serving.
+	DegradedEntries int
+	// ReloadFailureThreshold is how many consecutive reload failures trip
+	// the reload circuit breaker (default 3).
+	ReloadFailureThreshold int
+	// ReloadCooldown is how long the reload breaker stays open before
+	// probing again (default 15s).
+	ReloadCooldown time.Duration
 	// Workers bounds the fan-out pool a batched request is spread
 	// across (default min(GOMAXPROCS, 8)).
 	Workers int
@@ -78,6 +116,15 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 10 * time.Second
 	}
+	if c.DegradedEntries == 0 {
+		c.DegradedEntries = 1024
+	}
+	if c.ReloadFailureThreshold <= 0 {
+		c.ReloadFailureThreshold = 3
+	}
+	if c.ReloadCooldown <= 0 {
+		c.ReloadCooldown = 15 * time.Second
+	}
 	return c
 }
 
@@ -99,8 +146,23 @@ type Server struct {
 	cache    *cache.LRU[cacheKey, napel.Prediction]
 	o        *serveObs
 	logger   *slog.Logger
-	sem      chan struct{}
+	limiter  *resilience.Bulkhead
 	draining atomic.Bool
+
+	// drainStart is when draining flipped on (unix nanos), feeding the
+	// Retry-After computation for requests refused mid-drain.
+	drainStart atomic.Int64
+
+	// reloadBreaker guards every registry reload — the POST endpoint and
+	// follow polls — so a failure storm (publisher flapping, corrupt
+	// file) backs off instead of re-parsing a broken model every tick.
+	reloadBreaker *resilience.Breaker
+
+	// degraded holds last-good predictions keyed by feature hash alone;
+	// consulted when the predict path fails so the service keeps
+	// answering (marked Degraded) through a reload failure storm. Nil
+	// when disabled.
+	degraded *cache.LRU[uint64, napel.Prediction]
 
 	// testHookPredict, when non-nil, runs at the start of every
 	// prediction — tests use it to hold requests in flight.
@@ -109,10 +171,11 @@ type Server struct {
 
 // New loads all configured models and returns a ready server; it fails
 // if any model file is missing or unreadable (fail fast at boot —
-// hot-reload failures later keep the old generation instead).
+// hot-reload failures later keep the old generation instead), unless
+// LazyLoad defers that first load to follow/reload.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	reg, err := NewRegistry(cfg.ModelPaths)
+	reg, err := newRegistry(cfg.ModelPaths, cfg.LazyLoad)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +184,16 @@ func New(cfg Config) (*Server, error) {
 		registry: reg,
 		cache:    cache.NewLRU[cacheKey, napel.Prediction](cfg.CacheEntries),
 		o: newServeObs(obs.NewTracer(cfg.TraceRing, cfg.TraceSink),
-			"predict", "suitability", "models", "reload", "healthz", "metrics", "other"),
-		sem: make(chan struct{}, cfg.MaxInFlight),
+			"predict", "suitability", "models", "reload", "healthz", "readyz", "metrics", "other"),
+		limiter: resilience.NewBulkhead(cfg.MaxInFlight, cfg.QueueWait),
+		reloadBreaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             "serve.reload",
+			FailureThreshold: cfg.ReloadFailureThreshold,
+			OpenTimeout:      cfg.ReloadCooldown,
+		}),
+	}
+	if cfg.DegradedEntries > 0 {
+		s.degraded = cache.NewLRU[uint64, napel.Prediction](cfg.DegradedEntries)
 	}
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(obs.NewLogHandler(slog.NewTextHandler(cfg.AccessLog, nil)))
@@ -146,8 +217,24 @@ func New(cfg Config) (*Server, error) {
 		"Failed follow-mode reload attempts.", func() float64 { return float64(s.registry.FollowFailures()) })
 	m.GaugeFunc("napel_serve_uptime_seconds",
 		"Seconds since the server started.", func() float64 { return time.Since(s.o.start).Seconds() })
+	m.GaugeFunc("napel_serve_ready",
+		"1 when the server would answer /readyz with 200.",
+		func() float64 {
+			if s.Ready() {
+				return 1
+			}
+			return 0
+		})
+	m.CounterFunc("napel_chaos_injected_total",
+		"Faults fired by the installed chaos plan (0 when chaos is off).",
+		func() float64 { return float64(faultpoint.TotalInjected()) })
+	s.reloadBreaker.Register(m)
 	return s, nil
 }
+
+// Ready reports whether the server would answer /readyz with 200: not
+// draining and at least one model generation installed.
+func (s *Server) Ready() bool { return !s.draining.Load() && s.registry.Ready() }
 
 // Obs exposes the server's metrics registry (for embedding callers and
 // tests); scraping it is equivalent to GET /metrics.
@@ -165,6 +252,7 @@ func (s *Server) Registry() *Registry { return s.registry }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/healthz", s.instrument("healthz", http.MethodGet, s.handleHealthz))
+	mux.Handle("/readyz", s.instrument("readyz", http.MethodGet, s.handleReadyz))
 	mux.Handle("/metrics", s.instrument("metrics", http.MethodGet, s.handleMetrics))
 	mux.Handle("/v1/predict", s.instrument("predict", http.MethodPost, s.handlePredict))
 	mux.Handle("/v1/suitability", s.instrument("suitability", http.MethodPost, s.handleSuitability))
@@ -204,11 +292,52 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// retryAfterSeconds estimates when a refused request is worth retrying,
+// so 429 and 503 answers advertise the same honest hint instead of a
+// hardcoded constant. Draining: the remainder of the drain window.
+// Saturated: the observed mean request duration scaled by queue
+// pressure, clamped to [1s, 30s].
+func (s *Server) retryAfterSeconds() int {
+	if s.draining.Load() {
+		rem := s.cfg.DrainTimeout - time.Since(time.Unix(0, s.drainStart.Load()))
+		return clampSeconds(rem, 1, int(math.Ceil(s.cfg.DrainTimeout.Seconds())))
+	}
+	avg := s.o.avgDuration()
+	if avg <= 0 {
+		avg = 50 * time.Millisecond
+	}
+	pressure := 1 + s.limiter.Waiting()
+	return clampSeconds(time.Duration(pressure)*avg, 1, 30)
+}
+
+func clampSeconds(d time.Duration, lo, hi int) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < lo {
+		secs = lo
+	}
+	if secs > hi {
+		secs = hi
+	}
+	return secs
+}
+
+func setRetryAfter(w http.ResponseWriter, secs int) {
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // instrument wraps a handler with the serving plumbing: method check,
 // drain refusal, concurrency limiting with 429 backpressure, body size
-// limits, a per-request root span, per-endpoint metrics and structured
-// access logging correlated to the span.
+// limits, per-endpoint deadline budgets, a per-request root span,
+// per-endpoint metrics and structured access logging correlated to the
+// span. Probe endpoints (healthz, readyz) bypass the drain refusal and
+// the limiter: an orchestrator must be able to observe the drain, and a
+// saturated server must still answer its probes.
 func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Handler {
+	probe := endpoint == "healthz" || endpoint == "readyz"
+	budget := time.Duration(0)
+	if endpoint == "predict" || endpoint == "suitability" {
+		budget = s.cfg.PredictBudget
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
@@ -220,22 +349,33 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 		switch {
 		case method != "" && r.Method != method:
 			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		case probe:
+			h(rec, r)
 		case s.draining.Load():
-			rec.Header().Set("Retry-After", "1")
+			setRetryAfter(rec, s.retryAfterSeconds())
 			writeError(rec, http.StatusServiceUnavailable, "server is draining")
 		default:
-			select {
-			case s.sem <- struct{}{}:
+			switch err := s.limiter.Acquire(ctx); {
+			case err == nil:
 				s.o.inflight.Inc()
 				r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
-				h(rec, r)
+				if budget > 0 {
+					bctx, cancel := resilience.WithBudget(ctx, budget)
+					h(rec, r.WithContext(bctx))
+					cancel()
+				} else {
+					h(rec, r)
+				}
 				s.o.inflight.Dec()
-				<-s.sem
-			default:
+				s.limiter.Release()
+			case errors.Is(err, resilience.ErrSaturated):
 				s.o.rejected.Inc()
-				rec.Header().Set("Retry-After", "1")
+				setRetryAfter(rec, s.retryAfterSeconds())
 				writeError(rec, http.StatusTooManyRequests,
 					fmt.Sprintf("over %d requests in flight", s.cfg.MaxInFlight))
+			default:
+				// The client's context ended while queued.
+				writeError(rec, http.StatusServiceUnavailable, "request canceled while queued")
 			}
 		}
 
@@ -281,13 +421,14 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 	if s.cfg.FollowInterval > 0 {
 		followCtx, stopFollow := context.WithCancel(ctx)
 		defer stopFollow()
-		go s.registry.Follow(followCtx, s.cfg.FollowInterval)
+		go s.follow(followCtx, s.cfg.FollowInterval)
 	}
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
+	s.drainStart.Store(time.Now().UnixNano())
 	s.draining.Store(true)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
@@ -298,4 +439,34 @@ func (s *Server) serve(ctx context.Context, ln net.Listener) error {
 		return err
 	}
 	return nil
+}
+
+// follow is the breaker-guarded polling loop behind -follow: while the
+// reload breaker is open, polls are skipped entirely (counted as
+// short-circuits), so a corrupt or mid-flip model file is not re-parsed
+// every tick; once the cool-down passes a probe poll decides whether to
+// resume.
+func (s *Server) follow(ctx context.Context, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if s.reloadBreaker.Allow() != nil {
+				continue
+			}
+			err := faultpoint.Inject(ctx, fpReload)
+			if err == nil {
+				_, err = s.registry.ReloadIfChanged()
+			}
+			if err != nil {
+				s.registry.followFailures.Add(1)
+				s.reloadBreaker.RecordFailure()
+				continue
+			}
+			s.reloadBreaker.RecordSuccess()
+		}
+	}
 }

@@ -161,7 +161,12 @@ type PredictResponse struct {
 	EnergyJ      float64 `json:"energy_j"`
 	EDP          float64 `json:"edp"`
 	Cached       bool    `json:"cached"`
-	Error        string  `json:"error,omitempty"`
+	// Degraded marks a last-good answer served because the normal
+	// predict path could not run (no model loaded, or prediction
+	// failed). The value may have been computed under an older model
+	// generation.
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // WireHost carries the host-side (e.g. POWER9) execution numbers the

@@ -2,9 +2,11 @@
 # Full verification gate for the repo: static checks, build, the test
 # suite under the race detector, and live end-to-end smoke tests of the
 # napel-serve HTTP service (train a tiny model, start the server, hit
-# /healthz and /v1/predict, then check graceful drain on SIGTERM) and of
+# /healthz and /v1/predict, then check graceful drain on SIGTERM), of
 # the napel-traind lifecycle (submit a job, wait for promotion, serve
-# the promoted model).
+# the promoted model), and of the resilience layer (a -lazy server
+# flipping /readyz 503 -> 200, and a traind promoting under an injected
+# fault plan).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -26,7 +28,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/...
+go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/... ./internal/resilience/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -217,5 +219,125 @@ if ! wait "$traind_pid"; then
 fi
 traind_pid=""
 echo "lifecycle smoke test: job $job promoted, served prediction status $lpredict"
+
+echo "== chaos smoke test: lazy readiness =="
+# A -lazy server starts with no model: /healthz (liveness) must be 200
+# while /readyz (readiness) is 503, and /readyz must flip to 200 once
+# -follow installs a model at the watched path. The chaos flags ride
+# along to prove the plan parser and injection plumbing work end to end.
+rport=$(( (RANDOM % 20000) + 20000 ))
+rurl="http://127.0.0.1:$rport"
+chaos_model="$tmp/chaos-model.json" # does not exist yet
+"$tmp/napel-serve" -model "$chaos_model" -lazy -follow 200ms \
+    -chaos-seed 7 -chaos-spec 'serve.reload:0.05' \
+    -addr "127.0.0.1:$rport" -quiet 2>"$tmp/chaos-serve.log" &
+server_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$rurl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: lazy server never became live" >&2
+    cat "$tmp/chaos-serve.log" >&2
+    exit 1
+fi
+ready=$(curl -sS -o /dev/null -w '%{http_code}' "$rurl/readyz")
+if [ "$ready" != 503 ]; then
+    echo "verify: /readyz=$ready before any model (want 503)" >&2
+    exit 1
+fi
+cp "$tmp/model.json" "$chaos_model"
+ready=""
+for _ in $(seq 1 150); do
+    if curl -fsS -o /dev/null "$rurl/readyz" 2>/dev/null; then
+        ready=200
+        break
+    fi
+    sleep 0.2
+done
+if [ "$ready" != 200 ]; then
+    echo "verify: /readyz never flipped to 200 after the model appeared" >&2
+    cat "$tmp/chaos-serve.log" >&2
+    exit 1
+fi
+cpredict=$(curl -sS -o "$tmp/resp3.json" -w '%{http_code}' -d @"$tmp/req.json" "$rurl/v1/predict")
+if [ "$cpredict" != 200 ]; then
+    echo "verify: predict after lazy load: status=$cpredict" >&2
+    cat "$tmp/resp3.json" >&2
+    exit 1
+fi
+curl -sS -o "$tmp/chaos-metrics.txt" "$rurl/metrics"
+for series in napel_serve_ready napel_resilience_breaker_state napel_chaos_injected_total; do
+    if ! grep -q "$series" "$tmp/chaos-metrics.txt"; then
+        echo "verify: lazy server /metrics missing $series" >&2
+        cat "$tmp/chaos-metrics.txt" >&2
+        exit 1
+    fi
+done
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "chaos smoke test: readyz 503 -> $ready, predict $cpredict"
+
+echo "== chaos smoke test: traind promotes under injected faults =="
+# A traind with ~16% of atomic file operations failing (torn writes and
+# sync errors, deterministic under the fixed seed) must still drive a
+# job to promotion through its retry loop.
+cport=$(( (RANDOM % 20000) + 20000 ))
+curl_traind="http://127.0.0.1:$cport"
+"$tmp/napel-traind" -store "$tmp/chaos-store" -addr "127.0.0.1:$cport" \
+    -chaos-seed 7 -chaos-spec 'atomicfile.write:0.08:partial,atomicfile.sync:0.08' \
+    2>"$tmp/chaos-traind.log" &
+traind_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$curl_traind/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: chaos traind never became healthy" >&2
+    cat "$tmp/chaos-traind.log" >&2
+    exit 1
+fi
+# Submission itself can hit an injected fault; retry a few times.
+cjob=""
+for _ in $(seq 1 10); do
+    csubmit=$(curl -sS -d '{"kernels":["atax"],"train_scale":32,"max_iters":1,
+        "profile_budget":20000,"sim_budget":20000,"train_archs":2,"workers":2,
+        "max_retries":10}' "$curl_traind/v1/jobs")
+    cjob=$(printf '%s' "$csubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+    [ -n "$cjob" ] && break
+    sleep 0.2
+done
+if [ -z "$cjob" ]; then
+    echo "verify: chaos job submission failed: $csubmit" >&2
+    exit 1
+fi
+cstate=""
+for _ in $(seq 1 600); do
+    cstate=$(curl -sS "$curl_traind/v1/jobs/$cjob" | sed -n 's/.*"state"[: ]*"\([a-z]*\)".*/\1/p')
+    case "$cstate" in promoted|rejected|failed|canceled) break ;; esac
+    sleep 0.1
+done
+if [ "$cstate" != promoted ]; then
+    echo "verify: chaos job $cjob ended in state '$cstate' (want promoted)" >&2
+    curl -sS "$curl_traind/v1/jobs/$cjob" >&2
+    cat "$tmp/chaos-traind.log" >&2
+    exit 1
+fi
+injected=$(curl -sS "$curl_traind/metrics" | sed -n 's/^napel_chaos_injected_total \([0-9.e+]*\)$/\1/p')
+if [ -z "$injected" ] || [ "$injected" = 0 ]; then
+    echo "verify: chaos traind reports no injected faults (napel_chaos_injected_total='$injected')" >&2
+    exit 1
+fi
+kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
+traind_pid=""
+echo "chaos smoke test: job $cjob promoted with $injected injected faults"
 
 echo "verify: OK"
