@@ -45,6 +45,7 @@ type traindObs struct {
 func newTraindObs(m *Manager, tracer *obs.Tracer) *traindObs {
 	reg := obs.NewRegistry()
 	obs.RegisterBuildInfo(reg, "napel-traind")
+	obs.RegisterRuntimeMetrics(reg)
 	o := &traindObs{
 		reg:    reg,
 		tracer: tracer,

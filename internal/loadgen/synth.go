@@ -1,0 +1,281 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"napel/internal/pisa"
+	"napel/internal/serve"
+	"napel/internal/xrand"
+)
+
+// SynthConfig controls request synthesis. The zero value (plus a seed)
+// is a working configuration.
+type SynthConfig struct {
+	// Seed drives every stochastic choice; identical seeds produce
+	// byte-identical bodies and op schedules.
+	Seed uint64
+	// Keyspace is how many distinct request variants exist per class
+	// (default 32). Smaller keyspaces raise the server's cache hit
+	// ratio; larger ones approach a cold-cache workload.
+	Keyspace int
+	// BatchSize is the item count of each batched predict body
+	// (default 16).
+	BatchSize int
+	// Model names the registry entry requests ask for; empty selects
+	// the server's default model.
+	Model string
+	// Base, when non-nil, supplies the kernel profile: variants reuse
+	// its profile and vary only the architecture point and thread
+	// count (the realistic shape — one profiled kernel, many design
+	// points). When nil, profiles are fully synthetic: valid wire
+	// profiles with seeded feature values, which exercise the identical
+	// server path since the predictor is distribution-agnostic at the
+	// wire level.
+	Base *serve.PredictRequest
+}
+
+func (c SynthConfig) withDefaults() SynthConfig {
+	if c.Keyspace <= 0 {
+		c.Keyspace = 32
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	return c
+}
+
+// Generator owns the pregenerated request variants and the deterministic
+// op schedule. All methods are safe for concurrent use after
+// construction: scheduling is a pure function of (seed, index) and the
+// pregenerated state is read-only.
+type Generator struct {
+	cfg  SynthConfig
+	mix  Mix
+	cum  [numKinds]float64
+	reqs []serve.PredictRequest
+	// Pregenerated bodies per class, indexed by variant. Marshaling
+	// happens once at construction: the hot path only picks slices, so
+	// generator overhead cannot distort latency measurements, and body
+	// bytes are trivially identical across same-seed runs.
+	single [][]byte
+	batch  [][]byte
+	suit   [][]byte
+	// batchIdx records which variant each batch item came from, so the
+	// prober can match served batch items back to their requests.
+	batchIdx [][]int
+}
+
+// mix64 is splitmix64's finalizer: a bijective scramble turning an op
+// index into a decorrelated seed offset.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream tags for deriving independent xrand streams from one seed.
+const (
+	streamSchedule = 0x5ca1ab1e
+	streamVariant  = 0xbeefcafe
+	streamBatch    = 0x0ddba11
+	streamArrival  = 0xf1ee7d0e
+)
+
+// NewGenerator pregenerates the variant bodies for every class in the
+// mix.
+func NewGenerator(cfg SynthConfig, mix Mix) (*Generator, error) {
+	cfg = cfg.withDefaults()
+	cum, err := mix.weights()
+	if err != nil {
+		return nil, err
+	}
+	g := &Generator{cfg: cfg, mix: mix, cum: cum}
+
+	g.reqs = make([]serve.PredictRequest, cfg.Keyspace)
+	g.single = make([][]byte, cfg.Keyspace)
+	g.suit = make([][]byte, cfg.Keyspace)
+	for v := 0; v < cfg.Keyspace; v++ {
+		r := xrand.New(cfg.Seed ^ mix64(uint64(v)*2+streamVariant))
+		g.reqs[v] = synthRequest(r, cfg)
+		if g.single[v], err = json.Marshal(&g.reqs[v]); err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling variant %d: %w", v, err)
+		}
+		sreq := serve.SuitabilityRequest{
+			PredictRequest: g.reqs[v],
+			// A seeded positive host EDP; the absolute value only
+			// steers the verdict, which the prober recomputes anyway.
+			Host: serve.WireHost{EDP: 1e-3 * (1 + r.Float64())},
+		}
+		if g.suit[v], err = json.Marshal(&sreq); err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling suitability %d: %w", v, err)
+		}
+	}
+
+	g.batch = make([][]byte, cfg.Keyspace)
+	g.batchIdx = make([][]int, cfg.Keyspace)
+	for b := 0; b < cfg.Keyspace; b++ {
+		r := xrand.New(cfg.Seed ^ mix64(uint64(b)*2+streamBatch))
+		items := make([]serve.PredictRequest, cfg.BatchSize)
+		g.batchIdx[b] = make([]int, cfg.BatchSize)
+		for i := range items {
+			v := r.Intn(cfg.Keyspace)
+			g.batchIdx[b][i] = v
+			items[i] = g.reqs[v]
+		}
+		if g.batch[b], err = json.Marshal(items); err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling batch %d: %w", b, err)
+		}
+	}
+	return g, nil
+}
+
+// synthRequest builds variant bodies. With a base request, only the
+// architecture point and thread count vary; otherwise the profile is
+// synthesized too.
+func synthRequest(r *xrand.Rand, cfg SynthConfig) serve.PredictRequest {
+	req := serve.PredictRequest{Model: cfg.Model}
+	if cfg.Base != nil {
+		req.Profile = cfg.Base.Profile
+		if cfg.Model == "" {
+			req.Model = cfg.Base.Model
+		}
+	} else {
+		req.Profile = synthProfile(r)
+	}
+	// Architecture points from small validated menus around the Table 3
+	// baseline (zero keeps the baseline value, mirroring the wire
+	// contract).
+	pes := []int{0, 2, 4, 8, 16}[r.Intn(5)]
+	req.Arch = serve.WireArch{
+		PEs:     pes,
+		FreqGHz: []float64{0, 1.25, 1.5, 2}[r.Intn(4)],
+		L1Lines: []int{0, 256, 512, 1024}[r.Intn(4)],
+	}
+	if r.Float64() < 0.25 {
+		req.Arch.Core = "ooo"
+	}
+	// Threads: default (one per PE) most of the time, sometimes pinned.
+	if r.Float64() < 0.3 {
+		t := pes
+		if t == 0 {
+			t = 4
+		}
+		req.Threads = t
+	}
+	return req
+}
+
+// synthProfile fabricates a wire-valid kernel profile: every pisa
+// feature present and finite, a monotone hit-fraction curve, and a
+// plausible instruction total. The values need no physical meaning —
+// the server assembles and predicts over them exactly as it would over
+// a real profile, which is the property load generation measures.
+func synthProfile(r *xrand.Rand) serve.WireProfile {
+	names := pisa.FeatureNames()
+	feats := make(map[string]float64, len(names))
+	for _, n := range names {
+		feats[n] = r.Float64()
+	}
+	curve := make([]float64, 24)
+	hit := r.Float64() * 0.2
+	for i := range curve {
+		hit += (1 - hit) * r.Float64() * 0.3
+		if hit > 1 {
+			hit = 1
+		}
+		curve[i] = hit
+	}
+	total := 1e6 * (1 + 9*r.Float64())
+	return serve.WireProfile{
+		SimInstrs:      uint64(total / 10),
+		Coverage:       0.1,
+		TotalInstrs:    total,
+		FootprintBytes: 1 << 20,
+		Features:       feats,
+		HitCurve:       curve,
+	}
+}
+
+// Op returns the i-th scheduled request. The schedule is a pure
+// function of (seed, mix, keyspace, i): any worker may claim any index
+// at any time and the overall sequence is still byte-identical across
+// runs.
+func (g *Generator) Op(i uint64) Op {
+	r := xrand.New(g.cfg.Seed ^ mix64(i*2+streamSchedule))
+	u := r.Float64()
+	k := KindPredict
+	for ; k < KindSuitability; k++ {
+		if u < g.cum[k] {
+			break
+		}
+	}
+	return Op{Kind: k, Variant: r.Intn(g.cfg.Keyspace)}
+}
+
+// Body returns the pregenerated bytes for op. Callers must not mutate
+// the returned slice.
+func (g *Generator) Body(op Op) []byte {
+	switch op.Kind {
+	case KindBatch:
+		return g.batch[op.Variant]
+	case KindSuitability:
+		return g.suit[op.Variant]
+	default:
+		return g.single[op.Variant]
+	}
+}
+
+// Request returns the variant's request object (the batch class shares
+// these items). The pointer aliases generator state; treat as
+// read-only.
+func (g *Generator) Request(variant int) *serve.PredictRequest { return &g.reqs[variant] }
+
+// BatchItems reports how many predictions one batch body carries.
+func (g *Generator) BatchItems() int { return g.cfg.BatchSize }
+
+// BatchVariants returns the variant index behind each item of the given
+// batch body, aligning served batch items with their source requests.
+func (g *Generator) BatchVariants(batch int) []int { return g.batchIdx[batch] }
+
+// Interarrival returns the i-th open-loop gap for a target rate:
+// exponential with mean 1/rps, deterministic per (seed, i).
+func (g *Generator) Interarrival(i uint64, rps float64) time.Duration {
+	r := xrand.New(g.cfg.Seed ^ mix64(i*2+streamArrival))
+	return time.Duration(r.ExpFloat64() / rps * float64(time.Second))
+}
+
+// ScheduleDigest hashes the first n ops — the replayability attestation
+// embedded in BENCH reports: equal seeds and mixes yield equal digests.
+func (g *Generator) ScheduleDigest(n uint64) string {
+	h := fnv.New64a()
+	var buf [16]byte
+	for i := uint64(0); i < n; i++ {
+		op := g.Op(i)
+		putUint64(buf[:8], uint64(op.Kind))
+		putUint64(buf[8:], uint64(op.Variant))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BodyDigest hashes every pregenerated body, attesting that two runs
+// sent byte-identical payloads.
+func (g *Generator) BodyDigest() string {
+	h := fnv.New64a()
+	for _, set := range [][][]byte{g.single, g.batch, g.suit} {
+		for _, b := range set {
+			h.Write(b)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

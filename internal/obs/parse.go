@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is one parsed scrape of a Prometheus text exposition: every
+// sample line keyed by its full series identity (name plus the label
+// block exactly as written). It is the read side of WriteText, used by
+// napel-loadgen to scrape a server's /metrics before and after a run and
+// attribute allocations, GC work and cache behavior to the load between
+// the two scrapes.
+type Snapshot map[string]float64
+
+// ParseText parses text exposition format 0.0.4 as produced by
+// Registry.WriteText: comment/HELP/TYPE lines are skipped, each sample
+// line becomes one Snapshot entry. Unparseable sample lines are an
+// error — a scrape either parses completely or not at all.
+func ParseText(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the series (name
+		// plus optional label block, which may itself contain spaces
+		// inside quoted values) is everything before it.
+		cut := strings.LastIndexByte(text, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("obs: exposition line %d has no value: %q", line, text)
+		}
+		series := strings.TrimSpace(text[:cut])
+		v, err := strconv.ParseFloat(text[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d value: %w", line, err)
+		}
+		snap[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Value returns the sample for the exact series identity (including any
+// label block), or 0 when absent.
+func (s Snapshot) Value(series string) float64 { return s[series] }
+
+// Has reports whether the exact series identity was scraped.
+func (s Snapshot) Has(series string) bool {
+	_, ok := s[series]
+	return ok
+}
+
+// SumFamily sums every series of the named family: the bare name and
+// any labeled variants name{...}. Histogram component series (_bucket,
+// _sum, _count) are distinct families and are not folded in.
+func (s Snapshot) SumFamily(name string) float64 {
+	total := 0.0
+	prefix := name + "{"
+	for series, v := range s {
+		if series == name || strings.HasPrefix(series, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// Delta returns the per-series change from before to s for the exact
+// series identity — the standard before/after attribution for counters.
+func (s Snapshot) Delta(before Snapshot, series string) float64 {
+	return s[series] - before[series]
+}
+
+// DeltaFamily returns the change in SumFamily from before to s.
+func (s Snapshot) DeltaFamily(before Snapshot, name string) float64 {
+	return s.SumFamily(name) - before.SumFamily(name)
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The parser must read back exactly what WriteText writes: every kind of
+// family, labeled and bare, histogram components included.
+func TestParseTextRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_requests_total", "").Add(7)
+	r.Gauge("t_inflight", "").Set(3.5)
+	cv := r.CounterVec("t_by_endpoint_total", "", "endpoint", "class")
+	cv.With("predict", "2xx").Add(11)
+	cv.With("predict", "5xx").Add(2)
+	cv.With("with space", `qu"ote`).Add(1)
+	h := r.Histogram("t_latency_seconds", "", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.CounterFunc("t_func_total", "", func() float64 { return 42 })
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, buf.String())
+	}
+
+	cases := map[string]float64{
+		"t_requests_total": 7,
+		"t_inflight":       3.5,
+		`t_by_endpoint_total{endpoint="predict",class="2xx"}`: 11,
+		`t_by_endpoint_total{endpoint="predict",class="5xx"}`: 2,
+		"t_func_total":                        42,
+		`t_latency_seconds_bucket{le="0.1"}`:  1,
+		`t_latency_seconds_bucket{le="1"}`:    2,
+		`t_latency_seconds_bucket{le="+Inf"}`: 3,
+		"t_latency_seconds_count":             3,
+	}
+	for series, want := range cases {
+		if got := snap.Value(series); got != want {
+			t.Errorf("%s = %g, want %g", series, got, want)
+		}
+	}
+	if !snap.Has("t_requests_total") || snap.Has("t_missing") {
+		t.Error("Has misreports series presence")
+	}
+	if got := snap.SumFamily("t_by_endpoint_total"); got != 14 {
+		t.Errorf("SumFamily = %g, want 14 (labeled series incl. escaped labels)", got)
+	}
+	// _bucket series are their own family, not folded into the base name.
+	if got := snap.SumFamily("t_latency_seconds"); got != 0 {
+		t.Errorf("SumFamily(histogram base) = %g, want 0", got)
+	}
+}
+
+func TestParseTextDeltas(t *testing.T) {
+	before, err := ParseText(strings.NewReader("a_total 10\nb_total{x=\"1\"} 5\nb_total{x=\"2\"} 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseText(strings.NewReader("a_total 25\nb_total{x=\"1\"} 9\nb_total{x=\"2\"} 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := after.Delta(before, "a_total"); d != 15 {
+		t.Errorf("Delta = %g, want 15", d)
+	}
+	if d := after.DeltaFamily(before, "b_total"); d != 6 {
+		t.Errorf("DeltaFamily = %g, want 6", d)
+	}
+	// A series absent from the earlier scrape deltas from zero.
+	if d := after.Delta(Snapshot{}, "a_total"); d != 25 {
+		t.Errorf("Delta vs empty = %g, want 25", d)
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"no_value_here\n", "name notanumber\n"} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted garbage", bad)
+		}
+	}
+	// Blank lines and comments alone are a valid (empty) scrape.
+	snap, err := ParseText(strings.NewReader("\n# HELP x y\n# TYPE x counter\n"))
+	if err != nil || len(snap) != 0 {
+		t.Errorf("comment-only scrape: snap=%v err=%v", snap, err)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParseText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		"napel_process_alloc_bytes_total",
+		"napel_process_mallocs_total",
+		"napel_process_gc_cycles_total",
+		"napel_process_gc_pause_seconds_total",
+		"napel_process_heap_alloc_bytes",
+		"napel_process_goroutines",
+	} {
+		if !snap.Has(series) {
+			t.Errorf("missing %s in exposition:\n%s", series, buf.String())
+		}
+	}
+	if snap.Value("napel_process_alloc_bytes_total") <= 0 {
+		t.Error("a running test process must have allocated something")
+	}
+	if snap.Value("napel_process_goroutines") < 1 {
+		t.Error("goroutine gauge must be at least 1")
+	}
+}

@@ -228,6 +228,10 @@ func New(cfg Config) (*Server, error) {
 	m.CounterFunc("napel_chaos_injected_total",
 		"Faults fired by the installed chaos plan (0 when chaos is off).",
 		func() float64 { return float64(faultpoint.TotalInjected()) })
+	// Process-level allocation/GC series, so a load generator scraping
+	// /metrics before and after a run can attribute allocs and GC work
+	// to the requests in between.
+	obs.RegisterRuntimeMetrics(m)
 	s.reloadBreaker.Register(m)
 	return s, nil
 }

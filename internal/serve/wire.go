@@ -205,6 +205,28 @@ type SuitabilityResponse struct {
 	Verdict string `json:"verdict"`
 }
 
+// Assemble resolves the request into the exact model input the server
+// would evaluate: the 395+arch feature vector, the extrapolated
+// instruction total, the validated architecture point and the resolved
+// thread count. It is the prober hook behind napel-loadgen's
+// correctness checks — a client holding the same model file can compute
+// the prediction the server must return, bit for bit.
+func (req *PredictRequest) Assemble() (feat []float64, totalInstrs float64, cfg nmcsim.Config, threads int, err error) {
+	return req.assemble()
+}
+
+// Expected computes the prediction a server holding p must serve for
+// req (excluding degraded answers, which may come from an older
+// generation). Served and expected values are bit-identical because
+// both sides run PredictAssembled over the same assembled vector.
+func Expected(p *napel.Predictor, req *PredictRequest) (napel.Prediction, error) {
+	feat, totalInstrs, cfg, threads, err := req.assemble()
+	if err != nil {
+		return napel.Prediction{}, err
+	}
+	return p.PredictAssembled(feat, totalInstrs, cfg, threads), nil
+}
+
 // assemble turns a request into the model-ready feature vector and the
 // resolved run context, shared by predict and suitability.
 func (req *PredictRequest) assemble() (feat []float64, totalInstrs float64, cfg nmcsim.Config, threads int, err error) {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -146,5 +147,47 @@ func TestHitCurveMatchesProfile(t *testing.T) {
 		if got := wp.HitCurve[idx]; got != want {
 			t.Fatalf("hit curve at %d lines = %g, want %g", lines, got, want)
 		}
+	}
+}
+
+// TestExpectedMatchesServed is the correctness-prober contract: a client
+// holding the same model file computes via Expected exactly the
+// prediction the serving path returns — including after a JSON round
+// trip of the request body, which must not perturb any float.
+func TestExpectedMatchesServed(t *testing.T) {
+	f := fixture(t)
+	s, _ := newTestServer(t, Config{})
+	req := PredictRequest{
+		Profile: NewWireProfile(f.prof),
+		Arch:    WireArch{PEs: 8, FreqGHz: 1.5},
+		Threads: f.threads,
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wired PredictRequest
+	if err := json.Unmarshal(body, &wired); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Expected(f.predA, &wired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, apiErr := s.predictOne(context.Background(), &wired)
+	if apiErr != nil {
+		t.Fatalf("predictOne: %v", apiErr.msg)
+	}
+	if resp.EDP != want.EDP || resp.IPC != want.IPC || resp.EPI != want.EPI ||
+		resp.TimeSec != want.TimeSec || resp.EnergyJ != want.EnergyJ {
+		t.Fatalf("served %+v diverges from Expected %+v", resp, want)
+	}
+	// Assemble is the exported face of the private assemble.
+	feat, totalInstrs, _, threads, err := wired.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feat) == 0 || totalInstrs != wired.Profile.TotalInstrs || threads != f.threads {
+		t.Fatalf("Assemble: len(feat)=%d totalInstrs=%g threads=%d", len(feat), totalInstrs, threads)
 	}
 }

@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogHist is a log-bucketed quantile histogram in the HDR style: bucket
+// upper bounds grow geometrically from Min by the Growth factor, so a
+// quantile estimate carries a bounded relative error of at most
+// (Growth-1) regardless of the value's magnitude. It is the latency
+// sketch behind napel-loadgen's BENCH reports: per-endpoint histograms
+// are recorded worker-locally, merged, and queried for p50/p90/p99/p99.9
+// without retaining individual samples.
+//
+// Bucket 0 holds values below Min (including zero and negatives, which
+// clamp); bucket i >= 1 covers [bound[i-1], bound[i]) where
+// bound[i] = Min*Growth^i, with the last bucket absorbing everything
+// beyond the configured range. Exact minimum and maximum are tracked on
+// the side, so Quantile(0) and Quantile(1) are exact and interior
+// quantiles clamp into [Min(), Max()].
+//
+// LogHist is not safe for concurrent use; keep one per goroutine and
+// Merge at the end.
+type LogHist struct {
+	min    float64
+	growth float64
+	bounds []float64 // bounds[i] = min * growth^(i+1): upper bound of bucket i+1
+	counts []uint64  // len(bounds)+2: underflow bucket 0, then one per bound, then overflow
+	total  uint64
+	sum    float64
+	loVal  float64 // exact minimum seen
+	hiVal  float64 // exact maximum seen
+}
+
+// NewLogHist builds a histogram over [min, max) with geometrically
+// growing buckets. It panics on min <= 0, max <= min, or growth <= 1 —
+// construction parameters are programmer decisions, not data.
+func NewLogHist(min, max, growth float64) *LogHist {
+	if min <= 0 || math.IsNaN(min) {
+		panic("stats: LogHist min must be positive")
+	}
+	if max <= min {
+		panic("stats: LogHist max must exceed min")
+	}
+	if growth <= 1 || math.IsNaN(growth) {
+		panic("stats: LogHist growth must exceed 1")
+	}
+	n := int(math.Ceil(math.Log(max/min) / math.Log(growth)))
+	if n < 1 {
+		n = 1
+	}
+	bounds := make([]float64, n)
+	b := min
+	for i := range bounds {
+		b *= growth
+		bounds[i] = b
+	}
+	return &LogHist{
+		min:    min,
+		growth: growth,
+		bounds: bounds,
+		counts: make([]uint64, n+2),
+		loVal:  math.Inf(1),
+		hiVal:  math.Inf(-1),
+	}
+}
+
+// NewLatencyHist returns the histogram used for request latencies in
+// seconds: 1 µs to 100 s with 2% buckets (~930 buckets, ~7.5 KiB).
+func NewLatencyHist() *LogHist { return NewLogHist(1e-6, 100, 1.02) }
+
+// bucketIndex locates v's bucket by binary search over the stored
+// bounds, so boundary placement is exact with respect to those bounds
+// rather than subject to floating-point log/exp drift: a value equal to
+// a bucket's upper bound lands in the next bucket.
+func (h *LogHist) bucketIndex(v float64) int {
+	if v < h.min || math.IsNaN(v) {
+		return 0
+	}
+	// First bucket whose upper bound exceeds v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) && h.bounds[i] == v {
+		i++
+	}
+	if i >= len(h.bounds) {
+		return len(h.counts) - 1
+	}
+	return i + 1
+}
+
+// Add records one value.
+func (h *LogHist) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	h.counts[h.bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v < h.loVal {
+		h.loVal = v
+	}
+	if v > h.hiVal {
+		h.hiVal = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *LogHist) Count() uint64 { return h.total }
+
+// Sum returns the sum of recorded values.
+func (h *LogHist) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (h *LogHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Min returns the exact smallest recorded value, or 0 when empty.
+func (h *LogHist) Min() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.loVal
+}
+
+// Max returns the exact largest recorded value, or 0 when empty.
+func (h *LogHist) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.hiVal
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) with
+// relative error bounded by the growth factor: the geometric midpoint of
+// the bucket holding the q-th sample, clamped into [Min(), Max()]. An
+// empty histogram returns 0.
+func (h *LogHist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.loVal
+	}
+	if q >= 1 {
+		return h.hiVal
+	}
+	// Rank of the q-th sample, 1-based, matching the nearest-rank
+	// definition: the smallest value with at least ceil(q*n) samples at
+	// or below it.
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	idx := len(h.counts) - 1
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			idx = i
+			break
+		}
+	}
+	return h.clamp(h.bucketMid(idx))
+}
+
+// bucketMid returns a representative value for bucket i: the geometric
+// midpoint of its bounds (buckets are log-spaced, so the geometric
+// middle halves the relative error).
+func (h *LogHist) bucketMid(i int) float64 {
+	switch {
+	case i == 0:
+		return h.min / 2
+	case i >= len(h.counts)-1:
+		return h.bounds[len(h.bounds)-1]
+	case i == 1:
+		return math.Sqrt(h.min * h.bounds[0])
+	default:
+		return math.Sqrt(h.bounds[i-2] * h.bounds[i-1])
+	}
+}
+
+func (h *LogHist) clamp(v float64) float64 {
+	if v < h.loVal {
+		return h.loVal
+	}
+	if v > h.hiVal {
+		return h.hiVal
+	}
+	return v
+}
+
+// Merge adds o's samples into h. Both histograms must share identical
+// bucketing (same min, growth and bucket count); Merge returns an error
+// otherwise rather than silently mixing incompatible sketches.
+func (h *LogHist) Merge(o *LogHist) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if h.min != o.min || h.growth != o.growth || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("stats: merging incompatible LogHists (min %g/%g growth %g/%g buckets %d/%d)",
+			h.min, o.min, h.growth, o.growth, len(h.counts), len(o.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.loVal < h.loVal {
+		h.loVal = o.loVal
+	}
+	if o.hiVal > h.hiVal {
+		h.hiVal = o.hiVal
+	}
+	return nil
+}
+
+// logHistWire is the serialized form: construction parameters, moments,
+// and the sparse non-zero buckets as [index, count] pairs in ascending
+// index order — deterministic bytes for identical histograms.
+type logHistWire struct {
+	Min     float64     `json:"min"`
+	Growth  float64     `json:"growth"`
+	Bounds  int         `json:"bounds"`
+	Count   uint64      `json:"count"`
+	Sum     float64     `json:"sum"`
+	MinSeen float64     `json:"min_seen,omitempty"`
+	MaxSeen float64     `json:"max_seen,omitempty"`
+	Buckets [][2]uint64 `json:"buckets,omitempty"`
+}
+
+// MarshalJSON serializes the histogram deterministically: equal
+// histograms produce byte-identical encodings.
+func (h *LogHist) MarshalJSON() ([]byte, error) {
+	w := logHistWire{
+		Min:    h.min,
+		Growth: h.growth,
+		Bounds: len(h.bounds),
+		Count:  h.total,
+		Sum:    h.sum,
+	}
+	if h.total > 0 {
+		w.MinSeen = h.loVal
+		w.MaxSeen = h.hiVal
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			w.Buckets = append(w.Buckets, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a histogram serialized by MarshalJSON. The
+// bucket layout is rebuilt from (min, growth, bounds) with the same
+// iterated products as construction, so a round-tripped histogram is
+// Merge-compatible with (and equal to) the original.
+func (h *LogHist) UnmarshalJSON(data []byte) error {
+	var w logHistWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&w); err != nil {
+		return err
+	}
+	if w.Min <= 0 || w.Growth <= 1 || w.Bounds < 1 {
+		return fmt.Errorf("stats: LogHist wire form has invalid layout (min %g growth %g bounds %d)",
+			w.Min, w.Growth, w.Bounds)
+	}
+	n := &LogHist{
+		min:    w.Min,
+		growth: w.Growth,
+		bounds: make([]float64, w.Bounds),
+		counts: make([]uint64, w.Bounds+2),
+		loVal:  math.Inf(1),
+		hiVal:  math.Inf(-1),
+	}
+	b := w.Min
+	for i := range n.bounds {
+		b *= w.Growth
+		n.bounds[i] = b
+	}
+	for _, pair := range w.Buckets {
+		if pair[0] >= uint64(len(n.counts)) {
+			return fmt.Errorf("stats: LogHist bucket index %d out of range %d", pair[0], len(n.counts))
+		}
+		n.counts[pair[0]] = pair[1]
+	}
+	n.total = w.Count
+	n.sum = w.Sum
+	if w.Count > 0 {
+		n.loVal = w.MinSeen
+		n.hiVal = w.MaxSeen
+	}
+	*h = *n
+	return nil
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"napel/internal/xrand"
+)
+
+func TestLogHistBucketBoundaries(t *testing.T) {
+	h := NewLogHist(1, 1024, 2) // bounds: 2, 4, 8, ..., 1024
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},          // below min -> underflow
+		{0.5, 0},        // below min
+		{1, 1},          // exactly min -> first real bucket [1, 2)
+		{1.999, 1},      // just under the first bound
+		{2, 2},          // exactly on a bound -> next bucket [2, 4)
+		{3, 2},          // interior
+		{4, 3},          // next boundary
+		{1023, 10},      // inside the last sized bucket [512, 1024)
+		{1024, 11},      // exactly the top bound -> overflow bucket
+		{1 << 30, 11},   // far beyond the range saturates
+		{math.NaN(), 0}, // NaN classifies as underflow (Add drops it anyway)
+	}
+	for _, c := range cases {
+		if got := h.bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLogHistSingleSample(t *testing.T) {
+	h := NewLatencyHist()
+	h.Add(0.00314)
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 0.00314 {
+			t.Errorf("Quantile(%g) with one sample = %g, want exactly 0.00314", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Mean() != 0.00314 || h.Min() != 0.00314 || h.Max() != 0.00314 {
+		t.Errorf("single-sample moments wrong: count=%d mean=%g min=%g max=%g",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestLogHistEmpty(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must answer 0 everywhere")
+	}
+}
+
+func TestLogHistQuantileError(t *testing.T) {
+	// Against the exact sorted-slice quantile, the sketch must stay
+	// within the growth factor's relative error for interior quantiles.
+	r := xrand.New(11)
+	h := NewLatencyHist()
+	xs := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~4 decades, the shape of a latency mix.
+		v := math.Exp(math.Log(1e-5) + r.Float64()*math.Log(1e4))
+		h.Add(v)
+		xs = append(xs, v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.03 {
+			t.Errorf("Quantile(%g) = %g vs exact %g (rel err %.4f > 3%%)", q, got, exact, rel)
+		}
+	}
+	if h.Quantile(0) != Min(xs) || h.Quantile(1) != Max(xs) {
+		t.Error("extreme quantiles must be exact")
+	}
+}
+
+func TestLogHistMerge(t *testing.T) {
+	r := xrand.New(5)
+	a, b, all := NewLatencyHist(), NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 5000; i++ {
+		v := r.ExpFloat64() / 100
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merge moments diverge: count %d/%d min %g/%g max %g/%g",
+			a.Count(), all.Count(), a.Min(), all.Min(), a.Max(), all.Max())
+	}
+	// Sums are accumulated in different orders, so compare to float slop.
+	if rel := math.Abs(a.Sum()-all.Sum()) / all.Sum(); rel > 1e-12 {
+		t.Errorf("merge sum %g vs %g (rel err %g)", a.Sum(), all.Sum(), rel)
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("merge Quantile(%g) = %g, want %g", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	other := NewLogHist(1, 10, 2)
+	other.Add(3)
+	if err := a.Merge(other); err == nil {
+		t.Error("merging incompatible layouts must fail")
+	}
+	// Merging a nil or empty histogram is a no-op, not an error.
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	if err := a.Merge(NewLatencyHist()); err != nil {
+		t.Errorf("empty merge: %v", err)
+	}
+}
+
+func TestLogHistSerializationDeterministic(t *testing.T) {
+	build := func() *LogHist {
+		h := NewLatencyHist()
+		r := xrand.New(9)
+		for i := 0; i < 1000; i++ {
+			h.Add(r.ExpFloat64() / 50)
+		}
+		return h
+	}
+	h1, h2 := build(), build()
+	j1, err := json.Marshal(h1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("identical histograms must serialize byte-identically")
+	}
+
+	var back LogHist
+	if err := json.Unmarshal(j1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != h1.Count() || back.Sum() != h1.Sum() ||
+		back.Min() != h1.Min() || back.Max() != h1.Max() ||
+		back.Quantile(0.99) != h1.Quantile(0.99) {
+		t.Error("round-tripped histogram diverges from the original")
+	}
+	// The round-tripped histogram stays merge-compatible.
+	if err := back.Merge(h1); err != nil {
+		t.Errorf("round-tripped histogram not merge-compatible: %v", err)
+	}
+	rt, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(rt, j1) {
+		// back merged h1 so it must differ now; sanity that the check above compared real state
+		t.Error("merge did not change serialized state")
+	}
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Performance-trajectory benchmark: train a tiny model, start
+# napel-serve, drive it with napel-loadgen's replayable mixed workload
+# (correctness probing on), and write the machine-readable BENCH_<pr>.json
+# report at the repo root. One committed report per performance-relevant
+# PR turns these files into a perf trajectory: compare per-endpoint
+# quantiles, throughput and server-side alloc/GC attribution across
+# revisions, replayed from the same seed.
+#
+# Usage: ./scripts/bench.sh [out.json]
+# Env:   BENCH_PR       report/filename key        (default 6)
+#        BENCH_SEED     workload seed              (default 1)
+#        BENCH_REQUESTS scheduled requests         (default 2000)
+#        BENCH_WORKERS  closed-loop clients        (default 8)
+#        BENCH_SLO_P99  p99 gate                   (default 250ms)
+#        BENCH_MIN_RPS  throughput gate            (default 50)
+#
+# Exit code is napel-loadgen's: 0 pass, 3 SLO violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pr=${BENCH_PR:-6}
+out=${1:-BENCH_${pr}.json}
+seed=${BENCH_SEED:-1}
+requests=${BENCH_REQUESTS:-2000}
+workers=${BENCH_WORKERS:-8}
+slo_p99=${BENCH_SLO_P99:-250ms}
+min_rps=${BENCH_MIN_RPS:-50}
+
+tmp=$(mktemp -d)
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "== bench: building =="
+go build -o "$tmp/napel" ./cmd/napel
+go build -o "$tmp/napel-serve" ./cmd/napel-serve
+go build -o "$tmp/napel-loadgen" ./cmd/napel-loadgen
+
+echo "== bench: training workload model =="
+# The same tiny single-kernel model the verify smoke uses: the bench
+# measures the serving stack, not model quality, and must stay fast.
+"$tmp/napel" train -kernels atax -train-scale 32 \
+    -train-sim-budget 20000 -train-profile-budget 20000 \
+    -out "$tmp/model.json" >/dev/null
+"$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
+    -budget 20000 -out "$tmp/req.json"
+
+port=$(( (RANDOM % 20000) + 20000 ))
+url="http://127.0.0.1:$port"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$port" -quiet \
+    2>"$tmp/server.log" &
+server_pid=$!
+for _ in $(seq 1 50); do
+    curl -fsS -o /dev/null "$url/healthz" 2>/dev/null && break
+    sleep 0.1
+done
+
+echo "== bench: pr=$pr seed=$seed requests=$requests workers=$workers =="
+status=0
+"$tmp/napel-loadgen" -target "$url" \
+    -requests "$requests" -workers "$workers" -seed "$seed" -keyspace 16 \
+    -base "$tmp/req.json" -probe-model "$tmp/model.json" \
+    -slo-p99 "$slo_p99" -min-rps "$min_rps" -max-error-rate 0 \
+    -pr "$pr" -out "$out" || status=$?
+
+kill -TERM "$server_pid" 2>/dev/null
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
+
+if [ "$status" -ne 0 ]; then
+    echo "bench: FAILED (exit $status), report in $out" >&2
+    exit "$status"
+fi
+echo "bench: OK, report written to $out"

@@ -4,9 +4,11 @@
 # napel-serve HTTP service (train a tiny model, start the server, hit
 # /healthz and /v1/predict, then check graceful drain on SIGTERM), of
 # the napel-traind lifecycle (submit a job, wait for promotion, serve
-# the promoted model), and of the resilience layer (a -lazy server
-# flipping /readyz 503 -> 200, and a traind promoting under an injected
-# fault plan).
+# the promoted model), of the resilience layer (a -lazy server flipping
+# /readyz 503 -> 200, and a traind promoting under an injected fault
+# plan), and of napel-loadgen (two same-seed runs replaying identical
+# request schedules with correctness probing, then a chaos-under-load
+# run proving degraded-mode serving holds a relaxed SLO).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -339,5 +341,100 @@ fi
 kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
 traind_pid=""
 echo "chaos smoke test: job $cjob promoted with $injected injected faults"
+
+echo "== loadgen smoke test: deterministic replay =="
+# Two napel-loadgen runs with the same seed against the same server must
+# attest identical request schedules (schedule/body digests) and pass
+# their SLO gates, with the correctness prober verifying sampled
+# responses against the local model file.
+go build -o "$tmp/napel-loadgen" ./cmd/napel-loadgen
+gport=$(( (RANDOM % 20000) + 20000 ))
+gurl="http://127.0.0.1:$gport"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$gport" -quiet \
+    2>"$tmp/lg-serve.log" &
+server_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$gurl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: loadgen target server never became healthy" >&2
+    cat "$tmp/lg-serve.log" >&2
+    exit 1
+fi
+for run in 1 2; do
+    if ! "$tmp/napel-loadgen" -target "$gurl" -requests 300 -workers 4 \
+        -seed 11 -keyspace 8 -base "$tmp/req.json" \
+        -probe-model "$tmp/model.json" -probe-every 2 \
+        -max-error-rate 0 -out "$tmp/lg$run.json" 2>"$tmp/lg$run.log"; then
+        echo "verify: loadgen run $run failed" >&2
+        cat "$tmp/lg$run.log" >&2
+        exit 1
+    fi
+done
+digest() { sed -n "s/.*\"$2\"[: ]*\"\([0-9a-f]*\)\".*/\1/p" "$1" | head -1; }
+for field in schedule_digest body_digest; do
+    d1=$(digest "$tmp/lg1.json" "$field")
+    d2=$(digest "$tmp/lg2.json" "$field")
+    if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+        echo "verify: $field diverged between same-seed runs ('$d1' vs '$d2')" >&2
+        exit 1
+    fi
+done
+probed=$(sed -n 's/.*"checked"[: ]*\([0-9]*\).*/\1/p' "$tmp/lg1.json" | head -1)
+if [ -z "$probed" ] || [ "$probed" -eq 0 ]; then
+    echo "verify: loadgen prober checked no responses" >&2
+    cat "$tmp/lg1.json" >&2
+    exit 1
+fi
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "loadgen smoke test: schedule digest $d1 replayed, $probed responses probed"
+
+echo "== chaos smoke test: degraded serving under load holds its SLO =="
+# A serve instance with 20% of predictions failing (deterministic plan)
+# and a single-entry response cache (so faults actually hit the predict
+# path instead of the LRU) must keep serving under load: last-good
+# answers downgrade faults to degraded 200s, so the run must see
+# degraded answers (-expect-degraded) while hard errors — only the
+# variants whose first-ever request faults — stay within a relaxed
+# error budget.
+dport=$(( (RANDOM % 20000) + 20000 ))
+durl="http://127.0.0.1:$dport"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$dport" -quiet \
+    -cache-entries 1 -chaos-seed 7 -chaos-spec 'serve.predict:0.2' \
+    2>"$tmp/chaos-load-serve.log" &
+server_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$durl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: chaos-load server never became healthy" >&2
+    cat "$tmp/chaos-load-serve.log" >&2
+    exit 1
+fi
+if ! "$tmp/napel-loadgen" -target "$durl" -requests 400 -workers 4 \
+    -seed 23 -keyspace 8 -base "$tmp/req.json" \
+    -probe-model "$tmp/model.json" \
+    -expect-degraded -max-error-rate 0.2 -out "$tmp/chaos-load.json" \
+    2>"$tmp/chaos-load.log"; then
+    echo "verify: chaos-under-load run failed its gates" >&2
+    cat "$tmp/chaos-load.log" >&2
+    cat "$tmp/chaos-load.json" >&2
+    exit 1
+fi
+degraded=$(sed -n 's/.*"degraded"[: ]*\([0-9]*\).*/\1/p' "$tmp/chaos-load.json" | head -1)
+kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
+server_pid=""
+echo "chaos smoke test: $degraded degraded answers served under injected faults, SLO held"
 
 echo "verify: OK"
