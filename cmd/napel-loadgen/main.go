@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,7 +60,9 @@ func main() {
 }
 
 func run() int {
-	target := flag.String("target", "", "base URL of the napel-serve instance (required)")
+	target := flag.String("target", "", "base URL(s) to drive, comma-separated for round-robin across replicas or a gate (required)")
+	scrapeTargets := flag.String("scrape-targets", "", "comma-separated /metrics endpoints to bracket the run (default: the -target list)")
+	topology := flag.String("topology", "", "serving-shape stamp for the report, e.g. 'gate+3x serve'")
 	mode := flag.String("mode", "closed", "load shape: closed (workers) or open (target rate)")
 	workers := flag.Int("workers", 8, "closed-loop concurrent clients")
 	think := flag.Duration("think", 0, "closed-loop pause between a worker's requests")
@@ -99,7 +102,8 @@ func run() int {
 		flag.Usage()
 		return exitUsage
 	}
-	if *target == "" {
+	targets := splitList(*target)
+	if len(targets) == 0 {
 		return usage("-target is required")
 	}
 	if *requests == 0 && *duration <= 0 {
@@ -111,7 +115,8 @@ func run() int {
 	}
 
 	cfg := loadgen.Config{
-		Target:         *target,
+		Targets:        targets,
+		ScrapeTargets:  splitList(*scrapeTargets),
 		Mode:           loadgen.Mode(*mode),
 		Workers:        *workers,
 		Think:          *think,
@@ -166,6 +171,7 @@ func run() int {
 	rep.PR = *pr
 	rep.GitRev = obs.Revision()
 	rep.StartedAt = startedAt.Format(time.RFC3339)
+	rep.Topology = *topology
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -188,6 +194,17 @@ func run() int {
 		return exitSLO
 	}
 	return exitOK
+}
+
+// splitList parses a comma-separated flag value, dropping empties.
+func splitList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // summarize prints the human-readable digest to stderr; stdout stays

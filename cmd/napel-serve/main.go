@@ -20,11 +20,19 @@
 // SIGINT/SIGTERM starts a graceful drain: new requests get 503 while
 // in-flight ones finish under -drain-timeout.
 //
-// With -follow, the server polls its model files and hot-installs any
+// With -follow, the server polls its model sources and hot-installs any
 // content change — point -model at a napel-traind store's
 // current-model.json and promotions go live without a restart:
 //
 //	napel-serve -model ./models/current-model.json -follow 2s
+//
+// -model-store replaces the shared filesystem with napel-traind's store
+// HTTP API: the server pulls the promoted lineage over the wire,
+// sha256-verifies every blob against its content address, and (with
+// -follow) polls the store so fleet replicas on other machines track
+// promotions too:
+//
+//	napel-serve -model-store http://traind:8080 -follow 2s -lazy
 package main
 
 import (
@@ -73,6 +81,8 @@ func main() {
 	addr := flag.String("addr", ":9090", "listen address")
 	models := modelFlags{}
 	flag.Var(models, "model", "predictor file from 'napel train', [name=]path (repeatable)")
+	stores := modelFlags{}
+	flag.Var(stores, "model-store", "napel-traind base URL to pull the promoted model from, [name=]url (repeatable)")
 	cacheEntries := flag.Int("cache-entries", 0, "response cache capacity (0 = default 4096)")
 	maxBatch := flag.Int("max-batch", 0, "max items per batched predict (0 = default 256)")
 	maxBody := flag.Int64("max-body-bytes", 0, "max request body bytes (0 = default 8 MiB)")
@@ -96,10 +106,16 @@ func main() {
 		return
 	}
 
-	if len(models) == 0 {
-		fmt.Fprintln(os.Stderr, "napel-serve: at least one -model is required (train one with 'napel train')")
+	if len(models) == 0 && len(stores) == 0 {
+		fmt.Fprintln(os.Stderr, "napel-serve: at least one -model or -model-store is required (train one with 'napel train')")
 		flag.Usage()
 		os.Exit(2)
+	}
+	for name := range stores {
+		if _, dup := models[name]; dup {
+			fmt.Fprintf(os.Stderr, "napel-serve: model %q given as both -model and -model-store\n", name)
+			os.Exit(2)
+		}
 	}
 
 	if *chaosSpec != "" {
@@ -110,8 +126,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "napel-serve: chaos plan active (seed %d): %s\n", *chaosSeed, *chaosSpec)
 	}
 
+	sources := make(map[string]serve.ModelSource, len(stores))
+	for name, url := range stores {
+		sources[name] = &serve.StoreSource{URL: strings.TrimSuffix(url, "/")}
+	}
 	cfg := serve.Config{
 		ModelPaths:      models,
+		ModelSources:    sources,
 		CacheEntries:    *cacheEntries,
 		MaxBatch:        *maxBatch,
 		MaxBodyBytes:    *maxBody,

@@ -1,0 +1,940 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"napel/internal/obs"
+	"napel/internal/resilience"
+	"napel/internal/resilience/faultpoint"
+	"napel/internal/serve"
+)
+
+// fpForward fails a forwarded upstream attempt, exercising failover and
+// breaker behavior without touching the replicas.
+const fpForward = "fleet.forward"
+
+// Config tunes the gate. Zero fields take the documented defaults.
+type Config struct {
+	// Replicas are the napel-serve base URLs the gate shards across
+	// (required, e.g. http://127.0.0.1:9191). Order is cosmetic — the
+	// ring position of each replica depends only on its URL.
+	Replicas []string
+	// VNodes is the per-replica virtual-node count on the ring (default
+	// DefaultVNodes).
+	VNodes int
+	// HedgeAfter is how long a single predict waits on its primary
+	// before launching a hedge to the next ring successor; first
+	// response wins and the loser is cancelled (default 30ms; negative
+	// disables hedging).
+	HedgeAfter time.Duration
+	// HealthInterval is the /readyz probe period per replica (default
+	// 500ms). Membership changes rebuild the ring.
+	HealthInterval time.Duration
+	// Budget, when positive, caps the wall-clock spent on one routed
+	// request; the remaining budget is split across failover attempts.
+	Budget time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatch bounds items in one batched predict (default 256).
+	MaxBatch int
+	// BreakerThreshold is how many consecutive upstream failures trip a
+	// replica's breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped replica is bypassed before a
+	// probe request is allowed through (default 2s).
+	BreakerCooldown time.Duration
+	// DrainTimeout is how long Run waits for in-flight requests after
+	// shutdown is requested (default 10s).
+	DrainTimeout time.Duration
+	// Client overrides the upstream HTTP client (default: 30s timeout,
+	// generous keep-alive pool sized for the fleet).
+	Client *http.Client
+	// TraceRing bounds the in-memory span ring at /debug/traces.
+	TraceRing int
+	// TraceSink, when non-nil, receives every completed span as JSONL.
+	TraceSink io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 30 * time.Millisecond
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 500 * time.Millisecond
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: 64,
+			},
+		}
+	}
+	return c
+}
+
+// replicaStatus is what the health probe learned from one replica's
+// /readyz body.
+type replicaStatus struct {
+	Ready         bool              `json:"ready"`
+	Draining      bool              `json:"draining"`
+	Degraded      bool              `json:"degraded"`
+	ModelVersion  string            `json:"model_version,omitempty"`
+	ModelVersions map[string]string `json:"model_versions,omitempty"`
+	Error         string            `json:"error,omitempty"`
+}
+
+// replica is one upstream napel-serve process with its routing state.
+type replica struct {
+	url     string
+	breaker *resilience.Breaker
+
+	// Pre-resolved outcome counters for the hot path.
+	okC, clientC, errC, canceledC *obs.Counter
+	shareG                        *obs.Gauge
+
+	ready atomic.Bool
+
+	mu     sync.Mutex
+	status replicaStatus
+}
+
+func (r *replica) setStatus(st replicaStatus) {
+	r.mu.Lock()
+	r.status = st
+	r.mu.Unlock()
+	r.ready.Store(st.Ready)
+}
+
+func (r *replica) getStatus() replicaStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.status
+}
+
+// routing is one immutable routing generation: the ring plus the
+// replica structs aligned with its indices. Swapped atomically when
+// membership changes.
+type routing struct {
+	ring *Ring
+	reps []*replica
+}
+
+// Gate is the fleet front tier. Create with New, mount via Handler or
+// run with Run (which also starts the health loop).
+type Gate struct {
+	cfg    Config
+	all    []*replica
+	o      *fleetObs
+	client *http.Client
+
+	routing  atomic.Pointer[routing]
+	draining atomic.Bool
+
+	// rollMu serializes rolling reloads; concurrent rollouts would
+	// interleave per-replica installs and defeat the version check.
+	rollMu sync.Mutex
+}
+
+// New validates the replica set and builds the gate. The first health
+// pass has not run yet: call CheckReplicas (Run does) before routing.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("fleet: no replicas configured")
+	}
+	seen := map[string]bool{}
+	g := &Gate{
+		cfg: cfg,
+		o: newFleetObs(obs.NewTracer(cfg.TraceRing, cfg.TraceSink),
+			"predict", "suitability", "fleet", "reload", "healthz", "readyz", "metrics", "other"),
+		client: cfg.Client,
+	}
+	for _, raw := range cfg.Replicas {
+		url := strings.TrimSuffix(raw, "/")
+		if url == "" || seen[url] {
+			return nil, fmt.Errorf("fleet: empty or duplicate replica %q", raw)
+		}
+		seen[url] = true
+		rep := &replica{
+			url: url,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				Name:             "fleet." + url,
+				FailureThreshold: cfg.BreakerThreshold,
+				OpenTimeout:      cfg.BreakerCooldown,
+			}),
+			okC:       g.o.upstream.With(url, "ok"),
+			clientC:   g.o.upstream.With(url, "client_error"),
+			errC:      g.o.upstream.With(url, "error"),
+			canceledC: g.o.upstream.With(url, "canceled"),
+			shareG:    g.o.share.With(url),
+		}
+		rep.breaker.Register(g.o.reg)
+		g.all = append(g.all, rep)
+	}
+	m := g.o.reg
+	m.GaugeFunc("napel_fleet_uptime_seconds",
+		"Seconds since the gate started.", func() float64 { return time.Since(g.o.start).Seconds() })
+	m.CounterFunc("napel_chaos_injected_total",
+		"Faults fired by the installed chaos plan (0 when chaos is off).",
+		func() float64 { return float64(faultpoint.TotalInjected()) })
+	obs.RegisterRuntimeMetrics(m)
+	return g, nil
+}
+
+// Obs exposes the gate's metrics registry (scraping it is equivalent to
+// GET /metrics).
+func (g *Gate) Obs() *obs.Registry { return g.o.reg }
+
+// Ready reports whether the gate would answer /readyz with 200: not
+// draining and at least one replica passing its probe.
+func (g *Gate) Ready() bool {
+	rt := g.routing.Load()
+	return !g.draining.Load() && rt != nil && rt.ring.Len() > 0
+}
+
+// CheckReplicas probes every replica's /readyz once, concurrently, and
+// rebuilds the ring if membership changed. Run calls it on a timer;
+// tests and RollingReload call it directly.
+func (g *Gate) CheckReplicas(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range g.all {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			g.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+	g.rebuild()
+}
+
+func (g *Gate) probe(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/readyz", nil)
+	if err != nil {
+		rep.setStatus(replicaStatus{Error: err.Error()})
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		rep.setStatus(replicaStatus{Error: err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	var st replicaStatus
+	// /readyz answers 503 with the same body shape while unready, so
+	// decode regardless of status and trust the body's ready flag.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		rep.setStatus(replicaStatus{Error: fmt.Sprintf("decoding readyz: %v", err)})
+		return
+	}
+	st.Error = ""
+	rep.setStatus(st)
+}
+
+// rebuild swaps in a new routing generation when the set of ready
+// replicas changed, and refreshes the shard-share and readiness gauges.
+func (g *Gate) rebuild() {
+	var ready []*replica
+	for _, rep := range g.all {
+		if rep.ready.Load() {
+			ready = append(ready, rep)
+		}
+	}
+	g.o.ready.Set(float64(len(ready)))
+
+	cur := g.routing.Load()
+	if cur != nil && len(cur.reps) == len(ready) {
+		same := true
+		for i := range ready {
+			if cur.reps[i] != ready[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	urls := make([]string, len(ready))
+	for i, rep := range ready {
+		urls[i] = rep.url
+	}
+	next := &routing{ring: NewRing(urls, g.cfg.VNodes), reps: ready}
+	g.routing.Store(next)
+	for _, rep := range g.all {
+		rep.shareG.Set(0)
+	}
+	for i, rep := range ready {
+		rep.shareG.Set(next.ring.Share(i))
+	}
+}
+
+// fleetVersion returns the consensus serving version for a model name:
+// the version most replicas report, ties broken lexicographically so
+// routing is deterministic mid-rollout. Empty when nothing is known.
+func (g *Gate) fleetVersion(model string) string {
+	counts := map[string]int{}
+	for _, rep := range g.all {
+		if !rep.ready.Load() {
+			continue
+		}
+		st := rep.getStatus()
+		v := st.ModelVersion
+		if model != "" {
+			v = st.ModelVersions[model]
+		}
+		if v != "" {
+			counts[v]++
+		}
+	}
+	best, bestN := "", 0
+	for v, n := range counts {
+		if n > bestN || (n == bestN && v > best) {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// upstream is one attempt's result (or a gate-synthesized refusal).
+type upstream struct {
+	rep        *replica
+	status     int
+	header     http.Header
+	body       []byte
+	err        error
+	canceled   bool
+	hedged     bool
+	synth      string // non-empty: gate-synthesized error body
+	retryAfter int    // seconds, for synthesized 503s
+}
+
+// good reports whether the attempt should count as replica success:
+// any response below 500 (4xx blames the request, not the replica).
+func (u upstream) good() bool { return u.err == nil && u.status < 500 }
+
+const maxRespBytes = 64 << 20
+
+func synth(status int, msg string, retryAfter int) upstream {
+	return upstream{status: status, synth: msg, retryAfter: retryAfter}
+}
+
+// send posts body to one replica and reads the full response.
+func (g *Gate) send(ctx context.Context, rep *replica, path string, body []byte) upstream {
+	if err := faultpoint.Inject(ctx, fpForward); err != nil {
+		return upstream{rep: rep, err: err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.url+path, bytes.NewReader(body))
+	if err != nil {
+		return upstream{rep: rep, err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return upstream{rep: rep, err: err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
+	if err != nil {
+		return upstream{rep: rep, err: err}
+	}
+	return upstream{rep: rep, status: resp.StatusCode, header: resp.Header, body: data}
+}
+
+// attempt launches one asynchronous upstream try. The goroutine itself
+// records the breaker and metric outcome — even when the main loop has
+// already returned with another replica's answer — so accounting never
+// depends on who is still listening. A loser cancelled by
+// first-response-wins records no failure: being slower is not being
+// broken.
+func (g *Gate) attempt(ctx context.Context, rep *replica, path string, body []byte, budget time.Duration, hedged bool, resCh chan<- upstream) context.CancelFunc {
+	actx, cancel := context.WithCancel(ctx)
+	go func() {
+		bctx, bcancel := resilience.WithBudget(actx, budget)
+		u := g.send(bctx, rep, path, body)
+		bcancel()
+		u.hedged = hedged
+		switch {
+		case u.err != nil && actx.Err() != nil && ctx.Err() == nil:
+			u.canceled = true
+			rep.canceledC.Inc()
+			// Release a half-open probe slot without claiming evidence:
+			// the attempt was cancelled because another replica answered
+			// first, not because this one failed.
+			if rep.breaker.State() == resilience.BreakerHalfOpen {
+				rep.breaker.RecordSuccess()
+			}
+		case u.good():
+			rep.breaker.RecordSuccess()
+			if u.status >= 400 {
+				rep.clientC.Inc()
+			} else {
+				rep.okC.Inc()
+			}
+		default:
+			rep.breaker.RecordFailure()
+			rep.errC.Inc()
+		}
+		resCh <- u
+	}()
+	return cancel
+}
+
+// forward routes one request body to the replica owning key, with
+// breaker-aware failover along the ring successor order and (for single
+// predicts) a hedge to the next successor when the primary is slow.
+// First response wins; losers are cancelled.
+func (g *Gate) forward(ctx context.Context, key uint64, path string, body []byte, hedge bool) upstream {
+	rt := g.routing.Load()
+	if rt == nil || rt.ring.Len() == 0 {
+		return synth(http.StatusServiceUnavailable, "fleet: no ready replicas", 1)
+	}
+	order := rt.ring.Successors(key, rt.ring.Len())
+	candidates := make([]*replica, len(order))
+	for i, idx := range order {
+		candidates[i] = rt.reps[idx]
+	}
+
+	// The failover chain is sequential, so the request budget is split
+	// across the attempts we expect to make (primary + one more).
+	per := resilience.SplitBudget(ctx, 2, 25*time.Millisecond)
+
+	resCh := make(chan upstream, len(candidates))
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	launchIdx, launched := 0, 0
+	launch := func(hedged bool) bool {
+		for launchIdx < len(candidates) {
+			rep := candidates[launchIdx]
+			launchIdx++
+			if rep.breaker.Allow() != nil {
+				continue // short-circuit counted by the breaker's own metric
+			}
+			cancels = append(cancels, g.attempt(ctx, rep, path, body, per, hedged, resCh))
+			launched++
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		return synth(http.StatusServiceUnavailable, "fleet: every replica breaker is open",
+			g.minRetryIn(candidates))
+	}
+
+	var hedgeC <-chan time.Time
+	if hedge && g.cfg.HedgeAfter > 0 && len(candidates) > 1 {
+		timer := time.NewTimer(g.cfg.HedgeAfter)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	var last upstream
+	for received := 0; received < launched; {
+		select {
+		case u := <-resCh:
+			received++
+			if u.canceled {
+				continue
+			}
+			if u.good() {
+				if u.hedged {
+					g.o.hedgeWins.Inc()
+				}
+				return u
+			}
+			last = u
+			if launch(false) {
+				g.o.failovers.Inc()
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launch(true) {
+				g.o.hedges.Inc()
+			}
+		case <-ctx.Done():
+			return synth(http.StatusGatewayTimeout, "fleet: request budget exhausted", 1)
+		}
+	}
+	if last.rep == nil && last.synth == "" {
+		return synth(http.StatusServiceUnavailable, "fleet: all attempts cancelled", 1)
+	}
+	return last
+}
+
+func (g *Gate) minRetryIn(candidates []*replica) int {
+	min := 1
+	for i, rep := range candidates {
+		secs := int(rep.breaker.RetryIn()/time.Second) + 1
+		if i == 0 || secs < min {
+			min = secs
+		}
+	}
+	return min
+}
+
+func hashBytes(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// routeKey computes the ring key for one predict request: the fleet's
+// consensus model version plus the same feature-vector hash replicas
+// key their response caches on. Unassemblable requests route on the raw
+// body, so the owning replica produces the error verbatim.
+func (g *Gate) routeKey(req *serve.PredictRequest, raw []byte) uint64 {
+	version := g.fleetVersion(req.Model)
+	featHash, err := req.RouteHash()
+	if err != nil {
+		return Key(version, hashBytes(raw))
+	}
+	return Key(version, featHash)
+}
+
+func (g *Gate) writeUpstream(w http.ResponseWriter, u upstream) {
+	if u.synth != "" {
+		if u.retryAfter > 0 && u.status != http.StatusGatewayTimeout {
+			w.Header().Set("Retry-After", strconv.Itoa(u.retryAfter))
+		}
+		writeError(w, u.status, u.synth)
+		return
+	}
+	if u.err != nil {
+		writeError(w, http.StatusBadGateway, "fleet: upstream: "+u.err.Error())
+		return
+	}
+	ct := u.header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	if ra := u.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(u.status)
+	w.Write(u.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (g *Gate) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if first := firstByte(body); first == '[' {
+		g.predictBatch(w, r.Context(), body)
+		return
+	}
+	var req serve.PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Forward anyway: the owning-by-raw-hash replica produces the
+		// same 400 a direct hit would.
+		u := g.forward(r.Context(), Key(g.fleetVersion(""), hashBytes(body)), "/v1/predict", body, false)
+		g.writeUpstream(w, u)
+		return
+	}
+	u := g.forward(r.Context(), g.routeKey(&req, body), "/v1/predict", body, true)
+	g.writeUpstream(w, u)
+}
+
+// predictBatch splits a batched body per shard, fans the sub-batches
+// out concurrently, and reassembles the responses in request order.
+// Item bodies are forwarded as the raw JSON the client sent (no
+// re-marshalling), so replicas see byte-identical items.
+func (g *Gate) predictBatch(w http.ResponseWriter, ctx context.Context, body []byte) {
+	var raws []json.RawMessage
+	var reqs []serve.PredictRequest
+	if err := json.Unmarshal(body, &raws); err != nil || len(raws) == 0 {
+		// Malformed or empty array: one replica answers exactly as a
+		// direct hit would (400).
+		u := g.forward(ctx, Key(g.fleetVersion(""), hashBytes(body)), "/v1/predict", body, false)
+		g.writeUpstream(w, u)
+		return
+	}
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		u := g.forward(ctx, Key(g.fleetVersion(""), hashBytes(body)), "/v1/predict", body, false)
+		g.writeUpstream(w, u)
+		return
+	}
+	if len(reqs) > g.cfg.MaxBatch {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(reqs), g.cfg.MaxBatch))
+		return
+	}
+
+	rt := g.routing.Load()
+	if rt == nil || rt.ring.Len() == 0 {
+		g.writeUpstream(w, synth(http.StatusServiceUnavailable, "fleet: no ready replicas", 1))
+		return
+	}
+	keys := make([]uint64, len(reqs))
+	groups := map[int][]int{}
+	for i := range reqs {
+		keys[i] = g.routeKey(&reqs[i], raws[i])
+		shard := rt.ring.Shard(keys[i])
+		groups[shard] = append(groups[shard], i)
+	}
+	g.o.fanout.Observe(float64(len(groups)))
+	if len(groups) > 1 {
+		g.o.batchSplit.Inc()
+	}
+
+	results := make([]serve.PredictResponse, len(reqs))
+	var wg sync.WaitGroup
+	for _, idxs := range groups {
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			sub := joinRaw(raws, idxs)
+			u := g.forward(ctx, keys[idxs[0]], "/v1/predict", sub, false)
+			fillGroup(results, idxs, u)
+		}(idxs)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, results)
+}
+
+// joinRaw builds a JSON array from the selected raw elements.
+func joinRaw(raws []json.RawMessage, idxs []int) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, idx := range idxs {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raws[idx])
+	}
+	buf.WriteByte(']')
+	return buf.Bytes()
+}
+
+// fillGroup scatters one shard's response back into request order. A
+// failed shard degrades to inline per-item errors — the same contract
+// replicas use for bad items, so one dead shard cannot fail the batch.
+func fillGroup(results []serve.PredictResponse, idxs []int, u upstream) {
+	fail := func(msg string) {
+		for _, idx := range idxs {
+			results[idx] = serve.PredictResponse{Error: msg}
+		}
+	}
+	switch {
+	case u.synth != "":
+		fail(u.synth)
+		return
+	case u.err != nil:
+		fail("fleet: upstream: " + u.err.Error())
+		return
+	case u.status != http.StatusOK:
+		fail(fmt.Sprintf("fleet: shard answered HTTP %d: %s", u.status, truncate(u.body, 200)))
+		return
+	}
+	var resps []serve.PredictResponse
+	if err := json.Unmarshal(u.body, &resps); err != nil {
+		fail("fleet: decoding shard response: " + err.Error())
+		return
+	}
+	if len(resps) != len(idxs) {
+		fail(fmt.Sprintf("fleet: shard returned %d items for %d requests", len(resps), len(idxs)))
+		return
+	}
+	for j, idx := range idxs {
+		results[idx] = resps[j]
+	}
+}
+
+func (g *Gate) handleSuitability(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req serve.SuitabilityRequest
+	key := Key(g.fleetVersion(""), hashBytes(body))
+	if err := json.Unmarshal(body, &req); err == nil {
+		key = g.routeKey(&req.PredictRequest, body)
+	}
+	u := g.forward(r.Context(), key, "/v1/suitability", body, true)
+	g.writeUpstream(w, u)
+}
+
+// replicaView is the per-replica block of the /v1/fleet status body.
+type replicaView struct {
+	URL string `json:"url"`
+	replicaStatus
+	Breaker string  `json:"breaker"`
+	Share   float64 `json:"share"`
+}
+
+func (g *Gate) fleetStatus() map[string]any {
+	rt := g.routing.Load()
+	shares := map[string]float64{}
+	readyN := 0
+	if rt != nil {
+		for i, rep := range rt.reps {
+			shares[rep.url] = rt.ring.Share(i)
+		}
+		readyN = rt.ring.Len()
+	}
+	views := make([]replicaView, 0, len(g.all))
+	for _, rep := range g.all {
+		views = append(views, replicaView{
+			URL:           rep.url,
+			replicaStatus: rep.getStatus(),
+			Breaker:       rep.breaker.State().String(),
+			Share:         shares[rep.url],
+		})
+	}
+	return map[string]any{
+		"ready":          g.Ready(),
+		"replicas":       views,
+		"replicas_ready": readyN,
+		"model_version":  g.fleetVersion(""),
+	}
+}
+
+func (g *Gate) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.fleetStatus())
+}
+
+func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := g.fleetStatus()
+	if g.Ready() {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, st)
+}
+
+func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ready := 0
+	for _, rep := range g.all {
+		if rep.ready.Load() {
+			ready++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"replicas":       len(g.all),
+		"replicas_ready": ready,
+		"uptime_seconds": time.Since(g.o.start).Seconds(),
+	})
+}
+
+func (g *Gate) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	g.o.reg.WriteText(w)
+}
+
+func (g *Gate) handleReload(w http.ResponseWriter, r *http.Request) {
+	results, err := g.RollingReload(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]any{
+			"error":    err.Error(),
+			"replicas": results,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"reloaded": true, "replicas": results})
+}
+
+// Handler returns the routed gate handler.
+func (g *Gate) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/healthz", g.instrument("healthz", http.MethodGet, g.handleHealthz))
+	mux.Handle("/readyz", g.instrument("readyz", http.MethodGet, g.handleReadyz))
+	mux.Handle("/metrics", g.instrument("metrics", http.MethodGet, g.handleMetrics))
+	mux.Handle("/v1/predict", g.instrument("predict", http.MethodPost, g.handlePredict))
+	mux.Handle("/v1/suitability", g.instrument("suitability", http.MethodPost, g.handleSuitability))
+	mux.Handle("/v1/fleet", g.instrument("fleet", http.MethodGet, g.handleFleet))
+	mux.Handle("/v1/fleet/reload", g.instrument("reload", http.MethodPost, g.handleReload))
+	mux.Handle("/", g.instrument("other", "", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+	}))
+	obs.MountDebug(mux, g.o.tracer)
+	return mux
+}
+
+// instrument wraps a handler with method check, drain refusal, body
+// limits, the optional request budget, a root span and per-endpoint
+// metrics. Probes bypass the drain refusal.
+func (g *Gate) instrument(endpoint, method string, h http.HandlerFunc) http.Handler {
+	probe := endpoint == "healthz" || endpoint == "readyz"
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), g.o.tracer), "gate."+endpoint)
+		span.SetAttr("method", r.Method)
+		span.SetAttr("path", r.URL.Path)
+
+		switch {
+		case method != "" && r.Method != method:
+			writeError(rec, http.StatusMethodNotAllowed, fmt.Sprintf("%s requires %s", r.URL.Path, method))
+		case !probe && g.draining.Load():
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, http.StatusServiceUnavailable, "gate is draining")
+		default:
+			r = r.WithContext(ctx)
+			r.Body = http.MaxBytesReader(rec, r.Body, g.cfg.MaxBodyBytes)
+			if g.cfg.Budget > 0 && (endpoint == "predict" || endpoint == "suitability") {
+				bctx, cancel := resilience.WithBudget(ctx, g.cfg.Budget)
+				h(rec, r.WithContext(bctx))
+				cancel()
+			} else {
+				h(rec, r)
+			}
+		}
+
+		dur := time.Since(start)
+		span.SetAttrInt("status", int64(rec.status))
+		span.End()
+		g.o.observe(endpoint, rec.status, dur)
+	})
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// Run serves on addr until ctx is cancelled, probing replicas at
+// HealthInterval, then drains in-flight requests for up to DrainTimeout.
+func (g *Gate) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return g.serve(ctx, ln)
+}
+
+func (g *Gate) serve(ctx context.Context, ln net.Listener) error {
+	g.CheckReplicas(ctx)
+	srv := &http.Server{
+		Handler:           g.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	healthCtx, stopHealth := context.WithCancel(ctx)
+	defer stopHealth()
+	go func() {
+		ticker := time.NewTicker(g.cfg.HealthInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-healthCtx.Done():
+				return
+			case <-ticker.C:
+				g.CheckReplicas(healthCtx)
+			}
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	g.draining.Store(true)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), g.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("fleet: drain incomplete after %s: %w", g.cfg.DrainTimeout, err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// firstByte returns the first non-whitespace byte of b, or 0.
+func firstByte(b []byte) byte {
+	trimmed := bytes.TrimLeft(b, " \t\r\n")
+	if len(trimmed) == 0 {
+		return 0
+	}
+	return trimmed[0]
+}
+
+func truncate(b []byte, n int) string {
+	s := string(bytes.TrimSpace(b))
+	if len(s) > n {
+		return s[:n] + "..."
+	}
+	return s
+}

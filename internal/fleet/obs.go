@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"time"
+
+	"napel/internal/obs"
+)
+
+// statusClasses indexes status/100: index 0 aggregates anything exotic.
+var statusClasses = [6]string{"other", "1xx", "2xx", "3xx", "4xx", "5xx"}
+
+// fleetObs is the gate's observability surface on a shared internal/obs
+// registry. Per-endpoint and per-replica series are pre-resolved at
+// construction so the routing hot path touches only lock-free handles.
+type fleetObs struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	start  time.Time
+
+	gateRequests map[string]*[6]*obs.Counter
+	gateDuration map[string]*obs.Histogram
+
+	// Per-replica upstream handles live on the replica structs; the vecs
+	// are kept to resolve them at construction.
+	upstream *obs.CounterVec
+	share    *obs.GaugeVec
+
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	failovers  *obs.Counter
+	fanout     *obs.Histogram
+	ready      *obs.Gauge
+	rollouts   *obs.Counter
+	batchSplit *obs.Counter
+}
+
+func newFleetObs(tracer *obs.Tracer, endpoints ...string) *fleetObs {
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, "napel-gate")
+	o := &fleetObs{
+		reg:          reg,
+		tracer:       tracer,
+		start:        time.Now(),
+		gateRequests: make(map[string]*[6]*obs.Counter, len(endpoints)),
+		gateDuration: make(map[string]*obs.Histogram, len(endpoints)),
+	}
+	req := reg.CounterVec("napel_fleet_gate_requests_total",
+		"Requests completed at the gate by endpoint and status class.", "endpoint", "class")
+	dur := reg.HistogramVec("napel_fleet_gate_request_duration_seconds",
+		"Gate request latency by endpoint, fanout and reassembly included.", nil, "endpoint")
+	for _, ep := range endpoints {
+		var handles [6]*obs.Counter
+		for ci, class := range statusClasses {
+			handles[ci] = req.With(ep, class)
+		}
+		o.gateRequests[ep] = &handles
+		o.gateDuration[ep] = dur.With(ep)
+	}
+	o.upstream = reg.CounterVec("napel_fleet_requests_total",
+		"Upstream attempts by replica and outcome (ok, client_error, error, canceled).",
+		"replica", "outcome")
+	o.share = reg.GaugeVec("napel_fleet_shard_share",
+		"Fraction of the ring keyspace each ready replica owns (0 while unready).",
+		"replica")
+	o.hedges = reg.Counter("napel_fleet_hedges_total",
+		"Hedge requests launched against a slow primary.")
+	o.hedgeWins = reg.Counter("napel_fleet_hedge_wins_total",
+		"Hedged requests answered by a non-primary replica first.")
+	o.failovers = reg.Counter("napel_fleet_failovers_total",
+		"Attempts re-routed to a ring successor after an upstream failure.")
+	o.fanout = reg.Histogram("napel_fleet_fanout_width",
+		"Distinct replicas one batched request was split across.",
+		[]float64{1, 2, 3, 4, 6, 8, 12, 16})
+	o.ready = reg.Gauge("napel_fleet_replicas_ready",
+		"Replicas currently passing their /readyz probe.")
+	o.rollouts = reg.Counter("napel_fleet_rolling_reloads_total",
+		"Completed fleet-wide rolling reloads.")
+	o.batchSplit = reg.Counter("napel_fleet_batches_split_total",
+		"Batched predict requests split across shards.")
+	return o
+}
+
+// observe records one completed gate request.
+func (o *fleetObs) observe(endpoint string, status int, d time.Duration) {
+	em, ok := o.gateRequests[endpoint]
+	if !ok {
+		endpoint = "other"
+		em = o.gateRequests[endpoint]
+	}
+	class := status / 100
+	if class < 0 || class >= len(em) {
+		class = 0
+	}
+	em[class].Inc()
+	o.gateDuration[endpoint].Observe(d.Seconds())
+}

@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"napel/internal/cache"
+)
+
+// testKeys synthesizes a deterministic key set: splitmix64 over the
+// index, so key bits are well spread without any randomness source.
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		z := uint64(i+1) * 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		keys[i] = z ^ (z >> 31)
+	}
+	return keys
+}
+
+func replicaNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:9090", i)
+	}
+	return out
+}
+
+func TestRingShardStableAndOrderIndependent(t *testing.T) {
+	reps := replicaNames(4)
+	ring := NewRing(reps, 0)
+	reversed := []string{reps[3], reps[2], reps[1], reps[0]}
+	ring2 := NewRing(reversed, 0)
+	for _, key := range testKeys(5000) {
+		a := ring.Shard(key)
+		if b := ring.Shard(key); b != a {
+			t.Fatalf("Shard(%d) unstable: %d then %d", key, a, b)
+		}
+		// Same membership in a different order must route by the same
+		// replica name: the ring is a function of the set, not the slice.
+		if reps[a] != reversed[ring2.Shard(key)] {
+			t.Fatalf("Shard(%d) depends on construction order", key)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	reps := replicaNames(3)
+	ring := NewRing(reps, 0)
+	var sum float64
+	for i := range reps {
+		sum += ring.Share(i)
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %f, want ~1", sum)
+	}
+	// Count actual routing of a large key set and check both the
+	// empirical split and the analytic Share agree within slack.
+	counts := make([]int, len(reps))
+	keys := testKeys(30000)
+	for _, k := range keys {
+		counts[ring.Shard(k)]++
+	}
+	for i := range reps {
+		frac := float64(counts[i]) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("replica %d owns %.1f%% of keys; vnode balance off", i, frac*100)
+		}
+		if diff := frac - ring.Share(i); diff > 0.02 || diff < -0.02 {
+			t.Errorf("replica %d: empirical %.3f vs analytic share %.3f", i, frac, ring.Share(i))
+		}
+	}
+}
+
+// TestRingRemovalMovesOnlyOrphans is the consistent-hash invariant:
+// removing a replica relocates exactly the keys that replica owned
+// (~1/N of the keyspace) and no others — every surviving replica keeps
+// its entire shard.
+func TestRingRemovalMovesOnlyOrphans(t *testing.T) {
+	reps := replicaNames(4)
+	before := NewRing(reps, 0)
+	removed := 2
+	var survivors []string
+	for i, r := range reps {
+		if i != removed {
+			survivors = append(survivors, r)
+		}
+	}
+	after := NewRing(survivors, 0)
+
+	keys := testKeys(20000)
+	moved, orphans := 0, 0
+	for _, k := range keys {
+		ownerBefore := reps[before.Shard(k)]
+		ownerAfter := survivors[after.Shard(k)]
+		if before.Shard(k) == removed {
+			orphans++
+			if ownerAfter == reps[removed] {
+				t.Fatalf("key %d still routed to removed replica", k)
+			}
+			continue
+		}
+		if ownerBefore != ownerAfter {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys owned by surviving replicas moved; consistent hashing moves only the removed shard", moved)
+	}
+	frac := float64(orphans) / float64(len(keys))
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("removed replica owned %.1f%% of keys, want ~1/4", frac*100)
+	}
+}
+
+func TestRingSuccessorsDistinctAndConsistent(t *testing.T) {
+	reps := replicaNames(5)
+	ring := NewRing(reps, 0)
+	for _, k := range testKeys(2000) {
+		succ := ring.Successors(k, 3)
+		if len(succ) != 3 {
+			t.Fatalf("want 3 successors, got %d", len(succ))
+		}
+		if succ[0] != ring.Shard(k) {
+			t.Fatalf("first successor %d is not the owner %d", succ[0], ring.Shard(k))
+		}
+		seen := map[int]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %d for key %d", s, k)
+			}
+			seen[s] = true
+		}
+		// The first fallback must be where a ring without the owner
+		// would route the key — failover agrees with real removal.
+		var without []string
+		for i, r := range reps {
+			if i != succ[0] {
+				without = append(without, r)
+			}
+		}
+		if reps[succ[1]] != without[NewRing(without, 0).Shard(k)] {
+			t.Fatalf("successor order disagrees with owner removal for key %d", k)
+		}
+	}
+	if got := ring.Successors(testKeys(1)[0], 10); len(got) != len(reps) {
+		t.Fatalf("successors capped at %d, want %d", len(got), len(reps))
+	}
+}
+
+func TestKeyMixesVersionAndFeatureHash(t *testing.T) {
+	if Key("aaaa", 1) == Key("bbbb", 1) {
+		t.Fatal("version ignored by Key")
+	}
+	if Key("aaaa", 1) == Key("aaaa", 2) {
+		t.Fatal("feature hash ignored by Key")
+	}
+}
+
+// TestLRUKeyspacePartitioning drives per-replica cache.LRU instances
+// through the ring and asserts the disjoint-keyspace property the gate
+// is built on: every repeat of a key hits the same replica's cache, no
+// key is resident in two caches, and after a replica removal only the
+// orphaned shard re-misses — surviving caches keep their hit streaks.
+func TestLRUKeyspacePartitioning(t *testing.T) {
+	const version = "0123456789abcdef"
+	reps := replicaNames(4)
+	ring := NewRing(reps, 0)
+	caches := make([]*cache.LRU[uint64, int], len(reps))
+	for i := range caches {
+		caches[i] = cache.NewLRU[uint64, int](1 << 16)
+	}
+
+	feats := testKeys(4000)
+	lookup := func(r *Ring, cs []*cache.LRU[uint64, int], feat uint64) (int, bool) {
+		shard := r.Shard(Key(version, feat))
+		_, hit := cs[shard].Get(feat)
+		if !hit {
+			cs[shard].Put(feat, shard)
+		}
+		return shard, hit
+	}
+
+	owner := make(map[uint64]int, len(feats))
+	for round := 0; round < 3; round++ {
+		for _, f := range feats {
+			shard, hit := lookup(ring, caches, f)
+			if prev, ok := owner[f]; ok {
+				if prev != shard {
+					t.Fatalf("feature %d routed to replica %d then %d", f, prev, shard)
+				}
+				if !hit {
+					t.Fatalf("feature %d missed on repeat at its own replica", f)
+				}
+			} else {
+				if hit {
+					t.Fatalf("feature %d hit before ever being cached", f)
+				}
+				owner[f] = shard
+			}
+		}
+	}
+	// Disjointness: summed residency equals the distinct feature count.
+	resident := 0
+	for _, c := range caches {
+		resident += c.Len()
+	}
+	if resident != len(feats) {
+		t.Fatalf("%d entries resident across caches for %d distinct features; shards overlap", resident, len(feats))
+	}
+
+	// Remove replica 1: only its orphaned keys may miss afterwards.
+	var survivors []string
+	survivorCaches := []*cache.LRU[uint64, int]{}
+	for i, r := range reps {
+		if i == 1 {
+			continue
+		}
+		survivors = append(survivors, r)
+		survivorCaches = append(survivorCaches, caches[i])
+	}
+	after := NewRing(survivors, 0)
+	misses := 0
+	for _, f := range feats {
+		_, hit := lookup(after, survivorCaches, f)
+		if owner[f] != 1 && !hit {
+			t.Fatalf("feature %d owned by surviving replica %d missed after unrelated removal", f, owner[f])
+		}
+		if !hit {
+			misses++
+		}
+	}
+	frac := float64(misses) / float64(len(feats))
+	if frac > 0.45 {
+		t.Fatalf("removal re-missed %.1f%% of keys, want ~1/4", frac*100)
+	}
+}

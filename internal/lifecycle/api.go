@@ -23,6 +23,9 @@ const maxSpecBytes = 1 << 20
 //	POST /v1/jobs/{id}/cancel   cancel a queued or running job
 //	GET  /v1/store              store state: current model + manifests
 //	POST /v1/store/rollback     re-promote the previous model
+//	GET  /v1/store/current      promoted manifest (model distribution)
+//	GET  /v1/store/manifests/{id}  one manifest
+//	GET  /v1/store/blobs/{hash}    model bytes by content address
 //	GET  /healthz               liveness
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/traces          recent job/engine spans, grouped by trace
@@ -122,6 +125,9 @@ func NewAPIHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
+
+	// The model-distribution routes replicas pull from (StoreSource).
+	RegisterStoreAPI(mux, m.store)
 
 	mux.HandleFunc("POST /v1/store/rollback", func(w http.ResponseWriter, r *http.Request) {
 		manifest, err := m.store.Rollback()

@@ -206,6 +206,46 @@ func TestBackpressureIsNotAnError(t *testing.T) {
 	}
 }
 
+// TestMultiTargetRoundRobin: a Targets list spreads the schedule
+// evenly and deterministically across replicas, and the report records
+// the full target list.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	var hits [2]atomic.Uint64
+	mk := func(i int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"ipc":1.0,"edp":2.0}`))
+		}))
+	}
+	a, b := mk(0), mk(1)
+	defer a.Close()
+	defer b.Close()
+
+	const n = 20
+	rep, err := Run(context.Background(), Config{
+		Targets:  []string{a.URL, b.URL},
+		Workers:  2,
+		Requests: n,
+		Mix:      Mix{Predict: 1},
+		Synth:    SynthConfig{Seed: 3, Keyspace: 4, BatchSize: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != n {
+		t.Fatalf("ok=%d, want %d", rep.OK, n)
+	}
+	if got := len(rep.Targets); got != 2 {
+		t.Fatalf("report lists %d targets, want 2", got)
+	}
+	// Round-robin on the schedule index: an even split regardless of
+	// which worker drew which op.
+	if hits[0].Load() != n/2 || hits[1].Load() != n/2 {
+		t.Fatalf("split %d/%d, want %d/%d", hits[0].Load(), hits[1].Load(), n/2, n/2)
+	}
+}
+
 // TestHardErrorsAreCounted: a 503 without Retry-After is a hard error,
 // and it fails a strict error-rate SLO.
 func TestHardErrorsAreCounted(t *testing.T) {

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"napel/internal/obs"
@@ -134,8 +135,14 @@ type Report struct {
 	GitRev    string `json:"git_rev,omitempty"`
 	StartedAt string `json:"started_at,omitempty"`
 
-	Target         string  `json:"target"`
-	Mode           Mode    `json:"mode"`
+	Target string `json:"target"`
+	// Targets lists every base URL the schedule round-robined across
+	// (omitted for classic single-target runs); Topology is a free-form
+	// stamp of the serving shape behind them, e.g. "gate+3x serve".
+	Targets    []string `json:"targets,omitempty"`
+	Topology   string   `json:"topology,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	Mode       Mode     `json:"mode"`
 	Seed           uint64  `json:"seed"`
 	Mix            string  `json:"mix"`
 	Keyspace       int     `json:"keyspace"`
@@ -182,6 +189,7 @@ func buildReport(cfg Config, gen *Generator, t *tally, elapsed time.Duration, in
 		Schema:          ReportSchema,
 		Target:          cfg.Target,
 		Mode:            cfg.Mode,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Seed:            cfg.Synth.Seed,
 		Mix:             cfg.Mix.String(),
 		Keyspace:        gen.cfg.Keyspace,
@@ -193,6 +201,9 @@ func buildReport(cfg Config, gen *Generator, t *tally, elapsed time.Duration, in
 		BodyDigest:      gen.BodyDigest(),
 		slo:             cfg.SLO,
 		probeActive:     cfg.Prober != nil,
+	}
+	if len(cfg.Targets) > 1 {
+		rep.Targets = cfg.Targets
 	}
 	switch cfg.Mode {
 	case ModeOpen:
@@ -293,10 +304,19 @@ func (r *Report) Evaluate() {
 	}
 }
 
-// serverStats folds before/after /metrics snapshots into attribution
-// deltas.
-func serverStats(before, after obs.Snapshot) *ServerStats {
-	d := func(name string) float64 { return after.DeltaFamily(before, name) }
+// serverStats folds before/after /metrics snapshot pairs into
+// attribution deltas, summed across all scraped targets so a fleet's
+// caches and allocations report as one aggregate.
+func serverStats(before, after []obs.Snapshot) *ServerStats {
+	d := func(name string) float64 {
+		var sum float64
+		for i := range after {
+			if i < len(before) {
+				sum += after[i].DeltaFamily(before[i], name)
+			}
+		}
+		return sum
+	}
 	ss := &ServerStats{
 		RequestsTotal:    d("napel_serve_requests_total"),
 		PredictionsTotal: d("napel_serve_predictions_total"),

@@ -35,7 +35,18 @@ const (
 // Duration is the minimum viable configuration.
 type Config struct {
 	// Target is the server's base URL, e.g. http://127.0.0.1:9090.
+	// Shorthand for a one-element Targets.
 	Target string
+	// Targets, when set, spreads the schedule round-robin across
+	// several base URLs — replicas of one fleet, or a gate plus its
+	// replicas for comparison runs. The request schedule itself is
+	// target-independent: op i always carries the same body, it just
+	// lands on Targets[i % len(Targets)].
+	Targets []string
+	// ScrapeTargets overrides which /metrics endpoints bracket the run
+	// (default Targets). Deltas are summed across all of them, so a
+	// fleet's aggregate cache behavior lands in one ServerStats.
+	ScrapeTargets []string
 	// Mode defaults to ModeClosed.
 	Mode Mode
 	// Workers is the closed-loop concurrency (default 8).
@@ -77,8 +88,15 @@ type Config struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.Target == "" {
+	if c.Target != "" {
+		c.Targets = append([]string{c.Target}, c.Targets...)
+	}
+	if len(c.Targets) == 0 {
 		return c, fmt.Errorf("loadgen: Target is required")
+	}
+	c.Target = c.Targets[0]
+	if len(c.ScrapeTargets) == 0 {
+		c.ScrapeTargets = c.Targets
 	}
 	if c.Requests == 0 && c.Duration <= 0 {
 		return c, fmt.Errorf("loadgen: one of Requests or Duration must bound the run")
@@ -209,7 +227,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	r := &runner{cfg: cfg, gen: gen, stop: make(chan struct{}), ctx: ctx}
 
-	var before obs.Snapshot
+	var before []obs.Snapshot
 	var scrapeErr error
 	if cfg.ScrapeMetrics {
 		before, scrapeErr = r.scrape()
@@ -245,7 +263,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		return nil, err
 	}
 
-	var after obs.Snapshot
+	var after []obs.Snapshot
 	if cfg.ScrapeMetrics && scrapeErr == nil {
 		after, scrapeErr = r.scrape()
 	}
@@ -285,7 +303,7 @@ func (r *runner) closedLoop(total *tally) error {
 					return
 				}
 				op := r.gen.Op(i)
-				o := r.doOp(op)
+				o := r.doOp(i, op)
 				r.record(t, op, o)
 				if o.retryAfter > 0 {
 					wait := o.retryAfter
@@ -329,14 +347,14 @@ func (r *runner) openLoop(total *tally) error {
 		case sem <- struct{}{}:
 			op := r.gen.Op(i)
 			wg.Add(1)
-			go func() {
+			go func(i uint64) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				o := r.doOp(op)
+				o := r.doOp(i, op)
 				mu.Lock()
 				r.record(total, op, o)
 				mu.Unlock()
-			}()
+			}(i)
 		default:
 			// The outstanding window is full: an open-loop generator
 			// sheds rather than queues, so the arrival schedule stays
@@ -352,11 +370,14 @@ func (r *runner) openLoop(total *tally) error {
 
 // doOp posts one scheduled request and classifies the result. The
 // request rides the run context, so SIGINT cancels in-flight calls;
-// those are marked canceled and excluded from every tally.
-func (r *runner) doOp(op Op) outcome {
+// those are marked canceled and excluded from every tally. With
+// multiple targets, op i goes to Targets[i % len] — deterministic, so
+// a replayed schedule hits the same replica sequence.
+func (r *runner) doOp(i uint64, op Op) outcome {
+	target := r.cfg.Targets[i%uint64(len(r.cfg.Targets))]
 	body := r.gen.Body(op)
 	req, err := http.NewRequestWithContext(r.ctx, http.MethodPost,
-		r.cfg.Target+op.Kind.Path(), bytes.NewReader(body))
+		target+op.Kind.Path(), bytes.NewReader(body))
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -489,8 +510,20 @@ func (r *runner) record(t *tally, op Op, o outcome) {
 	}
 }
 
-func (r *runner) scrape() (obs.Snapshot, error) {
-	resp, err := r.cfg.Client.Get(r.cfg.Target + "/metrics")
+func (r *runner) scrape() ([]obs.Snapshot, error) {
+	snaps := make([]obs.Snapshot, 0, len(r.cfg.ScrapeTargets))
+	for _, target := range r.cfg.ScrapeTargets {
+		snap, err := scrapeOne(r.cfg.Client, target)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", target, err)
+		}
+		snaps = append(snaps, snap)
+	}
+	return snaps, nil
+}
+
+func scrapeOne(client *http.Client, target string) (obs.Snapshot, error) {
+	resp, err := client.Get(target + "/metrics")
 	if err != nil {
 		return nil, err
 	}

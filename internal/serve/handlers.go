@@ -56,10 +56,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	draining := s.draining.Load()
 	ready := !draining && s.registry.Ready()
+	// The body names the serving lineage so rolling promotion (and
+	// operators) can gate on "replica X serves version Y", not just
+	// 200-vs-503, and flags degradation: a tripped reload breaker means
+	// the replica still answers but cannot hot-install promotions.
+	models := s.registry.List()
 	body := map[string]any{
 		"ready":    ready,
 		"draining": draining,
-		"models":   len(s.registry.List()),
+		"models":   len(models),
+		"degraded": s.reloadBreaker.State() != resilience.BreakerClosed,
+	}
+	if m, ok := s.registry.Get(""); ok {
+		body["model_version"] = m.Version
+	}
+	if len(models) > 0 {
+		versions := make(map[string]string, len(models))
+		for _, m := range models {
+			versions[m.Name] = m.Version
+		}
+		body["model_versions"] = versions
 	}
 	if ready {
 		writeJSON(w, http.StatusOK, body)
@@ -360,6 +376,19 @@ func hashPrediction(feat []float64, totalInstrs float64) uint64 {
 	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(totalInstrs))
 	h.Write(buf[:])
 	return h.Sum64()
+}
+
+// RouteHash returns the feature-vector hash a replica's response cache
+// keys this request on — the second half of the fleet ring key. The
+// gate calls it so routing agrees exactly with replica-side cache
+// identity: two requests collide at the gate iff they would share a
+// cache entry on a replica.
+func (req *PredictRequest) RouteHash() (uint64, error) {
+	feat, totalInstrs, _, _, err := req.assemble()
+	if err != nil {
+		return 0, err
+	}
+	return hashPrediction(feat, totalInstrs), nil
 }
 
 // firstByte returns the first non-whitespace byte of b, or 0.

@@ -4,8 +4,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"hash/fnv"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -19,8 +17,9 @@ import (
 const DefaultModelName = "default"
 
 // Model is one loaded predictor with its serving identity. Version is a
-// content hash of the serialized file, so the (model, version) pair in
-// responses and cache keys changes exactly when the weights do.
+// content hash of the serialized bytes, so the (model, version) pair in
+// responses and cache keys changes exactly when the weights do — no
+// matter whether the bytes came from a local file or a store pull.
 type Model struct {
 	Name      string    `json:"name"`
 	Path      string    `json:"path"`
@@ -32,9 +31,10 @@ type Model struct {
 // Registry maps model names to loaded predictors and supports atomic
 // hot reload: readers always see a complete, consistent generation —
 // never a half-reloaded mix — and a failed reload leaves the previous
-// generation serving.
+// generation serving. Each entry is backed by a ModelSource (local file
+// or HTTP model store); the registry itself is transport-agnostic.
 type Registry struct {
-	paths map[string]string // name -> file path, fixed at construction
+	sources map[string]ModelSource // name -> source, fixed at construction
 
 	// reloadMu serializes writers; readers go through the atomic
 	// pointer without locking.
@@ -44,24 +44,41 @@ type Registry struct {
 	followFailures atomic.Uint64
 }
 
-// NewRegistry builds a registry over the given name→path mapping and
-// performs the initial load; it fails if any model cannot be loaded.
+// NewRegistry builds a registry over the given name→file-path mapping
+// and performs the initial load; it fails if any model cannot be
+// loaded.
 func NewRegistry(paths map[string]string) (*Registry, error) {
 	return newRegistry(paths, false)
 }
 
 func newRegistry(paths map[string]string, lazy bool) (*Registry, error) {
-	if len(paths) == 0 {
+	sources := make(map[string]ModelSource, len(paths))
+	for name, path := range paths {
+		sources[name] = &FileSource{Path: path}
+	}
+	return newRegistrySources(sources, lazy)
+}
+
+// NewRegistrySources builds a registry over arbitrary model sources
+// (mixing file- and store-backed entries is fine) and performs the
+// initial load.
+func NewRegistrySources(sources map[string]ModelSource) (*Registry, error) {
+	return newRegistrySources(sources, false)
+}
+
+func newRegistrySources(sources map[string]ModelSource, lazy bool) (*Registry, error) {
+	if len(sources) == 0 {
 		return nil, fmt.Errorf("serve: no models configured")
 	}
-	r := &Registry{paths: paths}
+	r := &Registry{sources: sources}
 	empty := map[string]*Model{}
 	r.models.Store(&empty)
 	if _, err := r.Reload(); err != nil {
-		// Lazy mode tolerates an empty start: the files may not exist
-		// yet (napel-traind has not promoted a first model). Ready()
-		// stays false and /readyz answers 503 until a follow poll or
-		// explicit reload installs the first generation.
+		// Lazy mode tolerates an empty start: the file may not exist yet,
+		// or the store may have no promoted lineage (napel-traind has not
+		// promoted a first model). Ready() stays false and /readyz
+		// answers 503 until a follow poll or explicit reload installs the
+		// first generation.
 		if !lazy {
 			return nil, err
 		}
@@ -72,17 +89,21 @@ func newRegistry(paths map[string]string, lazy bool) (*Registry, error) {
 // Ready reports whether at least one model generation is installed.
 func (r *Registry) Ready() bool { return len(*r.models.Load()) > 0 }
 
-// Reload re-reads every configured model file and atomically replaces
-// the serving set with the new generation. On any failure the previous
-// generation stays in place and the error is returned (wrapping
-// napel.ErrBadModelVersion when the file's format version is
+// Reload re-fetches every configured model source and atomically
+// replaces the serving set with the new generation. On any failure the
+// previous generation stays in place and the error is returned
+// (wrapping napel.ErrBadModelVersion when the file's format version is
 // unsupported, so HTTP handlers can answer 422).
 func (r *Registry) Reload() ([]*Model, error) {
 	r.reloadMu.Lock()
 	defer r.reloadMu.Unlock()
-	next := make(map[string]*Model, len(r.paths))
-	for name, path := range r.paths {
-		m, err := loadModel(name, path)
+	next := make(map[string]*Model, len(r.sources))
+	for name, src := range r.sources {
+		data, version, err := src.Load()
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q: %w", name, err)
+		}
+		m, err := modelFromBytes(name, src.Describe(), data, version)
 		if err != nil {
 			return nil, fmt.Errorf("serve: model %q: %w", name, err)
 		}
@@ -93,39 +114,44 @@ func (r *Registry) Reload() ([]*Model, error) {
 	return sortedModels(next), nil
 }
 
-// ReloadIfChanged is the polling variant of Reload: it re-reads every
-// model file but installs a new generation only when at least one
-// file's content hash differs from the serving version. Unchanged
-// models keep their loaded predictor (and LoadedAt), so a no-op poll
-// costs one file read per model and never bumps Reloads(). This is what
-// lets the registry follow a path whose target is atomically flipped by
-// an external publisher — napel-traind promoting into its model store —
-// without reparsing forests on every tick.
+// ReloadIfChanged is the polling variant of Reload: it polls every
+// model source but installs a new generation only when at least one
+// source's content changed versus the serving version. Unchanged models
+// keep their loaded predictor (and LoadedAt), so a no-op poll costs one
+// file read (or one small manifest GET against a store) per model and
+// never bumps Reloads(). This is what lets the registry follow
+// napel-traind's promotion pointer — filesystem symlink or HTTP
+// current-lineage endpoint — without reparsing forests on every tick.
 func (r *Registry) ReloadIfChanged() (changed bool, err error) {
 	r.reloadMu.Lock()
 	defer r.reloadMu.Unlock()
 	cur := *r.models.Load()
-	next := make(map[string]*Model, len(r.paths))
-	for name, path := range r.paths {
-		data, err := os.ReadFile(path)
+	next := make(map[string]*Model, len(r.sources))
+	for name, src := range r.sources {
+		prev := ""
+		old, installed := cur[name]
+		if installed {
+			prev = old.Version
+		}
+		data, version, chg, err := src.Poll(prev)
 		if err != nil {
 			return false, fmt.Errorf("serve: model %q: %w", name, err)
 		}
-		h := fnv.New64a()
-		h.Write(data)
-		version := fmt.Sprintf("%016x", h.Sum64())
-		if old, ok := cur[name]; ok && old.Version == version {
+		if !chg {
+			if !installed {
+				// A source cannot report "unchanged" against nothing
+				// installed; treat it as a failed poll rather than
+				// silently serving no model.
+				return false, fmt.Errorf("serve: model %q: source reported no change with no generation installed", name)
+			}
 			next[name] = old
 			continue
 		}
-		pred, err := napel.LoadPredictor(bytes.NewReader(data))
+		m, err := modelFromBytes(name, src.Describe(), data, version)
 		if err != nil {
 			return false, fmt.Errorf("serve: model %q: %w", name, err)
 		}
-		next[name] = &Model{
-			Name: name, Path: path, Version: version,
-			LoadedAt: time.Now(), Predictor: pred,
-		}
+		next[name] = m
 		changed = true
 	}
 	if !changed {
@@ -136,11 +162,11 @@ func (r *Registry) ReloadIfChanged() (changed bool, err error) {
 	return true, nil
 }
 
-// Follow polls the model files every interval until ctx ends,
+// Follow polls the model sources every interval until ctx ends,
 // installing new generations via ReloadIfChanged. A failed poll (e.g.
-// the publisher mid-flip, or a model briefly missing) keeps the current
-// generation serving and is retried next tick; failures are counted for
-// the metrics endpoint.
+// the publisher mid-flip, a model briefly missing, or a store
+// unreachable) keeps the current generation serving and is retried next
+// tick; failures are counted for the metrics endpoint.
 func (r *Registry) Follow(ctx context.Context, interval time.Duration) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -160,12 +186,17 @@ func (r *Registry) Follow(ctx context.Context, interval time.Duration) {
 func (r *Registry) FollowFailures() uint64 { return r.followFailures.Load() }
 
 func loadModel(name, path string) (*Model, error) {
-	data, err := os.ReadFile(path)
+	src := &FileSource{Path: path}
+	data, version, err := src.Load()
 	if err != nil {
 		return nil, err
 	}
-	h := fnv.New64a()
-	h.Write(data)
+	return modelFromBytes(name, path, data, version)
+}
+
+// modelFromBytes parses one model generation out of its serialized
+// bytes. path is the source's Describe() string — purely descriptive.
+func modelFromBytes(name, path string, data []byte, version string) (*Model, error) {
 	pred, err := napel.LoadPredictor(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
@@ -173,7 +204,7 @@ func loadModel(name, path string) (*Model, error) {
 	return &Model{
 		Name:      name,
 		Path:      path,
-		Version:   fmt.Sprintf("%016x", h.Sum64()),
+		Version:   version,
 		LoadedAt:  time.Now(),
 		Predictor: pred,
 	}, nil

@@ -36,6 +36,11 @@ type Config struct {
 	// `napel train`. The entry named "default" (or a sole entry) serves
 	// requests that name no model.
 	ModelPaths map[string]string
+	// ModelSources maps model names to pull-based sources (e.g. a
+	// StoreSource following napel-traind's model store over HTTP). A
+	// name present in both maps takes the source. At least one of
+	// ModelPaths/ModelSources must be non-empty.
+	ModelSources map[string]ModelSource
 	// CacheEntries bounds the LRU response cache (default 4096).
 	CacheEntries int
 	// MaxBatch bounds the number of items in one batched predict
@@ -175,7 +180,14 @@ type Server struct {
 // LazyLoad defers that first load to follow/reload.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	reg, err := newRegistry(cfg.ModelPaths, cfg.LazyLoad)
+	sources := make(map[string]ModelSource, len(cfg.ModelPaths)+len(cfg.ModelSources))
+	for name, path := range cfg.ModelPaths {
+		sources[name] = &FileSource{Path: path}
+	}
+	for name, src := range cfg.ModelSources {
+		sources[name] = src
+	}
+	reg, err := newRegistrySources(sources, cfg.LazyLoad)
 	if err != nil {
 		return nil, err
 	}

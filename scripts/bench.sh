@@ -1,19 +1,29 @@
 #!/usr/bin/env bash
-# Performance-trajectory benchmark: train a tiny model, start
-# napel-serve, drive it with napel-loadgen's replayable mixed workload
+# Performance-trajectory benchmark: train a tiny model, start the
+# serving stack, drive it with napel-loadgen's replayable mixed workload
 # (correctness probing on), and write the machine-readable BENCH_<pr>.json
 # report at the repo root. One committed report per performance-relevant
 # PR turns these files into a perf trajectory: compare per-endpoint
 # quantiles, throughput and server-side alloc/GC attribution across
-# revisions, replayed from the same seed.
+# revisions, replayed from the same seed. Reports are stamped with the
+# git revision, GOMAXPROCS and the serving topology.
+#
+# Two topologies:
+#   BENCH_FLEET=0 (default)  one napel-serve, loadgen hits it directly
+#   BENCH_FLEET=N            N replicas behind napel-gate; loadgen hits
+#                            the gate, /metrics deltas are summed across
+#                            the replicas so the report's cache ratio is
+#                            the fleet aggregate
 #
 # Usage: ./scripts/bench.sh [out.json]
-# Env:   BENCH_PR       report/filename key        (default 6)
-#        BENCH_SEED     workload seed              (default 1)
-#        BENCH_REQUESTS scheduled requests         (default 2000)
-#        BENCH_WORKERS  closed-loop clients        (default 8)
-#        BENCH_SLO_P99  p99 gate                   (default 250ms)
-#        BENCH_MIN_RPS  throughput gate            (default 50)
+# Env:   BENCH_PR            report/filename key        (default 6)
+#        BENCH_SEED          workload seed              (default 1)
+#        BENCH_REQUESTS      scheduled requests         (default 2000)
+#        BENCH_WORKERS       closed-loop clients        (default 8)
+#        BENCH_SLO_P99       p99 gate                   (default 250ms)
+#        BENCH_MIN_RPS       throughput gate            (default 50)
+#        BENCH_FLEET         replicas behind a gate     (default 0)
+#        BENCH_CACHE_ENTRIES per-replica LRU capacity   (default 0 = server default)
 #
 # Exit code is napel-loadgen's: 0 pass, 3 SLO violation.
 set -euo pipefail
@@ -26,11 +36,15 @@ requests=${BENCH_REQUESTS:-2000}
 workers=${BENCH_WORKERS:-8}
 slo_p99=${BENCH_SLO_P99:-250ms}
 min_rps=${BENCH_MIN_RPS:-50}
+fleet=${BENCH_FLEET:-0}
+cache_entries=${BENCH_CACHE_ENTRIES:-0}
 
 tmp=$(mktemp -d)
-server_pid=""
+pids=()
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    for pid in "${pids[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -38,6 +52,7 @@ trap cleanup EXIT
 echo "== bench: building =="
 go build -o "$tmp/napel" ./cmd/napel
 go build -o "$tmp/napel-serve" ./cmd/napel-serve
+go build -o "$tmp/napel-gate" ./cmd/napel-gate
 go build -o "$tmp/napel-loadgen" ./cmd/napel-loadgen
 
 echo "== bench: training workload model =="
@@ -49,27 +64,64 @@ echo "== bench: training workload model =="
 "$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
     -budget 20000 -out "$tmp/req.json"
 
-port=$(( (RANDOM % 20000) + 20000 ))
-url="http://127.0.0.1:$port"
-"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$port" -quiet \
-    2>"$tmp/server.log" &
-server_pid=$!
-for _ in $(seq 1 50); do
-    curl -fsS -o /dev/null "$url/healthz" 2>/dev/null && break
-    sleep 0.1
-done
+wait_healthy() {
+    for _ in $(seq 1 50); do
+        curl -fsS -o /dev/null "$1/healthz" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "bench: $1 never became healthy" >&2
+    return 1
+}
 
-echo "== bench: pr=$pr seed=$seed requests=$requests workers=$workers =="
+extra_args=()
+if [ "$fleet" -gt 0 ]; then
+    replica_urls=""
+    scrape_urls=""
+    for i in $(seq 1 "$fleet"); do
+        rport=$(( (RANDOM % 20000) + 20000 ))
+        rurl="http://127.0.0.1:$rport"
+        "$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$rport" \
+            -cache-entries "$cache_entries" -quiet 2>"$tmp/replica$i.log" &
+        pids+=($!)
+        wait_healthy "$rurl"
+        replica_urls="${replica_urls:+$replica_urls,}$rurl"
+        scrape_urls="${scrape_urls:+$scrape_urls,}$rurl"
+    done
+    port=$(( (RANDOM % 20000) + 20000 ))
+    url="http://127.0.0.1:$port"
+    # Hedging off for the bench: it trades tail latency for duplicate
+    # work, which would smear the per-replica cache attribution.
+    "$tmp/napel-gate" -addr "127.0.0.1:$port" -replicas "$replica_urls" \
+        -hedge-after=-1ms -health-interval 100ms 2>"$tmp/gate.log" &
+    pids+=($!)
+    wait_healthy "$url"
+    topology="gate+${fleet}x serve"
+    extra_args+=(-scrape-targets "$scrape_urls" -topology "$topology")
+else
+    port=$(( (RANDOM % 20000) + 20000 ))
+    url="http://127.0.0.1:$port"
+    "$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$port" \
+        -cache-entries "$cache_entries" -quiet 2>"$tmp/server.log" &
+    pids+=($!)
+    wait_healthy "$url"
+    topology="serve"
+    extra_args+=(-topology "$topology")
+fi
+
+echo "== bench: pr=$pr seed=$seed requests=$requests workers=$workers topology='$topology' =="
 status=0
 "$tmp/napel-loadgen" -target "$url" \
     -requests "$requests" -workers "$workers" -seed "$seed" -keyspace 16 \
     -base "$tmp/req.json" -probe-model "$tmp/model.json" \
     -slo-p99 "$slo_p99" -min-rps "$min_rps" -max-error-rate 0 \
+    "${extra_args[@]}" \
     -pr "$pr" -out "$out" || status=$?
 
-kill -TERM "$server_pid" 2>/dev/null
-wait "$server_pid" 2>/dev/null || true
-server_pid=""
+for pid in "${pids[@]}"; do
+    kill -TERM "$pid" 2>/dev/null
+    wait "$pid" 2>/dev/null || true
+done
+pids=()
 
 if [ "$status" -ne 0 ]; then
     echo "bench: FAILED (exit $status), report in $out" >&2

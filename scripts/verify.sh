@@ -6,9 +6,12 @@
 # the napel-traind lifecycle (submit a job, wait for promotion, serve
 # the promoted model), of the resilience layer (a -lazy server flipping
 # /readyz 503 -> 200, and a traind promoting under an injected fault
-# plan), and of napel-loadgen (two same-seed runs replaying identical
+# plan), of napel-loadgen (two same-seed runs replaying identical
 # request schedules with correctness probing, then a chaos-under-load
-# run proving degraded-mode serving holds a relaxed SLO).
+# run proving degraded-mode serving holds a relaxed SLO), and of the
+# fleet tier (traind + two lazy store-pulling replicas behind
+# napel-gate: a rolling hot-install via POST /v1/fleet/reload, then a
+# probed loadgen run through the gate with zero mismatches).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -30,7 +33,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/... ./internal/resilience/...
+go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/... ./internal/resilience/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -38,8 +41,10 @@ tmp=$(mktemp -d)
 server_pid=""
 traind_pid=""
 cleanup() {
-    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
-    [ -n "$traind_pid" ] && kill "$traind_pid" 2>/dev/null
+    for pid in "$server_pid" "$traind_pid" \
+        "${replica1_pid:-}" "${replica2_pid:-}" "${gate_pid:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null
+    done
     rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -436,5 +441,141 @@ degraded=$(sed -n 's/.*"degraded"[: ]*\([0-9]*\).*/\1/p' "$tmp/chaos-load.json" 
 kill "$server_pid" 2>/dev/null; wait "$server_pid" 2>/dev/null || true
 server_pid=""
 echo "chaos smoke test: $degraded degraded answers served under injected faults, SLO held"
+
+echo "== fleet smoke test: store-driven replicas behind napel-gate =="
+# The full distribution path: two -lazy replicas come up against an
+# empty store (unready), traind then trains and promotes a model, and
+# the gate rolls a fleet-wide hot-install one replica at a time — each
+# pulling the blob from the store's HTTP API, sha256-verified on
+# receipt. Loadgen then drives the gate with
+# the promoted model file as its correctness oracle: every probed
+# response must be bit-identical to a local evaluation, proving gate
+# routing neither corrupts nor mixes up requests.
+go build -o "$tmp/napel-gate" ./cmd/napel-gate
+fport=$(( (RANDOM % 20000) + 20000 ))
+furl="http://127.0.0.1:$fport"
+"$tmp/napel-traind" -store "$tmp/fleet-store" -addr "127.0.0.1:$fport" \
+    2>"$tmp/fleet-traind.log" &
+traind_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$furl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: fleet traind never became healthy" >&2
+    cat "$tmp/fleet-traind.log" >&2
+    exit 1
+fi
+# Two lazy replicas pulling from the store over HTTP. The store is
+# still empty, so their eager first pull finds no promoted lineage:
+# live immediately, unready until the rolling reload installs the
+# model that traind promotes below.
+r1port=$(( (RANDOM % 20000) + 20000 ))
+r2port=$(( r1port + 1 ))
+r1url="http://127.0.0.1:$r1port"
+r2url="http://127.0.0.1:$r2port"
+"$tmp/napel-serve" -model-store "$furl" -lazy -addr "127.0.0.1:$r1port" -quiet \
+    2>"$tmp/fleet-r1.log" &
+replica1_pid=$!
+"$tmp/napel-serve" -model-store "$furl" -lazy -addr "127.0.0.1:$r2port" -quiet \
+    2>"$tmp/fleet-r2.log" &
+replica2_pid=$!
+gateport=$(( (RANDOM % 20000) + 20000 ))
+gateurl="http://127.0.0.1:$gateport"
+"$tmp/napel-gate" -addr "127.0.0.1:$gateport" \
+    -replicas "$r1url,$r2url" -health-interval 100ms \
+    2>"$tmp/fleet-gate.log" &
+gate_pid=$!
+fleet_cleanup() {
+    for pid in "$replica1_pid" "$replica2_pid" "$gate_pid"; do
+        kill "$pid" 2>/dev/null; wait "$pid" 2>/dev/null || true
+    done
+    replica1_pid=""; replica2_pid=""; gate_pid=""
+}
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$gateurl/healthz" 2>/dev/null \
+        && curl -fsS -o /dev/null "$r1url/healthz" 2>/dev/null \
+        && curl -fsS -o /dev/null "$r2url/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: fleet tier never became live" >&2
+    cat "$tmp/fleet-gate.log" "$tmp/fleet-r1.log" >&2
+    exit 1
+fi
+ready=$(curl -sS -o /dev/null -w '%{http_code}' "$r1url/readyz")
+if [ "$ready" != 503 ]; then
+    echo "verify: lazy store replica /readyz=$ready before install (want 503)" >&2
+    exit 1
+fi
+
+# Now publish something to distribute: train + promote through traind.
+fsubmit=$(curl -sS -d '{"kernels":["atax"],"train_scale":32,"max_iters":1,
+    "profile_budget":20000,"sim_budget":20000,"train_archs":2,"workers":2}' \
+    "$furl/v1/jobs")
+fjob=$(printf '%s' "$fsubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$fjob" ]; then
+    echo "verify: fleet job submission failed: $fsubmit" >&2
+    exit 1
+fi
+fstate=""
+for _ in $(seq 1 300); do
+    fstate=$(curl -sS "$furl/v1/jobs/$fjob" | sed -n 's/.*"state"[: ]*"\([a-z]*\)".*/\1/p')
+    case "$fstate" in promoted|rejected|failed|canceled) break ;; esac
+    sleep 0.1
+done
+if [ "$fstate" != promoted ]; then
+    echo "verify: fleet job $fjob ended in state '$fstate' (want promoted)" >&2
+    cat "$tmp/fleet-traind.log" >&2
+    exit 1
+fi
+
+# Fleet-wide rolling hot-install through the gate.
+roll=$(curl -sS -o "$tmp/fleet-roll.json" -w '%{http_code}' -X POST "$gateurl/v1/fleet/reload")
+if [ "$roll" != 200 ]; then
+    echo "verify: rolling reload: HTTP $roll" >&2
+    cat "$tmp/fleet-roll.json" >&2
+    cat "$tmp/fleet-gate.log" >&2
+    exit 1
+fi
+for rurl in "$r1url" "$r2url"; do
+    ready=$(curl -sS -o /dev/null -w '%{http_code}' "$rurl/readyz")
+    if [ "$ready" != 200 ]; then
+        echo "verify: replica $rurl /readyz=$ready after rolling reload (want 200)" >&2
+        exit 1
+    fi
+done
+
+# Drive the gate; the promoted model file is the correctness oracle.
+if ! "$tmp/napel-loadgen" -target "$gateurl" -requests 300 -workers 4 \
+    -seed 31 -keyspace 8 -base "$tmp/req.json" \
+    -probe-model "$tmp/fleet-store/current-model.json" -probe-every 2 \
+    -max-error-rate 0 -topology "gate+2x serve" \
+    -scrape-targets "$r1url,$r2url" -out "$tmp/fleet-lg.json" \
+    2>"$tmp/fleet-lg.log"; then
+    echo "verify: fleet loadgen run failed its gates" >&2
+    cat "$tmp/fleet-lg.log" >&2
+    cat "$tmp/fleet-gate.log" >&2
+    exit 1
+fi
+fprobed=$(sed -n 's/.*"checked"[: ]*\([0-9]*\).*/\1/p' "$tmp/fleet-lg.json" | head -1)
+fmism=$(sed -n 's/.*"mismatches"[: ]*\([0-9]*\).*/\1/p' "$tmp/fleet-lg.json" | head -1)
+if [ -z "$fprobed" ] || [ "$fprobed" -eq 0 ] || [ "$fmism" != 0 ]; then
+    echo "verify: fleet probe checked=$fprobed mismatches=$fmism (want >0 and 0)" >&2
+    cat "$tmp/fleet-lg.json" >&2
+    exit 1
+fi
+fleet_cleanup
+kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
+traind_pid=""
+echo "fleet smoke test: rolled 2 replicas, $fprobed gate responses probed, 0 mismatches"
 
 echo "verify: OK"
