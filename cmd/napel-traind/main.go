@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"napel/internal/collectd"
 	"napel/internal/lifecycle"
 	"napel/internal/obs"
 	"napel/internal/resilience/faultpoint"
@@ -48,6 +49,7 @@ func main() {
 	holdoutFrac := flag.Float64("holdout-frac", 0, "held-out fraction for the canary gate (0 = default 0.25)")
 	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "min interval between collection checkpoints (0 = every unit)")
 	maxRetries := flag.Int("max-retries", 0, "retries per job after a transient failure (0 = default 2, negative disables)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "heartbeat budget for distributed collection leases (0 disables the worker coordinator)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
@@ -89,6 +91,12 @@ func main() {
 		CheckpointEvery: *checkpointEvery,
 		MaxRetries:      *maxRetries,
 		Logf:            logger.Printf,
+	}
+	if *leaseTTL > 0 {
+		mcfg.Coordinator = collectd.NewCoordinator(collectd.Config{
+			LeaseTTL: *leaseTTL,
+			Logf:     logger.Printf,
+		})
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -1,0 +1,124 @@
+// Command napel-worker is the remote execution half of distributed DoE
+// collection: it polls a napel-traind coordinator for (kernel, input)
+// unit leases, executes each unit with the in-process reference
+// pipeline (profile → trace recording → one simulation per training
+// architecture), and reports the payload back under a content hash,
+// heartbeating while it works:
+//
+//	napel-traind -store ./models -addr :9091
+//	napel-worker -coordinator http://trainhost:9091
+//	napel-worker -coordinator http://trainhost:9091   # more = faster
+//
+// Workers are stateless and disposable: a killed worker's leases expire
+// at the coordinator and requeue onto the survivors, and the assembled
+// dataset is byte-identical to a single-machine run no matter how many
+// workers served it or how many died. Add workers for throughput, kill
+// them freely.
+//
+// -addr serves GET /metrics and /healthz for scraping; -chaos-spec
+// installs a deterministic fault plan (collectd.lease, collectd.complete,
+// collectd.payload) for protocol-resilience drills.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"napel/internal/collectd"
+	"napel/internal/obs"
+	"napel/internal/resilience/faultpoint"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://trainhost:9091 (required)")
+	id := flag.String("id", "", "worker id reported in leases (default host-pid)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease polls")
+	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request protocol timeout")
+	seed := flag.Uint64("seed", 1, "retry-jitter seed")
+	addr := flag.String("addr", "", "optional listen address for /metrics and /healthz")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
+	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'collectd.complete:0.2' (empty = chaos off)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.VersionLine("napel-worker"))
+		return
+	}
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "napel-worker: -coordinator is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	logger := log.New(os.Stderr, "napel-worker: ", log.LstdFlags)
+	if *chaosSpec != "" {
+		if err := faultpoint.Enable(*chaosSeed, *chaosSpec); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("chaos plan active (seed %d): %s", *chaosSeed, *chaosSpec)
+	}
+
+	reg := obs.NewRegistry()
+	w, err := collectd.NewWorker(collectd.WorkerConfig{
+		Coordinator:    *coordinator,
+		ID:             *id,
+		PollInterval:   *poll,
+		RequestTimeout: *reqTimeout,
+		Seed:           *seed,
+		Registry:       reg,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		logger.Printf("received %s, finishing current unit and exiting (send again to force)", sig)
+		cancel()
+		sig = <-sigCh
+		logger.Printf("received second %s, forcing exit", sig)
+		os.Exit(130)
+	}()
+
+	if *addr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(rw, `{"status":"ok","worker":%q}`+"\n", *id)
+		})
+		mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+			rw.Header().Set("Content-Type", obs.ContentType)
+			reg.WriteText(rw)
+		})
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("serving metrics on %s", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
+	logger.Printf("worker %s starting against %s", *id, *coordinator)
+	w.Run(ctx)
+	logger.Printf("worker %s stopped", *id)
+}

@@ -64,16 +64,26 @@ func chaosFlags(fs *flag.FlagSet) (enable func() error) {
 }
 
 // reportQuarantined prints every skipped unit and converts the run's nil
-// error into the distinct quarantine exit code.
+// error into the distinct quarantine exit code. Entries are deduplicated
+// by unit key so a unit that failed, retried, and failed again is
+// reported — and counted — once, however many times it appears.
 func reportQuarantined(td *napel.TrainingData) error {
 	if len(td.Quarantined) == 0 {
 		return nil
 	}
+	seen := map[string]bool{}
+	units := 0
 	for _, q := range td.Quarantined {
+		key := napel.UnitKey(q.App, q.Input)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		units++
 		fmt.Fprintf(os.Stderr, "napel: quarantined %s %s: %s\n", q.App, q.Input, q.Error)
 	}
 	return &exitCodeError{code: 3,
-		msg: fmt.Sprintf("%d unit(s) quarantined; collected data excludes them", len(td.Quarantined))}
+		msg: fmt.Sprintf("%d unit(s) quarantined; collected data excludes them", units)}
 }
 
 func main() {

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"errors"
+	"strings"
 	"testing"
+
+	"napel/internal/napel"
+	"napel/internal/workload"
 )
 
 func TestParamListParsing(t *testing.T) {
@@ -55,5 +60,34 @@ func TestKernelFlagsErrors(t *testing.T) {
 	kf = newKernelFlags("test", 0)
 	if _, _, err := kf.resolve([]string{"-kernel", "atax", "-p", "bogusparam=1"}); err == nil {
 		t.Error("unknown parameter accepted")
+	}
+}
+
+// TestReportQuarantinedDedupes is the regression test for the summary
+// over-count: duplicate quarantine entries for the same unit key (a
+// unit that failed, retried, and failed again) are reported — and
+// counted in the exit message — once.
+func TestReportQuarantinedDedupes(t *testing.T) {
+	in := workload.Input{"dim": 8, "threads": 2}
+	other := workload.Input{"dim": 16, "threads": 2}
+	td := &napel.TrainingData{Quarantined: []napel.QuarantinedUnit{
+		{App: "atax", Input: in, Error: "attempt 1"},
+		{App: "atax", Input: in, Error: "attempt 2"},
+		{App: "atax", Input: other, Error: "boom"},
+		{App: "atax", Input: in, Error: "attempt 3"},
+	}}
+	err := reportQuarantined(td)
+	var ec *exitCodeError
+	if !errors.As(err, &ec) {
+		t.Fatalf("err = %v, want *exitCodeError", err)
+	}
+	if ec.code != 3 {
+		t.Fatalf("exit code %d, want 3", ec.code)
+	}
+	if want := "2 unit(s) quarantined"; !strings.Contains(ec.msg, want) {
+		t.Fatalf("message %q does not count 2 distinct units", ec.msg)
+	}
+	if err := reportQuarantined(&napel.TrainingData{}); err != nil {
+		t.Fatalf("empty quarantine list produced %v", err)
 	}
 }

@@ -1,0 +1,145 @@
+package collectd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"napel/internal/napel"
+)
+
+// maxCompleteBytes bounds a /v1/complete body: a payload is one sample
+// per training architecture at ~400 features each, well under a
+// megabyte even for wide architecture sweeps.
+const maxCompleteBytes = 8 << 20
+
+// Lease is the coordinator's answer to a work request: a claimed unit
+// spec plus the heartbeat budget.
+type Lease struct {
+	ID        string         `json:"id"`
+	TTLMillis int64          `json:"ttl_ms"`
+	Spec      napel.UnitSpec `json:"spec"`
+}
+
+// leaseRequest asks for work.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// heartbeatRequest extends the worker's live leases.
+type heartbeatRequest struct {
+	Worker string   `json:"worker"`
+	Leases []string `json:"leases"`
+}
+
+// heartbeatResponse lists the leases the coordinator no longer
+// recognizes; the worker aborts those executions.
+type heartbeatResponse struct {
+	Unknown []string `json:"unknown"`
+}
+
+// completeRequest resolves a lease: either Payload+SHA256 (success) or
+// Error (the worker's execution failed). Payload is kept as raw bytes
+// so the hash is computed over exactly what the worker hashed.
+type completeRequest struct {
+	Worker  string          `json:"worker"`
+	Lease   string          `json:"lease"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	SHA256  string          `json:"sha256,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// RegisterAPI mounts the coordinator's worker-facing protocol on mux:
+//
+//	POST /v1/lease      claim the oldest pending unit (204 = no work)
+//	POST /v1/heartbeat  extend live leases, learn which were revoked
+//	POST /v1/complete   deliver a unit payload or execution error
+//	GET  /v1/collect    coordinator statistics
+//
+// napel-traind mounts this next to its job/store API so one listener
+// serves both operators and workers.
+func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := decodeBody(r, &req); err != nil {
+			apiError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Worker == "" {
+			apiError(w, http.StatusBadRequest, "missing worker id")
+			return
+		}
+		l, ok := c.Lease(req.Worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		apiJSON(w, http.StatusOK, l)
+	})
+
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req heartbeatRequest
+		if err := decodeBody(r, &req); err != nil {
+			apiError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Worker == "" {
+			apiError(w, http.StatusBadRequest, "missing worker id")
+			return
+		}
+		unknown := c.Heartbeat(req.Worker, req.Leases)
+		apiJSON(w, http.StatusOK, heartbeatResponse{Unknown: unknown})
+	})
+
+	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req completeRequest
+		if err := decodeBody(r, &req); err != nil {
+			apiError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if req.Worker == "" || req.Lease == "" {
+			apiError(w, http.StatusBadRequest, "missing worker or lease id")
+			return
+		}
+		if req.Error == "" && (len(req.Payload) == 0 || req.SHA256 == "") {
+			apiError(w, http.StatusBadRequest, "complete needs either an error or a payload with its sha256")
+			return
+		}
+		err := c.Complete(req.Worker, req.Lease, []byte(req.Payload), req.SHA256, req.Error)
+		switch {
+		case errors.Is(err, ErrUnknownLease):
+			apiError(w, http.StatusNotFound, err.Error())
+		case errors.Is(err, ErrPayloadHash):
+			apiError(w, http.StatusUnprocessableEntity, err.Error())
+		case err != nil:
+			apiError(w, http.StatusInternalServerError, err.Error())
+		default:
+			apiJSON(w, http.StatusOK, map[string]bool{"accepted": true})
+		}
+	})
+
+	mux.HandleFunc("GET /v1/collect", func(w http.ResponseWriter, r *http.Request) {
+		apiJSON(w, http.StatusOK, c.Stats())
+	})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxCompleteBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func apiJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func apiError(w http.ResponseWriter, status int, msg string) {
+	apiJSON(w, status, map[string]string{"error": msg})
+}

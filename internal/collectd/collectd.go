@@ -1,0 +1,402 @@
+// Package collectd distributes the napel collection engine across
+// machines: a coordinator (embedded in napel-traind) leases planned
+// (kernel, input) units to remote napel-worker processes over a small
+// stdlib-only HTTP protocol, and an active-learning scheduler decides
+// which units are worth simulating at all.
+//
+// The coordinator plugs into the engine as a napel.UnitExecutor
+// (Options.Executor): planning, per-unit retry, quarantine, checkpoints
+// and deterministic plan-order assembly all stay in the engine, so the
+// assembled TrainingData is byte-identical to single-machine collection
+// regardless of worker count, worker failures, or lease timing. The
+// protocol carries unit *payloads* (pre-built samples), which JSON
+// round-trips exactly — the same argument the resume checkpoint relies
+// on — and every payload is verified by content hash before acceptance.
+//
+// Lease state machine:
+//
+//	pending --Lease()--> leased --Complete(ok)--------> delivered
+//	   ^                   |  \--Complete(error)------> delivered (engine retries/quarantines)
+//	   |                   |  \--Complete(bad hash)---> requeued (front of queue)
+//	   +---- TTL expiry ---+      (heartbeats extend the TTL)
+//
+// A unit abandoned by the engine (job cancelled) is dropped at the next
+// touch. Completing an expired or unknown lease returns ErrUnknownLease
+// to the worker and changes nothing — after expiry the unit is owed a
+// result by someone else, and whichever execution finishes first wins;
+// both produce the identical payload, so the race is invisible in the
+// output.
+package collectd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"napel/internal/napel"
+	"napel/internal/obs"
+)
+
+// Protocol errors surfaced to workers with distinct HTTP statuses.
+var (
+	// ErrUnknownLease rejects a completion for a lease that expired (and
+	// was requeued) or never existed.
+	ErrUnknownLease = errors.New("collectd: unknown or expired lease")
+	// ErrPayloadHash rejects a completion whose payload bytes do not
+	// match their declared sha256; the unit is requeued immediately.
+	ErrPayloadHash = errors.New("collectd: payload hash mismatch")
+)
+
+// Config configures a Coordinator. The zero value is usable.
+type Config struct {
+	// LeaseTTL is how long a leased unit may go without a heartbeat
+	// before it is requeued for another worker (default 15s).
+	LeaseTTL time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// Registry, when non-nil, receives the napel_collectd_* series.
+	Registry *obs.Registry
+	// Now is the clock, injectable for deterministic expiry tests.
+	Now func() time.Time
+}
+
+// unitOutcome is what a unit's Execute call unblocks on.
+type unitOutcome struct {
+	payload *napel.UnitPayload
+	err     error
+}
+
+// unit is one enqueued spec awaiting a worker-produced payload.
+type unit struct {
+	spec      napel.UnitSpec
+	done      chan unitOutcome
+	abandoned bool
+	requeues  int
+}
+
+// lease is one worker's claim on a unit.
+type lease struct {
+	id       string
+	u        *unit
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator hands planned units to workers and routes their payloads
+// back to the blocked engine calls. All methods are safe for concurrent
+// use.
+type Coordinator struct {
+	cfg Config
+	o   *coordObs
+
+	mu      sync.Mutex
+	pending []*unit          // FIFO; requeued units go to the front
+	leases  map[string]*lease
+	workers map[string]time.Time // worker id -> last contact
+	seq     uint64
+
+	completed uint64
+	requeued  uint64
+	expired   uint64
+	corrupt   uint64
+	remoteErr uint64
+}
+
+// NewCoordinator returns a coordinator ready to serve workers.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		o:       newCoordObs(cfg.Registry),
+		leases:  map[string]*lease{},
+		workers: map[string]time.Time{},
+	}
+	c.o.bindQueues(c)
+	return c
+}
+
+// Register attaches the coordinator's napel_collectd_* series to reg
+// after construction — for embedders (napel-traind's manager) whose
+// registry only exists once the coordinator is already built. A no-op
+// when the coordinator was constructed with a registry or reg is nil.
+func (c *Coordinator) Register(reg *obs.Registry) {
+	if reg == nil || c.o != nil {
+		return
+	}
+	c.cfg.Registry = reg
+	c.o = newCoordObs(reg)
+	c.o.bindQueues(c)
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Executor adapts the coordinator to the engine's executor hook:
+// `opts.Executor = coordinator.Executor()` turns any Collect variant
+// into a distributed run.
+func (c *Coordinator) Executor() napel.UnitExecutor { return c.Execute }
+
+// Execute enqueues one unit and blocks until a worker delivers its
+// payload (or terminal error), the lease machinery requeueing as needed
+// underneath. It is called by the engine with its usual per-unit
+// concurrency, so the engine's Workers option bounds the units offered
+// to the worker fleet at once.
+func (c *Coordinator) Execute(ctx context.Context, spec napel.UnitSpec) (*napel.UnitPayload, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, span := obs.StartSpan(ctx, "collectd.unit")
+	span.SetAttr("key", spec.Key)
+	defer span.End()
+
+	u := &unit{spec: spec, done: make(chan unitOutcome, 1)}
+	c.mu.Lock()
+	c.pending = append(c.pending, u)
+	c.mu.Unlock()
+	c.o.enqueued()
+
+	// The periodic tick bounds how stale an un-heartbeated lease can get
+	// even when no worker traffic triggers the lazy expiry sweep.
+	ticker := time.NewTicker(c.cfg.LeaseTTL / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case out := <-u.done:
+			span.SetError(out.err)
+			return out.payload, out.err
+		case <-ctx.Done():
+			c.abandon(u)
+			span.SetError(ctx.Err())
+			return nil, ctx.Err()
+		case now := <-ticker.C:
+			c.expire(now)
+		}
+	}
+}
+
+// abandon marks a unit's Execute call as gone; the unit is dropped from
+// the queue (or at its lease's next touch) instead of being re-leased.
+func (c *Coordinator) abandon(u *unit) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u.abandoned = true
+	for i, p := range c.pending {
+		if p == u {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lease hands the oldest pending unit to a worker, returning ok=false
+// when no work is available. The returned TTL tells the worker its
+// heartbeat budget.
+func (c *Coordinator) Lease(workerID string) (Lease, bool) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	c.workers[workerID] = now
+	for len(c.pending) > 0 {
+		u := c.pending[0]
+		c.pending = c.pending[1:]
+		if u.abandoned {
+			continue
+		}
+		c.seq++
+		l := &lease{
+			id:       fmt.Sprintf("l-%08x", c.seq),
+			u:        u,
+			worker:   workerID,
+			deadline: now.Add(c.cfg.LeaseTTL),
+		}
+		c.leases[l.id] = l
+		c.o.leased()
+		return Lease{ID: l.id, TTLMillis: c.cfg.LeaseTTL.Milliseconds(), Spec: u.spec}, true
+	}
+	return Lease{}, false
+}
+
+// Heartbeat extends the given leases' deadlines and reports the ids
+// that are no longer live — the worker's cue to abort those executions,
+// because the units have been requeued for someone else.
+func (c *Coordinator) Heartbeat(workerID string, ids []string) (unknown []string) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	c.workers[workerID] = now
+	for _, id := range ids {
+		if l, ok := c.leases[id]; ok {
+			l.deadline = now.Add(c.cfg.LeaseTTL)
+		} else {
+			unknown = append(unknown, id)
+		}
+	}
+	return unknown
+}
+
+// Complete resolves a lease. payload/sum carry the unit's JSON payload
+// and its sha256 (hex); remoteErr, when non-empty, reports that the
+// worker's execution failed — that error is delivered to the engine,
+// whose retry/quarantine policy decides what happens next. A payload
+// whose bytes do not hash to sum never reaches the engine: the unit is
+// requeued and ErrPayloadHash returned.
+func (c *Coordinator) Complete(workerID, leaseID string, payload []byte, sum string, remoteErr string) error {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+	c.workers[workerID] = now
+
+	l, ok := c.leases[leaseID]
+	if !ok {
+		c.o.completed("unknown")
+		return ErrUnknownLease
+	}
+	delete(c.leases, leaseID)
+	u := l.u
+	if u.abandoned {
+		c.o.completed("abandoned")
+		return nil
+	}
+
+	if remoteErr != "" {
+		c.remoteErr++
+		c.o.completed("error")
+		c.deliverLocked(u, unitOutcome{err: fmt.Errorf("collectd: worker %s: %s", workerID, remoteErr)})
+		return nil
+	}
+
+	got := sha256.Sum256(payload)
+	if hex.EncodeToString(got[:]) != sum {
+		c.corrupt++
+		c.o.completed("corrupt")
+		c.requeueLocked(u)
+		c.logf("collectd: worker %s returned corrupt payload for %s (lease %s); requeued", workerID, u.spec.Key, leaseID)
+		return ErrPayloadHash
+	}
+	var p napel.UnitPayload
+	if err := json.Unmarshal(payload, &p); err == nil {
+		err = p.Check(u.spec)
+		if err == nil {
+			c.completed++
+			c.o.completed("ok")
+			c.deliverLocked(u, unitOutcome{payload: &p})
+			return nil
+		}
+		// A well-hashed payload that fails validation is a worker bug,
+		// not transport corruption: deliver it as an execution error so
+		// the engine's retry/quarantine policy rules, instead of
+		// requeueing the same bug forever.
+		c.o.completed("invalid")
+		c.deliverLocked(u, unitOutcome{err: fmt.Errorf("collectd: worker %s: %w", workerID, err)})
+		return nil
+	} else {
+		c.o.completed("invalid")
+		c.deliverLocked(u, unitOutcome{err: fmt.Errorf("collectd: worker %s: undecodable payload: %w", workerID, err)})
+		return nil
+	}
+}
+
+// deliverLocked unblocks a unit's Execute call. The channel is buffered
+// and each unit structurally receives at most one outcome (its lease is
+// deleted before delivery), but guard anyway.
+func (c *Coordinator) deliverLocked(u *unit, out unitOutcome) {
+	select {
+	case u.done <- out:
+	default:
+	}
+}
+
+// requeueLocked puts a still-owed unit at the front of the queue so
+// stragglers recover with minimum latency.
+func (c *Coordinator) requeueLocked(u *unit) {
+	u.requeues++
+	c.requeued++
+	c.o.requeuedUnit()
+	c.pending = append([]*unit{u}, c.pending...)
+}
+
+// expire requeues every lease whose deadline has passed.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.expireLocked(now)
+}
+
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, l := range c.leases {
+		if l.deadline.After(now) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired++
+		c.o.leaseExpired()
+		if l.u.abandoned {
+			continue
+		}
+		c.requeueLocked(l.u)
+		c.logf("collectd: lease %s on %s (worker %s) expired; requeued", id, l.u.spec.Key, l.worker)
+	}
+}
+
+// Stats is a point-in-time snapshot of the coordinator, served by
+// GET /v1/collect.
+type Stats struct {
+	Pending      int                  `json:"pending"`
+	Leased       int                  `json:"leased"`
+	Completed    uint64               `json:"completed"`
+	Requeued     uint64               `json:"requeued"`
+	Expired      uint64               `json:"expired"`
+	Corrupt      uint64               `json:"corrupt"`
+	RemoteErrors uint64               `json:"remote_errors"`
+	Workers      map[string]time.Time `json:"workers"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Pending:      len(c.pending),
+		Leased:       len(c.leases),
+		Completed:    c.completed,
+		Requeued:     c.requeued,
+		Expired:      c.expired,
+		Corrupt:      c.corrupt,
+		RemoteErrors: c.remoteErr,
+		Workers:      make(map[string]time.Time, len(c.workers)),
+	}
+	for w, t := range c.workers {
+		s.Workers[w] = t
+	}
+	return s
+}
+
+// queueDepths reports (pending, leased) for the gauges.
+func (c *Coordinator) queueDepths() (int, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending), len(c.leases)
+}
+
+// hashPayload is the content hash both sides of the protocol compute
+// over the exact payload bytes.
+func hashPayload(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

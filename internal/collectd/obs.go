@@ -1,0 +1,198 @@
+package collectd
+
+import "napel/internal/obs"
+
+// coordObs is the coordinator's observability surface. A nil receiver —
+// no registry configured — makes every method a no-op, matching the
+// engine's instrumentation discipline.
+type coordObs struct {
+	leases    *obs.Counter
+	expired   *obs.Counter
+	requeues  *obs.Counter
+	enqueues  *obs.Counter
+	completes map[string]*obs.Counter
+}
+
+// completeResults enumerates the /v1/complete outcomes the coordinator
+// distinguishes.
+var completeResults = [...]string{"ok", "error", "corrupt", "invalid", "unknown", "abandoned"}
+
+func newCoordObs(reg *obs.Registry) *coordObs {
+	if reg == nil {
+		return nil
+	}
+	o := &coordObs{
+		leases: reg.Counter("napel_collectd_leases_total",
+			"Units leased to workers."),
+		expired: reg.Counter("napel_collectd_lease_expired_total",
+			"Leases that missed their heartbeat deadline and were revoked."),
+		requeues: reg.Counter("napel_collectd_requeues_total",
+			"Units put back on the queue after lease expiry or a corrupt payload."),
+		enqueues: reg.Counter("napel_collectd_units_total",
+			"Units offered to the worker fleet."),
+		completes: make(map[string]*obs.Counter, len(completeResults)),
+	}
+	cv := reg.CounterVec("napel_collectd_completes_total",
+		"Lease completions by outcome.", "result")
+	for _, res := range completeResults {
+		o.completes[res] = cv.With(res)
+	}
+	return o
+}
+
+// bindQueues registers the live queue-depth gauges against c.
+func (o *coordObs) bindQueues(c *Coordinator) {
+	if o == nil {
+		return
+	}
+	c.cfg.Registry.GaugeFunc("napel_collectd_pending",
+		"Units waiting for a worker lease.",
+		func() float64 {
+			p, _ := c.queueDepths()
+			return float64(p)
+		})
+	c.cfg.Registry.GaugeFunc("napel_collectd_leased",
+		"Units currently leased to workers.",
+		func() float64 {
+			_, l := c.queueDepths()
+			return float64(l)
+		})
+}
+
+func (o *coordObs) enqueued() {
+	if o == nil {
+		return
+	}
+	o.enqueues.Inc()
+}
+
+func (o *coordObs) leased() {
+	if o == nil {
+		return
+	}
+	o.leases.Inc()
+}
+
+func (o *coordObs) leaseExpired() {
+	if o == nil {
+		return
+	}
+	o.expired.Inc()
+}
+
+func (o *coordObs) requeuedUnit() {
+	if o == nil {
+		return
+	}
+	o.requeues.Inc()
+}
+
+func (o *coordObs) completed(result string) {
+	if o == nil {
+		return
+	}
+	if ctr, ok := o.completes[result]; ok {
+		ctr.Inc()
+	}
+}
+
+// workerObs instruments one napel-worker process.
+type workerObs struct {
+	leases   *obs.Counter
+	executed *obs.Counter
+	failed   *obs.Counter
+	lost     *obs.Counter
+	idle     *obs.Counter
+}
+
+func newWorkerObs(reg *obs.Registry) *workerObs {
+	if reg == nil {
+		return nil
+	}
+	return &workerObs{
+		leases: reg.Counter("napel_worker_leases_total",
+			"Leases acquired from the coordinator."),
+		executed: reg.Counter("napel_worker_units_executed_total",
+			"Units executed to completion and reported back."),
+		failed: reg.Counter("napel_worker_unit_errors_total",
+			"Unit executions that ended in an error."),
+		lost: reg.Counter("napel_worker_leases_lost_total",
+			"Leases revoked under us (heartbeat reported unknown)."),
+		idle: reg.Counter("napel_worker_idle_polls_total",
+			"Lease polls that found no pending work."),
+	}
+}
+
+func (o *workerObs) leaseOK() {
+	if o == nil {
+		return
+	}
+	o.leases.Inc()
+}
+
+func (o *workerObs) unitDone(err error) {
+	if o == nil {
+		return
+	}
+	if err != nil {
+		o.failed.Inc()
+	} else {
+		o.executed.Inc()
+	}
+}
+
+func (o *workerObs) leaseLost() {
+	if o == nil {
+		return
+	}
+	o.lost.Inc()
+}
+
+func (o *workerObs) idlePoll() {
+	if o == nil {
+		return
+	}
+	o.idle.Inc()
+}
+
+// activeObs instruments the active-learning scheduler.
+type activeObs struct {
+	rounds      *obs.Counter
+	selected    *obs.Counter
+	maxUncert   *obs.Gauge
+	meanUncert  *obs.Gauge
+	lastMRE     *obs.Gauge
+	poolRemains *obs.Gauge
+}
+
+func newActiveObs(reg *obs.Registry) *activeObs {
+	if reg == nil {
+		return nil
+	}
+	return &activeObs{
+		rounds: reg.Counter("napel_collectd_rounds_total",
+			"Active-learning rounds completed."),
+		selected: reg.Counter("napel_collectd_selected_total",
+			"Units selected for simulation by the active learner."),
+		maxUncert: reg.Gauge("napel_collectd_uncertainty_max",
+			"Highest candidate ensemble-disagreement score of the last round."),
+		meanUncert: reg.Gauge("napel_collectd_uncertainty_mean",
+			"Mean candidate ensemble-disagreement score of the last round."),
+		lastMRE: reg.Gauge("napel_collectd_holdout_mre",
+			"Combined holdout MRE after the last round."),
+		poolRemains: reg.Gauge("napel_collectd_pool_remaining",
+			"Candidate units not yet simulated."),
+	}
+}
+
+func (o *activeObs) round(selected int, meanU, maxU, mre float64, remaining int) {
+	if o == nil {
+		return
+	}
+	o.rounds.Inc()
+	o.selected.Add(uint64(selected))
+	o.meanUncert.Set(meanU)
+	o.maxUncert.Set(maxU)
+	o.lastMRE.Set(mre)
+	o.poolRemains.Set(float64(remaining))
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"napel/internal/collectd"
 	"napel/internal/obs"
 )
 
@@ -27,6 +28,11 @@ const maxSpecBytes = 1 << 20
 //	GET  /v1/store/manifests/{id}  one manifest
 //	GET  /v1/store/blobs/{hash}    model bytes by content address
 //	GET  /healthz               liveness
+//
+// When the manager runs a collectd coordinator, the worker protocol
+// (POST /v1/lease, /v1/heartbeat, /v1/complete; GET /v1/collect) is
+// mounted on the same mux, so one listener serves operators and
+// napel-worker processes alike.
 //	GET  /metrics               Prometheus text exposition
 //	GET  /debug/traces          recent job/engine spans, grouped by trace
 //	GET  /debug/pprof/...       runtime profiling
@@ -128,6 +134,11 @@ func NewAPIHandler(m *Manager) http.Handler {
 
 	// The model-distribution routes replicas pull from (StoreSource).
 	RegisterStoreAPI(mux, m.store)
+
+	// The worker-facing collection protocol, when a coordinator runs.
+	if m.cfg.Coordinator != nil {
+		collectd.RegisterAPI(mux, m.cfg.Coordinator)
+	}
 
 	mux.HandleFunc("POST /v1/store/rollback", func(w http.ResponseWriter, r *http.Request) {
 		manifest, err := m.store.Rollback()

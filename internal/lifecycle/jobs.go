@@ -71,6 +71,24 @@ type JobSpec struct {
 	// MaxRetries overrides the manager's per-job retry budget; -1
 	// disables retries for this job.
 	MaxRetries int `json:"max_retries,omitempty"`
+	// Distributed leases this job's collection units to napel-worker
+	// processes through the daemon's collectd coordinator instead of
+	// executing them in-process. The assembled dataset is byte-identical
+	// either way; the job fails permanently if the daemon runs without a
+	// coordinator.
+	Distributed bool `json:"distributed,omitempty"`
+	// Active replaces exhaustive DoE collection with the uncertainty-
+	// driven loop: train on a seed design, then per round simulate only
+	// the candidates the ensemble disagrees on most, stopping at
+	// ActiveTargetMRE (when set) or when the pool runs dry. Active jobs
+	// do not checkpoint mid-collection — rounds are the unit of progress.
+	Active bool `json:"active,omitempty"`
+	// ActiveSeedUnits / ActiveRoundUnits / ActiveMaxUnits tune the loop
+	// (0 = pool-relative defaults); ActiveTargetMRE > 0 stops it early.
+	ActiveSeedUnits  int     `json:"active_seed_units,omitempty"`
+	ActiveRoundUnits int     `json:"active_round_units,omitempty"`
+	ActiveMaxUnits   int     `json:"active_max_units,omitempty"`
+	ActiveTargetMRE  float64 `json:"active_target_mre,omitempty"`
 }
 
 // Validate resolves everything the spec references so a bad submission
@@ -90,6 +108,12 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.HoldoutFrac < 0 || sp.HoldoutFrac >= 1 {
 		return fmt.Errorf("lifecycle: holdout fraction %g out of [0, 1)", sp.HoldoutFrac)
+	}
+	if sp.ActiveSeedUnits < 0 || sp.ActiveRoundUnits < 0 || sp.ActiveMaxUnits < 0 || sp.ActiveTargetMRE < 0 {
+		return fmt.Errorf("lifecycle: active-learning parameters must be non-negative")
+	}
+	if !sp.Active && (sp.ActiveSeedUnits > 0 || sp.ActiveRoundUnits > 0 || sp.ActiveMaxUnits > 0 || sp.ActiveTargetMRE > 0) {
+		return fmt.Errorf("lifecycle: active_* parameters require active: true")
 	}
 	opts, err := sp.options()
 	if err != nil {
@@ -177,7 +201,9 @@ type Job struct {
 	UnitsDone     int `json:"units_done,omitempty"`
 	UnitsTotal    int `json:"units_total,omitempty"`
 	UnitsRestored int `json:"units_restored,omitempty"`
-	Samples       int `json:"samples,omitempty"`
+	// Rounds counts completed active-learning rounds (active jobs only).
+	Rounds  int `json:"rounds,omitempty"`
+	Samples int `json:"samples,omitempty"`
 	// ManifestID is the stored model (set once trained, whether or not
 	// it was promoted).
 	ManifestID string `json:"manifest_id,omitempty"`

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"napel/internal/atomicfile"
+	"napel/internal/collectd"
 	"napel/internal/ml"
 	"napel/internal/napel"
 	"napel/internal/obs"
@@ -31,6 +32,12 @@ const fpPromote = "traind.promote"
 // ManagerConfig configures the training-job manager.
 type ManagerConfig struct {
 	Store *Store
+	// Coordinator, when non-nil, serves jobs submitted with
+	// distributed: true — their collection units are leased to
+	// napel-worker processes instead of executing in-process. The
+	// coordinator's worker protocol must be mounted on the same API
+	// listener (NewAPIHandler does this automatically).
+	Coordinator *collectd.Coordinator
 	// JobsDir holds one directory per job (job.json + checkpoint.json).
 	JobsDir string
 	// Concurrency is the number of jobs running at once (default 1 —
@@ -161,6 +168,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	m.o.reg.CounterFunc("napel_chaos_injected_total",
 		"Faults fired by the installed chaos plan (0 when chaos is off).",
 		func() float64 { return float64(faultpoint.TotalInjected()) })
+	if cfg.Coordinator != nil {
+		cfg.Coordinator.Register(m.o.reg)
+	}
 	requeue, err := m.recoverJobs()
 	if err != nil {
 		return nil, err
@@ -497,11 +507,26 @@ func (m *Manager) runPipeline(ctx context.Context, job *Job) (err error) {
 		frac = m.cfg.HoldoutFrac
 	}
 
+	// Distributed jobs delegate unit execution to the worker fleet; the
+	// engine machinery (and so the assembled bytes) is identical.
+	if spec.Distributed {
+		if m.cfg.Coordinator == nil {
+			return fmt.Errorf("%w: job requests distributed collection but the daemon has no coordinator", errPermanent)
+		}
+		opts.Executor = m.cfg.Coordinator.Executor()
+	}
+
 	// Collect, resuming from the job's checkpoint when one exists.
+	// Active jobs run the uncertainty-driven loop instead.
 	m.setState(job, StateCollecting)
 	t0 := time.Now()
 	cctx, cspan := obs.StartSpan(ctx, "collect")
-	td, err := m.collect(cctx, job, kernels, opts)
+	var td *napel.TrainingData
+	if spec.Active {
+		td, err = m.collectActive(cctx, job, kernels, opts)
+	} else {
+		td, err = m.collect(cctx, job, kernels, opts)
+	}
 	cspan.SetError(err)
 	cspan.End()
 	m.o.stage("collect", time.Since(t0))
@@ -698,6 +723,44 @@ func (m *Manager) collect(ctx context.Context, job *Job, kernels []workload.Kern
 		}
 		return nil, err
 	}
+	return td, nil
+}
+
+// collectActive runs the active-learning collection loop for jobs
+// submitted with active: true. Round reports land on the job record
+// (UnitsDone/UnitsTotal track simulated units against the pool, Rounds
+// counts completed rounds) and are persisted per round — coarser than
+// the per-unit checkpoints of exhaustive collection, but rounds are the
+// loop's natural unit of progress and a retried active job re-selects
+// the identical sequence anyway (selection is a pure function of the
+// seed).
+func (m *Manager) collectActive(ctx context.Context, job *Job, kernels []workload.Kernel, opts napel.Options) (*napel.TrainingData, error) {
+	spec := job.Spec
+	acfg := collectd.ActiveConfig{
+		Seed:        spec.seed(),
+		SeedUnits:   spec.ActiveSeedUnits,
+		RoundUnits:  spec.ActiveRoundUnits,
+		MaxUnits:    spec.ActiveMaxUnits,
+		TargetMRE:   spec.ActiveTargetMRE,
+		HoldoutFrac: spec.HoldoutFrac,
+		Trainer:     spec.trainer(),
+		Registry:    m.o.reg,
+		Logf:        m.cfg.Logf,
+		OnRound: func(r collectd.RoundReport) {
+			m.mu.Lock()
+			job.UnitsDone = r.UnitsSimulated
+			job.UnitsTotal = r.UnitsSimulated + r.PoolRemaining
+			job.Rounds = r.Round + 1
+			m.persistLocked(job)
+			m.mu.Unlock()
+		},
+	}
+	td, report, err := collectd.ActiveCollect(ctx, kernels, opts, acfg)
+	if err != nil {
+		return nil, err
+	}
+	m.cfg.Logf("lifecycle: job %s active collection simulated %d/%d units over %d rounds (final holdout MRE %.4f)",
+		job.ID, report.UnitsSimulated, report.PoolSize, len(report.Rounds), report.FinalMRE)
 	return td, nil
 }
 

@@ -401,11 +401,13 @@ func (t Trainer) Train(d *ml.Dataset, seed uint64) (ml.Model, error) {
 // Name implements ml.Trainer.
 func (t Trainer) Name() string { return t.Params.String() }
 
-// PredictWithSpread returns the forest mean together with the standard
-// deviation of the individual tree predictions — a cheap uncertainty
-// estimate for design-space exploration (wide spread = the model is
-// extrapolating; trust the point less).
-func (f *Forest) PredictWithSpread(x []float64) (mean, std float64) {
+// PredictWithVariance returns the forest mean together with the
+// population variance of the individual tree predictions, computed in a
+// single walk over the trees with no allocations. Per-tree variance is
+// the ensemble-disagreement signal the active-learning scheduler ranks
+// candidate configurations by (high variance = the trees were grown on
+// bootstrap samples that disagree here; the point is informative).
+func (f *Forest) PredictWithVariance(x []float64) (mean, variance float64) {
 	n := float64(len(f.trees))
 	var sum, sq float64
 	for i := range f.trees {
@@ -414,10 +416,19 @@ func (f *Forest) PredictWithSpread(x []float64) (mean, std float64) {
 		sq += v * v
 	}
 	mean = sum / n
-	variance := sq/n - mean*mean
+	variance = sq/n - mean*mean
 	if variance < 0 {
-		variance = 0
+		variance = 0 // guard the two-accumulator form against rounding
 	}
+	return mean, variance
+}
+
+// PredictWithSpread returns the forest mean together with the standard
+// deviation of the individual tree predictions — a cheap uncertainty
+// estimate for design-space exploration (wide spread = the model is
+// extrapolating; trust the point less).
+func (f *Forest) PredictWithSpread(x []float64) (mean, std float64) {
+	mean, variance := f.PredictWithVariance(x)
 	return mean, math.Sqrt(variance)
 }
 

@@ -47,16 +47,17 @@ type kernelPlan struct {
 // unitResult is everything one unit produces. done distinguishes a
 // finished unit from one skipped by cancellation; wall-clock durations
 // are kept separate from the deterministic payload. A unit restored
-// from a resume checkpoint carries its per-architecture samples instead
-// of a profile and simulator results (checkpoints persist only the
-// deterministic sample payload).
+// from a resume checkpoint — or executed remotely through
+// Options.Executor — carries its per-architecture samples instead of a
+// profile and simulator results (checkpoints and unit payloads persist
+// only the deterministic sample payload).
 type unitResult struct {
 	prof        *pisa.Profile
 	profileTime time.Duration
 	recordTime  time.Duration
 	sims        []*nmcsim.Result
 	simTimes    []time.Duration
-	restored    []Sample // one sample per training arch, from CollectCheckpoint.Prior
+	samples     []Sample // one sample per training arch, pre-built (checkpoint restore or executor payload)
 	err         error
 	done        bool
 	// quarantined marks a unit whose error exhausted its retries under
@@ -120,27 +121,7 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 		ctx = context.Background()
 	}
 
-	// Plan: dedupe the scaled inputs into units, remembering each
-	// kernel's occurrence order for deterministic assembly.
-	var units []collectUnit
-	unitIdx := map[string]int{}
-	plans := make([]kernelPlan, 0, len(kernels))
-	for _, k := range kernels {
-		inputs := inputsFor(k)
-		plan := kernelPlan{k: k, numInputs: len(inputs)}
-		for _, rawIn := range inputs {
-			in := workload.Scale(k, rawIn, opts.ScaleFactor, opts.MaxIters)
-			key := inputKey(k.Name(), in)
-			idx, ok := unitIdx[key]
-			if !ok {
-				idx = len(units)
-				unitIdx[key] = idx
-				units = append(units, collectUnit{kernel: k, in: in, key: key})
-			}
-			plan.occ = append(plan.occ, idx)
-		}
-		plans = append(plans, plan)
-	}
+	plans, units := planCollect(kernels, opts, inputsFor)
 
 	// Restore units completed by a previous run before scheduling any
 	// work: a restored slot is done from the start and the worker pool
@@ -153,7 +134,7 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 			return nil, err
 		}
 		for idx, samples := range restored {
-			results[idx] = unitResult{restored: samples, done: true}
+			results[idx] = unitResult{samples: samples, done: true}
 			done++
 		}
 	}
@@ -181,32 +162,7 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 		}
 		eo.unitStart()
 		t0 := time.Now()
-		uctx, uspan := obs.StartSpan(ectx, "engine.unit")
-		uspan.SetAttr("kernel", units[idx].kernel.Name())
-		uspan.SetAttrInt("threads", int64(units[idx].in.Threads()))
-		// Per-unit retry: unit work is deterministic, so a failure is
-		// environmental (or injected) and an immediate re-execution is
-		// the right recovery. Cancellation is never retried.
-		var r unitResult
-		for attempt := 1; ; attempt++ {
-			if err := faultpoint.Inject(uctx, fpUnit); err != nil {
-				r = unitResult{err: err}
-			} else {
-				r = runCollectUnit(uctx, units[idx], opts, eo)
-			}
-			if r.err == nil || attempt > opts.UnitRetries || uctx.Err() != nil ||
-				errors.Is(r.err, context.Canceled) || errors.Is(r.err, context.DeadlineExceeded) {
-				break
-			}
-			eo.unitRetry()
-		}
-		if r.err != nil && opts.QuarantineFailures && uctx.Err() == nil &&
-			!errors.Is(r.err, context.Canceled) && !errors.Is(r.err, context.DeadlineExceeded) {
-			r.quarantined = true
-			eo.unitQuarantined()
-		}
-		uspan.SetError(r.err)
-		uspan.End()
+		r := collectOneUnit(ectx, units[idx], opts, eo)
 		eo.unitEnd(time.Since(t0).Seconds(), r.done, r.err)
 		mu.Lock()
 		defer mu.Unlock()
@@ -231,8 +187,7 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 	// they surface through TrainingData.Quarantined instead.
 	for i := range results {
 		err := results[i].err
-		if err != nil && !results[i].quarantined &&
-			!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		if err != nil && !results[i].quarantined && !isCanceled(err) {
 			return nil, fmt.Errorf("napel: collecting %s: %w", units[i].kernel.Name(), err)
 		}
 	}
@@ -242,6 +197,121 @@ func collectEngine(ctx context.Context, kernels []workload.Kernel, opts Options,
 		return td, err
 	}
 	return td, nil
+}
+
+// planCollect runs the engine's planning pass: dedupe the scaled inputs
+// into units, remembering each kernel's occurrence order for
+// deterministic assembly. It is shared by every entry point that must
+// agree on unit identity — collection, PlanUnits, and AssemblePayloads.
+func planCollect(kernels []workload.Kernel, opts Options, inputsFor func(workload.Kernel) []workload.Input) ([]kernelPlan, []collectUnit) {
+	var units []collectUnit
+	unitIdx := map[string]int{}
+	plans := make([]kernelPlan, 0, len(kernels))
+	for _, k := range kernels {
+		inputs := inputsFor(k)
+		plan := kernelPlan{k: k, numInputs: len(inputs)}
+		for _, rawIn := range inputs {
+			in := workload.Scale(k, rawIn, opts.ScaleFactor, opts.MaxIters)
+			key := inputKey(k.Name(), in)
+			idx, ok := unitIdx[key]
+			if !ok {
+				idx = len(units)
+				unitIdx[key] = idx
+				units = append(units, collectUnit{kernel: k, in: in, key: key})
+			}
+			plan.occ = append(plan.occ, idx)
+		}
+		plans = append(plans, plan)
+	}
+	return plans, units
+}
+
+// isCanceled reports whether err is a context abort — never retried,
+// never quarantined, and not a hard collection error (partial data
+// survives a SIGINT).
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// collectOneUnit executes one unit with per-unit retry and quarantine
+// classification — the shared body of every engine entry point. With
+// Options.Executor set the unit is delegated (leased to a remote
+// worker by internal/collectd); executor failures flow through exactly
+// the same retry/quarantine path as local ones, so a lease that
+// expires or returns a corrupt payload is just another retryable error.
+func collectOneUnit(ctx context.Context, u collectUnit, opts Options, eo *engineObs) unitResult {
+	uctx, uspan := obs.StartSpan(ctx, "engine.unit")
+	uspan.SetAttr("kernel", u.kernel.Name())
+	uspan.SetAttrInt("threads", int64(u.in.Threads()))
+	// Per-unit retry: unit work is deterministic, so a failure is
+	// environmental (or injected) and an immediate re-execution is
+	// the right recovery. Cancellation is never retried.
+	var r unitResult
+	for attempt := 1; ; attempt++ {
+		if err := faultpoint.Inject(uctx, fpUnit); err != nil {
+			r = unitResult{err: err}
+		} else if opts.Executor != nil {
+			r = executorResult(uctx, u, opts)
+		} else {
+			r = runCollectUnit(uctx, u, opts, eo)
+		}
+		if r.err == nil || attempt > opts.UnitRetries || uctx.Err() != nil || isCanceled(r.err) {
+			break
+		}
+		eo.unitRetry()
+	}
+	if r.err != nil && opts.QuarantineFailures && uctx.Err() == nil && !isCanceled(r.err) {
+		r.quarantined = true
+		eo.unitQuarantined()
+	}
+	uspan.SetError(r.err)
+	uspan.End()
+	return r
+}
+
+// executorResult delegates one unit to Options.Executor and validates
+// the returned payload against the plan before accepting its samples.
+func executorResult(ctx context.Context, u collectUnit, opts Options) unitResult {
+	spec := unitSpec(u, opts)
+	p, err := opts.Executor(ctx, spec)
+	if err != nil {
+		return unitResult{err: err}
+	}
+	if err := p.Check(spec); err != nil {
+		return unitResult{err: err}
+	}
+	return unitResult{samples: p.Samples, done: true}
+}
+
+// unitSamples builds the per-architecture samples for one locally
+// executed unit. It is the single sample-construction path: local
+// assembly and remote execution (ExecuteUnit) both call it, so the
+// feature layout is code-identical on both sides of the collectd wire.
+// simTimes nil zeroes per-sample SimTime — the wire/checkpoint contract.
+func unitSamples(u collectUnit, prof *pisa.Profile, sims []*nmcsim.Result, simTimes []time.Duration, archs []nmcsim.Config) []Sample {
+	base := prof.Vector()
+	threads := u.in.Threads()
+	out := make([]Sample, 0, len(archs))
+	for ai, arch := range archs {
+		feat := make([]float64, 0, len(base)+NumArchFeatures)
+		feat = append(feat, base...)
+		feat = append(feat, ArchVector(arch, prof, threads)...)
+		var st time.Duration
+		if simTimes != nil {
+			st = simTimes[ai]
+		}
+		out = append(out, Sample{
+			App:       u.kernel.Name(),
+			Input:     u.in,
+			ArchIdx:   ai,
+			ActivePEs: ActivePEs(threads, arch.PEs),
+			Features:  feat,
+			IPC:       sims[ai].IPC,
+			EPI:       sims[ai].EPI,
+			SimTime:   st,
+		})
+	}
+	return out
 }
 
 // assembleTrainingData builds the dataset single-threaded in plan order:
@@ -257,9 +327,14 @@ func assembleTrainingData(plans []kernelPlan, units []collectUnit, results []uni
 		ProfileTime: map[string]time.Duration{},
 	}
 	// Units were created in first-occurrence plan order, so a single
-	// sweep reports quarantined units deterministically.
+	// sweep reports quarantined units deterministically. Dedupe by unit
+	// key: a unit that failed, retried, and failed again is one poisoned
+	// unit, not several, and duplicate keys can reach this sweep when a
+	// kernel appears twice in the plan.
+	seenQ := map[string]bool{}
 	for idx := range results {
-		if results[idx].quarantined {
+		if results[idx].quarantined && !seenQ[units[idx].key] {
+			seenQ[units[idx].key] = true
 			td.Quarantined = append(td.Quarantined, QuarantinedUnit{
 				App:   units[idx].kernel.Name(),
 				Input: units[idx].in,
@@ -275,11 +350,12 @@ func assembleTrainingData(plans []kernelPlan, units []collectUnit, results []uni
 				continue
 			}
 			u := units[idx]
-			if r.restored != nil {
-				// A unit restored from a checkpoint replays its saved
-				// samples per occurrence; profiles and timing were never
-				// persisted, so those maps skip it.
-				td.Samples = append(td.Samples, r.restored...)
+			if r.samples != nil {
+				// A unit restored from a checkpoint — or executed through
+				// Options.Executor — replays its pre-built samples per
+				// occurrence; profiles and timing were never transported,
+				// so those maps skip it.
+				td.Samples = append(td.Samples, r.samples...)
 				continue
 			}
 			if _, ok := td.Profiles[u.key]; !ok {
@@ -291,22 +367,7 @@ func assembleTrainingData(plans []kernelPlan, units []collectUnit, results []uni
 				}
 				td.SimTime[u.kernel.Name()] += simDur
 			}
-			base := r.prof.Vector()
-			for ai, arch := range opts.TrainArchs {
-				feat := make([]float64, 0, len(base)+NumArchFeatures)
-				feat = append(feat, base...)
-				feat = append(feat, ArchVector(arch, r.prof, u.in.Threads())...)
-				td.Samples = append(td.Samples, Sample{
-					App:       u.kernel.Name(),
-					Input:     u.in,
-					ArchIdx:   ai,
-					ActivePEs: ActivePEs(u.in.Threads(), arch.PEs),
-					Features:  feat,
-					IPC:       r.sims[ai].IPC,
-					EPI:       r.sims[ai].EPI,
-					SimTime:   r.simTimes[ai],
-				})
-			}
+			td.Samples = append(td.Samples, unitSamples(u, r.prof, r.sims, r.simTimes, opts.TrainArchs)...)
 		}
 	}
 	return td

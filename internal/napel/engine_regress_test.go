@@ -1,0 +1,116 @@
+package napel
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"napel/internal/resilience/faultpoint"
+	"napel/internal/workload"
+)
+
+// TestQuarantineRecordsDedupedAcrossRetries is the regression test for
+// the quarantine summary over-counting: a unit that fails, retries, and
+// fails again is ONE poisoned unit, and a kernel listed twice in the
+// plan must not double its quarantine records either. Every entry in
+// TrainingData.Quarantined must carry a distinct unit key.
+func TestQuarantineRecordsDedupedAcrossRetries(t *testing.T) {
+	// The same kernel twice: planning dedupes the units, and the
+	// quarantine sweep must hold that line.
+	kernels := quickKernels(t, "atax", "atax")
+	opts := quickOptions()
+	opts.Workers = 2
+	opts.UnitRetries = 3
+	opts.QuarantineFailures = true
+
+	if err := faultpoint.Enable(5, "engine.unit:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.Disable()
+	td, err := Collect(kernels, opts)
+	faultpoint.Disable()
+	if err != nil {
+		t.Fatalf("quarantine-mode collection failed: %v", err)
+	}
+
+	distinct := map[string]bool{}
+	for _, rawIn := range CCDInputs(kernels[0]) {
+		in := workload.Scale(kernels[0], rawIn, opts.ScaleFactor, opts.MaxIters)
+		distinct[UnitKey(kernels[0].Name(), in)] = true
+	}
+	if len(td.Quarantined) != len(distinct) {
+		t.Fatalf("%d quarantine records, want %d (one per distinct unit, retries and duplicate kernels collapsed)",
+			len(td.Quarantined), len(distinct))
+	}
+	seen := map[string]bool{}
+	for _, q := range td.Quarantined {
+		key := UnitKey(q.App, q.Input)
+		if seen[key] {
+			t.Fatalf("unit %s quarantined more than once", key)
+		}
+		seen[key] = true
+		if !distinct[key] {
+			t.Fatalf("quarantined unit %s is not in the plan", key)
+		}
+	}
+}
+
+// TestCollectResumeDropsStaleUnits: resuming with a checkpoint written
+// by a larger run (the kernel list has since shrunk) must silently drop
+// the stale units — they are neither executed nor assembled — and the
+// result must be byte-identical to a fresh collection of the surviving
+// kernels.
+func TestCollectResumeDropsStaleUnits(t *testing.T) {
+	opts := quickOptions()
+	opts.Workers = 2
+
+	// The checkpoint covers atax AND mvt; the resumed run only plans atax.
+	wide, err := Collect(quickKernels(t, "atax", "mvt"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckBytes bytes.Buffer
+	if err := SaveTrainingData(&ckBytes, wide); err != nil {
+		t.Fatal(err)
+	}
+	prior, err := LoadTrainingData(&ckBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Collect(quickKernels(t, "atax"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	executed := 0
+	ck := &CollectCheckpoint{
+		Prior:  prior,
+		OnUnit: func(done, total int, snapshot func() *TrainingData) { executed++ },
+	}
+	resumed, err := CollectResumeContext(context.Background(), quickKernels(t, "atax"), opts, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every atax unit was restorable from the wide checkpoint, so the
+	// resume must have executed nothing at all.
+	if executed != 0 {
+		t.Fatalf("resume re-executed %d units despite a complete checkpoint", executed)
+	}
+	var freshBytes, resumedBytes bytes.Buffer
+	if err := SaveTrainingData(&freshBytes, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTrainingData(&resumedBytes, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(freshBytes.Bytes(), resumedBytes.Bytes()) {
+		t.Fatalf("resume with stale checkpoint units differs from a fresh collection (%d vs %d bytes)",
+			resumedBytes.Len(), freshBytes.Len())
+	}
+	for _, s := range resumed.Samples {
+		if s.App != "atax" {
+			t.Fatalf("stale unit %s leaked into the resumed dataset", UnitKey(s.App, s.Input))
+		}
+	}
+}

@@ -86,6 +86,15 @@ type Options struct {
 	// instead of failing the whole collection. The default false keeps
 	// the serial loop's abort-on-first-error contract.
 	QuarantineFailures bool
+	// Executor, when non-nil, runs each planned unit instead of the
+	// in-process profile/record/simulate path — the hook internal/collectd
+	// uses to lease units to remote napel-worker processes. The executor
+	// must be payload-equivalent to ExecuteUnit; the engine validates
+	// every payload against its spec and assembles the returned samples
+	// in plan order, so the output stays byte-identical to local
+	// collection for any executor, worker count, or completion order.
+	// Retries, quarantine, and checkpoints apply unchanged.
+	Executor UnitExecutor
 	// Metrics, when non-nil, receives the engine's napel_engine_* series
 	// (worker utilization, queue depth, per-unit and per-stage latency).
 	// nil leaves the engine uninstrumented at zero cost. Instrumentation

@@ -16,7 +16,7 @@
 #                            the fleet aggregate
 #
 # Usage: ./scripts/bench.sh [out.json]
-# Env:   BENCH_PR            report/filename key        (default 6)
+# Env:   BENCH_PR            report/filename key        (default 8)
 #        BENCH_SEED          workload seed              (default 1)
 #        BENCH_REQUESTS      scheduled requests         (default 2000)
 #        BENCH_WORKERS       closed-loop clients        (default 8)
@@ -24,12 +24,16 @@
 #        BENCH_MIN_RPS       throughput gate            (default 50)
 #        BENCH_FLEET         replicas behind a gate     (default 0)
 #        BENCH_CACHE_ENTRIES per-replica LRU capacity   (default 0 = server default)
+#        BENCH_COLLECT_WORKERS  napel-worker processes that collect the
+#                            workload model's training data through a
+#                            traind coordinator; recorded in the report's
+#                            topology stamp (default 2, 0 = local train)
 #
 # Exit code is napel-loadgen's: 0 pass, 3 SLO violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=${BENCH_PR:-6}
+pr=${BENCH_PR:-8}
 out=${1:-BENCH_${pr}.json}
 seed=${BENCH_SEED:-1}
 requests=${BENCH_REQUESTS:-2000}
@@ -38,6 +42,7 @@ slo_p99=${BENCH_SLO_P99:-250ms}
 min_rps=${BENCH_MIN_RPS:-50}
 fleet=${BENCH_FLEET:-0}
 cache_entries=${BENCH_CACHE_ENTRIES:-0}
+collect_workers=${BENCH_COLLECT_WORKERS:-2}
 
 tmp=$(mktemp -d)
 pids=()
@@ -55,15 +60,6 @@ go build -o "$tmp/napel-serve" ./cmd/napel-serve
 go build -o "$tmp/napel-gate" ./cmd/napel-gate
 go build -o "$tmp/napel-loadgen" ./cmd/napel-loadgen
 
-echo "== bench: training workload model =="
-# The same tiny single-kernel model the verify smoke uses: the bench
-# measures the serving stack, not model quality, and must stay fast.
-"$tmp/napel" train -kernels atax -train-scale 32 \
-    -train-sim-budget 20000 -train-profile-budget 20000 \
-    -out "$tmp/model.json" >/dev/null
-"$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
-    -budget 20000 -out "$tmp/req.json"
-
 wait_healthy() {
     for _ in $(seq 1 50); do
         curl -fsS -o /dev/null "$1/healthz" 2>/dev/null && return 0
@@ -72,6 +68,63 @@ wait_healthy() {
     echo "bench: $1 never became healthy" >&2
     return 1
 }
+
+echo "== bench: training workload model =="
+# The same tiny single-kernel model the verify smoke uses: the bench
+# measures the serving stack, not model quality, and must stay fast.
+# With BENCH_COLLECT_WORKERS > 0 its training data is collected through
+# a traind coordinator by that many napel-worker processes (the result
+# is byte-identical to a local train — that is collectd's contract) and
+# the worker topology is stamped into the report.
+if [ "$collect_workers" -gt 0 ]; then
+    go build -o "$tmp/napel-traind" ./cmd/napel-traind
+    go build -o "$tmp/napel-worker" ./cmd/napel-worker
+    cport=$(( (RANDOM % 20000) + 20000 ))
+    curl_coord="http://127.0.0.1:$cport"
+    "$tmp/napel-traind" -store "$tmp/store" -addr "127.0.0.1:$cport" \
+        2>"$tmp/traind.log" &
+    traind_pid=$!
+    pids+=("$traind_pid")
+    wait_healthy "$curl_coord"
+    for i in $(seq 1 "$collect_workers"); do
+        "$tmp/napel-worker" -coordinator "$curl_coord" -id "bench-w$i" \
+            -poll 20ms 2>"$tmp/worker$i.log" &
+        pids+=($!)
+    done
+    submit=$(curl -sS -d '{"kernels":["atax"],"train_scale":32,
+        "profile_budget":20000,"sim_budget":20000,"distributed":true}' \
+        "$curl_coord/v1/jobs")
+    job=$(printf '%s' "$submit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+    if [ -z "$job" ]; then
+        echo "bench: distributed training job submission failed: $submit" >&2
+        exit 1
+    fi
+    state=""
+    for _ in $(seq 1 600); do
+        state=$(curl -sS "$curl_coord/v1/jobs/$job" | sed -n 's/.*"state"[: ]*"\([a-z]*\)".*/\1/p')
+        case "$state" in promoted|rejected|failed|canceled) break ;; esac
+        sleep 0.1
+    done
+    if [ "$state" != promoted ]; then
+        echo "bench: distributed training job $job ended '$state' (want promoted)" >&2
+        cat "$tmp/traind.log" >&2
+        exit 1
+    fi
+    cp "$tmp/store/current-model.json" "$tmp/model.json"
+    for pid in "${pids[@]}"; do
+        kill -TERM "$pid" 2>/dev/null
+        wait "$pid" 2>/dev/null || true
+    done
+    pids=()
+    collect_topology=" (collectd ${collect_workers}w)"
+else
+    "$tmp/napel" train -kernels atax -train-scale 32 \
+        -train-sim-budget 20000 -train-profile-budget 20000 \
+        -out "$tmp/model.json" >/dev/null
+    collect_topology=""
+fi
+"$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
+    -budget 20000 -out "$tmp/req.json"
 
 extra_args=()
 if [ "$fleet" -gt 0 ]; then
@@ -95,7 +148,7 @@ if [ "$fleet" -gt 0 ]; then
         -hedge-after=-1ms -health-interval 100ms 2>"$tmp/gate.log" &
     pids+=($!)
     wait_healthy "$url"
-    topology="gate+${fleet}x serve"
+    topology="gate+${fleet}x serve${collect_topology}"
     extra_args+=(-scrape-targets "$scrape_urls" -topology "$topology")
 else
     port=$(( (RANDOM % 20000) + 20000 ))
@@ -104,7 +157,7 @@ else
         -cache-entries "$cache_entries" -quiet 2>"$tmp/server.log" &
     pids+=($!)
     wait_healthy "$url"
-    topology="serve"
+    topology="serve${collect_topology}"
     extra_args+=(-topology "$topology")
 fi
 

@@ -11,7 +11,10 @@
 # run proving degraded-mode serving holds a relaxed SLO), and of the
 # fleet tier (traind + two lazy store-pulling replicas behind
 # napel-gate: a rolling hot-install via POST /v1/fleet/reload, then a
-# probed loadgen run through the gate with zero mismatches).
+# probed loadgen run through the gate with zero mismatches), and of
+# distributed collection (a serial job vs. the same job leased to two
+# napel-worker processes with one killed mid-run: the promoted
+# manifests must agree on data_hash and model_hash byte for byte).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -33,7 +36,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/obs/... ./internal/resilience/...
+go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/collectd/... ./internal/obs/... ./internal/resilience/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -42,7 +45,8 @@ server_pid=""
 traind_pid=""
 cleanup() {
     for pid in "$server_pid" "$traind_pid" \
-        "${replica1_pid:-}" "${replica2_pid:-}" "${gate_pid:-}"; do
+        "${replica1_pid:-}" "${replica2_pid:-}" "${gate_pid:-}" \
+        "${worker1_pid:-}" "${worker2_pid:-}"; do
         [ -n "$pid" ] && kill "$pid" 2>/dev/null
     done
     rm -rf "$tmp"
@@ -346,6 +350,110 @@ fi
 kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
 traind_pid=""
 echo "chaos smoke test: job $cjob promoted with $injected injected faults"
+
+echo "== collectd smoke test: distributed collection is byte-identical =="
+# One traind runs the same tiny two-kernel job twice: first in-process
+# (the serial reference), then with "distributed": true so every
+# (kernel, input) unit is leased over HTTP to two napel-worker
+# processes — one of which is killed mid-run, so its leases expire and
+# requeue onto the survivor. The promoted manifests must agree on
+# data_hash AND model_hash: the distributed dataset assembled from
+# remote payloads is byte-identical to the serial one.
+go build -o "$tmp/napel-worker" ./cmd/napel-worker
+wport=$(( (RANDOM % 20000) + 20000 ))
+wurl="http://127.0.0.1:$wport"
+"$tmp/napel-traind" -store "$tmp/collectd-store" -addr "127.0.0.1:$wport" \
+    -lease-ttl 1s 2>"$tmp/collectd-traind.log" &
+traind_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$wurl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: collectd traind never became healthy" >&2
+    cat "$tmp/collectd-traind.log" >&2
+    exit 1
+fi
+dspec='"kernels":["atax","mvt"],"train_scale":32,"max_iters":1,
+    "profile_budget":20000,"sim_budget":20000,"train_archs":2,"workers":4'
+wait_job() { # wait_job <url> <job-id> -> prints final state
+    local s=""
+    for _ in $(seq 1 600); do
+        s=$(curl -sS "$1/v1/jobs/$2" | sed -n 's/.*"state"[: ]*"\([a-z]*\)".*/\1/p')
+        case "$s" in promoted|rejected|failed|canceled) break ;; esac
+        sleep 0.1
+    done
+    printf '%s' "$s"
+}
+manifest_field() { # manifest_field <url> <job-json-file> <field>
+    local mid
+    mid=$(sed -n 's/.*"manifest_id"[: ]*"\([^"]*\)".*/\1/p' "$2" | head -1)
+    curl -sS "$1/v1/store/manifests/$mid" | sed -n "s/.*\"$3\"[: ]*\"\([^\"]*\)\".*/\1/p" | head -1
+}
+ssubmit=$(curl -sS -d "{$dspec}" "$wurl/v1/jobs")
+sjob=$(printf '%s' "$ssubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$sjob" ]; then
+    echo "verify: collectd serial job submission failed: $ssubmit" >&2
+    exit 1
+fi
+sstate=$(wait_job "$wurl" "$sjob")
+if [ "$sstate" != promoted ]; then
+    echo "verify: collectd serial job $sjob ended '$sstate' (want promoted)" >&2
+    cat "$tmp/collectd-traind.log" >&2
+    exit 1
+fi
+curl -sS "$wurl/v1/jobs/$sjob" >"$tmp/collectd-serial-job.json"
+
+# Two workers lease from the daemon's own admin listener.
+"$tmp/napel-worker" -coordinator "$wurl" -id smoke-w1 -poll 20ms \
+    2>"$tmp/collectd-w1.log" &
+worker1_pid=$!
+"$tmp/napel-worker" -coordinator "$wurl" -id smoke-w2 -poll 20ms \
+    2>"$tmp/collectd-w2.log" &
+worker2_pid=$!
+dsubmit=$(curl -sS -d "{$dspec,\"distributed\":true}" "$wurl/v1/jobs")
+djob=$(printf '%s' "$dsubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$djob" ]; then
+    echo "verify: collectd distributed job submission failed: $dsubmit" >&2
+    exit 1
+fi
+# Kill one worker mid-run; its in-flight lease expires and requeues.
+sleep 0.4
+kill -9 "$worker2_pid" 2>/dev/null; wait "$worker2_pid" 2>/dev/null || true
+worker2_pid=""
+dstate=$(wait_job "$wurl" "$djob")
+if [ "$dstate" != promoted ]; then
+    echo "verify: collectd distributed job $djob ended '$dstate' (want promoted)" >&2
+    curl -sS "$wurl/v1/jobs/$djob" >&2
+    cat "$tmp/collectd-traind.log" "$tmp/collectd-w1.log" >&2
+    exit 1
+fi
+curl -sS "$wurl/v1/jobs/$djob" >"$tmp/collectd-dist-job.json"
+for field in data_hash model_hash; do
+    sh=$(manifest_field "$wurl" "$tmp/collectd-serial-job.json" "$field")
+    dh=$(manifest_field "$wurl" "$tmp/collectd-dist-job.json" "$field")
+    if [ -z "$sh" ] || [ "$sh" != "$dh" ]; then
+        echo "verify: collectd $field diverged: serial '$sh' vs distributed '$dh'" >&2
+        exit 1
+    fi
+done
+# The units really travelled through the coordinator, not in-process.
+completes=$(curl -sS "$wurl/metrics" \
+    | sed -n 's/^napel_collectd_completes_total{result="ok"} \([0-9.e+]*\)$/\1/p')
+if [ -z "$completes" ] || [ "$completes" = 0 ]; then
+    echo "verify: coordinator reports no completed leases (napel_collectd_completes_total='$completes')" >&2
+    curl -sS "$wurl/metrics" | grep napel_collectd >&2 || true
+    exit 1
+fi
+kill "$worker1_pid" 2>/dev/null; wait "$worker1_pid" 2>/dev/null || true
+worker1_pid=""
+kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
+traind_pid=""
+echo "collectd smoke test: serial and distributed manifests agree ($completes leases completed, 1 worker killed mid-run)"
 
 echo "== loadgen smoke test: deterministic replay =="
 # Two napel-loadgen runs with the same seed against the same server must
