@@ -54,6 +54,7 @@ func main() {
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
 	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'fleet.forward:0.1' (empty = chaos off)")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file")
+	tracePush := flag.String("trace-push", "", "push completed spans in bounded batches to this napel-obsd base URL (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -107,6 +108,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "napel-gate: %v\n", err)
 		os.Exit(1)
+	}
+	if *tracePush != "" {
+		p := obs.NewPusher(obs.PushConfig{URL: *tracePush, Process: "napel-gate"})
+		defer p.Close()
+		p.Register(g.Obs())
+		g.Tracer().SetPusher(p)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -85,6 +85,7 @@ func run() int {
 	expectDegraded := flag.Bool("expect-degraded", false, "SLO: require at least one degraded answer (chaos-under-load gate)")
 	scrape := flag.Bool("scrape", true, "scrape target /metrics before and after, attributing server-side allocs/GC/cache behavior")
 	out := flag.String("out", "-", "report file ('-' = stdout)")
+	tracePush := flag.String("trace-push", "", "push the client spans in bounded batches to this napel-obsd base URL (empty = off)")
 	pr := flag.Int("pr", 0, "PR number stamped into the report (BENCH_<pr>.json trajectory key)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -158,6 +159,17 @@ func run() int {
 			return fail(fmt.Errorf("loading -probe-model: %w", err))
 		}
 		cfg.Prober = prober
+	}
+
+	if *tracePush != "" {
+		// Requests are traceparent-stamped either way; the tracer keeps
+		// loadgen's copy of each client span so obsd can root the
+		// cross-process tree at the request's origin.
+		tracer := obs.NewTracer(0, nil)
+		p := obs.NewPusher(obs.PushConfig{URL: *tracePush, Process: "napel-loadgen"})
+		defer p.Close()
+		tracer.SetPusher(p)
+		cfg.Trace = tracer
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

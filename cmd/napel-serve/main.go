@@ -98,6 +98,7 @@ func main() {
 	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'serve.predict:0.1' (empty = chaos off)")
 	quiet := flag.Bool("quiet", false, "disable the access log")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
+	tracePush := flag.String("trace-push", "", "push completed spans in bounded batches to this napel-obsd base URL (empty = off)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
@@ -164,6 +165,12 @@ func main() {
 	}
 	for _, m := range s.Registry().List() {
 		fmt.Fprintf(os.Stderr, "napel-serve: model %s version %s (%s)\n", m.Name, m.Version, m.Path)
+	}
+	if *tracePush != "" {
+		p := obs.NewPusher(obs.PushConfig{URL: *tracePush, Process: "napel-serve"})
+		defer p.Close()
+		p.Register(s.Obs())
+		s.Tracer().SetPusher(p)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

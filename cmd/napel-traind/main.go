@@ -52,6 +52,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "heartbeat budget for distributed collection leases (0 disables the worker coordinator)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
+	tracePush := flag.String("trace-push", "", "push completed spans in bounded batches to this napel-obsd base URL (empty = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
 	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'atomicfile.write:0.1:partial' (empty = chaos off)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -109,6 +110,12 @@ func main() {
 	mgr, err := lifecycle.NewManager(mcfg)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if *tracePush != "" {
+		p := obs.NewPusher(obs.PushConfig{URL: *tracePush, Process: "napel-traind"})
+		defer p.Close()
+		p.Register(mgr.Obs())
+		mgr.Tracer().SetPusher(p)
 	}
 
 	// First signal: graceful stop (running jobs checkpoint and stay

@@ -44,6 +44,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request protocol timeout")
 	seed := flag.Uint64("seed", 1, "retry-jitter seed")
 	addr := flag.String("addr", "", "optional listen address for /metrics and /healthz")
+	tracePush := flag.String("trace-push", "", "push completed spans in bounded batches to this napel-obsd base URL (empty = off)")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed of the deterministic fault-injection plan")
 	chaosSpec := flag.String("chaos-spec", "", "fault-injection plan, e.g. 'collectd.complete:0.2' (empty = chaos off)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -75,6 +76,10 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	// The worker's tracer records one "worker.unit" span per executed
+	// lease; its identity rides every protocol call so the coordinator's
+	// handler spans join the same trace.
+	tracer := obs.NewTracer(0, nil)
 	w, err := collectd.NewWorker(collectd.WorkerConfig{
 		Coordinator:    *coordinator,
 		ID:             *id,
@@ -82,10 +87,17 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
 		Registry:       reg,
+		Tracer:         tracer,
 		Logf:           logger.Printf,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if *tracePush != "" {
+		p := obs.NewPusher(obs.PushConfig{URL: *tracePush, Process: "napel-worker"})
+		defer p.Close()
+		p.Register(reg)
+		tracer.SetPusher(p)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())

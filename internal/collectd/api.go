@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"napel/internal/napel"
+	"napel/internal/obs"
 )
 
 // maxCompleteBytes bounds a /v1/complete body: a payload is one sample
@@ -61,7 +62,21 @@ type completeRequest struct {
 // napel-traind mounts this next to its job/store API so one listener
 // serves both operators and workers.
 func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
-	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+	// traced joins the handler to the caller's trace when the request
+	// carries a traceparent header (napel-worker injects one per unit),
+	// so a lease grant and its completion appear under the worker's
+	// "worker.unit" span in /debug/fleet. The tracer is loaded per
+	// request: napel-traind installs it via SetTracer after mounting.
+	traced := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ctx := obs.ExtractHTTP(obs.WithTracer(r.Context(), c.Tracer()), r)
+			ctx, span := obs.StartSpan(ctx, name)
+			defer span.End()
+			h(w, r.WithContext(ctx))
+		}
+	}
+
+	mux.HandleFunc("POST /v1/lease", traced("collectd.lease", func(w http.ResponseWriter, r *http.Request) {
 		var req leaseRequest
 		if err := decodeBody(r, &req); err != nil {
 			apiError(w, http.StatusBadRequest, err.Error())
@@ -71,15 +86,20 @@ func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
 			apiError(w, http.StatusBadRequest, "missing worker id")
 			return
 		}
+		span := obs.SpanFromContext(r.Context())
+		span.SetAttr("worker", req.Worker)
 		l, ok := c.Lease(req.Worker)
 		if !ok {
+			span.SetAttr("result", "no_work")
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
+		span.SetAttr("lease", l.ID)
+		span.SetAttr("key", l.Spec.Key)
 		apiJSON(w, http.StatusOK, l)
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/heartbeat", traced("collectd.heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req heartbeatRequest
 		if err := decodeBody(r, &req); err != nil {
 			apiError(w, http.StatusBadRequest, err.Error())
@@ -89,11 +109,12 @@ func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
 			apiError(w, http.StatusBadRequest, "missing worker id")
 			return
 		}
+		obs.SpanFromContext(r.Context()).SetAttr("worker", req.Worker)
 		unknown := c.Heartbeat(req.Worker, req.Leases)
 		apiJSON(w, http.StatusOK, heartbeatResponse{Unknown: unknown})
-	})
+	}))
 
-	mux.HandleFunc("POST /v1/complete", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/complete", traced("collectd.complete", func(w http.ResponseWriter, r *http.Request) {
 		var req completeRequest
 		if err := decodeBody(r, &req); err != nil {
 			apiError(w, http.StatusBadRequest, err.Error())
@@ -107,18 +128,24 @@ func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
 			apiError(w, http.StatusBadRequest, "complete needs either an error or a payload with its sha256")
 			return
 		}
+		span := obs.SpanFromContext(r.Context())
+		span.SetAttr("worker", req.Worker)
+		span.SetAttr("lease", req.Lease)
 		err := c.Complete(req.Worker, req.Lease, []byte(req.Payload), req.SHA256, req.Error)
 		switch {
 		case errors.Is(err, ErrUnknownLease):
+			span.SetError(err)
 			apiError(w, http.StatusNotFound, err.Error())
 		case errors.Is(err, ErrPayloadHash):
+			span.SetError(err)
 			apiError(w, http.StatusUnprocessableEntity, err.Error())
 		case err != nil:
+			span.SetError(err)
 			apiError(w, http.StatusInternalServerError, err.Error())
 		default:
 			apiJSON(w, http.StatusOK, map[string]bool{"accepted": true})
 		}
-	})
+	}))
 
 	mux.HandleFunc("GET /v1/collect", func(w http.ResponseWriter, r *http.Request) {
 		apiJSON(w, http.StatusOK, c.Stats())

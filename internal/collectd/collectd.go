@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"napel/internal/napel"
@@ -94,6 +95,11 @@ type Coordinator struct {
 	cfg Config
 	o   *coordObs
 
+	// tracer records the worker-protocol handler spans; napel-traind
+	// wires its manager's tracer in via SetTracer after construction, so
+	// lease-grant and completion spans share the daemon's ring.
+	tracer atomic.Pointer[obs.Tracer]
+
 	mu      sync.Mutex
 	pending []*unit          // FIFO; requeued units go to the front
 	leases  map[string]*lease
@@ -136,6 +142,18 @@ func (c *Coordinator) Register(reg *obs.Registry) {
 	c.cfg.Registry = reg
 	c.o = newCoordObs(reg)
 	c.o.bindQueues(c)
+}
+
+// SetTracer wires the coordinator's HTTP handler spans into t's ring.
+// Safe to call after RegisterAPI — handlers load the pointer per
+// request — and with nil to disable.
+func (c *Coordinator) SetTracer(t *obs.Tracer) {
+	c.tracer.Store(t)
+}
+
+// Tracer returns the tracer installed by SetTracer, or nil.
+func (c *Coordinator) Tracer() *obs.Tracer {
+	return c.tracer.Load()
 }
 
 func (c *Coordinator) logf(format string, args ...any) {

@@ -47,6 +47,11 @@ type WorkerConfig struct {
 	// Registry, when non-nil, receives napel_worker_* metrics and the
 	// engine series of locally executed units.
 	Registry *obs.Registry
+	// Tracer, when non-nil, records a "worker.unit" span per executed
+	// lease; the lease/heartbeat/complete requests it issues carry the
+	// span's identity, so one trace covers the unit from lease grant at
+	// the coordinator to payload completion.
+	Tracer *obs.Tracer
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -123,8 +128,14 @@ func (w *Worker) retryPolicy(attempts int, base time.Duration) resilience.Policy
 func (w *Worker) Run(ctx context.Context) error {
 	w.logf("collectd: worker %s polling %s", w.cfg.ID, w.cfg.Coordinator)
 	for ctx.Err() == nil {
-		lease, ok, err := w.lease(ctx)
+		// The unit span is opened before the lease poll so the
+		// coordinator's lease-grant span lands inside it; an idle or
+		// failed poll discards the span rather than flooding the ring.
+		uctx, root := obs.StartSpan(obs.WithTracer(ctx, w.cfg.Tracer), "worker.unit")
+		root.SetAttr("worker", w.cfg.ID)
+		lease, ok, err := w.lease(uctx)
 		if err != nil {
+			root.Discard()
 			if ctx.Err() != nil {
 				break
 			}
@@ -133,12 +144,16 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 		if !ok {
+			root.Discard()
 			w.o.idlePoll()
 			sleep(ctx, w.cfg.PollInterval)
 			continue
 		}
 		w.o.leaseOK()
-		w.executeLease(ctx, lease)
+		root.SetAttr("lease", lease.ID)
+		root.SetAttr("key", lease.Spec.Key)
+		w.executeLease(uctx, lease)
+		root.End()
 	}
 	return nil
 }
@@ -283,6 +298,7 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 		return 0, resilience.Permanent(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(rctx, req)
 	resp, err := w.client.Do(req)
 	if err != nil {
 		w.breaker.RecordFailure()

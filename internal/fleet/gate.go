@@ -217,6 +217,9 @@ func New(cfg Config) (*Gate, error) {
 // GET /metrics).
 func (g *Gate) Obs() *obs.Registry { return g.o.reg }
 
+// Tracer exposes the gate's span tracer, for attaching a push exporter.
+func (g *Gate) Tracer() *obs.Tracer { return g.o.tracer }
+
 // Ready reports whether the gate would answer /readyz with 200: not
 // draining and at least one replica passing its probe.
 func (g *Gate) Ready() bool {
@@ -363,6 +366,7 @@ func (g *Gate) send(ctx context.Context, rep *replica, path string, body []byte)
 		return upstream{rep: rep, err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(ctx, req)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return upstream{rep: rep, err: err}
@@ -382,15 +386,29 @@ func (g *Gate) send(ctx context.Context, rep *replica, path string, body []byte)
 // first-response-wins records no failure: being slower is not being
 // broken.
 func (g *Gate) attempt(ctx context.Context, rep *replica, path string, body []byte, budget time.Duration, hedged bool, resCh chan<- upstream) context.CancelFunc {
-	actx, cancel := context.WithCancel(ctx)
+	actx, cancel := context.WithCancelCause(ctx)
 	go func() {
-		bctx, bcancel := resilience.WithBudget(actx, budget)
+		// The attempt span parents under the gate's request span and is
+		// what the replica's server span parents under in turn (send
+		// injects this span's identity), so a fleet trace shows exactly
+		// which attempt — primary or hedge — each replica answer belongs
+		// to.
+		sctx, span := obs.StartSpan(actx, "gate.attempt")
+		span.SetAttr("replica", rep.url)
+		if hedged {
+			span.SetAttr("hedge", "true")
+		}
+		bctx, bcancel := resilience.WithBudget(sctx, budget)
 		u := g.send(bctx, rep, path, body)
 		bcancel()
 		u.hedged = hedged
 		switch {
-		case u.err != nil && actx.Err() != nil && ctx.Err() == nil:
+		case u.err != nil && errors.Is(context.Cause(actx), errLostRace):
 			u.canceled = true
+			// Cancellation only happens via first-response-wins: another
+			// attempt's answer was already accepted, making this one the
+			// losing half of the race.
+			span.SetAttr("hedge_loser", "true")
 			rep.canceledC.Inc()
 			// Release a half-open probe slot without claiming evidence:
 			// the attempt was cancelled because another replica answered
@@ -399,6 +417,7 @@ func (g *Gate) attempt(ctx context.Context, rep *replica, path string, body []by
 				rep.breaker.RecordSuccess()
 			}
 		case u.good():
+			span.SetAttrInt("status", int64(u.status))
 			rep.breaker.RecordSuccess()
 			if u.status >= 400 {
 				rep.clientC.Inc()
@@ -406,13 +425,23 @@ func (g *Gate) attempt(ctx context.Context, rep *replica, path string, body []by
 				rep.okC.Inc()
 			}
 		default:
+			span.SetAttrInt("status", int64(u.status))
+			span.SetError(u.err)
 			rep.breaker.RecordFailure()
 			rep.errC.Inc()
 		}
+		span.End()
 		resCh <- u
 	}()
-	return cancel
+	return func() { cancel(errLostRace) }
 }
+
+// errLostRace is the cancellation cause forward stamps on attempts it
+// no longer needs because another replica's answer was accepted. The
+// explicit cause — rather than comparing actx/parent Err() — keeps the
+// loser classification exact even when the request context is torn down
+// (handler returned, client gone) before the loser's goroutine wakes.
+var errLostRace = errors.New("fleet: attempt lost the first-response race")
 
 // forward routes one request body to the replica owning key, with
 // breaker-aware failover along the ring successor order and (for single
@@ -824,7 +853,7 @@ func (g *Gate) instrument(endpoint, method string, h http.HandlerFunc) http.Hand
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
-		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), g.o.tracer), "gate."+endpoint)
+		ctx, span := obs.StartSpan(obs.ExtractHTTP(obs.WithTracer(r.Context(), g.o.tracer), r), "gate."+endpoint)
 		span.SetAttr("method", r.Method)
 		span.SetAttr("path", r.URL.Path)
 

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"napel/internal/obs"
 )
 
 // ReplicaReloadResult is one replica's leg of a rolling reload.
@@ -69,6 +71,7 @@ func (g *Gate) reloadReplica(ctx context.Context, rep *replica) (string, error) 
 		return "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHTTP(rctx, req)
 	resp, err := g.client.Do(req)
 	if err != nil {
 		return "", err

@@ -133,10 +133,13 @@ func NewAPIHandler(m *Manager) http.Handler {
 	})
 
 	// The model-distribution routes replicas pull from (StoreSource).
-	RegisterStoreAPI(mux, m.store)
+	RegisterStoreAPI(mux, m.store, m.o.tracer)
 
 	// The worker-facing collection protocol, when a coordinator runs.
+	// The manager's tracer is handed over so lease/complete handler
+	// spans land in the same ring the store-pull spans do.
 	if m.cfg.Coordinator != nil {
+		m.cfg.Coordinator.SetTracer(m.o.tracer)
 		collectd.RegisterAPI(mux, m.cfg.Coordinator)
 	}
 

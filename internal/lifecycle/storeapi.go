@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"regexp"
 
+	"napel/internal/obs"
 	"napel/internal/resilience/faultpoint"
 )
 
@@ -35,8 +36,22 @@ var (
 // so server-side corruption is quarantined at read time and never
 // leaves the machine; what corruption can do is happen in flight —
 // hence the client-side check, exercised by the store.blob fault point.
-func RegisterStoreAPI(mux *http.ServeMux, s *Store) {
-	mux.HandleFunc("GET /v1/store/current", func(w http.ResponseWriter, r *http.Request) {
+//
+// tracer may be nil (spans become no-ops). When set, each pull request
+// opens a server span joined — via the traceparent header StoreSource
+// injects — to the replica's "store.pull" trace, so one model
+// distribution reads as a single cross-process tree in /debug/fleet.
+func RegisterStoreAPI(mux *http.ServeMux, s *Store, tracer *obs.Tracer) {
+	traced := func(name string, h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ctx := obs.ExtractHTTP(obs.WithTracer(r.Context(), tracer), r)
+			ctx, span := obs.StartSpan(ctx, name)
+			defer span.End()
+			h(w, r.WithContext(ctx))
+		}
+	}
+
+	mux.HandleFunc("GET /v1/store/current", traced("store.serve.current", func(w http.ResponseWriter, r *http.Request) {
 		m, err := s.Current()
 		switch {
 		case errors.Is(err, ErrNoCurrent):
@@ -46,7 +61,7 @@ func RegisterStoreAPI(mux *http.ServeMux, s *Store) {
 		default:
 			writeJSON(w, http.StatusOK, m)
 		}
-	})
+	}))
 
 	mux.HandleFunc("GET /v1/store/manifests/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
@@ -65,12 +80,13 @@ func RegisterStoreAPI(mux *http.ServeMux, s *Store) {
 		}
 	})
 
-	mux.HandleFunc("GET /v1/store/blobs/{hash}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/store/blobs/{hash}", traced("store.serve.blob", func(w http.ResponseWriter, r *http.Request) {
 		hash := r.PathValue("hash")
 		if !blobHashRe.MatchString(hash) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed blob address %q", hash))
 			return
 		}
+		obs.SpanFromContext(r.Context()).SetAttr("blob", hash)
 		data, err := s.ReadModel(hash)
 		switch {
 		case errors.Is(err, ErrCorruptBlob):
@@ -93,7 +109,7 @@ func RegisterStoreAPI(mux *http.ServeMux, s *Store) {
 		// the hard case the puller's sha256 check exists for.
 		out := faultpoint.WrapWriter(fpStoreBlob, w)
 		out.Write(data)
-	})
+	}))
 }
 
 // NewStoreHandler returns a standalone handler serving only the store
@@ -101,6 +117,6 @@ func RegisterStoreAPI(mux *http.ServeMux, s *Store) {
 // different listener than the admin API.
 func NewStoreHandler(s *Store) http.Handler {
 	mux := http.NewServeMux()
-	RegisterStoreAPI(mux, s)
+	RegisterStoreAPI(mux, s, nil)
 	return mux
 }

@@ -83,6 +83,12 @@ type Config struct {
 	// ScrapeMetrics scrapes Target/metrics before and after the run
 	// and attributes the deltas in the report.
 	ScrapeMetrics bool
+	// Trace, when non-nil, records one client span per op into this
+	// tracer. Every op is stamped with a seed-derived traceparent header
+	// regardless (replaying a schedule replays its trace ids); the
+	// tracer only controls whether loadgen keeps its own copy of the
+	// client leg, e.g. for push-export to napel-obsd.
+	Trace *obs.Tracer
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
 }
@@ -184,6 +190,7 @@ func (t *tally) merge(o *tally) error {
 
 // outcome is one op's classified result.
 type outcome struct {
+	traceID    uint64
 	status     int
 	latency    time.Duration
 	retryAfter time.Duration // backpressure pacing hint (0 = none)
@@ -382,25 +389,33 @@ func (r *runner) doOp(i uint64, op Op) outcome {
 		return outcome{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Every op carries a seed-derived trace identity: replaying a
+	// schedule replays its trace ids, so a mismatch report from run N
+	// names a trace that run N+1 regenerates byte-identically. mix64 is
+	// bijective, so at most one (seed, i) pair per stream yields zero —
+	// bumped to 1 to keep the header W3C-valid.
+	traceID, spanID := r.traceIdentity(i)
+	req.Header.Set(obs.TraceParentHeader, obs.FormatTraceParent(traceID, spanID))
 	t0 := time.Now()
 	resp, err := r.cfg.Client.Do(req)
 	if err != nil {
 		if r.ctx.Err() != nil {
 			return outcome{canceled: true}
 		}
-		return outcome{err: err}
+		return outcome{traceID: traceID, err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRespBytes))
 	lat := time.Since(t0)
+	r.recordClientSpan(op, target, traceID, spanID, t0, lat, resp.StatusCode)
 	if err != nil {
 		if r.ctx.Err() != nil {
 			return outcome{canceled: true}
 		}
-		return outcome{latency: lat, err: err}
+		return outcome{traceID: traceID, latency: lat, err: err}
 	}
 
-	o := outcome{status: resp.StatusCode, latency: lat}
+	o := outcome{traceID: traceID, status: resp.StatusCode, latency: lat}
 	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	switch {
 	case resp.StatusCode == http.StatusOK:
@@ -418,6 +433,42 @@ func (r *runner) doOp(i uint64, op Op) outcome {
 		o.err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, truncate(data, 200))
 	}
 	return o
+}
+
+// traceIdentity derives op i's deterministic (trace id, span id) pair
+// from the synthesis seed.
+func (r *runner) traceIdentity(i uint64) (traceID, spanID uint64) {
+	traceID = mix64(r.cfg.Synth.Seed ^ mix64(i*2+streamTrace))
+	spanID = mix64(traceID + streamTrace)
+	if traceID == 0 {
+		traceID = 1
+	}
+	if spanID == 0 {
+		spanID = 1
+	}
+	return traceID, spanID
+}
+
+// recordClientSpan keeps loadgen's own copy of the client leg — the
+// span whose identity was stamped on the wire — when a tracer is
+// configured. Server-side spans parent under this one, so /debug/fleet
+// shows the full loadgen→gate→replica chain.
+func (r *runner) recordClientSpan(op Op, target string, traceID, spanID uint64, t0 time.Time, lat time.Duration, status int) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	r.cfg.Trace.Record(obs.SpanRecord{
+		TraceID:         fmt.Sprintf("%016x", traceID),
+		SpanID:          fmt.Sprintf("%016x", spanID),
+		Name:            "loadgen.request",
+		Start:           t0,
+		DurationSeconds: lat.Seconds(),
+		Attrs: []obs.Attr{
+			{Key: "target", Value: target},
+			{Key: "kind", Value: op.Kind.String()},
+			{Key: "status", Value: fmt.Sprintf("%d", status)},
+		},
+	})
 }
 
 // classify parses a 200 body per traffic class, splitting degraded
@@ -502,7 +553,10 @@ func (r *runner) record(t *tally, op Op, o outcome) {
 				if err != nil {
 					kt.mismatches++
 					if kt.mismatch == "" {
-						kt.mismatch = err.Error()
+						// The trace id keys the mismatch to its fleet
+						// trace (and, seeds being deterministic, to the
+						// same op in a replay).
+						kt.mismatch = fmt.Sprintf("trace %016x: %v", o.traceID, err)
 					}
 				}
 			}

@@ -83,6 +83,7 @@ const (
 	streamVariant  = 0xbeefcafe
 	streamBatch    = 0x0ddba11
 	streamArrival  = 0xf1ee7d0e
+	streamTrace    = 0x7ace1de7
 )
 
 // NewGenerator pregenerates the variant bodies for every class in the

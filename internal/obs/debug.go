@@ -18,7 +18,12 @@ type traceGroup struct {
 	Name            string       `json:"name,omitempty"`
 	Start           time.Time    `json:"start"`
 	DurationSeconds float64      `json:"duration_seconds"`
-	Spans           []SpanRecord `json:"spans"`
+	// Orphan marks a trace with no local root: every span has a parent,
+	// but the parent span never arrived in this process's ring — the
+	// normal shape for a trace that began in another process (a remote
+	// caller propagated its context here) or whose root was evicted.
+	Orphan bool         `json:"orphan,omitempty"`
+	Spans  []SpanRecord `json:"spans"`
 }
 
 // TracesHandler serves the tracer's retained spans as JSON, grouped
@@ -68,15 +73,37 @@ func (t *Tracer) TracesHandler() http.Handler {
 			sort.SliceStable(g.Spans, func(i, j int) bool {
 				return g.Spans[i].Start.Before(g.Spans[j].Start)
 			})
-			g.Start = g.Spans[0].Start
-			for _, s := range g.Spans {
+			root := -1
+			for i, s := range g.Spans {
 				if s.ParentID == "" {
-					g.Name = s.Name
-					g.Start = s.Start
-					g.DurationSeconds = s.DurationSeconds
+					root = i
 					break
 				}
 			}
+			if root < 0 {
+				// No local root: the parent lives in another process (or
+				// was evicted). Surface the trace anyway, rooted at the
+				// earliest span whose parent is not in this group, so
+				// remote-parented traces pass the min_duration filter
+				// instead of silently vanishing.
+				g.Orphan = true
+				local := make(map[string]bool, len(g.Spans))
+				for _, s := range g.Spans {
+					local[s.SpanID] = true
+				}
+				for i, s := range g.Spans {
+					if !local[s.ParentID] {
+						root = i
+						break
+					}
+				}
+				if root < 0 {
+					root = 0
+				}
+			}
+			g.Name = g.Spans[root].Name
+			g.Start = g.Spans[root].Start
+			g.DurationSeconds = g.Spans[root].DurationSeconds
 			if nameFilter != "" && !containsSpan(g.Spans, nameFilter) {
 				continue
 			}

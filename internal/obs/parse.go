@@ -10,43 +10,273 @@ import (
 
 // Snapshot is one parsed scrape of a Prometheus text exposition: every
 // sample line keyed by its full series identity (name plus the label
-// block exactly as written). It is the read side of WriteText, used by
-// napel-loadgen to scrape a server's /metrics before and after a run and
-// attribute allocations, GC work and cache behavior to the load between
-// the two scrapes.
+// block in canonical escaped form — identical to how WriteText renders
+// it). It is the read side of WriteText, used by napel-loadgen to
+// scrape a server's /metrics before and after a run and attribute
+// allocations, GC work and cache behavior to the load between the two
+// scrapes, and by napel-obsd to merge fleet scrapes.
 type Snapshot map[string]float64
 
-// ParseText parses text exposition format 0.0.4 as produced by
-// Registry.WriteText: comment/HELP/TYPE lines are skipped, each sample
-// line becomes one Snapshot entry. Unparseable sample lines are an
-// error — a scrape either parses completely or not at all.
-func ParseText(r io.Reader) (Snapshot, error) {
-	snap := Snapshot{}
+// Label is one parsed name="value" pair, value unescaped.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one parsed sample line: the member name as written
+// (including _bucket/_sum/_count suffixes), its labels in written
+// order, and the value.
+type Sample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Key renders the sample's canonical series identity: the name, plus —
+// when labeled — the label block with values re-escaped exactly as
+// WriteText escapes them, so keys survive a parse→render round trip.
+func (s Sample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Exposition is a fully parsed text scrape: samples in written order
+// plus the HELP/TYPE metadata, which the format allows in any order
+// relative to the samples (and which some exporters interleave).
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string // family name -> counter|gauge|histogram|...
+	Help    map[string]string // family name -> help text, unescaped
+}
+
+// ParseExposition parses text exposition format 0.0.4 structurally:
+// label blocks are decoded (escaped quotes, backslashes and newlines in
+// values), sample values accept the full float grammar including +Inf
+// and NaN, optional trailing timestamps are tolerated, and HELP/TYPE
+// blocks are collected wherever they appear. Unparseable sample lines
+// are an error — a scrape either parses completely or not at all.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{
+		Types: make(map[string]string),
+		Help:  make(map[string]string),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for line := 1; sc.Scan(); line++ {
 		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		if text == "" {
 			continue
 		}
-		// The value is the last space-separated field; the series (name
-		// plus optional label block, which may itself contain spaces
-		// inside quoted values) is everything before it.
-		cut := strings.LastIndexByte(text, ' ')
-		if cut <= 0 {
-			return nil, fmt.Errorf("obs: exposition line %d has no value: %q", line, text)
+		if text[0] == '#' {
+			parseComment(exp, text)
+			continue
 		}
-		series := strings.TrimSpace(text[:cut])
-		v, err := strconv.ParseFloat(text[cut+1:], 64)
+		sample, err := parseSample(text)
 		if err != nil {
-			return nil, fmt.Errorf("obs: exposition line %d value: %w", line, err)
+			return nil, fmt.Errorf("obs: exposition line %d: %w (%q)", line, err, text)
 		}
-		snap[series] = v
+		exp.Samples = append(exp.Samples, sample)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	return exp, nil
+}
+
+// ParseText parses a scrape into the flat Snapshot form. It shares
+// ParseExposition's grammar, so escaped label values, ±Inf samples and
+// out-of-order metadata all round-trip.
+func ParseText(r io.Reader) (Snapshot, error) {
+	exp, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	snap := make(Snapshot, len(exp.Samples))
+	for _, s := range exp.Samples {
+		snap[s.Key()] = s.Value
+	}
 	return snap, nil
+}
+
+func parseComment(exp *Exposition, text string) {
+	rest := strings.TrimSpace(text[1:])
+	kw, arg, ok := strings.Cut(rest, " ")
+	if !ok {
+		return
+	}
+	switch kw {
+	case "HELP":
+		name, help, _ := strings.Cut(arg, " ")
+		exp.Help[name] = unescapeHelp(help)
+	case "TYPE":
+		name, typ, ok := strings.Cut(arg, " ")
+		if ok {
+			exp.Types[name] = typ
+		}
+	}
+}
+
+// unescapeHelp reverses escapeHelp: \\ and \n sequences.
+func unescapeHelp(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func parseSample(text string) (Sample, error) {
+	var s Sample
+	i := 0
+	for i < len(text) && isNameChar(text[i], i == 0) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("missing metric name")
+	}
+	s.Name = text[:i]
+	i = skipSpace(text, i)
+
+	if i < len(text) && text[i] == '{' {
+		i++
+		for {
+			i = skipSpace(text, i)
+			if i >= len(text) {
+				return s, fmt.Errorf("unterminated label block")
+			}
+			if text[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(text) && isNameChar(text[j], j == i) {
+				j++
+			}
+			if j == i {
+				return s, fmt.Errorf("missing label name")
+			}
+			lname := text[i:j]
+			j = skipSpace(text, j)
+			if j >= len(text) || text[j] != '=' {
+				return s, fmt.Errorf("label %q missing '='", lname)
+			}
+			j = skipSpace(text, j+1)
+			if j >= len(text) || text[j] != '"' {
+				return s, fmt.Errorf("label %q value not quoted", lname)
+			}
+			value, next, err := parseQuoted(text, j)
+			if err != nil {
+				return s, fmt.Errorf("label %q: %w", lname, err)
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: value})
+			i = skipSpace(text, next)
+			if i < len(text) && text[i] == ',' {
+				i++
+			}
+		}
+		i = skipSpace(text, i)
+	}
+
+	if i >= len(text) {
+		return s, fmt.Errorf("no value")
+	}
+	j := i
+	for j < len(text) && text[j] != ' ' && text[j] != '\t' {
+		j++
+	}
+	v, err := strconv.ParseFloat(text[i:j], 64)
+	if err != nil {
+		return s, fmt.Errorf("value: %w", err)
+	}
+	s.Value = v
+
+	// Optional millisecond timestamp; anything else trailing is junk.
+	rest := strings.TrimSpace(text[j:])
+	if rest != "" {
+		if _, err := strconv.ParseInt(rest, 10, 64); err != nil {
+			return s, fmt.Errorf("trailing garbage %q", rest)
+		}
+	}
+	return s, nil
+}
+
+// parseQuoted decodes a double-quoted label value starting at the
+// opening quote text[i]; returns the unescaped value and the index just
+// past the closing quote. Escapes: \\ \" \n; a lone backslash before
+// any other byte passes through untouched (lenient, like Prometheus).
+func parseQuoted(text string, i int) (string, int, error) {
+	var b strings.Builder
+	for i++; i < len(text); i++ {
+		switch text[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(text) {
+				return "", 0, fmt.Errorf("unterminated escape")
+			}
+			i++
+			switch text[i] {
+			case '\\', '"':
+				b.WriteByte(text[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte('\\')
+				b.WriteByte(text[i])
+			}
+		default:
+			b.WriteByte(text[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value")
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func skipSpace(text string, i int) int {
+	for i < len(text) && (text[i] == ' ' || text[i] == '\t') {
+		i++
+	}
+	return i
 }
 
 // Value returns the sample for the exact series identity (including any

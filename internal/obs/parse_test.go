@@ -2,6 +2,9 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -90,6 +93,107 @@ func TestParseTextRejectsGarbage(t *testing.T) {
 	snap, err := ParseText(strings.NewReader("\n# HELP x y\n# TYPE x counter\n"))
 	if err != nil || len(snap) != 0 {
 		t.Errorf("comment-only scrape: snap=%v err=%v", snap, err)
+	}
+}
+
+// The hardened grammar: escaped label values, ±Inf samples, trailing
+// timestamps, tabs, trailing label commas, and HELP/TYPE blocks in any
+// order relative to the samples.
+func TestParseTextHardened(t *testing.T) {
+	in := strings.Join([]string{
+		`weird_total{path="a\\b",msg="line\nbreak",q="qu\"ote"} 3`,
+		`lat_bucket{le="+Inf"} 12`,
+		`neg_gauge -Inf`,
+		`stamped_total{x="1"} 5 1712345678901`,
+		"tabbed_total\t7",
+		`trailing_total{x="1",} 2`,
+		`# HELP weird_total appears after its samples`,
+		`# TYPE weird_total counter`,
+	}, "\n")
+	snap, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]float64{
+		`weird_total{path="a\\b",msg="line\nbreak",q="qu\"ote"}`: 3,
+		`lat_bucket{le="+Inf"}`: 12,
+		`stamped_total{x="1"}`:  5,
+		"tabbed_total":          7,
+		`trailing_total{x="1"}`: 2,
+	}
+	for series, want := range cases {
+		if got := snap.Value(series); got != want {
+			t.Errorf("%s = %g, want %g\nsnapshot: %v", series, got, want, snap)
+		}
+	}
+	if got := snap.Value("neg_gauge"); !math.IsInf(got, -1) {
+		t.Errorf("neg_gauge = %g, want -Inf", got)
+	}
+}
+
+func TestParseExpositionMeta(t *testing.T) {
+	in := "# TYPE a_total counter\na_total 1\n# HELP a_total with \\\\ and \\n escapes\n# HELP b helponly\n"
+	exp, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Types["a_total"] != "counter" {
+		t.Errorf("Types = %v", exp.Types)
+	}
+	if want := "with \\ and \n escapes"; exp.Help["a_total"] != want {
+		t.Errorf("Help[a_total] = %q, want %q", exp.Help["a_total"], want)
+	}
+	if len(exp.Samples) != 1 || exp.Samples[0].Key() != "a_total" {
+		t.Errorf("samples = %+v", exp.Samples)
+	}
+}
+
+// Exposition → parse → exposition on the real registries: rendering the
+// parsed samples back to text and re-parsing must reproduce the same
+// snapshot, proving keys and values survive a full round trip even with
+// hostile label values.
+func TestExpositionParseRenderRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	RegisterBuildInfo(r, "obs-test")
+	cv := r.CounterVec("rt_hostile_total", "label torture", "v")
+	cv.With(`back\slash`).Add(1)
+	cv.With("new\nline").Add(2)
+	cv.With(`qu"ote and space`).Add(3)
+	h := r.Histogram("rt_latency_seconds", "", nil)
+	h.Observe(0.003)
+	h.Observe(9)
+
+	var first bytes.Buffer
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("parse pass 1: %v\n%s", err, first.String())
+	}
+	var second bytes.Buffer
+	for _, s := range exp.Samples {
+		fmt.Fprintf(&second, "%s %s\n", s.Key(), strconv.FormatFloat(s.Value, 'g', -1, 64))
+	}
+	snapA, err := ParseText(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapB, err := ParseText(bytes.NewReader(second.Bytes()))
+	if err != nil {
+		t.Fatalf("parse pass 2: %v\n%s", err, second.String())
+	}
+	if len(snapA) != len(snapB) {
+		t.Fatalf("round trip changed series count: %d -> %d", len(snapA), len(snapB))
+	}
+	for series, v := range snapA {
+		if got := snapB[series]; got != v {
+			t.Errorf("%s: %g -> %g across round trip", series, v, got)
+		}
+	}
+	if !snapB.Has(`rt_hostile_total{v="qu\"ote and space"}`) {
+		t.Error("hostile label key not canonical after round trip")
 	}
 }
 

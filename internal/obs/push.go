@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanBatch is the wire format of POST /v1/spans: one process's
+// completed spans, stamped with the process name so the aggregation
+// plane can tell whose ring each span came from.
+type SpanBatch struct {
+	Process string       `json:"process"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// PushConfig configures a span push exporter.
+type PushConfig struct {
+	// URL is the aggregator base URL (e.g. http://obsd:9200); the
+	// exporter POSTs to URL + "/v1/spans".
+	URL string
+	// Process names this process in every batch (e.g. "napel-serve").
+	Process string
+	// Client defaults to a dedicated client with a 5s timeout.
+	Client *http.Client
+	// Buffer bounds the spans queued for export (default 1024). When
+	// full, new spans are counted and dropped — the serving path never
+	// blocks on the aggregator.
+	Buffer int
+	// BatchSize flushes a batch once it holds this many spans
+	// (default 64).
+	BatchSize int
+	// FlushInterval flushes a partial batch at least this often
+	// (default 1s).
+	FlushInterval time.Duration
+}
+
+// Pusher exports completed spans to an obsd aggregator in bounded,
+// batched POSTs. Enqueue never blocks: a full buffer drops the span and
+// counts the drop, so tracing overhead stays flat no matter how slow or
+// absent the aggregator is. Attach to a tracer with Tracer.SetPusher;
+// when no pusher is set, the tracer's export path does a single atomic
+// load and nothing else.
+type Pusher struct {
+	url     string
+	process string
+	client  *http.Client
+
+	ch   chan SpanRecord
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	batch    int
+	interval time.Duration
+
+	sent    atomic.Uint64
+	batches atomic.Uint64
+	dropped atomic.Uint64
+	errs    atomic.Uint64
+}
+
+// NewPusher starts a background exporter posting to cfg.URL/v1/spans.
+// Call Close to flush and stop it.
+func NewPusher(cfg PushConfig) *Pusher {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Process == "" {
+		cfg.Process = "unknown"
+	}
+	url := cfg.URL
+	for len(url) > 0 && url[len(url)-1] == '/' {
+		url = url[:len(url)-1]
+	}
+	p := &Pusher{
+		url:      url + "/v1/spans",
+		process:  cfg.Process,
+		client:   cfg.Client,
+		ch:       make(chan SpanRecord, cfg.Buffer),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		batch:    cfg.BatchSize,
+		interval: cfg.FlushInterval,
+	}
+	go p.run()
+	return p
+}
+
+// Enqueue queues rec for export, dropping (and counting) when the
+// buffer is full. Never blocks.
+func (p *Pusher) Enqueue(rec SpanRecord) {
+	select {
+	case p.ch <- rec:
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+// Dropped returns the spans discarded because the buffer was full.
+func (p *Pusher) Dropped() uint64 { return p.dropped.Load() }
+
+// Sent returns the spans successfully delivered to the aggregator.
+func (p *Pusher) Sent() uint64 { return p.sent.Load() }
+
+// Close drains the buffer, flushes the final batch, and stops the
+// exporter. Safe to call more than once.
+func (p *Pusher) Close() {
+	p.once.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+// Register exposes the exporter's own health on reg, so a scrape of the
+// pushing process shows whether its spans are actually arriving.
+func (p *Pusher) Register(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("napel_trace_push_spans_total",
+		"Spans delivered to the trace aggregator.",
+		func() float64 { return float64(p.sent.Load()) })
+	reg.CounterFunc("napel_trace_push_dropped_total",
+		"Spans dropped because the export buffer was full.",
+		func() float64 { return float64(p.dropped.Load()) })
+	reg.CounterFunc("napel_trace_push_errors_total",
+		"Export batches that failed to deliver.",
+		func() float64 { return float64(p.errs.Load()) })
+}
+
+func (p *Pusher) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	buf := make([]SpanRecord, 0, p.batch)
+	flush := func() {
+		if len(buf) == 0 {
+			return
+		}
+		p.post(buf)
+		buf = buf[:0]
+	}
+	for {
+		select {
+		case rec := <-p.ch:
+			buf = append(buf, rec)
+			if len(buf) >= p.batch {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-p.stop:
+			for {
+				select {
+				case rec := <-p.ch:
+					buf = append(buf, rec)
+					if len(buf) >= p.batch {
+						flush()
+					}
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+func (p *Pusher) post(spans []SpanRecord) {
+	body, err := json.Marshal(SpanBatch{Process: p.process, Spans: spans})
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url, bytes.NewReader(body))
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		p.errs.Add(1)
+		return
+	}
+	p.sent.Add(uint64(len(spans)))
+	p.batches.Add(1)
+}

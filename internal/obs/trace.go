@@ -43,6 +43,11 @@ type Tracer struct {
 	sinkMu sync.Mutex
 	sink   io.Writer
 
+	// push, when set, receives every exported span for delivery to an
+	// obsd aggregator. An atomic pointer so the unset (common) case
+	// costs one load on the export path and nothing on the span path.
+	push atomic.Pointer[Pusher]
+
 	seed  uint64
 	idctr atomic.Uint64
 }
@@ -84,6 +89,23 @@ func (t *Tracer) newID() uint64 {
 	return x
 }
 
+// SetPusher attaches (or, with nil, detaches) a span push exporter:
+// every subsequently exported span is also enqueued for delivery to the
+// aggregation plane. The caller owns the pusher's lifecycle (Close).
+func (t *Tracer) SetPusher(p *Pusher) {
+	t.push.Store(p)
+}
+
+// Record exports a complete span record directly — for callers that
+// synthesize spans with externally determined identities, like
+// napel-loadgen's deterministic seed-derived client spans.
+func (t *Tracer) Record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	t.export(rec)
+}
+
 func (t *Tracer) export(rec SpanRecord) {
 	t.mu.Lock()
 	if len(t.ring) < t.size {
@@ -93,6 +115,10 @@ func (t *Tracer) export(rec SpanRecord) {
 	}
 	t.next = (t.next + 1) % t.size
 	t.mu.Unlock()
+
+	if p := t.push.Load(); p != nil {
+		p.Enqueue(rec)
+	}
 
 	if t.sink != nil {
 		line, err := json.Marshal(rec)
@@ -156,9 +182,11 @@ func SpanFromContext(ctx context.Context) *Span {
 }
 
 // StartSpan opens a span named name under the context's active span
-// (same trace) or as a new trace root, using the context's tracer. With
-// no tracer on the context it returns (ctx, nil) — the nil span's
-// methods all no-op, so call sites need no conditionals.
+// (same trace), under a remote span context extracted from an incoming
+// request (joining the caller's trace), or as a new trace root, using
+// the context's tracer. With no tracer on the context it returns
+// (ctx, nil) — the nil span's methods all no-op, so call sites need no
+// conditionals.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	parent := SpanFromContext(ctx)
 	var tracer *Tracer
@@ -176,11 +204,17 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 		spanID: tracer.newID(),
 		start:  time.Now(),
 	}
-	if parent != nil {
+	switch {
+	case parent != nil:
 		s.traceID = parent.traceID
 		s.parentID = parent.spanID
-	} else {
-		s.traceID = tracer.newID()
+	default:
+		if rc, ok := RemoteFromContext(ctx); ok && rc.Valid() {
+			s.traceID = rc.TraceID
+			s.parentID = rc.SpanID
+		} else {
+			s.traceID = tracer.newID()
+		}
 	}
 	return context.WithValue(ctx, spanKey{}, s), s
 }
@@ -223,6 +257,16 @@ func (s *Span) SpanID() string {
 		return ""
 	}
 	return formatID(s.spanID)
+}
+
+// Discard completes the span without exporting it — for optimistic
+// spans whose operation turned out to be a no-op, like a worker's idle
+// lease poll. Safe on nil; a span already ended stays exported.
+func (s *Span) Discard() {
+	if s == nil {
+		return
+	}
+	s.ended.CompareAndSwap(false, true)
 }
 
 // End completes the span and exports it. Safe on nil; second and later

@@ -178,6 +178,45 @@ func TestTracesHandlerFilters(t *testing.T) {
 	}
 }
 
+// A trace whose root span lives in another process (remote parent) must
+// still surface in /debug/traces, rooted at its earliest
+// remote-parented span — not vanish because no local span is parentless.
+func TestTracesHandlerSurfacesOrphans(t *testing.T) {
+	tr := NewTracer(32, nil)
+	ctx := ContextWithRemote(WithTracer(context.Background(), tr), SpanContext{TraceID: 0xcafe, SpanID: 0xd00d})
+	sctx, joined := StartSpan(ctx, "remote-child")
+	_, sub := StartSpan(sctx, "substep")
+	sub.End()
+	time.Sleep(25 * time.Millisecond)
+	joined.End()
+
+	rr := httptest.NewRecorder()
+	tr.TracesHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?min_duration=10ms", nil))
+	if rr.Code != 200 {
+		t.Fatalf("GET -> %d: %s", rr.Code, rr.Body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["count"].(float64) != 1 {
+		t.Fatalf("orphan trace dropped: %s", rr.Body)
+	}
+	group := out["traces"].([]any)[0].(map[string]any)
+	if group["name"] != "remote-child" {
+		t.Fatalf("orphan root name = %v, want remote-child", group["name"])
+	}
+	if group["orphan"] != true {
+		t.Fatalf("orphan trace not marked: %v", group)
+	}
+	if group["trace_id"] != formatID(0xcafe) {
+		t.Fatalf("trace id = %v, want %s", group["trace_id"], formatID(0xcafe))
+	}
+	if group["duration_seconds"].(float64) < 0.01 {
+		t.Fatalf("orphan root duration = %v, want the joined span's", group["duration_seconds"])
+	}
+}
+
 func TestLogHandlerStampsTraceIDs(t *testing.T) {
 	var buf bytes.Buffer
 	logger := slog.New(NewLogHandler(slog.NewTextHandler(&buf, nil)))

@@ -1,0 +1,155 @@
+package obsd
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"napel/internal/obs"
+)
+
+// sortScrapes orders scrape states by (job, instance) so every merged
+// rendering is deterministic.
+func sortScrapes(s []*scrape) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].target.Job != s[j].target.Job {
+			return s[i].target.Job < s[j].target.Job
+		}
+		return s[i].target.Instance < s[j].target.Instance
+	})
+}
+
+// mergedLine is one re-labeled sample plus its sort identity.
+type mergedLine struct {
+	family string // family base: histogram components group under their base
+	name   string
+	job    string
+	inst   string
+	idx    int // original sample index within its scrape, to keep
+	// bucket/sum/count shape intact per series
+	text string
+}
+
+// writeMerged re-exports every up target's scraped series with a
+// job/instance label pair spliced in front of the original labels,
+// preceded by synthetic napel_fleet_up / napel_fleet_scrape_duration
+// series for every target (up or not). Output is fully deterministic:
+// families sorted by name, series by (job, instance, original order).
+func (a *Aggregator) writeMerged(w io.Writer) {
+	scrapes := a.snapshotScrapes()
+
+	// Synthetic per-target health series come first, as their own
+	// families.
+	io.WriteString(w, "# HELP napel_fleet_scrape_duration_seconds Duration of the last scrape of each target.\n")
+	io.WriteString(w, "# TYPE napel_fleet_scrape_duration_seconds gauge\n")
+	for _, s := range scrapes {
+		writeFleetSample(w, "napel_fleet_scrape_duration_seconds", s.target, s.dur.Seconds())
+	}
+	io.WriteString(w, "# HELP napel_fleet_up Whether the last scrape of each target succeeded.\n")
+	io.WriteString(w, "# TYPE napel_fleet_up gauge\n")
+	for _, s := range scrapes {
+		up := 0.0
+		if s.up {
+			up = 1
+		}
+		writeFleetSample(w, "napel_fleet_up", s.target, up)
+	}
+
+	var lines []mergedLine
+	types := map[string]string{}
+	help := map[string]string{}
+	for _, s := range scrapes {
+		if !s.up || s.exp == nil {
+			continue
+		}
+		for fam, typ := range s.exp.Types {
+			if _, ok := types[fam]; !ok {
+				types[fam] = typ
+			}
+		}
+		for fam, h := range s.exp.Help {
+			if _, ok := help[fam]; !ok && h != "" {
+				help[fam] = h
+			}
+		}
+		for i, sample := range s.exp.Samples {
+			lines = append(lines, mergedLine{
+				family: familyBase(sample.Name, s.exp.Types),
+				name:   sample.Name,
+				job:    s.target.Job,
+				inst:   s.target.Instance,
+				idx:    i,
+				text:   renderMerged(sample, s.target),
+			})
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.family != b.family {
+			return a.family < b.family
+		}
+		if a.job != b.job {
+			return a.job < b.job
+		}
+		if a.inst != b.inst {
+			return a.inst < b.inst
+		}
+		return a.idx < b.idx
+	})
+	prevFamily := ""
+	for _, l := range lines {
+		if l.family != prevFamily {
+			prevFamily = l.family
+			if h, ok := help[l.family]; ok {
+				io.WriteString(w, "# HELP "+l.family+" "+escapeNewlines(h)+"\n")
+			}
+			if t, ok := types[l.family]; ok {
+				io.WriteString(w, "# TYPE "+l.family+" "+t+"\n")
+			}
+		}
+		io.WriteString(w, l.text)
+	}
+}
+
+// familyBase folds histogram component samples under their declared
+// base family so HELP/TYPE headers land once, in the right place.
+func familyBase(name string, types map[string]string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && types[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// renderMerged renders one sample with job/instance spliced in front of
+// the original labels. An original label already named job or instance
+// is kept under an exported_ prefix rather than silently clobbered.
+func renderMerged(s obs.Sample, t Target) string {
+	labels := make([]obs.Label, 0, len(s.Labels)+2)
+	labels = append(labels,
+		obs.Label{Name: "job", Value: t.Job},
+		obs.Label{Name: "instance", Value: t.Instance})
+	for _, l := range s.Labels {
+		if l.Name == "job" || l.Name == "instance" {
+			l.Name = "exported_" + l.Name
+		}
+		labels = append(labels, l)
+	}
+	merged := obs.Sample{Name: s.Name, Labels: labels, Value: s.Value}
+	return merged.Key() + " " + strconv.FormatFloat(s.Value, 'g', -1, 64) + "\n"
+}
+
+func writeFleetSample(w io.Writer, name string, t Target, v float64) {
+	s := obs.Sample{Name: name, Labels: []obs.Label{
+		{Name: "job", Value: t.Job},
+		{Name: "instance", Value: t.Instance},
+	}, Value: v}
+	io.WriteString(w, s.Key()+" "+strconv.FormatFloat(v, 'g', -1, 64)+"\n")
+}
+
+func escapeNewlines(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\n", "\\n")
+}

@@ -1,0 +1,327 @@
+package obsd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"napel/internal/obs"
+)
+
+func TestParseTargets(t *testing.T) {
+	targets, err := ParseTargets("gate=http://h1:9090, serve=http://h2:8080/, http://h3:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Target{
+		{Job: "gate", Instance: "h1:9090", URL: "http://h1:9090"},
+		{Job: "serve", Instance: "h2:8080", URL: "http://h2:8080"},
+		{Job: "napel", Instance: "h3:7070", URL: "http://h3:7070"},
+	}
+	if len(targets) != len(want) {
+		t.Fatalf("targets = %+v", targets)
+	}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Errorf("target[%d] = %+v, want %+v", i, targets[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "  ,  ", "job=not-a-url", "=http://h:1"} {
+		if got, err := ParseTargets(bad); err == nil {
+			t.Errorf("ParseTargets(%q) accepted: %+v", bad, got)
+		}
+	}
+}
+
+// serveLikeRegistry builds a registry shaped like napel-serve's, with
+// known request counts for the SLO math.
+func serveLikeRegistry(ok, bad int) *obs.Registry {
+	reg := obs.NewRegistry()
+	req := reg.CounterVec("napel_serve_requests_total", "requests", "endpoint", "class")
+	req.With("predict", "2xx").Add(uint64(ok))
+	req.With("predict", "5xx").Add(uint64(bad))
+	dur := reg.Histogram("napel_serve_request_duration_seconds", "latency", []float64{0.05, 0.25, 1})
+	for i := 0; i < ok; i++ {
+		dur.Observe(0.01) // all fast
+	}
+	for i := 0; i < bad; i++ {
+		dur.Observe(2) // all slow
+	}
+	return reg
+}
+
+func metricsServer(reg *obs.Registry) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		reg.WriteText(w)
+	}))
+}
+
+func TestScrapeMergeAndSLO(t *testing.T) {
+	s1 := metricsServer(serveLikeRegistry(90, 10))
+	defer s1.Close()
+	s2 := metricsServer(serveLikeRegistry(100, 0))
+	defer s2.Close()
+
+	a, err := New(Config{Targets: []Target{
+		{Job: "serve", Instance: "r1", URL: s1.URL},
+		{Job: "serve", Instance: "r2", URL: s2.URL},
+		{Job: "serve", Instance: "down", URL: "http://127.0.0.1:1"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.scrapeAll()
+
+	rr := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+
+	for _, want := range []string{
+		`napel_fleet_up{job="serve",instance="r1"} 1`,
+		`napel_fleet_up{job="serve",instance="r2"} 1`,
+		`napel_fleet_up{job="serve",instance="down"} 0`,
+		`napel_serve_requests_total{job="serve",instance="r1",endpoint="predict",class="5xx"} 10`,
+		`napel_serve_requests_total{job="serve",instance="r2",endpoint="predict",class="2xx"} 100`,
+		"# TYPE napel_serve_request_duration_seconds histogram",
+		"napel_obsd_scrapes_total 2",
+		"napel_obsd_scrape_errors_total 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("merged exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// The merged output must itself be a valid exposition (the fleet
+	// round trip), and deterministic across renderings.
+	if _, err := obs.ParseText(strings.NewReader(body)); err != nil {
+		t.Fatalf("merged output does not re-parse: %v", err)
+	}
+	var again bytes.Buffer
+	a.reg.WriteText(&again)
+	a.writeMerged(&again)
+	// Self series (runtime gauges) move between scrapes of the same
+	// registry; compare only the merged fleet section.
+	cut := strings.Index(body, "napel_fleet")
+	cutAgain := strings.Index(again.String(), "napel_fleet")
+	if cut < 0 || cutAgain < 0 || body[cut:] != again.String()[cutAgain:] {
+		t.Error("merged section is not deterministic across renderings")
+	}
+
+	// SLO: 10 bad of 200 total => bad fraction 0.05, burn 50 at 0.999;
+	// latency: 10 slow of 200 => 0.05 over the 0.25s bucket, burn 5 at
+	// objective 0.99.
+	rr = httptest.NewRecorder()
+	a.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet", nil))
+	var fleet struct {
+		SLO map[string]sloBurn `json:"slo"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	avail := fleet.SLO["availability"]
+	if avail.Total != 200 || avail.Bad != 10 || avail.BadFraction != 0.05 {
+		t.Errorf("availability = %+v", avail)
+	}
+	if avail.BurnRate < 49.9 || avail.BurnRate > 50.1 {
+		t.Errorf("availability burn = %g, want ~50", avail.BurnRate)
+	}
+	lat := fleet.SLO["latency"]
+	if lat.Total != 200 || lat.Bad != 10 {
+		t.Errorf("latency = %+v", lat)
+	}
+	if lat.BurnRate < 4.9 || lat.BurnRate > 5.1 {
+		t.Errorf("latency burn = %g, want ~5", lat.BurnRate)
+	}
+}
+
+// A label named job on the scraped side must survive under an
+// exported_ prefix, not clobber the aggregator's label.
+func TestMergeRenamesColidingLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.CounterVec("odd_total", "", "job").With("inner").Add(1)
+	s := metricsServer(reg)
+	defer s.Close()
+	a, err := New(Config{Targets: []Target{{Job: "j", Instance: "i", URL: s.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.scrapeAll()
+	var buf bytes.Buffer
+	a.writeMerged(&buf)
+	if !strings.Contains(buf.String(), `odd_total{job="j",instance="i",exported_job="inner"} 1`) {
+		t.Fatalf("colliding label not renamed:\n%s", buf.String())
+	}
+}
+
+func pushBatch(t *testing.T, h http.Handler, batch obs.SpanBatch) {
+	t.Helper()
+	body, _ := json.Marshal(batch)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/spans", bytes.NewReader(body)))
+	if rr.Code != http.StatusNoContent {
+		t.Fatalf("POST /v1/spans -> %d: %s", rr.Code, rr.Body)
+	}
+}
+
+func TestFleetTraceAssembly(t *testing.T) {
+	srv := metricsServer(obs.NewRegistry())
+	defer srv.Close()
+	a, err := New(Config{Targets: []Target{{Job: "x", Instance: "i", URL: srv.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := a.Handler()
+
+	base := time.Now()
+	// loadgen -> gate -> serve, pushed out of order and out of process
+	// order, plus a hedge loser from a second replica.
+	pushBatch(t, h, obs.SpanBatch{Process: "napel-serve", Spans: []obs.SpanRecord{
+		{TraceID: "t1", SpanID: "s-serve", ParentID: "s-attempt", Name: "http.predict", Start: base.Add(2 * time.Millisecond), DurationSeconds: 0.001},
+	}})
+	pushBatch(t, h, obs.SpanBatch{Process: "napel-gate", Spans: []obs.SpanRecord{
+		{TraceID: "t1", SpanID: "s-gate", ParentID: "s-client", Name: "gate.predict", Start: base.Add(time.Millisecond), DurationSeconds: 0.004},
+		{TraceID: "t1", SpanID: "s-attempt", ParentID: "s-gate", Name: "gate.attempt", Start: base.Add(time.Millisecond), DurationSeconds: 0.002},
+		{TraceID: "t1", SpanID: "s-loser", ParentID: "s-gate", Name: "gate.attempt", Start: base.Add(time.Millisecond), DurationSeconds: 0.003,
+			Attrs: []obs.Attr{{Key: "hedge_loser", Value: "true"}}},
+	}})
+	pushBatch(t, h, obs.SpanBatch{Process: "napel-loadgen", Spans: []obs.SpanRecord{
+		{TraceID: "t1", SpanID: "s-client", Name: "loadgen.predict", Start: base, DurationSeconds: 0.005},
+	}})
+	// Unrelated second trace.
+	pushBatch(t, h, obs.SpanBatch{Process: "napel-worker", Spans: []obs.SpanRecord{
+		{TraceID: "t2", SpanID: "w1", Name: "worker.unit", Start: base.Add(time.Second), DurationSeconds: 1},
+	}})
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet?trace_id=t1", nil))
+	var out struct {
+		TraceCount int           `json:"trace_count"`
+		Traces     []*fleetTrace `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceCount != 1 {
+		t.Fatalf("trace_count = %d: %s", out.TraceCount, rr.Body)
+	}
+	tr := out.Traces[0]
+	if tr.ProcessCount != 3 || tr.SpanCount != 5 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if want := []string{"napel-gate", "napel-loadgen", "napel-serve"}; strings.Join(tr.Processes, ",") != strings.Join(want, ",") {
+		t.Fatalf("processes = %v", tr.Processes)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].SpanID != "s-client" || tr.Name != "loadgen.predict" {
+		t.Fatalf("root = %+v", tr.Spans)
+	}
+	gate := tr.Spans[0].Children[0]
+	if gate.SpanID != "s-gate" || len(gate.Children) != 2 {
+		t.Fatalf("gate node = %+v", gate)
+	}
+	var winner, loser *fleetSpan
+	for _, c := range gate.Children {
+		if c.SpanID == "s-attempt" {
+			winner = c
+		}
+		if c.SpanID == "s-loser" {
+			loser = c
+		}
+	}
+	if winner == nil || len(winner.Children) != 1 || winner.Children[0].Process != "napel-serve" {
+		t.Fatalf("winning attempt does not parent the serve span: %+v", winner)
+	}
+	if loser == nil || len(loser.Attrs) == 0 || loser.Attrs[0].Key != "hedge_loser" {
+		t.Fatalf("hedge loser unannotated: %+v", loser)
+	}
+
+	// name filter reaches across processes.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/debug/fleet?name=worker.unit", nil))
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceCount != 1 || out.Traces[0].TraceID != "t2" {
+		t.Fatalf("name filter: %s", rr.Body)
+	}
+}
+
+func TestSpanStoreBounded(t *testing.T) {
+	srv := metricsServer(obs.NewRegistry())
+	defer srv.Close()
+	a, err := New(Config{Targets: []Target{{Job: "x", Instance: "i", URL: srv.URL}}, SpanCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := make([]obs.SpanRecord, 10)
+	for i := range spans {
+		spans[i] = obs.SpanRecord{TraceID: "t", SpanID: string(rune('a' + i)), Name: "s"}
+	}
+	a.ingest(obs.SpanBatch{Process: "p", Spans: spans})
+	got := a.snapshotSpans()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	if got[0].SpanID != "g" || got[3].SpanID != "j" {
+		t.Fatalf("retained wrong window: %+v", got)
+	}
+	if a.evicted.Value() != 6 {
+		t.Fatalf("evicted = %d, want 6", a.evicted.Value())
+	}
+}
+
+func TestBadSpanBatchRejected(t *testing.T) {
+	srv := metricsServer(obs.NewRegistry())
+	defer srv.Close()
+	a, err := New(Config{Targets: []Target{{Job: "x", Instance: "i", URL: srv.URL}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rr, httptest.NewRequest("POST", "/v1/spans", strings.NewReader("{nope")))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("bad batch -> %d", rr.Code)
+	}
+	if a.rejected.Value() != 1 {
+		t.Fatalf("rejected counter = %d", a.rejected.Value())
+	}
+}
+
+func TestRunScrapesOnTick(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("tick_total", "").Add(3)
+	srv := metricsServer(reg)
+	defer srv.Close()
+	a, err := New(Config{
+		Targets:        []Target{{Job: "j", Instance: "i", URL: srv.URL}},
+		ScrapeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { a.Run(ctx); close(done) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.scrapesOK.Value() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if a.scrapesOK.Value() < 2 {
+		t.Fatalf("scrapes = %d, want >= 2 (initial + tick)", a.scrapesOK.Value())
+	}
+	var buf bytes.Buffer
+	a.writeMerged(&buf)
+	if !strings.Contains(buf.String(), `tick_total{job="j",instance="i"} 3`) {
+		t.Fatalf("scraped series missing:\n%s", buf.String())
+	}
+}

@@ -207,6 +207,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DegradedEntries > 0 {
 		s.degraded = cache.NewLRU[uint64, napel.Prediction](cfg.DegradedEntries)
 	}
+	// Store-backed sources trace their pulls on the server's tracer, so
+	// a model distribution shows up as one trace spanning serve and
+	// traind.
+	for _, src := range sources {
+		if ss, ok := src.(*StoreSource); ok && ss.Trace == nil {
+			ss.Trace = s.o.tracer
+		}
+	}
 	if cfg.AccessLog != nil {
 		s.logger = slog.New(obs.NewLogHandler(slog.NewTextHandler(cfg.AccessLog, nil)))
 	}
@@ -357,7 +365,7 @@ func (s *Server) instrument(endpoint, method string, h http.HandlerFunc) http.Ha
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
-		ctx, span := obs.StartSpan(obs.WithTracer(r.Context(), s.o.tracer), "http."+endpoint)
+		ctx, span := obs.StartSpan(obs.ExtractHTTP(obs.WithTracer(r.Context(), s.o.tracer), r), "http."+endpoint)
 		span.SetAttr("method", r.Method)
 		span.SetAttr("path", r.URL.Path)
 		r = r.WithContext(ctx)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"napel/internal/obs"
 )
 
 // ModelSource supplies one model's serialized bytes plus a serving
@@ -96,6 +99,11 @@ type StoreSource struct {
 	URL string
 	// Client overrides the HTTP client (default: 30s timeout).
 	Client *http.Client
+	// Trace, when set, records every pull as a "store.pull" root span
+	// whose identity is propagated to traind, so a model distribution is
+	// one cross-process trace. serve.New wires the server's tracer in
+	// automatically.
+	Trace *obs.Tracer
 
 	mu sync.Mutex
 	// contentHash/version memoize the last verified pull so an
@@ -142,12 +150,34 @@ func (s *StoreSource) Poll(prev string) ([]byte, string, bool, error) {
 	return data, version, true, nil
 }
 
+// get issues one traced store GET: the request carries the span's
+// identity so traind's server spans join the pull's trace.
+func (s *StoreSource) get(name, url string) (*http.Response, *obs.Span, error) {
+	ctx, span := obs.StartSpan(obs.WithTracer(context.Background(), s.Trace), name)
+	span.SetAttr("url", url)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		span.SetError(err)
+		span.End()
+		return nil, nil, err
+	}
+	obs.InjectHTTP(ctx, req)
+	resp, err := s.client().Do(req)
+	if err != nil {
+		span.SetError(err)
+		span.End()
+		return nil, nil, err
+	}
+	return resp, span, nil
+}
+
 // currentHash resolves the store's promoted lineage to a blob address.
 func (s *StoreSource) currentHash() (string, error) {
-	resp, err := s.client().Get(strings.TrimSuffix(s.URL, "/") + "/v1/store/current")
+	resp, span, err := s.get("store.pull.current", strings.TrimSuffix(s.URL, "/")+"/v1/store/current")
 	if err != nil {
 		return "", err
 	}
+	defer span.End()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return "", storeHTTPError(resp, "current lineage")
@@ -168,10 +198,11 @@ func (s *StoreSource) currentHash() (string, error) {
 // fetch pulls and verifies one blob, memoizing the (content address,
 // serving version) pair on success.
 func (s *StoreSource) fetch(hash string) ([]byte, string, error) {
-	resp, err := s.client().Get(strings.TrimSuffix(s.URL, "/") + "/v1/store/blobs/" + hash)
+	resp, span, err := s.get("store.pull.blob", strings.TrimSuffix(s.URL, "/")+"/v1/store/blobs/"+hash)
 	if err != nil {
 		return nil, "", err
 	}
+	defer span.End()
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return nil, "", storeHTTPError(resp, "blob "+hash)

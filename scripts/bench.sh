@@ -16,7 +16,7 @@
 #                            the fleet aggregate
 #
 # Usage: ./scripts/bench.sh [out.json]
-# Env:   BENCH_PR            report/filename key        (default 8)
+# Env:   BENCH_PR            report/filename key        (default 9)
 #        BENCH_SEED          workload seed              (default 1)
 #        BENCH_REQUESTS      scheduled requests         (default 2000)
 #        BENCH_WORKERS       closed-loop clients        (default 8)
@@ -28,12 +28,18 @@
 #                            workload model's training data through a
 #                            traind coordinator; recorded in the report's
 #                            topology stamp (default 2, 0 = local train)
+#        BENCH_OBSD          1 (default) runs napel-obsd beside the
+#                            serving tier — scraping its /metrics and
+#                            receiving -trace-push span batches from
+#                            every process — so the report measures the
+#                            stack under observation; stamped "+obsd"
+#                            in the topology (0 = off)
 #
 # Exit code is napel-loadgen's: 0 pass, 3 SLO violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=${BENCH_PR:-8}
+pr=${BENCH_PR:-9}
 out=${1:-BENCH_${pr}.json}
 seed=${BENCH_SEED:-1}
 requests=${BENCH_REQUESTS:-2000}
@@ -43,6 +49,7 @@ min_rps=${BENCH_MIN_RPS:-50}
 fleet=${BENCH_FLEET:-0}
 cache_entries=${BENCH_CACHE_ENTRIES:-0}
 collect_workers=${BENCH_COLLECT_WORKERS:-2}
+obsd=${BENCH_OBSD:-1}
 
 tmp=$(mktemp -d)
 pids=()
@@ -59,6 +66,9 @@ go build -o "$tmp/napel" ./cmd/napel
 go build -o "$tmp/napel-serve" ./cmd/napel-serve
 go build -o "$tmp/napel-gate" ./cmd/napel-gate
 go build -o "$tmp/napel-loadgen" ./cmd/napel-loadgen
+if [ "$obsd" -eq 1 ]; then
+    go build -o "$tmp/napel-obsd" ./cmd/napel-obsd
+fi
 
 wait_healthy() {
     for _ in $(seq 1 50); do
@@ -126,39 +136,64 @@ fi
 "$tmp/napel" export-profile -kernel atax -scale 32 -max-iters 1 \
     -budget 20000 -out "$tmp/req.json"
 
+# The obsd port is picked before the serving tier starts so every
+# process can be handed its -trace-push URL; the aggregator itself
+# starts once the scrape target list is known.
+obsd_suffix=""
+obsd_url=""
+if [ "$obsd" -eq 1 ]; then
+    oport=$(( (RANDOM % 20000) + 20000 ))
+    obsd_url="http://127.0.0.1:$oport"
+    obsd_suffix="+obsd"
+fi
+
 extra_args=()
 if [ "$fleet" -gt 0 ]; then
     replica_urls=""
     scrape_urls=""
+    obsd_targets=""
     for i in $(seq 1 "$fleet"); do
         rport=$(( (RANDOM % 20000) + 20000 ))
         rurl="http://127.0.0.1:$rport"
         "$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$rport" \
-            -cache-entries "$cache_entries" -quiet 2>"$tmp/replica$i.log" &
+            -cache-entries "$cache_entries" -quiet \
+            ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/replica$i.log" &
         pids+=($!)
         wait_healthy "$rurl"
         replica_urls="${replica_urls:+$replica_urls,}$rurl"
         scrape_urls="${scrape_urls:+$scrape_urls,}$rurl"
+        obsd_targets="${obsd_targets:+$obsd_targets,}serve=$rurl"
     done
     port=$(( (RANDOM % 20000) + 20000 ))
     url="http://127.0.0.1:$port"
     # Hedging off for the bench: it trades tail latency for duplicate
     # work, which would smear the per-replica cache attribution.
     "$tmp/napel-gate" -addr "127.0.0.1:$port" -replicas "$replica_urls" \
-        -hedge-after=-1ms -health-interval 100ms 2>"$tmp/gate.log" &
+        -hedge-after=-1ms -health-interval 100ms \
+        ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/gate.log" &
     pids+=($!)
     wait_healthy "$url"
-    topology="gate+${fleet}x serve${collect_topology}"
+    obsd_targets="gate=$url${obsd_targets:+,$obsd_targets}"
+    topology="gate+${fleet}x serve${obsd_suffix}${collect_topology}"
     extra_args+=(-scrape-targets "$scrape_urls" -topology "$topology")
 else
     port=$(( (RANDOM % 20000) + 20000 ))
     url="http://127.0.0.1:$port"
     "$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$port" \
-        -cache-entries "$cache_entries" -quiet 2>"$tmp/server.log" &
+        -cache-entries "$cache_entries" -quiet \
+        ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/server.log" &
     pids+=($!)
     wait_healthy "$url"
-    topology="serve${collect_topology}"
+    obsd_targets="serve=$url"
+    topology="serve${obsd_suffix}${collect_topology}"
     extra_args+=(-topology "$topology")
+fi
+
+if [ "$obsd" -eq 1 ]; then
+    "$tmp/napel-obsd" -addr "127.0.0.1:$oport" -targets "$obsd_targets" \
+        -scrape-interval 500ms 2>"$tmp/obsd.log" &
+    pids+=($!)
+    wait_healthy "$obsd_url"
 fi
 
 echo "== bench: pr=$pr seed=$seed requests=$requests workers=$workers topology='$topology' =="
@@ -168,6 +203,7 @@ status=0
     -base "$tmp/req.json" -probe-model "$tmp/model.json" \
     -slo-p99 "$slo_p99" -min-rps "$min_rps" -max-error-rate 0 \
     "${extra_args[@]}" \
+    ${obsd_url:+-trace-push "$obsd_url"} \
     -pr "$pr" -out "$out" || status=$?
 
 for pid in "${pids[@]}"; do

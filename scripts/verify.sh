@@ -36,7 +36,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/collectd/... ./internal/obs/... ./internal/resilience/...
+go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/collectd/... ./internal/obs/... ./internal/obsd/... ./internal/resilience/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -46,7 +46,7 @@ traind_pid=""
 cleanup() {
     for pid in "$server_pid" "$traind_pid" \
         "${replica1_pid:-}" "${replica2_pid:-}" "${gate_pid:-}" \
-        "${worker1_pid:-}" "${worker2_pid:-}"; do
+        "${worker1_pid:-}" "${worker2_pid:-}" "${obsd_pid:-}"; do
         [ -n "$pid" ] && kill "$pid" 2>/dev/null
     done
     rm -rf "$tmp"
@@ -685,5 +685,98 @@ fleet_cleanup
 kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
 traind_pid=""
 echo "fleet smoke test: rolled 2 replicas, $fprobed gate responses probed, 0 mismatches"
+
+echo "== fleet-trace smoke test: one trace across loadgen, gate and serve via napel-obsd =="
+# The observability plane end to end: two replicas and a gate push their
+# spans to napel-obsd, obsd scrapes all three /metrics, and a
+# traceparent-stamping loadgen run drives the gate. /debug/fleet must
+# then show at least one trace assembled from >= 3 distinct processes
+# (napel-loadgen's client span, napel-gate's request+attempt spans, and
+# the serving replica's server span, joined only by the propagated
+# header), and obsd's /metrics must re-export the replicas' series
+# merged under job/instance labels.
+go build -o "$tmp/napel-obsd" ./cmd/napel-obsd
+t1port=$(( (RANDOM % 20000) + 20000 ))
+t2port=$(( t1port + 1 ))
+t1url="http://127.0.0.1:$t1port"
+t2url="http://127.0.0.1:$t2port"
+tgateport=$(( (RANDOM % 20000) + 20000 ))
+tgateurl="http://127.0.0.1:$tgateport"
+obsport=$(( (RANDOM % 20000) + 20000 ))
+obsurl="http://127.0.0.1:$obsport"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$t1port" -quiet \
+    -trace-push "$obsurl" 2>"$tmp/trace-r1.log" &
+replica1_pid=$!
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$t2port" -quiet \
+    -trace-push "$obsurl" 2>"$tmp/trace-r2.log" &
+replica2_pid=$!
+"$tmp/napel-gate" -addr "127.0.0.1:$tgateport" -replicas "$t1url,$t2url" \
+    -health-interval 100ms -trace-push "$obsurl" 2>"$tmp/trace-gate.log" &
+gate_pid=$!
+"$tmp/napel-obsd" -addr "127.0.0.1:$obsport" -scrape-interval 200ms \
+    -targets "gate=$tgateurl,serve=$t1url,serve=$t2url" \
+    2>"$tmp/trace-obsd.log" &
+obsd_pid=$!
+up=""
+for _ in $(seq 1 50); do
+    if curl -fsS -o /dev/null "$tgateurl/readyz" 2>/dev/null \
+        && curl -fsS -o /dev/null "$obsurl/healthz" 2>/dev/null; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: trace fleet never became ready" >&2
+    cat "$tmp/trace-gate.log" "$tmp/trace-obsd.log" >&2
+    exit 1
+fi
+if ! "$tmp/napel-loadgen" -target "$tgateurl" -requests 200 -workers 4 \
+    -seed 7 -keyspace 8 -base "$tmp/req.json" -trace-push "$obsurl" \
+    -max-error-rate 0 -out "$tmp/trace-lg.json" 2>"$tmp/trace-lg.log"; then
+    echo "verify: trace loadgen run failed" >&2
+    cat "$tmp/trace-lg.log" >&2
+    exit 1
+fi
+# Pushers flush every second (and on loadgen exit); obsd scrapes every
+# 200ms. Poll until a cross-process trace and the merged series appear.
+fleet_trace=""
+for _ in $(seq 1 50); do
+    curl -sS "$obsurl/debug/fleet?limit=50" >"$tmp/trace-fleet.json" 2>/dev/null || true
+    if grep -q '"process_count":3' "$tmp/trace-fleet.json"; then
+        fleet_trace=yes
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$fleet_trace" ]; then
+    echo "verify: /debug/fleet never assembled a trace spanning 3 processes" >&2
+    cat "$tmp/trace-fleet.json" >&2
+    cat "$tmp/trace-obsd.log" >&2
+    exit 1
+fi
+for probe in napel-loadgen napel-gate napel-serve; do
+    if ! grep -q "\"$probe\"" "$tmp/trace-fleet.json"; then
+        echo "verify: /debug/fleet names no $probe spans" >&2
+        cat "$tmp/trace-fleet.json" >&2
+        exit 1
+    fi
+done
+curl -sS "$obsurl/metrics" >"$tmp/trace-metrics.txt"
+for series in 'napel_fleet_up{job="gate",instance="127.0.0.1:'"$tgateport"'"} 1' \
+    'napel_fleet_up{job="serve",instance="127.0.0.1:'"$t1port"'"} 1' \
+    'napel_serve_requests_total{job="serve"' \
+    'napel_fleet_gate_requests_total{job="gate"' \
+    napel_obsd_spans_total; do
+    if ! grep -qF "$series" "$tmp/trace-metrics.txt"; then
+        echo "verify: obsd /metrics missing '$series'" >&2
+        grep 'napel_fleet\|napel_obsd' "$tmp/trace-metrics.txt" >&2 || cat "$tmp/trace-metrics.txt" >&2
+        exit 1
+    fi
+done
+fleet_cleanup
+kill "$obsd_pid" 2>/dev/null; wait "$obsd_pid" 2>/dev/null || true
+obsd_pid=""
+echo "fleet-trace smoke test: cross-process trace assembled, merged fleet series exported"
 
 echo "verify: OK"
