@@ -14,10 +14,19 @@
 //
 // Endpoints: POST /v1/predict and POST /v1/suitability (same wire
 // contract as napel-serve — responses are byte-identical to a direct
-// replica hit), GET /v1/fleet (replica status, breaker states, ring
-// shares), POST /v1/fleet/reload (rolling hot-install of the promoted
-// model, one replica at a time, gated on each replica's /readyz),
-// GET /healthz, GET /readyz, GET /metrics.
+// replica hit), GET /v1/fleet (replica status, membership states,
+// breaker states, ring shares, epoch), POST /v1/fleet/join (runtime
+// replica admission — napel-serve -join announces here), POST
+// /v1/fleet/reload (rolling hot-install of the promoted model, one
+// replica at a time, gated on each replica's /readyz), GET /healthz,
+// GET /readyz, GET /metrics.
+//
+// Membership is self-healing: -evict-after consecutive failed /readyz
+// probes evict a replica from the ring (a replica reporting
+// ready:false is evicted immediately), and a later passing probe
+// readmits it. Every change advances the ring epoch reported by
+// /readyz and the napel_fleet_ring_epoch gauge. -replicas may be
+// empty: a gate can start with no fleet and grow one from joins.
 //
 // -chaos-seed/-chaos-spec install a deterministic fault-injection plan
 // (point 'fleet.forward' tears gate->replica calls) for resilience
@@ -28,6 +37,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,7 +51,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9090", "listen address")
-	replicas := flag.String("replicas", "", "comma-separated napel-serve base URLs (required)")
+	replicas := flag.String("replicas", "", "comma-separated napel-serve base URLs seeding the fleet (empty = replicas self-announce via POST /v1/fleet/join)")
+	evictAfter := flag.Int("evict-after", 0, "consecutive failed /readyz probes that evict a replica from the ring (0 = default 3)")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 128)")
 	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a single predict to the next replica after this wait (0 = default 30ms, negative disables)")
 	healthInterval := flag.Duration("health-interval", 0, "replica /readyz probe period (0 = default 500ms)")
@@ -63,16 +74,12 @@ func main() {
 		return
 	}
 
+	logger := log.New(os.Stderr, "napel-gate: ", log.LstdFlags)
 	var urls []string
 	for _, r := range strings.Split(*replicas, ",") {
 		if r = strings.TrimSpace(r); r != "" {
 			urls = append(urls, r)
 		}
-	}
-	if len(urls) == 0 {
-		fmt.Fprintln(os.Stderr, "napel-gate: -replicas is required (comma-separated napel-serve URLs)")
-		flag.Usage()
-		os.Exit(2)
 	}
 
 	if *chaosSpec != "" {
@@ -85,6 +92,8 @@ func main() {
 
 	cfg := fleet.Config{
 		Replicas:         urls,
+		EvictThreshold:   *evictAfter,
+		Logf:             logger.Printf,
 		VNodes:           *vnodes,
 		HedgeAfter:       *hedgeAfter,
 		HealthInterval:   *healthInterval,
@@ -118,7 +127,11 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "napel-gate: fronting %d replicas, listening on %s\n", len(urls), *addr)
+	if len(urls) == 0 {
+		fmt.Fprintf(os.Stderr, "napel-gate: no seed replicas; waiting for POST /v1/fleet/join, listening on %s\n", *addr)
+	} else {
+		fmt.Fprintf(os.Stderr, "napel-gate: fronting %d replicas, listening on %s\n", len(urls), *addr)
+	}
 	if err := g.Run(ctx, *addr); err != nil {
 		fmt.Fprintf(os.Stderr, "napel-gate: %v\n", err)
 		os.Exit(1)

@@ -1,7 +1,8 @@
 // Command napel-obsd is the fleet observability aggregation plane: it
-// pull-scrapes /metrics from every process named in -targets and
-// re-exports the merged series under job/instance labels on its own
-// /metrics, accepts span batches pushed by processes started with
+// pull-scrapes /metrics from every process named in -targets and/or a
+// -targets-file (one job=URL per line, re-read periodically so fleet
+// churn needs no restart) and re-exports the merged series under
+// job/instance labels on its own /metrics, accepts span batches pushed by processes started with
 // -trace-push, and serves /debug/fleet — cross-process trace trees
 // (one loadgen request or one collection unit as a single tree spanning
 // loadgen, gate, serve, and traind spans) plus SLO burn rates computed
@@ -34,7 +35,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9095", "listen address")
-	targets := flag.String("targets", "", "comma-separated scrape targets, each job=http://host:port or a bare URL (required)")
+	targets := flag.String("targets", "", "comma-separated scrape targets, each job=http://host:port or a bare URL")
+	targetsFile := flag.String("targets-file", "", "file of scrape targets, one job=URL per line (# comments), re-read every -targets-reload so fleet churn needs no restart")
+	targetsReload := flag.Duration("targets-reload", 0, "re-read period for -targets-file (0 = default 10s)")
 	scrapeInterval := flag.Duration("scrape-interval", 0, "time between scrape rounds (0 = default 2s)")
 	spanCap := flag.Int("span-cap", 0, "max retained pushed spans, oldest evicted (0 = default 16384)")
 	sloAvail := flag.Float64("slo-availability", 0, "availability objective for the burn-rate view (0 = default 0.999)")
@@ -49,19 +52,25 @@ func main() {
 		return
 	}
 
-	if *targets == "" {
-		fmt.Fprintln(os.Stderr, "napel-obsd: -targets is required (comma-separated job=URL entries)")
+	if *targets == "" && *targetsFile == "" {
+		fmt.Fprintln(os.Stderr, "napel-obsd: -targets or -targets-file is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	parsed, err := obsd.ParseTargets(*targets)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "napel-obsd: %v\n", err)
-		os.Exit(2)
+	var parsed []obsd.Target
+	if *targets != "" {
+		var err error
+		parsed, err = obsd.ParseTargets(*targets)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-obsd: %v\n", err)
+			os.Exit(2)
+		}
 	}
 
 	a, err := obsd.New(obsd.Config{
 		Targets:             parsed,
+		TargetsFile:         *targetsFile,
+		TargetsReload:       *targetsReload,
 		ScrapeInterval:      *scrapeInterval,
 		SpanCap:             *spanCap,
 		SLOAvailability:     *sloAvail,
@@ -83,7 +92,7 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: a.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "napel-obsd: scraping %d targets, listening on %s\n", len(parsed), *addr)
+	fmt.Fprintf(os.Stderr, "napel-obsd: scraping %d targets, listening on %s\n", a.TargetCount(), *addr)
 
 	select {
 	case err := <-errCh:

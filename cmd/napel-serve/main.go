@@ -26,6 +26,13 @@
 //
 //	napel-serve -model ./models/current-model.json -follow 2s
 //
+// -join announces the replica to a napel-gate (POST /v1/fleet/join,
+// re-announced every -join-interval) so a fleet can grow without
+// restarting the gate; -advertise overrides the URL the gate probes
+// when -addr alone is not reachable from the gate's host:
+//
+//	napel-serve -model model.json -addr :9191 -join http://gatehost:9090
+//
 // -model-store replaces the shared filesystem with napel-traind's store
 // HTTP API: the server pulls the promoted lineage over the wire,
 // sha256-verifies every blob against its content address, and (with
@@ -36,9 +43,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -91,6 +102,9 @@ func main() {
 	drain := flag.Duration("drain-timeout", 10*time.Second, "in-flight drain deadline on shutdown")
 	follow := flag.Duration("follow", 0, "poll model files at this interval and hot-install changes (0 disables; point -model at a napel-traind store's current-model.json)")
 	lazy := flag.Bool("lazy", false, "start before any model loads; /readyz turns 200 once -follow installs one")
+	join := flag.String("join", "", "napel-gate base URL to announce this replica to (POST /v1/fleet/join, repeated every -join-interval)")
+	advertise := flag.String("advertise", "", "base URL the gate should reach this replica at (default derived from -addr with host 127.0.0.1)")
+	joinInterval := flag.Duration("join-interval", 2*time.Second, "re-announce period while -join is set")
 	queueWait := flag.Duration("queue-wait", 0, "how long a request may wait for a concurrency slot before 429 (0 = reject immediately)")
 	predictBudget := flag.Duration("predict-budget", 0, "per-request deadline budget for predict/suitability (0 = none)")
 	degradedEntries := flag.Int("degraded-entries", 0, "last-good answer cache capacity for degraded serving (0 = default 1024, negative disables)")
@@ -175,10 +189,70 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			host := *addr
+			if strings.HasPrefix(host, ":") {
+				host = "127.0.0.1" + host
+			}
+			adv = "http://" + host
+		}
+		go announce(ctx, strings.TrimSuffix(*join, "/"), adv, *joinInterval)
+	}
 	fmt.Fprintf(os.Stderr, "napel-serve: listening on %s\n", *addr)
 	if err := s.Run(ctx, *addr); err != nil {
 		fmt.Fprintf(os.Stderr, "napel-serve: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "napel-serve: drained in-flight requests, exiting")
+}
+
+// announce keeps this replica registered with a napel-gate: one POST
+// /v1/fleet/join per interval, forever. Re-announcing is idempotent at
+// the gate and doubles as the recovery path — after an eviction (or a
+// gate restart that lost the roster) the next announce re-registers
+// the replica and the gate's prober readmits it. Only transitions are
+// logged, not every round.
+func announce(ctx context.Context, gate, advertise string, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	body, _ := json.Marshal(map[string]string{"url": advertise})
+	client := &http.Client{Timeout: 5 * time.Second}
+	joined := false
+	first := true
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			gate+"/v1/fleet/join", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "napel-serve: join: %v\n", err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+		}
+		switch {
+		case ok && (!joined || first):
+			fmt.Fprintf(os.Stderr, "napel-serve: announced %s to gate %s\n", advertise, gate)
+		case !ok && (joined || first):
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "napel-serve: gate %s unreachable: %v (retrying every %s)\n", gate, err, interval)
+			} else {
+				fmt.Fprintf(os.Stderr, "napel-serve: gate %s refused join: HTTP %d (retrying every %s)\n", gate, resp.StatusCode, interval)
+			}
+		}
+		joined, first = ok, false
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }

@@ -50,6 +50,8 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 2*time.Second, "min interval between collection checkpoints (0 = every unit)")
 	maxRetries := flag.Int("max-retries", 0, "retries per job after a transient failure (0 = default 2, negative disables)")
 	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "heartbeat budget for distributed collection leases (0 disables the worker coordinator)")
+	collectJournal := flag.String("collect-journal", "", "append-only journal making distributed-collection state crash-durable: completed units are replayed from it after a restart instead of re-executed (empty = off)")
+	workerExpiry := flag.Duration("worker-expiry", 0, "deregister workers silent for this long (0 = 4x lease-ttl)")
 	drain := flag.Duration("drain-timeout", 30*time.Second, "job checkpoint + HTTP drain deadline on shutdown")
 	traceOut := flag.String("trace-out", "", "append every completed span as one JSON line to this file (the /debug/traces ring is always on)")
 	tracePush := flag.String("trace-push", "", "push completed spans in bounded batches to this napel-obsd base URL (empty = off)")
@@ -94,10 +96,22 @@ func main() {
 		Logf:            logger.Printf,
 	}
 	if *leaseTTL > 0 {
-		mcfg.Coordinator = collectd.NewCoordinator(collectd.Config{
-			LeaseTTL: *leaseTTL,
-			Logf:     logger.Printf,
-		})
+		ccfg := collectd.Config{
+			LeaseTTL:     *leaseTTL,
+			WorkerExpiry: *workerExpiry,
+			Logf:         logger.Printf,
+		}
+		if *collectJournal != "" {
+			j, err := collectd.OpenJournal(*collectJournal, logger.Printf)
+			if err != nil {
+				logger.Fatal(err)
+			}
+			defer j.Close()
+			ccfg.Journal = j
+		}
+		mcfg.Coordinator = collectd.NewCoordinator(ccfg)
+	} else if *collectJournal != "" {
+		logger.Fatal("-collect-journal requires the worker coordinator (-lease-ttl > 0)")
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

@@ -29,6 +29,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,7 +41,9 @@ import (
 func main() {
 	coordinator := flag.String("coordinator", "", "coordinator base URL, e.g. http://trainhost:9091 (required)")
 	id := flag.String("id", "", "worker id reported in leases (default host-pid)")
+	tags := flag.String("tags", "", "comma-separated capability tags advertised at lease time (e.g. 'hmc,x86'); the coordinator only assigns units whose required tags are all present")
 	poll := flag.Duration("poll", 500*time.Millisecond, "idle wait between lease polls")
+	reconnectMax := flag.Duration("reconnect-max", 5*time.Second, "cap on the jittered backoff between polls while the coordinator is unreachable")
 	reqTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request protocol timeout")
 	seed := flag.Uint64("seed", 1, "retry-jitter seed")
 	addr := flag.String("addr", "", "optional listen address for /metrics and /healthz")
@@ -83,7 +86,9 @@ func main() {
 	w, err := collectd.NewWorker(collectd.WorkerConfig{
 		Coordinator:    *coordinator,
 		ID:             *id,
+		Tags:           splitTags(*tags),
 		PollInterval:   *poll,
+		ReconnectMax:   *reconnectMax,
 		RequestTimeout: *reqTimeout,
 		Seed:           *seed,
 		Registry:       reg,
@@ -133,4 +138,15 @@ func main() {
 	logger.Printf("worker %s starting against %s", *id, *coordinator)
 	w.Run(ctx)
 	logger.Printf("worker %s stopped", *id)
+}
+
+// splitTags parses the -tags flag: comma-separated, blanks dropped.
+func splitTags(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }

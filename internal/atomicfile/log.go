@@ -1,0 +1,115 @@
+package atomicfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"napel/internal/resilience/faultpoint"
+)
+
+// Fault point for append-log writes: "atomicfile.append" fails (or, in
+// partial mode, tears) a record append — the torn-tail case ReadLines
+// is built to survive.
+const fpAppend = "atomicfile.append"
+
+// AppendLog is a crash-tolerant append-only record log: one record per
+// newline-terminated line, each appended with a single write syscall so
+// a crash can tear at most the final record. Readers use ReadLines,
+// which drops an unterminated tail instead of failing — the append-side
+// counterpart to WriteFile's rename protocol, for state that grows
+// record-by-record (collectd's coordination journal) instead of being
+// republished whole.
+type AppendLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenAppend opens (creating if absent) an append log at path.
+func OpenAppend(path string) (*AppendLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("atomicfile: open append %s: %w", path, err)
+	}
+	// Make the log's directory entry durable so a crash right after
+	// creation does not lose the (empty) file the caller now relies on.
+	syncDir(filepath.Dir(path))
+	return &AppendLog{f: f, path: path}, nil
+}
+
+// Path returns the log's file path.
+func (l *AppendLog) Path() string { return l.path }
+
+// Append writes one record. The record must not contain a newline (the
+// record separator); JSON-encoded records satisfy this by construction,
+// since encoding/json escapes control characters. With sync set the
+// record is fsynced before Append returns — use it for records whose
+// loss would change replayed state, and skip it for purely advisory
+// ones.
+func (l *AppendLog) Append(record []byte, sync bool) error {
+	if bytes.IndexByte(record, '\n') >= 0 {
+		return fmt.Errorf("atomicfile: append %s: record contains newline", l.path)
+	}
+	line := make([]byte, 0, len(record)+1)
+	line = append(line, record...)
+	line = append(line, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// A partial-mode fault here leaks half the record without its
+	// terminator — exactly what a crash mid-append leaves behind, and
+	// what ReadLines' torn-tail handling exists for.
+	if _, err := faultpoint.WrapWriter(fpAppend, l.f).Write(line); err != nil {
+		return fmt.Errorf("atomicfile: append %s: %w", l.path, err)
+	}
+	if sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("atomicfile: sync %s: %w", l.path, err)
+		}
+	}
+	return nil
+}
+
+// Sync fsyncs the log.
+func (l *AppendLog) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// Close syncs and closes the log. The log must not be used afterwards.
+func (l *AppendLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.f.Sync()
+	return l.f.Close()
+}
+
+// ReadLines reads every complete (newline-terminated) record from an
+// append log. An unterminated final fragment — the signature of a crash
+// mid-append — is not an error: it is dropped and reported via torn.
+// A missing file is an empty log.
+func ReadLines(path string) (records [][]byte, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("atomicfile: read %s: %w", path, err)
+	}
+	for len(data) > 0 {
+		i := bytes.IndexByte(data, '\n')
+		if i < 0 {
+			return records, true, nil
+		}
+		if i > 0 { // skip empty lines
+			rec := make([]byte, i)
+			copy(rec, data[:i])
+			records = append(records, rec)
+		}
+		data = data[i+1:]
+	}
+	return records, false, nil
+}

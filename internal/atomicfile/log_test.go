@@ -1,0 +1,95 @@
+package atomicfile
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestAppendLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	l, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]byte{[]byte(`{"t":"a"}`), []byte(`{"t":"b"}`), []byte(`{"t":"c"}`)}
+	for i, rec := range records {
+		if err := l.Append(rec, i == len(records)-1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := ReadLines(path)
+	if err != nil || torn {
+		t.Fatalf("ReadLines: torn=%v err=%v", torn, err)
+	}
+	if !reflect.DeepEqual(got, records) {
+		t.Fatalf("ReadLines = %q, want %q", got, records)
+	}
+}
+
+func TestAppendLogReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	l, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("one"), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l, err = OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("two"), true); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, torn, err := ReadLines(path)
+	if err != nil || torn {
+		t.Fatalf("ReadLines: torn=%v err=%v", torn, err)
+	}
+	if !reflect.DeepEqual(got, [][]byte{[]byte("one"), []byte("two")}) {
+		t.Fatalf("reopen must append, not truncate: %q", got)
+	}
+}
+
+func TestReadLinesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	if err := os.WriteFile(path, []byte("complete-1\ncomplete-2\ntorn-fragm"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := ReadLines(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !torn {
+		t.Fatal("unterminated tail must be reported as torn")
+	}
+	if !reflect.DeepEqual(got, [][]byte{[]byte("complete-1"), []byte("complete-2")}) {
+		t.Fatalf("torn tail must be dropped, complete records kept: %q", got)
+	}
+}
+
+func TestReadLinesMissingFile(t *testing.T) {
+	got, torn, err := ReadLines(filepath.Join(t.TempDir(), "nope.log"))
+	if err != nil || torn || got != nil {
+		t.Fatalf("missing file should read as empty log: %q torn=%v err=%v", got, torn, err)
+	}
+}
+
+func TestAppendRejectsNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.log")
+	l, err := OpenAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append([]byte("a\nb"), false); err == nil {
+		t.Fatal("record containing the separator must be rejected")
+	}
+}

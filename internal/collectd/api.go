@@ -24,9 +24,13 @@ type Lease struct {
 	Spec      napel.UnitSpec `json:"spec"`
 }
 
-// leaseRequest asks for work.
+// leaseRequest asks for work. Tags advertise the worker's capabilities
+// (e.g. architecture families it can simulate); the coordinator only
+// leases units whose required tags are all present, and registers the
+// worker under these tags in its membership set.
 type leaseRequest struct {
-	Worker string `json:"worker"`
+	Worker string   `json:"worker"`
+	Tags   []string `json:"tags,omitempty"`
 }
 
 // heartbeatRequest extends the worker's live leases.
@@ -88,7 +92,7 @@ func RegisterAPI(mux *http.ServeMux, c *Coordinator) {
 		}
 		span := obs.SpanFromContext(r.Context())
 		span.SetAttr("worker", req.Worker)
-		l, ok := c.Lease(req.Worker)
+		l, ok := c.Lease(req.Worker, req.Tags)
 		if !ok {
 			span.SetAttr("result", "no_work")
 			w.WriteHeader(http.StatusNoContent)

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"napel/internal/member"
 	"napel/internal/napel"
 	"napel/internal/obs"
 )
@@ -58,6 +59,15 @@ type Config struct {
 	// LeaseTTL is how long a leased unit may go without a heartbeat
 	// before it is requeued for another worker (default 15s).
 	LeaseTTL time.Duration
+	// WorkerExpiry is how long a registered worker may go without any
+	// contact (lease poll, heartbeat, completion) before it is
+	// deregistered from the membership set (default 4×LeaseTTL).
+	WorkerExpiry time.Duration
+	// Journal, when non-nil, makes lease state crash-durable: queue
+	// transitions are appended and verified completions fsynced, so a
+	// coordinator restarted after SIGKILL replays finished units from
+	// disk instead of re-executing them. See OpenJournal.
+	Journal *Journal
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 	// Registry, when non-nil, receives the napel_collectd_* series.
@@ -100,17 +110,23 @@ type Coordinator struct {
 	// lease-grant and completion spans share the daemon's ring.
 	tracer atomic.Pointer[obs.Tracer]
 
+	// members is the worker registry: workers auto-register (with
+	// capability tags) at lease time, heartbeats and completions renew
+	// them, and silence past WorkerExpiry deregisters them.
+	members *member.Set
+
 	mu      sync.Mutex
-	pending []*unit          // FIFO; requeued units go to the front
+	pending []*unit // FIFO; requeued units go to the front
 	leases  map[string]*lease
-	workers map[string]time.Time // worker id -> last contact
 	seq     uint64
 
-	completed uint64
-	requeued  uint64
-	expired   uint64
-	corrupt   uint64
-	remoteErr uint64
+	completed     uint64
+	requeued      uint64
+	expired       uint64
+	corrupt       uint64
+	remoteErr     uint64
+	replayed      uint64
+	lastUnmatched time.Time // rate-limits the no-compatible-worker log
 }
 
 // NewCoordinator returns a coordinator ready to serve workers.
@@ -118,15 +134,29 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = 15 * time.Second
 	}
+	if cfg.WorkerExpiry <= 0 {
+		cfg.WorkerExpiry = 4 * cfg.LeaseTTL
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	c := &Coordinator{
-		cfg:     cfg,
-		o:       newCoordObs(cfg.Registry),
-		leases:  map[string]*lease{},
-		workers: map[string]time.Time{},
+		cfg:    cfg,
+		o:      newCoordObs(cfg.Registry),
+		leases: map[string]*lease{},
 	}
+	c.members = member.NewSet(member.Config{
+		// A lease poll proves reachability, so joins are admissions;
+		// deregistration is purely expiry-driven (workers have no
+		// probe loop aimed at them — they call us).
+		JoinAlive:   true,
+		ExpireAfter: cfg.WorkerExpiry,
+		Now:         cfg.Now,
+		OnChange: func(ev member.Event) {
+			c.o.workerChange(ev.Change)
+			c.logf("collectd: worker %s %s (membership epoch %d)", ev.Name, ev.Change, ev.Epoch)
+		},
+	})
 	c.o.bindQueues(c)
 	return c
 }
@@ -180,6 +210,26 @@ func (c *Coordinator) Execute(ctx context.Context, spec napel.UnitSpec) (*napel.
 	span.SetAttr("key", spec.Key)
 	defer span.End()
 
+	// A journaled completion from before a coordinator crash answers
+	// the unit straight from disk — same spec hash, re-verified payload
+	// — so restarted runs only pay workers for units that never landed.
+	if c.cfg.Journal != nil {
+		sh := specHash(spec)
+		if body, ok := c.cfg.Journal.replayable(spec.Key, sh); ok {
+			var p napel.UnitPayload
+			if json.Unmarshal(body, &p) == nil && p.Check(spec) == nil {
+				c.mu.Lock()
+				c.replayed++
+				c.mu.Unlock()
+				c.o.journalReplayed()
+				span.SetAttr("result", "replayed")
+				return &p, nil
+			}
+		}
+		c.cfg.Journal.record(journalRecord{T: "enqueue", Key: spec.Key, Spec: sh}, false)
+		c.o.journalRecorded()
+	}
+
 	u := &unit{spec: spec, done: make(chan unitOutcome, 1)}
 	c.mu.Lock()
 	c.pending = append(c.pending, u)
@@ -219,21 +269,31 @@ func (c *Coordinator) abandon(u *unit) {
 	}
 }
 
-// Lease hands the oldest pending unit to a worker, returning ok=false
-// when no work is available. The returned TTL tells the worker its
-// heartbeat budget.
-func (c *Coordinator) Lease(workerID string) (Lease, bool) {
+// Lease hands the oldest pending unit the worker's capability tags can
+// execute to that worker, returning ok=false when no (compatible) work
+// is available. Calling Lease registers the worker — with its tags — in
+// the membership set; an untagged unit matches any worker, a tagged
+// unit only workers advertising every one of its tags. The returned
+// TTL tells the worker its heartbeat budget.
+func (c *Coordinator) Lease(workerID string, tags []string) (Lease, bool) {
 	now := c.cfg.Now()
+	c.members.Join(workerID, tags)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
-	c.workers[workerID] = now
-	for len(c.pending) > 0 {
-		u := c.pending[0]
-		c.pending = c.pending[1:]
+	matched := false
+	for i := 0; i < len(c.pending); i++ {
+		u := c.pending[i]
 		if u.abandoned {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			i--
 			continue
 		}
+		if !member.HasAll(tags, u.spec.Tags) {
+			continue
+		}
+		matched = true
+		c.pending = append(c.pending[:i], c.pending[i+1:]...)
 		c.seq++
 		l := &lease{
 			id:       fmt.Sprintf("l-%08x", c.seq),
@@ -243,7 +303,22 @@ func (c *Coordinator) Lease(workerID string) (Lease, bool) {
 		}
 		c.leases[l.id] = l
 		c.o.leased()
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.record(journalRecord{T: "lease", Key: u.spec.Key, Lease: l.id, Worker: workerID}, false)
+			c.o.journalRecorded()
+		}
 		return Lease{ID: l.id, TTLMillis: c.cfg.LeaseTTL.Milliseconds(), Spec: u.spec}, true
+	}
+	if len(c.pending) > 0 && !matched {
+		// Every pending unit needs tags this worker lacks. Loud enough
+		// to diagnose a stalled fleet, quiet enough not to flood: once
+		// per 5s across all workers, plus a counter.
+		c.o.leaseUnmatched()
+		if now.Sub(c.lastUnmatched) >= 5*time.Second {
+			c.lastUnmatched = now
+			c.logf("collectd: worker %s (tags %v) matches none of %d pending unit(s); first needs %v",
+				workerID, tags, len(c.pending), c.pending[0].spec.Tags)
+		}
 	}
 	return Lease{}, false
 }
@@ -253,10 +328,10 @@ func (c *Coordinator) Lease(workerID string) (Lease, bool) {
 // because the units have been requeued for someone else.
 func (c *Coordinator) Heartbeat(workerID string, ids []string) (unknown []string) {
 	now := c.cfg.Now()
+	c.members.Touch(workerID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
-	c.workers[workerID] = now
 	for _, id := range ids {
 		if l, ok := c.leases[id]; ok {
 			l.deadline = now.Add(c.cfg.LeaseTTL)
@@ -275,10 +350,10 @@ func (c *Coordinator) Heartbeat(workerID string, ids []string) (unknown []string
 // requeued and ErrPayloadHash returned.
 func (c *Coordinator) Complete(workerID, leaseID string, payload []byte, sum string, remoteErr string) error {
 	now := c.cfg.Now()
+	c.members.Touch(workerID)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
-	c.workers[workerID] = now
 
 	l, ok := c.leases[leaseID]
 	if !ok {
@@ -311,6 +386,16 @@ func (c *Coordinator) Complete(workerID, leaseID string, payload []byte, sum str
 	if err := json.Unmarshal(payload, &p); err == nil {
 		err = p.Check(u.spec)
 		if err == nil {
+			// Journal-then-deliver, fsynced: once the engine has seen
+			// this payload it must survive any crash, or a restarted
+			// run could assemble different bytes than this one did.
+			if c.cfg.Journal != nil {
+				c.cfg.Journal.record(journalRecord{
+					T: "complete", Key: u.spec.Key, Spec: specHash(u.spec),
+					Worker: workerID, SHA256: sum, Payload: json.RawMessage(payload),
+				}, true)
+				c.o.journalRecorded()
+			}
 			c.completed++
 			c.o.completed("ok")
 			c.deliverLocked(u, unitOutcome{payload: &p})
@@ -346,6 +431,10 @@ func (c *Coordinator) requeueLocked(u *unit) {
 	u.requeues++
 	c.requeued++
 	c.o.requeuedUnit()
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.record(journalRecord{T: "requeue", Key: u.spec.Key}, false)
+		c.o.journalRecorded()
+	}
 	c.pending = append([]*unit{u}, c.pending...)
 }
 
@@ -357,6 +446,9 @@ func (c *Coordinator) expire(now time.Time) {
 }
 
 func (c *Coordinator) expireLocked(now time.Time) {
+	// Deregister workers silent past WorkerExpiry — the same sweep that
+	// reaps their leases. OnChange handles the logging.
+	c.members.ExpireStale()
 	for id, l := range c.leases {
 		if l.deadline.After(now) {
 			continue
@@ -372,21 +464,31 @@ func (c *Coordinator) expireLocked(now time.Time) {
 	}
 }
 
+// WorkerInfo is one registered worker in a Stats snapshot.
+type WorkerInfo struct {
+	Tags     []string  `json:"tags,omitempty"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
 // Stats is a point-in-time snapshot of the coordinator, served by
 // GET /v1/collect.
 type Stats struct {
-	Pending      int                  `json:"pending"`
-	Leased       int                  `json:"leased"`
-	Completed    uint64               `json:"completed"`
-	Requeued     uint64               `json:"requeued"`
-	Expired      uint64               `json:"expired"`
-	Corrupt      uint64               `json:"corrupt"`
-	RemoteErrors uint64               `json:"remote_errors"`
-	Workers      map[string]time.Time `json:"workers"`
+	Pending      int                   `json:"pending"`
+	Leased       int                   `json:"leased"`
+	Completed    uint64                `json:"completed"`
+	Requeued     uint64                `json:"requeued"`
+	Expired      uint64                `json:"expired"`
+	Corrupt      uint64                `json:"corrupt"`
+	RemoteErrors uint64                `json:"remote_errors"`
+	Replayed     uint64                `json:"replayed,omitempty"`
+	WorkerEpoch  uint64                `json:"worker_epoch"`
+	Workers      map[string]WorkerInfo `json:"workers"`
 }
 
 // Stats snapshots the coordinator.
 func (c *Coordinator) Stats() Stats {
+	members := c.members.Snapshot()
+	epoch := c.members.Epoch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Stats{
@@ -397,13 +499,18 @@ func (c *Coordinator) Stats() Stats {
 		Expired:      c.expired,
 		Corrupt:      c.corrupt,
 		RemoteErrors: c.remoteErr,
-		Workers:      make(map[string]time.Time, len(c.workers)),
+		Replayed:     c.replayed,
+		WorkerEpoch:  epoch,
+		Workers:      make(map[string]WorkerInfo, len(members)),
 	}
-	for w, t := range c.workers {
-		s.Workers[w] = t
+	for _, m := range members {
+		s.Workers[m.Name] = WorkerInfo{Tags: m.Tags, LastSeen: m.LastSeen}
 	}
 	return s
 }
+
+// Workers exposes the coordinator's worker membership set.
+func (c *Coordinator) Workers() *member.Set { return c.members }
 
 // queueDepths reports (pending, leased) for the gauges.
 func (c *Coordinator) queueDepths() (int, int) {

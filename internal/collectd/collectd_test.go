@@ -176,13 +176,13 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 	var l1 Lease
 	waitFor(t, func() bool {
 		var ok bool
-		l1, ok = c.Lease("w1")
+		l1, ok = c.Lease("w1", nil)
 		return ok
 	})
 	if l1.Spec.Key != spec.Key {
 		t.Fatalf("leased %q, want %q", l1.Spec.Key, spec.Key)
 	}
-	if _, ok := c.Lease("w2"); ok {
+	if _, ok := c.Lease("w2", nil); ok {
 		t.Fatal("second lease granted while the unit is already leased")
 	}
 
@@ -192,13 +192,13 @@ func TestLeaseExpiryRequeues(t *testing.T) {
 		t.Fatalf("live lease reported unknown: %v", unknown)
 	}
 	advance(700 * time.Millisecond)
-	if _, ok := c.Lease("w2"); ok {
+	if _, ok := c.Lease("w2", nil); ok {
 		t.Fatal("heartbeated lease expired anyway")
 	}
 
 	// ...but silence past the TTL revokes it and requeues the unit.
 	advance(1100 * time.Millisecond)
-	l2, ok := c.Lease("w2")
+	l2, ok := c.Lease("w2", nil)
 	if !ok || l2.Spec.Key != spec.Key {
 		t.Fatalf("expired unit not re-leased: ok=%v", ok)
 	}
@@ -251,7 +251,7 @@ func TestCorruptPayloadRejectedAndRequeued(t *testing.T) {
 	var l Lease
 	waitFor(t, func() bool {
 		var ok bool
-		l, ok = c.Lease("w1")
+		l, ok = c.Lease("w1", nil)
 		return ok
 	})
 	payload, err := napel.ExecuteUnit(context.Background(), l.Spec, nil)
@@ -266,7 +266,7 @@ func TestCorruptPayloadRejectedAndRequeued(t *testing.T) {
 		t.Fatalf("corrupt completion: err=%v, want ErrPayloadHash", err)
 	}
 	// The unit went back to the queue front; a clean retry succeeds.
-	l2, ok := c.Lease("w1")
+	l2, ok := c.Lease("w1", nil)
 	if !ok {
 		t.Fatal("corrupt unit was not requeued")
 	}

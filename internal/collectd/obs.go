@@ -6,12 +6,20 @@ import "napel/internal/obs"
 // no registry configured — makes every method a no-op, matching the
 // engine's instrumentation discipline.
 type coordObs struct {
-	leases    *obs.Counter
-	expired   *obs.Counter
-	requeues  *obs.Counter
-	enqueues  *obs.Counter
-	completes map[string]*obs.Counter
+	leases     *obs.Counter
+	expired    *obs.Counter
+	requeues   *obs.Counter
+	enqueues   *obs.Counter
+	unmatched  *obs.Counter
+	jRecords   *obs.Counter
+	jReplays   *obs.Counter
+	completes  map[string]*obs.Counter
+	workerEvts map[string]*obs.Counter
 }
+
+// workerChanges enumerates the membership transitions the worker
+// registry reports (member.Event.Change values).
+var workerChanges = [...]string{"join", "evict", "readmit", "expire", "leave"}
 
 // completeResults enumerates the /v1/complete outcomes the coordinator
 // distinguishes.
@@ -30,12 +38,24 @@ func newCoordObs(reg *obs.Registry) *coordObs {
 			"Units put back on the queue after lease expiry or a corrupt payload."),
 		enqueues: reg.Counter("napel_collectd_units_total",
 			"Units offered to the worker fleet."),
-		completes: make(map[string]*obs.Counter, len(completeResults)),
+		unmatched: reg.Counter("napel_collectd_lease_unmatched_total",
+			"Lease polls that found pending work but none the worker's capability tags can execute."),
+		jRecords: reg.Counter("napel_collectd_journal_records_total",
+			"Records appended to the collection journal."),
+		jReplays: reg.Counter("napel_collectd_journal_replayed_total",
+			"Units answered from journaled completions instead of worker execution."),
+		completes:  make(map[string]*obs.Counter, len(completeResults)),
+		workerEvts: make(map[string]*obs.Counter, len(workerChanges)),
 	}
 	cv := reg.CounterVec("napel_collectd_completes_total",
 		"Lease completions by outcome.", "result")
 	for _, res := range completeResults {
 		o.completes[res] = cv.With(res)
+	}
+	wv := reg.CounterVec("napel_collectd_worker_changes_total",
+		"Worker membership transitions.", "change")
+	for _, ch := range workerChanges {
+		o.workerEvts[ch] = wv.With(ch)
 	}
 	return o
 }
@@ -56,6 +76,11 @@ func (o *coordObs) bindQueues(c *Coordinator) {
 		func() float64 {
 			_, l := c.queueDepths()
 			return float64(l)
+		})
+	c.cfg.Registry.GaugeFunc("napel_collectd_workers",
+		"Workers currently registered (auto-registered at lease time, expired on silence).",
+		func() float64 {
+			return float64(len(c.members.Alive()))
 		})
 }
 
@@ -96,13 +121,44 @@ func (o *coordObs) completed(result string) {
 	}
 }
 
+func (o *coordObs) leaseUnmatched() {
+	if o == nil {
+		return
+	}
+	o.unmatched.Inc()
+}
+
+func (o *coordObs) journalRecorded() {
+	if o == nil {
+		return
+	}
+	o.jRecords.Inc()
+}
+
+func (o *coordObs) journalReplayed() {
+	if o == nil {
+		return
+	}
+	o.jReplays.Inc()
+}
+
+func (o *coordObs) workerChange(change string) {
+	if o == nil {
+		return
+	}
+	if ctr, ok := o.workerEvts[change]; ok {
+		ctr.Inc()
+	}
+}
+
 // workerObs instruments one napel-worker process.
 type workerObs struct {
-	leases   *obs.Counter
-	executed *obs.Counter
-	failed   *obs.Counter
-	lost     *obs.Counter
-	idle     *obs.Counter
+	leases    *obs.Counter
+	executed  *obs.Counter
+	failed    *obs.Counter
+	lost      *obs.Counter
+	idle      *obs.Counter
+	reconnect *obs.Counter
 }
 
 func newWorkerObs(reg *obs.Registry) *workerObs {
@@ -120,6 +176,8 @@ func newWorkerObs(reg *obs.Registry) *workerObs {
 			"Leases revoked under us (heartbeat reported unknown)."),
 		idle: reg.Counter("napel_worker_idle_polls_total",
 			"Lease polls that found no pending work."),
+		reconnect: reg.Counter("napel_worker_reconnect_waits_total",
+			"Backoff waits spent with the coordinator unreachable."),
 	}
 }
 
@@ -153,6 +211,13 @@ func (o *workerObs) idlePoll() {
 		return
 	}
 	o.idle.Inc()
+}
+
+func (o *workerObs) reconnectWait() {
+	if o == nil {
+		return
+	}
+	o.reconnect.Inc()
 }
 
 // activeObs instruments the active-learning scheduler.

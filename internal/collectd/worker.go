@@ -15,6 +15,7 @@ import (
 	"napel/internal/obs"
 	"napel/internal/resilience"
 	"napel/internal/resilience/faultpoint"
+	"napel/internal/xrand"
 )
 
 // Worker-side faultpoints, active only under an installed chaos plan:
@@ -35,9 +36,18 @@ type WorkerConfig struct {
 	Coordinator string
 	// ID names this worker in leases and coordinator stats.
 	ID string
+	// Tags advertise this worker's capabilities (e.g. architecture
+	// families) at lease time; the coordinator only assigns units whose
+	// required tags are all present here.
+	Tags []string
 	// PollInterval is the idle wait between lease polls when the
 	// coordinator has no work (default 500ms).
 	PollInterval time.Duration
+	// ReconnectMax caps the jittered backoff between lease polls while
+	// the coordinator is unreachable — a restarting coordinator is an
+	// expected event the worker rides out, not a death sentence
+	// (default 5s).
+	ReconnectMax time.Duration
 	// RequestTimeout bounds each protocol request (default 10s).
 	RequestTimeout time.Duration
 	// Seed seeds the retry jitter stream (default 1).
@@ -79,6 +89,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 5 * time.Second
+	}
+	if cfg.ReconnectMax < cfg.PollInterval {
+		cfg.ReconnectMax = cfg.PollInterval
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
@@ -124,9 +140,17 @@ func (w *Worker) retryPolicy(attempts int, base time.Duration) resilience.Policy
 
 // Run polls for leases and executes them until ctx is cancelled. It
 // returns nil on cancellation — shutting a worker down mid-unit is an
-// expected event the lease machinery absorbs.
+// expected event the lease machinery absorbs. An unreachable
+// coordinator (restarting after a crash, network partition) is ridden
+// out with a capped, seeded-jitter backoff: one log line when contact
+// is lost, one when it returns, never a hot loop of connection-refused
+// retries in between.
 func (w *Worker) Run(ctx context.Context) error {
 	w.logf("collectd: worker %s polling %s", w.cfg.ID, w.cfg.Coordinator)
+	rng := xrand.New(w.cfg.Seed ^ 0x9e3779b97f4a7c15) // jitter stream distinct from retryPolicy's
+	backoff := w.cfg.PollInterval
+	failures := 0
+	var downSince time.Time
 	for ctx.Err() == nil {
 		// The unit span is opened before the lease poll so the
 		// coordinator's lease-grant span lands inside it; an idle or
@@ -139,9 +163,26 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				break
 			}
-			w.logf("collectd: worker %s lease poll failed: %v", w.cfg.ID, err)
-			sleep(ctx, w.cfg.PollInterval)
+			failures++
+			if failures == 1 {
+				downSince = time.Now()
+				w.logf("collectd: worker %s: coordinator unreachable (%v); backing off up to %s between polls",
+					w.cfg.ID, err, w.cfg.ReconnectMax)
+			}
+			w.o.reconnectWait()
+			// Exponential with ±20% jitter, capped at ReconnectMax.
+			d := backoff + time.Duration(float64(backoff)*0.2*(2*rng.Float64()-1))
+			sleep(ctx, d)
+			if backoff *= 2; backoff > w.cfg.ReconnectMax {
+				backoff = w.cfg.ReconnectMax
+			}
 			continue
+		}
+		if failures > 0 {
+			w.logf("collectd: worker %s: coordinator reachable again after %d failed poll(s) over %s",
+				w.cfg.ID, failures, time.Since(downSince).Round(time.Millisecond))
+			failures = 0
+			backoff = w.cfg.PollInterval
 		}
 		if !ok {
 			root.Discard()
@@ -166,7 +207,7 @@ func (w *Worker) lease(ctx context.Context) (Lease, bool, error) {
 		if err := faultpoint.Inject(ctx, fpLease); err != nil {
 			return err
 		}
-		status, err := w.post(ctx, "/v1/lease", leaseRequest{Worker: w.cfg.ID}, &l)
+		status, err := w.post(ctx, "/v1/lease", leaseRequest{Worker: w.cfg.ID, Tags: w.cfg.Tags}, &l)
 		if err != nil {
 			return err
 		}

@@ -10,12 +10,14 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"napel/internal/member"
 	"napel/internal/obs"
 	"napel/internal/resilience"
 	"napel/internal/resilience/faultpoint"
@@ -29,9 +31,19 @@ const fpForward = "fleet.forward"
 // Config tunes the gate. Zero fields take the documented defaults.
 type Config struct {
 	// Replicas are the napel-serve base URLs the gate shards across
-	// (required, e.g. http://127.0.0.1:9191). Order is cosmetic — the
-	// ring position of each replica depends only on its URL.
+	// (e.g. http://127.0.0.1:9191) — the static seed of the membership
+	// set. An empty list is legal: replicas announce themselves via
+	// POST /v1/fleet/join instead. Order is cosmetic — the ring
+	// position of each replica depends only on its URL.
 	Replicas []string
+	// EvictThreshold is how many consecutive failed /readyz probes
+	// evict a replica from the ring (default 3). A replica whose probe
+	// answers but reports ready:false is removed immediately —
+	// self-reported unreadiness needs no hysteresis.
+	EvictThreshold int
+	// Logf, when set, receives one line per membership transition
+	// (join, evict, readmit).
+	Logf func(format string, args ...any)
 	// VNodes is the per-replica virtual-node count on the ring (default
 	// DefaultVNodes).
 	VNodes int
@@ -86,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 3
+	}
+	if c.EvictThreshold <= 0 {
+		c.EvictThreshold = 3
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 2 * time.Second
@@ -144,73 +159,132 @@ func (r *replica) getStatus() replicaStatus {
 }
 
 // routing is one immutable routing generation: the ring plus the
-// replica structs aligned with its indices. Swapped atomically when
+// replica structs aligned with its indices, stamped with the
+// membership epoch it was built from. Swapped atomically when
 // membership changes.
 type routing struct {
-	ring *Ring
-	reps []*replica
+	ring  *Ring
+	reps  []*replica
+	epoch uint64
 }
 
 // Gate is the fleet front tier. Create with New, mount via Handler or
 // run with Run (which also starts the health loop).
 type Gate struct {
 	cfg    Config
-	all    []*replica
 	o      *fleetObs
 	client *http.Client
 
-	routing  atomic.Pointer[routing]
-	draining atomic.Bool
+	// members is probe-driven liveness: EvictThreshold consecutive
+	// failures take a replica out of the ring, one success readmits it.
+	// Its epoch is what /readyz and /v1/fleet report.
+	members *member.Set
+
+	// repMu guards the replica collection, which only ever grows —
+	// an evicted replica keeps its struct (and breaker history) so a
+	// readmission resumes where it left off.
+	repMu sync.Mutex
+	all   []*replica
+	byURL map[string]*replica
+
+	routing   atomic.Pointer[routing]
+	rebuildMu sync.Mutex
+	draining  atomic.Bool
 
 	// rollMu serializes rolling reloads; concurrent rollouts would
 	// interleave per-replica installs and defeat the version check.
 	rollMu sync.Mutex
 }
 
-// New validates the replica set and builds the gate. The first health
-// pass has not run yet: call CheckReplicas (Run does) before routing.
+// New validates the seed replica set and builds the gate. The first
+// health pass has not run yet: call CheckReplicas (Run does) before
+// routing. A gate built with no replicas serves 503 until the first
+// /v1/fleet/join.
 func New(cfg Config) (*Gate, error) {
 	cfg = cfg.withDefaults()
-	if len(cfg.Replicas) == 0 {
-		return nil, fmt.Errorf("fleet: no replicas configured")
-	}
-	seen := map[string]bool{}
 	g := &Gate{
 		cfg: cfg,
 		o: newFleetObs(obs.NewTracer(cfg.TraceRing, cfg.TraceSink),
-			"predict", "suitability", "fleet", "reload", "healthz", "readyz", "metrics", "other"),
+			"predict", "suitability", "fleet", "join", "reload", "healthz", "readyz", "metrics", "other"),
 		client: cfg.Client,
+		byURL:  map[string]*replica{},
 	}
+	// Seed replicas and joiners alike are held Down until their first
+	// passing probe: the ring only ever contains verified members.
+	g.members = member.NewSet(member.Config{
+		FailThreshold: cfg.EvictThreshold,
+		OnChange: func(ev member.Event) {
+			g.o.ringChanges.With(ev.Change).Inc()
+			if cfg.Logf != nil {
+				cfg.Logf("fleet: membership %s %s (epoch %d)", ev.Change, ev.Name, ev.Epoch)
+			}
+		},
+	})
 	for _, raw := range cfg.Replicas {
-		url := strings.TrimSuffix(raw, "/")
-		if url == "" || seen[url] {
-			return nil, fmt.Errorf("fleet: empty or duplicate replica %q", raw)
+		rep, created, err := g.addReplica(raw)
+		if err != nil {
+			return nil, err
 		}
-		seen[url] = true
-		rep := &replica{
-			url: url,
-			breaker: resilience.NewBreaker(resilience.BreakerConfig{
-				Name:             "fleet." + url,
-				FailureThreshold: cfg.BreakerThreshold,
-				OpenTimeout:      cfg.BreakerCooldown,
-			}),
-			okC:       g.o.upstream.With(url, "ok"),
-			clientC:   g.o.upstream.With(url, "client_error"),
-			errC:      g.o.upstream.With(url, "error"),
-			canceledC: g.o.upstream.With(url, "canceled"),
-			shareG:    g.o.share.With(url),
+		if !created {
+			return nil, fmt.Errorf("fleet: duplicate replica %q", raw)
 		}
-		rep.breaker.Register(g.o.reg)
-		g.all = append(g.all, rep)
+		g.members.Join(rep.url, nil)
 	}
 	m := g.o.reg
 	m.GaugeFunc("napel_fleet_uptime_seconds",
 		"Seconds since the gate started.", func() float64 { return time.Since(g.o.start).Seconds() })
+	m.GaugeFunc("napel_fleet_ring_epoch",
+		"Monotonic membership epoch; advances on every ring change.",
+		func() float64 { return float64(g.members.Epoch()) })
 	m.CounterFunc("napel_chaos_injected_total",
 		"Faults fired by the installed chaos plan (0 when chaos is off).",
 		func() float64 { return float64(faultpoint.TotalInjected()) })
 	obs.RegisterRuntimeMetrics(m)
 	return g, nil
+}
+
+// addReplica validates url and returns its replica struct, creating it
+// on first sight. Replica structs are never removed: an evicted URL
+// that rejoins keeps its breaker and upstream counters.
+func (g *Gate) addReplica(raw string) (rep *replica, created bool, err error) {
+	u := strings.TrimSuffix(strings.TrimSpace(raw), "/")
+	if u == "" {
+		return nil, false, fmt.Errorf("fleet: empty replica URL")
+	}
+	parsed, err := url.Parse(u)
+	if err != nil || (parsed.Scheme != "http" && parsed.Scheme != "https") || parsed.Host == "" {
+		return nil, false, fmt.Errorf("fleet: replica URL %q must be absolute http(s)", raw)
+	}
+	g.repMu.Lock()
+	defer g.repMu.Unlock()
+	if rep, ok := g.byURL[u]; ok {
+		return rep, false, nil
+	}
+	rep = &replica{
+		url: u,
+		breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			Name:             "fleet." + u,
+			FailureThreshold: g.cfg.BreakerThreshold,
+			OpenTimeout:      g.cfg.BreakerCooldown,
+		}),
+		okC:       g.o.upstream.With(u, "ok"),
+		clientC:   g.o.upstream.With(u, "client_error"),
+		errC:      g.o.upstream.With(u, "error"),
+		canceledC: g.o.upstream.With(u, "canceled"),
+		shareG:    g.o.share.With(u),
+	}
+	rep.breaker.Register(g.o.reg)
+	g.byURL[u] = rep
+	g.all = append(g.all, rep)
+	return rep, true, nil
+}
+
+// replicaList copies the replica collection for iteration outside the
+// lock (join order, grow-only).
+func (g *Gate) replicaList() []*replica {
+	g.repMu.Lock()
+	defer g.repMu.Unlock()
+	return append([]*replica(nil), g.all...)
 }
 
 // Obs exposes the gate's metrics registry (scraping it is equivalent to
@@ -232,7 +306,7 @@ func (g *Gate) Ready() bool {
 // tests and RollingReload call it directly.
 func (g *Gate) CheckReplicas(ctx context.Context) {
 	var wg sync.WaitGroup
-	for _, rep := range g.all {
+	for _, rep := range g.replicaList() {
 		wg.Add(1)
 		go func(rep *replica) {
 			defer wg.Done()
@@ -243,17 +317,24 @@ func (g *Gate) CheckReplicas(ctx context.Context) {
 	g.rebuild()
 }
 
+// probe runs one /readyz pass against rep and reports the outcome to
+// the membership set: a transport or protocol failure counts toward
+// the eviction threshold, a decoded ready:false evicts immediately
+// (the replica itself says it cannot serve), a decoded ready:true
+// clears failures and (re)admits.
 func (g *Gate) probe(ctx context.Context, rep *replica) {
 	pctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/readyz", nil)
 	if err != nil {
 		rep.setStatus(replicaStatus{Error: err.Error()})
+		g.members.ReportFailure(rep.url)
 		return
 	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		rep.setStatus(replicaStatus{Error: err.Error()})
+		g.members.ReportFailure(rep.url)
 		return
 	}
 	defer resp.Body.Close()
@@ -262,56 +343,57 @@ func (g *Gate) probe(ctx context.Context, rep *replica) {
 	// decode regardless of status and trust the body's ready flag.
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
 		rep.setStatus(replicaStatus{Error: fmt.Sprintf("decoding readyz: %v", err)})
+		g.members.ReportFailure(rep.url)
 		return
 	}
 	st.Error = ""
 	rep.setStatus(st)
+	if st.Ready {
+		g.members.ReportSuccess(rep.url)
+	} else {
+		g.members.MarkDown(rep.url)
+	}
 }
 
-// rebuild swaps in a new routing generation when the set of ready
-// replicas changed, and refreshes the shard-share and readiness gauges.
+// rebuild swaps in a new routing generation when the membership epoch
+// moved past the installed one, and refreshes the shard-share and
+// readiness gauges. Epochs make staleness detection exact: equal
+// epochs imply an identical alive set.
 func (g *Gate) rebuild() {
-	var ready []*replica
-	for _, rep := range g.all {
-		if rep.ready.Load() {
-			ready = append(ready, rep)
-		}
-	}
-	g.o.ready.Set(float64(len(ready)))
+	g.rebuildMu.Lock()
+	defer g.rebuildMu.Unlock()
+	alive, epoch := g.members.AliveEpoch()
+	g.o.ready.Set(float64(len(alive)))
 
 	cur := g.routing.Load()
-	if cur != nil && len(cur.reps) == len(ready) {
-		same := true
-		for i := range ready {
-			if cur.reps[i] != ready[i] {
-				same = false
-				break
-			}
-		}
-		if same {
-			return
-		}
+	if cur != nil && cur.epoch == epoch {
+		return
 	}
-	urls := make([]string, len(ready))
-	for i, rep := range ready {
-		urls[i] = rep.url
+	g.repMu.Lock()
+	reps := make([]*replica, len(alive))
+	for i, u := range alive {
+		reps[i] = g.byURL[u]
 	}
-	next := &routing{ring: NewRing(urls, g.cfg.VNodes), reps: ready}
+	g.repMu.Unlock()
+	next := &routing{ring: NewRing(alive, g.cfg.VNodes), reps: reps, epoch: epoch}
 	g.routing.Store(next)
-	for _, rep := range g.all {
+	for _, rep := range g.replicaList() {
 		rep.shareG.Set(0)
 	}
-	for i, rep := range ready {
+	for i, rep := range reps {
 		rep.shareG.Set(next.ring.Share(i))
 	}
 }
+
+// Epoch returns the current membership epoch.
+func (g *Gate) Epoch() uint64 { return g.members.Epoch() }
 
 // fleetVersion returns the consensus serving version for a model name:
 // the version most replicas report, ties broken lexicographically so
 // routing is deterministic mid-rollout. Empty when nothing is known.
 func (g *Gate) fleetVersion(model string) string {
 	counts := map[string]int{}
-	for _, rep := range g.all {
+	for _, rep := range g.replicaList() {
 		if !rep.ready.Load() {
 			continue
 		}
@@ -751,8 +833,12 @@ func (g *Gate) handleSuitability(w http.ResponseWriter, r *http.Request) {
 type replicaView struct {
 	URL string `json:"url"`
 	replicaStatus
-	Breaker string  `json:"breaker"`
-	Share   float64 `json:"share"`
+	// Membership is the member-set state (alive, suspect, down) with
+	// the consecutive probe-failure count behind it.
+	Membership string  `json:"membership"`
+	Fails      int     `json:"fails,omitempty"`
+	Breaker    string  `json:"breaker"`
+	Share      float64 `json:"share"`
 }
 
 func (g *Gate) fleetStatus() map[string]any {
@@ -765,17 +851,22 @@ func (g *Gate) fleetStatus() map[string]any {
 		}
 		readyN = rt.ring.Len()
 	}
-	views := make([]replicaView, 0, len(g.all))
-	for _, rep := range g.all {
+	reps := g.replicaList()
+	views := make([]replicaView, 0, len(reps))
+	for _, rep := range reps {
+		info, _ := g.members.Get(rep.url)
 		views = append(views, replicaView{
 			URL:           rep.url,
 			replicaStatus: rep.getStatus(),
+			Membership:    info.State.String(),
+			Fails:         info.Fails,
 			Breaker:       rep.breaker.State().String(),
 			Share:         shares[rep.url],
 		})
 	}
 	return map[string]any{
 		"ready":          g.Ready(),
+		"epoch":          g.members.Epoch(),
 		"replicas":       views,
 		"replicas_ready": readyN,
 		"model_version":  g.fleetVersion(""),
@@ -784,6 +875,35 @@ func (g *Gate) fleetStatus() map[string]any {
 
 func (g *Gate) handleFleet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.fleetStatus())
+}
+
+// handleJoin admits a replica announced at runtime: the URL is
+// validated, probed synchronously, and — if its /readyz passes — in
+// the ring before the call returns. Joining is idempotent; a known URL
+// just refreshes its membership record.
+func (g *Gate) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.URL == "" {
+		writeError(w, http.StatusBadRequest, `fleet: join body must be {"url": "http://host:port"}`)
+		return
+	}
+	rep, created, err := g.addReplica(req.URL)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.members.Join(rep.url, nil)
+	g.probe(r.Context(), rep)
+	g.rebuild()
+	info, _ := g.members.Get(rep.url)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"url":        rep.url,
+		"new":        created,
+		"membership": info.State.String(),
+		"epoch":      g.members.Epoch(),
+	})
 }
 
 func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
@@ -797,16 +917,12 @@ func (g *Gate) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Gate) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ready := 0
-	for _, rep := range g.all {
-		if rep.ready.Load() {
-			ready++
-		}
-	}
+	alive, epoch := g.members.AliveEpoch()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"replicas":       len(g.all),
-		"replicas_ready": ready,
+		"replicas":       len(g.replicaList()),
+		"replicas_ready": len(alive),
+		"epoch":          epoch,
 		"uptime_seconds": time.Since(g.o.start).Seconds(),
 	})
 }
@@ -837,6 +953,7 @@ func (g *Gate) Handler() http.Handler {
 	mux.Handle("/v1/predict", g.instrument("predict", http.MethodPost, g.handlePredict))
 	mux.Handle("/v1/suitability", g.instrument("suitability", http.MethodPost, g.handleSuitability))
 	mux.Handle("/v1/fleet", g.instrument("fleet", http.MethodGet, g.handleFleet))
+	mux.Handle("/v1/fleet/join", g.instrument("join", http.MethodPost, g.handleJoin))
 	mux.Handle("/v1/fleet/reload", g.instrument("reload", http.MethodPost, g.handleReload))
 	mux.Handle("/", g.instrument("other", "", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))

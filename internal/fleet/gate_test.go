@@ -585,7 +585,11 @@ func TestGateReadyzTracksReplicas(t *testing.T) {
 	for _, rep := range tf.replicas {
 		rep.ts.Close()
 	}
-	tf.gate.CheckReplicas(context.Background())
+	// Transport failures evict only at the threshold (default 3): one
+	// failed probe leaves a replica suspect and still serving.
+	for i := 0; i < 3; i++ {
+		tf.gate.CheckReplicas(context.Background())
+	}
 	if code := getCode(t, tf.ts.URL+"/readyz"); code != http.StatusServiceUnavailable {
 		t.Fatalf("readyz with dead fleet: HTTP %d, want 503", code)
 	}

@@ -25,13 +25,14 @@ type fleetObs struct {
 	upstream *obs.CounterVec
 	share    *obs.GaugeVec
 
-	hedges     *obs.Counter
-	hedgeWins  *obs.Counter
-	failovers  *obs.Counter
-	fanout     *obs.Histogram
-	ready      *obs.Gauge
-	rollouts   *obs.Counter
-	batchSplit *obs.Counter
+	hedges      *obs.Counter
+	hedgeWins   *obs.Counter
+	failovers   *obs.Counter
+	fanout      *obs.Histogram
+	ready       *obs.Gauge
+	rollouts    *obs.Counter
+	batchSplit  *obs.Counter
+	ringChanges *obs.CounterVec
 }
 
 func newFleetObs(tracer *obs.Tracer, endpoints ...string) *fleetObs {
@@ -77,6 +78,9 @@ func newFleetObs(tracer *obs.Tracer, endpoints ...string) *fleetObs {
 		"Completed fleet-wide rolling reloads.")
 	o.batchSplit = reg.Counter("napel_fleet_batches_split_total",
 		"Batched predict requests split across shards.")
+	o.ringChanges = reg.CounterVec("napel_fleet_ring_changes_total",
+		"Ring membership changes by kind (join, evict, readmit, expire, leave).",
+		"change")
 	return o
 }
 

@@ -33,9 +33,10 @@ func (g *Gate) RollingReload(ctx context.Context) ([]ReplicaReloadResult, error)
 	g.rollMu.Lock()
 	defer g.rollMu.Unlock()
 
-	results := make([]ReplicaReloadResult, 0, len(g.all))
+	reps := g.replicaList()
+	results := make([]ReplicaReloadResult, 0, len(reps))
 	target := ""
-	for _, rep := range g.all {
+	for _, rep := range reps {
 		res := ReplicaReloadResult{URL: rep.url}
 		version, err := g.reloadReplica(ctx, rep)
 		if err != nil {

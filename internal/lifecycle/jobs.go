@@ -77,6 +77,11 @@ type JobSpec struct {
 	// either way; the job fails permanently if the daemon runs without a
 	// coordinator.
 	Distributed bool `json:"distributed,omitempty"`
+	// Tags restrict this job's distributed units to workers advertising
+	// all of them (capability routing, e.g. an architecture family only
+	// some workers can simulate). Scheduling metadata only — the
+	// assembled dataset is identical with or without tags.
+	Tags []string `json:"tags,omitempty"`
 	// Active replaces exhaustive DoE collection with the uncertainty-
 	// driven loop: train on a seed design, then per round simulate only
 	// the candidates the ensemble disagrees on most, stopping at
@@ -114,6 +119,9 @@ func (sp *JobSpec) Validate() error {
 	}
 	if !sp.Active && (sp.ActiveSeedUnits > 0 || sp.ActiveRoundUnits > 0 || sp.ActiveMaxUnits > 0 || sp.ActiveTargetMRE > 0) {
 		return fmt.Errorf("lifecycle: active_* parameters require active: true")
+	}
+	if len(sp.Tags) > 0 && !sp.Distributed {
+		return fmt.Errorf("lifecycle: tags route distributed leases and require distributed: true")
 	}
 	opts, err := sp.options()
 	if err != nil {
@@ -158,6 +166,9 @@ func (sp *JobSpec) options() (napel.Options, error) {
 	}
 	if sp.Workers > 0 {
 		opts.Workers = sp.Workers
+	}
+	if len(sp.Tags) > 0 {
+		opts.Tags = sp.Tags
 	}
 	if sp.TrainArchs < 0 || sp.TrainArchs > len(opts.TrainArchs) {
 		return opts, fmt.Errorf("lifecycle: train_archs %d out of [0, %d]", sp.TrainArchs, len(opts.TrainArchs))

@@ -1,0 +1,381 @@
+// Package member is the membership plane shared by the serving and
+// collection tiers: a mutex-guarded set of named members with
+// probe-driven liveness (K consecutive failures evict, one success
+// readmits), capability tags, optional last-seen expiry, and a
+// monotonic epoch that advances exactly when the alive set changes.
+//
+// The package is deliberately dumb about transport: callers (the gate's
+// /readyz prober, collectd's lease handler) decide what counts as a
+// probe, a success, or a heartbeat and report it here. In exchange the
+// set gives them one consistent answer to "who is in the ring / who can
+// take work right now", a stable epoch to stamp on routing tables, and
+// deterministic, sorted snapshots for tests and status endpoints.
+package member
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a member's liveness as judged by reported probe outcomes.
+type State uint8
+
+const (
+	// Down members are out of the alive set: evicted after
+	// FailThreshold consecutive failures, self-reported unready, or
+	// newly joined and not yet verified (when Config.JoinAlive is
+	// false).
+	Down State = iota
+	// Suspect members are alive but have a non-zero consecutive
+	// failure count below the eviction threshold.
+	Suspect
+	// Alive members are in the alive set with no outstanding failures.
+	Alive
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// Info is a point-in-time copy of one member's record.
+type Info struct {
+	Name     string
+	Tags     []string
+	State    State
+	Fails    int // consecutive failures since the last success
+	Joined   time.Time
+	LastSeen time.Time
+}
+
+// Event describes one alive-set change, delivered to Config.OnChange
+// after the set's lock is released.
+type Event struct {
+	Epoch  uint64 // epoch the change produced
+	Name   string
+	Change string // "join", "evict", "readmit", "expire", "leave"
+}
+
+// Config parameterizes a Set. The zero value is usable.
+type Config struct {
+	// FailThreshold is the number of consecutive ReportFailure calls
+	// that evict an alive member. Default 3.
+	FailThreshold int
+	// ExpireAfter drops members not seen (joined, touched, or
+	// successfully probed) for this long from the set entirely.
+	// 0 disables expiry. Expiry is checked by ExpireStale.
+	ExpireAfter time.Duration
+	// JoinAlive controls the state of a newly joined member: true
+	// admits it to the alive set immediately (collectd workers — the
+	// join itself proves reachability), false holds it Down until the
+	// first ReportSuccess (gate replicas — the prober verifies before
+	// the ring sees it).
+	JoinAlive bool
+	// Now is the clock; defaults to time.Now. Injectable for tests.
+	Now func() time.Time
+	// OnChange, if set, is called after every alive-set change, outside
+	// the set's lock, in the goroutine that caused the change.
+	OnChange func(Event)
+}
+
+type record struct {
+	tags     []string
+	state    State
+	fails    int
+	admitted bool // ever been in the alive set
+	joined   time.Time
+	lastSeen time.Time
+}
+
+// Set is a concurrency-safe membership set. The zero value is not
+// usable; construct with NewSet.
+type Set struct {
+	cfg   Config
+	mu    sync.Mutex
+	m     map[string]*record
+	epoch uint64
+}
+
+// NewSet builds a Set from cfg, applying defaults.
+func NewSet(cfg Config) *Set {
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Set{cfg: cfg, m: make(map[string]*record)}
+}
+
+// bumpLocked advances the epoch for one alive-set change and returns
+// the event to fire once the lock is released.
+func (s *Set) bumpLocked(name, change string) Event {
+	s.epoch++
+	return Event{Epoch: s.epoch, Name: name, Change: change}
+}
+
+func (s *Set) fire(evs []Event) {
+	if s.cfg.OnChange == nil {
+		return
+	}
+	for _, ev := range evs {
+		s.cfg.OnChange(ev)
+	}
+}
+
+// Join adds name to the set (state per Config.JoinAlive) or, if it is
+// already present, refreshes its last-seen time and tags. It returns
+// the current epoch and whether the alive set changed.
+func (s *Set) Join(name string, tags []string) (uint64, bool) {
+	var evs []Event
+	s.mu.Lock()
+	now := s.cfg.Now()
+	r, ok := s.m[name]
+	changed := false
+	if !ok {
+		r = &record{joined: now, state: Down}
+		if s.cfg.JoinAlive {
+			r.state = Alive
+			r.admitted = true
+			evs = append(evs, s.bumpLocked(name, "join"))
+			changed = true
+		}
+		s.m[name] = r
+	}
+	r.lastSeen = now
+	if tags != nil {
+		r.tags = append([]string(nil), tags...)
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	s.fire(evs)
+	return epoch, changed
+}
+
+// Touch refreshes name's last-seen time (heartbeat) without changing
+// its state. Unknown names are ignored.
+func (s *Set) Touch(name string) {
+	s.mu.Lock()
+	if r, ok := s.m[name]; ok {
+		r.lastSeen = s.cfg.Now()
+	}
+	s.mu.Unlock()
+}
+
+// ReportSuccess records a successful probe of name: failure count
+// resets, a Down member is readmitted to the alive set. It returns
+// whether the alive set changed. Unknown names are ignored.
+func (s *Set) ReportSuccess(name string) bool {
+	var evs []Event
+	s.mu.Lock()
+	changed := false
+	if r, ok := s.m[name]; ok {
+		r.lastSeen = s.cfg.Now()
+		r.fails = 0
+		switch r.state {
+		case Down:
+			r.state = Alive
+			change := "readmit"
+			if !r.admitted {
+				change = "join"
+			}
+			r.admitted = true
+			evs = append(evs, s.bumpLocked(name, change))
+			changed = true
+		case Suspect:
+			r.state = Alive
+		}
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	return changed
+}
+
+// ReportFailure records a failed probe of name: the consecutive
+// failure count rises and, at FailThreshold, an alive/suspect member
+// is evicted from the alive set. It returns whether the alive set
+// changed. Unknown names are ignored.
+func (s *Set) ReportFailure(name string) bool {
+	var evs []Event
+	s.mu.Lock()
+	changed := false
+	if r, ok := s.m[name]; ok && r.state != Down {
+		r.fails++
+		if r.fails >= s.cfg.FailThreshold {
+			r.state = Down
+			evs = append(evs, s.bumpLocked(name, "evict"))
+			changed = true
+		} else {
+			r.state = Suspect
+		}
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	return changed
+}
+
+// MarkDown evicts name immediately, bypassing the failure threshold —
+// for self-reported conditions (a replica answering "not ready", a
+// draining worker) where hysteresis would only delay the truth. It
+// returns whether the alive set changed.
+func (s *Set) MarkDown(name string) bool {
+	var evs []Event
+	s.mu.Lock()
+	changed := false
+	if r, ok := s.m[name]; ok && r.state != Down {
+		r.state = Down
+		r.fails = 0
+		evs = append(evs, s.bumpLocked(name, "evict"))
+		changed = true
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	return changed
+}
+
+// Leave removes name from the set entirely. It returns whether the
+// alive set changed (i.e. the member was alive or suspect).
+func (s *Set) Leave(name string) bool {
+	var evs []Event
+	s.mu.Lock()
+	changed := false
+	if r, ok := s.m[name]; ok {
+		if r.state != Down {
+			evs = append(evs, s.bumpLocked(name, "leave"))
+			changed = true
+		}
+		delete(s.m, name)
+	}
+	s.mu.Unlock()
+	s.fire(evs)
+	return changed
+}
+
+// ExpireStale removes members not seen within Config.ExpireAfter and
+// returns their names (sorted). A no-op when expiry is disabled.
+func (s *Set) ExpireStale() []string {
+	if s.cfg.ExpireAfter <= 0 {
+		return nil
+	}
+	var evs []Event
+	var expired []string
+	s.mu.Lock()
+	cutoff := s.cfg.Now().Add(-s.cfg.ExpireAfter)
+	for name, r := range s.m {
+		if r.lastSeen.Before(cutoff) {
+			if r.state != Down {
+				evs = append(evs, s.bumpLocked(name, "expire"))
+			}
+			delete(s.m, name)
+			expired = append(expired, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(expired)
+	s.fire(evs)
+	return expired
+}
+
+// Epoch returns the current membership epoch. It advances by one for
+// every alive-set change, so two equal epochs imply an identical alive
+// set (the converse does not hold: an evict+readmit pair restores the
+// set at a higher epoch).
+func (s *Set) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Alive returns the sorted names of the current alive set (Alive and
+// Suspect members — suspects still take traffic until evicted).
+func (s *Set) Alive() []string {
+	names, _ := s.AliveEpoch()
+	return names
+}
+
+// AliveEpoch returns the sorted alive set together with the epoch it
+// belongs to, read under one lock — the pair a caller needs to build a
+// routing table it can later compare by epoch alone.
+func (s *Set) AliveEpoch() ([]string, uint64) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.m))
+	for name, r := range s.m {
+		if r.state != Down {
+			names = append(names, name)
+		}
+	}
+	epoch := s.epoch
+	s.mu.Unlock()
+	sort.Strings(names)
+	return names, epoch
+}
+
+// Get returns a copy of name's record.
+func (s *Set) Get(name string) (Info, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.m[name]
+	if !ok {
+		return Info{}, false
+	}
+	return infoOf(name, r), true
+}
+
+// Snapshot returns copies of every member record, sorted by name.
+func (s *Set) Snapshot() []Info {
+	s.mu.Lock()
+	out := make([]Info, 0, len(s.m))
+	for name, r := range s.m {
+		out = append(out, infoOf(name, r))
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the total number of members, alive or not.
+func (s *Set) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+func infoOf(name string, r *record) Info {
+	return Info{
+		Name:     name,
+		Tags:     append([]string(nil), r.tags...),
+		State:    r.state,
+		Fails:    r.fails,
+		Joined:   r.joined,
+		LastSeen: r.lastSeen,
+	}
+}
+
+// HasAll reports whether have contains every tag in want. An empty
+// want matches anything (an untagged unit runs on any worker); an
+// empty have matches only an empty want.
+func HasAll(have, want []string) bool {
+	if len(want) == 0 {
+		return true
+	}
+	for _, w := range want {
+		found := false
+		for _, h := range have {
+			if h == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package member
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testClock is an injectable, advanceable clock.
+type testClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *testClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *testClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestJoinAliveAndEpoch(t *testing.T) {
+	s := NewSet(Config{JoinAlive: true})
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh set epoch = %d, want 0", got)
+	}
+	ep, changed := s.Join("w1", []string{"riscv"})
+	if !changed || ep != 1 {
+		t.Fatalf("Join(w1) = (%d, %v), want (1, true)", ep, changed)
+	}
+	// Re-joining an alive member is a heartbeat, not a change.
+	ep, changed = s.Join("w1", []string{"riscv", "x86"})
+	if changed || ep != 1 {
+		t.Fatalf("re-Join(w1) = (%d, %v), want (1, false)", ep, changed)
+	}
+	info, ok := s.Get("w1")
+	if !ok || !reflect.DeepEqual(info.Tags, []string{"riscv", "x86"}) {
+		t.Fatalf("tags not refreshed on re-join: %+v ok=%v", info, ok)
+	}
+	if got := s.Alive(); !reflect.DeepEqual(got, []string{"w1"}) {
+		t.Fatalf("Alive() = %v, want [w1]", got)
+	}
+}
+
+func TestJoinHeldDownUntilFirstSuccess(t *testing.T) {
+	s := NewSet(Config{}) // JoinAlive=false: prober must verify first
+	ep, changed := s.Join("r1", nil)
+	if changed || ep != 0 {
+		t.Fatalf("Join = (%d, %v), want (0, false): unverified member must not enter alive set", ep, changed)
+	}
+	if got := s.Alive(); len(got) != 0 {
+		t.Fatalf("Alive() = %v, want empty before first success", got)
+	}
+	if !s.ReportSuccess("r1") {
+		t.Fatal("first ReportSuccess should admit the member")
+	}
+	if got := s.Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1 after admission", got)
+	}
+}
+
+func TestEvictAtThresholdAndReadmit(t *testing.T) {
+	var events []Event
+	s := NewSet(Config{FailThreshold: 3, JoinAlive: true, OnChange: func(ev Event) {
+		events = append(events, ev)
+	}})
+	s.Join("r1", nil)
+	ep0 := s.Epoch()
+
+	// Two failures: suspect, still alive, no epoch change.
+	for i := 0; i < 2; i++ {
+		if s.ReportFailure("r1") {
+			t.Fatalf("failure %d should not evict (threshold 3)", i+1)
+		}
+	}
+	if info, _ := s.Get("r1"); info.State != Suspect || info.Fails != 2 {
+		t.Fatalf("after 2 failures: %+v, want Suspect/2", info)
+	}
+	if got := s.Alive(); len(got) != 1 {
+		t.Fatalf("suspect member must stay in alive set, got %v", got)
+	}
+	if s.Epoch() != ep0 {
+		t.Fatal("suspect transitions must not bump the epoch")
+	}
+
+	// A success mid-streak resets the count.
+	s.ReportSuccess("r1")
+	if info, _ := s.Get("r1"); info.State != Alive || info.Fails != 0 {
+		t.Fatalf("success should reset streak: %+v", info)
+	}
+
+	// Third consecutive failure evicts.
+	s.ReportFailure("r1")
+	s.ReportFailure("r1")
+	if !s.ReportFailure("r1") {
+		t.Fatal("3rd consecutive failure should evict")
+	}
+	if got := s.Alive(); len(got) != 0 {
+		t.Fatalf("evicted member still in alive set: %v", got)
+	}
+	epEvict := s.Epoch()
+	if epEvict != ep0+1 {
+		t.Fatalf("eviction epoch = %d, want %d", epEvict, ep0+1)
+	}
+	// Further failures on a down member are no-ops.
+	if s.ReportFailure("r1") || s.Epoch() != epEvict {
+		t.Fatal("failures on a down member must not change anything")
+	}
+
+	// Recovery readmits at a new epoch.
+	if !s.ReportSuccess("r1") {
+		t.Fatal("success should readmit a down member")
+	}
+	if s.Epoch() != epEvict+1 {
+		t.Fatalf("readmission epoch = %d, want %d", s.Epoch(), epEvict+1)
+	}
+
+	wantChanges := []string{"join", "evict", "readmit"}
+	var gotChanges []string
+	for _, ev := range events {
+		gotChanges = append(gotChanges, ev.Change)
+	}
+	if !reflect.DeepEqual(gotChanges, wantChanges) {
+		t.Fatalf("event changes = %v, want %v", gotChanges, wantChanges)
+	}
+}
+
+func TestMarkDownImmediate(t *testing.T) {
+	s := NewSet(Config{FailThreshold: 5, JoinAlive: true})
+	s.Join("r1", nil)
+	if !s.MarkDown("r1") {
+		t.Fatal("MarkDown on an alive member should change the set")
+	}
+	if got := s.Alive(); len(got) != 0 {
+		t.Fatalf("MarkDown must bypass the failure threshold, alive=%v", got)
+	}
+	if s.MarkDown("r1") {
+		t.Fatal("MarkDown on a down member is a no-op")
+	}
+}
+
+func TestLeave(t *testing.T) {
+	s := NewSet(Config{JoinAlive: true})
+	s.Join("r1", nil)
+	if !s.Leave("r1") {
+		t.Fatal("Leave of an alive member should change the set")
+	}
+	if s.Len() != 0 {
+		t.Fatal("Leave should remove the record entirely")
+	}
+	if s.Leave("r1") {
+		t.Fatal("Leave of an unknown member is a no-op")
+	}
+}
+
+func TestExpireStale(t *testing.T) {
+	clock := newTestClock()
+	s := NewSet(Config{JoinAlive: true, ExpireAfter: 10 * time.Second, Now: clock.now})
+	s.Join("w1", []string{"a"})
+	s.Join("w2", nil)
+	clock.advance(6 * time.Second)
+	s.Touch("w2") // heartbeat keeps w2 fresh
+	clock.advance(6 * time.Second)
+	ep0 := s.Epoch()
+	expired := s.ExpireStale()
+	if !reflect.DeepEqual(expired, []string{"w1"}) {
+		t.Fatalf("ExpireStale = %v, want [w1]", expired)
+	}
+	if got := s.Alive(); !reflect.DeepEqual(got, []string{"w2"}) {
+		t.Fatalf("Alive = %v, want [w2]", got)
+	}
+	if s.Epoch() != ep0+1 {
+		t.Fatalf("expiry of an alive member must bump the epoch: %d -> %d", ep0, s.Epoch())
+	}
+	if s.Len() != 1 {
+		t.Fatalf("expired member should be removed, Len=%d", s.Len())
+	}
+	// Expiry disabled: no-op.
+	s2 := NewSet(Config{JoinAlive: true})
+	s2.Join("w1", nil)
+	if got := s2.ExpireStale(); got != nil {
+		t.Fatalf("ExpireStale with expiry disabled = %v, want nil", got)
+	}
+}
+
+func TestSnapshotSortedAndCopied(t *testing.T) {
+	s := NewSet(Config{JoinAlive: true})
+	s.Join("b", []string{"t1"})
+	s.Join("a", nil)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	snap[1].Tags[0] = "mutated"
+	if info, _ := s.Get("b"); info.Tags[0] != "t1" {
+		t.Fatal("Snapshot must return copies, not aliases")
+	}
+}
+
+func TestHasAll(t *testing.T) {
+	cases := []struct {
+		have, want []string
+		ok         bool
+	}{
+		{nil, nil, true},
+		{nil, []string{"x"}, false},
+		{[]string{"x"}, nil, true},
+		{[]string{"x", "y"}, []string{"y"}, true},
+		{[]string{"x", "y"}, []string{"y", "z"}, false},
+		{[]string{"x", "y", "z"}, []string{"z", "x"}, true},
+	}
+	for _, c := range cases {
+		if got := HasAll(c.have, c.want); got != c.ok {
+			t.Errorf("HasAll(%v, %v) = %v, want %v", c.have, c.want, got, c.ok)
+		}
+	}
+}
+
+func TestConcurrentReports(t *testing.T) {
+	s := NewSet(Config{FailThreshold: 2, JoinAlive: true})
+	names := []string{"a", "b", "c", "d"}
+	for _, n := range names {
+		s.Join(n, nil)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				n := names[(i+j)%len(names)]
+				if j%3 == 0 {
+					s.ReportFailure(n)
+				} else {
+					s.ReportSuccess(n)
+				}
+				s.Alive()
+				s.Epoch()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(names))
+	}
+}

@@ -95,6 +95,11 @@ type Options struct {
 	// collection for any executor, worker count, or completion order.
 	// Retries, quarantine, and checkpoints apply unchanged.
 	Executor UnitExecutor
+	// Tags, stamped onto every planned UnitSpec, restrict distributed
+	// execution to workers advertising all of them (collectd capability
+	// routing). Ignored — deliberately — by local execution: tags are
+	// scheduling metadata and never change payload bytes.
+	Tags []string
 	// Metrics, when non-nil, receives the engine's napel_engine_* series
 	// (worker utilization, queue depth, per-unit and per-stage latency).
 	// nil leaves the engine uninstrumented at zero cost. Instrumentation

@@ -36,6 +36,11 @@ type UnitSpec struct {
 	ProfileBudget uint64          `json:"profile_budget"`
 	SimBudget     uint64          `json:"sim_budget"`
 	TrainArchs    []nmcsim.Config `json:"train_archs"`
+	// Tags are the capability tags a worker must advertise to be leased
+	// this unit (Options.Tags, stamped at planning). Scheduling metadata
+	// only: they never influence execution, so the payload stays a pure
+	// function of the fields above and byte-identity is unaffected.
+	Tags []string `json:"tags,omitempty"`
 }
 
 // Validate checks a spec received off the wire before executing it.
@@ -127,6 +132,7 @@ func unitSpec(u collectUnit, opts Options) UnitSpec {
 		ProfileBudget: opts.ProfileBudget,
 		SimBudget:     opts.SimBudget,
 		TrainArchs:    opts.TrainArchs,
+		Tags:          opts.Tags,
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -28,6 +29,39 @@ type Target struct {
 	Job      string `json:"job"`
 	Instance string `json:"instance"`
 	URL      string `json:"url"`
+}
+
+// LoadTargetsFile reads a targets file: one entry per line in the same
+// job=URL / bare-URL syntax -targets uses (commas within a line also
+// work), with blank lines and #-comments ignored. The file is the
+// dynamic half of target discovery — the aggregator re-reads it
+// periodically and diffs the set, so fleet churn (replicas joining a
+// gate, workers coming and going) is a file edit away from being
+// scraped, no restart.
+func LoadTargetsFile(path string) ([]Target, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obsd: %w", err)
+	}
+	var out []Target
+	for ln, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parsed, err := ParseTargets(line)
+		if err != nil {
+			return nil, fmt.Errorf("obsd: %s line %d: %w", path, ln+1, err)
+		}
+		out = append(out, parsed...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("obsd: no targets in %s", path)
+	}
+	return out, nil
 }
 
 // ParseTargets decodes a -targets flag value: comma-separated entries,
@@ -62,7 +96,16 @@ func ParseTargets(spec string) ([]Target, error) {
 
 // Config configures an Aggregator.
 type Config struct {
+	// Targets is the static target set; it is always scraped, whatever
+	// TargetsFile says.
 	Targets []Target
+	// TargetsFile, when set, names a file of additional targets (see
+	// LoadTargetsFile) loaded at construction and re-read every
+	// TargetsReload; changes are diffed into the scrape set without a
+	// restart. A transient read failure keeps the current set.
+	TargetsFile string
+	// TargetsReload is the TargetsFile re-read period (default 10s).
+	TargetsReload time.Duration
 	// ScrapeInterval between scrape rounds (default 2s).
 	ScrapeInterval time.Duration
 	// SpanCap bounds the retained pushed spans (default 16384); the
@@ -108,6 +151,10 @@ type Aggregator struct {
 	cfg Config
 	reg *obs.Registry
 
+	// static holds the construction-time targets, which survive every
+	// TargetsFile reload.
+	static []Target
+
 	scrapeMu sync.Mutex
 	scrapes  map[string]*scrape // keyed job+"\x1f"+instance
 
@@ -124,10 +171,23 @@ type Aggregator struct {
 	rejected    *obs.Counter
 }
 
-// New builds an aggregator over cfg.Targets.
+// New builds an aggregator over cfg.Targets plus, when set, the
+// current contents of cfg.TargetsFile (which must load cleanly at
+// construction — fail fast on a bad path or syntax).
 func New(cfg Config) (*Aggregator, error) {
-	if len(cfg.Targets) == 0 {
+	targets := cfg.Targets
+	if cfg.TargetsFile != "" {
+		fromFile, err := LoadTargetsFile(cfg.TargetsFile)
+		if err != nil {
+			return nil, err
+		}
+		targets = mergeTargets(cfg.Targets, fromFile)
+	}
+	if len(targets) == 0 {
 		return nil, fmt.Errorf("obsd: at least one target required")
+	}
+	if cfg.TargetsReload <= 0 {
+		cfg.TargetsReload = 10 * time.Second
 	}
 	if cfg.ScrapeInterval <= 0 {
 		cfg.ScrapeInterval = 2 * time.Second
@@ -156,7 +216,8 @@ func New(cfg Config) (*Aggregator, error) {
 	a := &Aggregator{
 		cfg:     cfg,
 		reg:     reg,
-		scrapes: make(map[string]*scrape, len(cfg.Targets)),
+		static:  append([]Target(nil), cfg.Targets...),
+		scrapes: make(map[string]*scrape, len(targets)),
 		scrapesOK: reg.Counter("napel_obsd_scrapes_total",
 			"Successful target scrapes."),
 		scrapesFail: reg.Counter("napel_obsd_scrape_errors_total",
@@ -170,24 +231,109 @@ func New(cfg Config) (*Aggregator, error) {
 		rejected: reg.Counter("napel_obsd_span_batches_rejected_total",
 			"Span batches rejected as oversized or malformed."),
 	}
-	for _, t := range cfg.Targets {
+	for _, t := range targets {
 		a.scrapes[t.Job+"\x1f"+t.Instance] = &scrape{target: t}
 	}
+	reg.GaugeFunc("napel_obsd_targets",
+		"Scrape targets currently configured (static + targets file).",
+		func() float64 {
+			a.scrapeMu.Lock()
+			defer a.scrapeMu.Unlock()
+			return float64(len(a.scrapes))
+		})
 	return a, nil
 }
 
+// mergeTargets concatenates target lists, dropping later duplicates of
+// the same (job, instance) identity — the static list wins over the
+// file.
+func mergeTargets(lists ...[]Target) []Target {
+	seen := map[string]bool{}
+	var out []Target
+	for _, list := range lists {
+		for _, t := range list {
+			key := t.Job + "\x1f" + t.Instance
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TargetCount returns the number of currently configured targets.
+func (a *Aggregator) TargetCount() int {
+	a.scrapeMu.Lock()
+	defer a.scrapeMu.Unlock()
+	return len(a.scrapes)
+}
+
+// SetTargets replaces the scrape set: unknown targets get fresh slots,
+// targets no longer named are dropped (their merged series vanish on
+// the next /metrics), survivors keep their last scrape state. Returns
+// how many were added and removed.
+func (a *Aggregator) SetTargets(targets []Target) (added, removed int) {
+	want := make(map[string]Target, len(targets))
+	for _, t := range targets {
+		want[t.Job+"\x1f"+t.Instance] = t
+	}
+	a.scrapeMu.Lock()
+	for key := range a.scrapes {
+		if _, ok := want[key]; !ok {
+			delete(a.scrapes, key)
+			removed++
+		}
+	}
+	for key, t := range want {
+		if s, ok := a.scrapes[key]; ok {
+			s.target = t // same identity, possibly a new URL
+		} else {
+			a.scrapes[key] = &scrape{target: t}
+			added++
+		}
+	}
+	a.scrapeMu.Unlock()
+	return added, removed
+}
+
+// reloadTargets re-reads the targets file and diffs the result (plus
+// the static list) into the scrape set. Errors keep the current set:
+// a half-written or briefly missing file must not blind the plane.
+func (a *Aggregator) reloadTargets() {
+	fromFile, err := LoadTargetsFile(a.cfg.TargetsFile)
+	if err != nil {
+		a.cfg.Logf("targets reload: %v (keeping current set)", err)
+		return
+	}
+	added, removed := a.SetTargets(mergeTargets(a.static, fromFile))
+	if added > 0 || removed > 0 {
+		a.cfg.Logf("targets reloaded from %s: %d added, %d removed", a.cfg.TargetsFile, added, removed)
+	}
+}
+
 // Run scrapes every target once immediately, then on every interval
-// tick, until ctx is done.
+// tick, until ctx is done. With a targets file configured it also
+// re-reads the file every TargetsReload.
 func (a *Aggregator) Run(ctx context.Context) {
 	a.scrapeAll()
 	ticker := time.NewTicker(a.cfg.ScrapeInterval)
 	defer ticker.Stop()
+	var reload <-chan time.Time
+	if a.cfg.TargetsFile != "" {
+		rt := time.NewTicker(a.cfg.TargetsReload)
+		defer rt.Stop()
+		reload = rt.C
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return
 		case <-ticker.C:
 			a.scrapeAll()
+		case <-reload:
+			a.reloadTargets()
 		}
 	}
 }
@@ -305,14 +451,15 @@ func (a *Aggregator) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		states := a.snapshotScrapes()
 		up := 0
-		for _, s := range a.snapshotScrapes() {
+		for _, s := range states {
 			if s.up {
 				up++
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"status":"ok","targets":%d,"up":%d}`+"\n", len(a.cfg.Targets), up)
+		fmt.Fprintf(w, `{"status":"ok","targets":%d,"up":%d}`+"\n", len(states), up)
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {

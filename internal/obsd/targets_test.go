@@ -1,0 +1,114 @@
+package obsd
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTargets(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadTargetsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "targets")
+	writeTargets(t, path, `
+# fleet scrape plan
+gate=http://127.0.0.1:9090   # the front tier
+serve=http://127.0.0.1:9191, serve=http://127.0.0.1:9192
+
+http://127.0.0.1:9095
+`)
+	targets, err := LoadTargetsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 4 {
+		t.Fatalf("loaded %d targets, want 4: %+v", len(targets), targets)
+	}
+	if targets[0].Job != "gate" || targets[0].Instance != "127.0.0.1:9090" {
+		t.Fatalf("first target = %+v", targets[0])
+	}
+	if targets[3].Job != "napel" {
+		t.Fatalf("bare URL did not default to job napel: %+v", targets[3])
+	}
+
+	writeTargets(t, path, "not a url\n")
+	if _, err := LoadTargetsFile(path); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("bad line error = %v, want line-numbered failure", err)
+	}
+	writeTargets(t, path, "# only comments\n\n")
+	if _, err := LoadTargetsFile(path); err == nil {
+		t.Fatal("empty targets file must error")
+	}
+	if _, err := LoadTargetsFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing targets file must error")
+	}
+}
+
+// TestTargetsFileReloadDiffs proves live re-targeting: a file edit
+// adds and removes scrape targets on the next reload with no restart,
+// the static -targets list always survives, and a broken file keeps
+// the current set instead of blinding the plane.
+func TestTargetsFileReloadDiffs(t *testing.T) {
+	s1 := metricsServer(serveLikeRegistry(50, 0))
+	defer s1.Close()
+	s2 := metricsServer(serveLikeRegistry(60, 0))
+	defer s2.Close()
+	static := metricsServer(serveLikeRegistry(70, 0))
+	defer static.Close()
+
+	path := filepath.Join(t.TempDir(), "targets")
+	writeTargets(t, path, "one="+s1.URL+"\n")
+
+	a, err := New(Config{
+		Targets:     []Target{{Job: "static", Instance: "s0", URL: static.URL}},
+		TargetsFile: path,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := a.TargetCount(); n != 2 {
+		t.Fatalf("targets at construction = %d, want static + file = 2", n)
+	}
+	a.scrapeAll()
+	if body := scrapeSelf(t, a); !strings.Contains(body, `instance="s0"`) ||
+		!strings.Contains(body, `job="one"`) {
+		t.Fatalf("merged exposition missing initial targets:\n%s", body)
+	}
+
+	// Edit: drop target one, add target two.
+	writeTargets(t, path, "two="+s2.URL+"\n")
+	a.reloadTargets()
+	if n := a.TargetCount(); n != 2 {
+		t.Fatalf("targets after reload = %d, want 2", n)
+	}
+	a.scrapeAll()
+	body := scrapeSelf(t, a)
+	if strings.Contains(body, `job="one"`) {
+		t.Fatalf("removed target still exported:\n%s", body)
+	}
+	if !strings.Contains(body, `job="two"`) || !strings.Contains(body, `instance="s0"`) {
+		t.Fatalf("reloaded set wrong:\n%s", body)
+	}
+
+	// A broken file must not change anything.
+	writeTargets(t, path, "garbage line\n")
+	a.reloadTargets()
+	if n := a.TargetCount(); n != 2 {
+		t.Fatalf("targets after broken reload = %d, want unchanged 2", n)
+	}
+}
+
+func scrapeSelf(t *testing.T, a *Aggregator) string {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	a.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	return rr.Body.String()
+}

@@ -10,13 +10,17 @@
 #
 # Two topologies:
 #   BENCH_FLEET=0 (default)  one napel-serve, loadgen hits it directly
-#   BENCH_FLEET=N            N replicas behind napel-gate; loadgen hits
-#                            the gate, /metrics deltas are summed across
-#                            the replicas so the report's cache ratio is
-#                            the fleet aggregate
+#   BENCH_FLEET=N            N replicas behind napel-gate; the gate
+#                            starts with no seed list and each replica
+#                            registers itself at runtime via -join, so
+#                            the measured ring is assembled by the
+#                            dynamic-membership path. Loadgen hits the
+#                            gate, /metrics deltas are summed across
+#                            the replicas so the report's cache ratio
+#                            is the fleet aggregate
 #
 # Usage: ./scripts/bench.sh [out.json]
-# Env:   BENCH_PR            report/filename key        (default 9)
+# Env:   BENCH_PR            report/filename key        (default 10)
 #        BENCH_SEED          workload seed              (default 1)
 #        BENCH_REQUESTS      scheduled requests         (default 2000)
 #        BENCH_WORKERS       closed-loop clients        (default 8)
@@ -39,7 +43,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-pr=${BENCH_PR:-9}
+pr=${BENCH_PR:-10}
 out=${1:-BENCH_${pr}.json}
 seed=${BENCH_SEED:-1}
 requests=${BENCH_REQUESTS:-2000}
@@ -149,7 +153,18 @@ fi
 
 extra_args=()
 if [ "$fleet" -gt 0 ]; then
-    replica_urls=""
+    port=$(( (RANDOM % 20000) + 20000 ))
+    url="http://127.0.0.1:$port"
+    # The gate starts with an empty roster; every replica below joins
+    # at runtime via -join, so the bench measures a ring assembled by
+    # the dynamic-membership path rather than a static seed list.
+    # Hedging off for the bench: it trades tail latency for duplicate
+    # work, which would smear the per-replica cache attribution.
+    "$tmp/napel-gate" -addr "127.0.0.1:$port" \
+        -hedge-after=-1ms -health-interval 100ms \
+        ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/gate.log" &
+    pids+=($!)
+    wait_healthy "$url"
     scrape_urls=""
     obsd_targets=""
     for i in $(seq 1 "$fleet"); do
@@ -157,24 +172,29 @@ if [ "$fleet" -gt 0 ]; then
         rurl="http://127.0.0.1:$rport"
         "$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$rport" \
             -cache-entries "$cache_entries" -quiet \
+            -join "$url" -join-interval 200ms \
             ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/replica$i.log" &
         pids+=($!)
         wait_healthy "$rurl"
-        replica_urls="${replica_urls:+$replica_urls,}$rurl"
         scrape_urls="${scrape_urls:+$scrape_urls,}$rurl"
         obsd_targets="${obsd_targets:+$obsd_targets,}serve=$rurl"
     done
-    port=$(( (RANDOM % 20000) + 20000 ))
-    url="http://127.0.0.1:$port"
-    # Hedging off for the bench: it trades tail latency for duplicate
-    # work, which would smear the per-replica cache attribution.
-    "$tmp/napel-gate" -addr "127.0.0.1:$port" -replicas "$replica_urls" \
-        -hedge-after=-1ms -health-interval 100ms \
-        ${obsd_url:+-trace-push "$obsd_url"} 2>"$tmp/gate.log" &
-    pids+=($!)
-    wait_healthy "$url"
+    # Every replica must be admitted to the ring before load starts —
+    # a partial ring would skew the per-replica cache attribution.
+    admitted=""
+    for _ in $(seq 1 100); do
+        admitted=$(curl -sS "$url/readyz" 2>/dev/null \
+            | sed -n 's/.*"replicas_ready"[: ]*\([0-9]*\).*/\1/p')
+        [ "$admitted" = "$fleet" ] && break
+        sleep 0.1
+    done
+    if [ "$admitted" != "$fleet" ]; then
+        echo "bench: gate admitted $admitted of $fleet joining replicas" >&2
+        cat "$tmp/gate.log" >&2
+        exit 1
+    fi
     obsd_targets="gate=$url${obsd_targets:+,$obsd_targets}"
-    topology="gate+${fleet}x serve${obsd_suffix}${collect_topology}"
+    topology="gate(join)+${fleet}x serve${obsd_suffix}${collect_topology}"
     extra_args+=(-scrape-targets "$scrape_urls" -topology "$topology")
 else
     port=$(( (RANDOM % 20000) + 20000 ))

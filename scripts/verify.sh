@@ -15,6 +15,13 @@
 # distributed collection (a serial job vs. the same job leased to two
 # napel-worker processes with one killed mid-run: the promoted
 # manifests must agree on data_hash and model_hash byte for byte).
+# Two robustness stages close the file: a membership-chaos run (kill
+# one of three gate replicas under a zero-error-budget load — it must
+# be evicted from the ring, then readmitted on restart, with the epoch
+# advancing each way) and a coordinator-crash run (SIGKILL a traind
+# with -collect-journal mid-collection — the restart must replay
+# journaled completions, the workers must reconnect, and the resumed
+# manifest must match the serial reference byte for byte).
 #
 # Run via `make verify` or directly: ./scripts/verify.sh
 set -euo pipefail
@@ -36,7 +43,7 @@ echo "== go test -race (concurrent packages) =="
 # response cache, the predictor it serves concurrently, the trace fan-out
 # layer, and the parallel collection engine. internal/exp joins with its
 # dedicated micro-settings parallel-pipeline tests.
-go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/collectd/... ./internal/obs/... ./internal/obsd/... ./internal/resilience/...
+go test -race -count=1 ./internal/serve/... ./internal/fleet/... ./internal/member/... ./internal/cache/... ./internal/napel/... ./internal/trace/... ./internal/lifecycle/... ./internal/collectd/... ./internal/obs/... ./internal/obsd/... ./internal/resilience/...
 go test -race -count=1 -run 'Parallel' ./internal/exp/...
 
 echo "== napel-serve smoke test =="
@@ -45,7 +52,8 @@ server_pid=""
 traind_pid=""
 cleanup() {
     for pid in "$server_pid" "$traind_pid" \
-        "${replica1_pid:-}" "${replica2_pid:-}" "${gate_pid:-}" \
+        "${replica1_pid:-}" "${replica2_pid:-}" "${replica3_pid:-}" \
+        "${gate_pid:-}" "${lg_pid:-}" \
         "${worker1_pid:-}" "${worker2_pid:-}" "${obsd_pid:-}"; do
         [ -n "$pid" ] && kill "$pid" 2>/dev/null
     done
@@ -778,5 +786,258 @@ fleet_cleanup
 kill "$obsd_pid" 2>/dev/null; wait "$obsd_pid" 2>/dev/null || true
 obsd_pid=""
 echo "fleet-trace smoke test: cross-process trace assembled, merged fleet series exported"
+
+echo "== membership chaos smoke test: kill a replica under load, evict, readmit =="
+# Three ready replicas front a gate — two from the static -replicas
+# seed, one joining at runtime via napel-serve -join. A
+# zero-hard-error loadgen run then drives the gate while one replica
+# is SIGKILLed: the prober must evict it within -evict-after probe
+# intervals (the ring epoch advances, replicas_ready drops to 2) while
+# ring failover keeps the error budget at zero. Restarting the dead
+# replica must readmit it at a yet-higher epoch with no gate restart.
+m1port=$(( (RANDOM % 20000) + 20000 ))
+m2port=$(( m1port + 1 ))
+m3port=$(( m1port + 2 ))
+m1url="http://127.0.0.1:$m1port"
+m2url="http://127.0.0.1:$m2port"
+m3url="http://127.0.0.1:$m3port"
+mgateport=$(( (RANDOM % 20000) + 20000 ))
+mgateurl="http://127.0.0.1:$mgateport"
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$m1port" -quiet \
+    2>"$tmp/member-r1.log" &
+replica1_pid=$!
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$m2port" -quiet \
+    2>"$tmp/member-r2.log" &
+replica2_pid=$!
+"$tmp/napel-gate" -addr "127.0.0.1:$mgateport" -replicas "$m1url,$m2url" \
+    -health-interval 50ms -evict-after 2 2>"$tmp/member-gate.log" &
+gate_pid=$!
+# The third replica has no seed entry: it registers itself.
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$m3port" -quiet \
+    -join "$mgateurl" -join-interval 200ms 2>"$tmp/member-r3.log" &
+replica3_pid=$!
+gate_epoch() { curl -sS "$mgateurl/readyz" | sed -n 's/.*"epoch"[: ]*\([0-9]*\).*/\1/p'; }
+gate_ready_n() { curl -sS "$mgateurl/readyz" | sed -n 's/.*"replicas_ready"[: ]*\([0-9]*\).*/\1/p'; }
+up=""
+for _ in $(seq 1 100); do
+    if [ "$(gate_ready_n 2>/dev/null)" = 3 ]; then
+        up=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$up" ]; then
+    echo "verify: gate never saw 3 ready replicas (static seed + join)" >&2
+    cat "$tmp/member-gate.log" "$tmp/member-r3.log" >&2
+    exit 1
+fi
+if ! grep -q "announced" "$tmp/member-r3.log"; then
+    echo "verify: joining replica never logged its announce" >&2
+    cat "$tmp/member-r3.log" >&2
+    exit 1
+fi
+epoch0=$(gate_epoch)
+"$tmp/napel-loadgen" -target "$mgateurl" -duration 3s -workers 4 \
+    -seed 43 -keyspace 8 -base "$tmp/req.json" \
+    -probe-model "$tmp/model.json" -probe-every 2 \
+    -max-error-rate 0 -out "$tmp/member-lg.json" 2>"$tmp/member-lg.log" &
+lg_pid=$!
+sleep 0.5
+kill -9 "$replica2_pid" 2>/dev/null; wait "$replica2_pid" 2>/dev/null || true
+replica2_pid=""
+# Eviction within -evict-after probe intervals (2 x 50ms; poll allows
+# scheduler noise but stays an order of magnitude under the load run).
+evicted=""
+for _ in $(seq 1 50); do
+    if [ "$(gate_ready_n)" = 2 ]; then
+        evicted=yes
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$evicted" ]; then
+    echo "verify: killed replica was never evicted from the ring" >&2
+    curl -sS "$mgateurl/v1/fleet" >&2
+    cat "$tmp/member-gate.log" >&2
+    exit 1
+fi
+epoch1=$(gate_epoch)
+if [ -z "$epoch1" ] || [ "$epoch1" -le "$epoch0" ]; then
+    echo "verify: eviction did not advance the ring epoch ($epoch0 -> $epoch1)" >&2
+    exit 1
+fi
+if ! wait "$lg_pid"; then
+    lg_pid=""
+    echo "verify: loadgen through the membership churn failed its zero-error gate" >&2
+    cat "$tmp/member-lg.log" >&2
+    cat "$tmp/member-lg.json" >&2 || true
+    exit 1
+fi
+lg_pid=""
+# The replica restarts on its old address; the prober readmits it.
+"$tmp/napel-serve" -model "$tmp/model.json" -addr "127.0.0.1:$m2port" -quiet \
+    2>"$tmp/member-r2b.log" &
+replica2_pid=$!
+readmitted=""
+for _ in $(seq 1 100); do
+    if [ "$(gate_ready_n)" = 3 ]; then
+        readmitted=yes
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$readmitted" ]; then
+    echo "verify: restarted replica was never readmitted to the ring" >&2
+    curl -sS "$mgateurl/v1/fleet" >&2
+    cat "$tmp/member-gate.log" "$tmp/member-r2b.log" >&2
+    exit 1
+fi
+epoch2=$(gate_epoch)
+if [ -z "$epoch2" ] || [ "$epoch2" -le "$epoch1" ]; then
+    echo "verify: readmission did not advance the ring epoch ($epoch1 -> $epoch2)" >&2
+    exit 1
+fi
+# The ring-change accounting must agree with what just happened.
+curl -sS "$mgateurl/metrics" >"$tmp/member-metrics.txt"
+for change in evict readmit; do
+    n=$(sed -n "s/^napel_fleet_ring_changes_total{change=\"$change\"} \([0-9.e+]*\)\$/\1/p" \
+        "$tmp/member-metrics.txt")
+    if [ -z "$n" ] || [ "$n" = 0 ]; then
+        echo "verify: gate counted no $change ring changes" >&2
+        grep napel_fleet_ring "$tmp/member-metrics.txt" >&2 || true
+        exit 1
+    fi
+done
+fleet_cleanup
+kill "$replica3_pid" 2>/dev/null; wait "$replica3_pid" 2>/dev/null || true
+replica3_pid=""
+echo "membership chaos smoke test: evict + readmit under load, epoch $epoch0 -> $epoch1 -> $epoch2, zero hard errors"
+
+echo "== collectd journal smoke test: SIGKILLed coordinator resumes byte-identically =="
+# Crash durability of distributed collection: a traind with
+# -collect-journal is SIGKILLed once at least one lease has completed,
+# then restarted over the same store, jobs dir and journal.
+# -checkpoint-every 1h keeps the lifecycle checkpoint out of the
+# picture, so the journal is the only thing standing between the crash
+# and a full re-collection: the restart must replay journaled
+# completions instead of re-executing them, the tagged workers must
+# ride out the outage on their backoff loop and reconnect, and the
+# resumed job's promoted manifest must agree with a serial reference
+# run byte for byte.
+jport=$(( (RANDOM % 20000) + 20000 ))
+jurl="http://127.0.0.1:$jport"
+journal="$tmp/collect.journal"
+start_journal_traind() {
+    "$tmp/napel-traind" -store "$tmp/journal-store" -addr "127.0.0.1:$jport" \
+        -lease-ttl 1s -collect-journal "$journal" -checkpoint-every 1h \
+        2>>"$tmp/journal-traind.log" &
+    traind_pid=$!
+    up=""
+    for _ in $(seq 1 50); do
+        if curl -fsS -o /dev/null "$jurl/healthz" 2>/dev/null; then
+            up=yes
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$up" ]; then
+        echo "verify: journal traind never became healthy" >&2
+        cat "$tmp/journal-traind.log" >&2
+        exit 1
+    fi
+}
+start_journal_traind
+jsubmit=$(curl -sS -d "{$dspec}" "$jurl/v1/jobs")
+jsjob=$(printf '%s' "$jsubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$jsjob" ]; then
+    echo "verify: journal serial job submission failed: $jsubmit" >&2
+    exit 1
+fi
+jsstate=$(wait_job "$jurl" "$jsjob")
+if [ "$jsstate" != promoted ]; then
+    echo "verify: journal serial job $jsjob ended '$jsstate' (want promoted)" >&2
+    cat "$tmp/journal-traind.log" >&2
+    exit 1
+fi
+curl -sS "$jurl/v1/jobs/$jsjob" >"$tmp/journal-serial-job.json"
+# Tagged workers; a small -reconnect-max keeps the post-kill outage
+# short. The job requires tag hmc, which both advertise.
+"$tmp/napel-worker" -coordinator "$jurl" -id journal-w1 -tags hmc,x86 \
+    -poll 20ms -reconnect-max 1s 2>"$tmp/journal-w1.log" &
+worker1_pid=$!
+"$tmp/napel-worker" -coordinator "$jurl" -id journal-w2 -tags hmc \
+    -poll 20ms -reconnect-max 1s 2>"$tmp/journal-w2.log" &
+worker2_pid=$!
+jdsubmit=$(curl -sS -d "{$dspec,\"distributed\":true,\"tags\":[\"hmc\"]}" "$jurl/v1/jobs")
+jdjob=$(printf '%s' "$jdsubmit" | sed -n 's/.*"id"[: ]*"\(j-[0-9]*\)".*/\1/p')
+if [ -z "$jdjob" ]; then
+    echo "verify: journal distributed job submission failed: $jdsubmit" >&2
+    exit 1
+fi
+# SIGKILL the coordinator once the journal holds something to replay.
+killable=""
+for _ in $(seq 1 200); do
+    c=$(curl -sS "$jurl/metrics" 2>/dev/null \
+        | sed -n 's/^napel_collectd_completes_total{result="ok"} \([0-9.e+]*\)$/\1/p')
+    if [ -n "$c" ] && [ "$c" != 0 ]; then
+        killable=yes
+        break
+    fi
+    sleep 0.05
+done
+if [ -z "$killable" ]; then
+    echo "verify: no lease ever completed before the kill window closed" >&2
+    cat "$tmp/journal-traind.log" "$tmp/journal-w1.log" >&2
+    exit 1
+fi
+kill -9 "$traind_pid" 2>/dev/null; wait "$traind_pid" 2>/dev/null || true
+traind_pid=""
+# Hold the coordinator down long enough that the workers' *lease
+# polls* actually fail — only those drive the unreachable/reachable
+# transition. A short outage is invisible to a busy worker: finishing
+# its in-flight unit (~1.5s worst case here) and then the delivery's
+# own retry chain (5 attempts, ~3.5s of jittered backoff) can bridge
+# the gap entirely, after which the next poll just succeeds. Seven
+# seconds outlasts both, so every worker lands in the backoff loop
+# before the restart.
+sleep 7
+start_journal_traind
+jdstate=$(wait_job "$jurl" "$jdjob")
+if [ "$jdstate" != promoted ]; then
+    echo "verify: resumed journal job $jdjob ended '$jdstate' (want promoted)" >&2
+    curl -sS "$jurl/v1/jobs/$jdjob" >&2
+    cat "$tmp/journal-traind.log" "$tmp/journal-w1.log" "$tmp/journal-w2.log" >&2
+    exit 1
+fi
+# The restart answered units from the journal, not by re-executing.
+replays=$(curl -sS "$jurl/metrics" \
+    | sed -n 's/^napel_collectd_journal_replayed_total \([0-9.e+]*\)$/\1/p')
+if [ -z "$replays" ] || [ "$replays" = 0 ]; then
+    echo "verify: restarted coordinator replayed nothing from the journal" >&2
+    grep 'journal' "$tmp/journal-traind.log" >&2 || true
+    exit 1
+fi
+curl -sS "$jurl/v1/jobs/$jdjob" >"$tmp/journal-dist-job.json"
+for field in data_hash model_hash; do
+    sh=$(manifest_field "$jurl" "$tmp/journal-serial-job.json" "$field")
+    dh=$(manifest_field "$jurl" "$tmp/journal-dist-job.json" "$field")
+    if [ -z "$sh" ] || [ "$sh" != "$dh" ]; then
+        echo "verify: journal-resumed $field diverged: serial '$sh' vs resumed '$dh'" >&2
+        exit 1
+    fi
+done
+# The workers rode out the coordinator outage on their backoff loop.
+if ! grep -q "reachable again" "$tmp/journal-w1.log" "$tmp/journal-w2.log"; then
+    echo "verify: no worker logged reconnecting after the coordinator restart" >&2
+    cat "$tmp/journal-w1.log" "$tmp/journal-w2.log" >&2
+    exit 1
+fi
+kill "$worker1_pid" 2>/dev/null; wait "$worker1_pid" 2>/dev/null || true
+worker1_pid=""
+kill "$worker2_pid" 2>/dev/null; wait "$worker2_pid" 2>/dev/null || true
+worker2_pid=""
+kill -TERM "$traind_pid"; wait "$traind_pid" 2>/dev/null || true
+traind_pid=""
+echo "journal smoke test: coordinator SIGKILLed and resumed, $replays unit(s) replayed, manifests byte-identical"
 
 echo "verify: OK"
